@@ -1,0 +1,80 @@
+// Ablation benches for the design decisions DESIGN.md calls out:
+//   A1 — placer: row packing alone vs greedy swaps vs simulated annealing;
+//   A2 — race detection: schedule count needed (also shown in T3b);
+//   A3 — backplane hub vs pairwise-direct translators: translator count
+//        and conveyed fidelity as the tool count grows.
+
+#include <iostream>
+
+#include "base/report.hpp"
+#include "pnr/backplane.hpp"
+#include "pnr/generator.hpp"
+#include "pnr/place.hpp"
+
+using namespace interop::pnr;
+using interop::base::ReportTable;
+
+int main() {
+  // ---- A1: placement quality ----
+  ReportTable a1("A1: placement policy ablation (HPWL, lower is better)",
+                 {"seed", "row packing", "greedy swaps", "annealed"});
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    PnrGenOptions opt;
+    opt.seed = seed;
+    opt.instances = 30;
+    PhysDesign packed = make_pnr_workload(opt);
+    std::int64_t rows = total_hpwl(packed);
+
+    PhysDesign greedy = packed;
+    PlaceOptions popt;
+    popt.seed = seed;
+    popt.swap_iterations = 3000;
+    std::int64_t g = place(greedy, popt).hpwl_final;
+
+    PhysDesign annealed = packed;
+    AnnealOptions aopt;
+    aopt.seed = seed;
+    std::int64_t a = place_annealed(annealed, aopt).hpwl_final;
+
+    a1.add_row({std::to_string(seed), std::to_string(rows),
+                std::to_string(g), std::to_string(a)});
+  }
+  a1.print(std::cout);
+
+  // ---- A3: hub vs pairwise translators ----
+  // With N tool formats, pairwise conversion needs N*(N-1) translators; the
+  // backplane needs 2N (one importer + one exporter per tool). Fidelity of
+  // the naive pairwise path is bounded by the WORST format on the route.
+  ReportTable a3("A3: backplane hub vs pairwise translators",
+                 {"tools", "pairwise translators", "backplane adapters",
+                  "avg direct fidelity", "avg backplane fidelity"});
+  PnrGenOptions opt;
+  opt.seed = 5;
+  PhysDesign design = make_pnr_workload(opt);
+  std::vector<ToolCaps> tools = {router_alpha_caps(), router_beta_caps(),
+                                 router_gamma_caps()};
+  for (int n = 2; n <= 3; ++n) {
+    double direct_sum = 0, bp_sum = 0;
+    for (int t = 0; t < n; ++t) {
+      interop::base::DiagnosticEngine d1, d2;
+      ToolInput direct = export_direct(design, tools[std::size_t(t)], d1);
+      direct_sum += measure_direct_loss(design, direct).fidelity();
+      LossReport loss;
+      export_via_backplane(design, tools[std::size_t(t)], loss, d2);
+      bp_sum += loss.fidelity();
+    }
+    a3.add_row({std::to_string(n), std::to_string(n * (n - 1)),
+                std::to_string(2 * n),
+                ReportTable::pct(direct_sum / n),
+                ReportTable::pct(bp_sum / n)});
+  }
+  a3.print(std::cout);
+  std::cout << "Expected shape: both refinement stages crush raw row packing\n"
+               "(~2x); annealing only ties greedy descent here — the\n"
+               "same-footprint swap neighborhood is too small to have the\n"
+               "local minima annealing exists to escape (an honest negative\n"
+               "ablation result). The hub needs linearly many adapters\n"
+               "instead of quadratically many translators while conveying\n"
+               "more.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels behind
+// the experiments: the simulation kernel, the maze router, the migration
+// pipeline, flow analysis, and the a/L interpreter. These guard against
+// performance regressions; the experiment tables live in the bench_t*
+// binaries.
+
+#include <benchmark/benchmark.h>
+
+#include "al/interp.hpp"
+#include "core/methodology.hpp"
+#include "core/optimize.hpp"
+#include "hdl/parser.hpp"
+#include "hdl/sim.hpp"
+#include "pnr/backplane.hpp"
+#include "pnr/generator.hpp"
+#include "pnr/route.hpp"
+#include "schematic/generator.hpp"
+#include "schematic/migrate.hpp"
+
+namespace {
+
+void BM_SimKernelClockedCounter(benchmark::State& state) {
+  using namespace interop::hdl;
+  // A 4-bit ripple of xor/and always blocks clocked for `range` cycles.
+  const char* src = R"(
+    module top(); reg clk; reg [3:0] q;
+      always @(posedge clk) begin
+        q[0] <= !q[0];
+        q[1] <= q[1] ^ q[0];
+        q[2] <= q[2] ^ (q[1] & q[0]);
+        q[3] <= q[3] ^ (q[2] & q[1] & q[0]);
+      end
+      initial begin clk = 0; q = 4'b0000; forever #5 clk = !clk; end
+    endmodule
+  )";
+  SourceUnit unit = parse(src);
+  ElabDesign design = elaborate(unit, "top");
+  const std::int64_t horizon = state.range(0);
+  for (auto _ : state) {
+    Simulation sim(design, SchedulerPolicy::SourceOrder);
+    sim.run(horizon);
+    benchmark::DoNotOptimize(sim.delta_cycles());
+  }
+  state.SetItemsProcessed(state.iterations() * horizon / 5);
+}
+BENCHMARK(BM_SimKernelClockedCounter)->Arg(1000)->Arg(10000);
+
+void BM_MazeRoute(benchmark::State& state) {
+  using namespace interop::pnr;
+  PnrGenOptions opt;
+  opt.seed = 3;
+  opt.instances = int(state.range(0));
+  PhysDesign design = make_pnr_workload(opt);
+  interop::base::DiagnosticEngine diags;
+  ToolInput input = export_direct(design, router_beta_caps(), diags);
+  for (auto _ : state) {
+    RouteResult r = route(input);
+    benchmark::DoNotOptimize(r.wirelength);
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(input.nets.size()));
+}
+BENCHMARK(BM_MazeRoute)->Arg(16)->Arg(32);
+
+void BM_SchematicMigration(benchmark::State& state) {
+  using namespace interop::sch;
+  GeneratorOptions opt;
+  opt.seed = 5;
+  opt.components_per_sheet = int(state.range(0));
+  Scenario sc = make_exar_scenario(opt);
+  for (auto _ : state) {
+    interop::base::DiagnosticEngine diags;
+    MigrationResult result = migrate_design(sc.source, sc.config, diags);
+    benchmark::DoNotOptimize(result.report.sheets);
+  }
+}
+BENCHMARK(BM_SchematicMigration)->Arg(12)->Arg(48);
+
+void BM_FlowAnalysis(benchmark::State& state) {
+  using namespace interop::core;
+  CellBasedMethodology m = make_cell_based_methodology();
+  for (auto _ : state) {
+    auto issues = analyze_flow(m.tasks, m.tools, m.map);
+    benchmark::DoNotOptimize(issues.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          std::int64_t(m.tasks.graph().edge_count()));
+}
+BENCHMARK(BM_FlowAnalysis);
+
+void BM_AlInterpreter(benchmark::State& state) {
+  using namespace interop::al;
+  Interpreter interp;
+  interp.eval_source(
+      "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))");
+  for (auto _ : state) {
+    Value v = interp.eval_source("(fib 12)");
+    benchmark::DoNotOptimize(v.as_int());
+  }
+}
+BENCHMARK(BM_AlInterpreter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

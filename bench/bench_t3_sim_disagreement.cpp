@@ -1,0 +1,158 @@
+// Experiment T3 — §3.1: "Different Verilog simulators can legitimately
+// disagree on the outcome of the same simulation ... typically, if
+// different simulators give different results, there is a race condition in
+// the model."
+//
+// Workload: generated synchronous models. Clean models follow nonblocking
+// discipline (ground truth: no race); racy models embed blocking
+// write/read pairs across same-edge processes (ground truth: race). The
+// differential detector (several legal schedules of ONE kernel) is scored
+// for precision and recall against that ground truth.
+
+#include <iostream>
+#include <sstream>
+
+#include "base/report.hpp"
+#include "base/rng.hpp"
+#include "hdl/parser.hpp"
+#include "hdl/cosim.hpp"
+#include "hdl/race.hpp"
+
+using namespace interop::hdl;
+using interop::base::ReportTable;
+
+namespace {
+
+std::string make_model(std::uint64_t seed, int regs, int races) {
+  interop::base::Rng rng(seed);
+  std::ostringstream os;
+  os << "module top();\n  reg clk;\n";
+  for (int i = 0; i < regs; ++i) os << "  reg r" << i << ";\n";
+
+  // Clean synchronous network: nonblocking shift/mix.
+  for (int i = 0; i < regs; ++i) {
+    int a = int(rng.index(std::size_t(regs)));
+    int b = int(rng.index(std::size_t(regs)));
+    const char* op = rng.chance(0.5) ? "&" : "^";
+    os << "  always @(posedge clk) r" << i << " <= r" << a << ' ' << op
+       << " r" << b << ";\n";
+  }
+  // Injected races: a toggling blocking writer and a blocking reader in
+  // separate same-edge processes.
+  for (int k = 0; k < races; ++k) {
+    os << "  reg w" << k << "; reg v" << k << ";\n";
+    os << "  always @(posedge clk) w" << k << " = !w" << k << ";\n";
+    os << "  always @(posedge clk) v" << k << " = w" << k << ";\n";
+  }
+  os << "  initial begin\n    clk = 0;\n";
+  for (int i = 0; i < regs; ++i)
+    os << "    r" << i << " = " << (rng.chance(0.5) ? 1 : 0) << ";\n";
+  for (int k = 0; k < races; ++k)
+    os << "    w" << k << " = 0; v" << k << " = 0;\n";
+  os << "    forever #5 clk = !clk;\n  end\nendmodule\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  ReportTable table("T3: differential race detection",
+                    {"model class", "models", "flagged", "recall/precision",
+                     "avg divergent signals"});
+
+  const int kModels = 20;
+  for (bool racy : {false, true}) {
+    int flagged = 0;
+    int divergent_total = 0;
+    for (int i = 0; i < kModels; ++i) {
+      std::string src =
+          make_model(std::uint64_t(i) + (racy ? 1000 : 0), 6, racy ? 2 : 0);
+      ElabDesign design = elaborate(parse(src), "top");
+      RaceReport report = detect_races(design, 60, /*extra_seeded_runs=*/3);
+      if (report.disagreement) {
+        ++flagged;
+        divergent_total += int(report.divergent_signals.size());
+      }
+    }
+    double rate = double(flagged) / kModels;
+    table.add_row(
+        {racy ? "racy (blocking cross-pairs)" : "clean (nonblocking)",
+         std::to_string(kModels), std::to_string(flagged),
+         racy ? ("recall " + ReportTable::pct(rate))
+              : ("false-pos " + ReportTable::pct(rate)),
+         flagged ? ReportTable::num(double(divergent_total) / flagged, 1)
+                 : "0"});
+  }
+  table.print(std::cout);
+
+  // How many schedules does it take? Sweep the seeded-run count on racy
+  // models detected by at least one configuration.
+  ReportTable sweep("T3b: schedules needed to expose the race",
+                    {"extra seeded runs", "flagged of 20"});
+  for (int extra : {0, 1, 2, 4}) {
+    int flagged = 0;
+    for (int i = 0; i < 20; ++i) {
+      ElabDesign design =
+          elaborate(parse(make_model(std::uint64_t(i) + 1000, 6, 2)), "top");
+      if (detect_races(design, 60, extra).disagreement) ++flagged;
+    }
+    sweep.add_row({std::to_string(extra), std::to_string(flagged)});
+  }
+  sweep.print(std::cout);
+
+  // T3c: co-simulation — value-set loss and simulation-cycle mismatch.
+  ReportTable cosim("T3c: co-simulation vs monolithic simulation",
+                    {"configuration", "matches monolithic at t=0",
+                     "exchange iterations"});
+  {
+    ElabDesign a = elaborate(parse(R"(
+      module sa(); reg x, y; reg fb_in; wire mid; wire w;
+        assign mid = x & y;
+        assign w = fb_in & x;
+        initial begin x = 1; y = 1; fb_in = 0; end
+      endmodule)"), "sa");
+    ElabDesign b = elaborate(parse(R"(
+      module sb(); reg mid_in; wire fb;
+        assign fb = mid_in | 1'b0;
+        initial mid_in = 0;
+      endmodule)"), "sb");
+    ElabDesign mono = elaborate(parse(R"(
+      module m(); reg x, y; wire mid, fb, w;
+        assign mid = x & y;
+        assign fb = mid | 1'b0;
+        assign w = fb & x;
+        initial begin x = 1; y = 1; end
+      endmodule)"), "m");
+    Simulation ref(mono, SchedulerPolicy::SourceOrder);
+    ref.run(0);
+
+    for (bool converge : {true, false}) {
+      CosimOptions opt;
+      opt.iterate_to_convergence = converge;
+      CosimHarness h(a, b, opt);
+      h.bind_a_to_b("sa.mid", "sb.mid_in");
+      h.bind_b_to_a("sb.fb", "sa.fb_in");
+      h.run(0);
+      bool match = h.sim_a().value("sa.w") == ref.value("m.w");
+      cosim.add_row({converge ? "iterate-to-convergence"
+                              : "one exchange per timestep",
+                     match ? "yes" : "NO (stale boundary)",
+                     std::to_string(h.peak_exchange_iterations())});
+    }
+  }
+  // Value-set loss at the interface, enumerated exhaustively.
+  CosimLoss loss = cosim_resolution_loss();
+  cosim.add_row({"12-value pairs resolved through 4-value bridge",
+                 std::to_string(loss.total_pairs - loss.divergent_pairs) +
+                     "/" + std::to_string(loss.total_pairs) + " correct",
+                 "-"});
+  cosim.print(std::cout);
+
+  std::cout << "Expected shape: clean models never flag (the detector only\n"
+               "reports true schedule dependence); racy models flag at or\n"
+               "near 100%, mostly already with the two lexicographic orders.\n"
+               "Co-simulation matches the monolithic run only with a\n"
+               "convergent exchange handshake, and the 4-value bridge\n"
+               "mis-resolves strength-dependent driver fights.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Experiment T6 — §3.3 naming issues, measured:
+//   (a) aliasing under N-character name significance vs corpus size,
+//   (b) escaped-identifier interpretation divergence across tools,
+//   (c) VHDL keyword clashes when translating Verilog identifiers,
+//   (d) hierarchy flattening: naive underscore joins vs reversible mangling.
+
+#include <algorithm>
+#include <iostream>
+
+#include "base/report.hpp"
+#include "base/rng.hpp"
+#include "hdl/naming.hpp"
+
+using namespace interop::hdl::naming;
+using interop::base::ReportTable;
+
+namespace {
+
+// Realistic RTL names: shared structural prefixes + short suffixes — the
+// worst case for truncation, exactly like the paper's cntr_reset1/2.
+std::vector<std::string> make_corpus(std::size_t n, std::uint64_t seed) {
+  static const char* kPrefixes[] = {"cntr_rst",   "cntr_reset", "fifo_empty",
+                                    "fifo_full",  "mem_addr",   "mem_data",
+                                    "state_next", "state_hold", "bus_grant",
+                                    "bus_req"};
+  interop::base::Rng rng(seed);
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = kPrefixes[rng.index(std::size_t(10))];
+    name += "_" + std::to_string(rng.uniform(0, 99));
+    out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // (a) significance sweep.
+  ReportTable alias("T6a: name aliasing vs significant characters",
+                    {"names", "significant", "aliased names", "rate"});
+  for (std::size_t n : {50u, 200u, 800u}) {
+    std::vector<std::string> corpus = make_corpus(n, 7);
+    for (std::size_t sig : {6u, 8u, 12u, 16u, 31u}) {
+      AliasReport r = find_length_aliases(corpus, sig);
+      alias.add_row({std::to_string(corpus.size()), std::to_string(sig),
+                     std::to_string(r.names_aliased),
+                     ReportTable::pct(double(r.names_aliased) /
+                                      double(corpus.size()))});
+    }
+  }
+  alias.print(std::cout);
+
+  // (b) escaped identifiers across tool policies.
+  ReportTable esc("T6b: escaped-identifier interpretation divergence",
+                  {"identifier", "literal", "[]-is-bit", "*-active-low",
+                   "tools disagree"});
+  for (const char* name : {"data[3]", "addr[10]", "rst*", "plain_name",
+                           "mix[2]*"}) {
+    auto lit = interpret_escaped(name, EscapePolicy::Literal);
+    auto br = interpret_escaped(name, EscapePolicy::BracketIsBit);
+    auto st = interpret_escaped(name, EscapePolicy::StarActiveLow);
+    auto fmt = [](const EscapedInterpretation& i) {
+      std::string out = i.base;
+      if (i.bit) out += "[" + std::to_string(*i.bit) + "]split";
+      if (i.active_low) out += " (act-low)";
+      return out;
+    };
+    bool diverge =
+        escaped_divergence(name, EscapePolicy::Literal,
+                           EscapePolicy::BracketIsBit) ||
+        escaped_divergence(name, EscapePolicy::Literal,
+                           EscapePolicy::StarActiveLow);
+    esc.add_row({name, fmt(lit), fmt(br), fmt(st), diverge ? "YES" : "no"});
+  }
+  esc.print(std::cout);
+
+  // (c) VHDL keyword clashes.
+  std::vector<std::string> signals = {"in",   "out",  "clk",    "signal",
+                                      "next", "data", "select", "buffer",
+                                      "q",    "wait_n"};
+  KeywordRenames renames = rename_keyword_clashes(signals, vhdl_keywords());
+  ReportTable kw("T6c: Verilog identifiers that are VHDL keywords",
+                 {"identifier", "renamed to"});
+  for (const std::string& s : signals) {
+    auto it = renames.renames.find(s);
+    kw.add_row({s, it == renames.renames.end() ? "-" : it->second});
+  }
+  kw.print(std::cout);
+  std::cout << renames.renames.size() << " of " << signals.size()
+            << " signal names had to change — \"identifier names will no "
+               "longer match between models\".\n\n";
+
+  // (d) flattening.
+  interop::base::Rng rng(3);
+  std::vector<std::vector<std::string>> paths;
+  static const char* kSegs[] = {"top", "cpu", "alu_a", "alu",  "a_b",
+                                "b",   "q",   "dp",    "dp_q", "u1"};
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::string> path;
+    int depth = 2 + int(rng.index(3));
+    for (int d = 0; d < depth; ++d)
+      path.push_back(kSegs[rng.index(std::size_t(10))]);
+    paths.push_back(std::move(path));
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  FlattenReport fr = analyze_flattening(paths);
+  ReportTable flat("T6d: hierarchy flattening, naive vs reversible",
+                   {"distinct paths", "naive collisions",
+                    "reversible collisions", "round-trip failures"});
+  flat.add_row({std::to_string(fr.paths),
+                std::to_string(fr.naive_collisions),
+                std::to_string(fr.reversible_collisions),
+                std::to_string(fr.reversible_roundtrip_failures)});
+  flat.print(std::cout);
+  std::cout << "Expected shape: aliasing grows as significance shrinks and\n"
+               "corpora grow; []/* escapes diverge across tools; in/out/\n"
+               "signal/... must be renamed for VHDL; naive underscore\n"
+               "flattening collides while the reversible mangling never\n"
+               "does and always round-trips.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiment T7 — §4: constraint forwarding from the floorplanner into
+// incompatible P&R tools. For each tool, naive direct conversion vs the
+// semantic backplane: conveyed-constraint fidelity and the routed-result
+// violations a designer would find at signoff.
+
+#include <iostream>
+
+#include "base/report.hpp"
+#include "pnr/backplane.hpp"
+#include "pnr/check.hpp"
+#include "pnr/generator.hpp"
+#include "pnr/route.hpp"
+
+using namespace interop::pnr;
+using interop::base::ReportTable;
+
+int main() {
+  const int kSeeds = 6;
+
+  ReportTable table("T7: P&R constraint forwarding, direct vs backplane",
+                    {"tool", "path", "fidelity", "access", "must", "width",
+                     "spacing", "shield", "keepout", "total viol"});
+
+  for (const ToolCaps& caps :
+       {router_alpha_caps(), router_beta_caps(), router_gamma_caps()}) {
+    for (bool use_backplane : {false, true}) {
+      double fidelity = 0.0;
+      CheckResult sum;
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        PnrGenOptions opt;
+        opt.seed = seed;
+        PhysDesign design = make_pnr_workload(opt);
+        interop::base::DiagnosticEngine diags;
+        ToolInput input;
+        LossReport loss;
+        if (use_backplane) {
+          input = export_via_backplane(design, caps, loss, diags);
+        } else {
+          input = export_direct(design, caps, diags);
+          loss = measure_direct_loss(design, input);
+        }
+        fidelity += loss.fidelity();
+        CheckResult c = check_routes(design, route(input));
+        sum.failed_nets += c.failed_nets;
+        sum.access_violations += c.access_violations;
+        sum.unconnected_must += c.unconnected_must;
+        sum.width_violations += c.width_violations;
+        sum.spacing_violations += c.spacing_violations;
+        sum.shield_violations += c.shield_violations;
+        sum.keepout_violations += c.keepout_violations;
+      }
+      table.add_row({caps.name, use_backplane ? "backplane" : "direct",
+                     ReportTable::pct(fidelity / kSeeds),
+                     std::to_string(sum.access_violations),
+                     std::to_string(sum.unconnected_must),
+                     std::to_string(sum.width_violations),
+                     std::to_string(sum.spacing_violations),
+                     std::to_string(sum.shield_violations),
+                     std::to_string(sum.keepout_violations),
+                     std::to_string(sum.total() - sum.failed_nets)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: the backplane's fidelity >= direct for every\n"
+               "tool (strictly higher where it can emulate: access strips\n"
+               "for Beta, side files, keepout obstructions for Gamma), and\n"
+               "its routed results carry fewer signoff violations. Gamma's\n"
+               "residual width/spacing/shield losses remain — but the\n"
+               "backplane REPORTS them before routing instead of dropping\n"
+               "them silently.\n";
+  return 0;
+}

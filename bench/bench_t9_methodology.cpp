@@ -1,0 +1,106 @@
+// Experiment T9 — §6: the interoperability-analysis methodology itself.
+//
+//  - scale claim: "approximately 200 tasks" for a cell-based methodology
+//    spanning specification to tapeout;
+//  - scenarios prune the task graph to the practical subset;
+//  - data/control-flow analysis "clearly identifies the classic
+//    interoperability problems";
+//  - the three optimization moves reduce flow cost.
+
+#include <iostream>
+
+#include "base/report.hpp"
+#include "core/methodology.hpp"
+#include "core/optimize.hpp"
+
+using namespace interop::core;
+using interop::base::ReportTable;
+
+int main() {
+  CellBasedMethodology m = make_cell_based_methodology();
+
+  ReportTable scale("T9a: methodology scale (paper claim: ~200 tasks)",
+                    {"metric", "value"});
+  scale.add_row({"tasks", std::to_string(m.tasks.size())});
+  scale.add_row({"information kinds",
+                 std::to_string(m.tasks.info_kinds().size())});
+  scale.add_row({"data-flow edges",
+                 std::to_string(m.tasks.graph().edge_count())});
+  scale.add_row({"tools modeled", std::to_string(m.tools.size())});
+  scale.add_row({"acyclic", m.tasks.is_dag() ? "yes" : "NO"});
+  std::map<std::string, int> by_phase;
+  for (const Task& t : m.tasks.tasks()) ++by_phase[t.phase];
+  scale.add_row({"phases", std::to_string(by_phase.size())});
+  scale.print(std::cout);
+
+  ReportTable prune("T9b: scenario pruning", {"scenario", "tasks before",
+                                              "tasks after", "kept"});
+  for (const Scenario& sc : m.scenarios) {
+    PruneReport r;
+    apply_scenario(m.tasks, sc, &r);
+    prune.add_row({sc.name, std::to_string(r.before),
+                   std::to_string(r.after),
+                   ReportTable::pct(double(r.after) / double(r.before))});
+  }
+  prune.print(std::cout);
+
+  TaskGraph flow = apply_scenario(m.tasks, *m.scenario("full-asic"));
+  CoverageReport cov = analyze_coverage(flow, m.tools, m.map);
+  auto issues = analyze_flow(flow, m.tools, m.map);
+  ReportTable found("T9c: flow analysis on the full-asic scenario",
+                    {"finding", "count"});
+  found.add_row({"functionality holes", std::to_string(cov.holes.size())});
+  found.add_row({"overlaps", std::to_string(cov.overlaps.size())});
+  found.add_row({"port gaps", std::to_string(cov.port_gaps.size())});
+  std::map<std::string, int> by_kind;
+  for (const InteropIssue& i : issues) ++by_kind[to_string(i.kind)];
+  for (const auto& [kind, count] : by_kind)
+    found.add_row({"issue: " + kind, std::to_string(count)});
+  found.print(std::cout);
+
+  // Optimization trajectory.
+  ReportTable opt("T9d: optimization trajectory",
+                  {"step", "issues removed", "flow cost"});
+  double cost = flow_cost(flow, m.tools, m.map).total();
+  opt.add_row({"baseline", "-", ReportTable::num(cost, 1)});
+
+  OptimizationOutcome r1 = repartition_boundaries(
+      flow, m.tools, m.map, {"vlogic", "layo", "synplex"});
+  opt.add_row({"(1) repartition same-vendor boundaries",
+               std::to_string(r1.issues_removed),
+               ReportTable::num(r1.after.total(), 1)});
+
+  OptimizationOutcome r2 = apply_data_conventions(
+      flow, m.tools, m.map,
+      {{"long", "8char"},
+       {"case-insensitive", "long"},
+       {"long", "case-insensitive"}});
+  opt.add_row({"(2) adopt naming/bus conventions",
+               std::to_string(r2.issues_removed),
+               ReportTable::num(r2.after.total(), 1)});
+
+  std::set<std::string> replaced;
+  for (const Task& t : flow.tasks())
+    if (t.id.rfind("syn.postsim.", 0) == 0) replaced.insert(t.id);
+  ToolModel formal;
+  formal.name = "FormalEq";
+  formal.vendor = "innovator";
+  formal.function = "formal equivalence replaces gate-level simulation";
+  formal.inputs = {{"netlist", "vnet", "12value", "hier", "case-insensitive"},
+                   {"testbench", "vlogc", "4value", "hier", "long"},
+                   {"sim-models", "vmodel", "4value", "hier", "long"}};
+  formal.outputs = {{"gate-sim-results", "vcd", "4value", "hier", "long"}};
+  formal.invocation_cost = 0.5;
+  Substitution sub = substitute_technology(flow, m.tools, m.map, replaced,
+                                           "formal.verify_all", formal);
+  opt.add_row({"(3) technology substitution (" +
+                   std::to_string(replaced.size()) + " tasks -> 1)",
+               std::to_string(sub.outcome.issues_removed),
+               ReportTable::num(sub.outcome.after.total(), 1)});
+  opt.print(std::cout);
+
+  std::cout << "Expected shape: ~200 tasks; scenarios keep 20-95%; analysis\n"
+               "finds all five classic problem kinds with zero holes; every\n"
+               "optimization step lowers the flow cost monotonically.\n";
+  return 0;
+}

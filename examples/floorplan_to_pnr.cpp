@@ -1,0 +1,91 @@
+// §4 end to end: floorplan blocks, build a placed design with the full
+// pin-property and net-topology vocabulary, then feed three incompatible
+// P&R tools — first through naive per-tool converters, then through the
+// semantic backplane — and measure what each tool actually honored.
+
+#include <iostream>
+
+#include "base/report.hpp"
+#include "pnr/backplane.hpp"
+#include "pnr/check.hpp"
+#include "pnr/floorplanner.hpp"
+#include "pnr/generator.hpp"
+#include "pnr/route.hpp"
+
+using namespace interop::pnr;
+
+int main() {
+  // 1. Block-level floorplanning (aspect-bounded shelf packing).
+  std::vector<BlockSpec> blocks = {
+      {"core", 1600, 0.5, 2.0},
+      {"cache", 900, 0.5, 2.0},
+      {"io_ring", 400, 0.25, 4.0},
+  };
+  FloorplanResult fp = floorplan_blocks(blocks, 80, 80);
+  std::cout << "floorplan: utilization "
+            << int(fp.utilization * 100) << "%\n";
+  for (const auto& [name, rect] : fp.blocks)
+    std::cout << "  " << name << " -> " << rect.width() << "x"
+              << rect.height() << " at (" << rect.lo().x << ","
+              << rect.lo().y << ")\n";
+
+  // 2. A placed block-internal design with restricted-access pins,
+  //    must-connect clocks, wide power, spaced/shielded critical nets.
+  PnrGenOptions opt;
+  opt.seed = 7;
+  PhysDesign design = make_pnr_workload(opt);
+  std::cout << "\nworkload: " << design.instances.size() << " instances, "
+            << design.nets.size() << " nets, "
+            << semantic_atoms(design) << " semantic constraint atoms\n\n";
+
+  interop::base::ReportTable table(
+      "constraint fidelity and routed quality per tool",
+      {"tool", "path", "fidelity", "failed", "access", "must", "width",
+       "spacing", "shield", "keepout"});
+
+  for (const ToolCaps& caps :
+       {router_alpha_caps(), router_beta_caps(), router_gamma_caps()}) {
+    // Naive direct converter.
+    interop::base::DiagnosticEngine d1;
+    ToolInput direct = export_direct(design, caps, d1);
+    LossReport direct_loss = measure_direct_loss(design, direct);
+    CheckResult dc = check_routes(design, route(direct));
+    table.add_row({caps.name, "direct",
+                   interop::base::ReportTable::pct(direct_loss.fidelity()),
+                   std::to_string(dc.failed_nets),
+                   std::to_string(dc.access_violations),
+                   std::to_string(dc.unconnected_must),
+                   std::to_string(dc.width_violations),
+                   std::to_string(dc.spacing_violations),
+                   std::to_string(dc.shield_violations),
+                   std::to_string(dc.keepout_violations)});
+
+    // The backplane.
+    interop::base::DiagnosticEngine d2;
+    LossReport bp_loss;
+    ToolInput via_bp = export_via_backplane(design, caps, bp_loss, d2);
+    CheckResult bc = check_routes(design, route(via_bp));
+    table.add_row({caps.name, "backplane",
+                   interop::base::ReportTable::pct(bp_loss.fidelity()),
+                   std::to_string(bc.failed_nets),
+                   std::to_string(bc.access_violations),
+                   std::to_string(bc.unconnected_must),
+                   std::to_string(bc.width_violations),
+                   std::to_string(bc.spacing_violations),
+                   std::to_string(bc.shield_violations),
+                   std::to_string(bc.keepout_violations)});
+
+    if (!bp_loss.lost.empty()) {
+      std::cout << caps.name << " — backplane reported unconveyable:\n";
+      for (const LossReport::Item& item : bp_loss.lost)
+        std::cout << "  " << item.feature << " on " << item.object << "\n";
+    }
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nThe backplane path conveys at least as much as every "
+               "direct converter, and what it cannot convey it reports "
+               "up front instead of dropping silently.\n";
+  return 0;
+}

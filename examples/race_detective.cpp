@@ -1,0 +1,119 @@
+// Race detective: §3.1's "different simulators can legitimately disagree"
+// made actionable. Simulate a model under several legal scheduling policies
+// and report exactly which signals depend on event ordering — then show the
+// §3.2 modeling-style trap where simulation and synthesis disagree.
+
+#include <iostream>
+
+#include "hdl/parser.hpp"
+#include "hdl/race.hpp"
+#include "hdl/synth.hpp"
+
+using namespace interop::hdl;
+
+namespace {
+
+void investigate(const char* title, const char* src) {
+  std::cout << "=== " << title << " ===\n";
+  ElabDesign design = elaborate(parse(src), "top");
+  RaceReport report = detect_races(design, /*until=*/100);
+  if (!report.disagreement) {
+    std::cout << "all " << report.runs
+              << " legal schedules agree: model is schedule-independent\n\n";
+    return;
+  }
+  std::cout << report.runs
+            << " legal schedules disagree on the settled values of:\n";
+  for (const std::string& sig : report.divergent_signals)
+    std::cout << "  " << sig << "\n";
+  std::cout << "=> the model has a race; any of these simulators is right\n\n";
+}
+
+}  // namespace
+
+int main() {
+  // The paper's sketch, made racy: a blocking write in one process and a
+  // read through a continuous assign in another, on the same clock edge.
+  investigate("paper's assign/always interaction", R"(
+    module top();
+      reg clk; reg b, c, d; reg flag; wire a;
+      assign a = b & c;
+      always @(posedge clk) b = d;
+      always @(posedge clk) begin
+        if (a != d) flag = 1;
+        else flag = 0;
+      end
+      initial begin
+        clk = 0; b = 0; c = 1; d = 1; flag = 0;
+        #5 clk = 1;
+      end
+    endmodule
+  )");
+
+  // The classic fix: nonblocking assignments decouple read from write.
+  investigate("same model with nonblocking discipline", R"(
+    module top();
+      reg clk; reg b, c, d; reg flag; wire a;
+      assign a = b & c;
+      always @(posedge clk) b <= d;
+      always @(posedge clk) begin
+        if (a != d) flag <= 1;
+        else flag <= 0;
+      end
+      initial begin
+        clk = 0; b = 0; c = 1; d = 1; flag = 0;
+        #5 clk = 1;
+      end
+    endmodule
+  )");
+
+  // §3.2: incomplete sensitivity list — simulation holds a stale value, the
+  // synthesized gates recompute. Two tools, two answers, zero error messages.
+  const char* rtl = R"(
+    module top(a, b, c, out);
+      input a, b, c; output out; reg out;
+      always @(a or b) out = a & b & c;
+    endmodule
+  )";
+  std::cout << "=== modeling style: always @(a or b) out = a & b & c ===\n";
+  Module mod = parse_module(rtl);
+
+  for (const VendorSubset& vendor : {vendor_a_subset(), vendor_b_subset()}) {
+    auto violations = check_subset(mod, vendor);
+    std::cout << vendor.name << ": ";
+    if (violations.empty()) {
+      std::cout << "accepted silently\n";
+    } else {
+      for (const SubsetViolation& v : violations)
+        std::cout << v.code << " (" << v.message << ") ";
+      std::cout << "\n";
+    }
+  }
+
+  ElabDesign rtl_design = elaborate(parse(rtl), "top");
+  Simulation rtl_sim(rtl_design, SchedulerPolicy::SourceOrder);
+  for (const char* s : {"top.a", "top.b", "top.c"})
+    rtl_sim.force(rtl_design.signal(s), Logic::L1);
+  rtl_sim.run(0);
+  rtl_sim.force(rtl_design.signal("top.c"), Logic::L0);
+  rtl_sim.run(1);
+
+  SynthResult syn = synthesize(mod, vendor_a_subset());
+  SourceUnit gates_unit;
+  gates_unit.modules.push_back(std::move(syn.netlist));
+  ElabDesign gate_design = elaborate(gates_unit, "top_syn");
+  Simulation gate_sim(gate_design, SchedulerPolicy::SourceOrder);
+  for (const char* s : {"top_syn.a", "top_syn.b", "top_syn.c"})
+    gate_sim.force(gate_design.signal(s), Logic::L1);
+  gate_sim.run(0);
+  gate_sim.force(gate_design.signal("top_syn.c"), Logic::L0);
+  gate_sim.run(1);
+
+  std::cout << "after c falls: RTL simulation says out="
+            << to_char(rtl_sim.value("top.out"))
+            << ", synthesized gates say out="
+            << to_char(gate_sim.value("top_syn.out")) << "\n";
+  std::cout << "=> \"the advantage of generating combinational logic may not"
+               " be acceptable to your latch-based architecture!\"\n";
+  return 0;
+}

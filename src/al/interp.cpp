@@ -1,0 +1,239 @@
+#include "al/interp.hpp"
+
+#include "al/reader.hpp"
+
+namespace interop::al {
+
+void Environment::define(const std::string& name, Value v) {
+  vars_[name] = std::move(v);
+}
+
+void Environment::assign(const std::string& name, Value v) {
+  for (Environment* e = this; e; e = e->parent_.get()) {
+    auto it = e->vars_.find(name);
+    if (it != e->vars_.end()) {
+      it->second = std::move(v);
+      return;
+    }
+  }
+  throw AlError("set!: unbound variable " + name);
+}
+
+const Value& Environment::lookup(const std::string& name) const {
+  for (const Environment* e = this; e; e = e->parent_.get()) {
+    auto it = e->vars_.find(name);
+    if (it != e->vars_.end()) return it->second;
+  }
+  throw AlError("unbound variable " + name);
+}
+
+bool Environment::bound(const std::string& name) const {
+  for (const Environment* e = this; e; e = e->parent_.get())
+    if (e->vars_.count(name)) return true;
+  return false;
+}
+
+// Defined in builtins.cpp.
+void install_builtins(Interpreter& interp);
+void install_higher_order(Interpreter& interp);
+
+Interpreter::Interpreter() : global_(Environment::make()) {
+  install_builtins(*this);
+  install_higher_order(*this);
+}
+
+void Interpreter::register_builtin(const std::string& name, Builtin fn) {
+  global_->define(name, Value(std::move(fn)));
+}
+
+Value Interpreter::eval(const Value& form) { return eval(form, global_); }
+
+Value Interpreter::eval(const Value& form,
+                        const std::shared_ptr<Environment>& env) {
+  if (depth_ == 0) steps_used_ = 0;
+  ++depth_;
+  try {
+    Value out = eval_inner(form, env);
+    --depth_;
+    return out;
+  } catch (...) {
+    --depth_;
+    throw;
+  }
+}
+
+Value Interpreter::eval_source(const std::string& source) {
+  Value last;
+  for (const Value& form : read_all(source)) last = eval(form);
+  return last;
+}
+
+Value Interpreter::call(const Value& fn, std::vector<Value> args) {
+  if (fn.is_builtin()) return fn.as_builtin()(args);
+  if (fn.is_lambda()) {
+    if (++call_depth_ > max_call_depth_) {
+      --call_depth_;
+      throw AlError("maximum call depth exceeded (runaway recursion?)");
+    }
+    struct DepthGuard {
+      std::size_t& depth;
+      ~DepthGuard() { --depth; }
+    } guard{call_depth_};
+    const Lambda& lam = *fn.as_lambda();
+    if (args.size() != lam.params.size())
+      throw AlError("lambda arity mismatch: expected " +
+                    std::to_string(lam.params.size()) + ", got " +
+                    std::to_string(args.size()));
+    auto frame = Environment::make(lam.env);
+    for (std::size_t i = 0; i < args.size(); ++i)
+      frame->define(lam.params[i], std::move(args[i]));
+    Value out;
+    for (const Value& form : lam.body) out = eval(form, frame);
+    return out;
+  }
+  throw AlError("not callable: " + fn.write());
+}
+
+namespace {
+
+const std::string& symbol_name(const Value& v, const char* what) {
+  if (!v.is_symbol()) throw AlError(std::string(what) + ": expected a symbol");
+  return v.as_symbol().name;
+}
+
+}  // namespace
+
+Value Interpreter::eval_inner(const Value& form,
+                              std::shared_ptr<Environment> env) {
+  if (step_limit_ && ++steps_used_ > step_limit_)
+    throw AlError("step limit exceeded");
+
+  if (form.is_symbol()) return env->lookup(form.as_symbol().name);
+  if (!form.is_list()) return form;  // self-evaluating atom
+
+  const Value::List& list = form.as_list();
+  if (list.empty()) throw AlError("cannot evaluate empty list");
+
+  if (list[0].is_symbol()) {
+    const std::string& head = list[0].as_symbol().name;
+
+    if (head == "quote") {
+      if (list.size() != 2) throw AlError("quote takes one argument");
+      return list[1];
+    }
+    if (head == "if") {
+      if (list.size() != 3 && list.size() != 4)
+        throw AlError("if takes 2 or 3 arguments");
+      if (eval_inner(list[1], env).truthy()) return eval_inner(list[2], env);
+      return list.size() == 4 ? eval_inner(list[3], env) : Value::nil();
+    }
+    if (head == "cond") {
+      for (std::size_t i = 1; i < list.size(); ++i) {
+        if (!list[i].is_list() || list[i].as_list().size() < 2)
+          throw AlError("cond: malformed clause");
+        const Value::List& clause = list[i].as_list();
+        bool is_else =
+            clause[0].is_symbol() && clause[0].as_symbol().name == "else";
+        if (is_else || eval_inner(clause[0], env).truthy()) {
+          Value out;
+          for (std::size_t j = 1; j < clause.size(); ++j)
+            out = eval_inner(clause[j], env);
+          return out;
+        }
+      }
+      return Value::nil();
+    }
+    if (head == "define") {
+      if (list.size() < 3) throw AlError("define takes at least 2 arguments");
+      // (define (f a b) body...) sugar
+      if (list[1].is_list()) {
+        const Value::List& sig = list[1].as_list();
+        if (sig.empty()) throw AlError("define: empty signature");
+        auto lam = std::make_shared<Lambda>();
+        for (std::size_t i = 1; i < sig.size(); ++i)
+          lam->params.push_back(symbol_name(sig[i], "define"));
+        lam->body.assign(list.begin() + 2, list.end());
+        lam->env = env;
+        env->define(symbol_name(sig[0], "define"), Value(lam));
+        return Value::nil();
+      }
+      if (list.size() != 3) throw AlError("define takes 2 arguments");
+      Value v = eval_inner(list[2], env);
+      env->define(symbol_name(list[1], "define"), std::move(v));
+      return Value::nil();
+    }
+    if (head == "set!") {
+      if (list.size() != 3) throw AlError("set! takes 2 arguments");
+      Value v = eval_inner(list[2], env);
+      env->assign(symbol_name(list[1], "set!"), v);
+      return v;
+    }
+    if (head == "lambda") {
+      if (list.size() < 3) throw AlError("lambda takes params and body");
+      if (!list[1].is_list()) throw AlError("lambda: params must be a list");
+      auto lam = std::make_shared<Lambda>();
+      for (const Value& p : list[1].as_list())
+        lam->params.push_back(symbol_name(p, "lambda"));
+      lam->body.assign(list.begin() + 2, list.end());
+      lam->env = env;
+      return Value(lam);
+    }
+    if (head == "let") {
+      if (list.size() < 3 || !list[1].is_list())
+        throw AlError("let: malformed");
+      auto frame = Environment::make(env);
+      for (const Value& binding : list[1].as_list()) {
+        if (!binding.is_list() || binding.as_list().size() != 2)
+          throw AlError("let: malformed binding");
+        const Value::List& b = binding.as_list();
+        frame->define(symbol_name(b[0], "let"), eval_inner(b[1], env));
+      }
+      Value out;
+      for (std::size_t i = 2; i < list.size(); ++i)
+        out = eval_inner(list[i], frame);
+      return out;
+    }
+    if (head == "begin") {
+      Value out;
+      for (std::size_t i = 1; i < list.size(); ++i)
+        out = eval_inner(list[i], env);
+      return out;
+    }
+    if (head == "and") {
+      Value out(true);
+      for (std::size_t i = 1; i < list.size(); ++i) {
+        out = eval_inner(list[i], env);
+        if (!out.truthy()) return out;
+      }
+      return out;
+    }
+    if (head == "or") {
+      for (std::size_t i = 1; i < list.size(); ++i) {
+        Value out = eval_inner(list[i], env);
+        if (out.truthy()) return out;
+      }
+      return Value(false);
+    }
+    if (head == "while") {
+      if (list.size() < 2) throw AlError("while takes a condition");
+      Value out;
+      while (eval_inner(list[1], env).truthy()) {
+        if (step_limit_ && ++steps_used_ > step_limit_)
+          throw AlError("step limit exceeded");
+        for (std::size_t i = 2; i < list.size(); ++i)
+          out = eval_inner(list[i], env);
+      }
+      return out;
+    }
+  }
+
+  // Function application.
+  Value fn = eval_inner(list[0], env);
+  std::vector<Value> args;
+  args.reserve(list.size() - 1);
+  for (std::size_t i = 1; i < list.size(); ++i)
+    args.push_back(eval_inner(list[i], env));
+  return call(fn, std::move(args));
+}
+
+}  // namespace interop::al

@@ -1,0 +1,86 @@
+#pragma once
+// The a/L evaluator: lexically scoped, strict, with the special forms a
+// migration-callback DSL needs (quote, if, cond, define, set!, lambda, let,
+// begin, and, or, while).
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "al/value.hpp"
+
+namespace interop::al {
+
+/// A lexical scope frame. Frames are shared_ptrs because lambdas capture
+/// their defining environment.
+class Environment : public std::enable_shared_from_this<Environment> {
+ public:
+  static std::shared_ptr<Environment> make(
+      std::shared_ptr<Environment> parent = nullptr) {
+    return std::shared_ptr<Environment>(new Environment(std::move(parent)));
+  }
+
+  /// Define (or redefine) `name` in this frame.
+  void define(const std::string& name, Value v);
+  /// Assign to the nearest frame where `name` is defined; throws if unbound.
+  void assign(const std::string& name, Value v);
+  /// Look `name` up through the parent chain; throws if unbound.
+  const Value& lookup(const std::string& name) const;
+  bool bound(const std::string& name) const;
+
+ private:
+  explicit Environment(std::shared_ptr<Environment> parent)
+      : parent_(std::move(parent)) {}
+
+  std::unordered_map<std::string, Value> vars_;
+  std::shared_ptr<Environment> parent_;
+};
+
+/// The interpreter. Construct, optionally register host builtins, then
+/// eval forms or source strings.
+class Interpreter {
+ public:
+  /// Creates the global environment pre-loaded with the standard builtins
+  /// (arithmetic, comparison, string, list; see builtins.cpp).
+  Interpreter();
+
+  // Builtins like map/filter capture `this`; pin the object.
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  std::shared_ptr<Environment> global() { return global_; }
+
+  /// Register a host function callable from a/L code.
+  void register_builtin(const std::string& name, Builtin fn);
+
+  /// Evaluate one form in the global environment.
+  Value eval(const Value& form);
+  Value eval(const Value& form, const std::shared_ptr<Environment>& env);
+
+  /// Read and evaluate every form in `source`; returns the last result.
+  Value eval_source(const std::string& source);
+
+  /// Call a callable value with arguments.
+  Value call(const Value& fn, std::vector<Value> args);
+
+  /// Evaluation-step budget per eval_source/eval call tree; guards callbacks
+  /// against runaway loops. 0 = unlimited.
+  void set_step_limit(std::size_t steps) { step_limit_ = steps; }
+
+  /// Maximum lambda-call nesting before an AlError (guards the host stack
+  /// against runaway recursion). Default 512.
+  void set_max_call_depth(std::size_t depth) { max_call_depth_ = depth; }
+
+ private:
+  Value eval_inner(const Value& form, std::shared_ptr<Environment> env);
+
+  std::shared_ptr<Environment> global_;
+  std::size_t step_limit_ = 0;
+  std::size_t steps_used_ = 0;
+  std::size_t max_call_depth_ = 512;
+  std::size_t call_depth_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace interop::al

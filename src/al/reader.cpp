@@ -1,0 +1,141 @@
+#include "al/reader.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace interop::al {
+
+namespace {
+
+class Reader {
+ public:
+  explicit Reader(const std::string& src) : src_(src) {}
+
+  std::vector<Value> read_all() {
+    std::vector<Value> out;
+    skip_space();
+    while (pos_ < src_.size()) {
+      out.push_back(read_form());
+      skip_space();
+    }
+    return out;
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == ';') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= src_.size()) throw AlError("unexpected end of input");
+    return src_[pos_];
+  }
+
+  Value read_form() {
+    skip_space();
+    char c = peek();
+    if (c == '(') return read_list();
+    if (c == ')') throw AlError("unexpected ')'");
+    if (c == '\'') {
+      ++pos_;
+      Value quoted = read_form();
+      return Value(Value::List{Value::sym("quote"), std::move(quoted)});
+    }
+    if (c == '"') return read_string();
+    return read_atom();
+  }
+
+  Value read_list() {
+    ++pos_;  // consume '('
+    Value::List items;
+    while (true) {
+      skip_space();
+      if (pos_ >= src_.size()) throw AlError("unterminated list");
+      if (src_[pos_] == ')') {
+        ++pos_;
+        return Value(std::move(items));
+      }
+      items.push_back(read_form());
+    }
+  }
+
+  Value read_string() {
+    ++pos_;  // consume opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= src_.size()) throw AlError("unterminated string");
+      char c = src_[pos_++];
+      if (c == '"') return Value(std::move(out));
+      if (c == '\\') {
+        if (pos_ >= src_.size()) throw AlError("dangling escape");
+        char e = src_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          default: throw AlError(std::string("unknown escape \\") + e);
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  static bool atom_char(char c) {
+    return !std::isspace(static_cast<unsigned char>(c)) && c != '(' &&
+           c != ')' && c != '"' && c != ';' && c != '\'';
+  }
+
+  Value read_atom() {
+    std::size_t start = pos_;
+    while (pos_ < src_.size() && atom_char(src_[pos_])) ++pos_;
+    std::string tok = src_.substr(start, pos_ - start);
+    if (tok == "nil") return Value::nil();
+    if (tok == "#t") return Value(true);
+    if (tok == "#f") return Value(false);
+    // integer?
+    {
+      char* end = nullptr;
+      long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (end && *end == '\0' && end != tok.c_str()) {
+        return Value(std::int64_t(v));
+      }
+    }
+    // double?
+    {
+      char* end = nullptr;
+      double v = std::strtod(tok.c_str(), &end);
+      if (end && *end == '\0' && end != tok.c_str()) return Value(v);
+    }
+    return Value::sym(std::move(tok));
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Value> read_all(const std::string& source) {
+  return Reader(source).read_all();
+}
+
+Value read_one(const std::string& source) {
+  std::vector<Value> forms = read_all(source);
+  if (forms.size() != 1)
+    throw AlError("expected exactly one form, got " +
+                  std::to_string(forms.size()));
+  return forms[0];
+}
+
+}  // namespace interop::al

@@ -1,0 +1,19 @@
+#pragma once
+// The a/L reader: text -> Value forms.
+
+#include <string>
+#include <vector>
+
+#include "al/value.hpp"
+
+namespace interop::al {
+
+/// Parse every top-level form in `source`. Supports integers, doubles,
+/// strings with \" \\ \n escapes, symbols, #t/#f, nil, lists, 'x quoting,
+/// and ; line comments. Throws AlError on malformed input.
+std::vector<Value> read_all(const std::string& source);
+
+/// Parse exactly one form; throws if there is not exactly one.
+Value read_one(const std::string& source);
+
+}  // namespace interop::al

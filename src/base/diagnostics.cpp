@@ -1,0 +1,67 @@
+#include "base/diagnostics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace interop::base {
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "note";
+}
+
+void DiagnosticEngine::report(Severity sev, std::string code,
+                              std::string message, DiagLocation loc) {
+  diags_.push_back(
+      {sev, std::move(code), std::move(message), std::move(loc)});
+}
+
+void DiagnosticEngine::note(std::string code, std::string message,
+                            DiagLocation loc) {
+  report(Severity::Note, std::move(code), std::move(message), std::move(loc));
+}
+
+void DiagnosticEngine::warn(std::string code, std::string message,
+                            DiagLocation loc) {
+  report(Severity::Warning, std::move(code), std::move(message),
+         std::move(loc));
+}
+
+void DiagnosticEngine::error(std::string code, std::string message,
+                             DiagLocation loc) {
+  report(Severity::Error, std::move(code), std::move(message),
+         std::move(loc));
+}
+
+std::size_t DiagnosticEngine::count(Severity s) const {
+  return std::count_if(diags_.begin(), diags_.end(),
+                       [&](const Diagnostic& d) { return d.severity == s; });
+}
+
+std::size_t DiagnosticEngine::count_code(const std::string& code) const {
+  return std::count_if(diags_.begin(), diags_.end(),
+                       [&](const Diagnostic& d) { return d.code == code; });
+}
+
+std::vector<Diagnostic> DiagnosticEngine::with_code(
+    const std::string& code) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags_)
+    if (d.code == code) out.push_back(d);
+  return out;
+}
+
+void DiagnosticEngine::print(std::ostream& os) const {
+  for (const Diagnostic& d : diags_) {
+    os << to_string(d.severity) << " [" << d.code << "] ";
+    if (!d.location.subsystem.empty()) os << d.location.subsystem << ": ";
+    if (!d.location.object.empty()) os << d.location.object << ": ";
+    os << d.message << '\n';
+  }
+}
+
+}  // namespace interop::base

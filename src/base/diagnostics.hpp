@@ -1,0 +1,67 @@
+#pragma once
+// Diagnostics: the shared "what went wrong, where, how bad" channel.
+//
+// The paper's thesis is that interoperability failures "arise unexpectedly"
+// and silently. Every translator, checker and analyzer in this repository
+// therefore reports through a DiagnosticEngine, so that lossy steps are
+// *visible* — a translation that drops a property emits a diagnostic instead
+// of silently succeeding.
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace interop::base {
+
+enum class Severity { Note, Warning, Error };
+
+std::string to_string(Severity s);
+
+/// Where a diagnostic points: a tool/object path such as
+/// "sheet2/inst U7/pin A<3>" plus the subsystem that raised it.
+struct DiagLocation {
+  std::string subsystem;  ///< e.g. "sch.migrate", "hdl.parse", "pnr.export"
+  std::string object;     ///< object path within that subsystem; may be empty
+
+  friend bool operator==(const DiagLocation&, const DiagLocation&) = default;
+};
+
+struct Diagnostic {
+  Severity severity = Severity::Note;
+  /// Stable machine-readable code, e.g. "bus-postfix-dropped".
+  std::string code;
+  std::string message;
+  DiagLocation location;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Collects diagnostics; cheap to pass by reference through a pipeline.
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, std::string code, std::string message,
+              DiagLocation loc = {});
+  void note(std::string code, std::string message, DiagLocation loc = {});
+  void warn(std::string code, std::string message, DiagLocation loc = {});
+  void error(std::string code, std::string message, DiagLocation loc = {});
+
+  const std::vector<Diagnostic>& all() const { return diags_; }
+  std::size_t count(Severity s) const;
+  /// Number of diagnostics carrying `code`.
+  std::size_t count_code(const std::string& code) const;
+  bool has_errors() const { return count(Severity::Error) > 0; }
+  void clear() { diags_.clear(); }
+
+  /// All diagnostics whose code equals `code`.
+  std::vector<Diagnostic> with_code(const std::string& code) const;
+
+  /// One-line-per-diagnostic human dump.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace interop::base

@@ -1,0 +1,195 @@
+#include "base/geometry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <ostream>
+
+namespace interop::base {
+
+std::int64_t manhattan(const Point& a, const Point& b) {
+  return std::llabs(a.x - b.x) + std::llabs(a.y - b.y);
+}
+
+Rect::Rect(Point a, Point b)
+    : lo_{std::min(a.x, b.x), std::min(a.y, b.y)},
+      hi_{std::max(a.x, b.x), std::max(a.y, b.y)} {}
+
+Rect Rect::from_xywh(std::int64_t x, std::int64_t y, std::int64_t w,
+                     std::int64_t h) {
+  return Rect({x, y}, {x + w, y + h});
+}
+
+bool Rect::contains(const Point& p) const {
+  return p.x >= lo_.x && p.x <= hi_.x && p.y >= lo_.y && p.y <= hi_.y;
+}
+
+bool Rect::contains(const Rect& r) const {
+  return contains(r.lo_) && contains(r.hi_);
+}
+
+bool Rect::overlaps(const Rect& r) const {
+  return lo_.x < r.hi_.x && r.lo_.x < hi_.x && lo_.y < r.hi_.y &&
+         r.lo_.y < hi_.y;
+}
+
+bool Rect::touches(const Rect& r) const {
+  return lo_.x <= r.hi_.x && r.lo_.x <= hi_.x && lo_.y <= r.hi_.y &&
+         r.lo_.y <= hi_.y;
+}
+
+Rect Rect::united(const Rect& r) const {
+  Rect out;
+  out.lo_ = {std::min(lo_.x, r.lo_.x), std::min(lo_.y, r.lo_.y)};
+  out.hi_ = {std::max(hi_.x, r.hi_.x), std::max(hi_.y, r.hi_.y)};
+  return out;
+}
+
+std::optional<Rect> Rect::intersected(const Rect& r) const {
+  Point lo{std::max(lo_.x, r.lo_.x), std::max(lo_.y, r.lo_.y)};
+  Point hi{std::min(hi_.x, r.hi_.x), std::min(hi_.y, r.hi_.y)};
+  if (lo.x > hi.x || lo.y > hi.y) return std::nullopt;
+  return Rect(lo, hi);
+}
+
+Rect Rect::inflated(std::int64_t d) const {
+  Point lo{lo_.x - d, lo_.y - d};
+  Point hi{hi_.x + d, hi_.y + d};
+  if (lo.x > hi.x) lo.x = hi.x = (lo_.x + hi_.x) / 2;
+  if (lo.y > hi.y) lo.y = hi.y = (lo_.y + hi_.y) / 2;
+  return Rect(lo, hi);
+}
+
+std::string to_string(Orient o) {
+  switch (o) {
+    case Orient::R0: return "R0";
+    case Orient::R90: return "R90";
+    case Orient::R180: return "R180";
+    case Orient::R270: return "R270";
+    case Orient::MY: return "MY";
+    case Orient::MYR90: return "MYR90";
+    case Orient::MX: return "MX";
+    case Orient::MXR90: return "MXR90";
+  }
+  return "R0";
+}
+
+std::optional<Orient> orient_from_string(const std::string& s) {
+  for (Orient o : kAllOrients)
+    if (to_string(o) == s) return o;
+  return std::nullopt;
+}
+
+bool is_mirrored(Orient o) {
+  switch (o) {
+    case Orient::MY:
+    case Orient::MYR90:
+    case Orient::MX:
+    case Orient::MXR90:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// 2x2 integer matrix for an orientation.
+struct Mat {
+  std::int64_t a, b, c, d;  // [a b; c d]
+};
+
+Mat matrix_of(Orient o) {
+  switch (o) {
+    case Orient::R0: return {1, 0, 0, 1};
+    case Orient::R90: return {0, -1, 1, 0};
+    case Orient::R180: return {-1, 0, 0, -1};
+    case Orient::R270: return {0, 1, -1, 0};
+    case Orient::MY: return {-1, 0, 0, 1};
+    case Orient::MYR90: return {0, 1, 1, 0};
+    case Orient::MX: return {1, 0, 0, -1};
+    case Orient::MXR90: return {0, -1, -1, 0};
+  }
+  return {1, 0, 0, 1};
+}
+
+Orient orient_of(const Mat& m) {
+  for (Orient o : kAllOrients) {
+    Mat c = matrix_of(o);
+    if (c.a == m.a && c.b == m.b && c.c == m.c && c.d == m.d) return o;
+  }
+  assert(false && "matrix is not one of the eight orientation codes");
+  return Orient::R0;
+}
+
+Mat multiply(const Mat& x, const Mat& y) {
+  return {x.a * y.a + x.b * y.c, x.a * y.b + x.b * y.d,
+          x.c * y.a + x.d * y.c, x.c * y.b + x.d * y.d};
+}
+
+Point apply_mat(const Mat& m, const Point& p) {
+  return {m.a * p.x + m.b * p.y, m.c * p.x + m.d * p.y};
+}
+
+}  // namespace
+
+Orient compose(Orient first, Orient second) {
+  return orient_of(multiply(matrix_of(second), matrix_of(first)));
+}
+
+Orient inverse(Orient o) {
+  for (Orient cand : kAllOrients)
+    if (compose(o, cand) == Orient::R0) return cand;
+  return Orient::R0;
+}
+
+Point Transform::apply(const Point& p) const {
+  return apply_mat(matrix_of(orient_), p) + offset_;
+}
+
+Rect Transform::apply(const Rect& r) const {
+  return Rect(apply(r.lo()), apply(r.hi()));
+}
+
+Transform Transform::operator*(const Transform& b) const {
+  // (a*b).apply(p) = a.apply(b.apply(p)) = A*(B*p + tb) + ta
+  Transform out;
+  out.orient_ = compose(b.orient_, orient_);
+  out.offset_ = apply_mat(matrix_of(orient_), b.offset_) + offset_;
+  return out;
+}
+
+Transform Transform::inverted() const {
+  Orient inv = inverse(orient_);
+  Point off = apply_mat(matrix_of(inv), -offset_);
+  return Transform(inv, off);
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo() << ' ' << r.hi() << ']';
+}
+
+std::ostream& operator<<(std::ostream& os, Orient o) {
+  return os << to_string(o);
+}
+
+bool Segment::contains(const Point& p) const {
+  if (horizontal()) {
+    return p.y == a.y && p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x);
+  }
+  if (vertical()) {
+    return p.x == a.x && p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+  }
+  return false;
+}
+
+std::array<Segment, 2> split_at(const Segment& seg, const Point& p) {
+  assert(seg.contains(p) && p != seg.a && p != seg.b);
+  return {Segment{seg.a, p}, Segment{p, seg.b}};
+}
+
+}  // namespace interop::base

@@ -1,0 +1,140 @@
+#pragma once
+// Integer geometry for schematic and physical-design data.
+//
+// All coordinates are in abstract "database units" (DBU). What a database
+// unit *means* (1/160 inch, 5 nm, ...) is the business of base/units.hpp;
+// geometry itself is exact integer arithmetic so that translations between
+// tool grids never accumulate rounding error.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace interop::base {
+
+/// A point in database units.
+struct Point {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  friend auto operator<=>(const Point&, const Point&) = default;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator-() const { return {-x, -y}; }
+};
+
+/// Manhattan distance between two points.
+std::int64_t manhattan(const Point& a, const Point& b);
+
+/// An axis-aligned rectangle, stored normalized (lo <= hi per axis).
+class Rect {
+ public:
+  Rect() = default;
+  Rect(Point a, Point b);
+
+  static Rect from_xywh(std::int64_t x, std::int64_t y, std::int64_t w,
+                        std::int64_t h);
+
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+  std::int64_t width() const { return hi_.x - lo_.x; }
+  std::int64_t height() const { return hi_.y - lo_.y; }
+  std::int64_t area() const { return width() * height(); }
+  Point center() const { return {(lo_.x + hi_.x) / 2, (lo_.y + hi_.y) / 2}; }
+  bool empty() const { return width() == 0 || height() == 0; }
+
+  bool contains(const Point& p) const;
+  bool contains(const Rect& r) const;
+  /// True when the two rectangles share interior area (not mere edge touch).
+  bool overlaps(const Rect& r) const;
+  /// True when the rectangles share at least an edge or corner point.
+  bool touches(const Rect& r) const;
+
+  /// Smallest rectangle covering both.
+  Rect united(const Rect& r) const;
+  /// Intersection; nullopt when the interiors are disjoint.
+  std::optional<Rect> intersected(const Rect& r) const;
+  /// Rectangle grown by `d` on every side (negative shrinks; collapses to
+  /// center when over-shrunk).
+  Rect inflated(std::int64_t d) const;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+/// The eight rotation/mirror codes used by schematic and layout tools.
+/// R* are counter-clockwise rotations; M* mirror about the Y axis first
+/// (i.e. negate x), then rotate.
+enum class Orient : std::uint8_t { R0, R90, R180, R270, MY, MYR90, MX, MXR90 };
+
+/// All eight codes, for sweep-style tests.
+constexpr std::array<Orient, 8> kAllOrients = {
+    Orient::R0, Orient::R90, Orient::R180, Orient::R270,
+    Orient::MY, Orient::MYR90, Orient::MX, Orient::MXR90};
+
+/// Short tool-style name ("R0", "MX", ...).
+std::string to_string(Orient o);
+/// Parse a name produced by to_string(). nullopt on unknown text.
+std::optional<Orient> orient_from_string(const std::string& s);
+
+/// True when the code involves a mirror (determinant -1).
+bool is_mirrored(Orient o);
+
+/// Compose two orientation codes: result = second ∘ first.
+Orient compose(Orient first, Orient second);
+/// The code that undoes `o`.
+Orient inverse(Orient o);
+
+/// A rigid transform: orient about the origin, then translate.
+/// This is the "origin offset and rotation code" of symbol-replacement maps.
+class Transform {
+ public:
+  Transform() = default;
+  Transform(Orient orient, Point offset) : orient_(orient), offset_(offset) {}
+
+  Orient orient() const { return orient_; }
+  const Point& offset() const { return offset_; }
+
+  Point apply(const Point& p) const;
+  Rect apply(const Rect& r) const;
+  /// Composition: (a * b).apply(p) == a.apply(b.apply(p)).
+  Transform operator*(const Transform& b) const;
+  Transform inverted() const;
+
+  friend bool operator==(const Transform&, const Transform&) = default;
+
+ private:
+  Orient orient_ = Orient::R0;
+  Point offset_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+std::ostream& operator<<(std::ostream& os, Orient o);
+
+/// An axis-parallel wire segment (schematic net segment / routed wire piece).
+struct Segment {
+  Point a;
+  Point b;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+
+  bool horizontal() const { return a.y == b.y; }
+  bool vertical() const { return a.x == b.x; }
+  std::int64_t length() const { return manhattan(a, b); }
+  /// True when `p` lies on the segment (segment must be axis-parallel).
+  bool contains(const Point& p) const;
+};
+
+/// Break `seg` at `p` (which must lie strictly inside); returns the two halves.
+std::array<Segment, 2> split_at(const Segment& seg, const Point& p);
+
+}  // namespace interop::base

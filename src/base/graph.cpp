@@ -1,0 +1,101 @@
+#include "base/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace interop::base {
+
+NodeId Digraph::add_node() {
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return static_cast<NodeId>(succ_.size() - 1);
+}
+
+bool Digraph::add_edge(NodeId a, NodeId b) {
+  assert(a < size() && b < size());
+  if (has_edge(a, b)) return false;
+  succ_[a].push_back(b);
+  pred_[b].push_back(a);
+  return true;
+}
+
+bool Digraph::has_edge(NodeId a, NodeId b) const {
+  assert(a < size() && b < size());
+  const auto& s = succ_[a];
+  return std::find(s.begin(), s.end(), b) != s.end();
+}
+
+std::size_t Digraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& s : succ_) n += s.size();
+  return n;
+}
+
+std::optional<std::vector<NodeId>> Digraph::topo_order() const {
+  std::vector<std::size_t> indeg(size());
+  for (NodeId n = 0; n < size(); ++n) indeg[n] = in_degree(n);
+  std::deque<NodeId> ready;
+  for (NodeId n = 0; n < size(); ++n)
+    if (indeg[n] == 0) ready.push_back(n);
+  std::vector<NodeId> order;
+  order.reserve(size());
+  while (!ready.empty()) {
+    NodeId n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (NodeId m : succ_[n])
+      if (--indeg[m] == 0) ready.push_back(m);
+  }
+  if (order.size() != size()) return std::nullopt;
+  return order;
+}
+
+namespace {
+
+std::vector<NodeId> bfs(const std::vector<std::vector<NodeId>>& adj,
+                        NodeId start) {
+  std::vector<bool> seen(adj.size(), false);
+  std::vector<NodeId> out;
+  std::deque<NodeId> q{start};
+  seen[start] = true;
+  while (!q.empty()) {
+    NodeId n = q.front();
+    q.pop_front();
+    out.push_back(n);
+    for (NodeId m : adj[n])
+      if (!seen[m]) {
+        seen[m] = true;
+        q.push_back(m);
+      }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> Digraph::reachable_from(NodeId start) const {
+  return bfs(succ_, start);
+}
+
+std::vector<NodeId> Digraph::reaching(NodeId end) const {
+  return bfs(pred_, end);
+}
+
+Digraph Digraph::induced(const std::vector<bool>& keep,
+                         std::vector<std::optional<NodeId>>* remap) const {
+  assert(keep.size() == size());
+  std::vector<std::optional<NodeId>> map(size());
+  Digraph out;
+  for (NodeId n = 0; n < size(); ++n)
+    if (keep[n]) map[n] = out.add_node();
+  for (NodeId n = 0; n < size(); ++n) {
+    if (!map[n]) continue;
+    for (NodeId m : succ_[n])
+      if (map[m]) out.add_edge(*map[n], *map[m]);
+  }
+  if (remap) *remap = std::move(map);
+  return out;
+}
+
+}  // namespace interop::base

@@ -1,0 +1,53 @@
+#pragma once
+// A small directed graph keyed by dense node ids, shared by the workflow
+// engine (step dependencies) and the methodology core (task graphs,
+// data/control-flow diagrams).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace interop::base {
+
+using NodeId = std::uint32_t;
+
+/// Directed graph over nodes 0..size()-1 with parallel-edge suppression.
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t n) : succ_(n), pred_(n) {}
+
+  NodeId add_node();
+  std::size_t size() const { return succ_.size(); }
+
+  /// Add edge a -> b. Duplicate edges are ignored. Returns true when added.
+  bool add_edge(NodeId a, NodeId b);
+  bool has_edge(NodeId a, NodeId b) const;
+  std::size_t edge_count() const;
+
+  const std::vector<NodeId>& successors(NodeId n) const { return succ_[n]; }
+  const std::vector<NodeId>& predecessors(NodeId n) const { return pred_[n]; }
+  std::size_t in_degree(NodeId n) const { return pred_[n].size(); }
+  std::size_t out_degree(NodeId n) const { return succ_[n].size(); }
+
+  /// Topological order; nullopt when the graph has a cycle.
+  std::optional<std::vector<NodeId>> topo_order() const;
+  bool has_cycle() const { return !topo_order().has_value(); }
+
+  /// Every node reachable from `start` (including `start`).
+  std::vector<NodeId> reachable_from(NodeId start) const;
+  /// Every node from which `end` is reachable (including `end`).
+  std::vector<NodeId> reaching(NodeId end) const;
+
+  /// The subgraph induced by `keep` (others removed); `remap[i]` gives the
+  /// new id of old node i, or nullopt when dropped.
+  Digraph induced(const std::vector<bool>& keep,
+                  std::vector<std::optional<NodeId>>* remap = nullptr) const;
+
+ private:
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+};
+
+}  // namespace interop::base

@@ -1,0 +1,53 @@
+#include "base/property.hpp"
+
+#include <sstream>
+
+namespace interop::base {
+
+std::string PropertyValue::text() const {
+  if (is_string()) return as_string();
+  if (is_int()) return std::to_string(as_int());
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_double()) {
+    std::ostringstream os;
+    os << as_double();
+    return os.str();
+  }
+  std::string out;
+  for (const PropertyValue& item : as_list()) {
+    if (!out.empty()) out += ' ';
+    out += item.text();
+  }
+  return out;
+}
+
+std::optional<PropertyValue> PropertySet::get(const std::string& name) const {
+  auto it = props_.find(name);
+  if (it == props_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string PropertySet::get_text(const std::string& name,
+                                  const std::string& fallback) const {
+  auto it = props_.find(name);
+  return it == props_.end() ? fallback : it->second.text();
+}
+
+void PropertySet::set(const std::string& name, PropertyValue value) {
+  props_[name] = std::move(value);
+}
+
+bool PropertySet::erase(const std::string& name) {
+  return props_.erase(name) != 0;
+}
+
+bool PropertySet::rename(const std::string& from, const std::string& to) {
+  auto it = props_.find(from);
+  if (it == props_.end() || props_.count(to) != 0) return false;
+  PropertyValue v = std::move(it->second);
+  props_.erase(it);
+  props_.emplace(to, std::move(v));
+  return true;
+}
+
+}  // namespace interop::base

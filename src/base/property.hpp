@@ -1,0 +1,85 @@
+#pragma once
+// Properties: the name/value annotations every CAD object carries.
+//
+// Section 2 of the paper is largely about *property mapping* between tools —
+// standard property renames, value rewrites, and non-standard analog
+// properties that must be reformatted from one property into several. This
+// module is the shared representation those rules operate on.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace interop::base {
+
+/// A property value. CAD tools store strings, numbers, booleans and lists;
+/// we keep the variant closed and small.
+class PropertyValue {
+ public:
+  using List = std::vector<PropertyValue>;
+
+  PropertyValue() : v_(std::string{}) {}
+  PropertyValue(std::string s) : v_(std::move(s)) {}           // NOLINT
+  PropertyValue(const char* s) : v_(std::string(s)) {}         // NOLINT
+  PropertyValue(std::int64_t i) : v_(i) {}                     // NOLINT
+  PropertyValue(int i) : v_(std::int64_t(i)) {}                // NOLINT
+  PropertyValue(double d) : v_(d) {}                           // NOLINT
+  PropertyValue(bool b) : v_(b) {}                             // NOLINT
+  PropertyValue(List l) : v_(std::move(l)) {}                  // NOLINT
+
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_list() const { return std::holds_alternative<List>(v_); }
+
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  bool as_bool() const { return std::get<bool>(v_); }
+  const List& as_list() const { return std::get<List>(v_); }
+
+  /// Render the value as a tool-neutral string ("1.5k" stays "1.5k";
+  /// lists render as space-joined items).
+  std::string text() const;
+
+  friend bool operator==(const PropertyValue&, const PropertyValue&) = default;
+
+ private:
+  std::variant<std::string, std::int64_t, double, bool, List> v_;
+};
+
+/// An ordered name -> value map. Iteration order is name order, so the same
+/// set always serializes the same way (deterministic migration output).
+class PropertySet {
+ public:
+  using Map = std::map<std::string, PropertyValue>;
+
+  bool has(const std::string& name) const { return props_.count(name) != 0; }
+  /// Value of `name`, or nullopt.
+  std::optional<PropertyValue> get(const std::string& name) const;
+  /// String text of `name`, or `fallback`.
+  std::string get_text(const std::string& name,
+                       const std::string& fallback = {}) const;
+  void set(const std::string& name, PropertyValue value);
+  /// Remove `name`; returns true when it existed.
+  bool erase(const std::string& name);
+  /// Rename `from` to `to`, keeping the value. Returns false when `from`
+  /// is absent or `to` already exists.
+  bool rename(const std::string& from, const std::string& to);
+
+  std::size_t size() const { return props_.size(); }
+  bool empty() const { return props_.empty(); }
+  Map::const_iterator begin() const { return props_.begin(); }
+  Map::const_iterator end() const { return props_.end(); }
+
+  friend bool operator==(const PropertySet&, const PropertySet&) = default;
+
+ private:
+  Map props_;
+};
+
+}  // namespace interop::base

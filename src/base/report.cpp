@@ -1,0 +1,70 @@
+#include "base/report.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+#include "base/strings.hpp"
+
+namespace interop::base {
+
+ReportTable::ReportTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void ReportTable::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::num(double v, int precision) {
+  return strformat("%.*f", precision, v);
+}
+
+std::string ReportTable::num(std::int64_t v) { return std::to_string(v); }
+
+std::string ReportTable::pct(double fraction, int precision) {
+  return strformat("%.*f%%", precision, fraction * 100.0);
+}
+
+void ReportTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto line = [&](char fill) {
+    os << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << fill;
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      for (std::size_t i = cells[c].size(); i < widths[c]; ++i) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  line('-');
+  emit(columns_);
+  line('=');
+  for (const auto& row : rows_) emit(row);
+  line('-');
+}
+
+std::string ReportTable::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace interop::base

@@ -1,0 +1,40 @@
+#pragma once
+// ReportTable: the fixed-width tables the bench binaries print.
+//
+// Every experiment in EXPERIMENTS.md regenerates its numbers through one of
+// these, so that bench output is uniform and diffable across runs.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace interop::base {
+
+class ReportTable {
+ public:
+  ReportTable(std::string title, std::vector<std::string> columns);
+
+  /// Append a row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into cells.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+  static std::string pct(double fraction, int precision = 1);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::string& cell(std::size_t row, std::size_t col) const {
+    return rows_[row][col];
+  }
+
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace interop::base

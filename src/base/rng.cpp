@@ -1,0 +1,46 @@
+#include "base/rng.hpp"
+
+#include <cassert>
+
+namespace interop::base {
+
+std::uint64_t Rng::next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range (lo = INT64_MIN, hi = INT64_MAX).
+  if (span == 0) return static_cast<std::int64_t>(next());
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::uniform01() {
+  return double(next() >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(next() % n);
+}
+
+std::string Rng::identifier(std::size_t len) {
+  static const char kFirst[] = "abcdefghijklmnopqrstuvwxyz";
+  static const char kRest[] = "abcdefghijklmnopqrstuvwxyz0123456789_";
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i == 0)
+      out += kFirst[index(sizeof(kFirst) - 1)];
+    else
+      out += kRest[index(sizeof(kRest) - 1)];
+  }
+  return out;
+}
+
+}  // namespace interop::base

@@ -1,0 +1,55 @@
+#pragma once
+// Deterministic pseudo-random source for workload generators.
+//
+// Experiments must be reproducible run-to-run and machine-to-machine, so we
+// carry our own splitmix64-based generator instead of std::mt19937's
+// distribution objects (whose outputs are not pinned by the standard).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace interop::base {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Pick an index in [0, n); requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Pick a random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Lower-case identifier of `len` characters starting with a letter.
+  std::string identifier(std::size_t len);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace interop::base

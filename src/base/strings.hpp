@@ -1,0 +1,26 @@
+#pragma once
+// Small string utilities shared across the libraries.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace interop::base {
+
+/// Split on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+/// Split on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string trim(std::string_view s);
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+/// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace interop::base

@@ -1,0 +1,98 @@
+#include "base/units.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace interop::base {
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  if (den == 0) throw std::invalid_argument("Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  std::int64_t g = std::gcd(num < 0 ? -num : num, den);
+  if (g == 0) g = 1;
+  num_ = num / g;
+  den_ = den / g;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw std::domain_error("Rational: divide by zero");
+  return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+Rational Rational::reciprocal() const {
+  if (num_ == 0) throw std::domain_error("Rational: reciprocal of zero");
+  return Rational(den_, num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return num_ * o.den_ < o.num_ * den_;
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.str();
+}
+
+Rational Grid::position_of(std::int64_t units) const {
+  return pitch_ * Rational(units);
+}
+
+std::optional<std::int64_t> Grid::units_of(const Rational& pos) const {
+  Rational u = pos / pitch_;
+  if (!u.is_integer()) return std::nullopt;
+  return u.num();
+}
+
+std::int64_t Grid::snap(const Rational& pos) const {
+  Rational u = pos / pitch_;
+  // floor division, then round-half-up.
+  std::int64_t num = u.num();
+  std::int64_t den = u.den();
+  std::int64_t q = num / den;
+  std::int64_t r = num % den;
+  if (r < 0) {
+    q -= 1;
+    r += den;
+  }
+  // fraction r/den in [0,1): round up when >= 1/2.
+  return (2 * r >= den) ? q + 1 : q;
+}
+
+Rational scale_factor(const Grid& from, const Grid& to) {
+  return from.pitch() / to.pitch();
+}
+
+std::optional<std::int64_t> rescale_exact(std::int64_t units, const Grid& from,
+                                          const Grid& to) {
+  Rational scaled = Rational(units) * scale_factor(from, to);
+  if (!scaled.is_integer()) return std::nullopt;
+  return scaled.num();
+}
+
+std::int64_t rescale_snapped(std::int64_t units, const Grid& from,
+                             const Grid& to) {
+  return to.snap(from.position_of(units));
+}
+
+}  // namespace interop::base

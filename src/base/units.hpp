@@ -1,0 +1,91 @@
+#pragma once
+// Exact unit and grid arithmetic.
+//
+// The paper's very first migration issue is *scaling*: Viewlogic symbols sat
+// on a 1/10-inch grid with 2/10-inch pin spacing, Composer libraries on a
+// 1/16-inch grid with 2/16-inch pin spacing, and schematics had to be scaled
+// between them. Doing that with floating point invites off-grid pins; we do
+// it with exact rationals over integer database units instead.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace interop::base {
+
+/// An exact rational number, always stored normalized (gcd 1, positive
+/// denominator). Arithmetic asserts on overflow-free ranges typical of
+/// grid math; inputs are small by construction.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(std::int64_t num, std::int64_t den);
+  /// Whole number.
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT implicit
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational reciprocal() const;
+
+  friend bool operator==(const Rational&, const Rational&) = default;
+  bool operator<(const Rational& o) const;
+
+  bool is_integer() const { return den_ == 1; }
+  double to_double() const { return double(num_) / double(den_); }
+  std::string str() const;
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// A drawing grid: the pitch of legal coordinates, expressed as a rational
+/// number of inches (schematics) or microns (layout). Coordinates in a
+/// schematic database are integer multiples of the grid pitch.
+class Grid {
+ public:
+  Grid() = default;
+  /// Grid whose pitch is `pitch` (e.g. 1/10 inch => Rational(1,10)).
+  explicit Grid(Rational pitch) : pitch_(pitch) {}
+
+  const Rational& pitch() const { return pitch_; }
+
+  /// Physical position of grid coordinate `units`.
+  Rational position_of(std::int64_t units) const;
+
+  /// Exact grid coordinate of a physical position, if it is on-grid.
+  std::optional<std::int64_t> units_of(const Rational& pos) const;
+
+  /// Nearest grid coordinate to a physical position (ties round up).
+  std::int64_t snap(const Rational& pos) const;
+
+  friend bool operator==(const Grid&, const Grid&) = default;
+
+ private:
+  Rational pitch_{1};
+};
+
+/// The exact scale factor that converts coordinates on `from` to coordinates
+/// on `to` such that physical positions are preserved:
+///   to_units = from_units * scale_factor(from, to)
+Rational scale_factor(const Grid& from, const Grid& to);
+
+/// Rescale a coordinate between grids. Returns nullopt when the result is
+/// off-grid (i.e. not an integer) — the caller must decide whether to snap
+/// (and report a cosmetic diagnostic) or reject.
+std::optional<std::int64_t> rescale_exact(std::int64_t units, const Grid& from,
+                                          const Grid& to);
+
+/// Rescale with snapping to the nearest target-grid coordinate.
+std::int64_t rescale_snapped(std::int64_t units, const Grid& from,
+                             const Grid& to);
+
+}  // namespace interop::base

@@ -1,0 +1,142 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace interop::core {
+
+std::string to_string(IssueKind k) {
+  switch (k) {
+    case IssueKind::Performance: return "performance";
+    case IssueKind::NameMapping: return "name-mapping";
+    case IssueKind::StructureMapping: return "structure-mapping";
+    case IssueKind::SemanticInterpretation: return "semantic-interpretation";
+    case IssueKind::ToolControl: return "tool-control";
+  }
+  return "?";
+}
+
+CoverageReport analyze_coverage(const TaskGraph& tasks,
+                                const ToolLibrary& tools,
+                                const TaskToolMap& map) {
+  CoverageReport report;
+  for (const Task& task : tasks.tasks()) {
+    const std::vector<std::string>* assigned = map.tools_for(task.id);
+    if (!assigned || assigned->empty()) {
+      report.holes.push_back(task.id);
+      continue;
+    }
+    if (assigned->size() > 1) report.overlaps.push_back(task.id);
+    for (const std::string& tool_name : *assigned) {
+      const ToolModel* tool = tools.find(tool_name);
+      if (!tool) {
+        report.port_gaps.push_back(task.id + " (unknown tool " + tool_name +
+                                   ")");
+        continue;
+      }
+      // A tool always accepts data it produced itself (and vice versa):
+      // intra-tool transfers need no external port. A gap exists only when
+      // the tool has no port of either direction for the kind.
+      for (const std::string& kind : task.inputs) {
+        if (!tool->input_for(kind) && !tool->output_for(kind))
+          report.port_gaps.push_back(task.id + ": " + tool_name +
+                                     " lacks input port " + kind);
+      }
+      for (const std::string& kind : task.outputs) {
+        if (!tool->output_for(kind) && !tool->input_for(kind))
+          report.port_gaps.push_back(task.id + ": " + tool_name +
+                                     " lacks output port " + kind);
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// The first assigned tool for a task (the typical case); nullptr when
+/// unassigned.
+const ToolModel* tool_of(const ToolLibrary& tools, const TaskToolMap& map,
+                         const std::string& task) {
+  const std::vector<std::string>* assigned = map.tools_for(task);
+  if (!assigned || assigned->empty()) return nullptr;
+  return tools.find(assigned->front());
+}
+
+}  // namespace
+
+std::vector<InteropIssue> analyze_flow(const TaskGraph& tasks,
+                                       const ToolLibrary& tools,
+                                       const TaskToolMap& map) {
+  std::vector<InteropIssue> issues;
+  std::set<std::pair<std::string, std::string>> control_checked;
+
+  const base::Digraph& g = tasks.graph();
+  for (base::NodeId p = 0; p < g.size(); ++p) {
+    const Task& producer = tasks.tasks()[p];
+    const ToolModel* ptool = tool_of(tools, map, producer.id);
+    for (base::NodeId c : g.successors(p)) {
+      const Task& consumer = tasks.tasks()[c];
+      const ToolModel* ctool = tool_of(tools, map, consumer.id);
+      if (!ptool || !ctool) continue;
+      if (ptool == ctool) continue;  // same tool: internal transfer
+
+      // The kinds flowing along this edge.
+      for (const std::string& kind : producer.outputs) {
+        if (std::find(consumer.inputs.begin(), consumer.inputs.end(), kind) ==
+            consumer.inputs.end())
+          continue;
+        const DataPort* out = ptool->output_for(kind);
+        const DataPort* in = ctool->input_for(kind);
+        if (!out || !in) continue;  // port gap, reported by coverage
+
+        auto issue = [&](IssueKind k, std::string detail) {
+          issues.push_back({k, producer.id, consumer.id, ptool->name,
+                            ctool->name, kind, std::move(detail)});
+        };
+        if (out->persistence != in->persistence)
+          issue(IssueKind::Performance,
+                out->persistence + " -> " + in->persistence +
+                    " conversion on every pass");
+        if (out->namespace_style != in->namespace_style)
+          issue(IssueKind::NameMapping,
+                out->namespace_style + " -> " + in->namespace_style);
+        if (out->structural != in->structural)
+          issue(IssueKind::StructureMapping,
+                out->structural + " -> " + in->structural);
+        if (out->behavioral != in->behavioral)
+          issue(IssueKind::SemanticInterpretation,
+                out->behavioral + " -> " + in->behavioral);
+      }
+
+      // Control: once per ordered tool pair that exchanges data.
+      auto key = std::make_pair(ptool->name, ctool->name);
+      if (!control_checked.count(key)) {
+        control_checked.insert(key);
+        bool shared = false;
+        for (const ControlInterface& c1 : ptool->controls)
+          for (const ControlInterface& c2 : ctool->controls)
+            if (c1.name == c2.name) shared = true;
+        if (!shared)
+          issues.push_back({IssueKind::ToolControl, producer.id, consumer.id,
+                            ptool->name, ctool->name, "",
+                            "no common control interface"});
+      }
+    }
+  }
+  return issues;
+}
+
+FlowCost flow_cost(const TaskGraph& tasks, const ToolLibrary& tools,
+                   const TaskToolMap& map, double issue_penalty) {
+  FlowCost cost;
+  for (const Task& task : tasks.tasks()) {
+    const ToolModel* tool = tool_of(tools, map, task.id);
+    if (tool) cost.invocation += tool->invocation_cost;
+  }
+  cost.interop_penalty =
+      issue_penalty * double(analyze_flow(tasks, tools, map).size());
+  return cost;
+}
+
+}  // namespace interop::core

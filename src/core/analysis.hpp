@@ -1,0 +1,77 @@
+#pragma once
+// §6 system analysis: task-to-tool mapping, hole/overlap detection, and the
+// data/control-flow analysis that "clearly identifies the classic
+// interoperability problems (performance, name mapping, structure mapping,
+// semantic interpretation errors, and tool control)".
+
+#include "core/scenario.hpp"
+#include "core/toolmodel.hpp"
+
+namespace interop::core {
+
+/// Task id -> tools performing it (normally one; several = overlap).
+struct TaskToolMap {
+  std::map<std::string, std::vector<std::string>> assignment;
+
+  void assign(const std::string& task, const std::string& tool) {
+    assignment[task].push_back(tool);
+  }
+  const std::vector<std::string>* tools_for(const std::string& task) const {
+    auto it = assignment.find(task);
+    return it == assignment.end() ? nullptr : &it->second;
+  }
+};
+
+/// First analysis result: functionality holes and overlaps ("typically the
+/// first point where holes and overlaps of functionality are identified").
+struct CoverageReport {
+  std::vector<std::string> holes;     ///< tasks no tool performs
+  std::vector<std::string> overlaps;  ///< tasks several tools perform
+  /// Tasks whose assigned tool lacks a port for one of the task's kinds.
+  std::vector<std::string> port_gaps;
+};
+
+CoverageReport analyze_coverage(const TaskGraph& tasks,
+                                const ToolLibrary& tools,
+                                const TaskToolMap& map);
+
+/// The five classic interoperability problems.
+enum class IssueKind {
+  Performance,             ///< persistence mismatch: translate on every pass
+  NameMapping,             ///< namespace style mismatch
+  StructureMapping,        ///< hierarchical vs flat
+  SemanticInterpretation,  ///< behavioral semantics mismatch
+  ToolControl,             ///< no shared control interface along the flow
+};
+
+std::string to_string(IssueKind k);
+
+struct InteropIssue {
+  IssueKind kind;
+  std::string producer_task;
+  std::string consumer_task;
+  std::string producer_tool;
+  std::string consumer_tool;
+  std::string info_kind;   ///< data issues: the kind crossing the edge
+  std::string detail;
+};
+
+/// Walk every data edge of the task graph under the mapping and report the
+/// issues. Control issues are reported once per tool pair that exchanges
+/// data but shares no control interface.
+std::vector<InteropIssue> analyze_flow(const TaskGraph& tasks,
+                                       const ToolLibrary& tools,
+                                       const TaskToolMap& map);
+
+/// The §6 cost model used by the optimization step: tool invocation costs
+/// plus a fixed penalty per unresolved interoperability issue.
+struct FlowCost {
+  double invocation = 0.0;
+  double interop_penalty = 0.0;
+  double total() const { return invocation + interop_penalty; }
+};
+
+FlowCost flow_cost(const TaskGraph& tasks, const ToolLibrary& tools,
+                   const TaskToolMap& map, double issue_penalty = 5.0);
+
+}  // namespace interop::core

@@ -1,0 +1,26 @@
+#pragma once
+// §6 meets §5: turn an analyzed methodology (task graph + task-to-tool map)
+// into an executable workflow template. Each task becomes a step whose
+// start dependencies are the task graph's data edges and whose action
+// "runs" the mapped tool: it reads the task's input artifacts and writes
+// its outputs, so the workflow engine's triggers and rework machinery
+// operate on the real information-flow structure of the methodology.
+
+#include "core/analysis.hpp"
+#include "workflow/flow.hpp"
+
+namespace interop::core {
+
+struct FlowExportOptions {
+  /// Steps for tasks whose tool is missing from the map fail at run time
+  /// (true) or are exported with a no-op action (false).
+  bool fail_on_unmapped = true;
+};
+
+/// Build a workflow template from `tasks`. Step names are task ids; data
+/// paths are information kinds. The template validates iff the task graph
+/// is a DAG.
+wf::FlowTemplate export_flow(const TaskGraph& tasks, const TaskToolMap& map,
+                             const FlowExportOptions& options = {});
+
+}  // namespace interop::core

@@ -1,0 +1,569 @@
+#include "core/methodology.hpp"
+
+namespace interop::core {
+
+const std::vector<std::string>& methodology_blocks() {
+  static const std::vector<std::string> blocks = {
+      "fetch", "decode", "alu", "regfile", "lsu", "cachectl", "busif",
+      "dbg"};
+  return blocks;
+}
+
+const Scenario* CellBasedMethodology::scenario(const std::string& name) const {
+  for (const Scenario& sc : scenarios)
+    if (sc.name == name) return &sc;
+  return nullptr;
+}
+
+namespace {
+
+Task task(std::string id, std::string phase, TaskCategory cat,
+          std::vector<std::string> inputs, std::vector<std::string> outputs,
+          std::string description = "") {
+  Task t;
+  t.id = std::move(id);
+  t.phase = std::move(phase);
+  t.category = cat;
+  t.inputs = std::move(inputs);
+  t.outputs = std::move(outputs);
+  t.description = description.empty() ? t.id : std::move(description);
+  return t;
+}
+
+DataPort port(std::string kind, std::string persistence,
+              std::string behavioral = "na", std::string structural = "hier",
+              std::string ns = "long") {
+  return {std::move(kind), std::move(persistence), std::move(behavioral),
+          std::move(structural), std::move(ns)};
+}
+
+}  // namespace
+
+CellBasedMethodology make_cell_based_methodology() {
+  CellBasedMethodology m;
+  TaskGraph& g = m.tasks;
+  const auto C = TaskCategory::Creation;
+  const auto A = TaskCategory::Analysis;
+  const auto V = TaskCategory::Validation;
+  const auto M = TaskCategory::Management;
+
+  // ------------------------------------------------ specification (8)
+  g.add(task("spec.market_reqs", "spec", C, {}, {"market-reqs"}));
+  g.add(task("spec.product_spec", "spec", C, {"market-reqs"},
+             {"product-spec"}));
+  g.add(task("spec.review_product", "spec", V, {"product-spec"},
+             {"product-spec-signoff"}));
+  g.add(task("spec.arch_spec", "spec", C,
+             {"product-spec", "product-spec-signoff"}, {"arch-spec"}));
+  g.add(task("spec.perf_model", "spec", A, {"arch-spec"}, {"perf-estimate"}));
+  g.add(task("spec.power_budget", "spec", A, {"arch-spec"},
+             {"power-budget"}));
+  g.add(task("spec.review_arch", "spec", V, {"arch-spec", "perf-estimate"},
+             {"arch-signoff"}));
+  g.add(task("spec.verif_plan", "spec", C, {"arch-spec"}, {"verif-plan"}));
+
+  // ---------------------------------------- technology / library (8)
+  g.add(task("lib.select_process", "library", M, {"arch-signoff"},
+             {"process-choice"}));
+  g.add(task("lib.cell_library", "library", C, {"process-choice"},
+             {"cell-library"}));
+  g.add(task("lib.char_timing", "library", A, {"cell-library"},
+             {"timing-library"}));
+  g.add(task("lib.char_power", "library", A, {"cell-library"},
+             {"power-library"}));
+  g.add(task("lib.sim_models", "library", C, {"cell-library"},
+             {"sim-models"}));
+  g.add(task("lib.lef_abstracts", "library", C, {"cell-library"},
+             {"layout-abstracts"}));
+  g.add(task("lib.drc_deck", "library", C, {"process-choice"}, {"drc-deck"}));
+  g.add(task("lib.lvs_deck", "library", C, {"process-choice"}, {"lvs-deck"}));
+
+  // ------------------------------------------------ partitioning (4)
+  g.add(task("part.block_plan", "partition", C, {"arch-signoff"},
+             {"block-plan"}));
+  g.add(task("part.interfaces", "partition", C, {"block-plan"},
+             {"interface-spec"}));
+  g.add(task("part.budgets", "partition", A,
+             {"block-plan", "power-budget", "perf-estimate"},
+             {"block-budgets"}));
+  g.add(task("part.review", "partition", V,
+             {"block-plan", "interface-spec", "block-budgets"},
+             {"partition-signoff"}));
+
+  // --------------------------------------- per-block front end (12 x 8)
+  for (const std::string& b : methodology_blocks()) {
+    auto k = [&b](const std::string& kind) { return kind + ":" + b; };
+    g.add(task("rtl.write." + b, "rtl", C,
+               {"interface-spec", "partition-signoff"}, {k("rtl")}));
+    g.add(task("rtl.lint." + b, "rtl", A, {k("rtl")}, {k("lint-report")}));
+    g.add(task("rtl.review." + b, "rtl", V, {k("rtl"), k("lint-report")},
+               {k("rtl-reviewed")}));
+    g.add(task("tb.write." + b, "verify", C, {"verif-plan", k("rtl")},
+               {k("testbench")}));
+    g.add(task("sim.run." + b, "verify", V,
+               {k("rtl-reviewed"), k("testbench"), "sim-models"},
+               {k("sim-results")}));
+    g.add(task("sim.coverage." + b, "verify", A, {k("sim-results")},
+               {k("coverage-report")}));
+    g.add(task("syn.constraints." + b, "synthesis", C,
+               {"block-budgets", k("rtl-reviewed")}, {k("constraints")}));
+    g.add(task("syn.compile." + b, "synthesis", C,
+               {k("rtl-reviewed"), k("constraints"), "timing-library"},
+               {k("netlist")}));
+    g.add(task("syn.postsim." + b, "synthesis", V,
+               {k("netlist"), k("testbench"), "sim-models"},
+               {k("gate-sim-results")}));
+    g.add(task("dft.insert." + b, "dft", C, {k("netlist")},
+               {k("scan-netlist")}));
+    g.add(task("dft.atpg." + b, "dft", A, {k("scan-netlist")},
+               {k("test-vectors")}));
+    g.add(task("sta.block." + b, "timing", A,
+               {k("scan-netlist"), k("constraints"), "timing-library"},
+               {k("timing-report")}));
+  }
+
+  // --------------------------------------------- chip integration (8)
+  {
+    std::vector<std::string> all_reviewed;
+    for (const std::string& b : methodology_blocks())
+      all_reviewed.push_back("rtl-reviewed:" + b);
+    std::vector<std::string> top_in = all_reviewed;
+    top_in.push_back("interface-spec");
+    g.add(task("int.top_rtl", "integrate", C, top_in, {"top-rtl"}));
+  }
+  g.add(task("int.top_tb", "integrate", C, {"verif-plan", "top-rtl"},
+             {"top-testbench"}));
+  g.add(task("int.chip_sim", "integrate", V,
+             {"top-rtl", "top-testbench", "sim-models"},
+             {"chip-sim-results"}));
+  g.add(task("int.chip_coverage", "integrate", A, {"chip-sim-results"},
+             {"chip-coverage"}));
+  g.add(task("int.regressions", "integrate", V,
+             {"top-rtl", "top-testbench"}, {"regression-status"}));
+  {
+    std::vector<std::string> nets;
+    for (const std::string& b : methodology_blocks())
+      nets.push_back("scan-netlist:" + b);
+    nets.push_back("top-rtl");
+    g.add(task("int.top_netlist", "integrate", C, nets, {"top-netlist"}));
+  }
+  g.add(task("int.top_sta", "integrate", A,
+             {"top-netlist", "timing-library"}, {"top-timing-report"}));
+  {
+    std::vector<std::string> verif_in = {"chip-sim-results"};
+    for (const std::string& b : methodology_blocks()) {
+      verif_in.push_back("coverage-report:" + b);
+      verif_in.push_back("gate-sim-results:" + b);
+    }
+    g.add(task("int.verif_rollup", "integrate", A, verif_in,
+               {"block-verif-status"}));
+  }
+  {
+    std::vector<std::string> timing_in;
+    for (const std::string& b : methodology_blocks()) {
+      timing_in.push_back("timing-report:" + b);
+      timing_in.push_back("post-route-timing:" + b);
+    }
+    g.add(task("int.timing_rollup", "integrate", A, timing_in,
+               {"timing-rollup"}));
+  }
+  g.add(task("int.signoff_funct", "integrate", V,
+             {"chip-sim-results", "chip-coverage", "regression-status",
+              "block-verif-status"},
+             {"functional-signoff"}));
+
+  // -------------------------------------------------- floorplan (8)
+  g.add(task("fp.die_plan", "floorplan", C,
+             {"top-netlist", "layout-abstracts"}, {"die-plan"}));
+  g.add(task("fp.block_shapes", "floorplan", C, {"die-plan"},
+             {"block-shapes"}));
+  g.add(task("fp.pin_assign", "floorplan", C,
+             {"block-shapes", "interface-spec"}, {"pin-assignments"}));
+  g.add(task("fp.power_grid", "floorplan", C, {"die-plan", "power-budget"},
+             {"power-grid-plan"}));
+  g.add(task("fp.clock_plan", "floorplan", C, {"die-plan"}, {"clock-plan"}));
+  g.add(task("fp.keepouts", "floorplan", C, {"die-plan"}, {"keepout-plan"}));
+  g.add(task("fp.route_estimate", "floorplan", A,
+             {"block-shapes", "pin-assignments"}, {"congestion-estimate"}));
+  g.add(task("fp.review", "floorplan", V,
+             {"block-shapes", "power-grid-plan", "congestion-estimate"},
+             {"floorplan-signoff"}));
+
+  // ------------------------------------------- per-block back end (4 x 8)
+  for (const std::string& b : methodology_blocks()) {
+    auto k = [&b](const std::string& kind) { return kind + ":" + b; };
+    g.add(task("pr.place." + b, "pnr", C,
+               {k("scan-netlist"), "block-shapes", "floorplan-signoff",
+                "layout-abstracts"},
+               {k("placement")}));
+    g.add(task("pr.route." + b, "pnr", C,
+               {k("placement"), "keepout-plan", "clock-plan"},
+               {k("routed-block")}));
+    g.add(task("pr.extract." + b, "pnr", A, {k("routed-block")},
+               {k("parasitics")}));
+    g.add(task("pr.post_sta." + b, "pnr", A,
+               {k("parasitics"), k("constraints"), "timing-library"},
+               {k("post-route-timing")}));
+  }
+
+  // ------------------------------------------------ chip assembly (8)
+  {
+    std::vector<std::string> routed;
+    for (const std::string& b : methodology_blocks())
+      routed.push_back("routed-block:" + b);
+    routed.push_back("power-grid-plan");
+    g.add(task("asm.merge", "assembly", C, routed, {"chip-layout"}));
+  }
+  g.add(task("asm.top_route", "assembly", C,
+             {"chip-layout", "pin-assignments"}, {"chip-routed"}));
+  g.add(task("asm.clock_tree", "assembly", C, {"chip-routed", "clock-plan"},
+             {"clock-tree"}));
+  g.add(task("asm.chip_extract", "assembly", A, {"chip-routed"},
+             {"chip-parasitics"}));
+  g.add(task("asm.chip_sta", "assembly", A,
+             {"chip-parasitics", "timing-library"}, {"chip-timing"}));
+  g.add(task("asm.power_analysis", "assembly", A,
+             {"chip-parasitics", "power-library"}, {"chip-power-report"}));
+  g.add(task("asm.si_analysis", "assembly", A, {"chip-parasitics"},
+             {"si-report"}));
+  g.add(task("asm.eco_loop", "assembly", C, {"chip-timing", "si-report"},
+             {"eco-netlist"}));
+
+  // ------------------------------------------ physical verification (6)
+  g.add(task("pv.drc", "physver", V, {"chip-routed", "drc-deck"},
+             {"drc-report"}));
+  g.add(task("pv.lvs", "physver", V,
+             {"chip-routed", "eco-netlist", "lvs-deck"}, {"lvs-report"}));
+  g.add(task("pv.antenna", "physver", V, {"chip-routed"},
+             {"antenna-report"}));
+  g.add(task("pv.density", "physver", V, {"chip-routed"},
+             {"density-report"}));
+  g.add(task("pv.erc", "physver", V, {"chip-routed"}, {"erc-report"}));
+  g.add(task("pv.signoff", "physver", V,
+             {"drc-report", "lvs-report", "antenna-report", "density-report",
+              "erc-report"},
+             {"physical-signoff"}));
+
+  // -------------------------------------------------------- tapeout (6)
+  g.add(task("tape.final_timing", "tapeout", V,
+             {"chip-timing", "physical-signoff", "timing-rollup"},
+             {"timing-signoff"}));
+  {
+    std::vector<std::string> vec_in = {"chip-sim-results"};
+    for (const std::string& b : methodology_blocks())
+      vec_in.push_back("test-vectors:" + b);
+    g.add(task("tape.final_vectors", "tapeout", C, vec_in,
+               {"production-vectors"}));
+  }
+  g.add(task("tape.fill", "tapeout", C, {"chip-routed", "physical-signoff"},
+             {"filled-layout"}));
+  g.add(task("tape.stream_out", "tapeout", C,
+             {"filled-layout", "timing-signoff", "functional-signoff"},
+             {"mask-data"}));
+  g.add(task("tape.mask_check", "tapeout", V, {"mask-data"},
+             {"mask-check-report"}));
+  g.add(task("tape.release", "tapeout", M,
+             {"mask-data", "mask-check-report", "production-vectors"},
+             {"tapeout-package"}));
+
+  // -------------------------------------------------- fpga branch (6)
+  g.add(task("fpga.map", "fpga", C, {"top-rtl"}, {"fpga-netlist"}));
+  g.add(task("fpga.pnr", "fpga", C, {"fpga-netlist"}, {"fpga-layout"}));
+  g.add(task("fpga.bitgen", "fpga", C, {"fpga-layout"}, {"fpga-bitstream"}));
+  g.add(task("fpga.board_test", "fpga", V,
+             {"fpga-bitstream", "top-testbench"}, {"board-test-results"}));
+  g.add(task("fpga.debug", "fpga", A, {"board-test-results"},
+             {"fpga-debug-report"}));
+  g.add(task("fpga.signoff", "fpga", V,
+             {"board-test-results", "fpga-debug-report"}, {"proto-signoff"}));
+
+  // ------------------------------------------------- management (6)
+  g.add(task("mgmt.schedule", "mgmt", M, {"product-spec"}, {"schedule"}));
+  g.add(task("mgmt.track_rtl", "mgmt", M, {"schedule", "regression-status"},
+             {"rtl-status"}));
+  g.add(task("mgmt.track_pd", "mgmt", M, {"schedule", "chip-timing"},
+             {"pd-status"}));
+  g.add(task("mgmt.risk_review", "mgmt", M, {"rtl-status", "pd-status"},
+             {"risk-register"}));
+  g.add(task("mgmt.tapeout_review", "mgmt", M,
+             {"risk-register", "physical-signoff"}, {"tapeout-approval"}));
+  g.add(task("mgmt.postmortem", "mgmt", M, {"tapeout-package"},
+             {"lessons-learned"}));
+
+  // ============================================================ tools
+  // Port classifications deliberately differ across vendors, exactly where
+  // the paper's sections place the real-world mismatches.
+  ToolLibrary& tools = m.tools;
+
+  tools.add({"SpecOffice", "acme", "documents and reviews specs",
+             {port("market-reqs", "doc"), port("regression-status", "text"),
+              port("chip-timing", "text"), port("physical-signoff", "doc"),
+              port("tapeout-package", "archive")},
+             {port("product-spec", "doc"), port("arch-spec", "doc"),
+              port("verif-plan", "doc"), port("product-spec-signoff", "doc"),
+              port("arch-signoff", "doc"), port("perf-estimate", "doc"),
+              port("power-budget", "doc"), port("interface-spec", "doc"),
+              port("block-plan", "doc"), port("block-budgets", "doc"),
+              port("partition-signoff", "doc"), port("schedule", "doc"),
+              port("rtl-status", "doc"), port("pd-status", "doc"),
+              port("risk-register", "doc"), port("tapeout-approval", "doc"),
+              port("lessons-learned", "doc")},
+             {{"batch-cli", true}},
+             0.2});
+
+  tools.add({"LibForge", "acme", "library development kit",
+             {port("process-choice", "doc"), port("arch-signoff", "doc")},
+             {port("cell-library", "libdb"), port("timing-library", "tlf"),
+              port("power-library", "plf"), port("sim-models", "vmodel"),
+              port("layout-abstracts", "lef"), port("drc-deck", "rules"),
+              port("lvs-deck", "rules"), port("process-choice", "doc")},
+             {{"batch-cli", true}},
+             0.5});
+
+  // Front-end vendor "vlogic": long names, hierarchical, 4-value.
+  tools.add({"VeriEdit", "vlogic", "RTL entry and linting",
+             {port("interface-spec", "doc"), port("verif-plan", "doc"),
+              port("partition-signoff", "doc")},
+             {port("rtl", "verilog", "4value", "hier", "long"),
+              port("lint-report", "text"),
+              port("rtl-reviewed", "verilog", "4value", "hier", "long"),
+              port("testbench", "verilog", "4value", "hier", "long"),
+              port("top-rtl", "verilog", "4value", "hier", "long"),
+              port("top-testbench", "verilog", "4value", "hier", "long")},
+             {{"tcl-socket", true}},
+             0.6});
+
+  // VeriSim is a compiled-code simulator: although it comes from the same
+  // vendor as VeriEdit, it wants pre-compiled images ("vlogc"), so every
+  // editor->simulator hand-off pays a compile pass — the §6 example of a
+  // boundary the vendor could repartition away.
+  tools.add({"VeriSim", "vlogic", "event-driven simulator",
+             {port("rtl-reviewed", "vlogc", "4value", "hier", "long"),
+              port("testbench", "vlogc", "4value", "hier", "long"),
+              port("sim-models", "vmodel", "4value", "hier", "long"),
+              port("top-rtl", "vlogc", "4value", "hier", "long"),
+              port("top-testbench", "vlogc", "4value", "hier", "long"),
+              port("netlist", "vnet", "4value", "hier", "long")},
+             {port("sim-results", "vcd"), port("coverage-report", "text"),
+              port("gate-sim-results", "vcd"),
+              port("chip-sim-results", "vcd"), port("chip-coverage", "text"),
+              port("regression-status", "text"),
+              port("functional-signoff", "doc"),
+              port("block-verif-status", "text")},
+             {{"tcl-socket", true}, {"pli", true}},
+             1.5});
+
+  // Synthesis vendor "synplex": writes its own netlist format, 12-value
+  // gate semantics, case-insensitive names. Every downstream consumer of
+  // "netlist" feels §3's subset/semantics pain.
+  tools.add({"SynPlex", "synplex", "logic synthesis",
+             {port("rtl-reviewed", "verilog", "4value", "hier",
+                   "case-insensitive"),
+              port("scan-netlist", "vnet", "12value", "hier",
+                   "case-insensitive"),
+              port("top-rtl", "verilog", "4value", "hier",
+                   "case-insensitive"),
+              port("constraints", "sdc"),
+              port("timing-library", "tlf"),
+              port("block-budgets", "doc")},
+             {port("netlist", "vnet", "12value", "hier", "case-insensitive"),
+              port("constraints", "sdc"),
+              port("top-netlist", "vnet", "12value", "hier",
+                   "case-insensitive")},
+             {{"batch-cli", true}},
+             2.0});
+
+  tools.add({"ScanWeave", "synplex", "scan insertion and ATPG",
+             {port("netlist", "vnet", "12value", "hier", "case-insensitive")},
+             {port("scan-netlist", "vnet", "12value", "hier",
+                   "case-insensitive"),
+              port("test-vectors", "wgl")},
+             {{"batch-cli", true}},
+             1.0});
+
+  // Timing vendor "tmark": 8-char significant names, flat netlists, EDIF.
+  tools.add({"TimeMark", "tmark", "static timing analysis",
+             {port("scan-netlist", "edif", "4value", "flat", "8char"),
+              port("constraints", "sdc", "na", "flat", "8char"),
+              port("timing-library", "tlf"),
+              port("top-netlist", "edif", "4value", "flat", "8char"),
+              port("parasitics", "spf", "na", "flat", "8char"),
+              port("chip-parasitics", "spf", "na", "flat", "8char")},
+             {port("timing-report", "text"),
+              port("top-timing-report", "text"),
+              port("post-route-timing", "text"),
+              port("chip-timing", "text"), port("timing-rollup", "text")},
+             {{"batch-cli", true}},
+             1.2});
+
+  // Physical vendor "layo": DEF persistence, flat, long names.
+  tools.add({"LayoPlan", "layo", "floorplanning",
+             {port("top-netlist", "def", "na", "flat", "long"),
+              port("layout-abstracts", "lef"),
+              port("interface-spec", "doc"),
+              port("power-budget", "doc")},
+             {port("die-plan", "def"), port("block-shapes", "def"),
+              port("pin-assignments", "def"), port("power-grid-plan", "def"),
+              port("clock-plan", "def"), port("keepout-plan", "def"),
+              port("congestion-estimate", "text"),
+              port("floorplan-signoff", "doc")},
+             {{"gui-rpc", true}},
+             1.0});
+
+  tools.add({"LayoRoute", "layo", "place and route",
+             {port("scan-netlist", "def", "na", "flat", "long"),
+              port("block-shapes", "def"), port("floorplan-signoff", "doc"),
+              port("layout-abstracts", "lef"), port("keepout-plan", "def"),
+              port("clock-plan", "def"), port("pin-assignments", "def"),
+              port("power-grid-plan", "def"),
+              port("chip-layout", "def"), port("chip-routed", "def"),
+              port("chip-timing", "text"), port("si-report", "text")},
+             {port("placement", "def"), port("routed-block", "def"),
+              port("chip-layout", "def"), port("chip-routed", "def"),
+              port("clock-tree", "def"), port("eco-netlist", "def")},
+             {{"gui-rpc", true}, {"batch-cli", true}},
+             2.5});
+
+  tools.add({"LayoRC", "layo", "parasitic extraction",
+             {port("routed-block", "def"), port("chip-routed", "def")},
+             {port("parasitics", "spf", "na", "flat", "long"),
+              port("chip-parasitics", "spf", "na", "flat", "long")},
+             {{"batch-cli", true}},
+             1.3});
+
+  tools.add({"PowerScope", "layo", "power and SI analysis",
+             {port("chip-parasitics", "spf", "na", "flat", "long"),
+              port("power-library", "plf")},
+             {port("chip-power-report", "text"), port("si-report", "text")},
+             {{"batch-cli", true}},
+             0.8});
+
+  tools.add({"MaskCheck", "verity", "physical verification",
+             {port("chip-routed", "gds", "na", "flat", "long"),
+              port("eco-netlist", "spice", "na", "flat", "long"),
+              port("drc-deck", "rules"), port("lvs-deck", "rules")},
+             {port("drc-report", "text"), port("lvs-report", "text"),
+              port("antenna-report", "text"), port("density-report", "text"),
+              port("erc-report", "text"), port("physical-signoff", "doc")},
+             {{"batch-cli", true}},
+             1.4});
+
+  tools.add({"TapeKit", "verity", "fill, stream-out and mask prep",
+             {port("chip-routed", "gds", "na", "flat", "long"),
+              port("physical-signoff", "doc"),
+              port("chip-timing", "text"),
+              port("timing-rollup", "text"),
+              port("test-vectors", "wgl"),
+              port("chip-sim-results", "vcd"),
+              port("functional-signoff", "doc"),
+              port("timing-signoff", "doc"),
+              port("filled-layout", "gds"),
+              port("mask-data", "gds"),
+              port("mask-check-report", "text"),
+              port("production-vectors", "wgl")},
+             {port("filled-layout", "gds"), port("mask-data", "gds"),
+              port("mask-check-report", "text"),
+              port("production-vectors", "wgl"),
+              port("timing-signoff", "doc"),
+              port("tapeout-package", "archive")},
+             {{"batch-cli", true}},
+             0.9});
+
+  tools.add({"FpgaFlow", "gatefield", "FPGA prototyping flow",
+             {port("top-rtl", "verilog", "4value", "hier", "8char"),
+              port("top-testbench", "verilog", "4value", "hier", "8char"),
+              port("fpga-netlist", "xnf"), port("fpga-layout", "xnf"),
+              port("fpga-bitstream", "bit"),
+              port("board-test-results", "text"),
+              port("fpga-debug-report", "text")},
+             {port("fpga-netlist", "xnf"), port("fpga-layout", "xnf"),
+              port("fpga-bitstream", "bit"),
+              port("board-test-results", "text"),
+              port("fpga-debug-report", "text"),
+              port("proto-signoff", "doc")},
+             {{"gui-rpc", true}},
+             1.1});
+
+  // ------------------------------------------------------ task->tool map
+  for (const Task& t : g.tasks()) {
+    auto has_prefix = [&t](const char* p) {
+      return t.id.rfind(p, 0) == 0;
+    };
+    if (has_prefix("spec.") || has_prefix("part.") || has_prefix("mgmt."))
+      m.map.assign(t.id, "SpecOffice");
+    else if (has_prefix("lib."))
+      m.map.assign(t.id, "LibForge");
+    else if (has_prefix("rtl.") || has_prefix("tb.") ||
+             has_prefix("int.top_rtl") || has_prefix("int.top_tb"))
+      m.map.assign(t.id, "VeriEdit");
+    else if (has_prefix("sim.") || has_prefix("syn.postsim") ||
+             has_prefix("int.chip_sim") || has_prefix("int.chip_coverage") ||
+             has_prefix("int.regressions") || has_prefix("int.signoff") ||
+             has_prefix("int.verif_rollup"))
+      m.map.assign(t.id, "VeriSim");
+    else if (has_prefix("int.timing_rollup"))
+      m.map.assign(t.id, "TimeMark");
+    else if (has_prefix("syn."))
+      m.map.assign(t.id, "SynPlex");
+    else if (has_prefix("dft."))
+      m.map.assign(t.id, "ScanWeave");
+    else if (has_prefix("sta.") || has_prefix("int.top_sta") ||
+             has_prefix("asm.chip_sta"))
+      m.map.assign(t.id, "TimeMark");
+    else if (has_prefix("int.top_netlist"))
+      m.map.assign(t.id, "SynPlex");
+    else if (has_prefix("fp."))
+      m.map.assign(t.id, "LayoPlan");
+    else if (has_prefix("pr.place") || has_prefix("pr.route") ||
+             has_prefix("asm.merge") || has_prefix("asm.top_route") ||
+             has_prefix("asm.clock_tree") || has_prefix("asm.eco"))
+      m.map.assign(t.id, "LayoRoute");
+    else if (has_prefix("pr.extract") || has_prefix("asm.chip_extract"))
+      m.map.assign(t.id, "LayoRC");
+    else if (has_prefix("pr.post_sta"))
+      m.map.assign(t.id, "TimeMark");
+    else if (has_prefix("asm.power") || has_prefix("asm.si"))
+      m.map.assign(t.id, "PowerScope");
+    else if (has_prefix("pv."))
+      m.map.assign(t.id, "MaskCheck");
+    else if (has_prefix("tape."))
+      m.map.assign(t.id, "TapeKit");
+    else if (has_prefix("fpga."))
+      m.map.assign(t.id, "FpgaFlow");
+  }
+
+  // ------------------------------------------------------- scenarios
+  {
+    Scenario full;
+    full.name = "full-asic";
+    full.profile = {25, 8};
+    full.driving = {1.0, 2.0, "0.5um-cell"};
+    full.required_tools = {"SynPlex", "LayoRoute"};
+    full.goal_outputs = {"tapeout-package", "lessons-learned"};
+    full.excluded_phases = {"fpga"};
+    m.scenarios.push_back(full);
+
+    Scenario proto;
+    proto.name = "fpga-proto";
+    proto.profile = {6, 4};
+    proto.driving = {2.0, 0.5, "fpga"};
+    proto.required_tools = {"FpgaFlow"};
+    proto.goal_outputs = {"proto-signoff"};
+    proto.excluded_phases = {"pnr", "floorplan", "assembly", "physver",
+                             "tapeout", "dft", "library"};
+    m.scenarios.push_back(proto);
+
+    Scenario ip;
+    ip.name = "ip-delivery";
+    ip.profile = {10, 6};
+    ip.driving = {1.5, 1.5, "portable-rtl"};
+    ip.goal_outputs = {"functional-signoff"};
+    ip.excluded_phases = {"pnr", "floorplan", "assembly", "physver",
+                          "tapeout", "fpga", "mgmt"};
+    m.scenarios.push_back(ip);
+  }
+
+  return m;
+}
+
+}  // namespace interop::core

@@ -1,0 +1,29 @@
+#pragma once
+// The reference methodology: §6 reports that "it takes approximately 200
+// tasks to describe a cell based design methodology that spans from product
+// specification to final mask tapeout". make_cell_based_methodology() builds
+// exactly such a methodology — specification through tapeout, per-block
+// expansion over a CPU-ish block list — together with a multi-vendor tool
+// library (whose port classifications genuinely disagree), a task-to-tool
+// map, and the scenario set used for pruning.
+
+#include "core/analysis.hpp"
+#include "core/scenario.hpp"
+
+namespace interop::core {
+
+struct CellBasedMethodology {
+  TaskGraph tasks;
+  ToolLibrary tools;
+  TaskToolMap map;
+  std::vector<Scenario> scenarios;
+
+  const Scenario* scenario(const std::string& name) const;
+};
+
+/// The design blocks the methodology is expanded over.
+const std::vector<std::string>& methodology_blocks();
+
+CellBasedMethodology make_cell_based_methodology();
+
+}  // namespace interop::core

@@ -1,0 +1,165 @@
+#include "core/optimize.hpp"
+
+#include <algorithm>
+
+namespace interop::core {
+
+namespace {
+
+const ToolModel* tool_of(const ToolLibrary& tools, const TaskToolMap& map,
+                         const std::string& task) {
+  const std::vector<std::string>* assigned = map.tools_for(task);
+  if (!assigned || assigned->empty()) return nullptr;
+  return tools.find(assigned->front());
+}
+
+}  // namespace
+
+OptimizationOutcome repartition_boundaries(
+    const TaskGraph& tasks, ToolLibrary& tools, const TaskToolMap& map,
+    const std::set<std::string>& controllable_vendors, double issue_penalty) {
+  OptimizationOutcome out;
+  out.before = flow_cost(tasks, tools, map, issue_penalty);
+  std::size_t issues_before = analyze_flow(tasks, tools, map).size();
+
+  const base::Digraph& g = tasks.graph();
+  int repartitioned = 0;
+  for (base::NodeId p = 0; p < g.size(); ++p) {
+    const Task& producer = tasks.tasks()[p];
+    const ToolModel* ptool = tool_of(tools, map, producer.id);
+    if (!ptool) continue;
+    for (base::NodeId c : g.successors(p)) {
+      const Task& consumer = tasks.tasks()[c];
+      const ToolModel* ctool = tool_of(tools, map, consumer.id);
+      if (!ctool || ptool == ctool) continue;
+      // Repartitioning requires owning BOTH sides of the boundary.
+      if (ptool->vendor != ctool->vendor) continue;
+      if (!controllable_vendors.count(ptool->vendor)) continue;
+
+      ToolModel* cmut = tools.find_mutable(ctool->name);
+      ToolModel* pmut = tools.find_mutable(ptool->name);
+      for (const std::string& kind : producer.outputs) {
+        if (std::find(consumer.inputs.begin(), consumer.inputs.end(), kind) ==
+            consumer.inputs.end())
+          continue;
+        const DataPort* src = pmut->output_for(kind);
+        for (DataPort& port : cmut->inputs) {
+          if (port.info_kind != kind || !src) continue;
+          if (port.persistence != src->persistence ||
+              port.namespace_style != src->namespace_style ||
+              port.structural != src->structural ||
+              port.behavioral != src->behavioral) {
+            port = *src;  // direct low-overhead interchange
+            ++repartitioned;
+          }
+        }
+      }
+      // A shared private control channel comes with the repartitioning.
+      std::string channel = ptool->vendor + "-direct";
+      if (!pmut->provides_control(channel))
+        pmut->controls.push_back({channel, true});
+      if (!cmut->provides_control(channel))
+        cmut->controls.push_back({channel, true});
+    }
+  }
+
+  out.after = flow_cost(tasks, tools, map, issue_penalty);
+  out.issues_removed =
+      int(issues_before) - int(analyze_flow(tasks, tools, map).size());
+  out.summary = "repartitioned " + std::to_string(repartitioned) +
+                " port boundaries within controllable vendors";
+  return out;
+}
+
+OptimizationOutcome apply_data_conventions(
+    const TaskGraph& tasks, ToolLibrary& tools, const TaskToolMap& map,
+    const std::set<std::pair<std::string, std::string>>& convertible,
+    double issue_penalty) {
+  OptimizationOutcome out;
+  out.before = flow_cost(tasks, tools, map, issue_penalty);
+  std::size_t issues_before = analyze_flow(tasks, tools, map).size();
+
+  int fixed = 0;
+  for (const InteropIssue& issue : analyze_flow(tasks, tools, map)) {
+    if (issue.kind != IssueKind::NameMapping) continue;
+    const ToolModel* ptool = tools.find(issue.producer_tool);
+    ToolModel* ctool = tools.find_mutable(issue.consumer_tool);
+    if (!ptool || !ctool) continue;
+    const DataPort* src = ptool->output_for(issue.info_kind);
+    if (!src) continue;
+    for (DataPort& port : ctool->inputs) {
+      if (port.info_kind != issue.info_kind) continue;
+      if (convertible.count({src->namespace_style, port.namespace_style})) {
+        // The adopted naming convention makes the mapping lossless; the
+        // consumer now reads the producer's namespace directly.
+        port.namespace_style = src->namespace_style;
+        ++fixed;
+      }
+    }
+  }
+
+  out.after = flow_cost(tasks, tools, map, issue_penalty);
+  out.issues_removed =
+      int(issues_before) - int(analyze_flow(tasks, tools, map).size());
+  out.summary = "conventions resolved " + std::to_string(fixed) +
+                " namespace mismatches";
+  return out;
+}
+
+Substitution substitute_technology(const TaskGraph& tasks, ToolLibrary& tools,
+                                   const TaskToolMap& map,
+                                   const std::set<std::string>& replaced,
+                                   const std::string& new_task_id,
+                                   const ToolModel& new_tool,
+                                   double issue_penalty) {
+  Substitution result;
+  result.outcome.before = flow_cost(tasks, tools, map, issue_penalty);
+
+  // External interface of the replaced region.
+  std::set<std::string> internal_outputs;
+  for (const Task& t : tasks.tasks())
+    if (replaced.count(t.id))
+      internal_outputs.insert(t.outputs.begin(), t.outputs.end());
+
+  Task merged;
+  merged.id = new_task_id;
+  merged.description = "replaces " + std::to_string(replaced.size()) +
+                       " tasks via technological innovation";
+  merged.category = TaskCategory::Validation;
+  merged.phase = "innovation";
+  std::set<std::string> in_set, out_set;
+  for (const Task& t : tasks.tasks()) {
+    if (!replaced.count(t.id)) continue;
+    for (const std::string& kind : t.inputs)
+      if (!internal_outputs.count(kind)) in_set.insert(kind);
+    for (const std::string& kind : t.outputs) {
+      // Keep outputs consumed outside the region (or final deliverables).
+      for (const std::string& consumer : tasks.consumers_of(kind))
+        if (!replaced.count(consumer)) out_set.insert(kind);
+      if (tasks.consumers_of(kind).empty()) out_set.insert(kind);
+    }
+  }
+  merged.inputs.assign(in_set.begin(), in_set.end());
+  merged.outputs.assign(out_set.begin(), out_set.end());
+
+  for (const Task& t : tasks.tasks())
+    if (!replaced.count(t.id)) result.tasks.add(t);
+  result.tasks.add(merged);
+
+  for (const auto& [task, assigned] : map.assignment)
+    if (!replaced.count(task)) result.map.assignment[task] = assigned;
+  result.map.assign(new_task_id, new_tool.name);
+  if (!tools.find(new_tool.name)) tools.add(new_tool);
+
+  result.outcome.after =
+      flow_cost(result.tasks, tools, result.map, issue_penalty);
+  result.outcome.issues_removed =
+      int(analyze_flow(tasks, tools, map).size()) -
+      int(analyze_flow(result.tasks, tools, result.map).size());
+  result.outcome.summary =
+      "replaced " + std::to_string(replaced.size()) + " tasks with 1 (" +
+      new_tool.name + ")";
+  return result;
+}
+
+}  // namespace interop::core

@@ -1,0 +1,57 @@
+#pragma once
+// §6 system optimization: "the pieces of the system are modified to improve
+// overall performance. There are three ways: (1) repartition the boundaries
+// of tools — peeling back the tool's general purpose interface to a lower
+// overhead interchange; (2) improvements in data interoperability — internal
+// naming conventions, bus usage conventions, etc.; (3) technological
+// innovation — new technologies replace a large number of tasks with a
+// single task."
+
+#include "core/analysis.hpp"
+
+namespace interop::core {
+
+struct OptimizationOutcome {
+  FlowCost before;
+  FlowCost after;
+  int issues_removed = 0;
+  std::string summary;
+  double improvement() const { return before.total() - after.total(); }
+};
+
+/// (1) Boundary repartitioning: for every pair of SAME-VENDOR tools that
+/// exchange data, align the producer's output port classification with the
+/// consumer's input port (the vendor can open a direct low-overhead path).
+/// Mutates `tools`. Only vendors in `controllable_vendors` can be changed
+/// (a CAD organization cannot repartition black boxes).
+OptimizationOutcome repartition_boundaries(
+    const TaskGraph& tasks, ToolLibrary& tools, const TaskToolMap& map,
+    const std::set<std::string>& controllable_vendors,
+    double issue_penalty = 5.0);
+
+/// (2) Data conventions: adopting naming/bus conventions makes name-mapping
+/// issues between the listed namespace styles benign; convertible pairs are
+/// fixed by aligning the consumer's expectation. Mutates `tools`.
+OptimizationOutcome apply_data_conventions(
+    const TaskGraph& tasks, ToolLibrary& tools, const TaskToolMap& map,
+    const std::set<std::pair<std::string, std::string>>& convertible,
+    double issue_penalty = 5.0);
+
+/// (3) Technology substitution: replace the tasks in `replaced` by one new
+/// task performed by `new_tool` with the same external interface (inputs
+/// consumed from outside the replaced set, outputs produced for outside).
+/// Returns the rewritten task graph and map.
+struct Substitution {
+  TaskGraph tasks;
+  TaskToolMap map;
+  OptimizationOutcome outcome;
+};
+
+Substitution substitute_technology(const TaskGraph& tasks,
+                                   ToolLibrary& tools, const TaskToolMap& map,
+                                   const std::set<std::string>& replaced,
+                                   const std::string& new_task_id,
+                                   const ToolModel& new_tool,
+                                   double issue_penalty = 5.0);
+
+}  // namespace interop::core

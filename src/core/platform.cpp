@@ -1,0 +1,147 @@
+#include "core/platform.hpp"
+
+namespace interop::core {
+
+std::string to_string(ScriptLanguage l) {
+  switch (l) {
+    case ScriptLanguage::Shell: return "shell";
+    case ScriptLanguage::Perl: return "perl";
+    case ScriptLanguage::Tcl: return "tcl";
+    case ScriptLanguage::Skill: return "skill";
+    case ScriptLanguage::CLang: return "c";
+  }
+  return "?";
+}
+
+std::string to_string(PortabilityIssue::Kind k) {
+  switch (k) {
+    case PortabilityIssue::Kind::MissingInterpreter:
+      return "missing-interpreter";
+    case PortabilityIssue::Kind::CommandSpelling: return "command-spelling";
+    case PortabilityIssue::Kind::MissingCommand: return "missing-command";
+    case PortabilityIssue::Kind::MissingTool: return "missing-tool";
+    case PortabilityIssue::Kind::ToolVersionSkew: return "tool-version-skew";
+    case PortabilityIssue::Kind::RecompileNeeded: return "recompile-needed";
+    case PortabilityIssue::Kind::NoCompiler: return "no-compiler";
+  }
+  return "?";
+}
+
+std::vector<PortabilityIssue> check_portability(const ScriptSpec& script,
+                                                const PlatformModel& from,
+                                                const PlatformModel& to) {
+  std::vector<PortabilityIssue> issues;
+
+  if (!to.interpreters.count(script.language)) {
+    issues.push_back({PortabilityIssue::Kind::MissingInterpreter,
+                      script.name,
+                      to.name + " has no " + to_string(script.language) +
+                          " interpreter"});
+  }
+
+  for (const auto& [facility, spelling] : script.command_spellings) {
+    auto it = to.commands.find(facility);
+    if (it == to.commands.end()) {
+      issues.push_back({PortabilityIssue::Kind::MissingCommand,
+                        script.name + ":" + facility,
+                        to.name + " has no '" + facility + "' facility"});
+    } else if (it->second != spelling) {
+      issues.push_back({PortabilityIssue::Kind::CommandSpelling,
+                        script.name + ":" + facility,
+                        "'" + spelling + "' must become '" + it->second +
+                            "' on " + to.name});
+    }
+  }
+
+  for (const std::string& tool : script.tools_used) {
+    auto here = from.tool_versions.find(tool);
+    auto there = to.tool_versions.find(tool);
+    if (there == to.tool_versions.end()) {
+      issues.push_back({PortabilityIssue::Kind::MissingTool,
+                        script.name + ":" + tool,
+                        tool + " is not installed on " + to.name});
+    } else if (here != from.tool_versions.end() &&
+               here->second != there->second) {
+      issues.push_back({PortabilityIssue::Kind::ToolVersionSkew,
+                        script.name + ":" + tool,
+                        tool + " is " + here->second + " on " + from.name +
+                            " but " + there->second + " on " + to.name});
+    }
+  }
+
+  if (script.uses_native_extension) {
+    if (to.native_compiler.empty()) {
+      issues.push_back({PortabilityIssue::Kind::NoCompiler, script.name,
+                        to.name + " cannot build native extensions at all"});
+    } else if (to.native_compiler != from.native_compiler) {
+      issues.push_back({PortabilityIssue::Kind::RecompileNeeded, script.name,
+                        "rebuild with " + to.native_compiler + " (was " +
+                            from.native_compiler + ")"});
+    }
+  }
+  return issues;
+}
+
+ReuseReport analyze_script_reuse(const std::vector<ScriptSpec>& scripts) {
+  ReuseReport report;
+  for (const ScriptSpec& s : scripts) ++report.by_language[s.language];
+  int best = 0;
+  for (const auto& [lang, count] : report.by_language) {
+    if (count > best) {
+      best = count;
+      report.dominant = lang;
+    }
+  }
+  for (const auto& [lang, count] : report.by_language) {
+    if (report.dominant && lang == *report.dominant)
+      report.shareable += count;
+    else
+      report.stranded += count;
+  }
+  return report;
+}
+
+PlatformModel sun_workstation() {
+  PlatformModel p;
+  p.name = "sun-ws";
+  p.commands = {{"hostname", "hostname"},
+                {"hostid", "hostid"},
+                {"ether-id", "ifconfig -a"},
+                {"add-swap", "swap -a"},
+                {"mount-remote", "mount -F nfs"}};
+  p.interpreters = {ScriptLanguage::Shell, ScriptLanguage::Perl,
+                    ScriptLanguage::Tcl, ScriptLanguage::Skill};
+  p.tool_versions = {{"VeriSim", "1.6a"}, {"SynPlex", "3.4"},
+                     {"LayoRoute", "2.1"}};
+  p.native_compiler = "sunpro-cc";
+  return p;
+}
+
+PlatformModel hp_workstation() {
+  PlatformModel p;
+  p.name = "hp-ws";
+  p.commands = {{"hostname", "uname -n"},
+                {"hostid", "uname -i"},
+                {"ether-id", "lanscan"},
+                {"add-swap", "swapon"},
+                {"mount-remote", "mount -t nfs"}};
+  p.interpreters = {ScriptLanguage::Shell, ScriptLanguage::Perl,
+                    ScriptLanguage::Tcl};
+  p.tool_versions = {{"VeriSim", "1.5"},  // the vendor lags this port
+                     {"SynPlex", "3.4"},
+                     {"LayoRoute", "2.1"}};
+  p.native_compiler = "hp-acc";
+  return p;
+}
+
+PlatformModel home_pc() {
+  PlatformModel p;
+  p.name = "home-pc";
+  p.commands = {{"hostname", "hostname"}};
+  p.interpreters = {ScriptLanguage::Shell};
+  p.tool_versions = {{"VeriSim", "1.2-pc"}};  // the old PC port
+  p.native_compiler = "";
+  return p;
+}
+
+}  // namespace interop::core

@@ -1,0 +1,97 @@
+#pragma once
+// Platform and integration-language interoperability — §3.4 / §3.5.
+//
+// §3.4: "interoperability problems are really manifestations of
+// transportability problems": system commands differ across UNIX flavors,
+// office/home platforms don't run the same scripts or tools, vendors lag
+// porting releases to some platforms, and PLI modules need per-platform
+// compilers. §3.5: "There is no standardization on the language used to
+// integrate tools ... unless a company adopts and enforces a standard for
+// an integration language, sharing and reuse of design methodologies within
+// that company will be limited."
+//
+// We model platforms as capability records, scripts as (language, commands,
+// tools) triples, and report exactly what breaks when work moves between
+// platforms — plus the §3.5 reuse metric over a methodology's script pool.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace interop::core {
+
+enum class ScriptLanguage { Shell, Perl, Tcl, Skill, CLang };
+
+std::string to_string(ScriptLanguage l);
+
+/// One compute environment (a UNIX flavor, a PC at home, ...).
+struct PlatformModel {
+  std::string name;
+  /// Abstract system facility -> the concrete command spelling here
+  /// ("hostid" -> "hostid" vs "sysinfo -id"). Missing key = no such
+  /// facility at all.
+  std::map<std::string, std::string> commands;
+  std::set<ScriptLanguage> interpreters;
+  /// Tool name -> installed version (vendors lag some platforms).
+  std::map<std::string, std::string> tool_versions;
+  /// Compiler identity for PLI-style native extensions ("" = none).
+  std::string native_compiler;
+};
+
+/// A user's automation script.
+struct ScriptSpec {
+  std::string name;
+  ScriptLanguage language = ScriptLanguage::Shell;
+  /// Abstract facilities invoked, with the spelling the author baked in.
+  std::map<std::string, std::string> command_spellings;
+  std::set<std::string> tools_used;
+  bool uses_native_extension = false;  ///< PLI-style compiled module
+};
+
+struct PortabilityIssue {
+  enum class Kind {
+    MissingInterpreter,   ///< target cannot run the script's language
+    CommandSpelling,      ///< facility exists but is spelled differently
+    MissingCommand,       ///< facility absent on the target
+    MissingTool,          ///< tool not installed on the target
+    ToolVersionSkew,      ///< tool installed at a different version
+    RecompileNeeded,      ///< native extension must be rebuilt
+    NoCompiler,           ///< ...and the target has no compiler
+  };
+  Kind kind;
+  std::string subject;
+  std::string detail;
+};
+
+std::string to_string(PortabilityIssue::Kind k);
+
+/// What breaks when `script`, written on `from`, runs on `to`.
+std::vector<PortabilityIssue> check_portability(const ScriptSpec& script,
+                                                const PlatformModel& from,
+                                                const PlatformModel& to);
+
+/// §3.5 reuse analysis over a methodology's script pool: scripts written in
+/// the organization's standard language are shareable; the rest are not.
+struct ReuseReport {
+  std::map<ScriptLanguage, int> by_language;
+  std::optional<ScriptLanguage> dominant;
+  int shareable = 0;   ///< scripts in the dominant language
+  int stranded = 0;    ///< scripts in any other language
+  double reuse_fraction() const {
+    int total = shareable + stranded;
+    return total == 0 ? 1.0 : double(shareable) / double(total);
+  }
+};
+
+ReuseReport analyze_script_reuse(const std::vector<ScriptSpec>& scripts);
+
+/// Reference platforms used by tests and benches: a Sun-style workstation,
+/// an HP-style workstation (different command spellings), and a home PC
+/// (fewer interpreters, no compiler, older tool versions).
+PlatformModel sun_workstation();
+PlatformModel hp_workstation();
+PlatformModel home_pc();
+
+}  // namespace interop::core

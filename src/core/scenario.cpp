@@ -1,0 +1,32 @@
+#include "core/scenario.hpp"
+
+namespace interop::core {
+
+TaskGraph apply_scenario(const TaskGraph& methodology, const Scenario& sc,
+                         PruneReport* report) {
+  std::set<std::string> keep =
+      sc.goal_outputs.empty()
+          ? [&] {
+              std::set<std::string> all;
+              for (const Task& t : methodology.tasks()) all.insert(t.id);
+              return all;
+            }()
+          : methodology.tasks_reaching_outputs(sc.goal_outputs);
+
+  for (const std::string& id : sc.excluded_tasks) keep.erase(id);
+  if (!sc.excluded_phases.empty()) {
+    for (const Task& t : methodology.tasks())
+      if (sc.excluded_phases.count(t.phase)) keep.erase(t.id);
+  }
+
+  if (report) {
+    report->before = methodology.size();
+    report->after = keep.size();
+    report->dropped.clear();
+    for (const Task& t : methodology.tasks())
+      if (!keep.count(t.id)) report->dropped.push_back(t.id);
+  }
+  return methodology.subset(keep);
+}
+
+}  // namespace interop::core

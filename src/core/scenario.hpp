@@ -1,0 +1,49 @@
+#pragma once
+// §6 scenarios: "a set of boundary conditions to be applied to the set of
+// tasks previously defined ... end user profile (team size, experience),
+// tools that must be used (already purchased or developed), and end user
+// driving functions (product cost, size, performance, technology). The
+// purpose of the scenarios is to prune the task graph."
+
+#include "core/task.hpp"
+
+namespace interop::core {
+
+struct UserProfile {
+  int team_size = 5;
+  int avg_experience_years = 5;
+};
+
+struct DrivingFunctions {
+  double cost_weight = 1.0;         ///< emphasis on product cost
+  double performance_weight = 1.0;  ///< emphasis on product performance
+  std::string technology = "0.5um-cell";
+};
+
+struct Scenario {
+  std::string name;
+  UserProfile profile;
+  DrivingFunctions driving;
+  /// Tools the organization already owns and must use.
+  std::vector<std::string> required_tools;
+  /// Final information kinds this context must produce ("mask-data",
+  /// "fpga-bitstream", ...). Pruning keeps exactly the tasks that feed them.
+  std::set<std::string> goal_outputs;
+  /// Tasks this context never performs (e.g. no analog team).
+  std::set<std::string> excluded_tasks;
+  /// Phases skipped wholesale in this context (e.g. no "dft").
+  std::set<std::string> excluded_phases;
+};
+
+struct PruneReport {
+  std::size_t before = 0;
+  std::size_t after = 0;
+  std::vector<std::string> dropped;
+};
+
+/// Apply the scenario: keep tasks that (transitively) feed a goal output,
+/// minus exclusions. Returns the pruned methodology and a report.
+TaskGraph apply_scenario(const TaskGraph& methodology, const Scenario& sc,
+                         PruneReport* report = nullptr);
+
+}  // namespace interop::core

@@ -1,0 +1,123 @@
+#include "core/task.hpp"
+
+#include <algorithm>
+
+namespace interop::core {
+
+std::string to_string(TaskCategory c) {
+  switch (c) {
+    case TaskCategory::Creation: return "creation";
+    case TaskCategory::Analysis: return "analysis";
+    case TaskCategory::Validation: return "validation";
+    case TaskCategory::Management: return "management";
+  }
+  return "?";
+}
+
+bool TaskGraph::add(Task task) {
+  if (index_.count(task.id)) return false;
+  index_[task.id] = tasks_.size();
+  tasks_.push_back(std::move(task));
+  cached_graph_.reset();
+  return true;
+}
+
+const Task* TaskGraph::find(const std::string& id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &tasks_[it->second];
+}
+
+std::vector<std::string> TaskGraph::producers_of(
+    const std::string& kind) const {
+  std::vector<std::string> out;
+  for (const Task& t : tasks_)
+    if (std::find(t.outputs.begin(), t.outputs.end(), kind) !=
+        t.outputs.end())
+      out.push_back(t.id);
+  return out;
+}
+
+std::vector<std::string> TaskGraph::consumers_of(
+    const std::string& kind) const {
+  std::vector<std::string> out;
+  for (const Task& t : tasks_)
+    if (std::find(t.inputs.begin(), t.inputs.end(), kind) != t.inputs.end())
+      out.push_back(t.id);
+  return out;
+}
+
+std::set<std::string> TaskGraph::info_kinds() const {
+  std::set<std::string> out;
+  for (const Task& t : tasks_) {
+    out.insert(t.inputs.begin(), t.inputs.end());
+    out.insert(t.outputs.begin(), t.outputs.end());
+  }
+  return out;
+}
+
+std::set<std::string> TaskGraph::external_inputs() const {
+  std::set<std::string> out;
+  for (const Task& t : tasks_)
+    for (const std::string& kind : t.inputs)
+      if (producers_of(kind).empty()) out.insert(kind);
+  return out;
+}
+
+std::set<std::string> TaskGraph::terminal_outputs() const {
+  std::set<std::string> out;
+  for (const Task& t : tasks_)
+    for (const std::string& kind : t.outputs)
+      if (consumers_of(kind).empty()) out.insert(kind);
+  return out;
+}
+
+const base::Digraph& TaskGraph::graph() const {
+  if (!cached_graph_) {
+    base::Digraph g(tasks_.size());
+    // producer -> consumer for every shared kind.
+    std::map<std::string, std::vector<base::NodeId>> producers;
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+      for (const std::string& kind : tasks_[i].outputs)
+        producers[kind].push_back(base::NodeId(i));
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      for (const std::string& kind : tasks_[i].inputs) {
+        auto it = producers.find(kind);
+        if (it == producers.end()) continue;
+        for (base::NodeId p : it->second)
+          if (p != base::NodeId(i)) g.add_edge(p, base::NodeId(i));
+      }
+    }
+    cached_graph_ = std::move(g);
+  }
+  return *cached_graph_;
+}
+
+std::optional<base::NodeId> TaskGraph::node_of(const std::string& id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return base::NodeId(it->second);
+}
+
+std::set<std::string> TaskGraph::tasks_reaching_outputs(
+    const std::set<std::string>& kinds) const {
+  const base::Digraph& g = graph();
+  std::set<std::string> keep;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    bool produces_goal = false;
+    for (const std::string& kind : tasks_[i].outputs)
+      if (kinds.count(kind)) produces_goal = true;
+    if (!produces_goal) continue;
+    for (base::NodeId n : g.reaching(base::NodeId(i)))
+      keep.insert(tasks_[n].id);
+  }
+  return keep;
+}
+
+TaskGraph TaskGraph::subset(const std::set<std::string>& keep) const {
+  TaskGraph out;
+  for (const Task& t : tasks_)
+    if (keep.count(t.id)) out.add(t);
+  return out;
+}
+
+}  // namespace interop::core

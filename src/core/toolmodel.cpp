@@ -1,0 +1,49 @@
+#include "core/toolmodel.hpp"
+
+namespace interop::core {
+
+namespace {
+// Per-block kinds qualify the base kind as "rtl:fetch"; tool ports are
+// declared once against the base kind.
+std::string base_kind(const std::string& kind) {
+  std::size_t sep = kind.find(':');
+  return sep == std::string::npos ? kind : kind.substr(0, sep);
+}
+}  // namespace
+
+const DataPort* ToolModel::input_for(const std::string& kind) const {
+  std::string base = base_kind(kind);
+  for (const DataPort& p : inputs)
+    if (p.info_kind == base) return &p;
+  return nullptr;
+}
+
+const DataPort* ToolModel::output_for(const std::string& kind) const {
+  std::string base = base_kind(kind);
+  for (const DataPort& p : outputs)
+    if (p.info_kind == base) return &p;
+  return nullptr;
+}
+
+bool ToolModel::provides_control(const std::string& control_name) const {
+  for (const ControlInterface& c : controls)
+    if (c.provided && c.name == control_name) return true;
+  return false;
+}
+
+void ToolLibrary::add(ToolModel tool) {
+  index_[tool.name] = tools_.size();
+  tools_.push_back(std::move(tool));
+}
+
+const ToolModel* ToolLibrary::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &tools_[it->second];
+}
+
+ToolModel* ToolLibrary::find_mutable(const std::string& name) {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &tools_[it->second];
+}
+
+}  // namespace interop::core

@@ -1,0 +1,61 @@
+#pragma once
+// §6 tool models: "A tool model is similar in structure to the user task.
+// It contains a description of the function, data inputs, data outputs,
+// control inputs, and control outputs. Data input and output is classified
+// into four parts: persistence, behavioral semantics, structural model, and
+// namespace. Control is defined as a set of interfaces (analogous to the
+// software component models like Corba and Com)."
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace interop::core {
+
+/// One data port of a tool, classified the §6 way.
+struct DataPort {
+  std::string info_kind;        ///< normalized information this port carries
+  std::string persistence;      ///< on-disk format ("edif2", "wir", "def")
+  std::string behavioral;       ///< semantics id ("4value", "12value", ...)
+  std::string structural;       ///< "hierarchical" | "flat"
+  std::string namespace_style;  ///< "long" | "8char" | "case-insensitive"
+};
+
+/// A control interface the tool exposes or requires.
+struct ControlInterface {
+  std::string name;       ///< "batch-cli", "tcl-socket", "corba", ...
+  bool provided = true;   ///< provided (output) vs required (input)
+};
+
+struct ToolModel {
+  std::string name;
+  std::string vendor;
+  std::string function;       ///< one-line description
+  std::vector<DataPort> inputs;
+  std::vector<DataPort> outputs;
+  std::vector<ControlInterface> controls;
+  double invocation_cost = 1.0;  ///< abstract runtime/licensing cost
+
+  const DataPort* input_for(const std::string& kind) const;
+  const DataPort* output_for(const std::string& kind) const;
+  bool provides_control(const std::string& name) const;
+};
+
+/// The tool library under analysis.
+class ToolLibrary {
+ public:
+  void add(ToolModel tool);
+  const ToolModel* find(const std::string& name) const;
+  /// Mutable access for the optimization passes (boundary repartitioning
+  /// edits port classifications in place).
+  ToolModel* find_mutable(const std::string& name);
+  const std::vector<ToolModel>& tools() const { return tools_; }
+  std::size_t size() const { return tools_.size(); }
+
+ private:
+  std::vector<ToolModel> tools_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace interop::core

@@ -1,0 +1,153 @@
+#include "hdl/ast.hpp"
+
+#include <algorithm>
+
+namespace interop::hdl {
+
+ExprPtr make_literal(std::vector<Logic> bits) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Literal;
+  e->literal = std::move(bits);
+  return e;
+}
+
+ExprPtr make_ref(std::string name, bool escaped) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Ref;
+  e->name = std::move(name);
+  e->escaped = escaped;
+  return e;
+}
+
+ExprPtr make_select(std::string name, int index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Select;
+  e->name = std::move(name);
+  e->index = index;
+  return e;
+}
+
+ExprPtr make_unary(UnOp op, ExprPtr a) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Unary;
+  e->un_op = op;
+  e->operands.push_back(std::move(a));
+  return e;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Binary;
+  e->bin_op = op;
+  e->operands.push_back(std::move(a));
+  e->operands.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr make_cond(ExprPtr sel, ExprPtr then_e, ExprPtr else_e) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::Cond;
+  e->operands.push_back(std::move(sel));
+  e->operands.push_back(std::move(then_e));
+  e->operands.push_back(std::move(else_e));
+  return e;
+}
+
+ExprPtr clone(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->literal = e.literal;
+  out->name = e.name;
+  out->escaped = e.escaped;
+  out->index = e.index;
+  out->un_op = e.un_op;
+  out->bin_op = e.bin_op;
+  out->line = e.line;
+  for (const ExprPtr& op : e.operands) out->operands.push_back(clone(*op));
+  return out;
+}
+
+StmtPtr clone(const Stmt& s) {
+  auto out = std::make_unique<Stmt>();
+  out->kind = s.kind;
+  for (const StmtPtr& child : s.body) out->body.push_back(clone(*child));
+  out->lhs = s.lhs;
+  out->lhs_index = s.lhs_index;
+  if (s.rhs) out->rhs = clone(*s.rhs);
+  out->nonblocking = s.nonblocking;
+  if (s.condition) out->condition = clone(*s.condition);
+  if (s.then_branch) out->then_branch = clone(*s.then_branch);
+  if (s.else_branch) out->else_branch = clone(*s.else_branch);
+  out->delay = s.delay;
+  for (const Stmt::CaseArm& arm : s.arms) {
+    Stmt::CaseArm copy;
+    copy.match = arm.match;
+    copy.stmt = clone(*arm.stmt);
+    out->arms.push_back(std::move(copy));
+  }
+  out->line = s.line;
+  return out;
+}
+
+Module clone(const Module& m) {
+  Module out;
+  out.name = m.name;
+  out.ports = m.ports;
+  out.nets = m.nets;
+  for (const ContAssign& a : m.assigns) {
+    ContAssign copy;
+    copy.lhs = a.lhs;
+    copy.lhs_index = a.lhs_index;
+    copy.rhs = clone(*a.rhs);
+    copy.delay = a.delay;
+    copy.line = a.line;
+    out.assigns.push_back(std::move(copy));
+  }
+  out.gates = m.gates;
+  for (const AlwaysBlock& blk : m.always_blocks) {
+    AlwaysBlock copy;
+    copy.sensitivity = blk.sensitivity;
+    copy.star = blk.star;
+    copy.body = clone(*blk.body);
+    copy.line = blk.line;
+    out.always_blocks.push_back(std::move(copy));
+  }
+  for (const InitialBlock& blk : m.initial_blocks) {
+    InitialBlock copy;
+    copy.body = clone(*blk.body);
+    copy.line = blk.line;
+    out.initial_blocks.push_back(std::move(copy));
+  }
+  out.instances = m.instances;
+  return out;
+}
+
+namespace {
+void collect_names(const Expr& e, std::vector<std::string>& out) {
+  if (e.kind == Expr::Kind::Ref || e.kind == Expr::Kind::Select) {
+    if (std::find(out.begin(), out.end(), e.name) == out.end())
+      out.push_back(e.name);
+  }
+  for (const ExprPtr& op : e.operands) collect_names(*op, out);
+}
+}  // namespace
+
+std::vector<std::string> referenced_names(const Expr& e) {
+  std::vector<std::string> out;
+  collect_names(e, out);
+  return out;
+}
+
+const NetDecl* Module::find_net(const std::string& name) const {
+  for (const NetDecl& n : nets)
+    if (n.name == name) return &n;
+  return nullptr;
+}
+
+const Module* SourceUnit::find_module(const std::string& name) const {
+  for (const Module& m : modules)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+}  // namespace interop::hdl

@@ -1,0 +1,193 @@
+#pragma once
+// AST of the mini-HDL.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hdl/logic.hpp"
+
+namespace interop::hdl {
+
+// ------------------------------------------------------------- expressions
+
+enum class UnOp { Not, BitNot, RedAnd, RedOr, Neg };
+enum class BinOp { And, Or, Xor, LAnd, LOr, Eq, Ne, Lt, Le, Gt, Ge, Add, Sub };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { Literal, Ref, Select, Unary, Binary, Cond, Concat };
+  Kind kind = Kind::Literal;
+
+  // Literal: per-bit values, msb first.
+  std::vector<Logic> literal;
+
+  // Ref / Select
+  std::string name;
+  bool escaped = false;   ///< name came from an escaped identifier
+  int index = 0;          ///< Select: bit index
+
+  // Unary / Binary / Cond / Concat
+  UnOp un_op = UnOp::Not;
+  BinOp bin_op = BinOp::And;
+  std::vector<ExprPtr> operands;
+
+  int line = 0;
+};
+
+ExprPtr make_literal(std::vector<Logic> bits);
+ExprPtr make_ref(std::string name, bool escaped = false);
+ExprPtr make_select(std::string name, int index);
+ExprPtr make_unary(UnOp op, ExprPtr a);
+ExprPtr make_binary(BinOp op, ExprPtr a, ExprPtr b);
+ExprPtr make_cond(ExprPtr sel, ExprPtr then_e, ExprPtr else_e);
+ExprPtr clone(const Expr& e);
+
+/// Every signal name referenced in `e`, in first-appearance order,
+/// duplicates removed.
+std::vector<std::string> referenced_names(const Expr& e);
+
+// -------------------------------------------------------------- statements
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind { Block, Assign, If, Delay, Forever, While, Case };
+  Kind kind = Kind::Block;
+
+  // Block
+  std::vector<StmtPtr> body;
+
+  // Assign: lhs name (+ optional bit index), rhs expr, blocking or not.
+  std::string lhs;
+  std::optional<int> lhs_index;
+  ExprPtr rhs;
+  bool nonblocking = false;
+
+  // If
+  ExprPtr condition;
+  StmtPtr then_branch;
+  StmtPtr else_branch;   // may be null
+
+  // Delay: wait `delay` time units, then run body[0] if present.
+  std::int64_t delay = 0;
+
+  // While: condition + body[0]
+  // Case: condition is the selector; arms pair a literal with a stmt.
+  struct CaseArm {
+    std::vector<Logic> match;  ///< empty = default
+    StmtPtr stmt;
+  };
+  std::vector<CaseArm> arms;
+
+  int line = 0;
+};
+
+// ----------------------------------------------------------------- modules
+
+enum class PortDir { Input, Output, Inout };
+enum class NetKind { Wire, Reg };
+
+struct NetDecl {
+  std::string name;
+  bool escaped = false;
+  NetKind kind = NetKind::Wire;
+  /// Bit range [msb:lsb]; scalar when absent.
+  std::optional<std::pair<int, int>> range;
+  int width() const {
+    return range ? std::abs(range->first - range->second) + 1 : 1;
+  }
+  int line = 0;
+};
+
+struct PortDecl {
+  std::string name;
+  PortDir dir = PortDir::Input;
+  int line = 0;
+};
+
+struct ContAssign {
+  std::string lhs;
+  std::optional<int> lhs_index;
+  ExprPtr rhs;
+  std::int64_t delay = 0;
+  int line = 0;
+};
+
+enum class GateKind { And, Or, Nand, Nor, Xor, Not, Buf };
+
+struct GateInst {
+  GateKind kind = GateKind::And;
+  std::string name;
+  /// operands[0] is the output; the rest are inputs. All scalar refs
+  /// (name + optional index).
+  struct Conn {
+    std::string name;
+    std::optional<int> index;
+  };
+  std::vector<Conn> conns;
+  std::int64_t delay = 0;
+  int line = 0;
+};
+
+enum class EdgeKind { Any, Pos, Neg };
+
+struct SensItem {
+  std::string name;
+  EdgeKind edge = EdgeKind::Any;
+};
+
+struct AlwaysBlock {
+  /// Empty list means always @(*) — sensitive to everything read.
+  std::vector<SensItem> sensitivity;
+  bool star = false;
+  StmtPtr body;
+  int line = 0;
+};
+
+struct InitialBlock {
+  StmtPtr body;
+  int line = 0;
+};
+
+struct ModuleInst {
+  std::string module;  ///< instantiated module name
+  std::string name;    ///< instance name
+  /// Named port connections: .port(signal[idx] | signal).
+  struct PortConn {
+    std::string port;
+    std::string signal;
+    std::optional<int> index;
+  };
+  std::vector<PortConn> conns;
+  int line = 0;
+};
+
+struct Module {
+  std::string name;
+  std::vector<PortDecl> ports;
+  std::vector<NetDecl> nets;
+  std::vector<ContAssign> assigns;
+  std::vector<GateInst> gates;
+  std::vector<AlwaysBlock> always_blocks;
+  std::vector<InitialBlock> initial_blocks;
+  std::vector<ModuleInst> instances;
+
+  const NetDecl* find_net(const std::string& name) const;
+};
+
+StmtPtr clone(const Stmt& s);
+/// Deep copy of a module (Module owns unique_ptrs and is move-only).
+Module clone(const Module& m);
+
+/// A parsed source file: one or more modules.
+struct SourceUnit {
+  std::vector<Module> modules;
+  const Module* find_module(const std::string& name) const;
+};
+
+}  // namespace interop::hdl

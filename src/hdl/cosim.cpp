@@ -1,0 +1,62 @@
+#include "hdl/cosim.hpp"
+
+#include <algorithm>
+
+namespace interop::hdl {
+
+CosimHarness::CosimHarness(const ElabDesign& design_a,
+                           const ElabDesign& design_b,
+                           const CosimOptions& options,
+                           SchedulerPolicy policy)
+    : design_a_(design_a),
+      design_b_(design_b),
+      options_(options),
+      sim_a_(design_a, policy),
+      sim_b_(design_b, policy) {}
+
+void CosimHarness::bind_a_to_b(const std::string& from_a,
+                               const std::string& to_b) {
+  bindings_.push_back({true, design_a_.signal(from_a),
+                       design_b_.signal(to_b)});
+}
+
+void CosimHarness::bind_b_to_a(const std::string& from_b,
+                               const std::string& to_a) {
+  bindings_.push_back({false, design_b_.signal(from_b),
+                       design_a_.signal(to_a)});
+}
+
+bool CosimHarness::exchange() {
+  bool changed = false;
+  for (const CosimBinding& b : bindings_) {
+    Simulation& src = b.a_to_b ? sim_a_ : sim_b_;
+    Simulation& dst = b.a_to_b ? sim_b_ : sim_a_;
+    Logic v = src.value(b.from);
+    if (options_.z_becomes_x && v == Logic::Z) v = Logic::X;
+    if (dst.value(b.to) != v) {
+      dst.force(b.to, v);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void CosimHarness::run(std::int64_t until) {
+  for (std::int64_t t = sim_a_.now(); t <= until; ++t) {
+    sim_a_.run(t);
+    sim_b_.run(t);
+    last_iterations_ = 0;
+    do {
+      ++last_iterations_;
+      bool moved = exchange();
+      if (!moved) break;
+      // Let the receiving kernel settle the forced values.
+      sim_a_.run(t);
+      sim_b_.run(t);
+      if (!options_.iterate_to_convergence) break;
+    } while (last_iterations_ < options_.max_exchange_iterations);
+    peak_iterations_ = std::max(peak_iterations_, last_iterations_);
+  }
+}
+
+}  // namespace interop::hdl

@@ -1,0 +1,77 @@
+#pragma once
+// Co-simulation harness — §3.1: "Making two simulation tools work together
+// ... is typically problematic. Inconsistencies in the signal value set
+// (e.g. 0, 1, x, and z) and in the simulation cycle definition are common
+// sources of problems."
+//
+// Two kernels run side by side; listed boundary signals are copied across
+// after each timestep. Both §3.1 failure modes are selectable:
+//   - value-set loss: the interface cannot convey Z (it arrives as X), the
+//     way many PLI-style bridges flattened value sets;
+//   - simulation-cycle mismatch: values are exchanged only ONCE per
+//     timestep instead of iterating to convergence, so combinational paths
+//     that cross the boundary more than once settle one exchange late.
+// With both options off, co-simulation matches a monolithic run.
+
+#include <string>
+#include <vector>
+
+#include "hdl/sim.hpp"
+
+namespace interop::hdl {
+
+struct CosimOptions {
+  /// Repeat the exchange until the boundary stabilizes (the correct
+  /// handshake). false = one exchange per timestep (the broken-but-common
+  /// one).
+  bool iterate_to_convergence = true;
+  /// The bridge cannot represent Z: it arrives as X.
+  bool z_becomes_x = false;
+  int max_exchange_iterations = 16;
+};
+
+/// One boundary wire: a bit in one kernel drives a bit in the other.
+struct CosimBinding {
+  bool a_to_b = true;
+  SignalId from;
+  SignalId to;
+};
+
+class CosimHarness {
+ public:
+  CosimHarness(const ElabDesign& design_a, const ElabDesign& design_b,
+               const CosimOptions& options,
+               SchedulerPolicy policy = SchedulerPolicy::SourceOrder);
+
+  /// Bind by hierarchical bit name.
+  void bind_a_to_b(const std::string& from_a, const std::string& to_b);
+  void bind_b_to_a(const std::string& from_b, const std::string& to_a);
+
+  Simulation& sim_a() { return sim_a_; }
+  Simulation& sim_b() { return sim_b_; }
+
+  /// Advance both kernels in lockstep through every time unit up to
+  /// `until`, exchanging boundary values per the options.
+  void run(std::int64_t until);
+
+  /// How many exchange iterations the last timestep needed.
+  int last_exchange_iterations() const { return last_iterations_; }
+  /// The most iterations any timestep needed (>1 means some combinational
+  /// path crosses the boundary and back).
+  int peak_exchange_iterations() const { return peak_iterations_; }
+
+ private:
+  /// One exchange pass; returns true when any boundary value changed.
+  bool exchange();
+
+  const ElabDesign& design_a_;
+  const ElabDesign& design_b_;
+  CosimOptions options_;
+  Simulation sim_a_;
+  Simulation sim_b_;
+  std::vector<CosimBinding> bindings_;
+  int last_iterations_ = 0;
+  int peak_iterations_ = 0;
+};
+
+}  // namespace interop::hdl

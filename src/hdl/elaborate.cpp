@@ -1,0 +1,308 @@
+#include "hdl/elaborate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace interop::hdl {
+
+SignalId ElabDesign::signal(const std::string& name) const {
+  auto it = by_name.find(name);
+  if (it == by_name.end()) throw ElabError("no such signal: " + name);
+  return it->second;
+}
+
+std::vector<SignalId> ElabDesign::bus(const std::string& name, int msb,
+                                      int lsb) const {
+  std::vector<SignalId> out;
+  int step = msb >= lsb ? -1 : 1;
+  for (int b = msb;; b += step) {
+    out.push_back(signal(name + "[" + std::to_string(b) + "]"));
+    if (b == lsb) break;
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-instance scope: module-local net name -> flat bit ids (msb first).
+using Scope = std::map<std::string, std::vector<SignalId>>;
+
+class Elaborator {
+ public:
+  Elaborator(const SourceUnit& unit, ElabDesign& out)
+      : unit_(unit), out_(out) {}
+
+  void instantiate(const Module& mod, const std::string& path,
+                   const Scope& port_bindings, int depth) {
+    if (depth > 64) throw ElabError("module nesting too deep (recursion?)");
+    Scope scope;
+
+    // Declare nets: ports bound from the parent alias their signals; local
+    // nets get fresh flat bits.
+    for (const NetDecl& net : mod.nets) {
+      auto bound = port_bindings.find(net.name);
+      if (bound != port_bindings.end()) {
+        if (int(bound->second.size()) != net.width())
+          throw ElabError(path + "." + net.name + ": port width mismatch");
+        scope[net.name] = bound->second;
+        continue;
+      }
+      std::vector<SignalId> bits;
+      if (net.range) {
+        int step = net.range->first >= net.range->second ? -1 : 1;
+        for (int b = net.range->first;; b += step) {
+          bits.push_back(new_signal(
+              path + "." + net.name + "[" + std::to_string(b) + "]",
+              net.kind));
+          if (b == net.range->second) break;
+        }
+      } else {
+        bits.push_back(new_signal(path + "." + net.name, net.kind));
+      }
+      scope[net.name] = std::move(bits);
+    }
+
+    // Gates.
+    for (const GateInst& gate : mod.gates) {
+      GateProcess gp;
+      gp.kind = gate.kind;
+      gp.delay = gate.delay;
+      for (std::size_t i = 0; i < gate.conns.size(); ++i) {
+        SignalId bit = resolve_bit(scope, path, gate.conns[i].name,
+                                   gate.conns[i].index);
+        if (i == 0)
+          gp.output = bit;
+        else
+          gp.inputs.push_back(bit);
+      }
+      out_.gates.push_back(std::move(gp));
+    }
+
+    // Continuous assigns.
+    for (const ContAssign& a : mod.assigns) {
+      AssignProcess ap;
+      ap.delay = a.delay;
+      ap.lhs = resolve_lhs(scope, path, a.lhs, a.lhs_index);
+      ap.rhs = resolve_expr(scope, path, *a.rhs);
+      out_.assigns.push_back(std::move(ap));
+    }
+
+    // Always blocks.
+    for (const AlwaysBlock& blk : mod.always_blocks) {
+      AlwaysProcess ap;
+      if (blk.star) {
+        for (SignalId sid : stmt_reads(scope, path, *blk.body))
+          ap.sensitivity.push_back({sid, EdgeKind::Any});
+      } else {
+        for (const SensItem& item : blk.sensitivity) {
+          for (SignalId sid : resolve_all_bits(scope, path, item.name))
+            ap.sensitivity.push_back({sid, item.edge});
+        }
+      }
+      ap.body = resolve_stmt(scope, path, *blk.body, /*allow_delay=*/false);
+      out_.always_procs.push_back(std::move(ap));
+    }
+
+    // Initial blocks (delays allowed).
+    for (const InitialBlock& blk : mod.initial_blocks) {
+      InitialProcess ip;
+      ip.body = resolve_stmt(scope, path, *blk.body, /*allow_delay=*/true);
+      out_.initial_procs.push_back(std::move(ip));
+    }
+
+    // Child instances.
+    for (const ModuleInst& inst : mod.instances) {
+      const Module* child = unit_.find_module(inst.module);
+      if (!child)
+        throw ElabError(path + "." + inst.name + ": unknown module " +
+                        inst.module);
+      Scope bindings;
+      for (const ModuleInst::PortConn& conn : inst.conns) {
+        const NetDecl* port_net = child->find_net(conn.port);
+        if (!port_net)
+          throw ElabError(path + "." + inst.name + ": module " +
+                          inst.module + " has no port " + conn.port);
+        std::vector<SignalId> sig;
+        if (conn.index) {
+          sig.push_back(resolve_bit(scope, path, conn.signal, conn.index));
+        } else {
+          sig = resolve_all_bits(scope, path, conn.signal);
+        }
+        bindings[conn.port] = std::move(sig);
+      }
+      instantiate(*child, path + "." + inst.name, bindings, depth + 1);
+    }
+  }
+
+ private:
+  SignalId new_signal(const std::string& name, NetKind kind) {
+    SignalId id = SignalId(out_.signal_names.size());
+    out_.signal_names.push_back(name);
+    out_.signal_kinds.push_back(kind);
+    out_.by_name[name] = id;
+    return id;
+  }
+
+  const std::vector<SignalId>& lookup(const Scope& scope,
+                                      const std::string& path,
+                                      const std::string& name) const {
+    auto it = scope.find(name);
+    if (it == scope.end())
+      throw ElabError(path + ": undeclared signal " + name);
+    return it->second;
+  }
+
+  std::vector<SignalId> resolve_all_bits(const Scope& scope,
+                                         const std::string& path,
+                                         const std::string& name) const {
+    return lookup(scope, path, name);
+  }
+
+  SignalId resolve_bit(const Scope& scope, const std::string& path,
+                       const std::string& name,
+                       std::optional<int> index) const {
+    const std::vector<SignalId>& bits = lookup(scope, path, name);
+    if (!index) {
+      if (bits.size() != 1)
+        throw ElabError(path + "." + name +
+                        ": vector used where a scalar is required");
+      return bits[0];
+    }
+    // Index counts from the declared range; we stored msb-first. Find by
+    // trailing "[idx]" name match for correctness with either range order.
+    for (SignalId sid : bits) {
+      const std::string& n = out_.signal_names[sid];
+      std::string want = "[" + std::to_string(*index) + "]";
+      if (n.size() >= want.size() &&
+          n.compare(n.size() - want.size(), want.size(), want) == 0)
+        return sid;
+    }
+    throw ElabError(path + "." + name + ": bit index " +
+                    std::to_string(*index) + " out of range");
+  }
+
+  std::vector<SignalId> resolve_lhs(const Scope& scope,
+                                    const std::string& path,
+                                    const std::string& name,
+                                    std::optional<int> index) const {
+    if (index) return {resolve_bit(scope, path, name, index)};
+    return lookup(scope, path, name);
+  }
+
+  RExprPtr resolve_expr(const Scope& scope, const std::string& path,
+                        const Expr& e) const {
+    auto out = std::make_unique<RExpr>();
+    out->kind = e.kind;
+    out->literal = e.literal;
+    out->un_op = e.un_op;
+    out->bin_op = e.bin_op;
+    switch (e.kind) {
+      case Expr::Kind::Literal:
+        break;
+      case Expr::Kind::Ref:
+        out->bits = lookup(scope, path, e.name);
+        break;
+      case Expr::Kind::Select:
+        out->bits = {resolve_bit(scope, path, e.name, e.index)};
+        break;
+      default:
+        for (const ExprPtr& op : e.operands)
+          out->operands.push_back(resolve_expr(scope, path, *op));
+        break;
+    }
+    return out;
+  }
+
+  RStmtPtr resolve_stmt(const Scope& scope, const std::string& path,
+                        const Stmt& s, bool allow_delay) const {
+    auto out = std::make_unique<RStmt>();
+    out->kind = s.kind;
+    out->nonblocking = s.nonblocking;
+    out->delay = s.delay;
+    switch (s.kind) {
+      case Stmt::Kind::Block:
+      case Stmt::Kind::Forever:
+        for (const StmtPtr& child : s.body)
+          out->body.push_back(resolve_stmt(scope, path, *child, allow_delay));
+        if (s.kind == Stmt::Kind::Forever && !allow_delay)
+          throw ElabError(path + ": forever loop outside initial block");
+        break;
+      case Stmt::Kind::Assign:
+        out->lhs = resolve_lhs(scope, path, s.lhs, s.lhs_index);
+        out->rhs = resolve_expr(scope, path, *s.rhs);
+        break;
+      case Stmt::Kind::If:
+        out->condition = resolve_expr(scope, path, *s.condition);
+        out->then_branch =
+            resolve_stmt(scope, path, *s.then_branch, allow_delay);
+        if (s.else_branch)
+          out->else_branch =
+              resolve_stmt(scope, path, *s.else_branch, allow_delay);
+        break;
+      case Stmt::Kind::Delay:
+        if (!allow_delay)
+          throw ElabError(path +
+                          ": delay control is only supported in initial "
+                          "blocks");
+        for (const StmtPtr& child : s.body)
+          out->body.push_back(resolve_stmt(scope, path, *child, allow_delay));
+        break;
+      case Stmt::Kind::While:
+        out->condition = resolve_expr(scope, path, *s.condition);
+        for (const StmtPtr& child : s.body)
+          out->body.push_back(resolve_stmt(scope, path, *child, allow_delay));
+        break;
+      case Stmt::Kind::Case:
+        out->condition = resolve_expr(scope, path, *s.condition);
+        for (const Stmt::CaseArm& arm : s.arms) {
+          RStmt::CaseArm rarm;
+          rarm.match = arm.match;
+          rarm.stmt = resolve_stmt(scope, path, *arm.stmt, allow_delay);
+          out->arms.push_back(std::move(rarm));
+        }
+        break;
+    }
+    return out;
+  }
+
+  /// All signal bits read anywhere in `s` (for always @(*)).
+  std::vector<SignalId> stmt_reads(const Scope& scope, const std::string& path,
+                                   const Stmt& s) const {
+    std::vector<SignalId> out;
+    auto add_expr = [&](const Expr& e) {
+      for (const std::string& name : referenced_names(e)) {
+        for (SignalId sid : lookup(scope, path, name)) {
+          if (std::find(out.begin(), out.end(), sid) == out.end())
+            out.push_back(sid);
+        }
+      }
+    };
+    std::function<void(const Stmt&)> walk = [&](const Stmt& st) {
+      if (st.rhs) add_expr(*st.rhs);
+      if (st.condition) add_expr(*st.condition);
+      if (st.then_branch) walk(*st.then_branch);
+      if (st.else_branch) walk(*st.else_branch);
+      for (const StmtPtr& child : st.body) walk(*child);
+      for (const Stmt::CaseArm& arm : st.arms) walk(*arm.stmt);
+    };
+    walk(s);
+    return out;
+  }
+
+  const SourceUnit& unit_;
+  ElabDesign& out_;
+};
+
+}  // namespace
+
+ElabDesign elaborate(const SourceUnit& unit, const std::string& top) {
+  const Module* mod = unit.find_module(top);
+  if (!mod) throw ElabError("top module not found: " + top);
+  ElabDesign out;
+  Elaborator el(unit, out);
+  el.instantiate(*mod, top, {}, 0);
+  return out;
+}
+
+}  // namespace interop::hdl

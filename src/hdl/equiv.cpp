@@ -1,0 +1,154 @@
+#include "hdl/equiv.hpp"
+
+#include <map>
+
+#include "hdl/elaborate.hpp"
+#include "hdl/sim.hpp"
+
+namespace interop::hdl {
+
+namespace {
+
+/// Bit names of a (possibly vector) port: "clk" or "v[3]".
+std::vector<std::string> port_bits(const Module& m, const std::string& port) {
+  const NetDecl* net = m.find_net(port);
+  std::vector<std::string> out;
+  if (!net || !net->range) {
+    out.push_back(port);
+    return out;
+  }
+  int step = net->range->first >= net->range->second ? -1 : 1;
+  for (int b = net->range->first;; b += step) {
+    out.push_back(port + "[" + std::to_string(b) + "]");
+    if (b == net->range->second) break;
+  }
+  return out;
+}
+
+/// Resolve a canonical bit name in an elaborated design, trying both the
+/// RTL spelling ("top.v[3]") and the synthesizer's flattening ("top.v_3").
+std::optional<SignalId> resolve_bit(const ElabDesign& design,
+                                    const std::string& top,
+                                    const std::string& bit) {
+  auto it = design.by_name.find(top + "." + bit);
+  if (it != design.by_name.end()) return it->second;
+  std::string flat = bit;
+  std::size_t open = flat.find('[');
+  if (open != std::string::npos) {
+    flat = flat.substr(0, open) + "_" +
+           flat.substr(open + 1, flat.size() - open - 2);
+  }
+  auto it2 = design.by_name.find(top + "." + flat);
+  if (it2 != design.by_name.end()) return it2->second;
+  return std::nullopt;
+}
+
+bool is_sequential(const Module& m) {
+  for (const AlwaysBlock& blk : m.always_blocks)
+    for (const SensItem& item : blk.sensitivity)
+      if (item.edge != EdgeKind::Any) return true;
+  return !m.initial_blocks.empty();
+}
+
+}  // namespace
+
+EquivResult check_equivalence(const Module& a, const Module& b,
+                              int max_inputs) {
+  EquivResult result;
+
+  if (is_sequential(a) || is_sequential(b)) {
+    result.error = "sequential constructs: combinational check only";
+    return result;
+  }
+
+  // Shared interface, expanded to bits (taken from a; b must match).
+  std::vector<std::string> in_bits, out_bits;
+  for (const PortDecl& port : a.ports) {
+    auto bits = port_bits(a, port.name);
+    if (port.dir == PortDir::Input)
+      in_bits.insert(in_bits.end(), bits.begin(), bits.end());
+    else
+      out_bits.insert(out_bits.end(), bits.begin(), bits.end());
+  }
+  if (int(in_bits.size()) > max_inputs) {
+    result.error = "too many inputs for exhaustive check (" +
+                   std::to_string(in_bits.size()) + " > " +
+                   std::to_string(max_inputs) + ")";
+    return result;
+  }
+  if (out_bits.empty()) {
+    result.error = "no outputs to compare";
+    return result;
+  }
+
+  SourceUnit unit_a, unit_b;
+  unit_a.modules.push_back(clone(a));
+  unit_b.modules.push_back(clone(b));
+  ElabDesign da, db;
+  try {
+    da = elaborate(unit_a, a.name);
+    db = elaborate(unit_b, b.name);
+  } catch (const ElabError& e) {
+    result.error = e.what();
+    return result;
+  }
+
+  // Resolve every interface bit in both designs.
+  std::vector<std::pair<SignalId, SignalId>> ins, outs;
+  for (const std::string& bit : in_bits) {
+    auto sa = resolve_bit(da, a.name, bit);
+    auto sb = resolve_bit(db, b.name, bit);
+    if (!sa || !sb) {
+      result.error = "input '" + bit + "' missing in " +
+                     (sa ? b.name : a.name);
+      return result;
+    }
+    ins.emplace_back(*sa, *sb);
+  }
+  for (const std::string& bit : out_bits) {
+    auto sa = resolve_bit(da, a.name, bit);
+    auto sb = resolve_bit(db, b.name, bit);
+    if (!sa || !sb) {
+      result.error = "output '" + bit + "' missing in " +
+                     (sa ? b.name : a.name);
+      return result;
+    }
+    outs.emplace_back(*sa, *sb);
+  }
+  result.comparable = true;
+
+  const std::size_t n = ins.size();
+  for (std::uint64_t vec = 0; vec < (std::uint64_t(1) << n); ++vec) {
+    // Fresh kernels per vector: combinational nets have no state to carry.
+    Simulation sim_a(da, SchedulerPolicy::SourceOrder);
+    Simulation sim_b(db, SchedulerPolicy::SourceOrder);
+    for (std::size_t i = 0; i < n; ++i) {
+      Logic v = logic_of((vec >> i) & 1);
+      sim_a.force(ins[i].first, v);
+      sim_b.force(ins[i].second, v);
+    }
+    sim_a.run(0);
+    sim_b.run(0);
+    ++result.vectors_checked;
+
+    for (std::size_t o = 0; o < outs.size(); ++o) {
+      Logic va = sim_a.value(outs[o].first);
+      Logic vb = sim_b.value(outs[o].second);
+      if (va == vb) continue;
+      EquivMismatch mismatch;
+      for (std::size_t i = 0; i < n; ++i)
+        mismatch.assignment.push_back(
+            in_bits[i] + "=" + ((vec >> i) & 1 ? "1" : "0"));
+      mismatch.output = out_bits[o];
+      mismatch.value_a = to_char(va);
+      mismatch.value_b = to_char(vb);
+      result.counterexample = std::move(mismatch);
+      result.equivalent = false;
+      return result;
+    }
+  }
+  result.equivalent = true;
+  return result;
+}
+
+}  // namespace interop::hdl

@@ -1,0 +1,41 @@
+#pragma once
+// Combinational equivalence checking — the "technological innovation" §6
+// uses as its substitution example ("new technologies such as formal logic
+// verification replace a large number of tasks with a single task").
+//
+// Two modules are compared over every 0/1 assignment of their shared input
+// ports (exhaustive up to `max_inputs` inputs — this is the honest 1996-era
+// BDD-free approach for small cones). Outputs are matched by port name;
+// vector ports are compared bit by bit.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hdl/ast.hpp"
+
+namespace interop::hdl {
+
+struct EquivMismatch {
+  /// Input assignment that distinguishes the designs, "name=0/1" per input.
+  std::vector<std::string> assignment;
+  std::string output;   ///< differing output bit name
+  char value_a = '?';
+  char value_b = '?';
+};
+
+struct EquivResult {
+  bool comparable = false;   ///< interfaces matched and check ran
+  bool equivalent = false;
+  std::string error;         ///< why not comparable, when !comparable
+  std::optional<EquivMismatch> counterexample;
+  int vectors_checked = 0;
+};
+
+/// Check `a` against `b`. Input ports must agree by name (bit-blasted
+/// names like "v_3" in a netlist match "v[3]" in RTL via the synthesizer's
+/// convention). Sequential constructs make the modules non-comparable.
+EquivResult check_equivalence(const Module& a, const Module& b,
+                              int max_inputs = 14);
+
+}  // namespace interop::hdl

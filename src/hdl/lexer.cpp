@@ -1,0 +1,216 @@
+#include "hdl/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace interop::hdl {
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw = {
+      {"module", Tok::KwModule},   {"endmodule", Tok::KwEndmodule},
+      {"input", Tok::KwInput},     {"output", Tok::KwOutput},
+      {"inout", Tok::KwInout},     {"wire", Tok::KwWire},
+      {"reg", Tok::KwReg},         {"assign", Tok::KwAssign},
+      {"always", Tok::KwAlways},   {"initial", Tok::KwInitial},
+      {"begin", Tok::KwBegin},     {"end", Tok::KwEnd},
+      {"if", Tok::KwIf},           {"else", Tok::KwElse},
+      {"posedge", Tok::KwPosedge}, {"negedge", Tok::KwNegedge},
+      {"or", Tok::KwOr},           {"and", Tok::KwAnd},
+      {"nand", Tok::KwNand},       {"nor", Tok::KwNor},
+      {"xor", Tok::KwXor},         {"not", Tok::KwNot},
+      {"buf", Tok::KwBuf},         {"forever", Tok::KwForever},
+      {"while", Tok::KwWhile},     {"for", Tok::KwFor},
+      {"case", Tok::KwCase},       {"endcase", Tok::KwEndcase},
+      {"default", Tok::KwDefault},
+  };
+  return kw;
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+
+  auto push = [&](Token t) {
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // comments
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= src.size()) throw ParseError("unterminated comment", line);
+      i += 2;
+      continue;
+    }
+    // escaped identifier: backslash up to whitespace
+    if (c == '\\') {
+      std::size_t start = ++i;
+      while (i < src.size() &&
+             !std::isspace(static_cast<unsigned char>(src[i])))
+        ++i;
+      if (i == start) throw ParseError("empty escaped identifier", line);
+      Token t;
+      t.kind = Tok::Identifier;
+      t.text = src.substr(start, i - start);
+      t.escaped = true;
+      push(std::move(t));
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < src.size() && ident_char(src[i])) ++i;
+      std::string word = src.substr(start, i - start);
+      auto kw = keywords().find(word);
+      Token t;
+      if (kw != keywords().end()) {
+        t.kind = kw->second;
+        t.text = word;
+      } else {
+        t.kind = Tok::Identifier;
+        t.text = word;
+      }
+      push(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+      // [size]'b... / 'd... / plain decimal
+      std::size_t start = i;
+      std::string digits;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i])))
+        ++i;
+      digits = src.substr(start, i - start);
+      if (i < src.size() && src[i] == '\'') {
+        ++i;
+        if (i >= src.size()) throw ParseError("truncated based literal", line);
+        char base = char(std::tolower(static_cast<unsigned char>(src[i++])));
+        std::string body;
+        while (i < src.size() &&
+               (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                src[i] == '_')) {
+          if (src[i] != '_') body += src[i];
+          ++i;
+        }
+        if (body.empty()) throw ParseError("empty based literal", line);
+        Token t;
+        t.kind = Tok::Number;
+        t.width = digits.empty() ? 32 : std::stoi(digits);
+        std::string bits;
+        if (base == 'b') {
+          for (char bc : body) {
+            char lc = char(std::tolower(static_cast<unsigned char>(bc)));
+            if (lc != '0' && lc != '1' && lc != 'x' && lc != 'z')
+              throw ParseError("bad binary digit", line);
+            bits += lc;
+          }
+        } else if (base == 'h') {
+          for (char hc : body) {
+            char lc = char(std::tolower(static_cast<unsigned char>(hc)));
+            if (lc == 'x' || lc == 'z') {
+              bits += std::string(4, lc);
+            } else if (std::isxdigit(static_cast<unsigned char>(lc))) {
+              int v = lc <= '9' ? lc - '0' : lc - 'a' + 10;
+              for (int b = 3; b >= 0; --b) bits += char('0' + ((v >> b) & 1));
+            } else {
+              throw ParseError("bad hex digit", line);
+            }
+          }
+        } else if (base == 'd') {
+          std::int64_t v = std::stoll(body);
+          for (int b = t.width - 1; b >= 0; --b)
+            bits += char('0' + ((v >> b) & 1));
+        } else {
+          throw ParseError(std::string("unsupported base '") + base + "'",
+                           line);
+        }
+        // Trim/extend to width (left-truncate or zero-extend).
+        if (int(bits.size()) > t.width)
+          bits = bits.substr(bits.size() - std::size_t(t.width));
+        while (int(bits.size()) < t.width)
+          bits.insert(bits.begin(),
+                      bits.front() == 'x' || bits.front() == 'z' ? bits.front()
+                                                                 : '0');
+        t.xz_bits = bits;
+        t.has_x = bits.find_first_of("xz") != std::string::npos;
+        t.value = 0;
+        if (!t.has_x)
+          for (char bc : bits) t.value = (t.value << 1) | (bc - '0');
+        t.text = src.substr(start, i - start);
+        push(std::move(t));
+      } else {
+        if (digits.empty()) throw ParseError("stray quote", line);
+        Token t;
+        t.kind = Tok::Number;
+        t.value = std::stoll(digits);
+        t.width = 32;
+        t.text = digits;
+        push(std::move(t));
+      }
+      continue;
+    }
+    // punctuation (longest-match for <= >= == != && ||)
+    static const char* kTwo[] = {"<=", ">=", "==", "!=", "&&", "||"};
+    std::string two = src.substr(i, 2);
+    bool matched = false;
+    for (const char* p : kTwo) {
+      if (two == p) {
+        Token t;
+        t.kind = Tok::Punct;
+        t.text = two;
+        push(std::move(t));
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kOne = "()[]{};,.:@#=*/+-!&|^~?<>";
+    if (kOne.find(c) != std::string::npos) {
+      Token t;
+      t.kind = Tok::Punct;
+      t.text = std::string(1, c);
+      push(std::move(t));
+      ++i;
+      continue;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line);
+  }
+
+  Token eof;
+  eof.kind = Tok::Eof;
+  eof.line = line;
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace interop::hdl

@@ -1,0 +1,50 @@
+#pragma once
+// Lexer for the mini-HDL (a small Verilog subset rich enough to exhibit the
+// paper's §3 interoperability failures: sensitivity lists, blocking vs
+// nonblocking assignment, escaped identifiers, bit-selects, gate primitives,
+// hierarchy).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace interop::hdl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+enum class Tok : std::uint8_t {
+  Identifier,   ///< plain or escaped (text holds the name, escaped_ set)
+  Number,       ///< decimal or based literal; value/width in fields
+  Punct,        ///< one of ( ) [ ] { } ; , . : @ # = * / + - ! & | ^ ~ ? < >
+  KwModule, KwEndmodule, KwInput, KwOutput, KwInout, KwWire, KwReg,
+  KwAssign, KwAlways, KwInitial, KwBegin, KwEnd, KwIf, KwElse, KwPosedge,
+  KwNegedge, KwOr, KwAnd, KwNand, KwNor, KwXor, KwNot, KwBuf, KwForever,
+  KwWhile, KwFor, KwCase, KwEndcase, KwDefault,
+  Eof,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;          ///< identifier name / punct text / number text
+  std::int64_t value = 0;    ///< numeric value for Number
+  int width = 32;            ///< bit width for Number ('d default 32)
+  bool has_x = false;        ///< literal contains x/z digits
+  std::string xz_bits;       ///< raw bits for based literals ("01xz...")
+  bool escaped = false;      ///< identifier came from \escaped syntax
+  int line = 1;
+};
+
+/// Tokenize the whole source. Throws ParseError on malformed input.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace interop::hdl

@@ -1,0 +1,123 @@
+#include "hdl/logic.hpp"
+
+namespace interop::hdl {
+
+char to_char(Logic v) {
+  switch (v) {
+    case Logic::L0: return '0';
+    case Logic::L1: return '1';
+    case Logic::X: return 'x';
+    case Logic::Z: return 'z';
+  }
+  return 'x';
+}
+
+Logic logic_from_char(char c) {
+  switch (c) {
+    case '0': return Logic::L0;
+    case '1': return Logic::L1;
+    case 'z':
+    case 'Z': return Logic::Z;
+    default: return Logic::X;
+  }
+}
+
+namespace {
+// Z on a gate input behaves as X.
+Logic gate_in(Logic v) { return v == Logic::Z ? Logic::X : v; }
+}  // namespace
+
+Logic logic_and(Logic a, Logic b) {
+  a = gate_in(a);
+  b = gate_in(b);
+  if (a == Logic::L0 || b == Logic::L0) return Logic::L0;
+  if (a == Logic::L1 && b == Logic::L1) return Logic::L1;
+  return Logic::X;
+}
+
+Logic logic_or(Logic a, Logic b) {
+  a = gate_in(a);
+  b = gate_in(b);
+  if (a == Logic::L1 || b == Logic::L1) return Logic::L1;
+  if (a == Logic::L0 && b == Logic::L0) return Logic::L0;
+  return Logic::X;
+}
+
+Logic logic_xor(Logic a, Logic b) {
+  a = gate_in(a);
+  b = gate_in(b);
+  if (!is_known(a) || !is_known(b)) return Logic::X;
+  return logic_of(a != b);
+}
+
+Logic logic_not(Logic a) {
+  a = gate_in(a);
+  if (!is_known(a)) return Logic::X;
+  return a == Logic::L0 ? Logic::L1 : Logic::L0;
+}
+
+Logic resolve(Logic a, Logic b) {
+  if (a == Logic::Z) return b;
+  if (b == Logic::Z) return a;
+  if (a == b) return a;
+  return Logic::X;
+}
+
+Logic logic_eq(Logic a, Logic b) {
+  if (!is_known(a) || !is_known(b)) return Logic::X;
+  return logic_of(a == b);
+}
+
+Logic logic_mux(Logic sel, Logic a, Logic b) {
+  if (sel == Logic::L1) return a;
+  if (sel == Logic::L0) return b;
+  // Unknown select: result known only when both branches agree.
+  return a == b ? a : Logic::X;
+}
+
+std::string to_string(const ExtValue& v) {
+  const char* s = v.strength == Strength::Supply   ? "Su"
+                  : v.strength == Strength::Strong ? "St"
+                                                   : "We";
+  return std::string(s) + to_char(v.value);
+}
+
+ExtValue resolve_ext(const ExtValue& a, const ExtValue& b) {
+  // Z has no strength: it always yields.
+  if (a.value == Logic::Z) return b;
+  if (b.value == Logic::Z) return a;
+  if (a.strength != b.strength) {
+    return static_cast<int>(a.strength) < static_cast<int>(b.strength) ? a
+                                                                       : b;
+  }
+  return {resolve(a.value, b.value), a.strength};
+}
+
+Logic to_logic(const ExtValue& v) { return v.value; }
+
+ExtValue to_ext(Logic v) { return {v, Strength::Strong}; }
+
+CosimLoss cosim_resolution_loss() {
+  CosimLoss loss;
+  std::array<Strength, 3> strengths = {Strength::Supply, Strength::Strong,
+                                       Strength::Weak};
+  for (Logic va : kAllLogic) {
+    for (Strength sa : strengths) {
+      for (Logic vb : kAllLogic) {
+        for (Strength sb : strengths) {
+          ExtValue a{va, sa}, b{vb, sb};
+          ++loss.total_pairs;
+          Logic native = to_logic(resolve_ext(a, b));
+          // Round-trip through the 4-value interface: strengths are lost,
+          // both drivers arrive Strong.
+          Logic lossy =
+              to_logic(resolve_ext(to_ext(to_logic(a)), to_ext(to_logic(b))));
+          if (native != lossy) ++loss.divergent_pairs;
+        }
+      }
+    }
+  }
+  return loss;
+}
+
+}  // namespace interop::hdl

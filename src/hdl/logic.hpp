@@ -1,0 +1,74 @@
+#pragma once
+// Four-value logic (0, 1, X, Z) and vendor value-set mapping.
+//
+// §3.1 of the paper: co-simulation between two HDL tools breaks on
+// "inconsistencies in the signal value set (e.g. 0, 1, x, and z)". We model
+// the IEEE-style 4-value set used by simulator kernels here, plus an
+// extended strength-aware 12-value set (ExtValue) a second "vendor" uses;
+// the lossy mapping between them is exercised by the co-simulation bench.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace interop::hdl {
+
+/// The basic 4-value logic set.
+enum class Logic : std::uint8_t { L0, L1, X, Z };
+
+constexpr std::array<Logic, 4> kAllLogic = {Logic::L0, Logic::L1, Logic::X,
+                                            Logic::Z};
+
+char to_char(Logic v);
+Logic logic_from_char(char c);
+/// Convenience: 0/1 -> L0/L1.
+inline Logic logic_of(bool b) { return b ? Logic::L1 : Logic::L0; }
+inline bool is_known(Logic v) { return v == Logic::L0 || v == Logic::L1; }
+
+// Standard gate truth tables with X/Z pessimism (Z inputs read as X).
+Logic logic_and(Logic a, Logic b);
+Logic logic_or(Logic a, Logic b);
+Logic logic_xor(Logic a, Logic b);
+Logic logic_not(Logic a);
+/// Multi-driver resolution for wires: equal values win, 0 vs 1 -> X,
+/// Z yields to anything.
+Logic resolve(Logic a, Logic b);
+/// Equality in the 4-value world: comparisons with X/X are X themselves;
+/// this returns the *simulator's* boolean used by `if` (X compares unequal,
+/// Verilog-style plain ==).
+Logic logic_eq(Logic a, Logic b);
+/// Multiplexer: sel==1 -> a, sel==0 -> b, else pessimistic merge.
+Logic logic_mux(Logic sel, Logic a, Logic b);
+
+/// Drive strength of the extended vendor value set.
+enum class Strength : std::uint8_t { Supply, Strong, Weak };
+
+/// The second vendor's 12-value signal set: 4 logic values x 3 strengths.
+struct ExtValue {
+  Logic value = Logic::X;
+  Strength strength = Strength::Strong;
+
+  friend bool operator==(const ExtValue&, const ExtValue&) = default;
+};
+
+std::string to_string(const ExtValue& v);
+
+/// Strength-aware resolution (the vendor-B semantics): a stronger driver
+/// wins outright; equal strengths resolve like the 4-value rule.
+ExtValue resolve_ext(const ExtValue& a, const ExtValue& b);
+
+/// Export vendor-B value to the 4-value world: strength is dropped. Lossy.
+Logic to_logic(const ExtValue& v);
+/// Import a 4-value into vendor-B: everything arrives Strong.
+ExtValue to_ext(Logic v);
+
+/// Count of (a, b) ExtValue pairs whose resolution changes when the
+/// resolution is computed after round-tripping through the 4-value set
+/// instead of natively — the co-simulation information loss measure.
+struct CosimLoss {
+  int total_pairs = 0;
+  int divergent_pairs = 0;
+};
+CosimLoss cosim_resolution_loss();
+
+}  // namespace interop::hdl

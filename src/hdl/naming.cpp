@@ -1,0 +1,174 @@
+#include "hdl/naming.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/strings.hpp"
+
+namespace interop::hdl::naming {
+
+AliasReport find_length_aliases(const std::vector<std::string>& names,
+                                std::size_t significant) {
+  AliasReport report;
+  report.names_total = names.size();
+  std::map<std::string, std::vector<std::string>> buckets;
+  for (const std::string& name : names)
+    buckets[name.substr(0, significant)].push_back(name);
+  for (auto& [trunc, originals] : buckets) {
+    std::sort(originals.begin(), originals.end());
+    originals.erase(std::unique(originals.begin(), originals.end()),
+                    originals.end());
+    if (originals.size() > 1) {
+      report.names_aliased += originals.size();
+      report.collisions.emplace(trunc, std::move(originals));
+    }
+  }
+  return report;
+}
+
+EscapedInterpretation interpret_escaped(const std::string& name,
+                                        EscapePolicy policy) {
+  EscapedInterpretation out;
+  out.base = name;
+  switch (policy) {
+    case EscapePolicy::Literal:
+      break;
+    case EscapePolicy::BracketIsBit: {
+      std::size_t open = name.rfind('[');
+      if (open != std::string::npos && !name.empty() && name.back() == ']') {
+        std::string inner = name.substr(open + 1, name.size() - open - 2);
+        bool digits = !inner.empty() &&
+                      std::all_of(inner.begin(), inner.end(), [](char c) {
+                        return std::isdigit(static_cast<unsigned char>(c));
+                      });
+        if (digits) {
+          out.base = name.substr(0, open);
+          out.bit = std::stoi(inner);
+        }
+      }
+      break;
+    }
+    case EscapePolicy::StarActiveLow: {
+      std::string stripped;
+      for (char c : name) {
+        if (c == '*')
+          out.active_low = true;
+        else
+          stripped += c;
+      }
+      out.base = stripped;
+      break;
+    }
+  }
+  return out;
+}
+
+bool escaped_divergence(const std::string& name, EscapePolicy a,
+                        EscapePolicy b) {
+  return !(interpret_escaped(name, a) == interpret_escaped(name, b));
+}
+
+const std::set<std::string>& vhdl_keywords() {
+  static const std::set<std::string> kw = {
+      "abs",      "access",   "after",     "alias",    "all",      "and",
+      "architecture", "array", "assert",   "attribute", "begin",   "block",
+      "body",     "buffer",   "bus",       "case",     "component", "configuration",
+      "constant", "disconnect", "downto",  "else",     "elsif",    "end",
+      "entity",   "exit",     "file",      "for",      "function", "generate",
+      "generic",  "group",    "guarded",   "if",       "impure",   "in",
+      "inertial", "inout",    "is",        "label",    "library",  "linkage",
+      "literal",  "loop",     "map",       "mod",      "nand",     "new",
+      "next",     "nor",      "not",       "null",     "of",       "on",
+      "open",     "or",       "others",    "out",      "package",  "port",
+      "postponed", "procedure", "process", "pure",     "range",    "record",
+      "register", "reject",   "rem",       "report",   "return",   "rol",
+      "ror",      "select",   "severity",  "signal",   "shared",   "sla",
+      "sll",      "sra",      "srl",       "subtype",  "then",     "to",
+      "transport", "type",    "unaffected", "units",   "until",    "use",
+      "variable", "wait",     "when",      "while",    "with",     "xnor",
+      "xor"};
+  return kw;
+}
+
+const std::set<std::string>& verilog_keywords() {
+  static const std::set<std::string> kw = {
+      "always",  "and",     "assign",  "begin",   "buf",      "case",
+      "casex",   "casez",   "default", "defparam", "else",    "end",
+      "endcase", "endmodule", "endfunction", "endtask", "for", "forever",
+      "function", "if",     "initial", "inout",   "input",    "integer",
+      "module",  "nand",    "negedge", "nor",     "not",      "or",
+      "output",  "parameter", "posedge", "reg",   "repeat",   "task",
+      "time",    "tri",     "while",   "wire",    "xnor",     "xor"};
+  return kw;
+}
+
+KeywordRenames rename_keyword_clashes(const std::vector<std::string>& names,
+                                      const std::set<std::string>& keywords) {
+  KeywordRenames out;
+  std::set<std::string> taken(names.begin(), names.end());
+  for (const std::string& name : names) {
+    if (!keywords.count(base::to_lower(name))) continue;
+    std::string candidate = name + "_v";
+    int n = 2;
+    while (taken.count(candidate)) {
+      candidate = name + "_v" + std::to_string(n++);
+    }
+    taken.insert(candidate);
+    out.renames[name] = candidate;
+  }
+  return out;
+}
+
+std::string flatten_naive(const std::vector<std::string>& path) {
+  return base::join(path, "_");
+}
+
+std::string flatten_reversible(const std::vector<std::string>& path) {
+  std::vector<std::string> escaped;
+  escaped.reserve(path.size());
+  for (const std::string& seg : path)
+    escaped.push_back(base::replace_all(seg, "_", "__"));
+  return base::join(escaped, "_");
+}
+
+std::vector<std::string> unflatten_reversible(const std::string& flat) {
+  // A single '_' separates segments; "__" is a literal underscore.
+  std::vector<std::string> out;
+  std::string cur;
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    if (flat[i] != '_') {
+      cur += flat[i];
+      continue;
+    }
+    if (i + 1 < flat.size() && flat[i + 1] == '_') {
+      cur += '_';
+      ++i;
+    } else {
+      out.push_back(cur);
+      cur.clear();
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+FlattenReport analyze_flattening(
+    const std::vector<std::vector<std::string>>& paths) {
+  FlattenReport report;
+  report.paths = paths.size();
+  std::map<std::string, int> naive, reversible;
+  for (const std::vector<std::string>& path : paths) {
+    ++naive[flatten_naive(path)];
+    std::string flat = flatten_reversible(path);
+    ++reversible[flat];
+    if (unflatten_reversible(flat) != path)
+      ++report.reversible_roundtrip_failures;
+  }
+  for (const auto& [name, count] : naive)
+    if (count > 1) report.naive_collisions += std::size_t(count);
+  for (const auto& [name, count] : reversible)
+    if (count > 1) report.reversible_collisions += std::size_t(count);
+  return report;
+}
+
+}  // namespace interop::hdl::naming

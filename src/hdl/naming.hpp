@@ -1,0 +1,101 @@
+#pragma once
+// Naming interoperability analysis — §3.3 of the paper.
+//
+//  - Name-length significance: "several PC based simulators consider only
+//    the first eight characters as significant", silently aliasing
+//    cntr_reset1 and cntr_reset2 onto cntr_res.
+//  - Escaped identifiers: tools disagree on whether "\data[3] " is a plain
+//    name, a bit of a bus, or (for names with '*') an active-low signal.
+//  - Keywords: "in" and "out" are fine Verilog names but VHDL keywords.
+//  - Hierarchy removal: flattening derives names by joining path segments
+//    with an underscore, which is ambiguous and breaks back-mapping unless
+//    the mangling is designed to be reversible.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace interop::hdl::naming {
+
+// ------------------------------------------------------- length aliasing
+
+struct AliasReport {
+  /// truncated name -> all original names that collapse onto it (only
+  /// entries with 2+ originals are kept).
+  std::map<std::string, std::vector<std::string>> collisions;
+  std::size_t names_total = 0;
+  std::size_t names_aliased = 0;  ///< originals involved in any collision
+};
+
+/// Find names that alias when only the first `significant` characters count.
+AliasReport find_length_aliases(const std::vector<std::string>& names,
+                                std::size_t significant);
+
+// ----------------------------------------------------- escaped identifiers
+
+/// How a tool interprets the body of an escaped identifier.
+enum class EscapePolicy {
+  Literal,        ///< the whole body is the name (IEEE-correct)
+  BracketIsBit,   ///< trailing [N] is read as a bit-select of a bus
+  StarActiveLow,  ///< '*' anywhere marks the signal active-low, name drops it
+};
+
+struct EscapedInterpretation {
+  std::string base;                ///< signal name after interpretation
+  std::optional<int> bit;          ///< bit index when split off
+  bool active_low = false;
+
+  friend bool operator==(const EscapedInterpretation&,
+                         const EscapedInterpretation&) = default;
+};
+
+/// Interpret escaped-identifier body `name` under `policy`.
+EscapedInterpretation interpret_escaped(const std::string& name,
+                                        EscapePolicy policy);
+
+/// True when two tools' interpretations of `name` disagree.
+bool escaped_divergence(const std::string& name, EscapePolicy a,
+                        EscapePolicy b);
+
+// ----------------------------------------------------------- keyword clash
+
+const std::set<std::string>& vhdl_keywords();
+const std::set<std::string>& verilog_keywords();
+
+struct KeywordRenames {
+  /// original -> renamed (only names that had to change).
+  std::map<std::string, std::string> renames;
+};
+
+/// Rename every name in `names` that collides with `keywords`
+/// (case-insensitive, as VHDL is) by appending "_v", uniquified against the
+/// whole name set. This models translating Verilog identifiers into VHDL —
+/// syntax errors avoided, but "identifier names will no longer match
+/// between models".
+KeywordRenames rename_keyword_clashes(const std::vector<std::string>& names,
+                                      const std::set<std::string>& keywords);
+
+// ---------------------------------------------------- hierarchy flattening
+
+/// Join a hierarchical path with plain underscores (the "systematic way"
+/// the paper describes). Ambiguous: {"a_b","c"} and {"a","b_c"} collide.
+std::string flatten_naive(const std::vector<std::string>& path);
+
+/// Reversible mangling: underscores in segments are doubled, segments are
+/// joined with single underscores. unflatten_reversible() inverts it.
+std::string flatten_reversible(const std::vector<std::string>& path);
+std::vector<std::string> unflatten_reversible(const std::string& flat);
+
+/// Count flattened-name collisions over a set of paths, for both manglers.
+struct FlattenReport {
+  std::size_t paths = 0;
+  std::size_t naive_collisions = 0;
+  std::size_t reversible_collisions = 0;
+  std::size_t reversible_roundtrip_failures = 0;
+};
+FlattenReport analyze_flattening(
+    const std::vector<std::vector<std::string>>& paths);
+
+}  // namespace interop::hdl::naming

@@ -1,0 +1,548 @@
+#include "hdl/parser.hpp"
+
+#include <cassert>
+
+#include "hdl/lexer.hpp"
+
+namespace interop::hdl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : toks_(lex(src)) {}
+
+  SourceUnit parse_unit() {
+    SourceUnit unit;
+    while (!at(Tok::Eof)) unit.modules.push_back(parse_module());
+    return unit;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(int n = 1) const {
+    std::size_t i = pos_ + std::size_t(n);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool at_punct(const std::string& p) const {
+    return cur().kind == Tok::Punct && cur().text == p;
+  }
+  Token take() { return toks_[pos_++]; }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg + " (got '" + cur().text + "')", cur().line);
+  }
+  Token expect(Tok k, const char* what) {
+    if (!at(k)) fail(std::string("expected ") + what);
+    return take();
+  }
+  Token expect_punct(const std::string& p) {
+    if (!at_punct(p)) fail("expected '" + p + "'");
+    return take();
+  }
+  bool accept_punct(const std::string& p) {
+    if (at_punct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // ------------------------------------------------------------- modules
+
+  Module parse_module() {
+    Module m;
+    expect(Tok::KwModule, "'module'");
+    m.name = expect(Tok::Identifier, "module name").text;
+    if (accept_punct("(")) {
+      if (!at_punct(")")) {
+        do {
+          expect(Tok::Identifier, "port name");
+        } while (accept_punct(","));
+      }
+      expect_punct(")");
+    }
+    expect_punct(";");
+    while (!at(Tok::KwEndmodule)) {
+      if (at(Tok::Eof)) fail("unexpected end of file inside module");
+      parse_item(m);
+    }
+    take();  // endmodule
+    return m;
+  }
+
+  std::optional<std::pair<int, int>> parse_range() {
+    if (!at_punct("[")) return std::nullopt;
+    take();
+    int msb = int(expect(Tok::Number, "range msb").value);
+    expect_punct(":");
+    int lsb = int(expect(Tok::Number, "range lsb").value);
+    expect_punct("]");
+    return std::make_pair(msb, lsb);
+  }
+
+  void declare_net(Module& m, const std::string& name, bool escaped,
+                   NetKind kind, std::optional<std::pair<int, int>> range,
+                   int line) {
+    for (NetDecl& n : m.nets) {
+      if (n.name == name) {
+        // Re-declaration upgrades wire -> reg (output reg pattern).
+        if (kind == NetKind::Reg) n.kind = NetKind::Reg;
+        if (range) n.range = range;
+        return;
+      }
+    }
+    NetDecl d;
+    d.name = name;
+    d.escaped = escaped;
+    d.kind = kind;
+    d.range = range;
+    d.line = line;
+    m.nets.push_back(std::move(d));
+  }
+
+  void parse_item(Module& m) {
+    int line = cur().line;
+    if (at(Tok::KwInput) || at(Tok::KwOutput) || at(Tok::KwInout)) {
+      PortDir dir = at(Tok::KwInput)    ? PortDir::Input
+                    : at(Tok::KwOutput) ? PortDir::Output
+                                        : PortDir::Inout;
+      take();
+      bool as_reg = false;
+      if (at(Tok::KwReg)) {
+        as_reg = true;
+        take();
+      }
+      auto range = parse_range();
+      do {
+        Token id = expect(Tok::Identifier, "port name");
+        m.ports.push_back({id.text, dir, id.line});
+        declare_net(m, id.text, id.escaped,
+                    as_reg ? NetKind::Reg : NetKind::Wire, range, id.line);
+      } while (accept_punct(","));
+      expect_punct(";");
+      return;
+    }
+    if (at(Tok::KwWire) || at(Tok::KwReg)) {
+      NetKind kind = at(Tok::KwWire) ? NetKind::Wire : NetKind::Reg;
+      take();
+      auto range = parse_range();
+      do {
+        Token id = expect(Tok::Identifier, "net name");
+        declare_net(m, id.text, id.escaped, kind, range, id.line);
+      } while (accept_punct(","));
+      expect_punct(";");
+      return;
+    }
+    if (at(Tok::KwAssign)) {
+      take();
+      ContAssign a;
+      a.line = line;
+      if (accept_punct("#"))
+        a.delay = expect(Tok::Number, "delay").value;
+      Token id = expect(Tok::Identifier, "assign target");
+      a.lhs = id.text;
+      if (at_punct("[")) {
+        take();
+        a.lhs_index = int(expect(Tok::Number, "bit index").value);
+        expect_punct("]");
+      }
+      expect_punct("=");
+      a.rhs = parse_expr();
+      expect_punct(";");
+      m.assigns.push_back(std::move(a));
+      return;
+    }
+    if (at(Tok::KwAnd) || at(Tok::KwOr) || at(Tok::KwNand) ||
+        at(Tok::KwNor) || at(Tok::KwXor) || at(Tok::KwNot) ||
+        at(Tok::KwBuf)) {
+      GateInst g;
+      g.line = line;
+      switch (take().kind) {
+        case Tok::KwAnd: g.kind = GateKind::And; break;
+        case Tok::KwOr: g.kind = GateKind::Or; break;
+        case Tok::KwNand: g.kind = GateKind::Nand; break;
+        case Tok::KwNor: g.kind = GateKind::Nor; break;
+        case Tok::KwXor: g.kind = GateKind::Xor; break;
+        case Tok::KwNot: g.kind = GateKind::Not; break;
+        default: g.kind = GateKind::Buf; break;
+      }
+      if (accept_punct("#"))
+        g.delay = expect(Tok::Number, "gate delay").value;
+      if (at(Tok::Identifier) && peek().kind == Tok::Punct &&
+          peek().text == "(") {
+        g.name = take().text;
+      }
+      expect_punct("(");
+      do {
+        GateInst::Conn conn;
+        Token id = expect(Tok::Identifier, "gate connection");
+        conn.name = id.text;
+        if (at_punct("[")) {
+          take();
+          conn.index = int(expect(Tok::Number, "bit index").value);
+          expect_punct("]");
+        }
+        g.conns.push_back(std::move(conn));
+      } while (accept_punct(","));
+      expect_punct(")");
+      expect_punct(";");
+      if (g.conns.size() < 2) fail("gate needs an output and an input");
+      m.gates.push_back(std::move(g));
+      return;
+    }
+    if (at(Tok::KwAlways)) {
+      take();
+      AlwaysBlock blk;
+      blk.line = line;
+      expect_punct("@");
+      expect_punct("(");
+      if (accept_punct("*")) {
+        blk.star = true;
+      } else {
+        do {
+          SensItem item;
+          if (at(Tok::KwPosedge)) {
+            take();
+            item.edge = EdgeKind::Pos;
+          } else if (at(Tok::KwNegedge)) {
+            take();
+            item.edge = EdgeKind::Neg;
+          }
+          item.name = expect(Tok::Identifier, "sensitivity signal").text;
+        // 'or' keyword or comma separate items
+          blk.sensitivity.push_back(std::move(item));
+        } while (accept_punct(",") || accept_kw_or());
+      }
+      expect_punct(")");
+      blk.body = parse_stmt();
+      m.always_blocks.push_back(std::move(blk));
+      return;
+    }
+    if (at(Tok::KwInitial)) {
+      take();
+      InitialBlock blk;
+      blk.line = line;
+      blk.body = parse_stmt();
+      m.initial_blocks.push_back(std::move(blk));
+      return;
+    }
+    if (at(Tok::Identifier)) {
+      // module instantiation: Mod inst ( .port(sig), ... );
+      ModuleInst inst;
+      inst.line = line;
+      inst.module = take().text;
+      inst.name = expect(Tok::Identifier, "instance name").text;
+      expect_punct("(");
+      do {
+        expect_punct(".");
+        ModuleInst::PortConn conn;
+        conn.port = expect(Tok::Identifier, "port name").text;
+        expect_punct("(");
+        Token id = expect(Tok::Identifier, "connected signal");
+        conn.signal = id.text;
+        if (at_punct("[")) {
+          take();
+          conn.index = int(expect(Tok::Number, "bit index").value);
+          expect_punct("]");
+        }
+        expect_punct(")");
+        inst.conns.push_back(std::move(conn));
+      } while (accept_punct(","));
+      expect_punct(")");
+      expect_punct(";");
+      m.instances.push_back(std::move(inst));
+      return;
+    }
+    fail("unexpected token in module body");
+  }
+
+  bool accept_kw_or() {
+    if (at(Tok::KwOr)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // ----------------------------------------------------------- statements
+
+  StmtPtr parse_stmt() {
+    int line = cur().line;
+    auto s = std::make_unique<Stmt>();
+    s->line = line;
+    if (at(Tok::KwBegin)) {
+      take();
+      s->kind = Stmt::Kind::Block;
+      while (!at(Tok::KwEnd)) {
+        if (at(Tok::Eof)) fail("unexpected end of file inside begin/end");
+        s->body.push_back(parse_stmt());
+      }
+      take();
+      return s;
+    }
+    if (at(Tok::KwIf)) {
+      take();
+      s->kind = Stmt::Kind::If;
+      expect_punct("(");
+      s->condition = parse_expr();
+      expect_punct(")");
+      s->then_branch = parse_stmt();
+      if (at(Tok::KwElse)) {
+        take();
+        s->else_branch = parse_stmt();
+      }
+      return s;
+    }
+    if (at_punct("#")) {
+      take();
+      s->kind = Stmt::Kind::Delay;
+      s->delay = expect(Tok::Number, "delay").value;
+      if (!at_punct(";")) {
+        s->body.push_back(parse_stmt());
+      } else {
+        take();
+      }
+      return s;
+    }
+    if (at(Tok::KwForever)) {
+      take();
+      s->kind = Stmt::Kind::Forever;
+      s->body.push_back(parse_stmt());
+      return s;
+    }
+    if (at(Tok::KwWhile)) {
+      take();
+      s->kind = Stmt::Kind::While;
+      expect_punct("(");
+      s->condition = parse_expr();
+      expect_punct(")");
+      s->body.push_back(parse_stmt());
+      return s;
+    }
+    if (at(Tok::KwCase)) {
+      take();
+      s->kind = Stmt::Kind::Case;
+      expect_punct("(");
+      s->condition = parse_expr();
+      expect_punct(")");
+      while (!at(Tok::KwEndcase)) {
+        Stmt::CaseArm arm;
+        if (at(Tok::KwDefault)) {
+          take();
+          expect_punct(":");
+        } else {
+          Token num = expect(Tok::Number, "case label");
+          arm.match = literal_bits(num);
+          expect_punct(":");
+        }
+        arm.stmt = parse_stmt();
+        s->arms.push_back(std::move(arm));
+      }
+      take();
+      return s;
+    }
+    // assignment
+    Token id = expect(Tok::Identifier, "statement");
+    s->kind = Stmt::Kind::Assign;
+    s->lhs = id.text;
+    if (at_punct("[")) {
+      take();
+      s->lhs_index = int(expect(Tok::Number, "bit index").value);
+      expect_punct("]");
+    }
+    if (at_punct("<=")) {
+      take();
+      s->nonblocking = true;
+    } else {
+      expect_punct("=");
+    }
+    s->rhs = parse_expr();
+    expect_punct(";");
+    return s;
+  }
+
+  // ---------------------------------------------------------- expressions
+
+  static std::vector<Logic> literal_bits(const Token& num) {
+    std::vector<Logic> bits;
+    if (!num.xz_bits.empty()) {
+      for (char c : num.xz_bits) bits.push_back(logic_from_char(c));
+    } else {
+      // Plain decimal: minimal width, at least 1 bit.
+      std::int64_t v = num.value;
+      int width = 1;
+      while ((v >> width) != 0) ++width;
+      for (int b = width - 1; b >= 0; --b)
+        bits.push_back(logic_of((v >> b) & 1));
+    }
+    return bits;
+  }
+
+  ExprPtr parse_expr() { return parse_cond(); }
+
+  ExprPtr parse_cond() {
+    ExprPtr c = parse_lor();
+    if (at_punct("?")) {
+      take();
+      ExprPtr t = parse_expr();
+      expect_punct(":");
+      ExprPtr e = parse_cond();
+      return make_cond(std::move(c), std::move(t), std::move(e));
+    }
+    return c;
+  }
+
+  ExprPtr parse_lor() {
+    ExprPtr e = parse_land();
+    while (at_punct("||")) {
+      take();
+      e = make_binary(BinOp::LOr, std::move(e), parse_land());
+    }
+    return e;
+  }
+
+  ExprPtr parse_land() {
+    ExprPtr e = parse_bitor();
+    while (at_punct("&&")) {
+      take();
+      e = make_binary(BinOp::LAnd, std::move(e), parse_bitor());
+    }
+    return e;
+  }
+
+  ExprPtr parse_bitor() {
+    ExprPtr e = parse_bitxor();
+    while (at_punct("|")) {
+      take();
+      e = make_binary(BinOp::Or, std::move(e), parse_bitxor());
+    }
+    return e;
+  }
+
+  ExprPtr parse_bitxor() {
+    ExprPtr e = parse_bitand();
+    while (at_punct("^")) {
+      take();
+      e = make_binary(BinOp::Xor, std::move(e), parse_bitand());
+    }
+    return e;
+  }
+
+  ExprPtr parse_bitand() {
+    ExprPtr e = parse_equality();
+    while (at_punct("&")) {
+      take();
+      e = make_binary(BinOp::And, std::move(e), parse_equality());
+    }
+    return e;
+  }
+
+  ExprPtr parse_equality() {
+    ExprPtr e = parse_relational();
+    while (at_punct("==") || at_punct("!=")) {
+      BinOp op = cur().text == "==" ? BinOp::Eq : BinOp::Ne;
+      take();
+      e = make_binary(op, std::move(e), parse_relational());
+    }
+    return e;
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr e = parse_additive();
+    while (at_punct("<") || at_punct(">") || at_punct("<=") ||
+           at_punct(">=")) {
+      BinOp op = cur().text == "<"    ? BinOp::Lt
+                 : cur().text == ">"  ? BinOp::Gt
+                 : cur().text == "<=" ? BinOp::Le
+                                      : BinOp::Ge;
+      take();
+      e = make_binary(op, std::move(e), parse_additive());
+    }
+    return e;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr e = parse_unary();
+    while (at_punct("+") || at_punct("-")) {
+      BinOp op = cur().text == "+" ? BinOp::Add : BinOp::Sub;
+      take();
+      e = make_binary(op, std::move(e), parse_unary());
+    }
+    return e;
+  }
+
+  ExprPtr parse_unary() {
+    if (at_punct("!")) {
+      take();
+      return make_unary(UnOp::Not, parse_unary());
+    }
+    if (at_punct("~")) {
+      take();
+      return make_unary(UnOp::BitNot, parse_unary());
+    }
+    if (at_punct("&")) {
+      take();
+      return make_unary(UnOp::RedAnd, parse_unary());
+    }
+    if (at_punct("|")) {
+      take();
+      return make_unary(UnOp::RedOr, parse_unary());
+    }
+    if (at_punct("-")) {
+      take();
+      return make_unary(UnOp::Neg, parse_unary());
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    int line = cur().line;
+    if (at(Tok::Number)) {
+      Token num = take();
+      ExprPtr e = make_literal(literal_bits(num));
+      e->line = line;
+      return e;
+    }
+    if (at_punct("(")) {
+      take();
+      ExprPtr e = parse_expr();
+      expect_punct(")");
+      return e;
+    }
+    if (at(Tok::Identifier)) {
+      Token id = take();
+      if (at_punct("[")) {
+        take();
+        int idx = int(expect(Tok::Number, "bit index").value);
+        expect_punct("]");
+        ExprPtr e = make_select(id.text, idx);
+        e->escaped = id.escaped;
+        e->line = line;
+        return e;
+      }
+      ExprPtr e = make_ref(id.text, id.escaped);
+      e->line = line;
+      return e;
+    }
+    fail("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SourceUnit parse(const std::string& source) {
+  return Parser(source).parse_unit();
+}
+
+Module parse_module(const std::string& source) {
+  SourceUnit unit = parse(source);
+  if (unit.modules.size() != 1)
+    throw ParseError("expected exactly one module", 1);
+  return std::move(unit.modules[0]);
+}
+
+}  // namespace interop::hdl

@@ -1,0 +1,17 @@
+#pragma once
+// Recursive-descent parser for the mini-HDL.
+
+#include <string>
+
+#include "hdl/ast.hpp"
+
+namespace interop::hdl {
+
+/// Parse a full source file. Throws ParseError (see lexer.hpp) on syntax
+/// errors.
+SourceUnit parse(const std::string& source);
+
+/// Parse a source expected to contain exactly one module.
+Module parse_module(const std::string& source);
+
+}  // namespace interop::hdl

@@ -1,0 +1,61 @@
+#include "hdl/race.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace interop::hdl {
+
+Trace run_policy(const ElabDesign& design, SchedulerPolicy policy,
+                 std::int64_t until, std::uint64_t seed) {
+  Simulation sim(design, policy, seed);
+  sim.watch_all();
+  sim.run(until);
+  return sim.trace();
+}
+
+RaceReport detect_races(const ElabDesign& design, std::int64_t until,
+                        int extra_seeded_runs) {
+  RaceReport report;
+
+  std::vector<Trace> traces;
+  traces.push_back(run_policy(design, SchedulerPolicy::SourceOrder, until));
+  traces.push_back(run_policy(design, SchedulerPolicy::ReverseOrder, until));
+  for (int k = 0; k < extra_seeded_runs; ++k)
+    traces.push_back(run_policy(design, SchedulerPolicy::Seeded, until,
+                                0x1234 + std::uint64_t(k) * 77));
+  report.runs = int(traces.size());
+
+  // Per-signal settled event sequence; divergence in any pair flags the
+  // signal.
+  std::set<SignalId> divergent;
+  const Trace& base = traces.front();
+  auto per_signal = [](const Trace& t) {
+    std::map<SignalId, std::vector<std::pair<std::int64_t, Logic>>> out;
+    for (const TraceEvent& e : t) out[e.signal].emplace_back(e.time, e.value);
+    return out;
+  };
+  auto base_map = per_signal(base);
+  for (std::size_t i = 1; i < traces.size(); ++i) {
+    auto other = per_signal(traces[i]);
+    std::set<SignalId> keys;
+    for (const auto& [sid, seq] : base_map) keys.insert(sid);
+    for (const auto& [sid, seq] : other) keys.insert(sid);
+    for (SignalId sid : keys) {
+      auto a = base_map.find(sid);
+      auto b = other.find(sid);
+      bool same = a != base_map.end() && b != other.end() &&
+                  a->second == b->second;
+      if (a == base_map.end() && b == other.end()) same = true;
+      if (!same) divergent.insert(sid);
+    }
+  }
+
+  report.disagreement = !divergent.empty();
+  for (SignalId sid : divergent)
+    report.divergent_signals.push_back(design.signal_names[sid]);
+  std::sort(report.divergent_signals.begin(), report.divergent_signals.end());
+  return report;
+}
+
+}  // namespace interop::hdl

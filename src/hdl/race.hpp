@@ -1,0 +1,35 @@
+#pragma once
+// Differential race detection.
+//
+// §3.1: "if different simulators give different results when simulating the
+// same model, there is a race condition in the model ... however, determining
+// whether a discrepancy is due to a model race condition or to a simulator
+// bug can be troublesome." We automate the comparison: run the SAME kernel
+// under several legal scheduling policies and diff the end-of-timestep
+// traces. Any divergence is, by construction, a model race — the kernel is
+// the same code, only the (legal) event ordering differs.
+
+#include <string>
+#include <vector>
+
+#include "hdl/sim.hpp"
+
+namespace interop::hdl {
+
+struct RaceReport {
+  bool disagreement = false;
+  /// Hierarchical bit names whose settled values diverge across runs.
+  std::vector<std::string> divergent_signals;
+  int runs = 0;
+};
+
+/// Simulate `top` under SourceOrder, ReverseOrder and `extra_seeded_runs`
+/// seeded policies until `until`, comparing settled traces.
+RaceReport detect_races(const ElabDesign& design, std::int64_t until,
+                        int extra_seeded_runs = 2);
+
+/// Convenience: run one policy to completion and return its trace.
+Trace run_policy(const ElabDesign& design, SchedulerPolicy policy,
+                 std::int64_t until, std::uint64_t seed = 1);
+
+}  // namespace interop::hdl

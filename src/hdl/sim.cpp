@@ -1,0 +1,563 @@
+#include "hdl/sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <stdexcept>
+
+namespace interop::hdl {
+
+std::string to_string(SchedulerPolicy p) {
+  switch (p) {
+    case SchedulerPolicy::SourceOrder: return "source-order";
+    case SchedulerPolicy::ReverseOrder: return "reverse-order";
+    case SchedulerPolicy::Seeded: return "seeded";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Reduce a vector value to one scalar (any 1 -> 1; all 0 -> 0; else X).
+Logic scalarize(const std::vector<Logic>& bits) {
+  bool any_x = false;
+  for (Logic b : bits) {
+    if (b == Logic::L1) return Logic::L1;
+    if (b != Logic::L0) any_x = true;
+  }
+  return any_x ? Logic::X : Logic::L0;
+}
+
+bool all_known(const std::vector<Logic>& bits) {
+  return std::all_of(bits.begin(), bits.end(), is_known);
+}
+
+std::int64_t to_number(const std::vector<Logic>& bits) {
+  std::int64_t v = 0;
+  for (Logic b : bits) v = (v << 1) | (b == Logic::L1 ? 1 : 0);
+  return v;
+}
+
+std::vector<Logic> from_number(std::int64_t v, std::size_t width) {
+  std::vector<Logic> out(width);
+  for (std::size_t i = 0; i < width; ++i)
+    out[width - 1 - i] = logic_of((v >> i) & 1);
+  return out;
+}
+
+/// Zero-extend `bits` (msb-first) on the left to `width`.
+std::vector<Logic> extend(const std::vector<Logic>& bits, std::size_t width) {
+  if (bits.size() >= width)
+    return std::vector<Logic>(bits.end() - std::ptrdiff_t(width), bits.end());
+  std::vector<Logic> out(width - bits.size(), Logic::L0);
+  out.insert(out.end(), bits.begin(), bits.end());
+  return out;
+}
+
+}  // namespace
+
+Simulation::Simulation(const ElabDesign& design, SchedulerPolicy policy,
+                       std::uint64_t seed)
+    : design_(design),
+      policy_(policy),
+      rng_state_(seed ^ 0xa5a5a5a5a5a5a5a5ULL),
+      values_(design.signal_count(), Logic::X),
+      fanout_(design.signal_count()) {
+  // Process id space: [gates][assigns][always].
+  ProcId pid = 0;
+  for (const GateProcess& g : design_.gates) {
+    for (SignalId in : g.inputs) fanout_[in].push_back({pid, EdgeKind::Any});
+    schedule_process(pid);
+    ++pid;
+  }
+  for (const AssignProcess& a : design_.assigns) {
+    std::vector<SignalId> reads;
+    std::function<void(const RExpr&)> collect = [&](const RExpr& e) {
+      for (SignalId sid : e.bits) reads.push_back(sid);
+      for (const RExprPtr& op : e.operands) collect(*op);
+    };
+    collect(*a.rhs);
+    std::sort(reads.begin(), reads.end());
+    reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+    for (SignalId sid : reads) fanout_[sid].push_back({pid, EdgeKind::Any});
+    schedule_process(pid);
+    ++pid;
+  }
+  for (const AlwaysProcess& a : design_.always_procs) {
+    for (const RSensItem& item : a.sensitivity)
+      fanout_[item.signal].push_back({pid, item.edge});
+    ++pid;
+  }
+  // Initial threads.
+  for (const InitialProcess& ip : design_.initial_procs) {
+    Thread t;
+    t.stack.push_back({ip.body.get(), 0});
+    threads_.push_back(std::move(t));
+    thread_wakeups_.emplace(0, threads_.size() - 1);
+  }
+}
+
+Logic Simulation::value(const std::string& bit_name) const {
+  return values_[design_.signal(bit_name)];
+}
+
+void Simulation::force(SignalId id, Logic v) { apply_update(id, v); }
+
+void Simulation::watch_all() {
+  for (SignalId id = 0; id < design_.signal_count(); ++id) watched_.insert(id);
+}
+
+void Simulation::wake_fanout(SignalId sig, Logic old_value, Logic new_value) {
+  for (const Waiter& w : fanout_[sig]) {
+    bool fire = false;
+    switch (w.edge) {
+      case EdgeKind::Any:
+        fire = true;
+        break;
+      case EdgeKind::Pos:
+        fire = old_value != Logic::L1 && new_value == Logic::L1;
+        break;
+      case EdgeKind::Neg:
+        fire = old_value != Logic::L0 && new_value == Logic::L0;
+        break;
+    }
+    if (fire) schedule_process(w.proc);
+  }
+}
+
+void Simulation::apply_update(SignalId sig, Logic v) {
+  Logic old = values_[sig];
+  if (old == v) return;
+  values_[sig] = v;
+  changed_this_step_.try_emplace(sig, old);  // remember step-start value
+  wake_fanout(sig, old, v);
+}
+
+void Simulation::post_update(SignalId sig, Logic v, std::int64_t delay) {
+  if (delay <= 0) {
+    apply_update(sig, v);
+    return;
+  }
+  future_.insert({now_ + delay, seq_++, sig, v});
+}
+
+Simulation::ProcId Simulation::next_ready() {
+  assert(!ready_.empty());
+  switch (policy_) {
+    case SchedulerPolicy::SourceOrder:
+      return *ready_.begin();
+    case SchedulerPolicy::ReverseOrder:
+      return *ready_.rbegin();
+    case SchedulerPolicy::Seeded: {
+      std::size_t n = splitmix(rng_state_) % ready_.size();
+      auto it = ready_.begin();
+      std::advance(it, std::ptrdiff_t(n));
+      return *it;
+    }
+  }
+  return *ready_.begin();
+}
+
+void Simulation::run_process(ProcId p) {
+  std::size_t n_gates = design_.gates.size();
+  std::size_t n_assigns = design_.assigns.size();
+  if (p < n_gates) {
+    run_gate(design_.gates[p]);
+  } else if (p < n_gates + n_assigns) {
+    run_assign(design_.assigns[p - n_gates]);
+  } else {
+    run_always(design_.always_procs[p - n_gates - n_assigns]);
+  }
+}
+
+void Simulation::run_gate(const GateProcess& g) {
+  Logic v = Logic::X;
+  switch (g.kind) {
+    case GateKind::And:
+    case GateKind::Nand: {
+      v = Logic::L1;
+      for (SignalId in : g.inputs) v = logic_and(v, values_[in]);
+      if (g.kind == GateKind::Nand) v = logic_not(v);
+      break;
+    }
+    case GateKind::Or:
+    case GateKind::Nor: {
+      v = Logic::L0;
+      for (SignalId in : g.inputs) v = logic_or(v, values_[in]);
+      if (g.kind == GateKind::Nor) v = logic_not(v);
+      break;
+    }
+    case GateKind::Xor: {
+      v = Logic::L0;
+      for (SignalId in : g.inputs) v = logic_xor(v, values_[in]);
+      break;
+    }
+    case GateKind::Not:
+      v = logic_not(values_[g.inputs.front()]);
+      break;
+    case GateKind::Buf:
+      v = values_[g.inputs.front()];
+      if (v == Logic::Z) v = Logic::X;
+      break;
+  }
+  post_update(g.output, v, g.delay);
+}
+
+void Simulation::run_assign(const AssignProcess& a) {
+  std::vector<Logic> rhs = extend(eval(*a.rhs), a.lhs.size());
+  for (std::size_t i = 0; i < a.lhs.size(); ++i)
+    post_update(a.lhs[i], rhs[i], a.delay);
+}
+
+void Simulation::run_always(const AlwaysProcess& a) {
+  exec_stmt_run_to_completion(*a.body);
+}
+
+void Simulation::exec_stmt_run_to_completion(const RStmt& s) {
+  switch (s.kind) {
+    case Stmt::Kind::Block:
+      for (const RStmtPtr& child : s.body)
+        exec_stmt_run_to_completion(*child);
+      break;
+    case Stmt::Kind::Assign: {
+      std::vector<Logic> rhs = extend(eval(*s.rhs), s.lhs.size());
+      if (s.nonblocking) {
+        for (std::size_t i = 0; i < s.lhs.size(); ++i)
+          nba_queue_.emplace_back(s.lhs[i], rhs[i]);
+      } else {
+        for (std::size_t i = 0; i < s.lhs.size(); ++i)
+          apply_update(s.lhs[i], rhs[i]);
+      }
+      break;
+    }
+    case Stmt::Kind::If: {
+      Logic c = eval_scalar(*s.condition);
+      if (c == Logic::L1) {
+        exec_stmt_run_to_completion(*s.then_branch);
+      } else if (s.else_branch) {
+        exec_stmt_run_to_completion(*s.else_branch);
+      }
+      break;
+    }
+    case Stmt::Kind::Case: {
+      std::vector<Logic> sel = eval(*s.condition);
+      const RStmt::CaseArm* chosen = nullptr;
+      const RStmt::CaseArm* dflt = nullptr;
+      for (const RStmt::CaseArm& arm : s.arms) {
+        if (arm.match.empty()) {
+          dflt = &arm;
+          continue;
+        }
+        if (extend(arm.match, sel.size()) == sel && !chosen) chosen = &arm;
+      }
+      if (!chosen) chosen = dflt;
+      if (chosen) exec_stmt_run_to_completion(*chosen->stmt);
+      break;
+    }
+    case Stmt::Kind::While: {
+      std::uint64_t guard = 0;
+      while (eval_scalar(*s.condition) == Logic::L1) {
+        for (const RStmtPtr& child : s.body)
+          exec_stmt_run_to_completion(*child);
+        if (++guard > delta_limit_)
+          throw std::runtime_error("while loop exceeded iteration limit");
+      }
+      break;
+    }
+    case Stmt::Kind::Delay:
+    case Stmt::Kind::Forever:
+      throw std::runtime_error(
+          "delay/forever reached inside run-to-completion context");
+  }
+}
+
+bool Simulation::step_thread(Thread& t, std::size_t thread_index) {
+  std::uint64_t guard = 0;
+  while (!t.stack.empty()) {
+    if (++guard > delta_limit_)
+      throw std::runtime_error("initial block exceeded step limit");
+    Frame& f = t.stack.back();
+    switch (f.stmt->kind) {
+      case Stmt::Kind::Block: {
+        if (f.index < f.stmt->body.size()) {
+          const RStmt* child = f.stmt->body[f.index].get();
+          ++f.index;
+          t.stack.push_back({child, 0});
+        } else {
+          t.stack.pop_back();
+        }
+        break;
+      }
+      case Stmt::Kind::Forever: {
+        if (f.stmt->body.empty())
+          throw std::runtime_error("empty forever loop");
+        if (f.index >= f.stmt->body.size()) f.index = 0;
+        const RStmt* child = f.stmt->body[f.index].get();
+        ++f.index;
+        t.stack.push_back({child, 0});
+        break;
+      }
+      case Stmt::Kind::Assign: {
+        std::vector<Logic> rhs = extend(eval(*f.stmt->rhs),
+                                        f.stmt->lhs.size());
+        if (f.stmt->nonblocking) {
+          for (std::size_t i = 0; i < f.stmt->lhs.size(); ++i)
+            nba_queue_.emplace_back(f.stmt->lhs[i], rhs[i]);
+        } else {
+          for (std::size_t i = 0; i < f.stmt->lhs.size(); ++i)
+            apply_update(f.stmt->lhs[i], rhs[i]);
+        }
+        t.stack.pop_back();
+        break;
+      }
+      case Stmt::Kind::If: {
+        const RStmt* branch = nullptr;
+        if (eval_scalar(*f.stmt->condition) == Logic::L1)
+          branch = f.stmt->then_branch.get();
+        else if (f.stmt->else_branch)
+          branch = f.stmt->else_branch.get();
+        t.stack.pop_back();
+        if (branch) t.stack.push_back({branch, 0});
+        break;
+      }
+      case Stmt::Kind::Case: {
+        std::vector<Logic> sel = eval(*f.stmt->condition);
+        const RStmt::CaseArm* chosen = nullptr;
+        const RStmt::CaseArm* dflt = nullptr;
+        for (const RStmt::CaseArm& arm : f.stmt->arms) {
+          if (arm.match.empty()) {
+            dflt = &arm;
+            continue;
+          }
+          if (extend(arm.match, sel.size()) == sel && !chosen) chosen = &arm;
+        }
+        if (!chosen) chosen = dflt;
+        t.stack.pop_back();
+        if (chosen) t.stack.push_back({chosen->stmt.get(), 0});
+        break;
+      }
+      case Stmt::Kind::While: {
+        if (eval_scalar(*f.stmt->condition) == Logic::L1) {
+          if (f.stmt->body.empty())
+            throw std::runtime_error("empty while loop");
+          t.stack.push_back({f.stmt->body.front().get(), 0});
+        } else {
+          t.stack.pop_back();
+        }
+        break;
+      }
+      case Stmt::Kind::Delay: {
+        if (f.index == 0) {
+          f.index = 1;
+          thread_wakeups_.emplace(now_ + f.stmt->delay, thread_index);
+          return true;  // suspended
+        }
+        // resumed after the delay: run the guarded statement (if any)
+        if (f.index == 1 && !f.stmt->body.empty()) {
+          f.index = 2;
+          t.stack.push_back({f.stmt->body.front().get(), 0});
+        } else {
+          t.stack.pop_back();
+        }
+        break;
+      }
+    }
+  }
+  t.done = true;
+  return false;
+}
+
+void Simulation::resume_thread(std::size_t thread_index) {
+  Thread& t = threads_[thread_index];
+  if (t.done) return;
+  step_thread(t, thread_index);
+}
+
+void Simulation::settle_timestep() {
+  std::uint64_t local_deltas = 0;
+  while (true) {
+    if (!ready_.empty()) {
+      if (++local_deltas > delta_limit_)
+        throw std::runtime_error("delta cycle limit exceeded (oscillation?)");
+      ++deltas_;
+      ProcId p = next_ready();
+      ready_.erase(p);
+      run_process(p);
+      continue;
+    }
+    if (!nba_queue_.empty()) {
+      std::vector<std::pair<SignalId, Logic>> q;
+      q.swap(nba_queue_);
+      for (const auto& [sig, v] : q) apply_update(sig, v);
+      continue;
+    }
+    break;
+  }
+}
+
+std::int64_t Simulation::run(std::int64_t until) {
+  while (true) {
+    // Wake threads due now (policy decides the order among simultaneous
+    // thread wake-ups, the same way it orders processes).
+    std::vector<std::size_t> due;
+    for (auto it = thread_wakeups_.begin();
+         it != thread_wakeups_.end() && it->first <= now_;) {
+      due.push_back(it->second);
+      it = thread_wakeups_.erase(it);
+    }
+    if (policy_ == SchedulerPolicy::ReverseOrder)
+      std::reverse(due.begin(), due.end());
+    for (std::size_t ti : due) {
+      resume_thread(ti);
+      settle_timestep();
+    }
+    settle_timestep();
+
+    // End-of-timestep trace snapshot.
+    for (const auto& [sig, old0] : changed_this_step_) {
+      if (values_[sig] != old0 && watched_.count(sig))
+        trace_.push_back({now_, sig, values_[sig]});
+    }
+    changed_this_step_.clear();
+
+    // Advance time.
+    std::int64_t next = -1;
+    if (!future_.empty()) next = future_.begin()->time;
+    if (!thread_wakeups_.empty()) {
+      std::int64_t tw = thread_wakeups_.begin()->first;
+      next = next < 0 ? tw : std::min(next, tw);
+    }
+    if (next < 0 || next > until) break;
+    now_ = next;
+
+    // Apply matured scheduled updates.
+    while (!future_.empty() && future_.begin()->time == now_) {
+      PendingUpdate u = *future_.begin();
+      future_.erase(future_.begin());
+      apply_update(u.signal, u.value);
+    }
+  }
+  return now_;
+}
+
+Logic Simulation::eval_scalar(const RExpr& e) const {
+  return scalarize(eval(e));
+}
+
+std::vector<Logic> Simulation::eval(const RExpr& e) const {
+  switch (e.kind) {
+    case Expr::Kind::Literal:
+      return e.literal;
+    case Expr::Kind::Ref:
+    case Expr::Kind::Select: {
+      std::vector<Logic> out;
+      out.reserve(e.bits.size());
+      for (SignalId sid : e.bits) out.push_back(values_[sid]);
+      return out;
+    }
+    case Expr::Kind::Unary: {
+      std::vector<Logic> a = eval(*e.operands[0]);
+      switch (e.un_op) {
+        case UnOp::Not: {
+          Logic s = scalarize(a);
+          return {logic_not(s)};
+        }
+        case UnOp::BitNot: {
+          for (Logic& b : a) b = logic_not(b);
+          return a;
+        }
+        case UnOp::RedAnd: {
+          Logic acc = Logic::L1;
+          for (Logic b : a) acc = logic_and(acc, b);
+          return {acc};
+        }
+        case UnOp::RedOr: {
+          Logic acc = Logic::L0;
+          for (Logic b : a) acc = logic_or(acc, b);
+          return {acc};
+        }
+        case UnOp::Neg: {
+          if (!all_known(a)) return std::vector<Logic>(a.size(), Logic::X);
+          return from_number(-to_number(a), a.size());
+        }
+      }
+      return a;
+    }
+    case Expr::Kind::Binary: {
+      std::vector<Logic> a = eval(*e.operands[0]);
+      std::vector<Logic> b = eval(*e.operands[1]);
+      std::size_t w = std::max(a.size(), b.size());
+      switch (e.bin_op) {
+        case BinOp::And:
+        case BinOp::Or:
+        case BinOp::Xor: {
+          a = extend(a, w);
+          b = extend(b, w);
+          std::vector<Logic> out(w);
+          for (std::size_t i = 0; i < w; ++i) {
+            out[i] = e.bin_op == BinOp::And   ? logic_and(a[i], b[i])
+                     : e.bin_op == BinOp::Or  ? logic_or(a[i], b[i])
+                                              : logic_xor(a[i], b[i]);
+          }
+          return out;
+        }
+        case BinOp::LAnd:
+          return {logic_and(scalarize(a), scalarize(b))};
+        case BinOp::LOr:
+          return {logic_or(scalarize(a), scalarize(b))};
+        case BinOp::Eq:
+        case BinOp::Ne: {
+          a = extend(a, w);
+          b = extend(b, w);
+          if (!all_known(a) || !all_known(b)) return {Logic::X};
+          bool eq = a == b;
+          return {logic_of(e.bin_op == BinOp::Eq ? eq : !eq)};
+        }
+        case BinOp::Lt:
+        case BinOp::Le:
+        case BinOp::Gt:
+        case BinOp::Ge: {
+          if (!all_known(a) || !all_known(b)) return {Logic::X};
+          std::int64_t x = to_number(a), y = to_number(b);
+          bool r = e.bin_op == BinOp::Lt   ? x < y
+                   : e.bin_op == BinOp::Le ? x <= y
+                   : e.bin_op == BinOp::Gt ? x > y
+                                           : x >= y;
+          return {logic_of(r)};
+        }
+        case BinOp::Add:
+        case BinOp::Sub: {
+          if (!all_known(a) || !all_known(b))
+            return std::vector<Logic>(w, Logic::X);
+          std::int64_t x = to_number(a), y = to_number(b);
+          return from_number(e.bin_op == BinOp::Add ? x + y : x - y, w);
+        }
+      }
+      return {Logic::X};
+    }
+    case Expr::Kind::Cond: {
+      Logic sel = eval_scalar(*e.operands[0]);
+      std::vector<Logic> a = eval(*e.operands[1]);
+      std::vector<Logic> b = eval(*e.operands[2]);
+      std::size_t w = std::max(a.size(), b.size());
+      a = extend(a, w);
+      b = extend(b, w);
+      std::vector<Logic> out(w);
+      for (std::size_t i = 0; i < w; ++i) out[i] = logic_mux(sel, a[i], b[i]);
+      return out;
+    }
+    case Expr::Kind::Concat:
+      break;
+  }
+  return {Logic::X};
+}
+
+}  // namespace interop::hdl

@@ -1,0 +1,155 @@
+#pragma once
+// The event-driven simulation kernel, with a pluggable scheduling policy.
+//
+// §3.1 of the paper: "simulation results depend on the scheduling algorithm
+// the simulator uses to order and process events. Different Verilog
+// simulators can legitimately disagree on the outcome of the same
+// simulation, because the simulation cycle and processing order for
+// simultaneous events are not completely defined by the language."
+//
+// The kernel is one implementation; SchedulerPolicy selects the order in
+// which simultaneously-ready processes run. Every policy is a LEGAL
+// simulator. A model whose observable results differ across policies has a
+// race condition (see race.hpp).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hdl/elaborate.hpp"
+
+namespace interop::hdl {
+
+/// How simultaneously-ready processes are ordered within one delta cycle.
+enum class SchedulerPolicy : std::uint8_t {
+  SourceOrder,     ///< ascending process id ("vendor A")
+  ReverseOrder,    ///< descending process id ("vendor B")
+  Seeded,          ///< deterministic pseudo-random order from `seed`
+};
+
+std::string to_string(SchedulerPolicy p);
+
+/// One end-of-timestep observation: at `time`, `signal` settled to `value`.
+struct TraceEvent {
+  std::int64_t time;
+  SignalId signal;
+  Logic value;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+  friend auto operator<=>(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// A complete run's observations of the watched signals.
+using Trace = std::vector<TraceEvent>;
+
+class Simulation {
+ public:
+  /// The design must outlive the simulation.
+  Simulation(const ElabDesign& design, SchedulerPolicy policy,
+             std::uint64_t seed = 1);
+
+  /// Current value of a signal.
+  Logic value(SignalId id) const { return values_[id]; }
+  Logic value(const std::string& bit_name) const;
+
+  /// Drive a signal from the testbench at the current time (counts as an
+  /// update event; fan-out processes wake).
+  void force(SignalId id, Logic v);
+
+  /// Watch a signal: end-of-timestep changes are recorded in trace().
+  void watch(SignalId id) { watched_.insert(id); }
+  void watch_all();
+
+  /// Advance simulation until `until` (inclusive of events at `until`), or
+  /// until the event queue drains, whichever is first. Returns the time of
+  /// the last processed event.
+  std::int64_t run(std::int64_t until);
+
+  std::int64_t now() const { return now_; }
+  const Trace& trace() const { return trace_; }
+
+  /// Total delta cycles executed (kernel effort metric for benches).
+  std::uint64_t delta_cycles() const { return deltas_; }
+  /// Runaway guard: throw after this many deltas within one timestep.
+  void set_delta_limit(std::uint64_t n) { delta_limit_ = n; }
+
+ private:
+  // Process identity: gates, assigns, always blocks, initial threads share
+  // one id space (in that order).
+  using ProcId = std::uint32_t;
+
+  struct PendingUpdate {
+    std::int64_t time;
+    std::uint64_t seq;  ///< FIFO tiebreak
+    SignalId signal;
+    Logic value;
+    bool operator<(const PendingUpdate& o) const {
+      if (time != o.time) return time < o.time;
+      return seq < o.seq;
+    }
+  };
+
+  // Initial-block thread state: an explicit continuation stack.
+  struct Frame {
+    const RStmt* stmt;
+    std::size_t index;   ///< next child for Block/Forever; phase for Delay
+  };
+  struct Thread {
+    std::vector<Frame> stack;
+    bool done = false;
+  };
+
+  void schedule_process(ProcId p) { ready_.insert(p); }
+  void wake_fanout(SignalId sig, Logic old_value, Logic new_value);
+  void run_process(ProcId p);
+  void run_gate(const GateProcess& g);
+  void run_assign(const AssignProcess& a);
+  void run_always(const AlwaysProcess& a);
+  void resume_thread(std::size_t thread_index);
+  /// Returns true when the thread suspended (delay scheduled).
+  bool step_thread(Thread& t, std::size_t thread_index);
+
+  void exec_stmt_run_to_completion(const RStmt& s);
+  std::vector<Logic> eval(const RExpr& e) const;
+  Logic eval_scalar(const RExpr& e) const;
+
+  void post_update(SignalId sig, Logic v, std::int64_t delay);
+  void apply_update(SignalId sig, Logic v);
+  void settle_timestep();   ///< run deltas + NBA until stable
+  ProcId next_ready();
+
+  const ElabDesign& design_;
+  SchedulerPolicy policy_;
+  std::uint64_t rng_state_;
+
+  std::vector<Logic> values_;
+  // Static fan-out: signal -> processes sensitive to it (with edge kinds
+  // for always blocks).
+  struct Waiter {
+    ProcId proc;
+    EdgeKind edge;
+  };
+  std::vector<std::vector<Waiter>> fanout_;
+
+  std::set<ProcId> ready_;
+  std::vector<std::pair<SignalId, Logic>> nba_queue_;
+  std::multiset<PendingUpdate> future_;
+  std::uint64_t seq_ = 0;
+
+  std::vector<Thread> threads_;
+  // thread wake-ups: time -> thread indices
+  std::multimap<std::int64_t, std::size_t> thread_wakeups_;
+
+  std::int64_t now_ = 0;
+  std::uint64_t deltas_ = 0;
+  std::uint64_t delta_limit_ = 100000;
+
+  std::set<SignalId> watched_;
+  std::map<SignalId, Logic> changed_this_step_;
+  Trace trace_;
+};
+
+}  // namespace interop::hdl

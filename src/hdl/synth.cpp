@@ -1,0 +1,764 @@
+#include "hdl/synth.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace interop::hdl {
+
+VendorSubset vendor_a_subset() {
+  VendorSubset v;
+  v.name = "SynthA";
+  v.allows_arithmetic = false;
+  v.allows_while_loops = false;
+  v.allows_nonblocking_in_always = true;   // treated as blocking
+  v.completes_sensitivity = true;          // auto-complete, warn
+  v.allows_missing_case_default = false;
+  v.allows_latch_inference = false;
+  v.max_identifier_length = 0;
+  return v;
+}
+
+VendorSubset vendor_b_subset() {
+  VendorSubset v;
+  v.name = "SynthB";
+  v.allows_arithmetic = true;
+  v.allows_while_loops = true;
+  v.allows_nonblocking_in_always = false;
+  v.completes_sensitivity = false;         // rejects incomplete lists
+  v.allows_missing_case_default = true;
+  v.allows_latch_inference = true;
+  v.max_identifier_length = 12;
+  return v;
+}
+
+VendorSubset intersect(const VendorSubset& a, const VendorSubset& b) {
+  VendorSubset v;
+  v.name = a.name + "&" + b.name;
+  v.allows_arithmetic = a.allows_arithmetic && b.allows_arithmetic;
+  v.allows_while_loops = a.allows_while_loops && b.allows_while_loops;
+  v.allows_nonblocking_in_always =
+      a.allows_nonblocking_in_always && b.allows_nonblocking_in_always;
+  v.completes_sensitivity = a.completes_sensitivity && b.completes_sensitivity;
+  v.allows_missing_case_default =
+      a.allows_missing_case_default && b.allows_missing_case_default;
+  v.allows_latch_inference =
+      a.allows_latch_inference && b.allows_latch_inference;
+  if (a.max_identifier_length == 0)
+    v.max_identifier_length = b.max_identifier_length;
+  else if (b.max_identifier_length == 0)
+    v.max_identifier_length = a.max_identifier_length;
+  else
+    v.max_identifier_length =
+        std::min(a.max_identifier_length, b.max_identifier_length);
+  return v;
+}
+
+namespace {
+
+void walk_stmts(const Stmt& s, const std::function<void(const Stmt&)>& fn) {
+  fn(s);
+  for (const StmtPtr& child : s.body) walk_stmts(*child, fn);
+  if (s.then_branch) walk_stmts(*s.then_branch, fn);
+  if (s.else_branch) walk_stmts(*s.else_branch, fn);
+  for (const Stmt::CaseArm& arm : s.arms) walk_stmts(*arm.stmt, fn);
+}
+
+void walk_exprs(const Stmt& s, const std::function<void(const Expr&)>& fn) {
+  std::function<void(const Expr&)> walk_e = [&](const Expr& e) {
+    fn(e);
+    for (const ExprPtr& op : e.operands) walk_e(*op);
+  };
+  walk_stmts(s, [&](const Stmt& st) {
+    if (st.rhs) walk_e(*st.rhs);
+    if (st.condition) walk_e(*st.condition);
+  });
+}
+
+}  // namespace
+
+std::vector<SubsetViolation> check_subset(const Module& m,
+                                          const VendorSubset& vendor) {
+  std::vector<SubsetViolation> out;
+  auto viol = [&out](std::string code, std::string msg, int line) {
+    out.push_back({std::move(code), std::move(msg), line});
+  };
+
+  if (!m.initial_blocks.empty())
+    viol("initial-block", "initial blocks are not synthesizable",
+         m.initial_blocks.front().line);
+
+  // Operator restrictions apply to every expression, continuous assigns
+  // included.
+  std::function<void(const Expr&)> check_expr = [&](const Expr& e) {
+    if (e.kind == Expr::Kind::Binary) {
+      switch (e.bin_op) {
+        case BinOp::Add:
+          if (!vendor.allows_arithmetic)
+            viol("arithmetic", "'+' not accepted by this vendor", e.line);
+          break;
+        case BinOp::Sub:
+          viol("subtraction", "'-' not synthesizable by either vendor",
+               e.line);
+          break;
+        case BinOp::Lt:
+        case BinOp::Le:
+        case BinOp::Gt:
+        case BinOp::Ge:
+          viol("relational-operator",
+               "relational operators are not synthesizable here", e.line);
+          break;
+        default:
+          break;
+      }
+    }
+    for (const ExprPtr& op : e.operands) check_expr(*op);
+  };
+
+  for (const ContAssign& a : m.assigns) {
+    if (a.delay > 0)
+      viol("delay-control", "delays are not synthesizable", a.line);
+    check_expr(*a.rhs);
+  }
+  for (const GateInst& g : m.gates)
+    if (g.delay > 0)
+      viol("delay-control", "gate delays are not synthesizable", g.line);
+
+  if (vendor.max_identifier_length > 0) {
+    for (const NetDecl& n : m.nets)
+      if (int(n.name.size()) > vendor.max_identifier_length)
+        viol("identifier-too-long",
+             "identifier '" + n.name + "' exceeds " +
+                 std::to_string(vendor.max_identifier_length) + " characters",
+             n.line);
+  }
+
+  // Multiple drivers: procedural targets vs assigns vs gate outputs.
+  std::map<std::string, int> drivers;
+  for (const ContAssign& a : m.assigns) ++drivers[a.lhs];
+  for (const GateInst& g : m.gates) ++drivers[g.conns.front().name];
+  for (const AlwaysBlock& blk : m.always_blocks) {
+    std::set<std::string> targets;
+    walk_stmts(*blk.body, [&](const Stmt& s) {
+      if (s.kind == Stmt::Kind::Assign) targets.insert(s.lhs);
+    });
+    for (const std::string& t : targets) ++drivers[t];
+  }
+  for (const auto& [name, count] : drivers)
+    if (count > 1)
+      viol("multiple-drivers",
+           "net '" + name + "' is driven from " + std::to_string(count) +
+               " places",
+           0);
+
+  for (const AlwaysBlock& blk : m.always_blocks) {
+    bool edge_triggered = false;
+    for (const SensItem& item : blk.sensitivity)
+      if (item.edge != EdgeKind::Any) edge_triggered = true;
+    if (edge_triggered) {
+      viol("sequential-unsupported",
+           "edge-triggered always blocks are outside both vendor subsets "
+           "in this implementation",
+           blk.line);
+      continue;
+    }
+
+    // Sensitivity completeness (the paper's modeling-style example).
+    if (!blk.star) {
+      std::set<std::string> listed;
+      for (const SensItem& item : blk.sensitivity) listed.insert(item.name);
+      std::set<std::string> read;
+      walk_exprs(*blk.body, [&](const Expr& e) {
+        if (e.kind == Expr::Kind::Ref || e.kind == Expr::Kind::Select)
+          read.insert(e.name);
+      });
+      // Targets assigned before being read don't need listing; keep the
+      // conservative check simple: anything read but not listed counts.
+      std::set<std::string> targets;
+      walk_stmts(*blk.body, [&](const Stmt& s) {
+        if (s.kind == Stmt::Kind::Assign) targets.insert(s.lhs);
+      });
+      std::vector<std::string> missing;
+      for (const std::string& r : read)
+        if (!listed.count(r) && !targets.count(r)) missing.push_back(r);
+      if (!missing.empty()) {
+        std::string names;
+        for (const std::string& n : missing)
+          names += (names.empty() ? "" : ", ") + n;
+        if (vendor.completes_sensitivity)
+          viol("warn:sensitivity-completed",
+               "sensitivity list completed with: " + names, blk.line);
+        else
+          viol("incomplete-sensitivity",
+               "sensitivity list is missing: " + names, blk.line);
+      }
+    }
+
+    walk_stmts(*blk.body, [&](const Stmt& s) {
+      switch (s.kind) {
+        case Stmt::Kind::Assign:
+          if (s.nonblocking && !vendor.allows_nonblocking_in_always)
+            viol("nonblocking-assign",
+                 "nonblocking assignment in combinational always block",
+                 s.line);
+          break;
+        case Stmt::Kind::Delay:
+          viol("delay-control", "delay inside always block", s.line);
+          break;
+        case Stmt::Kind::Forever:
+          viol("forever-loop", "forever loops are not synthesizable", s.line);
+          break;
+        case Stmt::Kind::While:
+          if (!vendor.allows_while_loops)
+            viol("while-loop", "while loops not accepted by this vendor",
+                 s.line);
+          break;
+        case Stmt::Kind::If:
+          if (!s.else_branch && !vendor.allows_latch_inference)
+            viol("if-without-else",
+                 "if without else can infer a latch; rejected by this vendor",
+                 s.line);
+          break;
+        case Stmt::Kind::Case: {
+          bool has_default = false;
+          for (const Stmt::CaseArm& arm : s.arms)
+            if (arm.match.empty()) has_default = true;
+          if (!has_default && !vendor.allows_missing_case_default)
+            viol("missing-case-default",
+                 "case without default; rejected by this vendor", s.line);
+          break;
+        }
+        default:
+          break;
+      }
+    });
+
+    walk_exprs(*blk.body, [&](const Expr& e) {
+      if (e.kind != Expr::Kind::Binary) return;
+      switch (e.bin_op) {
+        case BinOp::Add:
+        case BinOp::Sub:
+        case BinOp::Lt:
+        case BinOp::Le:
+        case BinOp::Gt:
+        case BinOp::Ge: {
+          // Recursion is handled by walk_exprs; check just this node.
+          Expr shallow;
+          shallow.kind = Expr::Kind::Binary;
+          shallow.bin_op = e.bin_op;
+          shallow.line = e.line;
+          check_expr(shallow);
+          break;
+        }
+        default:
+          break;
+      }
+    });
+  }
+  return out;
+}
+
+// ===========================================================================
+// Synthesis
+// ===========================================================================
+
+namespace {
+
+/// A symbolic bit: a constant or a scalar net in the output netlist.
+struct SymVal {
+  bool is_const = false;
+  Logic cval = Logic::X;
+  std::string net;
+  bool initial_self = false;  ///< reads the target's own previous value
+
+  static SymVal constant(Logic v) { return {true, v, "", false}; }
+  static SymVal wire(std::string n, bool self = false) {
+    return {false, Logic::X, std::move(n), self};
+  }
+  bool same(const SymVal& o) const {
+    if (is_const != o.is_const) return false;
+    return is_const ? cval == o.cval : net == o.net;
+  }
+};
+
+class Synthesizer {
+ public:
+  Synthesizer(const Module& m, const VendorSubset& vendor, SynthResult& out)
+      : rtl_(m), vendor_(vendor), out_(out) {}
+
+  void run() {
+    out_.netlist.name = rtl_.name + "_syn";
+
+    // Bit-blast nets and ports.
+    for (const NetDecl& net : rtl_.nets) {
+      for (const std::string& bit : bit_names(net)) {
+        std::string flat = flatten_name(net.name, bit);
+        NetDecl d;
+        d.name = flat;
+        d.kind = NetKind::Wire;
+        out_.netlist.nets.push_back(d);
+        out_.name_map.emplace_back(bit, flat);
+      }
+    }
+    for (const PortDecl& port : rtl_.ports) {
+      const NetDecl* net = rtl_.find_net(port.name);
+      for (const std::string& bit : bit_names(*net)) {
+        PortDecl p;
+        p.name = flatten_name(port.name, bit);
+        p.dir = port.dir;
+        out_.netlist.ports.push_back(p);
+      }
+    }
+
+    // Existing structural gates copy through with flattened connections.
+    for (const GateInst& g : rtl_.gates) {
+      GateInst copy;
+      copy.kind = g.kind;
+      copy.name = g.name;
+      for (const GateInst::Conn& conn : g.conns) {
+        GateInst::Conn c;
+        c.name = conn.index ? rtl_bit_flat(conn.name, *conn.index)
+                            : scalar_flat(conn.name);
+        copy.conns.push_back(std::move(c));
+      }
+      out_.netlist.gates.push_back(std::move(copy));
+      ++out_.gates_emitted;
+    }
+
+    // Continuous assigns.
+    for (const ContAssign& a : rtl_.assigns) {
+      Env env;
+      std::vector<SymVal> rhs = eval(*a.rhs, env);
+      std::vector<std::string> lhs_bits = lhs_nets(a.lhs, a.lhs_index);
+      drive(lhs_bits, rhs);
+    }
+
+    // Always blocks: symbolic execution with completed sensitivity.
+    for (const AlwaysBlock& blk : rtl_.always_blocks) {
+      Env env;
+      exec(*blk.body, env);
+      for (const auto& [bit, val] : env)
+        drive_one(bit, val);
+    }
+  }
+
+ private:
+  using Env = std::map<std::string, SymVal>;  // flat bit net -> value
+
+  // ---- naming -------------------------------------------------------
+
+  /// RTL per-bit names ("q[3]" msb-first, or "clk").
+  static std::vector<std::string> bit_names(const NetDecl& net) {
+    std::vector<std::string> out;
+    if (!net.range) {
+      out.push_back(net.name);
+      return out;
+    }
+    int step = net.range->first >= net.range->second ? -1 : 1;
+    for (int b = net.range->first;; b += step) {
+      out.push_back(net.name + "[" + std::to_string(b) + "]");
+      if (b == net.range->second) break;
+    }
+    return out;
+  }
+
+  /// Flatten "q[3]" (of base q) -> "q_3"; scalars keep their name.
+  static std::string flatten_name(const std::string& base,
+                                  const std::string& bit) {
+    if (bit == base) return base;
+    std::string idx = bit.substr(base.size() + 1, bit.size() - base.size() - 2);
+    return base + "_" + idx;
+  }
+
+  std::string rtl_bit_flat(const std::string& name, int index) const {
+    return name + "_" + std::to_string(index);
+  }
+
+  std::string scalar_flat(const std::string& name) const { return name; }
+
+  std::vector<std::string> lhs_nets(const std::string& name,
+                                    std::optional<int> index) const {
+    if (index) return {rtl_bit_flat(name, *index)};
+    const NetDecl* net = rtl_.find_net(name);
+    assert(net);
+    std::vector<std::string> out;
+    for (const std::string& bit : bit_names(*net))
+      out.push_back(flatten_name(name, bit));
+    return out;
+  }
+
+  // ---- gate emission -------------------------------------------------
+
+  std::string fresh_wire() {
+    std::string name = "t" + std::to_string(tmp_counter_++);
+    NetDecl d;
+    d.name = name;
+    d.kind = NetKind::Wire;
+    out_.netlist.nets.push_back(d);
+    return name;
+  }
+
+  std::string const_net(Logic v) {
+    assert(is_known(v));
+    std::string& slot = v == Logic::L0 ? const0_ : const1_;
+    if (slot.empty()) {
+      slot = v == Logic::L0 ? "const0" : "const1";
+      NetDecl d;
+      d.name = slot;
+      d.kind = NetKind::Wire;
+      out_.netlist.nets.push_back(d);
+      ContAssign a;
+      a.lhs = slot;
+      a.rhs = make_literal({v});
+      out_.netlist.assigns.push_back(std::move(a));
+    }
+    return slot;
+  }
+
+  std::string materialize(const SymVal& v) {
+    if (!v.is_const) return v.net;
+    return const_net(is_known(v.cval) ? v.cval : Logic::L0);
+  }
+
+  SymVal emit2(GateKind kind, const SymVal& a, const SymVal& b) {
+    GateInst g;
+    g.kind = kind;
+    std::string out = fresh_wire();
+    g.conns.push_back({out, std::nullopt});
+    g.conns.push_back({materialize(a), std::nullopt});
+    g.conns.push_back({materialize(b), std::nullopt});
+    out_.netlist.gates.push_back(std::move(g));
+    ++out_.gates_emitted;
+    return SymVal::wire(out);
+  }
+
+  SymVal emit1(GateKind kind, const SymVal& a) {
+    GateInst g;
+    g.kind = kind;
+    std::string out = fresh_wire();
+    g.conns.push_back({out, std::nullopt});
+    g.conns.push_back({materialize(a), std::nullopt});
+    out_.netlist.gates.push_back(std::move(g));
+    ++out_.gates_emitted;
+    return SymVal::wire(out);
+  }
+
+  SymVal s_and(const SymVal& a, const SymVal& b) {
+    if (a.is_const) {
+      if (a.cval == Logic::L0) return SymVal::constant(Logic::L0);
+      if (a.cval == Logic::L1) return b;
+    }
+    if (b.is_const) {
+      if (b.cval == Logic::L0) return SymVal::constant(Logic::L0);
+      if (b.cval == Logic::L1) return a;
+    }
+    if (a.is_const && b.is_const)
+      return SymVal::constant(logic_and(a.cval, b.cval));
+    return emit2(GateKind::And, a, b);
+  }
+
+  SymVal s_or(const SymVal& a, const SymVal& b) {
+    if (a.is_const) {
+      if (a.cval == Logic::L1) return SymVal::constant(Logic::L1);
+      if (a.cval == Logic::L0) return b;
+    }
+    if (b.is_const) {
+      if (b.cval == Logic::L1) return SymVal::constant(Logic::L1);
+      if (b.cval == Logic::L0) return a;
+    }
+    if (a.is_const && b.is_const)
+      return SymVal::constant(logic_or(a.cval, b.cval));
+    return emit2(GateKind::Or, a, b);
+  }
+
+  SymVal s_xor(const SymVal& a, const SymVal& b) {
+    if (a.is_const && b.is_const)
+      return SymVal::constant(logic_xor(a.cval, b.cval));
+    if (a.is_const && a.cval == Logic::L0) return b;
+    if (b.is_const && b.cval == Logic::L0) return a;
+    if (a.is_const && a.cval == Logic::L1) return s_not(b);
+    if (b.is_const && b.cval == Logic::L1) return s_not(a);
+    return emit2(GateKind::Xor, a, b);
+  }
+
+  SymVal s_not(const SymVal& a) {
+    if (a.is_const) return SymVal::constant(logic_not(a.cval));
+    return emit1(GateKind::Not, a);
+  }
+
+  SymVal s_mux(const SymVal& sel, const SymVal& a, const SymVal& b) {
+    if (sel.is_const) {
+      if (sel.cval == Logic::L1) return a;
+      if (sel.cval == Logic::L0) return b;
+    }
+    if (a.same(b)) return a;
+    // (sel & a) | (~sel & b)
+    return s_or(s_and(sel, a), s_and(s_not(sel), b));
+  }
+
+  // ---- expression synthesis ------------------------------------------
+
+  SymVal scalarize(const std::vector<SymVal>& bits) {
+    SymVal acc = SymVal::constant(Logic::L0);
+    for (const SymVal& b : bits) acc = s_or(acc, b);
+    return acc;
+  }
+
+  std::vector<SymVal> extend(std::vector<SymVal> bits, std::size_t w) {
+    if (bits.size() >= w)
+      return std::vector<SymVal>(bits.end() - std::ptrdiff_t(w), bits.end());
+    std::vector<SymVal> out(w - bits.size(), SymVal::constant(Logic::L0));
+    out.insert(out.end(), bits.begin(), bits.end());
+    return out;
+  }
+
+  /// Current symbolic value of a flat net bit: the env entry (assigned
+  /// earlier in this block) or the net itself (its previous value).
+  SymVal lookup(const Env& env, const std::string& flat) const {
+    auto it = env.find(flat);
+    if (it != env.end()) return it->second;
+    return SymVal::wire(flat, /*self=*/true);
+  }
+
+  std::vector<SymVal> eval(const Expr& e, const Env& env) {
+    switch (e.kind) {
+      case Expr::Kind::Literal: {
+        std::vector<SymVal> out;
+        for (Logic b : e.literal) out.push_back(SymVal::constant(b));
+        return out;
+      }
+      case Expr::Kind::Ref: {
+        const NetDecl* net = rtl_.find_net(e.name);
+        if (!net)
+          throw std::runtime_error("synth: undeclared signal " + e.name);
+        std::vector<SymVal> out;
+        for (const std::string& bit : bit_names(*net))
+          out.push_back(lookup(env, flatten_name(e.name, bit)));
+        return out;
+      }
+      case Expr::Kind::Select:
+        return {lookup(env, rtl_bit_flat(e.name, e.index))};
+      case Expr::Kind::Unary: {
+        std::vector<SymVal> a = eval(*e.operands[0], env);
+        switch (e.un_op) {
+          case UnOp::Not: return {s_not(scalarize(a))};
+          case UnOp::BitNot: {
+            for (SymVal& b : a) b = s_not(b);
+            return a;
+          }
+          case UnOp::RedAnd: {
+            SymVal acc = SymVal::constant(Logic::L1);
+            for (const SymVal& b : a) acc = s_and(acc, b);
+            return {acc};
+          }
+          case UnOp::RedOr: return {scalarize(a)};
+          case UnOp::Neg:
+            throw std::runtime_error("synth: unary minus unsupported");
+        }
+        return a;
+      }
+      case Expr::Kind::Binary: {
+        std::vector<SymVal> a = eval(*e.operands[0], env);
+        std::vector<SymVal> b = eval(*e.operands[1], env);
+        std::size_t w = std::max(a.size(), b.size());
+        switch (e.bin_op) {
+          case BinOp::And:
+          case BinOp::Or:
+          case BinOp::Xor: {
+            a = extend(std::move(a), w);
+            b = extend(std::move(b), w);
+            std::vector<SymVal> out;
+            for (std::size_t i = 0; i < w; ++i) {
+              out.push_back(e.bin_op == BinOp::And  ? s_and(a[i], b[i])
+                            : e.bin_op == BinOp::Or ? s_or(a[i], b[i])
+                                                    : s_xor(a[i], b[i]));
+            }
+            return out;
+          }
+          case BinOp::LAnd:
+            return {s_and(scalarize(a), scalarize(b))};
+          case BinOp::LOr:
+            return {s_or(scalarize(a), scalarize(b))};
+          case BinOp::Eq:
+          case BinOp::Ne: {
+            a = extend(std::move(a), w);
+            b = extend(std::move(b), w);
+            SymVal acc = SymVal::constant(Logic::L1);
+            for (std::size_t i = 0; i < w; ++i)
+              acc = s_and(acc, s_not(s_xor(a[i], b[i])));
+            return {e.bin_op == BinOp::Eq ? acc : s_not(acc)};
+          }
+          case BinOp::Add: {
+            if (!vendor_.allows_arithmetic)
+              throw std::runtime_error("synth: arithmetic not in subset");
+            a = extend(std::move(a), w);
+            b = extend(std::move(b), w);
+            // Ripple-carry, lsb at the back of the msb-first vectors.
+            std::vector<SymVal> sum(w, SymVal::constant(Logic::L0));
+            SymVal carry = SymVal::constant(Logic::L0);
+            for (std::size_t i = 0; i < w; ++i) {
+              std::size_t bi = w - 1 - i;
+              SymVal x = a[bi], y = b[bi];
+              sum[bi] = s_xor(s_xor(x, y), carry);
+              carry = s_or(s_or(s_and(x, y), s_and(x, carry)),
+                           s_and(y, carry));
+            }
+            return sum;
+          }
+          default:
+            throw std::runtime_error("synth: operator not in subset");
+        }
+      }
+      case Expr::Kind::Cond: {
+        SymVal sel = scalarize(eval(*e.operands[0], env));
+        std::vector<SymVal> a = eval(*e.operands[1], env);
+        std::vector<SymVal> b = eval(*e.operands[2], env);
+        std::size_t w = std::max(a.size(), b.size());
+        a = extend(std::move(a), w);
+        b = extend(std::move(b), w);
+        std::vector<SymVal> out;
+        for (std::size_t i = 0; i < w; ++i)
+          out.push_back(s_mux(sel, a[i], b[i]));
+        return out;
+      }
+      case Expr::Kind::Concat:
+        break;
+    }
+    throw std::runtime_error("synth: unsupported expression");
+  }
+
+  // ---- statement synthesis -------------------------------------------
+
+  void exec(const Stmt& s, Env& env) {
+    switch (s.kind) {
+      case Stmt::Kind::Block:
+        for (const StmtPtr& child : s.body) exec(*child, env);
+        break;
+      case Stmt::Kind::Assign: {
+        std::vector<SymVal> rhs = eval(*s.rhs, env);
+        std::vector<std::string> lhs = lhs_nets(s.lhs, s.lhs_index);
+        rhs = extend(std::move(rhs), lhs.size());
+        for (std::size_t i = 0; i < lhs.size(); ++i) env[lhs[i]] = rhs[i];
+        break;
+      }
+      case Stmt::Kind::If: {
+        SymVal cond = scalarize(eval(*s.condition, env));
+        Env then_env = env;
+        exec(*s.then_branch, then_env);
+        Env else_env = env;
+        if (s.else_branch) exec(*s.else_branch, else_env);
+        merge(env, cond, then_env, else_env);
+        break;
+      }
+      case Stmt::Kind::Case: {
+        std::vector<SymVal> sel = eval(*s.condition, env);
+        // Lower to a chain of if-equal merges, last arm first.
+        Env result = env;
+        const Stmt::CaseArm* dflt = nullptr;
+        for (const Stmt::CaseArm& arm : s.arms)
+          if (arm.match.empty()) dflt = &arm;
+        if (dflt) exec(*dflt->stmt, result);
+        for (auto it = s.arms.rbegin(); it != s.arms.rend(); ++it) {
+          if (it->match.empty()) continue;
+          SymVal eq = SymVal::constant(Logic::L1);
+          std::vector<SymVal> m;
+          for (Logic b : it->match) m.push_back(SymVal::constant(b));
+          m = extend(std::move(m), sel.size());
+          for (std::size_t i = 0; i < sel.size(); ++i)
+            eq = s_and(eq, s_not(s_xor(sel[i], m[i])));
+          Env arm_env = env;
+          exec(*it->stmt, arm_env);
+          merge(result, eq, arm_env, result);
+        }
+        env = std::move(result);
+        break;
+      }
+      case Stmt::Kind::While: {
+        if (!vendor_.allows_while_loops)
+          throw std::runtime_error("synth: while loop not in subset");
+        int guard = 0;
+        while (true) {
+          SymVal cond = scalarize(eval(*s.condition, env));
+          if (!cond.is_const)
+            throw std::runtime_error(
+                "synth: while condition does not unroll to a constant");
+          if (cond.cval != Logic::L1) break;
+          for (const StmtPtr& child : s.body) exec(*child, env);
+          if (++guard > 64)
+            throw std::runtime_error("synth: while loop unrolls too far");
+        }
+        break;
+      }
+      default:
+        throw std::runtime_error("synth: statement not synthesizable");
+    }
+  }
+
+  /// env := cond ? then_env : else_env, latch-counting on self-feedback.
+  void merge(Env& env, const SymVal& cond, const Env& then_env,
+             const Env& else_env) {
+    std::set<std::string> keys;
+    for (const auto& [k, v] : then_env) keys.insert(k);
+    for (const auto& [k, v] : else_env) keys.insert(k);
+    for (const std::string& k : keys) {
+      SymVal t = lookup(then_env, k);
+      SymVal e = lookup(else_env, k);
+      if (t.same(e)) {
+        if (!t.initial_self || then_env.count(k) || else_env.count(k))
+          env[k] = t;
+        continue;
+      }
+      // One side keeps the previous value: that's a latch.
+      if ((t.initial_self && t.net == k) || (e.initial_self && e.net == k))
+        ++out_.latches_inferred;
+      env[k] = s_mux(cond, t, e);
+    }
+  }
+
+  void drive(const std::vector<std::string>& lhs, std::vector<SymVal> rhs) {
+    rhs = extend(std::move(rhs), lhs.size());
+    for (std::size_t i = 0; i < lhs.size(); ++i) drive_one(lhs[i], rhs[i]);
+  }
+
+  void drive_one(const std::string& net, const SymVal& v) {
+    GateInst g;
+    g.kind = GateKind::Buf;
+    g.conns.push_back({net, std::nullopt});
+    g.conns.push_back({materialize(v), std::nullopt});
+    out_.netlist.gates.push_back(std::move(g));
+    ++out_.gates_emitted;
+  }
+
+  const Module& rtl_;
+  const VendorSubset& vendor_;
+  SynthResult& out_;
+  int tmp_counter_ = 0;
+  std::string const0_;
+  std::string const1_;
+};
+
+}  // namespace
+
+SynthResult synthesize(const Module& m, const VendorSubset& vendor) {
+  SynthResult result;
+  result.violations = check_subset(m, vendor);
+  for (const SubsetViolation& v : result.violations) {
+    if (v.code.rfind("warn:", 0) != 0) {
+      result.ok = false;
+      return result;
+    }
+  }
+  try {
+    Synthesizer synth(m, vendor, result);
+    synth.run();
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.violations.push_back({"synth-error", e.what(), 0});
+  }
+  return result;
+}
+
+}  // namespace interop::hdl

@@ -1,0 +1,74 @@
+#pragma once
+// Synthesizable-subset checking and gate-level synthesis.
+//
+// §3.2: "for each HDL and synthesis tool, there exists a subset of the HDL
+// that the synthesis tool can accept [and] there is no standardization of
+// the synthesizable subset across synthesis vendors ... a model [to be]
+// transported between synthesis tools should be written using only those
+// HDL constructs contained in the intersection of the vendors' subsets."
+//
+// Two vendor subsets are provided (a strict one and a permissive one) plus
+// subset intersection. The synthesizer itself bit-blasts always blocks and
+// continuous assigns into a gate netlist, using the *synthesis*
+// interpretation of sensitivity lists (completion), which the paper's
+// modeling-style example shows diverges from simulation semantics.
+
+#include <string>
+#include <vector>
+
+#include "hdl/ast.hpp"
+
+namespace interop::hdl {
+
+struct SubsetViolation {
+  std::string code;     ///< stable id, e.g. "incomplete-sensitivity"
+  std::string message;
+  int line = 0;
+};
+
+/// What one synthesis vendor accepts.
+struct VendorSubset {
+  std::string name;
+  bool allows_arithmetic = false;       ///< +: ripple-carry synthesis
+  bool allows_while_loops = false;      ///< bounded while unrolling
+  bool allows_nonblocking_in_always = false;
+  /// Incomplete sensitivity list: true = auto-complete (warn), false =
+  /// reject. (The paper's example: the tool synthesizes as if complete.)
+  bool completes_sensitivity = false;
+  bool allows_missing_case_default = false;  ///< else reject (latch risk)
+  bool allows_latch_inference = false;  ///< if-without-else on comb path
+  int max_identifier_length = 0;        ///< 0 = unlimited
+};
+
+/// "SynthA": strict, rejects anything latch-shaped, auto-completes
+/// sensitivity lists with a warning.
+VendorSubset vendor_a_subset();
+/// "SynthB": permissive — arithmetic, latch inference, bounded while —
+/// but rejects incomplete sensitivity lists outright.
+VendorSubset vendor_b_subset();
+/// The most restrictive combination: what a portable model may use.
+VendorSubset intersect(const VendorSubset& a, const VendorSubset& b);
+
+/// Check `m` against `vendor` without synthesizing. Violations with code
+/// prefixed "warn:" are acceptances-with-warning, everything else is a
+/// rejection.
+std::vector<SubsetViolation> check_subset(const Module& m,
+                                          const VendorSubset& vendor);
+
+struct SynthResult {
+  bool ok = false;
+  Module netlist;                        ///< gate-level, scalar nets only
+  std::vector<SubsetViolation> violations;
+  int latches_inferred = 0;
+  int gates_emitted = 0;
+  /// RTL bit name ("q[3]") -> netlist scalar net name ("q_3") — the §3.3
+  /// flattening/mangling map, reversible via naming.hpp.
+  std::vector<std::pair<std::string, std::string>> name_map;
+};
+
+/// Synthesize `m` under `vendor` rules. On rejection, ok=false and
+/// violations explain why. The resulting netlist module has the same name
+/// with "_syn" appended and scalar ports (vectors are bit-blasted).
+SynthResult synthesize(const Module& m, const VendorSubset& vendor);
+
+}  // namespace interop::hdl

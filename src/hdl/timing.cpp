@@ -1,0 +1,60 @@
+#include "hdl/timing.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace interop::hdl {
+
+std::string to_string(SimVersion v) {
+  switch (v) {
+    case SimVersion::V1_5: return "1.5";
+    case SimVersion::V1_6A: return "1.6a";
+    case SimVersion::V2_0: return "2.0";
+  }
+  return "?";
+}
+
+TimingResult TimingModel::check(
+    const std::vector<std::int64_t>& data_transitions,
+    const std::vector<std::int64_t>& clock_edges,
+    const TimingSpec& spec) const {
+  assert(std::is_sorted(data_transitions.begin(), data_transitions.end()));
+  assert(std::is_sorted(clock_edges.begin(), clock_edges.end()));
+
+  SimVersion eff = effective();
+
+  // V2_0 rejects glitch pairs (two transitions within glitch_window) before
+  // checking; earlier versions see every transition.
+  std::vector<std::int64_t> data = data_transitions;
+  if (eff == SimVersion::V2_0) {
+    std::vector<std::int64_t> filtered;
+    for (std::size_t i = 0; i < data.size();) {
+      if (i + 1 < data.size() && data[i + 1] - data[i] <= glitch_window_) {
+        i += 2;  // pulse rejected: both edges dropped
+      } else {
+        filtered.push_back(data[i]);
+        ++i;
+      }
+    }
+    data.swap(filtered);
+  }
+
+  const bool inclusive = eff != SimVersion::V1_5;
+
+  TimingResult result;
+  for (std::int64_t clk : clock_edges) {
+    for (std::int64_t t : data) {
+      bool setup_viol =
+          inclusive ? (t >= clk - spec.setup && t <= clk)
+                    : (t > clk - spec.setup && t < clk);
+      bool hold_viol =
+          inclusive ? (t >= clk && t <= clk + spec.hold)
+                    : (t > clk && t < clk + spec.hold);
+      if (setup_viol) ++result.setup_violations;
+      if (hold_viol) ++result.hold_violations;
+    }
+  }
+  return result;
+}
+
+}  // namespace interop::hdl

@@ -1,0 +1,68 @@
+#pragma once
+// Versioned timing-check semantics and the backward-compatibility switch.
+//
+// §3.1: "Simulator timing models can change as new versions are released,
+// causing simulation timing results to drift unless backwards compatibility
+// is specifically addressed. For example, Verilog-XL supports the
+// '+pre_16a_path' command line option [forcing] the same timing check
+// behavior as was used prior to the 1.6a version."
+//
+// We model a simulator whose setup/hold check semantics changed across three
+// releases, plus the compat flag that pins the old behavior:
+//   V1_5  — boundary transitions do not violate (open windows); every
+//           offending transition is reported.
+//   V1_6A — windows became inclusive: a data edge exactly at the window
+//           boundary (or coincident with the clock) now violates.
+//   V2_0  — V1_6A semantics plus glitch rejection: transition pairs closer
+//           than `glitch_window` are filtered before checking.
+// Passing `pre_16a_compat = true` makes any version behave exactly like V1_5.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace interop::hdl {
+
+enum class SimVersion : std::uint8_t { V1_5, V1_6A, V2_0 };
+
+std::string to_string(SimVersion v);
+
+struct TimingSpec {
+  std::int64_t setup = 3;
+  std::int64_t hold = 2;
+};
+
+struct TimingResult {
+  int setup_violations = 0;
+  int hold_violations = 0;
+  int total() const { return setup_violations + hold_violations; }
+
+  friend bool operator==(const TimingResult&, const TimingResult&) = default;
+};
+
+class TimingModel {
+ public:
+  TimingModel(SimVersion version, bool pre_16a_compat,
+              std::int64_t glitch_window = 1)
+      : version_(version),
+        compat_(pre_16a_compat),
+        glitch_window_(glitch_window) {}
+
+  SimVersion version() const { return version_; }
+  bool compat() const { return compat_; }
+
+  /// Check sorted data-transition times against sorted clock-edge times.
+  TimingResult check(const std::vector<std::int64_t>& data_transitions,
+                     const std::vector<std::int64_t>& clock_edges,
+                     const TimingSpec& spec) const;
+
+ private:
+  /// The version whose window semantics apply after the compat flag.
+  SimVersion effective() const { return compat_ ? SimVersion::V1_5 : version_; }
+
+  SimVersion version_;
+  bool compat_;
+  std::int64_t glitch_window_;
+};
+
+}  // namespace interop::hdl

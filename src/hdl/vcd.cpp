@@ -1,0 +1,90 @@
+#include "hdl/vcd.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/strings.hpp"
+
+namespace interop::hdl {
+
+namespace {
+
+/// VCD short identifiers: printable ASCII 33..126, little-endian digits.
+std::string vcd_id(std::size_t n) {
+  std::string out;
+  do {
+    out += char(33 + n % 94);
+    n /= 94;
+  } while (n > 0);
+  return out;
+}
+
+}  // namespace
+
+std::string write_vcd(const ElabDesign& design, const Trace& trace,
+                      const std::string& timescale) {
+  std::ostringstream os;
+  os << "$date interop-workbench $end\n";
+  os << "$version interop::hdl 1.0 $end\n";
+  os << "$timescale " << timescale << " $end\n";
+
+  // Declare the signals present in the trace, in first-appearance order.
+  std::map<SignalId, std::string> ids;
+  os << "$scope module top $end\n";
+  for (const TraceEvent& e : trace) {
+    if (ids.count(e.signal)) continue;
+    std::string id = vcd_id(ids.size());
+    ids[e.signal] = id;
+    os << "$var wire 1 " << id << ' ' << design.signal_names[e.signal]
+       << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::int64_t current = -1;
+  for (const TraceEvent& e : trace) {
+    if (e.time != current) {
+      current = e.time;
+      os << '#' << current << '\n';
+    }
+    os << to_char(e.value) << ids[e.signal] << '\n';
+  }
+  return os.str();
+}
+
+Trace read_vcd(const ElabDesign& design, const std::string& text) {
+  Trace trace;
+  std::map<std::string, SignalId> by_id;
+  std::int64_t current = 0;
+  bool in_definitions = true;
+
+  for (const std::string& raw : base::split(text, '\n')) {
+    std::string line = base::trim(raw);
+    if (line.empty()) continue;
+    if (in_definitions) {
+      if (base::starts_with(line, "$var")) {
+        // $var wire 1 <id> <name> $end
+        std::vector<std::string> f = base::split_ws(line);
+        if (f.size() < 6) throw std::runtime_error("vcd: malformed $var");
+        by_id[f[3]] = design.signal(f[4]);
+      } else if (base::starts_with(line, "$enddefinitions")) {
+        in_definitions = false;
+      }
+      continue;
+    }
+    if (line[0] == '#') {
+      current = std::stoll(line.substr(1));
+      continue;
+    }
+    char v = line[0];
+    std::string id = line.substr(1);
+    auto it = by_id.find(id);
+    if (it == by_id.end())
+      throw std::runtime_error("vcd: change for undeclared id '" + id + "'");
+    trace.push_back({current, it->second, logic_from_char(v)});
+  }
+  return trace;
+}
+
+}  // namespace interop::hdl

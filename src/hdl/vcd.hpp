@@ -1,0 +1,23 @@
+#pragma once
+// VCD (value change dump) writer: the sim-results persistence format the
+// methodology's tool models declare ("vcd" ports). Renders a recorded Trace
+// as IEEE-1364-style VCD text.
+
+#include <string>
+
+#include "hdl/sim.hpp"
+
+namespace interop::hdl {
+
+/// Render `trace` (from Simulation::trace()) as a VCD document. Only
+/// signals that appear in the trace are declared. `timescale` is the
+/// `$timescale` body, e.g. "1ns".
+std::string write_vcd(const ElabDesign& design, const Trace& trace,
+                      const std::string& timescale = "1ns");
+
+/// Parse the signal-change lines of a VCD document written by write_vcd
+/// back into a Trace (identifiers are resolved via the $var declarations).
+/// Throws std::runtime_error on malformed input.
+Trace read_vcd(const ElabDesign& design, const std::string& text);
+
+}  // namespace interop::hdl

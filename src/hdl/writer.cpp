@@ -1,0 +1,267 @@
+#include "hdl/writer.hpp"
+
+#include <sstream>
+
+namespace interop::hdl {
+
+namespace {
+
+int precedence(const Expr& e) {
+  if (e.kind != Expr::Kind::Binary) {
+    return e.kind == Expr::Kind::Cond ? 0 : 100;
+  }
+  switch (e.bin_op) {
+    case BinOp::LOr: return 1;
+    case BinOp::LAnd: return 2;
+    case BinOp::Or: return 3;
+    case BinOp::Xor: return 4;
+    case BinOp::And: return 5;
+    case BinOp::Eq:
+    case BinOp::Ne: return 6;
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: return 7;
+    case BinOp::Add:
+    case BinOp::Sub: return 8;
+  }
+  return 100;
+}
+
+const char* binop_text(BinOp op) {
+  switch (op) {
+    case BinOp::And: return "&";
+    case BinOp::Or: return "|";
+    case BinOp::Xor: return "^";
+    case BinOp::LAnd: return "&&";
+    case BinOp::LOr: return "||";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+  }
+  return "?";
+}
+
+void write_expr_prec(std::ostringstream& os, const Expr& e, int parent_prec) {
+  int prec = precedence(e);
+  bool paren = prec < parent_prec;
+  if (paren) os << '(';
+  switch (e.kind) {
+    case Expr::Kind::Literal: {
+      os << e.literal.size() << "'b";
+      for (Logic b : e.literal) os << to_char(b);
+      break;
+    }
+    case Expr::Kind::Ref:
+      if (e.escaped) os << '\\' << e.name << ' ';
+      else os << e.name;
+      break;
+    case Expr::Kind::Select:
+      os << e.name << '[' << e.index << ']';
+      break;
+    case Expr::Kind::Unary: {
+      const char* op = e.un_op == UnOp::Not      ? "!"
+                       : e.un_op == UnOp::BitNot ? "~"
+                       : e.un_op == UnOp::RedAnd ? "&"
+                       : e.un_op == UnOp::RedOr  ? "|"
+                                                 : "-";
+      os << op;
+      write_expr_prec(os, *e.operands[0], 100);
+      break;
+    }
+    case Expr::Kind::Binary:
+      write_expr_prec(os, *e.operands[0], prec);
+      os << ' ' << binop_text(e.bin_op) << ' ';
+      write_expr_prec(os, *e.operands[1], prec + 1);
+      break;
+    case Expr::Kind::Cond:
+      write_expr_prec(os, *e.operands[0], 1);
+      os << " ? ";
+      write_expr_prec(os, *e.operands[1], 0);
+      os << " : ";
+      write_expr_prec(os, *e.operands[2], 0);
+      break;
+    case Expr::Kind::Concat:
+      break;
+  }
+  if (paren) os << ')';
+}
+
+void write_stmt(std::ostringstream& os, const Stmt& s, int indent) {
+  std::string pad(std::size_t(indent) * 2, ' ');
+  switch (s.kind) {
+    case Stmt::Kind::Block:
+      os << pad << "begin\n";
+      for (const StmtPtr& child : s.body) write_stmt(os, *child, indent + 1);
+      os << pad << "end\n";
+      break;
+    case Stmt::Kind::Assign:
+      os << pad << s.lhs;
+      if (s.lhs_index) os << '[' << *s.lhs_index << ']';
+      os << (s.nonblocking ? " <= " : " = ");
+      write_expr_prec(os, *s.rhs, 0);
+      os << ";\n";
+      break;
+    case Stmt::Kind::If:
+      os << pad << "if (";
+      write_expr_prec(os, *s.condition, 0);
+      os << ")\n";
+      write_stmt(os, *s.then_branch, indent + 1);
+      if (s.else_branch) {
+        os << pad << "else\n";
+        write_stmt(os, *s.else_branch, indent + 1);
+      }
+      break;
+    case Stmt::Kind::Delay:
+      os << pad << '#' << s.delay;
+      if (s.body.empty()) {
+        os << ";\n";
+      } else {
+        os << "\n";
+        write_stmt(os, *s.body.front(), indent + 1);
+      }
+      break;
+    case Stmt::Kind::Forever:
+      os << pad << "forever\n";
+      write_stmt(os, *s.body.front(), indent + 1);
+      break;
+    case Stmt::Kind::While:
+      os << pad << "while (";
+      write_expr_prec(os, *s.condition, 0);
+      os << ")\n";
+      write_stmt(os, *s.body.front(), indent + 1);
+      break;
+    case Stmt::Kind::Case:
+      os << pad << "case (";
+      write_expr_prec(os, *s.condition, 0);
+      os << ")\n";
+      for (const Stmt::CaseArm& arm : s.arms) {
+        if (arm.match.empty()) {
+          os << pad << "  default:\n";
+        } else {
+          os << pad << "  " << arm.match.size() << "'b";
+          for (Logic b : arm.match) os << to_char(b);
+          os << ":\n";
+        }
+        write_stmt(os, *arm.stmt, indent + 2);
+      }
+      os << pad << "endcase\n";
+      break;
+  }
+}
+
+const char* gate_name(GateKind k) {
+  switch (k) {
+    case GateKind::And: return "and";
+    case GateKind::Or: return "or";
+    case GateKind::Nand: return "nand";
+    case GateKind::Nor: return "nor";
+    case GateKind::Xor: return "xor";
+    case GateKind::Not: return "not";
+    case GateKind::Buf: return "buf";
+  }
+  return "buf";
+}
+
+}  // namespace
+
+std::string write_expr(const Expr& e) {
+  std::ostringstream os;
+  write_expr_prec(os, e, 0);
+  return os.str();
+}
+
+std::string write_module(const Module& m) {
+  std::ostringstream os;
+  os << "module " << m.name << '(';
+  for (std::size_t i = 0; i < m.ports.size(); ++i) {
+    if (i) os << ", ";
+    os << m.ports[i].name;
+  }
+  os << ");\n";
+
+  for (const PortDecl& port : m.ports) {
+    const char* dir = port.dir == PortDir::Input    ? "input"
+                      : port.dir == PortDir::Output ? "output"
+                                                    : "inout";
+    os << "  " << dir << ' ' << port.name << ";\n";
+  }
+  for (const NetDecl& net : m.nets) {
+    // Skip re-declaring scalar wires already declared via ports, unless the
+    // port net is a reg or a vector (needs the extra declaration).
+    bool is_port = false;
+    for (const PortDecl& port : m.ports)
+      if (port.name == net.name) is_port = true;
+    if (is_port && net.kind == NetKind::Wire && !net.range) continue;
+    os << "  " << (net.kind == NetKind::Reg ? "reg" : "wire");
+    if (net.range)
+      os << " [" << net.range->first << ':' << net.range->second << ']';
+    os << ' ' << net.name << ";\n";
+  }
+
+  for (const GateInst& g : m.gates) {
+    os << "  " << gate_name(g.kind);
+    if (g.delay > 0) os << " #" << g.delay;
+    if (!g.name.empty()) os << ' ' << g.name;
+    os << " (";
+    for (std::size_t i = 0; i < g.conns.size(); ++i) {
+      if (i) os << ", ";
+      os << g.conns[i].name;
+      if (g.conns[i].index) os << '[' << *g.conns[i].index << ']';
+    }
+    os << ");\n";
+  }
+
+  for (const ContAssign& a : m.assigns) {
+    os << "  assign ";
+    if (a.delay > 0) os << '#' << a.delay << ' ';
+    os << a.lhs;
+    if (a.lhs_index) os << '[' << *a.lhs_index << ']';
+    os << " = ";
+    std::ostringstream expr;
+    write_expr_prec(expr, *a.rhs, 0);
+    os << expr.str() << ";\n";
+  }
+
+  for (const AlwaysBlock& blk : m.always_blocks) {
+    os << "  always @(";
+    if (blk.star) {
+      os << '*';
+    } else {
+      for (std::size_t i = 0; i < blk.sensitivity.size(); ++i) {
+        if (i) os << " or ";
+        if (blk.sensitivity[i].edge == EdgeKind::Pos) os << "posedge ";
+        if (blk.sensitivity[i].edge == EdgeKind::Neg) os << "negedge ";
+        os << blk.sensitivity[i].name;
+      }
+    }
+    os << ")\n";
+    write_stmt(os, *blk.body, 2);
+  }
+
+  for (const InitialBlock& blk : m.initial_blocks) {
+    os << "  initial\n";
+    write_stmt(os, *blk.body, 2);
+  }
+
+  for (const ModuleInst& inst : m.instances) {
+    os << "  " << inst.module << ' ' << inst.name << " (";
+    for (std::size_t i = 0; i < inst.conns.size(); ++i) {
+      if (i) os << ", ";
+      os << '.' << inst.conns[i].port << '(' << inst.conns[i].signal;
+      if (inst.conns[i].index) os << '[' << *inst.conns[i].index << ']';
+      os << ')';
+    }
+    os << ");\n";
+  }
+
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace interop::hdl

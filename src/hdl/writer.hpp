@@ -1,0 +1,19 @@
+#pragma once
+// Verilog writer: render a Module (RTL or synthesized netlist) back to
+// source text that this repository's parser accepts — the persistence side
+// of the HDL flow (hand a synthesized netlist to the "other" simulator).
+
+#include <string>
+
+#include "hdl/ast.hpp"
+
+namespace interop::hdl {
+
+/// Render one module. The output parses back (parse_module) to a module
+/// with identical structure.
+std::string write_module(const Module& m);
+
+/// Render an expression (exposed for tests and report messages).
+std::string write_expr(const Expr& e);
+
+}  // namespace interop::hdl

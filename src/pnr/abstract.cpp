@@ -1,0 +1,68 @@
+#include "pnr/abstract.hpp"
+
+namespace interop::pnr {
+
+std::string to_string(Layer l) {
+  switch (l) {
+    case Layer::M1: return "M1";
+    case Layer::M2: return "M2";
+    case Layer::M3: return "M3";
+  }
+  return "?";
+}
+
+std::string to_string(const AccessDirs& d) {
+  std::string out;
+  if (d.north) out += 'N';
+  if (d.south) out += 'S';
+  if (d.east) out += 'E';
+  if (d.west) out += 'W';
+  return out.empty() ? "-" : out;
+}
+
+const AbstractPin* CellAbstract::find_pin(const std::string& pin_name) const {
+  for (const AbstractPin& p : pins)
+    if (p.name == pin_name) return &p;
+  return nullptr;
+}
+
+AccessDirs derive_access_from_blockages(
+    const AbstractPin& pin, const std::vector<Blockage>& blockages) {
+  AccessDirs out = AccessDirs::all();
+  for (const PinShape& shape : pin.shapes) {
+    const Rect& r = shape.rect;
+    // A side is blocked when a same-layer blockage touches that edge.
+    Rect north_strip(Point{r.lo().x, r.hi().y}, Point{r.hi().x, r.hi().y + 1});
+    Rect south_strip(Point{r.lo().x, r.lo().y - 1}, Point{r.hi().x, r.lo().y});
+    Rect east_strip(Point{r.hi().x, r.lo().y}, Point{r.hi().x + 1, r.hi().y});
+    Rect west_strip(Point{r.lo().x - 1, r.lo().y}, Point{r.lo().x, r.hi().y});
+    for (const Blockage& b : blockages) {
+      if (b.layer != shape.layer) continue;
+      if (b.rect.overlaps(north_strip)) out.north = false;
+      if (b.rect.overlaps(south_strip)) out.south = false;
+      if (b.rect.overlaps(east_strip)) out.east = false;
+      if (b.rect.overlaps(west_strip)) out.west = false;
+    }
+  }
+  return out;
+}
+
+std::vector<Blockage> synthesize_access_blockages(const AbstractPin& pin,
+                                                  const AccessDirs& access) {
+  std::vector<Blockage> out;
+  for (const PinShape& shape : pin.shapes) {
+    const Rect& r = shape.rect;
+    auto add = [&](Rect strip) { out.push_back({shape.layer, strip}); };
+    if (!access.north)
+      add(Rect(Point{r.lo().x, r.hi().y}, Point{r.hi().x, r.hi().y + 1}));
+    if (!access.south)
+      add(Rect(Point{r.lo().x, r.lo().y - 1}, Point{r.hi().x, r.lo().y}));
+    if (!access.east)
+      add(Rect(Point{r.hi().x, r.lo().y}, Point{r.hi().x + 1, r.hi().y}));
+    if (!access.west)
+      add(Rect(Point{r.lo().x - 1, r.lo().y}, Point{r.lo().x, r.hi().y}));
+  }
+  return out;
+}
+
+}  // namespace interop::pnr

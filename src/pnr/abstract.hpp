@@ -1,0 +1,109 @@
+#pragma once
+// Cell abstract views — the §4 "Cell definition" problem.
+//
+// "All P&R tools require an abstract view/definition of the design cells
+// ... cell/block boundaries, site types, legal orientations, a complex set
+// of pin data, and routing blockages. How this data is defined and input is
+// different for most P&R tools." Pins carry a name, location, shape, layer
+// and connection properties: access direction, multiple connect, equivalent
+// connect, must connect, connect by abutment.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/geometry.hpp"
+
+namespace interop::pnr {
+
+using base::Orient;
+using base::Point;
+using base::Rect;
+
+/// Routing layers of our two-layer-plus-pins technology.
+enum class Layer : std::uint8_t { M1, M2, M3 };
+
+std::string to_string(Layer l);
+
+/// Pin access sides, combinable.
+struct AccessDirs {
+  bool north = false;
+  bool south = false;
+  bool east = false;
+  bool west = false;
+
+  static AccessDirs all() { return {true, true, true, true}; }
+  bool any() const { return north || south || east || west; }
+  int count() const {
+    return int(north) + int(south) + int(east) + int(west);
+  }
+  friend bool operator==(const AccessDirs&, const AccessDirs&) = default;
+};
+
+std::string to_string(const AccessDirs& d);
+
+/// The §4 connection-property set.
+struct ConnectionProps {
+  AccessDirs access = AccessDirs::all();
+  bool multiple_connect = false;   ///< router may tap the pin several times
+  /// Pins in the same equivalence class are interchangeable; class id > 0.
+  int equivalent_class = 0;
+  bool must_connect = false;       ///< unconnected pin is an ERROR
+  bool connect_by_abutment = false;
+
+  friend bool operator==(const ConnectionProps&,
+                         const ConnectionProps&) = default;
+};
+
+/// One rectangle of pin geometry.
+struct PinShape {
+  Layer layer = Layer::M1;
+  Rect rect;
+
+  friend bool operator==(const PinShape&, const PinShape&) = default;
+};
+
+struct AbstractPin {
+  std::string name;
+  std::vector<PinShape> shapes;
+  ConnectionProps props;
+
+  /// Representative connection point (center of the first shape).
+  Point anchor() const { return shapes.front().rect.center(); }
+};
+
+struct Blockage {
+  Layer layer = Layer::M1;
+  Rect rect;
+
+  friend bool operator==(const Blockage&, const Blockage&) = default;
+};
+
+/// A cell or block abstract.
+struct CellAbstract {
+  std::string name;
+  Rect boundary;
+  std::string site = "core";
+  std::vector<Orient> legal_orients = {Orient::R0};
+  std::vector<AbstractPin> pins;
+  std::vector<Blockage> blockages;
+
+  const AbstractPin* find_pin(const std::string& name) const;
+};
+
+/// Derive a pin's access directions from the blockages around it — what
+/// tools without an access-direction property do (§4: "some tools read
+/// access direction as a property, while others try to determine it from
+/// the routing blockages"). A side is accessible when no same-layer
+/// blockage abuts the pin shape on that side.
+AccessDirs derive_access_from_blockages(const AbstractPin& pin,
+                                        const std::vector<Blockage>& blockages);
+
+/// Synthesize blockages that *encode* the given access directions for a pin
+/// (the backplane's emulation when the target tool has no access property):
+/// blocked sides get a thin same-layer blockage strip.
+std::vector<Blockage> synthesize_access_blockages(const AbstractPin& pin,
+                                                  const AccessDirs& access);
+
+}  // namespace interop::pnr

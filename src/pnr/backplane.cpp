@@ -1,0 +1,173 @@
+#include "pnr/backplane.hpp"
+
+namespace interop::pnr {
+
+namespace {
+
+bool nondefault_conn(const ConnectionProps& p) {
+  return p.multiple_connect || p.equivalent_class > 0 || p.must_connect ||
+         p.connect_by_abutment;
+}
+
+bool nondefault_access(const AccessDirs& a) {
+  return !(a == AccessDirs::all());
+}
+
+}  // namespace
+
+ToolInput export_via_backplane(const PhysDesign& design, const ToolCaps& caps,
+                               LossReport& loss,
+                               base::DiagnosticEngine& diags) {
+  ToolInput input;
+  input.tool = caps.name;
+  input.caps = caps;
+  input.die = design.floorplan.die;
+  input.placement = design.instances;
+
+  loss = LossReport{};
+  loss.total = semantic_atoms(design);
+  auto conveyed = [&loss]() { ++loss.conveyed; };
+  auto lost = [&loss, &diags, &caps](const std::string& feature,
+                                     const std::string& obj) {
+    loss.lost.push_back({feature, obj});
+    diags.warn("backplane-loss",
+               feature + " on " + obj + " cannot be conveyed to " + caps.name,
+               {"pnr.backplane", obj});
+  };
+
+  for (const auto& [name, cell] : design.cells) {
+    ToolInput::CellRecord rec;
+    rec.name = name;
+    rec.boundary = cell.boundary;
+    rec.blockages = cell.blockages;
+    if (caps.legal_orients) {
+      rec.legal_orients = cell.legal_orients;
+      if (cell.legal_orients.size() > 1) conveyed();
+    } else if (cell.legal_orients.size() > 1) {
+      // Emulation: restrict placement to the first legal orient — the
+      // backplane freezes orientation rather than let the tool pick an
+      // illegal one. Conveyed, conservatively.
+      rec.legal_orients = {cell.legal_orients.front()};
+      diags.note("backplane-emulate",
+                 "legal orients for " + name + " frozen to " +
+                     base::to_string(cell.legal_orients.front()),
+                 {"pnr.backplane", name});
+      conveyed();
+    }
+
+    for (const AbstractPin& pin : cell.pins) {
+      ToolInput::PinRecord prec;
+      prec.cell = name;
+      prec.pin = pin.name;
+      prec.shapes = pin.shapes;
+      const std::string obj = name + "." + pin.name;
+      if (caps.access_as_property) {
+        prec.access = pin.props.access;
+        if (nondefault_access(pin.props.access)) conveyed();
+      } else if (nondefault_access(pin.props.access)) {
+        // Emulation: synthesize blockage strips the tool will read back as
+        // the same access restriction.
+        std::vector<Blockage> strips =
+            synthesize_access_blockages(pin, pin.props.access);
+        rec.blockages.insert(rec.blockages.end(), strips.begin(),
+                             strips.end());
+        diags.note("backplane-emulate",
+                   "access dirs for " + obj + " encoded as blockage strips",
+                   {"pnr.backplane", obj});
+        conveyed();
+      }
+      switch (caps.conn_types) {
+        case ConnTypeSupport::LiteralProps:
+          prec.conn = pin.props;
+          if (nondefault_conn(pin.props)) conveyed();
+          break;
+        case ConnTypeSupport::ExternalFile:
+          if (nondefault_conn(pin.props)) {
+            // Emulation: the backplane writes the side file.
+            for (const PhysInstance& inst : design.instances) {
+              if (inst.cell != name) continue;
+              input.conn_file[inst.name + "." + pin.name] = pin.props;
+            }
+            diags.note("backplane-emulate",
+                       "connection types for " + obj + " written to side file",
+                       {"pnr.backplane", obj});
+            conveyed();
+          }
+          break;
+        case ConnTypeSupport::None:
+          if (nondefault_conn(pin.props))
+            lost("connection-types", obj);
+          break;
+      }
+      input.pins.push_back(std::move(prec));
+    }
+    input.cells.push_back(std::move(rec));
+  }
+
+  for (const PhysNet& net : design.nets) {
+    ToolInput::NetRecord rec;
+    rec.name = net.name;
+    rec.terms = net.terms;
+    if (caps.net_width) {
+      rec.width = net.topology.width;
+      if (net.topology.width > 1) conveyed();
+    } else if (net.topology.width > 1) {
+      lost("net-width", net.name);
+    }
+    if (caps.net_spacing) {
+      rec.spacing = net.topology.spacing;
+      if (net.topology.spacing > 0) conveyed();
+    } else if (net.topology.spacing > 0) {
+      lost("net-spacing", net.name);
+    }
+    if (caps.shielding) {
+      rec.shield = net.topology.shield;
+      if (net.topology.shield) conveyed();
+    } else if (net.topology.shield) {
+      lost("net-shield", net.name);
+    }
+    input.nets.push_back(std::move(rec));
+  }
+
+  if (caps.keepouts) {
+    input.keepouts = design.floorplan.keepouts;
+    loss.conveyed += int(design.floorplan.keepouts.size());
+  } else {
+    // Emulation: each keepout becomes a fully-blocked obstruction cell
+    // placed at the keepout location.
+    int k = 0;
+    for (const Keepout& ko : design.floorplan.keepouts) {
+      std::string cname = "__keepout" + std::to_string(k);
+      ToolInput::CellRecord rec;
+      rec.name = cname;
+      Rect local = Rect::from_xywh(0, 0, ko.rect.width(), ko.rect.height());
+      rec.boundary = local;
+      rec.blockages.push_back({ko.layer, local});
+      input.cells.push_back(std::move(rec));
+      PhysInstance inst;
+      inst.name = cname + "_i";
+      inst.cell = cname;
+      inst.origin = ko.rect.lo();
+      inst.fixed = true;
+      input.placement.push_back(inst);
+      diags.note("backplane-emulate",
+                 "keepout " + std::to_string(k) +
+                     " encoded as obstruction cell",
+                 {"pnr.backplane", cname});
+      conveyed();
+      ++k;
+    }
+  }
+
+  return input;
+}
+
+LossReport measure_direct_loss(const PhysDesign& design,
+                               const ToolInput& input) {
+  LossReport loss;
+  loss.total = semantic_atoms(design);
+  loss.conveyed = input.conveyed_atoms();
+  return loss;
+}
+
+}  // namespace interop::pnr

@@ -1,0 +1,48 @@
+#pragma once
+// The P&R backplane — our reconstruction of HLD's "place and route
+// backplane" (§4): a single semantic model plus per-tool mappings that
+// convey "as much as possible to the various P&R tools", emulating missing
+// features where an encoding exists and reporting *explicitly* what could
+// not be conveyed.
+//
+// Emulations performed:
+//  - access direction for tools without the property: synthesize blockage
+//    strips on blocked sides (the geometric encoding those tools read);
+//  - connection types for side-file tools: write the side file;
+//  - net spacing for tools without a spacing property: widen the net's
+//    clearance by synthesizing a halo width on the net (when the tool has
+//    width) — else report loss;
+//  - keepouts for tools without keepouts: emulate as blockages on a
+//    synthetic obstruction cell placed at the keepout location.
+//
+// What cannot be emulated is counted in LossReport — the designer knows
+// *before routing* which constraints the target tool will ignore.
+
+#include "pnr/tools.hpp"
+
+namespace interop::pnr {
+
+/// What the backplane could not convey to a tool, per feature.
+struct LossReport {
+  struct Item {
+    std::string feature;   ///< e.g. "net-shield"
+    std::string object;    ///< e.g. "clk2"
+  };
+  std::vector<Item> lost;
+  int conveyed = 0;        ///< semantic atoms conveyed (incl. emulated)
+  int total = 0;           ///< semantic atoms in the source model
+  double fidelity() const {
+    return total == 0 ? 1.0 : double(conveyed) / double(total);
+  }
+};
+
+/// Export through the backplane: maximal mapping + explicit loss report.
+ToolInput export_via_backplane(const PhysDesign& design, const ToolCaps& caps,
+                               LossReport& loss,
+                               base::DiagnosticEngine& diags);
+
+/// Fidelity of a naive direct export, measured the same way.
+LossReport measure_direct_loss(const PhysDesign& design,
+                               const ToolInput& input);
+
+}  // namespace interop::pnr

@@ -1,0 +1,92 @@
+#include "pnr/check.hpp"
+
+#include <map>
+#include <set>
+
+namespace interop::pnr {
+
+namespace {
+
+bool side_allowed(const AccessDirs& a, Side s) {
+  switch (s) {
+    case Side::North: return a.north;
+    case Side::South: return a.south;
+    case Side::East: return a.east;
+    case Side::West: return a.west;
+  }
+  return true;
+}
+
+}  // namespace
+
+CheckResult check_routes(const PhysDesign& truth, const RouteResult& routes) {
+  CheckResult out;
+  out.failed_nets = routes.failed_nets;
+
+  // True pin properties by (instance, pin).
+  auto true_props = [&truth](const PhysNet::Term& term)
+      -> const ConnectionProps* {
+    const PhysInstance* inst = truth.find_instance(term.instance);
+    if (!inst) return nullptr;
+    const CellAbstract* cell = truth.find_cell(inst->cell);
+    if (!cell) return nullptr;
+    const AbstractPin* pin = cell->find_pin(term.pin);
+    return pin ? &pin->props : nullptr;
+  };
+
+  // Occupied cells per net (center + width cells).
+  std::map<std::string, std::set<Point>> metal;
+  for (const RoutedNet& rn : routes.nets) {
+    std::set<Point>& cells = metal[rn.name];
+    cells.insert(rn.cells.begin(), rn.cells.end());
+    cells.insert(rn.width_cells.begin(), rn.width_cells.end());
+  }
+
+  for (const RoutedNet& rn : routes.nets) {
+    const PhysNet* net = truth.find_net(rn.name);
+    if (!net) continue;
+
+    for (const RoutedTerm& rt : rn.terms) {
+      const ConnectionProps* props = true_props(rt.term);
+      if (!props) continue;
+      if (!rt.connected) {
+        if (props->must_connect) ++out.unconnected_must;
+        continue;
+      }
+      if (!side_allowed(props->access, rt.entered_from))
+        ++out.access_violations;
+    }
+
+    if (net->topology.width > rn.width_used) ++out.width_violations;
+    if (net->topology.shield && !rn.shielded) ++out.shield_violations;
+
+    if (net->topology.spacing > 0) {
+      // Coupling comes from PARALLEL adjacency: a single perpendicular
+      // crossing cell is harmless, two or more offending cells from the
+      // same aggressor net is a violation.
+      int s = net->topology.spacing;
+      bool violated = false;
+      for (const auto& [other, cells] : metal) {
+        if (other == rn.name) continue;
+        int offending = 0;
+        for (const Point& c : metal[rn.name]) {
+          for (int dx = -s; dx <= s; ++dx)
+            for (int dy = -s; dy <= s; ++dy)
+              if (cells.count(Point{c.x + dx, c.y + dy})) ++offending;
+        }
+        if (offending >= 4) violated = true;  // a crossing touches ~3 cells
+      }
+      if (violated) ++out.spacing_violations;
+    }
+
+    for (const Keepout& ko : truth.floorplan.keepouts) {
+      bool inside = false;
+      for (const Point& c : rn.cells)
+        if (ko.rect.contains(c)) inside = true;
+      if (inside) ++out.keepout_violations;
+    }
+  }
+  return out;
+}
+
+}  // namespace interop::pnr

@@ -1,0 +1,32 @@
+#pragma once
+// Post-route verification against the ORIGINAL semantic model.
+//
+// The router only honors what its tool input carried; this checker knows
+// the designer's true intent (the PhysDesign), so every constraint dropped
+// in translation shows up here as a concrete violation — §4's "decreased
+// ability to properly influence the P&R tools", made measurable.
+
+#include "pnr/design.hpp"
+#include "pnr/route.hpp"
+
+namespace interop::pnr {
+
+struct CheckResult {
+  int failed_nets = 0;          ///< nets the router could not complete
+  int access_violations = 0;    ///< wire entered a pin from a blocked side
+  int unconnected_must = 0;     ///< must_connect pin left unconnected
+  int width_violations = 0;     ///< high-current net routed too narrow
+  int spacing_violations = 0;   ///< foreign metal inside a clearance zone
+  int shield_violations = 0;    ///< critical net routed without shields
+  int keepout_violations = 0;   ///< wires inside keep-out zones
+
+  int total() const {
+    return failed_nets + access_violations + unconnected_must +
+           width_violations + spacing_violations + shield_violations +
+           keepout_violations;
+  }
+};
+
+CheckResult check_routes(const PhysDesign& truth, const RouteResult& routes);
+
+}  // namespace interop::pnr

@@ -1,0 +1,47 @@
+#include "pnr/design.hpp"
+
+#include <cassert>
+
+namespace interop::pnr {
+
+Point PhysInstance::pin_position(const CellAbstract& abs,
+                                 const std::string& pin) const {
+  const AbstractPin* p = abs.find_pin(pin);
+  assert(p && "pin not found on abstract");
+  base::Transform t(orient, origin - base::Transform(orient, {0, 0})
+                                          .apply(abs.boundary)
+                                          .lo());
+  return t.apply(p->anchor());
+}
+
+Rect PhysInstance::placed_boundary(const CellAbstract& abs) const {
+  base::Transform rot(orient, {0, 0});
+  Rect r = rot.apply(abs.boundary);
+  Point shift = origin - r.lo();
+  return Rect(r.lo() + shift, r.hi() + shift);
+}
+
+const CellAbstract* PhysDesign::find_cell(const std::string& name) const {
+  auto it = cells.find(name);
+  return it == cells.end() ? nullptr : &it->second;
+}
+
+PhysInstance* PhysDesign::find_instance(const std::string& name) {
+  for (PhysInstance& inst : instances)
+    if (inst.name == name) return &inst;
+  return nullptr;
+}
+
+const PhysInstance* PhysDesign::find_instance(const std::string& name) const {
+  for (const PhysInstance& inst : instances)
+    if (inst.name == name) return &inst;
+  return nullptr;
+}
+
+const PhysNet* PhysDesign::find_net(const std::string& name) const {
+  for (const PhysNet& net : nets)
+    if (net.name == name) return &net;
+  return nullptr;
+}
+
+}  // namespace interop::pnr

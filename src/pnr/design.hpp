@@ -1,0 +1,76 @@
+#pragma once
+// The physical design database: cell library, instances, nets, floorplan,
+// and the §4 net-topology constraints (width for high-current nets, spacing
+// against coupling, shielding).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pnr/abstract.hpp"
+
+namespace interop::pnr {
+
+/// A placed (or to-be-placed) instance of a cell abstract.
+struct PhysInstance {
+  std::string name;
+  std::string cell;         ///< CellAbstract name
+  Point origin;             ///< placement (cell boundary lo corner)
+  Orient orient = Orient::R0;
+  bool fixed = false;
+
+  /// Pin anchor in die coordinates.
+  Point pin_position(const CellAbstract& abs, const std::string& pin) const;
+  Rect placed_boundary(const CellAbstract& abs) const;
+};
+
+/// §4 "Interconnect topology" controls for one net.
+struct NetTopology {
+  int width = 1;            ///< routing width in tracks (>1 = high current)
+  int spacing = 0;          ///< extra clearance in tracks around the net
+  bool shield = false;      ///< route grounded shield wires alongside
+
+  friend bool operator==(const NetTopology&, const NetTopology&) = default;
+};
+
+struct PhysNet {
+  std::string name;
+  struct Term {
+    std::string instance;
+    std::string pin;
+  };
+  std::vector<Term> terms;
+  NetTopology topology;
+  bool is_clock = false;
+  bool is_power = false;
+};
+
+/// §4 "Block floorplanning": aspect/size decisions, pin locations,
+/// keep-out zones.
+struct Keepout {
+  Layer layer = Layer::M1;
+  Rect rect;
+};
+
+struct Floorplan {
+  Rect die;
+  std::vector<Keepout> keepouts;
+  /// Block pin (I/O) locations on the die edge: name -> position.
+  std::map<std::string, Point> io_pins;
+};
+
+/// Everything a router needs, in tool-neutral ("semantic") form.
+struct PhysDesign {
+  std::map<std::string, CellAbstract> cells;
+  std::vector<PhysInstance> instances;
+  std::vector<PhysNet> nets;
+  Floorplan floorplan;
+
+  const CellAbstract* find_cell(const std::string& name) const;
+  PhysInstance* find_instance(const std::string& name);
+  const PhysInstance* find_instance(const std::string& name) const;
+  const PhysNet* find_net(const std::string& name) const;
+};
+
+}  // namespace interop::pnr

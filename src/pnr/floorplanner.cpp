@@ -1,0 +1,83 @@
+#include "pnr/floorplanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace interop::pnr {
+
+namespace {
+
+/// Squarest (w, h) with w*h >= area and min_aspect <= h/w <= max_aspect.
+std::pair<std::int64_t, std::int64_t> shape_block(const BlockSpec& spec) {
+  double side = std::sqrt(double(spec.area));
+  std::int64_t w = std::int64_t(std::ceil(side));
+  std::int64_t h = (w == 0) ? 0 : (spec.area + w - 1) / w;
+  auto aspect = [](std::int64_t ww, std::int64_t hh) {
+    return ww == 0 ? 0.0 : double(hh) / double(ww);
+  };
+  // Nudge into the aspect window.
+  int guard = 0;
+  while (aspect(w, h) > spec.max_aspect && guard++ < 64) {
+    ++w;
+    h = (spec.area + w - 1) / w;
+  }
+  while (aspect(w, h) < spec.min_aspect && guard++ < 64) {
+    ++h;
+    w = (spec.area + h - 1) / h;
+  }
+  return {w, h};
+}
+
+}  // namespace
+
+FloorplanResult floorplan_blocks(const std::vector<BlockSpec>& blocks,
+                                 std::int64_t die_w, std::int64_t die_h,
+                                 const std::vector<Keepout>& keepouts) {
+  FloorplanResult out;
+  out.die = Rect::from_xywh(0, 0, die_w, die_h);
+
+  // Sort tallest-first for decent shelf packing.
+  std::vector<std::pair<BlockSpec, std::pair<std::int64_t, std::int64_t>>>
+      shaped;
+  for (const BlockSpec& spec : blocks) shaped.push_back({spec, shape_block(spec)});
+  std::sort(shaped.begin(), shaped.end(), [](const auto& a, const auto& b) {
+    return a.second.second > b.second.second;
+  });
+
+  auto hits_keepout = [&keepouts](const Rect& r) {
+    for (const Keepout& ko : keepouts)
+      if (ko.rect.overlaps(r)) return true;
+    return false;
+  };
+
+  std::int64_t x = 0, y = 0, shelf_h = 0;
+  std::int64_t used_area = 0;
+  for (const auto& [spec, wh] : shaped) {
+    auto [w, h] = wh;
+    while (true) {
+      if (x + w > die_w) {  // next shelf
+        x = 0;
+        y += shelf_h + 1;
+        shelf_h = 0;
+      }
+      if (y + h > die_h) {
+        out.error = "block " + spec.name + " does not fit in the die";
+        return out;
+      }
+      Rect r = Rect::from_xywh(x, y, w, h);
+      if (!hits_keepout(r)) {
+        out.blocks[spec.name] = r;
+        used_area += spec.area;
+        x += w + 1;
+        shelf_h = std::max(shelf_h, h);
+        break;
+      }
+      x += 2;  // slide past the keepout
+    }
+  }
+  out.utilization = double(used_area) / double(die_w * die_h);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace interop::pnr

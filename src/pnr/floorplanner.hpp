@@ -1,0 +1,36 @@
+#pragma once
+// Block-level floorplanning (§4 "Block floorplanning"): decide block sizes
+// within aspect-ratio bounds and pack them on shelves inside the die, with
+// keep-out zones respected. Deliberately simple — the experiments need a
+// credible constraint *producer*, not a competitive floorplanner.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pnr/design.hpp"
+
+namespace interop::pnr {
+
+struct BlockSpec {
+  std::string name;
+  std::int64_t area = 0;
+  double min_aspect = 0.5;  ///< height/width lower bound
+  double max_aspect = 2.0;  ///< height/width upper bound
+};
+
+struct FloorplanResult {
+  bool ok = false;
+  Rect die;
+  std::map<std::string, Rect> blocks;
+  double utilization = 0.0;
+  std::string error;
+};
+
+/// Shelf-pack `blocks` into a die of the given size. Each block gets the
+/// squarest shape within its aspect bounds. Fails when blocks do not fit.
+FloorplanResult floorplan_blocks(const std::vector<BlockSpec>& blocks,
+                                 std::int64_t die_w, std::int64_t die_h,
+                                 const std::vector<Keepout>& keepouts = {});
+
+}  // namespace interop::pnr

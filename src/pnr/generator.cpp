@@ -1,0 +1,205 @@
+#include "pnr/generator.hpp"
+
+#include <algorithm>
+
+#include "base/rng.hpp"
+#include "pnr/place.hpp"
+
+namespace interop::pnr {
+
+namespace {
+
+AbstractPin make_pin(const std::string& name, Rect shape, AccessDirs access,
+                     ConnectionProps extra = {}) {
+  AbstractPin pin;
+  pin.name = name;
+  pin.shapes.push_back({Layer::M1, shape});
+  pin.props = extra;
+  pin.props.access = access;
+  return pin;
+}
+
+}  // namespace
+
+std::map<std::string, CellAbstract> make_pnr_library() {
+  std::map<std::string, CellAbstract> lib;
+
+  // nd2: 2-input gate, west-only inputs, east-only output, central blockage.
+  {
+    CellAbstract c;
+    c.name = "nd2";
+    c.boundary = Rect::from_xywh(0, 0, 6, 6);
+    c.legal_orients = {Orient::R0, Orient::MY};
+    c.pins.push_back(
+        make_pin("A", Rect::from_xywh(0, 4, 1, 1), {false, false, false, true}));
+    c.pins.push_back(
+        make_pin("B", Rect::from_xywh(0, 1, 1, 1), {false, false, false, true}));
+    c.pins.push_back(
+        make_pin("Y", Rect::from_xywh(5, 2, 1, 1), {false, false, true, false}));
+    c.blockages.push_back({Layer::M1, Rect::from_xywh(2, 2, 2, 2)});
+    lib[c.name] = c;
+  }
+
+  // buf: through-cell, west in, east out.
+  {
+    CellAbstract c;
+    c.name = "buf";
+    c.boundary = Rect::from_xywh(0, 0, 4, 6);
+    c.legal_orients = {Orient::R0};
+    c.pins.push_back(
+        make_pin("A", Rect::from_xywh(0, 2, 1, 1), {false, false, false, true}));
+    c.pins.push_back(
+        make_pin("Y", Rect::from_xywh(3, 2, 1, 1), {false, false, true, false}));
+    c.blockages.push_back({Layer::M1, Rect::from_xywh(1, 4, 2, 1)});
+    lib[c.name] = c;
+  }
+
+  // dff: the full §4 vocabulary — south-only must-connect clock, equivalent
+  // output pins, an abutment/multi-connect power pin.
+  {
+    CellAbstract c;
+    c.name = "dff";
+    c.boundary = Rect::from_xywh(0, 0, 8, 6);
+    c.legal_orients = {Orient::R0};
+    c.pins.push_back(
+        make_pin("D", Rect::from_xywh(0, 3, 1, 1), {false, false, false, true}));
+    ConnectionProps ck_props;
+    ck_props.must_connect = true;
+    c.pins.push_back(make_pin("CK", Rect::from_xywh(3, 0, 1, 1),
+                              {false, true, false, false}, ck_props));
+    ConnectionProps q_props;
+    q_props.equivalent_class = 1;
+    c.pins.push_back(make_pin("Q", Rect::from_xywh(7, 4, 1, 1),
+                              {false, false, true, false}, q_props));
+    c.pins.push_back(make_pin("QA", Rect::from_xywh(7, 1, 1, 1),
+                              {false, false, true, false}, q_props));
+    ConnectionProps vp_props;
+    vp_props.multiple_connect = true;
+    vp_props.connect_by_abutment = true;
+    c.pins.push_back(make_pin("VP", Rect::from_xywh(3, 5, 1, 1),
+                              {true, false, false, false}, vp_props));
+    c.blockages.push_back({Layer::M1, Rect::from_xywh(2, 2, 4, 2)});
+    lib[c.name] = c;
+  }
+
+  return lib;
+}
+
+PhysDesign make_pnr_workload(const PnrGenOptions& opt) {
+  base::Rng rng(opt.seed);
+  PhysDesign design;
+  design.cells = make_pnr_library();
+  design.floorplan.die = Rect::from_xywh(0, 0, opt.die_w, opt.die_h);
+
+  // Keepouts in the upper routing region.
+  for (int k = 0; k < opt.keepouts; ++k) {
+    std::int64_t x = 10 + (opt.die_w - 40) * k / std::max(1, opt.keepouts);
+    design.floorplan.keepouts.push_back(
+        {Layer::M1, Rect::from_xywh(x, opt.die_h - 22, 18, 10)});
+  }
+
+  // Instances: a mix of the three cells.
+  const std::vector<std::string> kinds = {"nd2", "buf", "nd2", "dff"};
+  for (int i = 0; i < opt.instances; ++i) {
+    PhysInstance inst;
+    inst.name = "u" + std::to_string(i);
+    inst.cell = kinds[rng.index(kinds.size())];
+    design.instances.push_back(std::move(inst));
+  }
+
+  PlaceOptions popt;
+  popt.seed = opt.seed;
+  popt.row_height = 14;  // generous routing channels between rows
+  popt.swap_iterations = 0;  // nets do not exist yet
+  place(design, popt);
+
+  // Pin pool: outputs and inputs.
+  struct Free {
+    std::string inst;
+    std::string pin;
+  };
+  std::vector<Free> outputs, inputs;
+  std::vector<Free> clocks, powers;
+  for (const PhysInstance& inst : design.instances) {
+    const CellAbstract& cell = design.cells.at(inst.cell);
+    for (const AbstractPin& pin : cell.pins) {
+      if (pin.name == "CK")
+        clocks.push_back({inst.name, pin.name});
+      else if (pin.name == "VP")
+        powers.push_back({inst.name, pin.name});
+      else if (pin.name == "Y" || pin.name == "Q")
+        outputs.push_back({inst.name, pin.name});
+      else if (pin.name != "QA")
+        inputs.push_back({inst.name, pin.name});
+    }
+  }
+  rng.shuffle(outputs);
+  rng.shuffle(inputs);
+
+  // Data nets: one output, 1-2 inputs. Assembled first, appended after the
+  // special nets — wide/shielded trunks route first because they cannot
+  // cross anything, while plain nets can cross them perpendicular.
+  std::vector<PhysNet> data_nets;
+  for (int n = 0; n < opt.nets; ++n) {
+    if (outputs.empty() || inputs.empty()) break;
+    PhysNet net;
+    net.name = "n" + std::to_string(n);
+    Free out = outputs.back();
+    outputs.pop_back();
+    net.terms.push_back({out.inst, out.pin});
+    int fanout = 1 + int(rng.index(2));
+    for (int f = 0; f < fanout && !inputs.empty(); ++f) {
+      Free in = inputs.back();
+      inputs.pop_back();
+      if (in.inst == out.inst) continue;  // skip trivial self-loop
+      net.terms.push_back({in.inst, in.pin});
+    }
+    if (net.terms.size() < 2) continue;
+    if (rng.chance(opt.wide_fraction)) net.topology.width = 2;
+    if (rng.chance(opt.spaced_fraction)) net.topology.spacing = 1;
+    if (rng.chance(opt.shielded_fraction)) net.topology.shield = true;
+    data_nets.push_back(std::move(net));
+  }
+
+  // Clock net: all CK pins (must_connect!), shielded per §4 practice.
+  if (clocks.size() >= 2) {
+    PhysNet clk;
+    clk.name = "clk";
+    clk.is_clock = true;
+    clk.topology.shield = true;
+    for (const Free& f : clocks) clk.terms.push_back({f.inst, f.pin});
+    design.nets.push_back(std::move(clk));
+  }
+
+  // Power net: VP pins, wide.
+  if (powers.size() >= 2) {
+    PhysNet vdd;
+    vdd.name = "vdd";
+    vdd.is_power = true;
+    vdd.topology.width = 2;
+    for (const Free& f : powers) vdd.terms.push_back({f.inst, f.pin});
+    design.nets.push_back(std::move(vdd));
+  }
+
+  // Constrained nets first (they cannot cross anything), then, within the
+  // data nets, spaced/wide ones before plain ones.
+  std::stable_sort(data_nets.begin(), data_nets.end(),
+                   [](const PhysNet& a, const PhysNet& b) {
+                     auto rank = [](const PhysNet& n) {
+                       return (n.topology.width > 1 ? 0 : 2) -
+                              (n.topology.spacing > 0 || n.topology.shield
+                                   ? 1
+                                   : 0);
+                     };
+                     return rank(a) < rank(b);
+                   });
+  for (PhysNet& net : data_nets) design.nets.push_back(std::move(net));
+
+  // Block I/O pins on the die edge (floorplan bookkeeping).
+  design.floorplan.io_pins["clk_in"] = {0, opt.die_h / 2};
+  design.floorplan.io_pins["reset_in"] = {0, opt.die_h / 2 + 4};
+
+  return design;
+}
+
+}  // namespace interop::pnr

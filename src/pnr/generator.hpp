@@ -1,0 +1,33 @@
+#pragma once
+// Workload generator for the §4 experiments: a cell library with the full
+// connection-property vocabulary, a placed design, and nets carrying
+// topology constraints (width / spacing / shield).
+
+#include <cstdint>
+
+#include "pnr/design.hpp"
+
+namespace interop::pnr {
+
+struct PnrGenOptions {
+  std::uint64_t seed = 1;
+  int instances = 24;
+  int nets = 18;
+  /// Fraction of nets carrying each special topology constraint.
+  double wide_fraction = 0.15;
+  double spaced_fraction = 0.15;
+  double shielded_fraction = 0.1;
+  int keepouts = 2;
+  std::int64_t die_w = 170;
+  std::int64_t die_h = 170;
+};
+
+/// The standard cell library: three cells exercising every §4 pin feature
+/// (restricted access sides, must_connect, multiple_connect, equivalent
+/// pins, connect-by-abutment) plus internal routing blockages.
+std::map<std::string, CellAbstract> make_pnr_library();
+
+/// A complete placed design ready for export + routing.
+PhysDesign make_pnr_workload(const PnrGenOptions& opt);
+
+}  // namespace interop::pnr

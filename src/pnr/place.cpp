@@ -1,0 +1,182 @@
+#include "pnr/place.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "base/rng.hpp"
+
+namespace interop::pnr {
+
+std::int64_t total_hpwl(const PhysDesign& design) {
+  std::int64_t total = 0;
+  for (const PhysNet& net : design.nets) {
+    if (net.terms.empty()) continue;
+    std::int64_t min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+    bool first = true;
+    for (const PhysNet::Term& term : net.terms) {
+      const PhysInstance* inst = design.find_instance(term.instance);
+      if (!inst) continue;
+      const CellAbstract* cell = design.find_cell(inst->cell);
+      if (!cell || !cell->find_pin(term.pin)) continue;
+      Point p = inst->pin_position(*cell, term.pin);
+      if (first) {
+        min_x = max_x = p.x;
+        min_y = max_y = p.y;
+        first = false;
+      } else {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+      }
+    }
+    if (!first) total += (max_x - min_x) + (max_y - min_y);
+  }
+  return total;
+}
+
+PlaceResult place(PhysDesign& design, const PlaceOptions& opt) {
+  PlaceResult result;
+  base::Rng rng(opt.seed);
+  const Rect& die = design.floorplan.die;
+
+  // Row packing, keepout-aware.
+  std::int64_t x = die.lo().x + 1;
+  std::int64_t y = die.lo().y + 3;  // bottom margin: clock/escape corridor
+  std::vector<PhysInstance*> movable;
+  for (PhysInstance& inst : design.instances)
+    if (!inst.fixed) movable.push_back(&inst);
+
+  auto overlaps_keepout = [&design](const Rect& r) {
+    for (const Keepout& ko : design.floorplan.keepouts)
+      if (ko.rect.overlaps(r)) return true;
+    return false;
+  };
+
+  for (PhysInstance* inst : movable) {
+    const CellAbstract* cell = design.find_cell(inst->cell);
+    assert(cell);
+    if (!cell->legal_orients.empty() &&
+        std::find(cell->legal_orients.begin(), cell->legal_orients.end(),
+                  inst->orient) == cell->legal_orients.end())
+      inst->orient = cell->legal_orients.front();
+    std::int64_t w = cell->boundary.width();
+    while (true) {
+      if (x + w + 1 > die.hi().x) {
+        x = die.lo().x + 1;
+        y += opt.row_height;
+      }
+      if (y + cell->boundary.height() > die.hi().y) break;  // die overflow
+      Rect placed = Rect::from_xywh(x, y, w, cell->boundary.height());
+      if (!overlaps_keepout(placed.inflated(1))) break;
+      x += w + 2;
+    }
+    inst->origin = {x, y};
+    x += w + 6;  // routing gap between neighbors
+  }
+
+  result.hpwl_initial = total_hpwl(design);
+
+  // Pairwise swap improvement.
+  std::int64_t current = result.hpwl_initial;
+  for (int iter = 0; iter < opt.swap_iterations && movable.size() >= 2;
+       ++iter) {
+    std::size_t i = rng.index(movable.size());
+    std::size_t j = rng.index(movable.size());
+    if (i == j) continue;
+    // Only swap same-footprint cells to stay legal.
+    const CellAbstract* ci = design.find_cell(movable[i]->cell);
+    const CellAbstract* cj = design.find_cell(movable[j]->cell);
+    if (ci->boundary.width() != cj->boundary.width() ||
+        ci->boundary.height() != cj->boundary.height())
+      continue;
+    std::swap(movable[i]->origin, movable[j]->origin);
+    std::int64_t next = total_hpwl(design);
+    if (next < current) {
+      current = next;
+      ++result.swaps_accepted;
+    } else {
+      std::swap(movable[i]->origin, movable[j]->origin);
+    }
+  }
+  result.hpwl_final = current;
+  return result;
+}
+
+PlaceResult place_annealed(PhysDesign& design, const AnnealOptions& opt) {
+  PlaceResult result;
+  base::Rng rng(opt.seed);
+  std::vector<PhysInstance*> movable;
+  for (PhysInstance& inst : design.instances)
+    if (!inst.fixed) movable.push_back(&inst);
+
+  std::int64_t current = total_hpwl(design);
+  result.hpwl_initial = current;
+  if (movable.size() < 2) {
+    result.hpwl_final = current;
+    return result;
+  }
+
+  // Track the best placement seen; annealing may end uphill.
+  std::int64_t best = current;
+  std::vector<Point> best_origins;
+  best_origins.reserve(movable.size());
+  for (const PhysInstance* inst : movable) best_origins.push_back(inst->origin);
+
+  for (double temperature = opt.start_temperature;
+       temperature > opt.stop_temperature; temperature *= opt.cooling) {
+    for (int m = 0; m < opt.moves_per_temperature; ++m) {
+      std::size_t i = rng.index(movable.size());
+      std::size_t j = rng.index(movable.size());
+      if (i == j) continue;
+      const CellAbstract* ci = design.find_cell(movable[i]->cell);
+      const CellAbstract* cj = design.find_cell(movable[j]->cell);
+      if (ci->boundary.width() != cj->boundary.width() ||
+          ci->boundary.height() != cj->boundary.height())
+        continue;
+      std::swap(movable[i]->origin, movable[j]->origin);
+      std::int64_t next = total_hpwl(design);
+      double delta = double(next - current);
+      if (delta <= 0 ||
+          rng.uniform01() < std::exp(-delta / temperature)) {
+        current = next;
+        ++result.swaps_accepted;
+        if (current < best) {
+          best = current;
+          for (std::size_t k = 0; k < movable.size(); ++k)
+            best_origins[k] = movable[k]->origin;
+        }
+      } else {
+        std::swap(movable[i]->origin, movable[j]->origin);
+      }
+    }
+  }
+
+  // Restore the best placement and quench greedily from there.
+  for (std::size_t k = 0; k < movable.size(); ++k)
+    movable[k]->origin = best_origins[k];
+  current = best;
+  for (int m = 0; m < opt.moves_per_temperature * 4; ++m) {
+    std::size_t i = rng.index(movable.size());
+    std::size_t j = rng.index(movable.size());
+    if (i == j) continue;
+    const CellAbstract* ci = design.find_cell(movable[i]->cell);
+    const CellAbstract* cj = design.find_cell(movable[j]->cell);
+    if (ci->boundary.width() != cj->boundary.width() ||
+        ci->boundary.height() != cj->boundary.height())
+      continue;
+    std::swap(movable[i]->origin, movable[j]->origin);
+    std::int64_t next = total_hpwl(design);
+    if (next < current) {
+      current = next;
+      ++result.swaps_accepted;
+    } else {
+      std::swap(movable[i]->origin, movable[j]->origin);
+    }
+  }
+  result.hpwl_final = current;
+  return result;
+}
+
+}  // namespace interop::pnr

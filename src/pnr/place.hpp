@@ -1,0 +1,44 @@
+#pragma once
+// A small row-based placer: deterministic row packing followed by
+// swap-improvement on half-perimeter wirelength. Enough to give the router
+// realistic pin spreads and to exercise legal-orientation constraints.
+
+#include <cstdint>
+
+#include "pnr/design.hpp"
+
+namespace interop::pnr {
+
+struct PlaceOptions {
+  std::uint64_t seed = 1;
+  int swap_iterations = 2000;
+  std::int64_t row_height = 8;
+};
+
+struct PlaceResult {
+  std::int64_t hpwl_initial = 0;
+  std::int64_t hpwl_final = 0;
+  int swaps_accepted = 0;
+};
+
+/// Sum of half-perimeter bounding boxes over all nets.
+std::int64_t total_hpwl(const PhysDesign& design);
+
+/// Place all non-fixed instances into rows inside the die, then improve by
+/// pairwise swaps. Instances keep Orient::R0 unless their cell forbids it.
+PlaceResult place(PhysDesign& design, const PlaceOptions& opt);
+
+struct AnnealOptions {
+  std::uint64_t seed = 1;
+  int moves_per_temperature = 600;
+  double start_temperature = 20.0;
+  double cooling = 0.9;
+  double stop_temperature = 0.3;
+};
+
+/// Simulated-annealing refinement on top of an existing legal placement:
+/// same-footprint swaps, accepting uphill moves with probability
+/// exp(-delta/T). Strictly a refinement — call place() first.
+PlaceResult place_annealed(PhysDesign& design, const AnnealOptions& opt);
+
+}  // namespace interop::pnr

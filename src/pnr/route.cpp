@@ -1,0 +1,463 @@
+#include "pnr/route.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+namespace interop::pnr {
+
+std::string to_string(Side s) {
+  switch (s) {
+    case Side::North: return "N";
+    case Side::South: return "S";
+    case Side::East: return "E";
+    case Side::West: return "W";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int kFree = 0;
+constexpr int kBlocked = -1;
+constexpr int kShield = -2;
+// Pin cells reserved for a specific net are stored positive as net id + 1;
+// reserved-for-other-net pins read as blocked.
+
+struct Grid {
+  Rect die;
+  std::int64_t w = 0, h = 0;
+  std::vector<int> occ;        ///< kFree/kBlocked/kShield or net id + 1
+  std::vector<int> halo;       ///< 0 or net id + 1 whose spacing halo covers
+  std::vector<int> pin_owner;  ///< 0 or net id + 1 (terminal cells)
+  /// Escape reservation: the cells on a pin's legal approach sides are
+  /// protected for that pin's net — other nets may only pass straight
+  /// through them, perpendicular to the pin-entry axis, and never corner.
+  std::vector<int> approach;
+  std::vector<std::uint8_t> approach_axis;  ///< 0 = horizontal entry, 1 = vertical
+  /// Direction bits of the metal that cast each halo/shield cell; foreign
+  /// nets may cross such cells perpendicular and straight (other layer).
+  std::vector<std::uint8_t> halo_axis;
+  /// Wire direction bits per cell: 1 = horizontal, 2 = vertical, 3 = both
+  /// (corner or locked crossing). A perpendicular wire of ANOTHER net may
+  /// pass straight through a cell with exactly one direction bit — the
+  /// two-layer HV routing abstraction.
+  std::vector<std::uint8_t> dir;
+
+  explicit Grid(const Rect& d) : die(d) {
+    w = die.width() + 1;
+    h = die.height() + 1;
+    occ.assign(std::size_t(w * h), kFree);
+    halo.assign(std::size_t(w * h), 0);
+    pin_owner.assign(std::size_t(w * h), 0);
+    approach.assign(std::size_t(w * h), 0);
+    approach_axis.assign(std::size_t(w * h), 0);
+    halo_axis.assign(std::size_t(w * h), 0);
+    dir.assign(std::size_t(w * h), 0);
+  }
+  bool inside(const Point& p) const { return die.contains(p); }
+  std::size_t idx(const Point& p) const {
+    return std::size_t((p.y - die.lo().y) * w + (p.x - die.lo().x));
+  }
+};
+
+struct PinSite {
+  AccessDirs access;
+  int net = -1;  ///< net index or -1
+};
+
+Side entry_side(const Point& from, const Point& to) {
+  if (from.y < to.y) return Side::South;   // moving up: enters south face
+  if (from.y > to.y) return Side::North;
+  if (from.x < to.x) return Side::West;
+  return Side::East;
+}
+
+bool side_allowed(const AccessDirs& a, Side s) {
+  switch (s) {
+    case Side::North: return a.north;
+    case Side::South: return a.south;
+    case Side::East: return a.east;
+    case Side::West: return a.west;
+  }
+  return true;
+}
+
+}  // namespace
+
+RouteResult route(const ToolInput& input, const RouteOptions& opt) {
+  RouteResult result;
+  Grid grid(input.die);
+
+  // ---- index tool data ----
+  std::map<std::string, const ToolInput::CellRecord*> cell_by_name;
+  for (const ToolInput::CellRecord& c : input.cells) cell_by_name[c.name] = &c;
+  std::map<std::pair<std::string, std::string>, const ToolInput::PinRecord*>
+      pin_by_key;
+  for (const ToolInput::PinRecord& p : input.pins)
+    pin_by_key[{p.cell, p.pin}] = &p;
+
+  auto placed_transform = [&](const PhysInstance& inst,
+                              const ToolInput::CellRecord& cell) {
+    base::Transform rot(inst.orient, {0, 0});
+    Rect r = rot.apply(cell.boundary);
+    return base::Transform(inst.orient, inst.origin - r.lo());
+  };
+
+  // ---- obstacles ----
+  for (const PhysInstance& inst : input.placement) {
+    auto it = cell_by_name.find(inst.cell);
+    if (it == cell_by_name.end()) continue;
+    base::Transform t = placed_transform(inst, *it->second);
+    for (const Blockage& b : it->second->blockages) {
+      Rect r = t.apply(b.rect);
+      for (std::int64_t x = r.lo().x; x <= r.hi().x; ++x) {
+        for (std::int64_t y = r.lo().y; y <= r.hi().y; ++y) {
+          Point p{x, y};
+          if (grid.inside(p)) grid.occ[grid.idx(p)] = kBlocked;
+        }
+      }
+    }
+  }
+  for (const Keepout& ko : input.keepouts) {
+    for (std::int64_t x = ko.rect.lo().x; x <= ko.rect.hi().x; ++x) {
+      for (std::int64_t y = ko.rect.lo().y; y <= ko.rect.hi().y; ++y) {
+        Point p{x, y};
+        if (grid.inside(p)) grid.occ[grid.idx(p)] = kBlocked;
+      }
+    }
+  }
+
+  // ---- pin sites ----
+  std::map<Point, PinSite> pins;  // die position -> site
+  std::map<std::pair<std::string, std::string>, Point> term_pos;
+  auto pin_position = [&](const PhysNet::Term& term,
+                          AccessDirs& access_out) -> std::optional<Point> {
+    const PhysInstance* inst = nullptr;
+    for (const PhysInstance& pi : input.placement)
+      if (pi.name == term.instance) inst = &pi;
+    if (!inst) return std::nullopt;
+    auto cit = cell_by_name.find(inst->cell);
+    if (cit == cell_by_name.end()) return std::nullopt;
+    auto pit = pin_by_key.find({inst->cell, term.pin});
+    if (pit == pin_by_key.end()) return std::nullopt;
+    const ToolInput::PinRecord& pin = *pit->second;
+    if (pin.shapes.empty()) return std::nullopt;
+    base::Transform t = placed_transform(*inst, *cit->second);
+    Point anchor = pin.shapes.front().rect.center();
+    // Access: property when the tool has one, else derived from the cell's
+    // blockages (which may include backplane-synthesized strips). NOTE:
+    // access sides are interpreted in cell orientation R0; the generator
+    // and placer only use R0 for pin-bearing cells.
+    if (pin.access) {
+      access_out = *pin.access;
+    } else {
+      AbstractPin tmp;
+      tmp.name = pin.pin;
+      tmp.shapes = pin.shapes;
+      access_out = derive_access_from_blockages(tmp, cit->second->blockages);
+    }
+    return t.apply(anchor);
+  };
+
+  for (std::size_t n = 0; n < input.nets.size(); ++n) {
+    for (const PhysNet::Term& term : input.nets[n].terms) {
+      AccessDirs access;
+      auto pos = pin_position(term, access);
+      if (!pos || !grid.inside(*pos)) continue;
+      pins[*pos] = {access, int(n)};
+      term_pos[{term.instance, term.pin}] = *pos;
+      grid.occ[grid.idx(*pos)] = kFree;  // pins override blockages
+      grid.pin_owner[grid.idx(*pos)] = int(n) + 1;
+      // Reserve the escape cells on the pin's legal sides.
+      auto reserve = [&grid, n](Point q, std::uint8_t axis) {
+        if (!grid.inside(q)) return;
+        std::size_t qi = grid.idx(q);
+        if (grid.approach[qi] == 0) {
+          grid.approach[qi] = int(n) + 1;
+          grid.approach_axis[qi] = axis;
+        }
+      };
+      if (access.north) reserve({pos->x, pos->y + 1}, 1);
+      if (access.south) reserve({pos->x, pos->y - 1}, 1);
+      if (access.east) reserve({pos->x + 1, pos->y}, 0);
+      if (access.west) reserve({pos->x - 1, pos->y}, 0);
+    }
+  }
+
+  // ---- route nets sequentially ----
+  const std::array<Point, 4> kDirs = {Point{1, 0}, Point{-1, 0}, Point{0, 1},
+                                      Point{0, -1}};
+
+  for (std::size_t n = 0; n < input.nets.size(); ++n) {
+    const ToolInput::NetRecord& net = input.nets[n];
+    RoutedNet routed;
+    routed.name = net.name;
+    routed.width_used = net.width.value_or(1);
+    routed.spacing_used = net.spacing.value_or(0);
+    int spacing = routed.spacing_used;
+    int width = routed.width_used;
+    const int me = int(n) + 1;
+
+    // Terminal positions.
+    std::vector<std::pair<PhysNet::Term, Point>> terms;
+    for (const PhysNet::Term& term : net.terms) {
+      auto it = term_pos.find({term.instance, term.pin});
+      if (it != term_pos.end()) terms.emplace_back(term, it->second);
+    }
+    if (terms.size() < 2) {
+      for (auto& [term, pos] : terms)
+        routed.terms.push_back({term, pos, Side::North, false});
+      routed.routed = false;
+      ++result.failed_nets;
+      result.nets.push_back(std::move(routed));
+      continue;
+    }
+
+    auto cell_usable = [&](const Point& p, int axis) {
+      if (!grid.inside(p)) return false;
+      std::size_t i = grid.idx(p);
+      int occ = grid.occ[i];
+      if (occ == kBlocked) return false;
+      if (occ == kShield || (occ > 0 && occ != me)) {
+        // Foreign wire or shield track: only a plain net may cross it,
+        // perpendicular to a straight run (the two-layer HV abstraction).
+        if (width > 1 || spacing > 0) return false;
+        std::uint8_t have = grid.dir[i];
+        bool straight_perp =
+            (axis == 0 && have == 2) || (axis == 1 && have == 1);
+        if (!straight_perp) return false;
+      }
+      int owner = grid.pin_owner[i];
+      if (owner != 0 && owner != me) return false;  // other net's pin
+      if (grid.approach[i] != 0 && grid.approach[i] != me) {
+        // Another pin's escape cell: perpendicular transit only.
+        if (width > 1 || spacing > 0) return false;
+        if (axis != 1 - int(grid.approach_axis[i])) return false;
+      }
+      if (grid.halo[i] != 0 && grid.halo[i] != me) {
+        // Clearance zone of a spaced net: perpendicular transit only.
+        if (width > 1 || spacing > 0) return false;
+        std::uint8_t cast = grid.halo_axis[i];
+        bool perp = (axis == 0 && cast == 2) || (axis == 1 && cast == 1);
+        if (!perp) return false;
+      }
+      if (spacing > 0) {
+        // This net demands clearance: stay away from other nets' metal.
+        for (int dx = -spacing; dx <= spacing; ++dx) {
+          for (int dy = -spacing; dy <= spacing; ++dy) {
+            Point q{p.x + dx, p.y + dy};
+            if (!grid.inside(q)) continue;
+            int o = grid.occ[grid.idx(q)];
+            if (o > 0 && o != me) return false;
+          }
+        }
+      }
+      if (width > 1) {
+        // L-corridor approximation: the fat wire needs the cells beside it.
+        for (int k = 1; k < width; ++k) {
+          for (Point q : {Point{p.x + k, p.y}, Point{p.x, p.y + k}}) {
+            if (!grid.inside(q)) return false;
+            std::size_t qi = grid.idx(q);
+            int o = grid.occ[qi];
+            if (o == kBlocked || o == kShield || (o > 0 && o != me))
+              return false;
+            int qowner = grid.pin_owner[qi];
+            if (qowner != 0 && qowner != me) return false;
+          }
+        }
+      }
+      return true;
+    };
+
+    // Tree cells grow as terminals connect. The seed terminal is only
+    // "connected" once the first successful chain actually attaches to it.
+    std::set<Point> tree{terms[0].second};
+    routed.terms.push_back({terms[0].first, terms[0].second, Side::North,
+                            false});
+    // Terminal record lookup for fixing up attach sides at tree roots.
+    std::map<Point, std::size_t> term_index{{terms[0].second, 0}};
+    bool all_ok = true;
+
+    for (std::size_t ti = 1; ti < terms.size(); ++ti) {
+      const Point target = terms[ti].second;
+      const AccessDirs target_access = pins[target].access;
+
+      // Axis-aware BFS node: (cell, axis of the move that reached it).
+      // axis 0 = horizontal, 1 = vertical; tree seeds use axis 2 ("any").
+      struct Node {
+        Point p;
+        int axis;
+        bool operator<(const Node& o) const {
+          if (p != o.p) return p < o.p;
+          return axis < o.axis;
+        }
+      };
+      std::map<Node, Node> parent;
+      std::deque<Node> frontier;
+      for (const Point& p : tree) {
+        Node seed{p, 2};
+        frontier.push_back(seed);
+        parent[seed] = seed;
+      }
+      bool found = false;
+      Node hit{{0, 0}, 0};
+      int expansions = 0;
+
+      auto is_foreign = [&](const Point& p) {
+        int o = grid.occ[grid.idx(p)];
+        return o > 0 && o != me;
+      };
+      auto is_transit = [&](const Point& p) {
+        // Cells we may only pass straight through: foreign wires, shield
+        // tracks, foreign clearance zones, other pins' escape cells.
+        if (is_foreign(p)) return true;
+        std::size_t i = grid.idx(p);
+        if (grid.occ[i] == kShield) return true;
+        if (grid.halo[i] != 0 && grid.halo[i] != me) return true;
+        return grid.approach[i] != 0 && grid.approach[i] != me;
+      };
+
+      while (!frontier.empty() && !found) {
+        Node cur = frontier.front();
+        frontier.pop_front();
+        if (++expansions > opt.max_expansions) break;
+        bool straight_only = is_transit(cur.p);
+        for (const Point& d : kDirs) {
+          int axis = d.y != 0 ? 1 : 0;
+          // Inside a transit cell we may only continue straight through.
+          if (straight_only && axis != cur.axis) continue;
+          Point next{cur.p.x + d.x, cur.p.y + d.y};
+          Node node{next, axis};
+          if (parent.count(node)) continue;
+          // Leaving one of this net's own pins: respect its access sides
+          // (the attach face must be a legal side of the pin).
+          auto pin_it = pins.find(cur.p);
+          if (pin_it != pins.end() && pin_it->second.net == int(n) &&
+              !side_allowed(pin_it->second.access, entry_side(next, cur.p)))
+            continue;
+          if (next == target) {
+            // Respect the pin's access sides (when the tool knows them).
+            if (!side_allowed(target_access, entry_side(cur.p, next)))
+              continue;
+            parent[node] = cur;
+            hit = node;
+            found = true;
+            break;
+          }
+          if (!cell_usable(next, axis)) continue;
+          parent[node] = cur;
+          frontier.push_back(node);
+        }
+      }
+
+      RoutedTerm rterm{terms[ti].first, target, Side::North, false};
+      if (!found) {
+        all_ok = false;
+        routed.terms.push_back(rterm);
+        continue;
+      }
+      rterm.connected = true;
+      rterm.entered_from = entry_side(parent[hit].p, hit.p);
+      term_index[target] = routed.terms.size();
+      routed.terms.push_back(rterm);
+
+      // Walk back, committing the path. `child_axis` is the axis of the
+      // step LEAVING each cell (toward the target side of the chain).
+      Node cur = hit;
+      int child_axis = hit.axis;
+      while (!(parent[cur].p == cur.p && parent[cur].axis == cur.axis)) {
+        Node par = parent[cur];
+        bool par_is_root = [&] {
+          Node pp = parent[par];
+          return pp.p == par.p && pp.axis == par.axis;
+        }();
+        // Reaching the chain root: if it is one of this net's terminals,
+        // record which face the wire attaches on (seed pins got a default).
+        if (par_is_root) {
+          auto tix = term_index.find(par.p);
+          if (tix != term_index.end()) {
+            routed.terms[tix->second].entered_from = entry_side(cur.p, par.p);
+            routed.terms[tix->second].connected = true;
+          }
+        }
+        const Point& c = cur.p;
+        std::size_t ci = grid.idx(c);
+        if (is_foreign(c)) {
+          // Crossing point: both nets now pass here; lock the cell.
+          grid.dir[ci] = 3;
+          routed.cells.push_back(c);
+        } else if (!tree.count(c)) {
+          tree.insert(c);
+          routed.cells.push_back(c);
+          grid.occ[ci] = me;
+          std::uint8_t bits = 0;
+          if (cur.axis == 0 || child_axis == 0) bits |= 1;
+          if (cur.axis == 1 || child_axis == 1) bits |= 2;
+          grid.dir[ci] |= bits;
+          // Fat-wire side cells.
+          for (int k = 1; k < width; ++k) {
+            for (Point q :
+                 {Point{c.x + k, c.y}, Point{c.x, c.y + k}}) {
+              if (!grid.inside(q)) continue;
+              std::size_t qi = grid.idx(q);
+              if (grid.occ[qi] == kFree &&
+                  (grid.approach[qi] == 0 || grid.approach[qi] == me)) {
+                grid.occ[qi] = me;
+                // Fat metal runs parallel to the center wire; perpendicular
+                // crossings stay legal (corners lock to 3 via bits).
+                grid.dir[qi] = bits == 0 ? 3 : bits;
+                routed.width_cells.push_back(q);
+              }
+            }
+          }
+          // Spacing halo (never over another pin's escape cells).
+          for (int dx = -spacing; dx <= spacing; ++dx) {
+            for (int dy = -spacing; dy <= spacing; ++dy) {
+              Point q{c.x + dx, c.y + dy};
+              if (!grid.inside(q)) continue;
+              std::size_t qi = grid.idx(q);
+              if (grid.approach[qi] != 0 && grid.approach[qi] != me) continue;
+              if (grid.halo[qi] == 0) grid.halo[qi] = me;
+              if (grid.halo[qi] == me) grid.halo_axis[qi] |= bits;
+            }
+          }
+        }
+        child_axis = cur.axis;
+        cur = par;
+      }
+    }
+
+    // Shield wires: guard tracks beside every path cell. The shield cell
+    // inherits the path cell's direction bits so others can cross it
+    // perpendicular.
+    if (net.shield.value_or(false)) {
+      routed.shielded = true;
+      for (const Point& c : routed.cells) {
+        std::uint8_t cbits = grid.dir[grid.idx(c)];
+        for (const Point& d : kDirs) {
+          Point q{c.x + d.x, c.y + d.y};
+          if (!grid.inside(q)) continue;
+          std::size_t qi = grid.idx(q);
+          if (grid.occ[qi] == kFree && grid.pin_owner[qi] == 0 &&
+              grid.approach[qi] == 0) {
+            grid.occ[qi] = kShield;
+            grid.dir[qi] = cbits == 0 ? 3 : cbits;
+            routed.shield_cells.push_back(q);
+          }
+        }
+      }
+    }
+
+    routed.routed = all_ok;
+    if (!all_ok) ++result.failed_nets;
+    result.wirelength += std::int64_t(routed.cells.size());
+    result.nets.push_back(std::move(routed));
+  }
+
+  return result;
+}
+
+}  // namespace interop::pnr

@@ -1,0 +1,62 @@
+#pragma once
+// A grid maze router driven by ONE TOOL'S ToolInput — it honors exactly the
+// constraints that survived translation into that tool's format, which is
+// what makes §4's losses *observable* downstream (see check.hpp).
+//
+// Honored, when present in the input:
+//  - cell blockages (including backplane-synthesized access strips)
+//  - pin access directions (property form)
+//  - keepout zones
+//  - per-net width (extra occupied tracks beside the path)
+//  - per-net spacing (clearance halo other nets may not enter)
+//  - shielding (occupied guard tracks along the path)
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pnr/tools.hpp"
+
+namespace interop::pnr {
+
+/// Which side a wire entered a pin from.
+enum class Side : std::uint8_t { North, South, East, West };
+
+std::string to_string(Side s);
+
+struct RoutedTerm {
+  PhysNet::Term term;
+  Point at;
+  Side entered_from = Side::North;
+  bool connected = false;
+};
+
+struct RoutedNet {
+  std::string name;
+  bool routed = false;                 ///< all terminals connected
+  std::vector<Point> cells;            ///< path cells (center track)
+  std::vector<Point> width_cells;      ///< extra cells from width > 1
+  std::vector<Point> shield_cells;     ///< occupied shield tracks
+  std::vector<RoutedTerm> terms;
+  int width_used = 1;
+  int spacing_used = 0;
+  bool shielded = false;
+};
+
+struct RouteResult {
+  std::vector<RoutedNet> nets;
+  int failed_nets = 0;
+  std::int64_t wirelength = 0;
+};
+
+struct RouteOptions {
+  /// Expansion limit per 2-point connection (guards worst-case grids).
+  int max_expansions = 200000;
+};
+
+/// Route every net in `input` sequentially in order. Pure function of the
+/// input: two tools receiving different inputs route differently.
+RouteResult route(const ToolInput& input, const RouteOptions& opt = {});
+
+}  // namespace interop::pnr

@@ -1,0 +1,261 @@
+#include "pnr/textio.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "base/strings.hpp"
+
+namespace interop::pnr {
+
+namespace {
+
+Layer layer_from(const std::string& s) {
+  if (s == "M2") return Layer::M2;
+  if (s == "M3") return Layer::M3;
+  return Layer::M1;
+}
+
+std::string conn_text(const ConnectionProps& p) {
+  std::string out;
+  if (p.multiple_connect) out += " multiple";
+  if (p.must_connect) out += " must";
+  if (p.connect_by_abutment) out += " abut";
+  if (p.equivalent_class > 0)
+    out += " equiv=" + std::to_string(p.equivalent_class);
+  return out.empty() ? " -" : out;
+}
+
+ConnectionProps conn_from(const std::vector<std::string>& fields,
+                          std::size_t start) {
+  ConnectionProps p;
+  for (std::size_t i = start; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    if (f == "multiple") p.multiple_connect = true;
+    else if (f == "must") p.must_connect = true;
+    else if (f == "abut") p.connect_by_abutment = true;
+    else if (f.rfind("equiv=", 0) == 0)
+      p.equivalent_class = std::stoi(f.substr(6));
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string write_tool_input(const ToolInput& input) {
+  std::ostringstream os;
+  os << "TOOLDECK " << input.tool << "\n";
+  os << "DIE " << input.die.lo().x << ' ' << input.die.lo().y << ' '
+     << input.die.hi().x << ' ' << input.die.hi().y << "\n";
+
+  for (const ToolInput::CellRecord& cell : input.cells) {
+    os << "CELL " << cell.name << ' ' << cell.boundary.lo().x << ' '
+       << cell.boundary.lo().y << ' ' << cell.boundary.hi().x << ' '
+       << cell.boundary.hi().y << "\n";
+    for (const base::Orient o : cell.legal_orients)
+      os << "  ORIENT " << base::to_string(o) << "\n";
+    for (const Blockage& b : cell.blockages)
+      os << "  BLOCKAGE " << to_string(b.layer) << ' ' << b.rect.lo().x
+         << ' ' << b.rect.lo().y << ' ' << b.rect.hi().x << ' '
+         << b.rect.hi().y << "\n";
+    os << "ENDCELL\n";
+  }
+
+  for (const ToolInput::PinRecord& pin : input.pins) {
+    os << "PIN " << pin.cell << ' ' << pin.pin << "\n";
+    for (const PinShape& shape : pin.shapes)
+      os << "  SHAPE " << to_string(shape.layer) << ' ' << shape.rect.lo().x
+         << ' ' << shape.rect.lo().y << ' ' << shape.rect.hi().x << ' '
+         << shape.rect.hi().y << "\n";
+    if (pin.access) os << "  ACCESS " << to_string(*pin.access) << "\n";
+    if (pin.conn) os << "  CONN" << conn_text(*pin.conn) << "\n";
+    os << "ENDPIN\n";
+  }
+
+  for (const auto& [key, props] : input.conn_file)
+    os << "CONNFILE " << key << conn_text(props) << "\n";
+
+  for (const PhysInstance& inst : input.placement) {
+    os << "INST " << inst.name << ' ' << inst.cell << ' ' << inst.origin.x
+       << ' ' << inst.origin.y << ' ' << base::to_string(inst.orient)
+       << (inst.fixed ? " FIXED" : "") << "\n";
+  }
+
+  for (const ToolInput::NetRecord& net : input.nets) {
+    os << "NET " << net.name;
+    if (net.width) os << " WIDTH " << *net.width;
+    if (net.spacing) os << " SPACING " << *net.spacing;
+    if (net.shield && *net.shield) os << " SHIELD";
+    os << "\n";
+    for (const PhysNet::Term& term : net.terms)
+      os << "  TERM " << term.instance << ' ' << term.pin << "\n";
+    os << "ENDNET\n";
+  }
+
+  for (const Keepout& ko : input.keepouts)
+    os << "KEEPOUT " << to_string(ko.layer) << ' ' << ko.rect.lo().x << ' '
+       << ko.rect.lo().y << ' ' << ko.rect.hi().x << ' ' << ko.rect.hi().y
+       << "\n";
+  os << "ENDDECK\n";
+  return os.str();
+}
+
+ToolInput read_tool_input(const std::string& text, const ToolCaps& caps,
+                          base::DiagnosticEngine& diags) {
+  ToolInput input;
+  input.caps = caps;
+
+  ToolInput::CellRecord* cell = nullptr;
+  ToolInput::PinRecord* pin = nullptr;
+  ToolInput::NetRecord* net = nullptr;
+  bool ended = false;
+
+  int line_no = 0;
+  auto fail = [&line_no](const std::string& what) {
+    throw std::runtime_error("tool deck line " + std::to_string(line_no) +
+                             ": " + what);
+  };
+  auto to_i = [&fail](const std::string& s) -> std::int64_t {
+    try {
+      return std::stoll(s);
+    } catch (...) {
+    }
+    fail("expected a number, got '" + s + "'");
+    return 0;
+  };
+
+  for (const std::string& raw : base::split(text, '\n')) {
+    ++line_no;
+    std::vector<std::string> f = base::split_ws(raw);
+    if (f.empty()) continue;
+    const std::string& kw = f[0];
+
+    if (kw == "TOOLDECK") {
+      if (f.size() < 2) fail("TOOLDECK needs a name");
+      input.tool = f[1];
+    } else if (kw == "DIE") {
+      if (f.size() != 5) fail("DIE needs 4 coordinates");
+      input.die = Rect({to_i(f[1]), to_i(f[2])}, {to_i(f[3]), to_i(f[4])});
+    } else if (kw == "CELL") {
+      if (f.size() != 6) fail("CELL needs name + 4 coordinates");
+      ToolInput::CellRecord rec;
+      rec.name = f[1];
+      rec.boundary = Rect({to_i(f[2]), to_i(f[3])}, {to_i(f[4]), to_i(f[5])});
+      input.cells.push_back(std::move(rec));
+      cell = &input.cells.back();
+    } else if (kw == "ORIENT") {
+      if (!cell) fail("ORIENT outside CELL");
+      auto o = base::orient_from_string(f.at(1));
+      if (!o) fail("bad orient " + f[1]);
+      cell->legal_orients.push_back(*o);
+    } else if (kw == "BLOCKAGE") {
+      if (!cell) fail("BLOCKAGE outside CELL");
+      if (f.size() != 6) fail("BLOCKAGE needs layer + 4 coordinates");
+      cell->blockages.push_back(
+          {layer_from(f[1]),
+           Rect({to_i(f[2]), to_i(f[3])}, {to_i(f[4]), to_i(f[5])})});
+    } else if (kw == "ENDCELL") {
+      cell = nullptr;
+    } else if (kw == "PIN") {
+      if (f.size() != 3) fail("PIN needs cell + pin names");
+      ToolInput::PinRecord rec;
+      rec.cell = f[1];
+      rec.pin = f[2];
+      input.pins.push_back(std::move(rec));
+      pin = &input.pins.back();
+    } else if (kw == "SHAPE") {
+      if (!pin) fail("SHAPE outside PIN");
+      if (f.size() != 6) fail("SHAPE needs layer + 4 coordinates");
+      pin->shapes.push_back(
+          {layer_from(f[1]),
+           Rect({to_i(f[2]), to_i(f[3])}, {to_i(f[4]), to_i(f[5])})});
+    } else if (kw == "ACCESS") {
+      if (!pin) fail("ACCESS outside PIN");
+      if (!caps.access_as_property) {
+        diags.warn("deck-ignored",
+                   "ACCESS record ignored: " + caps.name +
+                       " derives access from blockages",
+                   {"pnr.textio", pin->cell + "." + pin->pin});
+        continue;
+      }
+      AccessDirs d;
+      for (char c : f.at(1)) {
+        if (c == 'N') d.north = true;
+        if (c == 'S') d.south = true;
+        if (c == 'E') d.east = true;
+        if (c == 'W') d.west = true;
+      }
+      pin->access = d;
+    } else if (kw == "CONN") {
+      if (!pin) fail("CONN outside PIN");
+      if (caps.conn_types != ConnTypeSupport::LiteralProps) {
+        diags.warn("deck-ignored",
+                   "CONN record ignored: " + caps.name +
+                       " does not take literal connection properties",
+                   {"pnr.textio", pin->cell + "." + pin->pin});
+        continue;
+      }
+      pin->conn = conn_from(f, 1);
+    } else if (kw == "ENDPIN") {
+      pin = nullptr;
+    } else if (kw == "CONNFILE") {
+      if (caps.conn_types != ConnTypeSupport::ExternalFile) {
+        diags.warn("deck-ignored",
+                   "CONNFILE record ignored by " + caps.name,
+                   {"pnr.textio", f.size() > 1 ? f[1] : ""});
+        continue;
+      }
+      if (f.size() < 2) fail("CONNFILE needs a key");
+      input.conn_file[f[1]] = conn_from(f, 2);
+    } else if (kw == "INST") {
+      if (f.size() < 6) fail("INST needs name cell x y orient");
+      PhysInstance inst;
+      inst.name = f[1];
+      inst.cell = f[2];
+      inst.origin = {to_i(f[3]), to_i(f[4])};
+      auto o = base::orient_from_string(f[5]);
+      if (!o) fail("bad orient " + f[5]);
+      inst.orient = *o;
+      inst.fixed = f.size() > 6 && f[6] == "FIXED";
+      input.placement.push_back(std::move(inst));
+    } else if (kw == "NET") {
+      if (f.size() < 2) fail("NET needs a name");
+      ToolInput::NetRecord rec;
+      rec.name = f[1];
+      for (std::size_t i = 2; i < f.size(); ++i) {
+        if (f[i] == "WIDTH" && caps.net_width) rec.width = int(to_i(f.at(++i)));
+        else if (f[i] == "WIDTH") ++i;  // skip the value too
+        else if (f[i] == "SPACING" && caps.net_spacing)
+          rec.spacing = int(to_i(f.at(++i)));
+        else if (f[i] == "SPACING") ++i;
+        else if (f[i] == "SHIELD" && caps.shielding) rec.shield = true;
+      }
+      input.nets.push_back(std::move(rec));
+      net = &input.nets.back();
+    } else if (kw == "TERM") {
+      if (!net) fail("TERM outside NET");
+      if (f.size() != 3) fail("TERM needs instance + pin");
+      net->terms.push_back({f[1], f[2]});
+    } else if (kw == "ENDNET") {
+      net = nullptr;
+    } else if (kw == "KEEPOUT") {
+      if (!caps.keepouts) {
+        diags.warn("deck-ignored", "KEEPOUT record ignored by " + caps.name,
+                   {"pnr.textio", ""});
+        continue;
+      }
+      if (f.size() != 6) fail("KEEPOUT needs layer + 4 coordinates");
+      input.keepouts.push_back(
+          {layer_from(f[1]),
+           Rect({to_i(f[2]), to_i(f[3])}, {to_i(f[4]), to_i(f[5])})});
+    } else if (kw == "ENDDECK") {
+      ended = true;
+    } else {
+      diags.warn("deck-unknown", "unknown record '" + kw + "' skipped",
+                 {"pnr.textio", ""});
+    }
+  }
+  if (!ended) fail("missing ENDDECK");
+  return input;
+}
+
+}  // namespace interop::pnr

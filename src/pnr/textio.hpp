@@ -1,0 +1,23 @@
+#pragma once
+// Tool-input persistence: the LEF/DEF-flavoured text files one P&R tool
+// actually reads. Writing a ToolInput produces exactly the fields the
+// tool's capabilities carry — reading it back shows what the file format
+// itself preserves (the §4 point, on disk).
+
+#include <string>
+
+#include "base/diagnostics.hpp"
+#include "pnr/tools.hpp"
+
+namespace interop::pnr {
+
+/// Serialize one tool's input deck.
+std::string write_tool_input(const ToolInput& input);
+
+/// Parse a deck written by write_tool_input. `caps` must match the writing
+/// tool's capabilities (a tool only understands its own format). Throws
+/// std::runtime_error on malformed input.
+ToolInput read_tool_input(const std::string& text, const ToolCaps& caps,
+                          base::DiagnosticEngine& diags);
+
+}  // namespace interop::pnr

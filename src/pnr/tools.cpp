@@ -1,0 +1,177 @@
+#include "pnr/tools.hpp"
+
+namespace interop::pnr {
+
+ToolCaps router_alpha_caps() {
+  ToolCaps c;
+  c.name = "RouterAlpha";
+  c.access_as_property = true;
+  c.conn_types = ConnTypeSupport::LiteralProps;
+  c.net_width = true;
+  c.net_spacing = false;
+  c.shielding = false;
+  c.keepouts = true;
+  c.legal_orients = true;
+  return c;
+}
+
+ToolCaps router_beta_caps() {
+  ToolCaps c;
+  c.name = "RouterBeta";
+  c.access_as_property = false;  // derives from blockages
+  c.conn_types = ConnTypeSupport::ExternalFile;
+  c.net_width = true;
+  c.net_spacing = true;
+  c.shielding = true;
+  c.keepouts = true;
+  c.legal_orients = false;
+  return c;
+}
+
+ToolCaps router_gamma_caps() {
+  ToolCaps c;
+  c.name = "RouterGamma";
+  c.access_as_property = false;
+  c.conn_types = ConnTypeSupport::None;
+  c.net_width = false;
+  c.net_spacing = false;
+  c.shielding = false;
+  c.keepouts = false;
+  c.legal_orients = false;
+  return c;
+}
+
+namespace {
+
+bool nondefault_conn(const ConnectionProps& p) {
+  return p.multiple_connect || p.equivalent_class > 0 || p.must_connect ||
+         p.connect_by_abutment;
+}
+
+bool nondefault_access(const AccessDirs& a) { return !(a == AccessDirs::all()); }
+
+}  // namespace
+
+int semantic_atoms(const PhysDesign& design) {
+  int atoms = 0;
+  for (const auto& [name, cell] : design.cells) {
+    for (const AbstractPin& pin : cell.pins) {
+      if (nondefault_access(pin.props.access)) ++atoms;
+      if (nondefault_conn(pin.props)) ++atoms;
+    }
+    if (cell.legal_orients.size() > 1) ++atoms;
+  }
+  for (const PhysNet& net : design.nets) {
+    if (net.topology.width > 1) ++atoms;
+    if (net.topology.spacing > 0) ++atoms;
+    if (net.topology.shield) ++atoms;
+  }
+  atoms += int(design.floorplan.keepouts.size());
+  return atoms;
+}
+
+int ToolInput::conveyed_atoms() const {
+  int atoms = 0;
+  for (const PinRecord& pin : pins) {
+    if (pin.access && nondefault_access(*pin.access)) ++atoms;
+    if (pin.conn && nondefault_conn(*pin.conn)) ++atoms;
+  }
+  for (const auto& [key, props] : conn_file)
+    if (nondefault_conn(props)) ++atoms;
+  for (const CellRecord& cell : cells)
+    if (cell.legal_orients.size() > 1) ++atoms;
+  for (const NetRecord& net : nets) {
+    if (net.width && *net.width > 1) ++atoms;
+    if (net.spacing && *net.spacing > 0) ++atoms;
+    if (net.shield && *net.shield) ++atoms;
+  }
+  atoms += int(keepouts.size());
+  return atoms;
+}
+
+ToolInput export_direct(const PhysDesign& design, const ToolCaps& caps,
+                        base::DiagnosticEngine& diags) {
+  ToolInput input;
+  input.tool = caps.name;
+  input.caps = caps;
+  input.die = design.floorplan.die;
+  input.placement = design.instances;
+
+  auto drop = [&diags, &caps](const std::string& what,
+                              const std::string& obj) {
+    diags.note("direct-drop",
+               what + " not expressible in " + caps.name + "; dropped",
+               {"pnr.direct", obj});
+  };
+
+  for (const auto& [name, cell] : design.cells) {
+    ToolInput::CellRecord rec;
+    rec.name = name;
+    rec.boundary = cell.boundary;
+    rec.blockages = cell.blockages;
+    if (caps.legal_orients) {
+      rec.legal_orients = cell.legal_orients;
+    } else if (cell.legal_orients.size() > 1) {
+      drop("legal orientation list", name);
+    }
+    input.cells.push_back(std::move(rec));
+
+    for (const AbstractPin& pin : cell.pins) {
+      ToolInput::PinRecord prec;
+      prec.cell = name;
+      prec.pin = pin.name;
+      prec.shapes = pin.shapes;
+      if (caps.access_as_property) {
+        prec.access = pin.props.access;
+      } else if (nondefault_access(pin.props.access)) {
+        // The naive converter does NOT synthesize blockages; the access
+        // restriction is silently lost.
+        drop("pin access direction", name + "." + pin.name);
+      }
+      switch (caps.conn_types) {
+        case ConnTypeSupport::LiteralProps:
+          prec.conn = pin.props;
+          break;
+        case ConnTypeSupport::ExternalFile:
+          // The naive converter does not know how to write the side file.
+          if (nondefault_conn(pin.props))
+            drop("connection types (needs side file)", name + "." + pin.name);
+          break;
+        case ConnTypeSupport::None:
+          if (nondefault_conn(pin.props))
+            drop("connection types", name + "." + pin.name);
+          break;
+      }
+      input.pins.push_back(std::move(prec));
+    }
+  }
+
+  for (const PhysNet& net : design.nets) {
+    ToolInput::NetRecord rec;
+    rec.name = net.name;
+    rec.terms = net.terms;
+    if (caps.net_width)
+      rec.width = net.topology.width;
+    else if (net.topology.width > 1)
+      drop("net width", net.name);
+    if (caps.net_spacing)
+      rec.spacing = net.topology.spacing;
+    else if (net.topology.spacing > 0)
+      drop("net spacing", net.name);
+    if (caps.shielding)
+      rec.shield = net.topology.shield;
+    else if (net.topology.shield)
+      drop("net shielding", net.name);
+    input.nets.push_back(std::move(rec));
+  }
+
+  if (caps.keepouts) {
+    input.keepouts = design.floorplan.keepouts;
+  } else if (!design.floorplan.keepouts.empty()) {
+    drop("keepout zones", "floorplan");
+  }
+
+  return input;
+}
+
+}  // namespace interop::pnr

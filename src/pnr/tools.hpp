@@ -1,0 +1,110 @@
+#pragma once
+// P&R tool dialects and the translation paths into them.
+//
+// §4: "there are no common languages, syntaxes, or semantics between these
+// tools ... Each P&R tool supports a slightly different set of input data
+// requirements. Some tools read access direction as a property, while
+// others try to determine it from the routing blockages. Connection types
+// are also not uniformly supported: some tools read [them] as literal
+// properties on the pin, others require an external file, and a few have no
+// predefined support."
+//
+// ToolInput is what one tool actually receives; the ToolCaps describe what
+// its format can carry. Export happens either DIRECTLY (a naive translator
+// that silently drops anything unsupported) or through the BACKPLANE
+// (backplane.hpp), which emulates what it can and reports what it cannot.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/diagnostics.hpp"
+#include "pnr/design.hpp"
+
+namespace interop::pnr {
+
+/// How a tool accepts pin connection types (must/multiple/equivalent/...).
+enum class ConnTypeSupport : std::uint8_t {
+  LiteralProps,   ///< carried on the pin record
+  ExternalFile,   ///< a separate side file keyed by instance.pin
+  None,           ///< no representation at all
+};
+
+/// What one P&R tool's input format can express.
+struct ToolCaps {
+  std::string name;
+  bool access_as_property = false;  ///< else derived from blockages only
+  ConnTypeSupport conn_types = ConnTypeSupport::None;
+  bool net_width = false;
+  bool net_spacing = false;
+  bool shielding = false;
+  bool keepouts = false;
+  bool legal_orients = false;
+};
+
+/// "RouterAlpha": property-rich, but no spacing/shield semantics.
+ToolCaps router_alpha_caps();
+/// "RouterBeta": geometric school — derives access from blockages, takes
+/// connection types via side file, understands width/spacing/shield.
+ToolCaps router_beta_caps();
+/// "RouterGamma": minimal legacy router.
+ToolCaps router_gamma_caps();
+
+/// The concrete input handed to one tool. Fields a tool cannot express are
+/// simply absent from its input (that is the point).
+struct ToolInput {
+  std::string tool;
+  ToolCaps caps;
+
+  struct PinRecord {
+    std::string cell;
+    std::string pin;
+    std::vector<PinShape> shapes;
+    /// Present only when caps.access_as_property.
+    std::optional<AccessDirs> access;
+    /// Present only when caps.conn_types == LiteralProps.
+    std::optional<ConnectionProps> conn;
+  };
+  std::vector<PinRecord> pins;
+
+  struct CellRecord {
+    std::string name;
+    Rect boundary;
+    std::vector<Blockage> blockages;       ///< may include synthesized strips
+    std::vector<Orient> legal_orients;     ///< empty when unsupported
+  };
+  std::vector<CellRecord> cells;
+
+  /// caps.conn_types == ExternalFile: "inst.pin" -> props, the side file.
+  std::map<std::string, ConnectionProps> conn_file;
+
+  struct NetRecord {
+    std::string name;
+    std::vector<PhysNet::Term> terms;
+    std::optional<int> width;       ///< absent when unsupported
+    std::optional<int> spacing;
+    std::optional<bool> shield;
+  };
+  std::vector<NetRecord> nets;
+
+  std::vector<PhysInstance> placement;
+  Rect die;
+  std::vector<Keepout> keepouts;    ///< empty when unsupported
+
+  /// Count of semantic atoms this input carries (for fidelity metrics).
+  int conveyed_atoms() const;
+};
+
+/// Count the semantic atoms in the neutral design: one per pin access spec,
+/// per non-default connection prop, per non-default net topology field, per
+/// keepout, per legal-orient list. The denominator of fidelity.
+int semantic_atoms(const PhysDesign& design);
+
+/// Naive direct translation: copy what the tool accepts, silently drop the
+/// rest (what a quick per-tool converter does). Diagnostics note drops only
+/// at Note severity — they scroll by, which is §4's complaint.
+ToolInput export_direct(const PhysDesign& design, const ToolCaps& caps,
+                        base::DiagnosticEngine& diags);
+
+}  // namespace interop::pnr

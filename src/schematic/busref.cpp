@@ -1,0 +1,189 @@
+#include "schematic/busref.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+
+namespace interop::sch {
+
+int NetRef::width() const {
+  if (range) {
+    return std::abs(range->first - range->second) + 1;
+  }
+  return 1;
+}
+
+std::vector<int> NetRef::bits() const {
+  std::vector<int> out;
+  if (range) {
+    int step = range->first <= range->second ? 1 : -1;
+    for (int b = range->first;; b += step) {
+      out.push_back(b);
+      if (b == range->second) break;
+    }
+  } else if (bit) {
+    out.push_back(*bit);
+  }
+  return out;
+}
+
+namespace {
+
+bool parse_int(const std::string& s, int& out) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  out = std::atoi(s.c_str());
+  return true;
+}
+
+}  // namespace
+
+NetRef parse_net_ref(const std::string& text, const Dialect& dialect,
+                     const std::vector<std::string>& known_buses) {
+  NetRef ref;
+  std::string body = text;
+
+  // Strip postfix indicator characters if the dialect allows them.
+  if (dialect.allows_bus_postfix) {
+    while (!body.empty() && (body.back() == '-' || body.back() == '+')) {
+      ref.postfix.insert(ref.postfix.begin(), body.back());
+      body.pop_back();
+    }
+  }
+
+  // Explicit <...> part?
+  std::size_t open = body.find(dialect.bus_open);
+  if (open != std::string::npos && !body.empty() &&
+      body.back() == dialect.bus_close) {
+    std::string inner = body.substr(open + 1, body.size() - open - 2);
+    std::string base = body.substr(0, open);
+    std::size_t sep = inner.find(dialect.bus_range_sep);
+    if (sep != std::string::npos) {
+      int a = 0, b = 0;
+      if (parse_int(inner.substr(0, sep), a) &&
+          parse_int(inner.substr(sep + 1), b)) {
+        ref.base = base;
+        ref.range = {a, b};
+        return ref;
+      }
+    } else {
+      int b = 0;
+      if (parse_int(inner, b)) {
+        ref.base = base;
+        ref.bit = b;
+        return ref;
+      }
+    }
+  }
+
+  // Condensed bit reference ("A0")? Only in dialects that allow it, and only
+  // when the alphabetic stem names a known bus.
+  if (dialect.condensed_bus_refs && !body.empty() &&
+      std::isdigit(static_cast<unsigned char>(body.back()))) {
+    std::size_t digits = body.size();
+    while (digits > 0 &&
+           std::isdigit(static_cast<unsigned char>(body[digits - 1])))
+      --digits;
+    std::string stem = body.substr(0, digits);
+    if (!stem.empty() &&
+        std::find(known_buses.begin(), known_buses.end(), stem) !=
+            known_buses.end()) {
+      ref.base = stem;
+      ref.bit = std::atoi(body.c_str() + digits);
+      ref.condensed = true;
+      return ref;
+    }
+  }
+
+  ref.base = body;
+  return ref;
+}
+
+std::string format_net_ref(const NetRef& ref, const Dialect& dialect) {
+  assert((dialect.allows_bus_postfix || ref.postfix.empty()) &&
+         "postfix indicator not legal in this dialect");
+  assert((dialect.condensed_bus_refs || !ref.condensed) &&
+         "condensed reference not legal in this dialect");
+  std::string out = ref.base;
+  if (ref.range) {
+    out += dialect.bus_open;
+    out += std::to_string(ref.range->first);
+    out += dialect.bus_range_sep;
+    out += std::to_string(ref.range->second);
+    out += dialect.bus_close;
+  } else if (ref.bit) {
+    if (ref.condensed) {
+      out += std::to_string(*ref.bit);
+    } else {
+      out += dialect.bus_open;
+      out += std::to_string(*ref.bit);
+      out += dialect.bus_close;
+    }
+  }
+  out += ref.postfix;  // legal only when asserted above
+  return out;
+}
+
+NetRef translate_net_ref(const NetRef& ref, const Dialect& from,
+                         const Dialect& to, base::DiagnosticEngine& diags) {
+  NetRef out = ref;
+
+  if (out.condensed && !to.condensed_bus_refs) {
+    diags.note("bus-condensed-expanded",
+               "condensed bus reference '" + format_net_ref(ref, from) +
+                   "' made explicit",
+               {"sch.busref", ref.base});
+    out.condensed = false;
+  }
+
+  if (!out.postfix.empty() && !to.allows_bus_postfix) {
+    // The paper's fix: fold the indicator into the base name so net names
+    // stay unique ("myBus<0:15>-" and "myBus<0:15>" must not merge).
+    std::string mangled;
+    for (char c : out.postfix) mangled += (c == '-') ? "_n" : "_p";
+    diags.warn("bus-postfix-folded",
+               "postfix indicator '" + out.postfix + "' on '" + out.base +
+                   "' folded into name '" + out.base + mangled + "'",
+               {"sch.busref", out.base});
+    out.base += mangled;
+    out.postfix.clear();
+  }
+
+  // Replace characters illegal in the target dialect.
+  std::string cleaned;
+  bool changed = false;
+  for (char c : out.base) {
+    if (to.legal_name_char(c)) {
+      cleaned += c;
+    } else {
+      cleaned += '_';
+      changed = true;
+    }
+  }
+  if (changed) {
+    diags.warn("name-char-replaced",
+               "net name '" + out.base + "' contains characters illegal in " +
+                   to.name + "; rewritten to '" + cleaned + "'",
+               {"sch.busref", out.base});
+    out.base = cleaned;
+  }
+
+  return out;
+}
+
+std::vector<std::string> canonical_bits(const NetRef& ref) {
+  std::string stem = ref.base;
+  for (char c : ref.postfix) stem += (c == '-') ? "_n" : "_p";
+  std::vector<std::string> out;
+  if (ref.is_scalar()) {
+    out.push_back(stem);
+  } else {
+    for (int b : ref.bits())
+      out.push_back(stem + "[" + std::to_string(b) + "]");
+  }
+  return out;
+}
+
+}  // namespace interop::sch

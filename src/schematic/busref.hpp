@@ -1,0 +1,66 @@
+#pragma once
+// Bus-reference algebra: parsing, expanding and translating net names whose
+// syntax differs between dialects.
+//
+// §2 of the paper: Viewlogic allows condensed busing syntax ("A0" is bit 0
+// of bus A<0:15>) and postfix indicators ("myBus<0:15>-"); Composer requires
+// explicit syntax and rejects postfix characters. Translating names without
+// understanding this algebra silently changes connectivity.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/diagnostics.hpp"
+#include "schematic/dialect.hpp"
+
+namespace interop::sch {
+
+/// A parsed net reference.
+struct NetRef {
+  std::string base;                 ///< name without bits/postfix
+  /// Bit range when present: {msb, lsb} as written (either order legal).
+  std::optional<std::pair<int, int>> range;
+  /// Single-bit select when present ("A<3>" or condensed "A3").
+  std::optional<int> bit;
+  /// Trailing postfix indicator characters (e.g. "-"), Viewlogic-only.
+  std::string postfix;
+  /// True when `bit` came from condensed syntax ("A3" rather than "A<3>").
+  bool condensed = false;
+
+  bool is_scalar() const { return !range && !bit; }
+  /// Number of bits this reference denotes (1 for scalar/single-bit).
+  int width() const;
+  /// The individual bit indices, msb-first as written. Scalar -> empty.
+  std::vector<int> bits() const;
+
+  friend bool operator==(const NetRef&, const NetRef&) = default;
+};
+
+/// Parse `text` under `dialect` rules.
+///
+/// `known_buses` lists the base names of buses known on the sheet; condensed
+/// references ("A0") only parse as bus bits when the dialect allows condensed
+/// syntax AND the base name is a known bus — otherwise "A0" is a scalar net
+/// called "A0". This is exactly the ambiguity the paper warns about.
+NetRef parse_net_ref(const std::string& text, const Dialect& dialect,
+                     const std::vector<std::string>& known_buses = {});
+
+/// Render `ref` in `dialect` syntax. Illegal features (postfix, condensed)
+/// must have been removed by translate_net_ref first; this asserts on them.
+std::string format_net_ref(const NetRef& ref, const Dialect& dialect);
+
+/// Translate a reference from one dialect to another, reporting every
+/// adjustment through `diags`:
+///  - condensed bit refs become explicit ("A0" -> "A<0>"),
+///  - postfix indicators are folded into the base name to keep names unique
+///    ("myBus<0:15>-" -> "myBus_n<0:15>") per the paper's workaround,
+///  - characters illegal in the target dialect are replaced by '_'.
+NetRef translate_net_ref(const NetRef& ref, const Dialect& from,
+                         const Dialect& to, base::DiagnosticEngine& diags);
+
+/// Canonical per-bit net names used for connectivity comparison, independent
+/// of dialect syntax: "base" for scalars, "base[3]" for bits.
+std::vector<std::string> canonical_bits(const NetRef& ref);
+
+}  // namespace interop::sch

@@ -1,0 +1,50 @@
+#include "schematic/dialect.hpp"
+
+#include <cctype>
+
+namespace interop::sch {
+
+bool Dialect::legal_name_char(char c) const {
+  if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') return true;
+  if (c == bus_open || c == bus_close || c == bus_range_sep) return true;
+  if (allows_bus_postfix && (c == '-' || c == '+')) return true;
+  if (!global_suffix.empty() && global_suffix.find(c) != std::string::npos)
+    return true;
+  return false;
+}
+
+Dialect viewlogic_dialect() {
+  Dialect d;
+  d.name = "viewlogic";
+  d.grid = base::Grid(base::Rational(1, 10));  // 1/10 inch
+  d.pin_spacing = 2;                           // 2/10 inch
+  d.condensed_bus_refs = true;
+  d.allows_bus_postfix = true;
+  d.implicit_offpage_by_name = true;
+  d.requires_hier_connectors = false;
+  d.requires_offpage_connectors = false;
+  d.global_suffix.clear();
+  d.font.char_height_centi = 80;   // smaller characters...
+  d.font.char_width_centi = 50;
+  d.font.baseline_offset_centi = 20;  // ...drawn offset from the baseline
+  return d;
+}
+
+Dialect composer_dialect() {
+  Dialect d;
+  d.name = "composer";
+  d.grid = base::Grid(base::Rational(1, 16));  // 1/16 inch
+  d.pin_spacing = 2;                           // 2/16 inch
+  d.condensed_bus_refs = false;
+  d.allows_bus_postfix = false;
+  d.implicit_offpage_by_name = false;
+  d.requires_hier_connectors = true;
+  d.requires_offpage_connectors = true;
+  d.global_suffix = "!";
+  d.font.char_height_centi = 100;
+  d.font.char_width_centi = 60;
+  d.font.baseline_offset_centi = 0;
+  return d;
+}
+
+}  // namespace interop::sch

@@ -1,0 +1,74 @@
+#pragma once
+// Tool dialects: the conventions in which two schematic tools legitimately
+// differ, straight from §2 of the paper.
+//
+//   - drawing grid (Viewlogic 1/10", Composer 1/16") and pin spacing
+//   - bus syntax (condensed "A0" vs explicit "A<0>", postfix indicators)
+//   - connectivity rules (implicit same-name cross-page joins vs mandatory
+//     off-page connectors; implicit hierarchy vs explicit hier ports)
+//   - font metrics (character size and baseline origin offset)
+//   - global net conventions
+
+#include <string>
+
+#include "base/units.hpp"
+#include "schematic/model.hpp"
+
+namespace interop::sch {
+
+/// Font metrics: how text anchored at an origin point is actually drawn.
+struct FontMetrics {
+  /// Height of a character cell, in 1/100ths of the grid pitch.
+  std::int64_t char_height_centi = 100;
+  /// Width of a character cell, same units.
+  std::int64_t char_width_centi = 60;
+  /// Offset from the anchor origin down to the glyph baseline, same units.
+  /// Viewlogic draws glyphs offset from the baseline; translating text
+  /// without correcting this is the paper's "E appears as F" bug.
+  std::int64_t baseline_offset_centi = 0;
+};
+
+/// The complete convention set of one schematic tool.
+struct Dialect {
+  std::string name;
+
+  base::Grid grid;                  ///< legal coordinate pitch
+  std::int64_t pin_spacing = 2;     ///< pin pitch in grid units
+
+  // --- bus net-name syntax ---
+  /// "A0" names bit 0 of bus A when a bus A<l:r> exists on the sheet.
+  bool condensed_bus_refs = false;
+  /// Trailing - or + "postfix indicators" are legal parts of a net name.
+  bool allows_bus_postfix = false;
+  char bus_open = '<';
+  char bus_close = '>';
+  char bus_range_sep = ':';
+
+  // --- connectivity rules ---
+  /// Same-named labeled nets on *different pages* connect implicitly.
+  bool implicit_offpage_by_name = false;
+  /// Hierarchy ports must exist as explicit connector instances; a label on
+  /// a dangling wire is NOT a port.
+  bool requires_hier_connectors = false;
+  /// Off-page joins require explicit off-page connector instances.
+  bool requires_offpage_connectors = false;
+
+  // --- globals ---
+  /// Net names with this suffix are global across the whole design
+  /// (Cadence convention: "vdd!"). Empty = no suffix convention; globals
+  /// come only from GlobalNet symbols.
+  std::string global_suffix;
+
+  FontMetrics font;
+
+  /// True when `c` may appear in a net-name identifier in this dialect.
+  bool legal_name_char(char c) const;
+};
+
+/// The Viewlogic-Viewdraw-like source dialect of the Exar migration.
+Dialect viewlogic_dialect();
+
+/// The Cadence-Composer-like target dialect of the Exar migration.
+Dialect composer_dialect();
+
+}  // namespace interop::sch

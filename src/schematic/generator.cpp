@@ -1,0 +1,415 @@
+#include "schematic/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/rng.hpp"
+
+namespace interop::sch {
+
+namespace {
+
+SymbolDef component(const std::string& lib, const std::string& cell,
+                    const std::string& view, Rect body,
+                    std::vector<SymbolPin> pins, base::Grid grid) {
+  SymbolDef def;
+  def.key = {lib, cell, view};
+  def.role = SymbolRole::Component;
+  def.body = body;
+  def.pins = std::move(pins);
+  def.grid = grid;
+  return def;
+}
+
+SymbolDef special(const std::string& lib, const std::string& cell,
+                  const std::string& view, SymbolRole role, base::Grid grid,
+                  const std::string& global_net = {}) {
+  SymbolDef def;
+  def.key = {lib, cell, view};
+  def.role = role;
+  def.body = Rect::from_xywh(0, 0, 2, 2);
+  def.pins = {{"P", {1, 0}, PinDir::Inout}};
+  def.grid = grid;
+  if (!global_net.empty()) def.default_props.set("global_net", global_net);
+  return def;
+}
+
+// Baseline offset the source tool would store for text of height h.
+std::int64_t vl_baseline(std::int64_t height) {
+  return (viewlogic_dialect().font.baseline_offset_centi * height + 50) / 100;
+}
+
+TextLabel make_text(const std::string& text, Point origin) {
+  TextLabel t;
+  t.text = text;
+  t.origin = origin;
+  t.height = 5;
+  t.baseline_offset = vl_baseline(t.height);
+  return t;
+}
+
+}  // namespace
+
+void add_source_library(Design& design, const std::string& cell,
+                        const std::vector<SymbolPin>& cell_pins) {
+  base::Grid g = viewlogic_dialect().grid;
+  design.add_symbol(component("vl_lib", "vl_nand2", "sym",
+                              Rect::from_xywh(0, 0, 6, 4),
+                              {{"A", {0, 3}, PinDir::Input},
+                               {"B", {0, 1}, PinDir::Input},
+                               {"Y", {6, 2}, PinDir::Output}},
+                              g));
+  design.add_symbol(component("vl_lib", "vl_inv", "sym",
+                              Rect::from_xywh(0, 0, 4, 4),
+                              {{"A", {0, 2}, PinDir::Input},
+                               {"Y", {4, 2}, PinDir::Output}},
+                              g));
+  design.add_symbol(component("vl_lib", "vl_res", "sym",
+                              Rect::from_xywh(0, 0, 4, 2),
+                              {{"P", {0, 1}, PinDir::Inout},
+                               {"N", {4, 1}, PinDir::Inout}},
+                              g));
+  design.add_symbol(component("vl_lib", "vl_cap", "sym",
+                              Rect::from_xywh(0, 0, 4, 2),
+                              {{"P", {0, 1}, PinDir::Inout},
+                               {"N", {4, 1}, PinDir::Inout}},
+                              g));
+  design.add_symbol(
+      special("vl_lib", "vl_vdd", "sym", SymbolRole::GlobalNet, g, "VDD"));
+  design.add_symbol(
+      special("vl_lib", "vl_gnd", "sym", SymbolRole::GlobalNet, g, "GND"));
+
+  // The cell's own symbol (defines its ports for implicit-port extraction).
+  SymbolDef cellsym;
+  cellsym.key = {"design_lib", cell, "sym"};
+  cellsym.role = SymbolRole::Component;
+  cellsym.body = Rect::from_xywh(0, 0, 10,
+                                 2 * std::int64_t(cell_pins.size()) + 2);
+  cellsym.pins = cell_pins;
+  cellsym.grid = g;
+  design.add_symbol(std::move(cellsym));
+}
+
+std::vector<SymbolDef> make_target_library() {
+  base::Grid g = composer_dialect().grid;
+  std::vector<SymbolDef> out;
+  out.push_back(component("cd_lib", "cd_nand2", "symbol",
+                          Rect::from_xywh(0, 0, 5, 4),
+                          {{"IN1", {0, 3}, PinDir::Input},
+                           {"IN2", {0, 1}, PinDir::Input},
+                           {"OUT", {5, 2}, PinDir::Output}},
+                          g));
+  out.push_back(component("cd_lib", "cd_inv", "symbol",
+                          Rect::from_xywh(0, 0, 3, 4),
+                          {{"IN", {0, 2}, PinDir::Input},
+                           {"OUT", {3, 2}, PinDir::Output}},
+                          g));
+  out.push_back(component("cd_lib", "cd_res", "symbol",
+                          Rect::from_xywh(0, 0, 3, 2),
+                          {{"PLUS", {0, 1}, PinDir::Inout},
+                           {"MINUS", {3, 1}, PinDir::Inout}},
+                          g));
+  out.push_back(component("cd_lib", "cd_cap", "symbol",
+                          Rect::from_xywh(0, 0, 3, 2),
+                          {{"PLUS", {0, 1}, PinDir::Inout},
+                           {"MINUS", {3, 1}, PinDir::Inout}},
+                          g));
+  out.push_back(
+      special("cd_lib", "cd_vdd", "symbol", SymbolRole::GlobalNet, g, "VDD"));
+  out.push_back(
+      special("cd_lib", "cd_gnd", "symbol", SymbolRole::GlobalNet, g, "GND"));
+  out.push_back(special("connectors", "ipin", "symbol", SymbolRole::HierPort,
+                        g));
+  out.push_back(special("connectors", "opin", "symbol", SymbolRole::HierPort,
+                        g));
+  out.push_back(special("connectors", "iopin", "symbol", SymbolRole::HierPort,
+                        g));
+  out.push_back(special("connectors", "offpage", "symbol", SymbolRole::OffPage,
+                        g));
+  return out;
+}
+
+SymbolMap make_standard_symbol_map() {
+  SymbolMap map;
+  map.add({{"vl_lib", "vl_nand2", "sym"},
+           {"cd_lib", "cd_nand2", "symbol"},
+           {0, 0},
+           base::Orient::R0,
+           {{"A", "IN1"}, {"B", "IN2"}, {"Y", "OUT"}}});
+  map.add({{"vl_lib", "vl_inv", "sym"},
+           {"cd_lib", "cd_inv", "symbol"},
+           {0, 0},
+           base::Orient::R0,
+           {{"A", "IN"}, {"Y", "OUT"}}});
+  map.add({{"vl_lib", "vl_res", "sym"},
+           {"cd_lib", "cd_res", "symbol"},
+           {0, 0},
+           base::Orient::R0,
+           {{"P", "PLUS"}, {"N", "MINUS"}}});
+  map.add({{"vl_lib", "vl_cap", "sym"},
+           {"cd_lib", "cd_cap", "symbol"},
+           {0, 0},
+           base::Orient::R0,
+           {{"P", "PLUS"}, {"N", "MINUS"}}});
+  return map;
+}
+
+GlobalMap make_standard_global_map() {
+  GlobalMap map;
+  map.add({"VDD", {"cd_lib", "cd_vdd", "symbol"}, {0, 0}, base::Orient::R0});
+  map.add({"GND", {"cd_lib", "cd_gnd", "symbol"}, {0, 0}, base::Orient::R0});
+  return map;
+}
+
+PropertyRuleSet make_standard_property_rules() {
+  PropertyRuleSet rules;
+  rules.rules.push_back({PropertyRule::Kind::Rename, "", "REFDES", "instName",
+                         base::PropertyValue{}, ""});
+  rules.rules.push_back({PropertyRule::Kind::Delete, "", "VL_INTERNAL", "",
+                         base::PropertyValue{}, ""});
+  rules.rules.push_back({PropertyRule::Kind::Add, "", "lvsIgnore", "",
+                         base::PropertyValue("false"), ""});
+  rules.rules.push_back({PropertyRule::Kind::ChangeValue, "", "SPEED", "",
+                         base::PropertyValue("FAST"), "fast"});
+
+  // The analog reformatting callback: "model=<name>:<res>:<cap>" becomes
+  // three separate properties on the target system (§2, non-standard
+  // property mapping).
+  const char* kSplitModel = R"AL(
+    (lambda (obj)
+      (if (prop-has? obj "model")
+          (let ((parts (string-split (prop-get obj "model") ":")))
+            (if (= (length parts) 3)
+                (begin
+                  (prop-set! obj "model" (nth parts 0))
+                  (prop-set! obj "res"   (nth parts 1))
+                  (prop-set! obj "cap"   (nth parts 2)))
+                nil))
+          nil))
+  )AL";
+  rules.callbacks.push_back({"vl_res", kSplitModel});
+  rules.callbacks.push_back({"vl_cap", kSplitModel});
+  return rules;
+}
+
+Scenario make_exar_scenario(const GeneratorOptions& opt) {
+  base::Rng rng(opt.seed);
+
+  // --- cell ports ---
+  std::vector<SymbolPin> cell_pins;
+  for (int p = 0; p < opt.ports; ++p) {
+    std::string name = "P" + std::string(1, char('A' + p % 26));
+    cell_pins.push_back({name, {0, 2 * (p + 1)},
+                         p % 2 == 0 ? PinDir::Input : PinDir::Output});
+  }
+
+  Scenario scenario{Design(viewlogic_dialect().grid), {}};
+  Design& design = scenario.source;
+  add_source_library(design, "top", cell_pins);
+
+  Schematic sch;
+  sch.cell = "top";
+
+  const std::vector<std::string> kinds = {"vl_nand2", "vl_inv", "vl_res",
+                                          "vl_cap"};
+
+  struct FreePin {
+    std::string inst;
+    Point pos;
+  };
+  // Per-sheet free pins.
+  std::vector<std::vector<FreePin>> free_pins(std::size_t(opt.sheets));
+
+  // Pins each sheet must be able to supply (nets, ports, buses, condensed
+  // refs, postfix nets, cross-page nets, global taps). Under-provisioned
+  // sheets get filler components so every requested feature materializes.
+  std::vector<int> pins_needed(std::size_t(opt.sheets), opt.nets_per_sheet * 2);
+  if (opt.sheets > 0) pins_needed[0] += opt.ports * 2;
+  for (int b = 0; b < opt.buses; ++b) {
+    pins_needed[std::size_t(b % opt.sheets)] += 2;
+    if (b < opt.condensed_refs)
+      pins_needed[std::size_t((b + 1) % opt.sheets)] += 2;
+  }
+  for (int p = 0; p < opt.postfix_nets; ++p)
+    pins_needed[std::size_t(p % opt.sheets)] += 2;
+  for (int x = 0; x < opt.cross_page_nets && opt.sheets >= 2; ++x) {
+    pins_needed[std::size_t(x % opt.sheets)] += 2;
+    pins_needed[std::size_t((x + 1) % opt.sheets)] += 2;
+  }
+  for (int g = 0; g < opt.global_taps; ++g)
+    pins_needed[std::size_t(g % opt.sheets)] += 1;
+
+  int inst_counter = 0;
+  for (int s = 0; s < opt.sheets; ++s) {
+    Sheet sheet;
+    sheet.number = s + 1;
+
+    for (int c = 0;
+         c < opt.components_per_sheet ||
+         int(free_pins[std::size_t(s)].size()) < pins_needed[std::size_t(s)];
+         ++c) {
+      std::string kind = kinds[rng.index(kinds.size())];
+      Instance inst;
+      inst.name = "U" + std::to_string(++inst_counter);
+      inst.symbol = {"vl_lib", kind, "sym"};
+      std::int64_t col = c % 6;
+      std::int64_t row = c / 6;
+      inst.placement =
+          Transform(base::Orient::R0, {col * 16, row * 12 + 4});
+      inst.props.set("REFDES", inst.name);
+      if (rng.chance(0.3)) inst.props.set("VL_INTERNAL", "x");
+      if (rng.chance(0.5)) inst.props.set("SPEED", "fast");
+      if ((kind == "vl_res" || kind == "vl_cap") &&
+          rng.chance(opt.analog_fraction)) {
+        inst.props.set("model", kind == "vl_res" ? "rmod:4.7k:0.2p"
+                                                 : "cmod:1.0:3.3p");
+      }
+      inst.attached_text.push_back(make_text(
+          inst.name, inst.placement.offset() + Point{0, -1}));
+
+      const SymbolDef* def = design.find_symbol(inst.symbol);
+      for (const SymbolPin& pin : def->pins)
+        free_pins[std::size_t(s)].push_back(
+            {inst.name, inst.placement.apply(pin.pos)});
+      sheet.instances.push_back(std::move(inst));
+    }
+    rng.shuffle(free_pins[std::size_t(s)]);
+    sch.sheets.push_back(std::move(sheet));
+  }
+
+  // Routing-resource allocators. Every net gets its own horizontal channel
+  // track (unique y per sheet), and every pin drop gets its own vertical
+  // channel column (unique x, on a residue no pin column ever uses). This
+  // mirrors how real schematics are drawn — wires do not sit on top of each
+  // other — and guarantees that distinct nets never share a wire endpoint.
+  std::vector<std::int64_t> next_track(std::size_t(opt.sheets), -4);
+  std::vector<std::int64_t> next_drop(std::size_t(opt.sheets), 9);
+  auto take_pin = [&](int s) -> std::optional<FreePin> {
+    auto& pool = free_pins[std::size_t(s)];
+    if (pool.empty()) return std::nullopt;
+    FreePin p = pool.back();
+    pool.pop_back();
+    return p;
+  };
+  // Wire `count` pins together on sheet `s` via a fresh channel track and
+  // label the track `label` (empty = unlabeled). Returns false when the
+  // sheet has too few free pins left.
+  auto make_net = [&](int s, int count, const std::string& label) {
+    Sheet& sheet = sch.sheets[std::size_t(s)];
+    std::vector<FreePin> pins;
+    for (int i = 0; i < count; ++i) {
+      auto p = take_pin(s);
+      if (!p) break;
+      pins.push_back(*p);
+    }
+    if (pins.size() < 2) return false;
+    std::int64_t track = next_track[std::size_t(s)];
+    next_track[std::size_t(s)] -= 2;
+    std::int64_t min_x = 0, max_x = 0;
+    std::vector<std::int64_t> drops;
+    for (const FreePin& p : pins) {
+      // pin -> 1 below -> over to the drop column -> down to the track.
+      std::int64_t drop_x = next_drop[std::size_t(s)];
+      next_drop[std::size_t(s)] += 16;
+      Point below{p.pos.x, p.pos.y - 1};
+      Point over{drop_x, p.pos.y - 1};
+      sheet.wires.push_back({p.pos, below});
+      sheet.wires.push_back({below, over});
+      sheet.wires.push_back({over, {drop_x, track}});
+      drops.push_back(drop_x);
+      if (drops.size() == 1) min_x = max_x = drop_x;
+      min_x = std::min(min_x, drop_x);
+      max_x = std::max(max_x, drop_x);
+    }
+    if (min_x != max_x)
+      sheet.wires.push_back({{min_x, track}, {max_x, track}});
+    // Junctions where interior drops meet the track.
+    for (std::int64_t drop_x : drops)
+      if (drop_x != min_x && drop_x != max_x)
+        sheet.junctions.push_back({drop_x, track});
+    if (!label.empty()) {
+      NetLabel nl;
+      nl.text = label;
+      nl.at = {min_x, track};
+      nl.visual = make_text(label, {min_x, track - 1});
+      sheet.labels.push_back(nl);
+    }
+    return true;
+  };
+
+  int net_counter = 0;
+  // Plain two-pin nets.
+  for (int s = 0; s < opt.sheets; ++s)
+    for (int n = 0; n < opt.nets_per_sheet; ++n)
+      make_net(s, 2, "n" + std::to_string(++net_counter));
+
+  // Port nets (sheet 0): labels matching the cell symbol's pin names.
+  for (const SymbolPin& pin : cell_pins) make_net(0, 2, pin.name);
+
+  // Buses: explicit range labels.
+  for (int b = 0; b < opt.buses; ++b) {
+    std::string base_name = "D" + std::string(1, char('A' + b % 26));
+    int s = b % opt.sheets;
+    make_net(s, 2,
+             base_name + "<0:" + std::to_string(opt.bus_width - 1) + ">");
+    // Condensed references to a bit of this bus, possibly on another page.
+    if (b < opt.condensed_refs) {
+      int s2 = (b + 1) % opt.sheets;
+      make_net(s2, 2, base_name + "2");
+    }
+  }
+
+  // Postfix-indicator nets.
+  for (int p = 0; p < opt.postfix_nets; ++p) {
+    std::string name = "ack" + std::string(1, char('a' + p % 26)) + "-";
+    make_net(p % opt.sheets, 2, name);
+  }
+
+  // Cross-page nets: same label on two pages.
+  for (int x = 0; x < opt.cross_page_nets && opt.sheets >= 2; ++x) {
+    std::string name = "xp" + std::to_string(x);
+    int s1 = x % opt.sheets;
+    int s2 = (x + 1) % opt.sheets;
+    make_net(s1, 2, name);
+    make_net(s2, 2, name);
+  }
+
+  // Global taps: vl_vdd / vl_gnd symbols wired to free pins.
+  for (int g = 0; g < opt.global_taps; ++g) {
+    int s = g % opt.sheets;
+    auto p = take_pin(s);
+    if (!p) break;
+    Sheet& sheet = sch.sheets[std::size_t(s)];
+    Instance tap;
+    tap.name = std::string(g % 2 == 0 ? "VDD" : "GND") + std::to_string(g);
+    tap.symbol = {"vl_lib", g % 2 == 0 ? "vl_vdd" : "vl_gnd", "sym"};
+    // Tap sideways (never through the pin column below, where other pins
+    // of the same component sit): pin P (local {1,0}) 2 units to the left.
+    Point tap_pin{p->pos.x - 2, p->pos.y};
+    tap.placement = Transform(base::Orient::R0, tap_pin - Point{1, 0});
+    sheet.wires.push_back({p->pos, tap_pin});
+    sheet.instances.push_back(std::move(tap));
+  }
+
+  // Sheet frames: bounding box with margin.
+  for (std::size_t s = 0; s < sch.sheets.size(); ++s) {
+    std::int64_t top = 4 + 12 * (opt.components_per_sheet / 6 + 4);
+    std::int64_t right = std::max<std::int64_t>(6 * 16 + 16, next_drop[s] + 8);
+    sch.sheets[s].frame =
+        Rect(Point{-8, next_track[s] - 4}, Point{right, top});
+  }
+
+  design.add_schematic(std::move(sch));
+
+  // --- configuration ---
+  MigrationConfig& config = scenario.config;
+  config.source = viewlogic_dialect();
+  config.target = composer_dialect();
+  config.symbol_map = make_standard_symbol_map();
+  config.global_map = make_standard_global_map();
+  config.property_rules = make_standard_property_rules();
+  config.target_symbols = make_target_library();
+  return scenario;
+}
+
+}  // namespace interop::sch

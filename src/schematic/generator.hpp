@@ -1,0 +1,69 @@
+#pragma once
+// Workload generator: synthetic Viewlogic-style designs exhibiting every §2
+// issue, plus the target library and mapping tables needed to migrate them.
+// Used by tests, examples, and the F1/T2 bench binaries.
+
+#include <cstdint>
+
+#include "schematic/migrate.hpp"
+
+namespace interop::sch {
+
+struct GeneratorOptions {
+  std::uint64_t seed = 1;
+  int sheets = 2;
+  int components_per_sheet = 12;
+  /// Two-pin nets between component pins, per sheet.
+  int nets_per_sheet = 8;
+  /// Buses (explicit range label) per design; each gets two attached pins.
+  int buses = 2;
+  int bus_width = 4;
+  /// Additional nets referenced in condensed syntax ("D2") per design.
+  int condensed_refs = 2;
+  /// Nets carrying a postfix indicator ("ack-") per design.
+  int postfix_nets = 2;
+  /// Nets labeled on more than one page (implicit off-page joins).
+  int cross_page_nets = 2;
+  /// Attach VDD/GND global symbols to this many components.
+  int global_taps = 4;
+  /// Give this fraction of components an analog "model" property that needs
+  /// an a/L callback to split into multiple target properties.
+  double analog_fraction = 0.3;
+  /// Number of hierarchy ports on the cell (labeled nets matching the
+  /// cell's own symbol pins).
+  int ports = 2;
+};
+
+/// A complete migration scenario: the Viewlogic-style source design plus the
+/// configuration (target library, symbol/property/global maps, dialects)
+/// that migrates it.
+struct Scenario {
+  Design source;
+  MigrationConfig config;
+};
+
+/// Build the standard source (Viewlogic-style) symbol library.
+/// Includes vl_nand2, vl_inv, vl_res, vl_cap, vl_vdd, vl_gnd and the cell
+/// symbol for `cell`.
+void add_source_library(Design& design, const std::string& cell,
+                        const std::vector<SymbolPin>& cell_pins);
+
+/// The standard target (Composer-style) library, connector symbols included.
+std::vector<SymbolDef> make_target_library();
+
+/// The standard symbol map between the two libraries (different pin names,
+/// origin offsets, rotation codes).
+SymbolMap make_standard_symbol_map();
+
+/// The standard global map (vl_vdd/vl_gnd -> cd_vdd/cd_gnd).
+GlobalMap make_standard_global_map();
+
+/// The standard property rules: renames (REFDES->instName), deletions
+/// (VL_INTERNAL), additions (lvsIgnore), and the analog "model" a/L callback
+/// splitting "model=<name>:<r>:<c>" into model / res / cap properties.
+PropertyRuleSet make_standard_property_rules();
+
+/// Generate a random migration scenario under `opt`.
+Scenario make_exar_scenario(const GeneratorOptions& opt);
+
+}  // namespace interop::sch

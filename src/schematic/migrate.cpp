@@ -1,0 +1,401 @@
+#include "schematic/migrate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/strings.hpp"
+
+namespace interop::sch {
+
+namespace {
+
+// ---------------------------------------------------------------- scaling
+
+struct Scaler {
+  const base::Grid& from;
+  const base::Grid& to;
+  ScalePolicy policy;
+  MigrationReport& report;
+
+  std::int64_t coord(std::int64_t v) {
+    if (policy == ScalePolicy::PreserveGridUnits) return v;
+    ++report.points_rescaled;
+    if (auto exact = base::rescale_exact(v, from, to)) return *exact;
+    ++report.points_snapped;
+    return base::rescale_snapped(v, from, to);
+  }
+
+  Point point(const Point& p) { return {coord(p.x), coord(p.y)}; }
+  Segment segment(const Segment& s) { return {point(s.a), point(s.b)}; }
+  Rect rect(const Rect& r) { return Rect(point(r.lo()), point(r.hi())); }
+  Transform transform(const Transform& t) {
+    return Transform(t.orient(), point(t.offset()));
+  }
+};
+
+// Baseline offset in grid units for text of `height` under `font`.
+std::int64_t baseline_units(const FontMetrics& font, std::int64_t height) {
+  return (font.baseline_offset_centi * height + 50) / 100;
+}
+
+// -------------------------------------------------------- attach helper
+
+/// Make `at` a legal pin-connection point on `sheet`: if it is interior to a
+/// wire (not an endpoint), drop a junction dot there.
+void ensure_connectable(Sheet& sheet, const Point& at) {
+  bool endpoint = false;
+  bool interior = false;
+  for (const Segment& w : sheet.wires) {
+    if (w.a == at || w.b == at) endpoint = true;
+    else if (w.contains(at)) interior = true;
+  }
+  if (!endpoint && interior &&
+      std::find(sheet.junctions.begin(), sheet.junctions.end(), at) ==
+          sheet.junctions.end())
+    sheet.junctions.push_back(at);
+}
+
+}  // namespace
+
+MigrationResult migrate_design(const Design& src,
+                               const MigrationConfig& config,
+                               base::DiagnosticEngine& diags) {
+  MigrationResult result{Design(config.target.grid), {}};
+  Design& out = result.design;
+  MigrationReport& report = result.report;
+
+  Scaler scaler{src.grid(), config.target.grid, config.scale_policy, report};
+
+  // ---- target library symbols ----
+  for (const SymbolDef& def : config.target_symbols) out.add_symbol(def);
+
+  // ---- source symbols that are not being replaced come along, rescaled ----
+  for (const auto& [key, def] : src.symbols()) {
+    if (config.symbol_map.find(key)) continue;  // replaced; target copy exists
+    if (out.find_symbol(key)) continue;
+    SymbolDef copy = def;
+    copy.grid = config.target.grid;
+    copy.body = scaler.rect(def.body);
+    for (SymbolPin& pin : copy.pins) pin.pos = scaler.point(pin.pos);
+    out.add_symbol(std::move(copy));
+  }
+
+  CallbackHost callbacks;
+
+  for (const auto& [cell, sch_src] : src.schematics()) {
+    Schematic sch;
+    sch.cell = cell;
+    sch.props = sch_src.props;
+
+    // Step 3 on schematic-level properties.
+    apply_property_rules(config.property_rules, cell, sch.props, report.props,
+                         diags);
+
+    // Known buses for condensed-ref parsing (source dialect, whole cell).
+    std::vector<std::string> known_buses;
+    for (const Sheet& sheet : sch_src.sheets)
+      for (const NetLabel& label : sheet.labels) {
+        NetRef ref = parse_net_ref(label.text, config.source);
+        if (ref.range) known_buses.push_back(ref.base);
+      }
+    std::sort(known_buses.begin(), known_buses.end());
+    known_buses.erase(std::unique(known_buses.begin(), known_buses.end()),
+                      known_buses.end());
+
+    auto translate_text = [&](const std::string& text) {
+      NetRef ref = parse_net_ref(text, config.source, known_buses);
+      NetRef tref =
+          translate_net_ref(ref, config.source, config.target, diags);
+      return format_net_ref(tref, config.target);
+    };
+
+    // Canonical label name -> pages it appears on (for off-page connectors).
+    std::map<std::string, std::set<int>> label_pages;
+
+    for (const Sheet& sheet_src : sch_src.sheets) {
+      ++report.sheets;
+      Sheet sheet;
+      sheet.number = sheet_src.number;
+      sheet.frame = scaler.rect(sheet_src.frame);
+
+      // ---- step 1: scale geometry while copying ----
+      for (const Segment& w : sheet_src.wires)
+        sheet.wires.push_back(scaler.segment(w));
+      for (const Point& j : sheet_src.junctions)
+        sheet.junctions.push_back(scaler.point(j));
+      for (const Instance& inst_src : sheet_src.instances) {
+        Instance inst = inst_src;
+        inst.placement = scaler.transform(inst_src.placement);
+        for (TextLabel& t : inst.attached_text) t.origin = scaler.point(t.origin);
+        sheet.instances.push_back(std::move(inst));
+      }
+      for (const NetLabel& l : sheet_src.labels) {
+        NetLabel label = l;
+        label.at = scaler.point(l.at);
+        label.visual.origin = scaler.point(l.visual.origin);
+        sheet.labels.push_back(std::move(label));
+      }
+      for (const TextLabel& t : sheet_src.notes) {
+        TextLabel note = t;
+        note.origin = scaler.point(t.origin);
+        sheet.notes.push_back(std::move(note));
+      }
+
+      // ---- step 2: instance property mapping + a/L callbacks ----
+      for (Instance& inst : sheet.instances) {
+        apply_property_rules(config.property_rules, inst.symbol.cell,
+                             inst.props, report.props, diags);
+        for (const CallbackRule& rule : config.property_rules.callbacks) {
+          if (callbacks.run(rule, inst.symbol.cell, inst.props, diags))
+            ++report.props.callbacks_run;
+        }
+      }
+
+      // ---- step 3: symbol replacement with rip-up / reroute ----
+      // (collect names first: replace_component mutates the instance list)
+      std::vector<std::pair<std::string, const SymbolMapEntry*>> replacements;
+      for (const Instance& inst : sheet.instances)
+        if (const SymbolMapEntry* entry = config.symbol_map.find(inst.symbol))
+          replacements.emplace_back(inst.name, entry);
+      for (const auto& [name, entry] : replacements) {
+        const SymbolDef* to_def = out.find_symbol(entry->to);
+        const SymbolDef* from_def = src.find_symbol(entry->from);
+        if (!to_def || !from_def) {
+          diags.error("replacement-symbol-missing",
+                      "target library lacks symbol " + entry->to.str(),
+                      {"sch.replace", name});
+          continue;
+        }
+        // Pin positions must be located on the already-rescaled sheet.
+        SymbolDef from_scaled = *from_def;
+        for (SymbolPin& pin : from_scaled.pins)
+          pin.pos = scaler.point(pin.pos);
+        replace_component(sheet, name, *entry, from_scaled, *to_def,
+                          config.ripup_policy, report.ripup, diags);
+      }
+
+      // ---- step 4: bus syntax translation on labels ----
+      for (NetLabel& label : sheet.labels) {
+        std::string translated = translate_text(label.text);
+        if (translated != label.text) ++report.labels_translated;
+        label.text = translated;
+        label.visual.text = translated;
+      }
+
+      // ---- step 7 (part a): global symbol replacement ----
+      for (Instance& inst : sheet.instances) {
+        const SymbolDef* def = src.find_symbol(inst.symbol)
+                                   ? src.find_symbol(inst.symbol)
+                                   : out.find_symbol(inst.symbol);
+        if (!def || def->role != SymbolRole::GlobalNet) continue;
+        std::string net = def->default_props.get_text("global_net",
+                                                      def->key.cell);
+        const GlobalMapEntry* gm = config.global_map.find(net);
+        if (!gm) {
+          diags.warn("global-unmapped",
+                     "no global mapping for net '" + net + "'",
+                     {"sch.globals", inst.name});
+          continue;
+        }
+        inst.symbol = gm->to_symbol;
+        inst.placement = Transform(gm->rotation, gm->origin_offset) *
+                         inst.placement;
+        ++report.globals_replaced;
+      }
+
+      // Record label pages for step 6 (post-translation names).
+      for (const NetLabel& label : sheet.labels) {
+        NetRef ref = parse_net_ref(label.text, config.target);
+        for (const std::string& bit : canonical_bits(ref))
+          label_pages[bit].insert(sheet.number);
+        // Track by base name too so bus labels of differing ranges join.
+        label_pages[ref.base].insert(sheet.number);
+      }
+
+      sch.sheets.push_back(std::move(sheet));
+    }
+
+    // Place a connector so that its (single) pin lands exactly on `at`.
+    auto connector_placement = [&out, &diags](const SymbolKey& key,
+                                              const Point& at) {
+      Point pin_local{0, 0};
+      if (const SymbolDef* def = out.find_symbol(key)) {
+        if (!def->pins.empty()) pin_local = def->pins.front().pos;
+      } else {
+        diags.error("connector-symbol-missing",
+                    "target library lacks connector symbol " + key.str(),
+                    {"sch.connect", key.str()});
+      }
+      return Transform(base::Orient::R0, at - pin_local);
+    };
+
+    // ---- step 5: hierarchy connectors ----
+    if (config.target.requires_hier_connectors) {
+      const SymbolDef* cell_symbol = nullptr;
+      for (const auto& [key, def] : src.symbols())
+        if (key.cell == cell && def.role == SymbolRole::Component)
+          cell_symbol = &def;
+      if (cell_symbol) {
+        for (const SymbolPin& pin : cell_symbol->pins) {
+          std::string want = translate_text(pin.name);
+          bool placed = false;
+          for (Sheet& sheet : sch.sheets) {
+            for (const NetLabel& label : sheet.labels) {
+              if (label.text != want) continue;
+              SymbolKey key = pin.dir == PinDir::Input    ? config.hier_in
+                              : pin.dir == PinDir::Output ? config.hier_out
+                                                          : config.hier_inout;
+              Instance conn;
+              conn.name = "PORT_" + want;
+              conn.symbol = key;
+              conn.placement = connector_placement(key, label.at);
+              conn.props.set("port", want);
+              conn.props.set("dir", to_string(pin.dir));
+              ensure_connectable(sheet, label.at);
+              sheet.instances.push_back(std::move(conn));
+              ++report.hier_connectors_added;
+              placed = true;
+              break;
+            }
+            if (placed) break;
+          }
+          if (!placed)
+            diags.warn("hier-port-unlabeled",
+                       "cell " + cell + ": no labeled net found for port '" +
+                           pin.name + "'; hierarchy connector not added",
+                       {"sch.hier", cell});
+        }
+      }
+    }
+
+    // ---- step 6: off-page connectors ----
+    if (config.target.requires_offpage_connectors) {
+      for (const auto& [name, pages] : label_pages) {
+        if (pages.size() < 2) continue;
+        if (base::ends_with(name, config.target.global_suffix) &&
+            !config.target.global_suffix.empty())
+          continue;  // globals connect by themselves
+        for (Sheet& sheet : sch.sheets) {
+          if (!pages.count(sheet.number)) continue;
+          // Find the label with this name on this page.
+          for (const NetLabel& label : sheet.labels) {
+            NetRef ref = parse_net_ref(label.text, config.target);
+            bool match = ref.base == name;
+            if (!match) {
+              for (const std::string& bit : canonical_bits(ref))
+                if (bit == name) match = true;
+            }
+            if (!match) continue;
+            Instance conn;
+            conn.name = "OFFPAGE_" + name + "_p" +
+                        std::to_string(sheet.number);
+            conn.symbol = config.offpage;
+            conn.placement = connector_placement(config.offpage, label.at);
+            conn.props.set("net", label.text);
+            ensure_connectable(sheet, label.at);
+            sheet.instances.push_back(std::move(conn));
+            ++report.offpage_connectors_added;
+            break;
+          }
+        }
+      }
+    }
+
+    // ---- step 8: cosmetics (fonts / baseline offsets) ----
+    auto fix_text = [&](TextLabel& t) {
+      std::int64_t src_bo = baseline_units(config.source.font, t.height);
+      std::int64_t dst_bo = baseline_units(config.target.font, t.height);
+      if (t.baseline_offset != dst_bo || src_bo != dst_bo) {
+        // Preserve the visual baseline: baseline = origin.y - offset.
+        t.origin.y = t.origin.y - t.baseline_offset + dst_bo;
+        t.baseline_offset = dst_bo;
+        ++report.texts_adjusted;
+      }
+    };
+    for (Sheet& sheet : sch.sheets) {
+      for (NetLabel& label : sheet.labels) fix_text(label.visual);
+      for (TextLabel& note : sheet.notes) fix_text(note);
+      for (Instance& inst : sheet.instances)
+        for (TextLabel& t : inst.attached_text) fix_text(t);
+    }
+
+    out.add_schematic(std::move(sch));
+  }
+
+  return result;
+}
+
+std::vector<NetlistDiff> verify_migration(const Design& src,
+                                          const Design& migrated,
+                                          const MigrationConfig& config,
+                                          base::DiagnosticEngine& diags) {
+  std::vector<NetlistDiff> all;
+
+  // Rewrite a golden canonical name the way translation would have.
+  auto normalize_name = [&config](const std::string& name) {
+    std::string out;
+    bool in_bits = false;
+    for (char c : name) {
+      if (c == '[') in_bits = true;
+      if (c == ']') in_bits = false;
+      if (in_bits || c == ']' || config.target.legal_name_char(c))
+        out += c;
+      else
+        out += '_';
+    }
+    return out;
+  };
+
+  for (const auto& [cell, sch_src] : src.schematics()) {
+    const Schematic* sch_dst = migrated.find_schematic(cell);
+    if (!sch_dst) {
+      all.push_back({NetlistDiff::Kind::MissingNet, cell,
+                     "whole cell missing from migrated design"});
+      continue;
+    }
+
+    Netlist golden = extract_netlist(src, sch_src, config.source, diags);
+    Netlist subject =
+        extract_netlist(migrated, *sch_dst, config.target, diags);
+
+    // Map golden pin names through the symbol map, and normalize net names.
+    std::map<std::string, SymbolKey> inst_symbols;
+    for (const Sheet& sheet : sch_src.sheets)
+      for (const Instance& inst : sheet.instances)
+        inst_symbols[inst.name] = inst.symbol;
+
+    Netlist mapped;
+    mapped.cell = golden.cell;
+    for (const auto& [name, net] : golden.nets) {
+      ExtractedNet copy = net;
+      copy.canonical = normalize_name(name);
+      copy.connections.clear();
+      for (const NetConnection& c : net.connections) {
+        NetConnection nc = c;
+        auto it = inst_symbols.find(c.instance);
+        if (it != inst_symbols.end()) {
+          if (const SymbolMapEntry* entry =
+                  config.symbol_map.find(it->second))
+            nc.pin = SymbolMap::map_pin(*entry, c.pin);
+        }
+        copy.connections.insert(nc);
+      }
+      // Merge in case normalization collides two names (itself a finding).
+      ExtractedNet& slot = mapped.nets[copy.canonical];
+      if (slot.canonical.empty()) {
+        slot = copy;
+      } else {
+        for (const NetConnection& c : copy.connections)
+          slot.connections.insert(c);
+      }
+    }
+
+    std::vector<NetlistDiff> diffs = compare_netlists(mapped, subject);
+    for (NetlistDiff& d : diffs) d.net = cell + "/" + d.net;
+    all.insert(all.end(), diffs.begin(), diffs.end());
+  }
+  return all;
+}
+
+}  // namespace interop::sch

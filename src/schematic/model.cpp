@@ -1,0 +1,82 @@
+#include "schematic/model.hpp"
+
+#include <cassert>
+
+namespace interop::sch {
+
+std::string to_string(PinDir d) {
+  switch (d) {
+    case PinDir::Input: return "input";
+    case PinDir::Output: return "output";
+    case PinDir::Inout: return "inout";
+  }
+  return "inout";
+}
+
+std::string to_string(SymbolRole r) {
+  switch (r) {
+    case SymbolRole::Component: return "component";
+    case SymbolRole::HierPort: return "hier-port";
+    case SymbolRole::OffPage: return "off-page";
+    case SymbolRole::GlobalNet: return "global-net";
+  }
+  return "component";
+}
+
+const SymbolPin* SymbolDef::find_pin(const std::string& name) const {
+  for (const SymbolPin& p : pins)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+Point Instance::pin_position(const SymbolDef& def,
+                             const std::string& pin) const {
+  const SymbolPin* p = def.find_pin(pin);
+  assert(p && "pin not found on symbol definition");
+  return placement.apply(p->pos);
+}
+
+std::optional<std::size_t> Sheet::find_instance(const std::string& name) const {
+  for (std::size_t i = 0; i < instances.size(); ++i)
+    if (instances[i].name == name) return i;
+  return std::nullopt;
+}
+
+void Design::add_symbol(SymbolDef def) {
+  symbols_[def.key] = std::move(def);
+}
+
+const SymbolDef* Design::find_symbol(const SymbolKey& key) const {
+  auto it = symbols_.find(key);
+  return it == symbols_.end() ? nullptr : &it->second;
+}
+
+void Design::add_schematic(Schematic sch) {
+  schematics_[sch.cell] = std::move(sch);
+}
+
+Schematic* Design::find_schematic(const std::string& cell) {
+  auto it = schematics_.find(cell);
+  return it == schematics_.end() ? nullptr : &it->second;
+}
+
+const Schematic* Design::find_schematic(const std::string& cell) const {
+  auto it = schematics_.find(cell);
+  return it == schematics_.end() ? nullptr : &it->second;
+}
+
+std::size_t Design::instance_count() const {
+  std::size_t n = 0;
+  for (const auto& [cell, sch] : schematics_)
+    for (const Sheet& sheet : sch.sheets) n += sheet.instances.size();
+  return n;
+}
+
+std::size_t Design::wire_count() const {
+  std::size_t n = 0;
+  for (const auto& [cell, sch] : schematics_)
+    for (const Sheet& sheet : sch.sheets) n += sheet.wires.size();
+  return n;
+}
+
+}  // namespace interop::sch

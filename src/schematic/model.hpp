@@ -1,0 +1,165 @@
+#pragma once
+// The schematic object model shared by both tool dialects.
+//
+// A Design owns symbol definitions and schematics (one per cell). A
+// Schematic has one or more Sheets (pages). A Sheet holds component
+// Instances, wire Segments, junction dots, net Labels, and connector
+// instances (hierarchy ports / off-page connectors). Connectivity is not
+// stored — exactly as in real schematic tools it is *derived* from geometry
+// and naming conventions, which is precisely where the paper's §2
+// interoperability problems live (see netlist.hpp).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/geometry.hpp"
+#include "base/property.hpp"
+#include "base/units.hpp"
+
+namespace interop::sch {
+
+using base::Orient;
+using base::Point;
+using base::PropertySet;
+using base::Rect;
+using base::Segment;
+using base::Transform;
+
+/// Identity of a symbol: library / cell / view, the Cadence-style triple.
+/// Viewlogic-style tools use only lib+cell; view is then "sym".
+struct SymbolKey {
+  std::string lib;
+  std::string cell;
+  std::string view = "sym";
+
+  friend bool operator==(const SymbolKey&, const SymbolKey&) = default;
+  friend auto operator<=>(const SymbolKey&, const SymbolKey&) = default;
+  std::string str() const { return lib + "/" + cell + "/" + view; }
+};
+
+enum class PinDir : std::uint8_t { Input, Output, Inout };
+
+std::string to_string(PinDir d);
+
+/// A pin on a symbol definition, in symbol-local coordinates.
+struct SymbolPin {
+  std::string name;
+  Point pos;
+  PinDir dir = PinDir::Inout;
+
+  friend bool operator==(const SymbolPin&, const SymbolPin&) = default;
+};
+
+/// What role a symbol plays in connectivity extraction.
+enum class SymbolRole : std::uint8_t {
+  Component,   ///< ordinary part (gate, resistor, block instance)
+  HierPort,    ///< hierarchy connector: in/out/bidir port of the cell
+  OffPage,     ///< off-page connector: joins same-named nets across pages
+  GlobalNet,   ///< global supply symbol (VDD, GND, ...)
+};
+
+std::string to_string(SymbolRole r);
+
+/// A symbol definition. Geometry is in integer grid units of `grid`.
+struct SymbolDef {
+  SymbolKey key;
+  SymbolRole role = SymbolRole::Component;
+  Rect body;                      ///< bounding body outline
+  std::vector<SymbolPin> pins;
+  base::Grid grid;                ///< drawing grid the symbol was drawn on
+  PropertySet default_props;
+  /// For HierPort/GlobalNet symbols: the pin direction / global net name
+  /// is carried in default_props ("dir", "global_net").
+
+  const SymbolPin* find_pin(const std::string& name) const;
+};
+
+/// A placed text item (net label, property display, title block text).
+struct TextLabel {
+  std::string text;
+  Point origin;             ///< anchor point on the sheet
+  std::int64_t height = 1;  ///< character height in grid units
+  /// Vertical distance from `origin` down to the text baseline. Viewlogic
+  /// and Composer disagree on this (the paper's "E becomes F" example).
+  std::int64_t baseline_offset = 0;
+  Orient orient = Orient::R0;
+
+  friend bool operator==(const TextLabel&, const TextLabel&) = default;
+};
+
+/// A placed symbol instance on a sheet.
+struct Instance {
+  std::string name;        ///< instance designator, e.g. "U7"
+  SymbolKey symbol;
+  Transform placement;     ///< symbol-local -> sheet coordinates
+  PropertySet props;
+  std::vector<TextLabel> attached_text;  ///< visible property text
+
+  /// Sheet-coordinate position of pin `pin` of definition `def`.
+  Point pin_position(const SymbolDef& def, const std::string& pin) const;
+};
+
+/// A net label attached to a wire at `at`.
+struct NetLabel {
+  std::string text;   ///< net name as written, in the owning dialect's syntax
+  Point at;           ///< point on (or at the end of) a wire segment
+  TextLabel visual;   ///< how it is drawn
+
+  friend bool operator==(const NetLabel&, const NetLabel&) = default;
+};
+
+/// One page of a schematic.
+struct Sheet {
+  int number = 1;
+  Rect frame;                        ///< page outline
+  std::vector<Instance> instances;
+  std::vector<Segment> wires;
+  std::vector<Point> junctions;      ///< explicit connection dots
+  std::vector<NetLabel> labels;
+  std::vector<TextLabel> notes;      ///< non-electrical annotation text
+
+  /// Index of the instance called `name`, or nullopt.
+  std::optional<std::size_t> find_instance(const std::string& name) const;
+};
+
+/// A multi-page schematic for one cell.
+struct Schematic {
+  std::string cell;
+  std::vector<Sheet> sheets;
+  PropertySet props;
+};
+
+/// A design database: symbol library plus schematics, on one drawing grid.
+class Design {
+ public:
+  explicit Design(base::Grid grid) : grid_(grid) {}
+
+  const base::Grid& grid() const { return grid_; }
+  void set_grid(base::Grid g) { grid_ = g; }
+
+  /// Add or replace a symbol definition.
+  void add_symbol(SymbolDef def);
+  const SymbolDef* find_symbol(const SymbolKey& key) const;
+  const std::map<SymbolKey, SymbolDef>& symbols() const { return symbols_; }
+
+  void add_schematic(Schematic sch);
+  Schematic* find_schematic(const std::string& cell);
+  const Schematic* find_schematic(const std::string& cell) const;
+  const std::map<std::string, Schematic>& schematics() const {
+    return schematics_;
+  }
+
+  /// Total instance count across all schematics (size metric for reports).
+  std::size_t instance_count() const;
+  std::size_t wire_count() const;
+
+ private:
+  base::Grid grid_;
+  std::map<SymbolKey, SymbolDef> symbols_;
+  std::map<std::string, Schematic> schematics_;
+};
+
+}  // namespace interop::sch

@@ -1,0 +1,268 @@
+#include "schematic/ripup.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace interop::sch {
+
+namespace {
+
+/// Indices of all segments transitively connected (by shared endpoints or
+/// junction-dotted interior contacts) to any segment in `seeds`.
+std::set<std::size_t> flood_net(const Sheet& sheet,
+                                const std::set<std::size_t>& seeds) {
+  std::set<std::size_t> seen = seeds;
+  std::vector<std::size_t> work(seeds.begin(), seeds.end());
+  auto joined = [&sheet](const Segment& a, const Segment& b) {
+    if (a.a == b.a || a.a == b.b || a.b == b.a || a.b == b.b) return true;
+    for (const Point& j : sheet.junctions)
+      if (a.contains(j) && b.contains(j)) return true;
+    return false;
+  };
+  while (!work.empty()) {
+    std::size_t cur = work.back();
+    work.pop_back();
+    for (std::size_t i = 0; i < sheet.wires.size(); ++i) {
+      if (seen.count(i)) continue;
+      if (joined(sheet.wires[cur], sheet.wires[i])) {
+        seen.insert(i);
+        work.push_back(i);
+      }
+    }
+  }
+  return seen;
+}
+
+/// Route from `from` to `to` with at most two axis-parallel segments,
+/// preferring a corner outside `avoid`. Appends to sheet.wires.
+std::int64_t route_l(Sheet& sheet, const Point& from, const Point& to,
+                     const Rect& avoid, RipupStats& stats) {
+  if (from == to) return 0;
+  if (from.x == to.x || from.y == to.y) {
+    sheet.wires.push_back({from, to});
+    ++stats.segments_rerouted;
+    return base::manhattan(from, to);
+  }
+  Point corner1{to.x, from.y};
+  Point corner2{from.x, to.y};
+  Point corner = avoid.contains(corner1) && !avoid.contains(corner2)
+                     ? corner2
+                     : corner1;
+  sheet.wires.push_back({from, corner});
+  sheet.wires.push_back({corner, to});
+  stats.segments_rerouted += 2;
+  return base::manhattan(from, corner) + base::manhattan(corner, to);
+}
+
+}  // namespace
+
+bool replace_component(Sheet& sheet, const std::string& inst_name,
+                       const SymbolMapEntry& entry, const SymbolDef& from_def_,
+                       const SymbolDef& to_def, RipupPolicy policy,
+                       RipupStats& stats, base::DiagnosticEngine& diags) {
+  auto idx = sheet.find_instance(inst_name);
+  if (!idx) return false;
+  Instance& inst = sheet.instances[*idx];
+  const SymbolDef* from_def = &from_def_;
+
+  // Old pin endpoints, in source-pin order.
+  struct PinWork {
+    std::string from_pin;
+    std::string to_pin;
+    Point old_pos;
+    std::vector<std::size_t> ripped;   ///< segment indices ripped at this pin
+    std::vector<Point> stubs;          ///< far endpoints to reroute from
+  };
+  std::vector<PinWork> work;
+  std::set<std::size_t> seed_segments;
+  for (const SymbolPin& pin : from_def->pins) {
+    PinWork w;
+    w.from_pin = pin.name;
+    w.to_pin = SymbolMap::map_pin(entry, pin.name);
+    w.old_pos = inst.placement.apply(pin.pos);
+    for (std::size_t i = 0; i < sheet.wires.size(); ++i) {
+      const Segment& s = sheet.wires[i];
+      if (s.a == w.old_pos || s.b == w.old_pos) {
+        w.ripped.push_back(i);
+        w.stubs.push_back(s.a == w.old_pos ? s.b : s.a);
+        seed_segments.insert(i);
+      }
+    }
+    work.push_back(std::move(w));
+  }
+
+  // What the naive policy would rip: the entire nets touching the instance.
+  std::set<std::size_t> full = flood_net(sheet, seed_segments);
+  stats.fullnet_would_rip += full.size();
+
+  const std::set<std::size_t>& to_rip =
+      policy == RipupPolicy::Minimal ? seed_segments : full;
+  stats.segments_ripped += to_rip.size();
+
+  // FullNet must re-enter ALL the wiring it destroyed, per net: anchors are
+  // the points the old net touched besides the replaced pins (other pins,
+  // labels, leaf ends). They are chained back together after replacement.
+  struct NetRebuild {
+    std::string to_pin;            ///< replaced pin this net attaches to
+    std::vector<std::string> other_pins;  ///< more replaced pins on this net
+    std::vector<Point> anchors;
+  };
+  std::vector<NetRebuild> rebuilds;
+  if (policy == RipupPolicy::FullNet) {
+    std::set<std::size_t> assigned;
+    for (const PinWork& w : work) {
+      if (w.ripped.empty()) continue;
+      std::set<std::size_t> seeds(w.ripped.begin(), w.ripped.end());
+      std::set<std::size_t> group = flood_net(sheet, seeds);
+      // Skip groups already rebuilt from another pin (same net on 2 pins).
+      bool fresh = true;
+      for (std::size_t i : group)
+        if (assigned.count(i)) fresh = false;
+      if (!fresh) continue;
+      assigned.insert(group.begin(), group.end());
+
+      NetRebuild rb;
+      rb.to_pin = w.to_pin;
+      // Endpoint usage count within the group.
+      std::map<Point, int> uses;
+      for (std::size_t i : group) {
+        ++uses[sheet.wires[i].a];
+        ++uses[sheet.wires[i].b];
+      }
+      std::set<Point> old_pins;
+      for (const PinWork& ww : work) old_pins.insert(ww.old_pos);
+      // Other replaced pins on this same net rejoin through the chain.
+      for (const PinWork& ww : work) {
+        if (&ww == &w || ww.ripped.empty()) continue;
+        if (uses.count(ww.old_pos)) rb.other_pins.push_back(ww.to_pin);
+      }
+      for (const auto& [pt, count] : uses) {
+        if (old_pins.count(pt)) continue;   // the replaced pins themselves
+        if (count == 1) rb.anchors.push_back(pt);  // leaf: pin/label/end
+      }
+      // Label points must stay electrically attached, wherever they sat on
+      // the old wiring (leaf, tee, or interior).
+      for (const NetLabel& label : sheet.labels) {
+        bool on_group = false;
+        for (std::size_t i : group)
+          if (sheet.wires[i].contains(label.at)) on_group = true;
+        if (on_group && !old_pins.count(label.at))
+          rb.anchors.push_back(label.at);
+      }
+      std::sort(rb.anchors.begin(), rb.anchors.end());
+      rb.anchors.erase(std::unique(rb.anchors.begin(), rb.anchors.end()),
+                       rb.anchors.end());
+      rebuilds.push_back(std::move(rb));
+    }
+  }
+
+  // Remove ripped segments (descending index order keeps indices valid).
+  std::vector<std::size_t> ripped(to_rip.begin(), to_rip.end());
+  std::sort(ripped.rbegin(), ripped.rend());
+  for (std::size_t i : ripped)
+    sheet.wires.erase(sheet.wires.begin() + static_cast<std::ptrdiff_t>(i));
+
+  // Re-place the instance with the mapped symbol.
+  inst.symbol = entry.to;
+  inst.placement = Transform(entry.rotation, entry.origin_offset) *
+                   inst.placement;
+
+  // Reroute each stub to its pin's new position.
+  Rect body = inst.placement.apply(to_def.body);
+
+  if (policy == RipupPolicy::FullNet) {
+    // Chain each destroyed net back together: new pin -> anchor1 -> ... .
+    for (const NetRebuild& rb : rebuilds) {
+      const SymbolPin* new_pin = to_def.find_pin(rb.to_pin);
+      if (!new_pin) {
+        diags.error("pin-map-missing",
+                    "instance " + inst.name + ": target symbol " +
+                        to_def.key.str() + " has no pin '" + rb.to_pin + "'",
+                    {"sch.replace", inst.name});
+        continue;
+      }
+      Point cur = inst.placement.apply(new_pin->pos);
+      std::vector<Point> chain = rb.anchors;
+      for (const std::string& other : rb.other_pins) {
+        if (const SymbolPin* p = to_def.find_pin(other))
+          chain.push_back(inst.placement.apply(p->pos));
+      }
+      for (const Point& anchor : chain) {
+        if (cur == anchor) continue;
+        // Detour through a private channel lane: the lane y is globally
+        // unique, so rebuilt chains can never share a wire endpoint with
+        // any other net's wiring.
+        std::int64_t lane = stats.next_rebuild_lane;
+        stats.next_rebuild_lane -= 2;
+        Point down_a{cur.x, lane};
+        Point down_b{anchor.x, lane};
+        sheet.wires.push_back({cur, down_a});
+        ++stats.segments_rerouted;
+        stats.reroute_length += base::manhattan(cur, down_a);
+        if (down_a != down_b) {
+          sheet.wires.push_back({down_a, down_b});
+          ++stats.segments_rerouted;
+          stats.reroute_length += base::manhattan(down_a, down_b);
+        }
+        sheet.wires.push_back({down_b, anchor});
+        ++stats.segments_rerouted;
+        stats.reroute_length += base::manhattan(down_b, anchor);
+        cur = anchor;
+      }
+    }
+    ++stats.instances_replaced;
+    return true;
+  }
+
+  for (const PinWork& w : work) {
+    const SymbolPin* new_pin = to_def.find_pin(w.to_pin);
+    if (!new_pin) {
+      if (!w.stubs.empty())
+        diags.error("pin-map-missing",
+                    "instance " + inst.name + ": target symbol " +
+                        to_def.key.str() + " has no pin '" + w.to_pin +
+                        "' (mapped from '" + w.from_pin + "')",
+                    {"sch.replace", inst.name});
+      continue;
+    }
+    Point new_pos = inst.placement.apply(new_pin->pos);
+    for (const Point& stub : w.stubs) {
+      stats.reroute_length += route_l(sheet, stub, new_pos, body, stats);
+    }
+    // More than one stub converging on the pin needs a junction dot so the
+    // rejoined wires stay electrically one net.
+    if (w.stubs.size() > 1) sheet.junctions.push_back(new_pos);
+  }
+
+  ++stats.instances_replaced;
+  return true;
+}
+
+double graphical_similarity(const Sheet& before, const Sheet& after) {
+  if (before.wires.empty() && before.instances.empty()) return 1.0;
+
+  std::size_t kept_wires = 0;
+  for (const Segment& w : before.wires) {
+    if (std::find(after.wires.begin(), after.wires.end(), w) !=
+        after.wires.end())
+      ++kept_wires;
+  }
+  std::size_t kept_inst = 0;
+  for (const Instance& inst : before.instances) {
+    auto idx = after.find_instance(inst.name);
+    if (idx && after.instances[*idx].placement.offset() ==
+                   inst.placement.offset())
+      ++kept_inst;
+  }
+  double wire_score = before.wires.empty()
+                          ? 1.0
+                          : double(kept_wires) / double(before.wires.size());
+  double inst_score =
+      before.instances.empty()
+          ? 1.0
+          : double(kept_inst) / double(before.instances.size());
+  return 0.5 * (wire_score + inst_score);
+}
+
+}  // namespace interop::sch

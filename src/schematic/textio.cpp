@@ -1,0 +1,326 @@
+#include "schematic/textio.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "al/reader.hpp"
+
+namespace interop::sch {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_props(std::ostringstream& os, const base::PropertySet& props,
+                 const std::string& indent) {
+  for (const auto& [name, value] : props) {
+    os << indent << "(prop " << quoted(name) << ' ';
+    if (value.is_int())
+      os << "int " << value.as_int();
+    else if (value.is_double())
+      os << "dbl " << value.as_double();
+    else if (value.is_bool())
+      os << "bool " << (value.as_bool() ? 1 : 0);
+    else
+      os << "str " << quoted(value.text());
+    os << ")\n";
+  }
+}
+
+void write_text(std::ostringstream& os, const char* tag, const TextLabel& t,
+                const std::string& indent) {
+  os << indent << '(' << tag << ' ' << quoted(t.text) << ' ' << t.origin.x
+     << ' ' << t.origin.y << ' ' << t.height << ' ' << t.baseline_offset
+     << ' ' << base::to_string(t.orient) << ")\n";
+}
+
+const char* role_name(SymbolRole r) {
+  switch (r) {
+    case SymbolRole::Component: return "component";
+    case SymbolRole::HierPort: return "hier-port";
+    case SymbolRole::OffPage: return "off-page";
+    case SymbolRole::GlobalNet: return "global-net";
+  }
+  return "component";
+}
+
+const char* dir_name(PinDir d) {
+  switch (d) {
+    case PinDir::Input: return "input";
+    case PinDir::Output: return "output";
+    case PinDir::Inout: return "inout";
+  }
+  return "inout";
+}
+
+}  // namespace
+
+std::string write_design(const Design& design) {
+  std::ostringstream os;
+  os << "(design\n";
+  os << "  (grid " << design.grid().pitch().num() << ' '
+     << design.grid().pitch().den() << ")\n";
+
+  for (const auto& [key, def] : design.symbols()) {
+    os << "  (symbol (key " << quoted(key.lib) << ' ' << quoted(key.cell)
+       << ' ' << quoted(key.view) << ")\n";
+    os << "    (role " << role_name(def.role) << ")\n";
+    os << "    (body " << def.body.lo().x << ' ' << def.body.lo().y << ' '
+       << def.body.hi().x << ' ' << def.body.hi().y << ")\n";
+    os << "    (grid " << def.grid.pitch().num() << ' '
+       << def.grid.pitch().den() << ")\n";
+    for (const SymbolPin& pin : def.pins)
+      os << "    (pin " << quoted(pin.name) << ' ' << pin.pos.x << ' '
+         << pin.pos.y << ' ' << dir_name(pin.dir) << ")\n";
+    write_props(os, def.default_props, "    ");
+    os << "  )\n";
+  }
+
+  for (const auto& [cell, sch] : design.schematics()) {
+    os << "  (schematic " << quoted(cell) << "\n";
+    write_props(os, sch.props, "    ");
+    for (const Sheet& sheet : sch.sheets) {
+      os << "    (sheet " << sheet.number << "\n";
+      os << "      (frame " << sheet.frame.lo().x << ' ' << sheet.frame.lo().y
+         << ' ' << sheet.frame.hi().x << ' ' << sheet.frame.hi().y << ")\n";
+      for (const Instance& inst : sheet.instances) {
+        os << "      (instance " << quoted(inst.name) << " (key "
+           << quoted(inst.symbol.lib) << ' ' << quoted(inst.symbol.cell)
+           << ' ' << quoted(inst.symbol.view) << ") (place "
+           << base::to_string(inst.placement.orient()) << ' '
+           << inst.placement.offset().x << ' ' << inst.placement.offset().y
+           << ")\n";
+        write_props(os, inst.props, "        ");
+        for (const TextLabel& t : inst.attached_text)
+          write_text(os, "text", t, "        ");
+        os << "      )\n";
+      }
+      for (const Segment& w : sheet.wires)
+        os << "      (wire " << w.a.x << ' ' << w.a.y << ' ' << w.b.x << ' '
+           << w.b.y << ")\n";
+      for (const Point& j : sheet.junctions)
+        os << "      (junction " << j.x << ' ' << j.y << ")\n";
+      for (const NetLabel& l : sheet.labels) {
+        os << "      (label " << quoted(l.text) << ' ' << l.at.x << ' '
+           << l.at.y << "\n";
+        write_text(os, "visual", l.visual, "        ");
+        os << "      )\n";
+      }
+      for (const TextLabel& t : sheet.notes)
+        write_text(os, "note", t, "      ");
+      os << "    )\n";
+    }
+    os << "  )\n";
+  }
+  os << ")\n";
+  return os.str();
+}
+
+namespace {
+
+using al::Value;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("schematic read: " + what);
+}
+
+const std::string& head_of(const Value& v) {
+  if (!v.is_list() || v.as_list().empty() || !v.as_list()[0].is_symbol())
+    fail("expected a tagged list");
+  return v.as_list()[0].as_symbol().name;
+}
+
+std::int64_t num_at(const Value& v, std::size_t i) {
+  const auto& l = v.as_list();
+  if (i >= l.size() || !l[i].is_int()) fail("expected integer field");
+  return l[i].as_int();
+}
+
+std::string str_at(const Value& v, std::size_t i) {
+  const auto& l = v.as_list();
+  if (i >= l.size() || !l[i].is_string()) fail("expected string field");
+  return l[i].as_string();
+}
+
+std::string sym_at(const Value& v, std::size_t i) {
+  const auto& l = v.as_list();
+  if (i >= l.size() || !l[i].is_symbol()) fail("expected symbol field");
+  return l[i].as_symbol().name;
+}
+
+base::PropertyValue read_prop_value(const Value& v) {
+  std::string type = sym_at(v, 2);
+  if (type == "int") return base::PropertyValue(num_at(v, 3));
+  if (type == "bool") return base::PropertyValue(num_at(v, 3) != 0);
+  if (type == "dbl") {
+    const auto& l = v.as_list();
+    if (l.size() > 3 && l[3].is_number())
+      return base::PropertyValue(l[3].as_number());
+    fail("expected numeric dbl field");
+  }
+  return base::PropertyValue(str_at(v, 3));
+}
+
+TextLabel read_text(const Value& v) {
+  TextLabel t;
+  t.text = str_at(v, 1);
+  t.origin = {num_at(v, 2), num_at(v, 3)};
+  t.height = num_at(v, 4);
+  t.baseline_offset = num_at(v, 5);
+  auto o = base::orient_from_string(sym_at(v, 6));
+  if (!o) fail("bad orient in text");
+  t.orient = *o;
+  return t;
+}
+
+SymbolKey read_key(const Value& v) {
+  return {str_at(v, 1), str_at(v, 2), str_at(v, 3)};
+}
+
+PinDir read_dir(const std::string& s) {
+  if (s == "input") return PinDir::Input;
+  if (s == "output") return PinDir::Output;
+  return PinDir::Inout;
+}
+
+SymbolRole read_role(const std::string& s) {
+  if (s == "hier-port") return SymbolRole::HierPort;
+  if (s == "off-page") return SymbolRole::OffPage;
+  if (s == "global-net") return SymbolRole::GlobalNet;
+  return SymbolRole::Component;
+}
+
+}  // namespace
+
+Design read_design(const std::string& text, base::DiagnosticEngine& diags) {
+  std::vector<Value> forms = al::read_all(text);
+  if (forms.size() != 1 || head_of(forms[0]) != "design")
+    fail("expected a single (design ...) form");
+
+  Design design(base::Grid(base::Rational(1)));
+  const auto& items = forms[0].as_list();
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    const Value& item = items[i];
+    const std::string& tag = head_of(item);
+    if (tag == "grid") {
+      design.set_grid(base::Grid(
+          base::Rational(num_at(item, 1), num_at(item, 2))));
+    } else if (tag == "symbol") {
+      SymbolDef def;
+      const auto& fields = item.as_list();
+      for (std::size_t f = 1; f < fields.size(); ++f) {
+        const Value& field = fields[f];
+        const std::string& ftag = head_of(field);
+        if (ftag == "key") {
+          def.key = read_key(field);
+        } else if (ftag == "role") {
+          def.role = read_role(sym_at(field, 1));
+        } else if (ftag == "body") {
+          def.body = Rect({num_at(field, 1), num_at(field, 2)},
+                          {num_at(field, 3), num_at(field, 4)});
+        } else if (ftag == "grid") {
+          def.grid = base::Grid(
+              base::Rational(num_at(field, 1), num_at(field, 2)));
+        } else if (ftag == "pin") {
+          def.pins.push_back({str_at(field, 1),
+                              {num_at(field, 2), num_at(field, 3)},
+                              read_dir(sym_at(field, 4))});
+        } else if (ftag == "prop") {
+          def.default_props.set(str_at(field, 1), read_prop_value(field));
+        } else {
+          diags.warn("unknown-field", "symbol field '" + ftag + "' ignored",
+                     {"sch.textio", def.key.str()});
+        }
+      }
+      design.add_symbol(std::move(def));
+    } else if (tag == "schematic") {
+      Schematic sch;
+      sch.cell = str_at(item, 1);
+      const auto& fields = item.as_list();
+      for (std::size_t f = 2; f < fields.size(); ++f) {
+        const Value& field = fields[f];
+        const std::string& ftag = head_of(field);
+        if (ftag == "prop") {
+          sch.props.set(str_at(field, 1), read_prop_value(field));
+          continue;
+        }
+        if (ftag != "sheet") {
+          diags.warn("unknown-field",
+                     "schematic field '" + ftag + "' ignored",
+                     {"sch.textio", sch.cell});
+          continue;
+        }
+        Sheet sheet;
+        sheet.number = int(num_at(field, 1));
+        const auto& sfields = field.as_list();
+        for (std::size_t s = 2; s < sfields.size(); ++s) {
+          const Value& sf = sfields[s];
+          const std::string& stag = head_of(sf);
+          if (stag == "frame") {
+            sheet.frame = Rect({num_at(sf, 1), num_at(sf, 2)},
+                               {num_at(sf, 3), num_at(sf, 4)});
+          } else if (stag == "wire") {
+            sheet.wires.push_back({{num_at(sf, 1), num_at(sf, 2)},
+                                   {num_at(sf, 3), num_at(sf, 4)}});
+          } else if (stag == "junction") {
+            sheet.junctions.push_back({num_at(sf, 1), num_at(sf, 2)});
+          } else if (stag == "note") {
+            sheet.notes.push_back(read_text(sf));
+          } else if (stag == "label") {
+            NetLabel label;
+            label.text = str_at(sf, 1);
+            label.at = {num_at(sf, 2), num_at(sf, 3)};
+            const auto& lf = sf.as_list();
+            for (std::size_t x = 4; x < lf.size(); ++x)
+              if (head_of(lf[x]) == "visual") label.visual = read_text(lf[x]);
+            sheet.labels.push_back(std::move(label));
+          } else if (stag == "instance") {
+            Instance inst;
+            inst.name = str_at(sf, 1);
+            const auto& ifields = sf.as_list();
+            for (std::size_t x = 2; x < ifields.size(); ++x) {
+              const Value& ifd = ifields[x];
+              const std::string& itag = head_of(ifd);
+              if (itag == "key") {
+                inst.symbol = read_key(ifd);
+              } else if (itag == "place") {
+                auto o = base::orient_from_string(sym_at(ifd, 1));
+                if (!o) fail("bad orient in place");
+                inst.placement = Transform(
+                    *o, {num_at(ifd, 2), num_at(ifd, 3)});
+              } else if (itag == "prop") {
+                inst.props.set(str_at(ifd, 1), read_prop_value(ifd));
+              } else if (itag == "text") {
+                inst.attached_text.push_back(read_text(ifd));
+              } else {
+                diags.warn("unknown-field",
+                           "instance field '" + itag + "' ignored",
+                           {"sch.textio", inst.name});
+              }
+            }
+            sheet.instances.push_back(std::move(inst));
+          } else {
+            diags.warn("unknown-field", "sheet field '" + stag + "' ignored",
+                       {"sch.textio", sch.cell});
+          }
+        }
+        sch.sheets.push_back(std::move(sheet));
+      }
+      design.add_schematic(std::move(sch));
+    } else {
+      diags.warn("unknown-field", "design field '" + tag + "' ignored",
+                 {"sch.textio", ""});
+    }
+  }
+  return design;
+}
+
+}  // namespace interop::sch

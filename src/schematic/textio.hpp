@@ -1,0 +1,23 @@
+#pragma once
+// Schematic persistence: an EDIF-flavoured s-expression file format.
+//
+// §6 classifies every tool data port by its persistence format; this is the
+// workbench's own. The writer emits deterministic s-expressions; the reader
+// parses them with the a/L reader (one parser, two uses), so the format is
+// exactly as expressive as the object model and round-trips losslessly.
+
+#include <string>
+
+#include "base/diagnostics.hpp"
+#include "schematic/model.hpp"
+
+namespace interop::sch {
+
+/// Serialize a whole design (grid, symbols, schematics) to text.
+std::string write_design(const Design& design);
+
+/// Parse a design written by write_design(). Throws std::runtime_error on
+/// malformed input; recoverable oddities are reported through `diags`.
+Design read_design(const std::string& text, base::DiagnosticEngine& diags);
+
+}  // namespace interop::sch

@@ -1,0 +1,88 @@
+#include "workflow/adhoc.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace interop::wf {
+
+namespace {
+
+/// DataManager proxy forwarding to a shared store, so the hosting Engine
+/// (needed only because ActionApi requires one) and the script share data.
+class ForwardingDataManager : public DataManager {
+ public:
+  explicit ForwardingDataManager(DataManager& target) : target_(target) {}
+  void write(const std::string& path, std::string content) override {
+    target_.write(path, std::move(content));
+  }
+  std::optional<std::string> read(const std::string& path) const override {
+    return target_.read(path);
+  }
+  std::optional<LogicalTime> timestamp(
+      const std::string& path) const override {
+    return target_.timestamp(path);
+  }
+  std::vector<std::string> list() const override { return target_.list(); }
+
+ private:
+  DataManager& target_;
+};
+
+}  // namespace
+
+AdhocMetrics run_adhoc(const FlowTemplate& flow,
+                       const std::vector<std::string>& order,
+                       DataManager& data,
+                       const std::function<void(DataManager&)>& mid_run_change,
+                       int change_after) {
+  AdhocMetrics metrics;
+
+  // A real Engine hosting the actions, so ActionApi calls work identically;
+  // its "flow" is the same template but the script ignores the engine's
+  // scheduling entirely.
+  Engine host(flow, {}, std::make_unique<ForwardingDataManager>(data));
+  host.instantiate({});
+
+  std::set<std::string> ran;
+  std::map<std::string, LogicalTime> finished_at;
+  std::map<std::string, bool> failed;
+
+  int position = 0;
+  for (const std::string& name : order) {
+    if (position++ == change_after && mid_run_change) mid_run_change(data);
+
+    const StepDef* def = flow.find_step(name);
+    if (!def) continue;
+
+    // Ordering bug detection: the script runs this before its producers.
+    for (const std::string& dep : def->start_after)
+      if (!ran.count(dep)) ++metrics.dependency_violations;
+
+    ActionApi api(host, host.instance(), name);
+    ActionResult result;
+    if (def->action.fn) result = def->action.fn(api);
+    ++metrics.steps_run;
+    ran.insert(name);
+    finished_at[name] = data.now();
+    failed[name] = result.exit_code != 0;
+  }
+  if (position <= change_after && mid_run_change) mid_run_change(data);
+
+  // Post-mortem: stale steps (inputs newer than the run) and status lies.
+  for (const StepDef& def : flow.steps) {
+    bool stale = false;
+    auto it = finished_at.find(def.name);
+    if (it != finished_at.end()) {
+      for (const std::string& path : def.reads) {
+        auto t = data.timestamp(path);
+        if (t && *t > it->second) stale = true;
+      }
+      if (stale) ++metrics.missed_rework;
+      // The script prints "done" for everything it ran.
+      if (stale || failed[def.name]) ++metrics.status_lies;
+    }
+  }
+  return metrics;
+}
+
+}  // namespace interop::wf

@@ -1,0 +1,36 @@
+#pragma once
+// The baseline §5 contrasts against: "many processes are controlled
+// currently via a series of shell scripts and other procedures that are
+// held together by the user's own experience about what the procedures do
+// and the order in which they are to be executed."
+//
+// run_adhoc() executes the same step actions in a FIXED order (the user's
+// remembered script), with no dependency engine, no finish parking, no
+// triggers and no status tracking beyond "the script finished". The T8
+// bench measures what that costs.
+
+#include "workflow/engine.hpp"
+
+namespace interop::wf {
+
+struct AdhocMetrics {
+  int steps_run = 0;
+  /// Steps executed before some start dependency had run (silent ordering
+  /// bug in the script).
+  int dependency_violations = 0;
+  /// Steps whose inputs changed after they ran and were never re-run.
+  int missed_rework = 0;
+  /// Steps the script reports "done" although they failed or are stale.
+  int status_lies = 0;
+};
+
+/// Execute `flow`'s steps in `order` against `data`. `mid_run_change` (may
+/// be null) is invoked once after `change_after` steps, modelling an
+/// upstream edit arriving while the script runs.
+AdhocMetrics run_adhoc(const FlowTemplate& flow,
+                       const std::vector<std::string>& order,
+                       DataManager& data,
+                       const std::function<void(DataManager&)>& mid_run_change,
+                       int change_after);
+
+}  // namespace interop::wf

@@ -1,0 +1,374 @@
+#include "workflow/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+namespace interop::wf {
+
+// ----------------------------------------------------------- ToolSession
+
+std::string ToolSession::request(const std::string& cmd) {
+  ++requests_;
+  history_.push_back(cmd);
+  return name_ + " ok: " + cmd + " (#" + std::to_string(requests_) + ")";
+}
+
+// ------------------------------------------------------------- ActionApi
+
+void ActionApi::write_data(const std::string& path, std::string content) {
+  engine_.data().write(path, std::move(content));
+}
+
+std::optional<std::string> ActionApi::read_data(
+    const std::string& path) const {
+  return engine_.data().read(path);
+}
+
+void ActionApi::set_variable(const std::string& name, std::string value) {
+  engine_.variables().set(name, std::move(value));
+}
+
+std::optional<std::string> ActionApi::get_variable(
+    const std::string& name) const {
+  return engine_.variables().get(name);
+}
+
+void ActionApi::set_step_state_success() { explicit_state_ = true; }
+
+void ActionApi::set_step_state_failure(const std::string& reason) {
+  explicit_state_ = false;
+  failure_reason_ = reason;
+}
+
+std::string ActionApi::tool_request(const std::string& tool,
+                                    const std::string& cmd) {
+  engine_.metrics_.tool_requests++;
+  return engine_.tool(tool).request(cmd);
+}
+
+// ---------------------------------------------------------------- Engine
+
+Engine::Engine(FlowTemplate main, std::map<std::string, FlowTemplate> subflows,
+               std::unique_ptr<DataManager> data, std::string role)
+    : main_(std::move(main)),
+      subflows_(std::move(subflows)),
+      data_(std::move(data)),
+      role_(std::move(role)) {
+  data_->add_listener([this](const std::string& path, LogicalTime t) {
+    on_data_written(path, t);
+  });
+}
+
+std::string Engine::instantiate(const std::vector<std::string>& blocks) {
+  if (std::string err = main_.validate(); !err.empty()) return err;
+  for (const auto& [name, tmpl] : subflows_)
+    if (std::string err = tmpl.validate(); !err.empty()) return err;
+
+  instance_ = FlowInstance{};
+  instance_.template_name = main_.name;
+  instance_.blocks = blocks;
+
+  // Expansion: plain steps copy through; a sub-flow step expands into one
+  // copy of the sub-template per design block ("blockA:substep"), each
+  // inheriting the container's start dependencies. Steps that depended on
+  // the container step depend on ALL expanded steps instead.
+  std::map<std::string, std::vector<std::string>> expansion;  // container->all
+  for (const StepDef& def : main_.steps) {
+    if (def.subflow.empty()) {
+      StepStatus status;
+      status.def = def;
+      instance_.steps[def.name] = std::move(status);
+      continue;
+    }
+    auto it = subflows_.find(def.subflow);
+    if (it == subflows_.end())
+      return "step " + def.name + " references unknown sub-flow " +
+             def.subflow;
+    std::vector<std::string> all;
+    for (const std::string& block : blocks) {
+      for (const StepDef& sub : it->second.steps) {
+        StepDef expanded = sub;
+        expanded.name = block + ":" + sub.name;
+        expanded.start_after.clear();
+        for (const std::string& dep : sub.start_after)
+          expanded.start_after.push_back(block + ":" + dep);
+        // Sub-steps with no internal deps inherit the container's deps.
+        if (sub.start_after.empty())
+          for (const std::string& dep : def.start_after)
+            expanded.start_after.push_back(dep);
+        expanded.finish_with.clear();
+        for (const std::string& dep : sub.finish_with)
+          expanded.finish_with.push_back(block + ":" + dep);
+        // Block-local data namespace.
+        expanded.reads.clear();
+        for (const std::string& r : sub.reads)
+          expanded.reads.push_back(block + "/" + r);
+        expanded.writes.clear();
+        for (const std::string& w : sub.writes)
+          expanded.writes.push_back(block + "/" + w);
+        StepStatus status;
+        status.def = expanded;
+        status.block = block;
+        instance_.steps[expanded.name] = std::move(status);
+        all.push_back(expanded.name);
+      }
+    }
+    expansion[def.name] = std::move(all);
+  }
+
+  // Rewrite dependencies on container steps.
+  for (auto& [name, status] : instance_.steps) {
+    std::vector<std::string> rewritten;
+    for (const std::string& dep : status.def.start_after) {
+      auto it = expansion.find(dep);
+      if (it == expansion.end()) {
+        rewritten.push_back(dep);
+      } else {
+        rewritten.insert(rewritten.end(), it->second.begin(),
+                         it->second.end());
+      }
+    }
+    status.def.start_after = std::move(rewritten);
+  }
+
+  // Topological ranks (longest dependency chain), for downstream-ordered
+  // scheduling. The flow validated as a DAG, so this terminates.
+  std::function<int(const std::string&)> rank_of =
+      [&](const std::string& name) -> int {
+    StepStatus* s = instance_.find(name);
+    if (!s) return 0;
+    if (s->rank > 0) return s->rank;
+    int r = 1;
+    for (const std::string& dep : s->def.start_after)
+      r = std::max(r, rank_of(dep) + 1);
+    s->rank = r;
+    return r;
+  };
+  for (auto& [name, status] : instance_.steps) rank_of(name);
+
+  refresh_readiness();
+  return "";
+}
+
+bool Engine::deps_succeeded(const std::vector<std::string>& deps) const {
+  for (const std::string& dep : deps) {
+    const StepStatus* s = instance_.find(dep);
+    if (!s || s->state != StepState::Succeeded) return false;
+  }
+  return true;
+}
+
+void Engine::refresh_readiness() {
+  for (auto& [name, status] : instance_.steps) {
+    if (status.state == StepState::Waiting &&
+        deps_succeeded(status.def.start_after))
+      status.state = StepState::Ready;
+  }
+}
+
+bool Engine::run_step(const std::string& name) {
+  StepStatus* status = instance_.find(name);
+  if (!status) {
+    last_error_ = "unknown step " + name;
+    return false;
+  }
+  if (!status->def.required_role.empty() &&
+      status->def.required_role != role_) {
+    last_error_ = "role '" + role_ + "' may not run step " + name +
+                  " (needs '" + status->def.required_role + "')";
+    return false;
+  }
+  refresh_readiness();
+  if (status->state != StepState::Ready &&
+      status->state != StepState::NeedsRerun) {
+    last_error_ = "step " + name + " is not runnable (state " +
+                  to_string(status->state) + ")";
+    return false;
+  }
+  bool is_rerun = status->state == StepState::NeedsRerun;
+
+  status->state = StepState::Running;
+  current_step_ = name;
+  ActionApi api(*this, instance_, name);
+  ActionResult result;
+  if (status->def.action.fn) result = status->def.action.fn(api);
+  current_step_.clear();
+
+  ++status->runs;
+  ++metrics_.steps_run;
+  if (is_rerun) {
+    ++status->reruns;
+    ++metrics_.reruns;
+  }
+  status->log = result.log;
+
+  // §5 default behavior, not built-in policies: zero/non-zero exit status
+  // completes the step unless the action set the state explicitly.
+  bool ok = api.explicit_state_ ? *api.explicit_state_
+                                : (result.exit_code == 0);
+  if (!ok) {
+    status->state = StepState::Failed;
+    ++status->failures;
+    ++metrics_.failures;
+    last_error_ = api.failure_reason_.empty()
+                      ? ("step " + name + " failed (exit " +
+                         std::to_string(result.exit_code) + ")")
+                      : api.failure_reason_;
+    return true;  // the step ran; failure is a result, not an engine error
+  }
+
+  // Finish dependencies: park when they are not yet complete.
+  if (deps_succeeded(status->def.finish_with)) {
+    status->state = StepState::Succeeded;
+    status->last_finished = data_->now();
+    // Unpark anyone awaiting us.
+    for (auto& [other_name, other] : instance_.steps) {
+      if (other.state == StepState::AwaitingFinish) try_finish(other_name);
+    }
+  } else {
+    status->state = StepState::AwaitingFinish;
+  }
+  refresh_readiness();
+  return true;
+}
+
+void Engine::try_finish(const std::string& name) {
+  StepStatus* status = instance_.find(name);
+  if (!status || status->state != StepState::AwaitingFinish) return;
+  if (deps_succeeded(status->def.finish_with)) {
+    status->state = StepState::Succeeded;
+    status->last_finished = data_->now();
+  }
+}
+
+int Engine::run_all() {
+  int executed = 0;
+  int guard = int(instance_.steps.size()) * 10 + 10;
+  while (guard-- > 0) {
+    refresh_readiness();
+    std::string next;
+    int best_rank = 0;
+    for (const auto& [name, status] : instance_.steps) {
+      if (status.state == StepState::Ready ||
+          status.state == StepState::NeedsRerun) {
+        if (!status.def.required_role.empty() &&
+            status.def.required_role != role_)
+          continue;
+        if (next.empty() || status.rank < best_rank) {
+          next = name;
+          best_rank = status.rank;
+        }
+      }
+    }
+    if (next.empty()) break;
+    if (run_step(next)) ++executed;
+  }
+  return executed;
+}
+
+bool Engine::reset_step(const std::string& name) {
+  StepStatus* status = instance_.find(name);
+  if (!status) {
+    last_error_ = "unknown step " + name;
+    return false;
+  }
+  if (!status->def.required_role.empty() &&
+      status->def.required_role != role_) {
+    last_error_ = "role '" + role_ + "' may not reset step " + name;
+    return false;
+  }
+  std::set<std::string> affected = downstream_of(name);
+  affected.insert(name);
+  for (const std::string& n : affected) {
+    StepStatus* s = instance_.find(n);
+    s->state = StepState::Waiting;
+  }
+  refresh_readiness();
+  return true;
+}
+
+std::set<std::string> Engine::downstream_of(const std::string& name) const {
+  std::set<std::string> out;
+  std::deque<std::string> work{name};
+  while (!work.empty()) {
+    std::string cur = work.front();
+    work.pop_front();
+    for (const auto& [other, status] : instance_.steps) {
+      if (out.count(other)) continue;
+      for (const std::string& dep : status.def.start_after) {
+        if (dep == cur) {
+          out.insert(other);
+          work.push_back(other);
+        }
+      }
+    }
+  }
+  out.erase(name);
+  return out;
+}
+
+void Engine::on_data_written(const std::string& path, LogicalTime t) {
+  for (auto& [name, status] : instance_.steps) {
+    if (name == current_step_) continue;  // own writes don't re-trigger
+    if (status.state != StepState::Succeeded &&
+        status.state != StepState::AwaitingFinish)
+      continue;
+    bool reads_it = std::find(status.def.reads.begin(),
+                              status.def.reads.end(),
+                              path) != status.def.reads.end();
+    if (!reads_it || status.last_finished >= t) continue;
+    status.state = StepState::NeedsRerun;
+    notifications_.push_back("step " + name + " needs rework: input '" +
+                             path + "' changed");
+    ++metrics_.notifications;
+  }
+}
+
+Engine::TuningReport Engine::tuning_report(std::size_t top_n) const {
+  TuningReport report;
+  std::vector<TuningReport::Hotspot> rework, failures;
+  for (const auto& [name, status] : instance_.steps) {
+    report.total_runs += status.runs;
+    report.total_reruns += status.reruns;
+    report.total_failures += status.failures;
+    if (status.reruns > 0) rework.push_back({name, status.reruns});
+    if (status.failures > 0) failures.push_back({name, status.failures});
+  }
+  auto by_count = [](const TuningReport::Hotspot& a,
+                     const TuningReport::Hotspot& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.step < b.step;
+  };
+  std::sort(rework.begin(), rework.end(), by_count);
+  std::sort(failures.begin(), failures.end(), by_count);
+  if (rework.size() > top_n) rework.resize(top_n);
+  if (failures.size() > top_n) failures.resize(top_n);
+  report.rework_hotspots = std::move(rework);
+  report.failure_hotspots = std::move(failures);
+  return report;
+}
+
+std::map<std::string, StepState> Engine::status_report() const {
+  std::map<std::string, StepState> out;
+  for (const auto& [name, status] : instance_.steps)
+    out[name] = status.state;
+  return out;
+}
+
+bool Engine::complete() const {
+  for (const auto& [name, status] : instance_.steps)
+    if (status.state != StepState::Succeeded) return false;
+  return !instance_.steps.empty();
+}
+
+ToolSession& Engine::tool(const std::string& name) {
+  auto it = tools_.find(name);
+  if (it == tools_.end()) {
+    it = tools_.emplace(name, std::make_unique<ToolSession>(name)).first;
+    ++metrics_.tool_spawns;
+  }
+  return *it->second;
+}
+
+}  // namespace interop::wf

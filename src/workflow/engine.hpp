@@ -1,0 +1,125 @@
+#pragma once
+// The workflow engine: instantiation, scheduling, dependency management,
+// trigger-based rework notification, tool sessions, and metrics — §5's
+// characteristics as one executable component.
+
+#include <memory>
+#include <set>
+
+#include "workflow/flow.hpp"
+
+namespace interop::wf {
+
+/// A long-running tool session (§5 "flexible tool management": one flow may
+/// spawn a tool per step, another drives a single running tool over IPC).
+class ToolSession {
+ public:
+  explicit ToolSession(std::string name) : name_(std::move(name)) {}
+  /// Handle one request; the session keeps state across requests.
+  std::string request(const std::string& cmd);
+  int requests_served() const { return requests_; }
+
+ private:
+  std::string name_;
+  int requests_ = 0;
+  std::vector<std::string> history_;
+};
+
+struct EngineMetrics {
+  int steps_run = 0;
+  int failures = 0;
+  int reruns = 0;
+  int notifications = 0;
+  int tool_spawns = 0;     ///< long-running tool sessions started
+  int tool_requests = 0;
+};
+
+class Engine {
+ public:
+  /// `role` is the current user's role for permission checks.
+  Engine(FlowTemplate main, std::map<std::string, FlowTemplate> subflows,
+         std::unique_ptr<DataManager> data, std::string role = "engineer");
+
+  /// Derive the instance for the given design blocks (hierarchical design
+  /// support: each block gets its own copy of referenced sub-flows).
+  /// Returns an error message, or empty on success.
+  std::string instantiate(const std::vector<std::string>& blocks);
+
+  FlowInstance& instance() { return instance_; }
+  const FlowInstance& instance() const { return instance_; }
+  DataManager& data() { return *data_; }
+  VariablePool& variables() { return variables_; }
+
+  /// Recompute Waiting -> Ready transitions.
+  void refresh_readiness();
+
+  /// Run one step if permitted and ready (or NeedsRerun). Returns false
+  /// with a diagnostic in last_error() otherwise.
+  bool run_step(const std::string& name);
+
+  /// Run until no step makes progress. Returns number of step executions.
+  int run_all();
+
+  /// Reset a step (and everything downstream of it) for rerun, subject to
+  /// the §5 permission question "Do I have the necessary permissions?".
+  bool reset_step(const std::string& name);
+
+  /// Pending user notifications from triggers ("something has changed that
+  /// does, or might, require rework").
+  const std::vector<std::string>& notifications() const {
+    return notifications_;
+  }
+  void clear_notifications() { notifications_.clear(); }
+
+  const EngineMetrics& metrics() const { return metrics_; }
+  const std::string& last_error() const { return last_error_; }
+
+  /// Status report: step name -> state (what §5's "status is collected and
+  /// reported" means here).
+  std::map<std::string, StepState> status_report() const;
+
+  /// §5's closed loop: "these collected metrics can later be analyzed and
+  /// used to tune the process." Hotspots are steps with the most rework or
+  /// failures — the places the process (not the people) needs fixing.
+  struct TuningReport {
+    struct Hotspot {
+      std::string step;
+      int count;
+    };
+    std::vector<Hotspot> rework_hotspots;
+    std::vector<Hotspot> failure_hotspots;
+    int total_runs = 0;
+    int total_reruns = 0;
+    int total_failures = 0;
+  };
+  TuningReport tuning_report(std::size_t top_n = 5) const;
+
+  /// True when every step succeeded.
+  bool complete() const;
+
+  ToolSession& tool(const std::string& name);
+
+ private:
+  friend class ActionApi;
+
+  bool deps_succeeded(const std::vector<std::string>& deps) const;
+  void on_data_written(const std::string& path, LogicalTime t);
+  void try_finish(const std::string& name);
+  /// Steps whose start_after chain reaches `name` (transitively).
+  std::set<std::string> downstream_of(const std::string& name) const;
+
+  FlowTemplate main_;
+  std::map<std::string, FlowTemplate> subflows_;
+  std::unique_ptr<DataManager> data_;
+  std::string role_;
+  FlowInstance instance_;
+  VariablePool variables_;
+  std::vector<std::string> notifications_;
+  EngineMetrics metrics_;
+  std::string last_error_;
+  std::map<std::string, std::unique_ptr<ToolSession>> tools_;
+  /// Step currently executing (its own writes do not re-trigger it).
+  std::string current_step_;
+};
+
+}  // namespace interop::wf

@@ -1,0 +1,78 @@
+#include "workflow/flow.hpp"
+
+#include <map>
+
+#include "base/graph.hpp"
+
+namespace interop::wf {
+
+std::string to_string(ActionLanguage l) {
+  switch (l) {
+    case ActionLanguage::Shell: return "shell";
+    case ActionLanguage::Perl: return "perl";
+    case ActionLanguage::Tcl: return "tcl";
+    case ActionLanguage::CLang: return "c";
+    case ActionLanguage::Native: return "native";
+  }
+  return "?";
+}
+
+std::string to_string(StepState s) {
+  switch (s) {
+    case StepState::Waiting: return "waiting";
+    case StepState::Ready: return "ready";
+    case StepState::Running: return "running";
+    case StepState::AwaitingFinish: return "awaiting-finish";
+    case StepState::Succeeded: return "succeeded";
+    case StepState::Failed: return "failed";
+    case StepState::NeedsRerun: return "needs-rerun";
+  }
+  return "?";
+}
+
+const StepDef* FlowTemplate::find_step(const std::string& step_name) const {
+  for (const StepDef& s : steps)
+    if (s.name == step_name) return &s;
+  return nullptr;
+}
+
+std::string FlowTemplate::validate() const {
+  std::map<std::string, base::NodeId> ids;
+  base::Digraph graph;
+  for (const StepDef& s : steps) {
+    if (ids.count(s.name)) return "duplicate step: " + s.name;
+    ids[s.name] = graph.add_node();
+  }
+  for (const StepDef& s : steps) {
+    for (const std::string& dep : s.start_after) {
+      auto it = ids.find(dep);
+      if (it == ids.end())
+        return "step " + s.name + " depends on unknown step " + dep;
+      graph.add_edge(it->second, ids[s.name]);
+    }
+    for (const std::string& dep : s.finish_with) {
+      if (!ids.count(dep))
+        return "step " + s.name + " finishes with unknown step " + dep;
+    }
+  }
+  if (graph.has_cycle()) return "dependency cycle in flow " + name;
+  return "";
+}
+
+StepStatus* FlowInstance::find(const std::string& name) {
+  auto it = steps.find(name);
+  return it == steps.end() ? nullptr : &it->second;
+}
+
+const StepStatus* FlowInstance::find(const std::string& name) const {
+  auto it = steps.find(name);
+  return it == steps.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FlowInstance::step_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, status] : steps) out.push_back(name);
+  return out;
+}
+
+}  // namespace interop::wf

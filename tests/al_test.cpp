@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "al/interp.hpp"
+#include "al/reader.hpp"
+
+namespace interop::al {
+namespace {
+
+// ------------------------------------------------------------------ reader
+
+TEST(Reader, Atoms) {
+  EXPECT_TRUE(read_one("nil").is_nil());
+  EXPECT_EQ(read_one("42").as_int(), 42);
+  EXPECT_EQ(read_one("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(read_one("2.5").as_double(), 2.5);
+  EXPECT_TRUE(read_one("#t").as_bool());
+  EXPECT_FALSE(read_one("#f").as_bool());
+  EXPECT_EQ(read_one("\"hi\\nthere\"").as_string(), "hi\nthere");
+  EXPECT_EQ(read_one("foo-bar").as_symbol().name, "foo-bar");
+}
+
+TEST(Reader, ListsAndQuote) {
+  Value v = read_one("(a (b 1) \"s\")");
+  ASSERT_TRUE(v.is_list());
+  EXPECT_EQ(v.as_list().size(), 3u);
+  Value q = read_one("'x");
+  EXPECT_EQ(q.write(), "(quote x)");
+}
+
+TEST(Reader, CommentsAndMultipleForms) {
+  auto forms = read_all("1 ; comment\n2 3");
+  EXPECT_EQ(forms.size(), 3u);
+  EXPECT_EQ(forms[2].as_int(), 3);
+}
+
+TEST(Reader, Errors) {
+  EXPECT_THROW(read_one("(unterminated"), AlError);
+  EXPECT_THROW(read_one("\"open"), AlError);
+  EXPECT_THROW(read_one(")"), AlError);
+  EXPECT_THROW(read_one("1 2"), AlError);
+}
+
+TEST(Reader, WriteRoundTrip) {
+  for (const char* src :
+       {"(1 2 3)", "(a \"b\" 2.5 #t nil)", "(quote (x y))"}) {
+    Value v = read_one(src);
+    EXPECT_TRUE(read_one(v.write()).equals(v)) << src;
+  }
+}
+
+// ------------------------------------------------------------------- eval
+
+class AlEval : public ::testing::Test {
+ protected:
+  Value run(const std::string& src) { return interp.eval_source(src); }
+  Interpreter interp;
+};
+
+TEST_F(AlEval, Arithmetic) {
+  EXPECT_EQ(run("(+ 1 2 3)").as_int(), 6);
+  EXPECT_EQ(run("(- 10 4 1)").as_int(), 5);
+  EXPECT_EQ(run("(* 2 3 4)").as_int(), 24);
+  EXPECT_EQ(run("(/ 10 2)").as_int(), 5);
+  EXPECT_DOUBLE_EQ(run("(/ 1 2)").as_double(), 0.5);
+  EXPECT_EQ(run("(mod 7 3)").as_int(), 1);
+  EXPECT_EQ(run("(min 3 1 2)").as_int(), 1);
+  EXPECT_EQ(run("(max 3 1 2)").as_int(), 3);
+  EXPECT_DOUBLE_EQ(run("(+ 1 0.5)").as_double(), 1.5);
+}
+
+TEST_F(AlEval, ComparisonAndLogic) {
+  EXPECT_TRUE(run("(< 1 2 3)").as_bool());
+  EXPECT_FALSE(run("(< 1 3 2)").as_bool());
+  EXPECT_TRUE(run("(= 2 2)").as_bool());
+  EXPECT_TRUE(run("(equal? (list 1 2) (list 1 2))").as_bool());
+  EXPECT_TRUE(run("(not #f)").as_bool());
+  EXPECT_EQ(run("(and 1 2 3)").as_int(), 3);
+  EXPECT_FALSE(run("(and 1 #f 3)").as_bool());
+  EXPECT_EQ(run("(or #f 7)").as_int(), 7);
+}
+
+TEST_F(AlEval, SpecialForms) {
+  EXPECT_EQ(run("(if (> 2 1) 10 20)").as_int(), 10);
+  EXPECT_EQ(run("(if #f 10)").is_nil(), true);
+  EXPECT_EQ(run("(cond ((= 1 2) 5) ((= 1 1) 6) (else 7))").as_int(), 6);
+  EXPECT_EQ(run("(cond ((= 1 2) 5) (else 7))").as_int(), 7);
+  EXPECT_EQ(run("(begin 1 2 3)").as_int(), 3);
+  EXPECT_EQ(run("(let ((x 2) (y 3)) (* x y))").as_int(), 6);
+  run("(define z 9)");
+  EXPECT_EQ(run("z").as_int(), 9);
+  run("(set! z 11)");
+  EXPECT_EQ(run("z").as_int(), 11);
+  EXPECT_THROW(run("(set! unbound 1)"), AlError);
+}
+
+TEST_F(AlEval, LambdasAndClosures) {
+  run("(define (adder n) (lambda (x) (+ x n)))");
+  run("(define add5 (adder 5))");
+  EXPECT_EQ(run("(add5 10)").as_int(), 15);
+  // Closures capture their own frame.
+  run("(define add7 (adder 7))");
+  EXPECT_EQ(run("(add5 1)").as_int(), 6);
+  EXPECT_EQ(run("(add7 1)").as_int(), 8);
+  EXPECT_THROW(run("(add5 1 2)"), AlError);  // arity
+}
+
+TEST_F(AlEval, Recursion) {
+  run("(define (fact n) (if (<= n 1) 1 (* n (fact (- n 1)))))");
+  EXPECT_EQ(run("(fact 10)").as_int(), 3628800);
+}
+
+TEST_F(AlEval, WhileLoop) {
+  run("(define i 0) (define acc 0)");
+  run("(while (< i 5) (set! acc (+ acc i)) (set! i (+ i 1)))");
+  EXPECT_EQ(run("acc").as_int(), 10);
+}
+
+TEST_F(AlEval, StringBuiltins) {
+  EXPECT_EQ(run("(string-append \"a\" \"b\" 3)").as_string(), "ab3");
+  EXPECT_EQ(run("(string-length \"abcd\")").as_int(), 4);
+  EXPECT_EQ(run("(substring \"hello\" 1 3)").as_string(), "el");
+  EXPECT_EQ(run("(string-upcase \"ab\")").as_string(), "AB");
+  EXPECT_EQ(run("(string-downcase \"AB\")").as_string(), "ab");
+  Value parts = run("(string-split \"r:4.7k:2p\" \":\")");
+  ASSERT_TRUE(parts.is_list());
+  EXPECT_EQ(parts.as_list().size(), 3u);
+  EXPECT_EQ(parts.as_list()[1].as_string(), "4.7k");
+  EXPECT_EQ(run("(string-replace \"a.b\" \".\" \"_\")").as_string(), "a_b");
+  EXPECT_EQ(run("(string-index \"hello\" \"ll\")").as_int(), 2);
+  EXPECT_FALSE(run("(string-index \"hello\" \"z\")").truthy());
+  EXPECT_TRUE(run("(string-prefix? \"vl_res\" \"vl_\")").as_bool());
+  EXPECT_TRUE(run("(string-suffix? \"x.sch\" \".sch\")").as_bool());
+  EXPECT_EQ(run("(string-trim \"  x \")").as_string(), "x");
+  EXPECT_EQ(run("(string->number \"42\")").as_int(), 42);
+  EXPECT_DOUBLE_EQ(run("(string->number \"2.5\")").as_double(), 2.5);
+  EXPECT_FALSE(run("(string->number \"4.7k\")").truthy());
+  EXPECT_EQ(run("(number->string 7)").as_string(), "7");
+}
+
+TEST_F(AlEval, ListBuiltins) {
+  EXPECT_EQ(run("(length (list 1 2 3))").as_int(), 3);
+  EXPECT_EQ(run("(first (list 4 5))").as_int(), 4);
+  EXPECT_EQ(run("(rest (list 4 5 6))").as_list().size(), 2u);
+  EXPECT_EQ(run("(nth (list 4 5 6) 2)").as_int(), 6);
+  EXPECT_EQ(run("(cons 0 (list 1))").as_list().size(), 2u);
+  EXPECT_EQ(run("(append (list 1) (list 2 3))").as_list().size(), 3u);
+  EXPECT_EQ(run("(reverse (list 1 2 3))").as_list()[0].as_int(), 3);
+  EXPECT_THROW(run("(nth (list 1) 5)"), AlError);
+}
+
+TEST_F(AlEval, HigherOrder) {
+  EXPECT_EQ(run("(map (lambda (x) (* x x)) (list 1 2 3))").write(),
+            "(1 4 9)");
+  EXPECT_EQ(run("(filter (lambda (x) (> x 1)) (list 0 1 2 3))").write(),
+            "(2 3)");
+  EXPECT_EQ(run("(foldl + 0 (list 1 2 3 4))").as_int(), 10);
+}
+
+TEST_F(AlEval, StepLimitGuardsRunaway) {
+  interp.set_step_limit(1000);
+  EXPECT_THROW(run("(while #t 1)"), AlError);
+}
+
+TEST_F(AlEval, CallDepthGuardsRunawayRecursion) {
+  run("(define (f) (f))");
+  EXPECT_THROW(run("(f)"), AlError);
+  // Legitimate deep-but-bounded recursion still works under the limit.
+  interp.set_max_call_depth(64);
+  run("(define (count n) (if (<= n 0) 0 (+ 1 (count (- n 1)))))");
+  EXPECT_EQ(run("(count 50)").as_int(), 50);
+  EXPECT_THROW(run("(count 100)"), AlError);
+}
+
+TEST_F(AlEval, HostBuiltinRegistration) {
+  int called = 0;
+  interp.register_builtin("host-fn", [&called](std::vector<Value>& args) {
+    called = int(args[0].as_int());
+    return Value(args[0].as_int() * 2);
+  });
+  EXPECT_EQ(run("(host-fn 21)").as_int(), 42);
+  EXPECT_EQ(called, 21);
+}
+
+TEST_F(AlEval, Truthiness) {
+  EXPECT_FALSE(Value().truthy());
+  EXPECT_FALSE(Value(false).truthy());
+  EXPECT_TRUE(Value(0).truthy());  // 0 is true, Lisp-style
+  EXPECT_TRUE(Value("").truthy());
+}
+
+}  // namespace
+}  // namespace interop::al

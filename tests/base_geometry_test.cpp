@@ -1,0 +1,150 @@
+#include "base/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace interop::base {
+namespace {
+
+TEST(Point, Arithmetic) {
+  Point a{3, 4}, b{1, -2};
+  EXPECT_EQ(a + b, (Point{4, 2}));
+  EXPECT_EQ(a - b, (Point{2, 6}));
+  EXPECT_EQ(-a, (Point{-3, -4}));
+  EXPECT_EQ(manhattan(a, b), 2 + 6);
+}
+
+TEST(Rect, NormalizesCorners) {
+  Rect r({5, 7}, {1, 2});
+  EXPECT_EQ(r.lo(), (Point{1, 2}));
+  EXPECT_EQ(r.hi(), (Point{5, 7}));
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 5);
+  EXPECT_EQ(r.area(), 20);
+}
+
+TEST(Rect, ContainsAndOverlap) {
+  Rect r = Rect::from_xywh(0, 0, 10, 10);
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{10, 10}));
+  EXPECT_FALSE(r.contains(Point{11, 5}));
+  EXPECT_TRUE(r.overlaps(Rect::from_xywh(5, 5, 10, 10)));
+  EXPECT_FALSE(r.overlaps(Rect::from_xywh(10, 0, 5, 5)));  // edge touch only
+  EXPECT_TRUE(r.touches(Rect::from_xywh(10, 0, 5, 5)));
+  EXPECT_FALSE(r.touches(Rect::from_xywh(11, 0, 5, 5)));
+}
+
+TEST(Rect, UnionIntersection) {
+  Rect a = Rect::from_xywh(0, 0, 4, 4);
+  Rect b = Rect::from_xywh(2, 2, 4, 4);
+  EXPECT_EQ(a.united(b), Rect::from_xywh(0, 0, 6, 6));
+  auto i = a.intersected(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, Rect::from_xywh(2, 2, 2, 2));
+  EXPECT_FALSE(a.intersected(Rect::from_xywh(100, 100, 1, 1)).has_value());
+}
+
+TEST(Rect, Inflate) {
+  Rect r = Rect::from_xywh(2, 2, 4, 4);
+  EXPECT_EQ(r.inflated(1), Rect::from_xywh(1, 1, 6, 6));
+  EXPECT_EQ(r.inflated(-1), Rect::from_xywh(3, 3, 2, 2));
+  // Over-shrink collapses to the center.
+  EXPECT_EQ(r.inflated(-10).width(), 0);
+}
+
+TEST(Orient, StringRoundTrip) {
+  for (Orient o : kAllOrients) {
+    auto back = orient_from_string(to_string(o));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, o);
+  }
+  EXPECT_FALSE(orient_from_string("R45").has_value());
+}
+
+TEST(Orient, MirrorFlag) {
+  EXPECT_FALSE(is_mirrored(Orient::R0));
+  EXPECT_FALSE(is_mirrored(Orient::R270));
+  EXPECT_TRUE(is_mirrored(Orient::MX));
+  EXPECT_TRUE(is_mirrored(Orient::MYR90));
+}
+
+class OrientPairs : public ::testing::TestWithParam<std::tuple<Orient, Orient>> {};
+
+TEST_P(OrientPairs, ComposeMatchesMatrixAction) {
+  auto [a, b] = GetParam();
+  // compose(a, b) applied to a point == b applied after a.
+  Transform ta(a, {0, 0}), tb(b, {0, 0});
+  Transform tc(compose(a, b), {0, 0});
+  for (Point p : {Point{1, 0}, Point{0, 1}, Point{3, -7}}) {
+    EXPECT_EQ(tc.apply(p), tb.apply(ta.apply(p)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, OrientPairs,
+    ::testing::Combine(::testing::ValuesIn(kAllOrients),
+                       ::testing::ValuesIn(kAllOrients)));
+
+class OrientEach : public ::testing::TestWithParam<Orient> {};
+
+TEST_P(OrientEach, InverseUndoes) {
+  Orient o = GetParam();
+  EXPECT_EQ(compose(o, inverse(o)), Orient::R0);
+  EXPECT_EQ(compose(inverse(o), o), Orient::R0);
+}
+
+TEST_P(OrientEach, TransformInverseRoundTrip) {
+  Transform t(GetParam(), {13, -5});
+  Transform inv = t.inverted();
+  for (Point p : {Point{0, 0}, Point{2, 9}, Point{-4, 1}}) {
+    EXPECT_EQ(inv.apply(t.apply(p)), p);
+    EXPECT_EQ(t.apply(inv.apply(p)), p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrients, OrientEach,
+                         ::testing::ValuesIn(kAllOrients));
+
+TEST(Transform, ComposeAssociatesWithApply) {
+  Transform a(Orient::R90, {5, 0});
+  Transform b(Orient::MX, {-2, 3});
+  Point p{7, 11};
+  EXPECT_EQ((a * b).apply(p), a.apply(b.apply(p)));
+}
+
+TEST(Transform, RotationMovesPin) {
+  // A pin at (2,0) on a symbol placed R90 at origin (10,10).
+  Transform t(Orient::R90, {10, 10});
+  EXPECT_EQ(t.apply(Point{2, 0}), (Point{10, 12}));
+}
+
+TEST(Segment, ContainsOnAxis) {
+  Segment h{{0, 5}, {10, 5}};
+  EXPECT_TRUE(h.horizontal());
+  EXPECT_TRUE(h.contains({0, 5}));
+  EXPECT_TRUE(h.contains({7, 5}));
+  EXPECT_FALSE(h.contains({7, 6}));
+  EXPECT_FALSE(h.contains({11, 5}));
+
+  Segment v{{3, 0}, {3, 4}};
+  EXPECT_TRUE(v.vertical());
+  EXPECT_TRUE(v.contains({3, 2}));
+  EXPECT_FALSE(v.contains({2, 2}));
+}
+
+TEST(Segment, SplitAt) {
+  Segment h{{0, 5}, {10, 5}};
+  auto [l, r] = split_at(h, {4, 5});
+  EXPECT_EQ(l, (Segment{{0, 5}, {4, 5}}));
+  EXPECT_EQ(r, (Segment{{4, 5}, {10, 5}}));
+}
+
+TEST(Geometry, StreamOutput) {
+  std::ostringstream os;
+  os << Point{1, 2} << ' ' << Orient::MXR90;
+  EXPECT_EQ(os.str(), "(1,2) MXR90");
+}
+
+}  // namespace
+}  // namespace interop::base

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/diagnostics.hpp"
+#include "base/graph.hpp"
+#include "base/property.hpp"
+#include "base/report.hpp"
+#include "base/rng.hpp"
+#include "base/strings.hpp"
+
+namespace interop::base {
+namespace {
+
+// ---------------------------------------------------------------- property
+
+TEST(PropertyValue, TextRendering) {
+  EXPECT_EQ(PropertyValue("4.7k").text(), "4.7k");
+  EXPECT_EQ(PropertyValue(42).text(), "42");
+  EXPECT_EQ(PropertyValue(true).text(), "true");
+  PropertyValue list(PropertyValue::List{PropertyValue(1), PropertyValue("x")});
+  EXPECT_EQ(list.text(), "1 x");
+}
+
+TEST(PropertySet, SetGetErase) {
+  PropertySet ps;
+  EXPECT_TRUE(ps.empty());
+  ps.set("model", PropertyValue("rmod"));
+  EXPECT_TRUE(ps.has("model"));
+  EXPECT_EQ(ps.get_text("model"), "rmod");
+  EXPECT_EQ(ps.get_text("missing", "dflt"), "dflt");
+  EXPECT_FALSE(ps.get("missing").has_value());
+  EXPECT_TRUE(ps.erase("model"));
+  EXPECT_FALSE(ps.erase("model"));
+}
+
+TEST(PropertySet, RenameSemantics) {
+  PropertySet ps;
+  ps.set("REFDES", PropertyValue("U7"));
+  EXPECT_TRUE(ps.rename("REFDES", "instName"));
+  EXPECT_EQ(ps.get_text("instName"), "U7");
+  EXPECT_FALSE(ps.has("REFDES"));
+  // Renaming onto an existing name fails and leaves both intact.
+  ps.set("other", PropertyValue("x"));
+  EXPECT_FALSE(ps.rename("instName", "other"));
+  EXPECT_EQ(ps.get_text("instName"), "U7");
+  // Renaming a missing property fails.
+  EXPECT_FALSE(ps.rename("nope", "any"));
+}
+
+TEST(PropertySet, DeterministicIterationOrder) {
+  PropertySet ps;
+  ps.set("zeta", PropertyValue(1));
+  ps.set("alpha", PropertyValue(2));
+  ps.set("mid", PropertyValue(3));
+  std::vector<std::string> names;
+  for (const auto& [name, value] : ps) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+// ------------------------------------------------------------- diagnostics
+
+TEST(Diagnostics, CountsBySeverityAndCode) {
+  DiagnosticEngine de;
+  de.note("a", "first");
+  de.warn("b", "second");
+  de.error("b", "third", {"sys", "obj"});
+  EXPECT_EQ(de.all().size(), 3u);
+  EXPECT_EQ(de.count(Severity::Note), 1u);
+  EXPECT_EQ(de.count(Severity::Warning), 1u);
+  EXPECT_EQ(de.count(Severity::Error), 1u);
+  EXPECT_EQ(de.count_code("b"), 2u);
+  EXPECT_TRUE(de.has_errors());
+  EXPECT_EQ(de.with_code("b").size(), 2u);
+  std::ostringstream os;
+  de.print(os);
+  EXPECT_NE(os.str().find("error [b] sys: obj: third"), std::string::npos);
+  de.clear();
+  EXPECT_FALSE(de.has_errors());
+}
+
+// ------------------------------------------------------------------ strings
+
+TEST(Strings, SplitJoin) {
+  EXPECT_EQ(split("a:b::c", ':'),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split_ws("  a \t b\nc "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(join({"x", "y", "z"}, ", "), "x, y, z");
+}
+
+TEST(Strings, TrimCasePrefix) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_EQ(to_upper("AbC"), "ABC");
+  EXPECT_TRUE(starts_with("vl_nand2", "vl_"));
+  EXPECT_FALSE(starts_with("x", "xyz"));
+  EXPECT_TRUE(ends_with("top.sch", ".sch"));
+}
+
+TEST(Strings, ReplaceAllAndFormat) {
+  EXPECT_EQ(replace_all("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(strformat("%s=%d", "x", 42), "x=42");
+}
+
+// -------------------------------------------------------------------- graph
+
+TEST(Digraph, TopoOrderOnDag) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.add_edge(0, 1));  // duplicate suppressed
+  EXPECT_EQ(g.edge_count(), 4u);
+  auto order = g.topo_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+  EXPECT_FALSE(g.has_cycle());
+}
+
+TEST(Digraph, DetectsCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(Digraph, Reachability) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  auto fwd = g.reachable_from(0);
+  EXPECT_EQ(fwd.size(), 3u);
+  auto back = g.reaching(2);
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_EQ(g.reachable_from(3).size(), 2u);
+}
+
+TEST(Digraph, InducedSubgraph) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  std::vector<std::optional<NodeId>> remap;
+  Digraph sub = g.induced({true, false, true, true}, &remap);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_FALSE(remap[1].has_value());
+  // Edge 1->2 vanished with node 1; 2->3 survives under new ids.
+  EXPECT_TRUE(sub.has_edge(*remap[2], *remap[3]));
+  EXPECT_EQ(sub.edge_count(), 1u);
+}
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = r.uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+    double d = r.uniform01();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, IdentifierShape) {
+  Rng r(5);
+  std::string id = r.identifier(12);
+  EXPECT_EQ(id.size(), 12u);
+  EXPECT_TRUE(isalpha(static_cast<unsigned char>(id[0])));
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng r(3);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ------------------------------------------------------------------- report
+
+TEST(ReportTable, FormatsAligned) {
+  ReportTable t("demo", {"name", "value"});
+  t.add_row({"alpha", ReportTable::num(std::int64_t(42))});
+  t.add_row({"b", ReportTable::pct(0.125)});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cell(1, 1), "12.5%");
+  std::string s = t.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 42"), std::string::npos);
+}
+
+TEST(ReportTable, NumberFormatting) {
+  EXPECT_EQ(ReportTable::num(3.14159, 3), "3.142");
+  EXPECT_EQ(ReportTable::num(std::int64_t(-7)), "-7");
+  EXPECT_EQ(ReportTable::pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace interop::base

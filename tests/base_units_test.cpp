@@ -1,0 +1,90 @@
+#include "base/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace interop::base {
+namespace {
+
+TEST(Rational, Normalizes) {
+  Rational r(4, 8);
+  EXPECT_EQ(r.num(), 1);
+  EXPECT_EQ(r.den(), 2);
+  Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 10), b(1, 16);
+  EXPECT_EQ(a + b, Rational(13, 80));
+  EXPECT_EQ(a - b, Rational(3, 80));
+  EXPECT_EQ(a * b, Rational(1, 160));
+  EXPECT_EQ(a / b, Rational(8, 5));
+  EXPECT_EQ(a.reciprocal(), Rational(10));
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_TRUE(Rational(1, 16) < Rational(1, 10));
+  EXPECT_FALSE(Rational(1, 10) < Rational(1, 10));
+}
+
+TEST(Rational, Errors) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+  EXPECT_THROW(Rational(1, 2) / Rational(0), std::domain_error);
+  EXPECT_THROW(Rational(0).reciprocal(), std::domain_error);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(8, 5).str(), "8/5");
+  EXPECT_EQ(Rational(4, 2).str(), "2");
+}
+
+TEST(Grid, PositionAndUnits) {
+  Grid tenth(Rational(1, 10));
+  EXPECT_EQ(tenth.position_of(5), Rational(1, 2));
+  EXPECT_EQ(tenth.units_of(Rational(1, 2)), 5);
+  EXPECT_FALSE(tenth.units_of(Rational(1, 16)).has_value());
+}
+
+TEST(Grid, SnapRounding) {
+  Grid g(Rational(1, 4));
+  EXPECT_EQ(g.snap(Rational(3, 8)), 2);   // 1.5 units -> rounds up
+  EXPECT_EQ(g.snap(Rational(1, 3)), 1);   // 1.33 units -> 1
+  EXPECT_EQ(g.snap(Rational(-3, 8)), -1); // -1.5 -> rounds toward +inf
+}
+
+// The paper's exact scaling case: Viewlogic 1/10" grid to Composer 1/16".
+TEST(Grid, PaperScalingCase) {
+  Grid vl(Rational(1, 10));
+  Grid cd(Rational(1, 16));
+  EXPECT_EQ(scale_factor(vl, cd), Rational(8, 5));
+
+  // 5 Viewlogic units (half an inch) is exactly 8 Composer units.
+  EXPECT_EQ(rescale_exact(5, vl, cd), 8);
+  // 1 Viewlogic unit (0.1") is 1.6 Composer units: off-grid.
+  EXPECT_FALSE(rescale_exact(1, vl, cd).has_value());
+  EXPECT_EQ(rescale_snapped(1, vl, cd), 2);
+  EXPECT_EQ(rescale_snapped(2, vl, cd), 3);  // 3.2 -> 3
+}
+
+class GridPairRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GridPairRoundTrip, ExactRescaleIsReversible) {
+  auto [da, db] = GetParam();
+  Grid a(Rational(1, da)), b(Rational(1, db));
+  for (std::int64_t v = -20; v <= 20; ++v) {
+    auto there = rescale_exact(v, a, b);
+    if (!there) continue;
+    auto back = rescale_exact(*there, b, a);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CommonPitches, GridPairRoundTrip,
+                         ::testing::Combine(::testing::Values(10, 16, 4, 20),
+                                            ::testing::Values(10, 16, 4, 20)));
+
+}  // namespace
+}  // namespace interop::base

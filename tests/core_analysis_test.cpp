@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/optimize.hpp"
+
+namespace interop::core {
+namespace {
+
+// Two tasks, two tools whose ports disagree on every §6 classification axis.
+struct Fixture {
+  Fixture() {
+    Task produce{"syn", "synthesize", TaskCategory::Creation, {"rtl"},
+                 {"netlist"}, "synthesis"};
+    Task consume{"route", "place and route", TaskCategory::Creation,
+                 {"netlist"}, {"layout"}, "pnr"};
+    tasks.add(produce);
+    tasks.add(consume);
+
+    ToolModel syn;
+    syn.name = "SynTool";
+    syn.vendor = "vendorA";
+    syn.inputs = {{"rtl", "verilog", "4value", "hier", "long"}};
+    syn.outputs = {{"netlist", "vnet", "12value", "hier", "long"}};
+    syn.controls = {{"tcl", true}};
+    syn.invocation_cost = 2.0;
+
+    ToolModel route;
+    route.name = "RouteTool";
+    route.vendor = "vendorB";
+    route.inputs = {{"netlist", "edif", "4value", "flat", "8char"}};
+    route.outputs = {{"layout", "def", "na", "flat", "8char"}};
+    route.controls = {{"gui", true}};
+    route.invocation_cost = 3.0;
+
+    tools.add(syn);
+    tools.add(route);
+    map.assign("syn", "SynTool");
+    map.assign("route", "RouteTool");
+  }
+
+  TaskGraph tasks;
+  ToolLibrary tools;
+  TaskToolMap map;
+};
+
+TEST(Coverage, HolesOverlapsAndGaps) {
+  Fixture f;
+  TaskToolMap partial;
+  partial.assign("syn", "SynTool");
+  CoverageReport cov = analyze_coverage(f.tasks, f.tools, partial);
+  EXPECT_EQ(cov.holes, std::vector<std::string>{"route"});
+
+  TaskToolMap doubled = f.map;
+  doubled.assign("syn", "RouteTool");
+  cov = analyze_coverage(f.tasks, f.tools, doubled);
+  EXPECT_EQ(cov.overlaps, std::vector<std::string>{"syn"});
+  // RouteTool has no rtl port at all: a port gap.
+  EXPECT_FALSE(cov.port_gaps.empty());
+
+  cov = analyze_coverage(f.tasks, f.tools, f.map);
+  EXPECT_TRUE(cov.holes.empty());
+  EXPECT_TRUE(cov.overlaps.empty());
+  EXPECT_TRUE(cov.port_gaps.empty());
+}
+
+TEST(FlowAnalysis, FindsAllFiveClassicProblems) {
+  Fixture f;
+  auto issues = analyze_flow(f.tasks, f.tools, f.map);
+  std::set<IssueKind> kinds;
+  for (const InteropIssue& i : issues) kinds.insert(i.kind);
+  EXPECT_TRUE(kinds.count(IssueKind::Performance));         // vnet -> edif
+  EXPECT_TRUE(kinds.count(IssueKind::NameMapping));         // long -> 8char
+  EXPECT_TRUE(kinds.count(IssueKind::StructureMapping));    // hier -> flat
+  EXPECT_TRUE(kinds.count(IssueKind::SemanticInterpretation));  // 12v -> 4v
+  EXPECT_TRUE(kinds.count(IssueKind::ToolControl));         // tcl vs gui
+  EXPECT_EQ(issues.size(), 5u);
+}
+
+TEST(FlowAnalysis, NoIssuesWhenPortsAgree) {
+  Fixture f;
+  // Align the consumer with the producer.
+  ToolModel* route = f.tools.find_mutable("RouteTool");
+  route->inputs[0] = *f.tools.find("SynTool")->output_for("netlist");
+  route->controls.push_back({"tcl", true});
+  EXPECT_TRUE(analyze_flow(f.tasks, f.tools, f.map).empty());
+}
+
+TEST(FlowAnalysis, SameToolEdgesAreFree) {
+  Fixture f;
+  TaskToolMap same;
+  same.assign("syn", "SynTool");
+  same.assign("route", "SynTool");
+  EXPECT_TRUE(analyze_flow(f.tasks, f.tools, same).empty());
+}
+
+TEST(FlowCost, CombinesInvocationAndPenalty) {
+  Fixture f;
+  FlowCost cost = flow_cost(f.tasks, f.tools, f.map, 5.0);
+  EXPECT_DOUBLE_EQ(cost.invocation, 5.0);        // 2 + 3
+  EXPECT_DOUBLE_EQ(cost.interop_penalty, 25.0);  // 5 issues x 5.0
+  EXPECT_DOUBLE_EQ(cost.total(), 30.0);
+}
+
+// ---- the three §6 optimizations ----
+
+TEST(Optimize, RepartitionOnlyWorksWithinControllableVendor) {
+  Fixture f;
+  // Different vendors: nothing to repartition.
+  OptimizationOutcome none = repartition_boundaries(
+      f.tasks, f.tools, f.map, {"vendorA", "vendorB"});
+  EXPECT_EQ(none.issues_removed, 0);
+
+  // Same vendor and controllable: the boundary disappears.
+  f.tools.find_mutable("RouteTool")->vendor = "vendorA";
+  OptimizationOutcome out =
+      repartition_boundaries(f.tasks, f.tools, f.map, {"vendorA"});
+  EXPECT_GT(out.issues_removed, 0);
+  EXPECT_GT(out.improvement(), 0.0);
+  EXPECT_TRUE(analyze_flow(f.tasks, f.tools, f.map).empty());
+}
+
+TEST(Optimize, RepartitionRespectsBlackBoxes) {
+  Fixture f;
+  f.tools.find_mutable("RouteTool")->vendor = "vendorA";
+  // Same vendor but NOT controllable (black boxes): no change.
+  OptimizationOutcome out =
+      repartition_boundaries(f.tasks, f.tools, f.map, {"someoneElse"});
+  EXPECT_EQ(out.issues_removed, 0);
+}
+
+TEST(Optimize, DataConventionsFixConvertibleNamespaces) {
+  Fixture f;
+  std::size_t before = analyze_flow(f.tasks, f.tools, f.map).size();
+  OptimizationOutcome out = apply_data_conventions(
+      f.tasks, f.tools, f.map, {{"long", "8char"}});
+  EXPECT_EQ(out.issues_removed, 1);
+  EXPECT_EQ(analyze_flow(f.tasks, f.tools, f.map).size(), before - 1);
+
+  // Non-convertible pairs stay broken.
+  Fixture g;
+  OptimizationOutcome none = apply_data_conventions(
+      g.tasks, g.tools, g.map, {{"8char", "long"}});  // wrong direction
+  EXPECT_EQ(none.issues_removed, 0);
+}
+
+TEST(Optimize, TechnologySubstitutionShrinksFlow) {
+  // Three tasks: gate-sim + vector-gen replaced by formal verification
+  // (the paper's own example of "technological innovation").
+  TaskGraph tasks;
+  tasks.add({"syn", "", TaskCategory::Creation, {"rtl"}, {"netlist"}, "s"});
+  tasks.add({"vecgen", "", TaskCategory::Creation, {"rtl"}, {"vectors"},
+             "v"});
+  tasks.add({"gatesim", "", TaskCategory::Validation, {"netlist", "vectors"},
+             {"equiv-report"}, "v"});
+  ToolLibrary tools;
+  ToolModel any;
+  any.name = "OldTool";
+  any.vendor = "x";
+  any.inputs = {{"rtl", "verilog", "4value", "hier", "long"},
+                {"netlist", "vnet", "4value", "hier", "long"},
+                {"vectors", "wgl", "na", "flat", "long"}};
+  any.outputs = {{"netlist", "vnet", "4value", "hier", "long"},
+                 {"vectors", "wgl", "na", "flat", "long"},
+                 {"equiv-report", "text", "na", "flat", "long"}};
+  any.invocation_cost = 4.0;
+  tools.add(any);
+  TaskToolMap map;
+  map.assign("syn", "OldTool");
+  map.assign("vecgen", "OldTool");
+  map.assign("gatesim", "OldTool");
+
+  ToolModel formal;
+  formal.name = "FormalEq";
+  formal.vendor = "innovator";
+  formal.inputs = {{"rtl", "verilog", "4value", "hier", "long"},
+                   {"netlist", "vnet", "4value", "hier", "long"}};
+  formal.outputs = {{"equiv-report", "text", "na", "flat", "long"}};
+  formal.invocation_cost = 2.0;
+
+  Substitution sub = substitute_technology(
+      tasks, tools, map, {"vecgen", "gatesim"}, "formal_verify", formal);
+  EXPECT_EQ(sub.tasks.size(), 2u);  // syn + formal_verify
+  const Task* merged = sub.tasks.find("formal_verify");
+  ASSERT_NE(merged, nullptr);
+  // External interface preserved: consumes rtl+netlist, produces the report.
+  EXPECT_EQ(merged->outputs, std::vector<std::string>{"equiv-report"});
+  EXPECT_TRUE(std::find(merged->inputs.begin(), merged->inputs.end(),
+                        "netlist") != merged->inputs.end());
+  EXPECT_GT(sub.outcome.improvement(), 0.0);
+  EXPECT_TRUE(sub.tasks.is_dag());
+}
+
+}  // namespace
+}  // namespace interop::core

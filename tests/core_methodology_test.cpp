@@ -1,0 +1,136 @@
+#include "core/methodology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimize.hpp"
+
+namespace interop::core {
+namespace {
+
+class Methodology : public ::testing::Test {
+ protected:
+  Methodology() : m(make_cell_based_methodology()) {}
+  CellBasedMethodology m;
+};
+
+// The paper's scale claim: "approximately 200 tasks to describe a cell
+// based design methodology that spans from product specification to final
+// mask tapeout".
+TEST_F(Methodology, ApproximatelyTwoHundredTasks) {
+  EXPECT_GE(m.tasks.size(), 180u);
+  EXPECT_LE(m.tasks.size(), 220u);
+}
+
+TEST_F(Methodology, SpansSpecificationToTapeout) {
+  EXPECT_NE(m.tasks.find("spec.market_reqs"), nullptr);
+  EXPECT_NE(m.tasks.find("tape.release"), nullptr);
+  // Tapeout is reachable from specification.
+  auto spec = m.tasks.node_of("spec.market_reqs");
+  auto tape = m.tasks.node_of("tape.release");
+  ASSERT_TRUE(spec && tape);
+  auto reachable = m.tasks.graph().reachable_from(*spec);
+  EXPECT_TRUE(std::find(reachable.begin(), reachable.end(), *tape) !=
+              reachable.end());
+}
+
+TEST_F(Methodology, GraphIsAcyclic) { EXPECT_TRUE(m.tasks.is_dag()); }
+
+TEST_F(Methodology, EveryTaskMappedNoGaps) {
+  CoverageReport cov = analyze_coverage(m.tasks, m.tools, m.map);
+  EXPECT_TRUE(cov.holes.empty()) << cov.holes.front();
+  EXPECT_TRUE(cov.overlaps.empty());
+  EXPECT_TRUE(cov.port_gaps.empty())
+      << (cov.port_gaps.empty() ? "" : cov.port_gaps.front());
+}
+
+TEST_F(Methodology, TaskGraphIsNotLinear) {
+  // §6: "task graphs more faithfully represent the designer's choices ...
+  // in contrast, tool specific design flow descriptions simplify the
+  // problem to one which is linear". A linear flow has max out-degree 1.
+  const base::Digraph& g = m.tasks.graph();
+  std::size_t max_out = 0;
+  for (base::NodeId n = 0; n < g.size(); ++n)
+    max_out = std::max(max_out, g.out_degree(n));
+  EXPECT_GT(max_out, 3u);
+}
+
+TEST_F(Methodology, AnalysisFindsAllFiveProblemClasses) {
+  auto issues = analyze_flow(m.tasks, m.tools, m.map);
+  EXPECT_GT(issues.size(), 50u);
+  std::set<IssueKind> kinds;
+  for (const InteropIssue& i : issues) kinds.insert(i.kind);
+  EXPECT_EQ(kinds.size(), 5u);
+}
+
+TEST_F(Methodology, ScenariosPruneTheGraph) {
+  for (const char* name : {"full-asic", "fpga-proto", "ip-delivery"}) {
+    const Scenario* sc = m.scenario(name);
+    ASSERT_NE(sc, nullptr) << name;
+    PruneReport report;
+    TaskGraph pruned = apply_scenario(m.tasks, *sc, &report);
+    EXPECT_LT(report.after, report.before) << name;
+    EXPECT_GT(report.after, 10u) << name;
+    EXPECT_TRUE(pruned.is_dag());
+  }
+  // The prototype scenario is much smaller than the full ASIC one.
+  PruneReport full, proto;
+  apply_scenario(m.tasks, *m.scenario("full-asic"), &full);
+  apply_scenario(m.tasks, *m.scenario("fpga-proto"), &proto);
+  EXPECT_LT(proto.after, full.after / 2);
+}
+
+TEST_F(Methodology, FullAsicScenarioExcludesFpga) {
+  TaskGraph pruned = apply_scenario(m.tasks, *m.scenario("full-asic"));
+  EXPECT_EQ(pruned.find("fpga.bitgen"), nullptr);
+  EXPECT_NE(pruned.find("tape.stream_out"), nullptr);
+}
+
+TEST_F(Methodology, OptimizationsReduceCostInSequence) {
+  TaskGraph flow = apply_scenario(m.tasks, *m.scenario("full-asic"));
+  double cost0 = flow_cost(flow, m.tools, m.map).total();
+
+  // (1) repartition within the vendors the CAD group controls.
+  OptimizationOutcome r1 = repartition_boundaries(
+      flow, m.tools, m.map, {"vlogic", "layo", "synplex"});
+  EXPECT_GT(r1.issues_removed, 0);
+  double cost1 = flow_cost(flow, m.tools, m.map).total();
+  EXPECT_LT(cost1, cost0);
+
+  // (2) naming conventions make long<->8char and case conversions safe.
+  OptimizationOutcome r2 = apply_data_conventions(
+      flow, m.tools, m.map,
+      {{"long", "8char"}, {"case-insensitive", "long"},
+       {"long", "case-insensitive"}});
+  EXPECT_GT(r2.issues_removed, 0);
+  double cost2 = flow_cost(flow, m.tools, m.map).total();
+  EXPECT_LT(cost2, cost1);
+
+  // (3) formal verification replaces the gate-level sim tasks.
+  std::set<std::string> replaced;
+  for (const Task& t : flow.tasks())
+    if (t.id.rfind("syn.postsim.", 0) == 0) replaced.insert(t.id);
+  ASSERT_FALSE(replaced.empty());
+  ToolModel formal;
+  formal.name = "FormalEq";
+  formal.vendor = "innovator";
+  formal.inputs = {{"netlist", "vnet", "12value", "hier", "case-insensitive"},
+                   {"testbench", "verilog", "4value", "hier", "long"},
+                   {"sim-models", "vmodel", "4value", "hier", "long"}};
+  formal.outputs = {
+      {"gate-sim-results", "vcd", "4value", "hier", "long"}};
+  formal.invocation_cost = 0.5;
+  Substitution sub = substitute_technology(flow, m.tools, m.map, replaced,
+                                           "formal.verify_all", formal);
+  EXPECT_EQ(sub.tasks.size(), flow.size() - replaced.size() + 1);
+  EXPECT_LT(sub.outcome.after.total(), cost2 + 1e-9);
+}
+
+TEST_F(Methodology, PerBlockTasksExistForEveryBlock) {
+  for (const std::string& b : methodology_blocks()) {
+    EXPECT_NE(m.tasks.find("rtl.write." + b), nullptr) << b;
+    EXPECT_NE(m.tasks.find("pr.route." + b), nullptr) << b;
+  }
+}
+
+}  // namespace
+}  // namespace interop::core

@@ -1,0 +1,115 @@
+#include "core/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace interop::core {
+namespace {
+
+bool has_kind(const std::vector<PortabilityIssue>& issues,
+              PortabilityIssue::Kind kind) {
+  for (const PortabilityIssue& i : issues)
+    if (i.kind == kind) return true;
+  return false;
+}
+
+ScriptSpec sim_script() {
+  ScriptSpec s;
+  s.name = "run_sim";
+  s.language = ScriptLanguage::Perl;
+  s.command_spellings = {{"hostname", "hostname"}, {"hostid", "hostid"}};
+  s.tools_used = {"VeriSim"};
+  s.uses_native_extension = true;  // a PLI module
+  return s;
+}
+
+// §3.4 "nonstandard operating system commands": hostid spells differently
+// on the HP-flavored box.
+TEST(Platform, CommandSpellingDiffersAcrossUnixFlavors) {
+  auto issues = check_portability(sim_script(), sun_workstation(),
+                                  hp_workstation());
+  EXPECT_TRUE(has_kind(issues, PortabilityIssue::Kind::CommandSpelling));
+  // hostname happens to agree? No: HP spells it "uname -n".
+  int spelling = 0;
+  for (const auto& i : issues)
+    if (i.kind == PortabilityIssue::Kind::CommandSpelling) ++spelling;
+  EXPECT_EQ(spelling, 2);
+}
+
+// §3.4 "tool version skew": the vendor lags the HP port.
+TEST(Platform, ToolVersionSkewDetected) {
+  auto issues = check_portability(sim_script(), sun_workstation(),
+                                  hp_workstation());
+  EXPECT_TRUE(has_kind(issues, PortabilityIssue::Kind::ToolVersionSkew));
+}
+
+// §3.4 "extension languages": the PLI module needs the other compiler.
+TEST(Platform, NativeExtensionNeedsRecompile) {
+  auto issues = check_portability(sim_script(), sun_workstation(),
+                                  hp_workstation());
+  EXPECT_TRUE(has_kind(issues, PortabilityIssue::Kind::RecompileNeeded));
+}
+
+// §3.4 "office / home computing incompatibilities": the home PC has no
+// perl, no hostid, an ancient simulator, and no compiler at all.
+TEST(Platform, HomePcBreaksEverything) {
+  auto issues = check_portability(sim_script(), sun_workstation(), home_pc());
+  EXPECT_TRUE(has_kind(issues, PortabilityIssue::Kind::MissingInterpreter));
+  EXPECT_TRUE(has_kind(issues, PortabilityIssue::Kind::MissingCommand));
+  EXPECT_TRUE(has_kind(issues, PortabilityIssue::Kind::ToolVersionSkew));
+  EXPECT_TRUE(has_kind(issues, PortabilityIssue::Kind::NoCompiler));
+}
+
+TEST(Platform, SamePlatformIsClean) {
+  auto issues = check_portability(sim_script(), sun_workstation(),
+                                  sun_workstation());
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(Platform, MissingToolDetected) {
+  ScriptSpec s = sim_script();
+  s.tools_used = {"SomethingElse"};
+  s.uses_native_extension = false;
+  auto issues = check_portability(s, sun_workstation(), hp_workstation());
+  EXPECT_TRUE(has_kind(issues, PortabilityIssue::Kind::MissingTool));
+}
+
+// §3.5: "unless a company adopts and enforces a standard for an integration
+// language, sharing and reuse ... will be limited."
+TEST(ScriptReuse, MixedLanguagesStrandScripts) {
+  std::vector<ScriptSpec> pool;
+  auto add = [&pool](ScriptLanguage lang, int n) {
+    for (int i = 0; i < n; ++i) {
+      ScriptSpec s;
+      s.name = to_string(lang) + std::to_string(i);
+      s.language = lang;
+      pool.push_back(s);
+    }
+  };
+  add(ScriptLanguage::Tcl, 5);
+  add(ScriptLanguage::Perl, 3);
+  add(ScriptLanguage::Skill, 2);
+  add(ScriptLanguage::Shell, 2);
+
+  ReuseReport r = analyze_script_reuse(pool);
+  ASSERT_TRUE(r.dominant.has_value());
+  EXPECT_EQ(*r.dominant, ScriptLanguage::Tcl);
+  EXPECT_EQ(r.shareable, 5);
+  EXPECT_EQ(r.stranded, 7);
+  EXPECT_NEAR(r.reuse_fraction(), 5.0 / 12.0, 1e-9);
+
+  // After the company standardizes on Tcl:
+  std::vector<ScriptSpec> standardized = pool;
+  for (ScriptSpec& s : standardized) s.language = ScriptLanguage::Tcl;
+  ReuseReport r2 = analyze_script_reuse(standardized);
+  EXPECT_DOUBLE_EQ(r2.reuse_fraction(), 1.0);
+  EXPECT_EQ(r2.stranded, 0);
+}
+
+TEST(ScriptReuse, EmptyPoolIsTriviallyReusable) {
+  ReuseReport r = analyze_script_reuse({});
+  EXPECT_DOUBLE_EQ(r.reuse_fraction(), 1.0);
+  EXPECT_FALSE(r.dominant.has_value());
+}
+
+}  // namespace
+}  // namespace interop::core

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "core/task.hpp"
+
+namespace interop::core {
+namespace {
+
+TaskGraph small_graph() {
+  TaskGraph g;
+  Task a{"write_rtl", "write the RTL", TaskCategory::Creation, {"spec"},
+         {"rtl"}, "rtl"};
+  Task b{"simulate", "simulate it", TaskCategory::Validation,
+         {"rtl", "testbench"}, {"sim-results"}, "verify"};
+  Task c{"write_tb", "write the testbench", TaskCategory::Creation, {"spec"},
+         {"testbench"}, "verify"};
+  Task d{"synthesize", "map to gates", TaskCategory::Creation, {"rtl"},
+         {"netlist"}, "synthesis"};
+  g.add(a);
+  g.add(b);
+  g.add(c);
+  g.add(d);
+  return g;
+}
+
+TEST(TaskGraph, LinksThroughInfoKinds) {
+  TaskGraph g = small_graph();
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_FALSE(g.add(Task{"write_rtl", "", TaskCategory::Creation, {}, {}}));
+  EXPECT_EQ(g.producers_of("rtl"), std::vector<std::string>{"write_rtl"});
+  auto consumers = g.consumers_of("rtl");
+  EXPECT_EQ(consumers.size(), 2u);
+
+  const base::Digraph& dg = g.graph();
+  auto rtl_node = g.node_of("write_rtl");
+  auto sim_node = g.node_of("simulate");
+  ASSERT_TRUE(rtl_node && sim_node);
+  EXPECT_TRUE(dg.has_edge(*rtl_node, *sim_node));
+  EXPECT_TRUE(g.is_dag());
+}
+
+TEST(TaskGraph, ExternalAndTerminalKinds) {
+  TaskGraph g = small_graph();
+  EXPECT_TRUE(g.external_inputs().count("spec"));
+  EXPECT_FALSE(g.external_inputs().count("rtl"));
+  EXPECT_TRUE(g.terminal_outputs().count("sim-results"));
+  EXPECT_TRUE(g.terminal_outputs().count("netlist"));
+  EXPECT_FALSE(g.terminal_outputs().count("rtl"));
+}
+
+TEST(TaskGraph, ReachingOutputsAndSubset) {
+  TaskGraph g = small_graph();
+  // Only sim-results as goal: synthesize is pruned.
+  auto keep = g.tasks_reaching_outputs({"sim-results"});
+  EXPECT_EQ(keep.size(), 3u);
+  EXPECT_FALSE(keep.count("synthesize"));
+  TaskGraph sub = g.subset(keep);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_TRUE(sub.is_dag());
+}
+
+TEST(Scenario, PrunesByGoalAndExclusions) {
+  TaskGraph g = small_graph();
+  Scenario sc;
+  sc.name = "sim-only";
+  sc.goal_outputs = {"sim-results"};
+  PruneReport report;
+  TaskGraph pruned = apply_scenario(g, sc, &report);
+  EXPECT_EQ(report.before, 4u);
+  EXPECT_EQ(report.after, 3u);
+  EXPECT_EQ(report.dropped, std::vector<std::string>{"synthesize"});
+
+  Scenario no_tb = sc;
+  no_tb.excluded_tasks = {"write_tb"};
+  TaskGraph pruned2 = apply_scenario(g, no_tb);
+  EXPECT_EQ(pruned2.size(), 2u);
+
+  Scenario no_phase = sc;
+  no_phase.excluded_phases = {"verify"};
+  TaskGraph pruned3 = apply_scenario(g, no_phase);
+  EXPECT_EQ(pruned3.size(), 1u);  // only write_rtl feeds... rtl feeds sim
+}
+
+TEST(Scenario, EmptyGoalsKeepEverything) {
+  TaskGraph g = small_graph();
+  Scenario sc;
+  TaskGraph pruned = apply_scenario(g, sc);
+  EXPECT_EQ(pruned.size(), g.size());
+}
+
+}  // namespace
+}  // namespace interop::core

@@ -1,0 +1,148 @@
+#include "hdl/cosim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hdl/parser.hpp"
+
+namespace interop::hdl {
+namespace {
+
+ElabDesign elab(const std::string& src, const std::string& top) {
+  return elaborate(parse(src), top);
+}
+
+// The split design: A computes mid = a & b; B computes out = mid | c and
+// feeds back fb = out ^ d into A, which computes w = fb & a.
+// The combinational path a->mid->out->fb->w crosses the boundary twice.
+const char* kSideA = R"(
+  module sa(); reg a, b, d; wire fb; reg w_in; wire mid; wire w;
+    assign mid = a & b;
+    assign w = w_in & a;
+    initial begin a = 1; b = 1; d = 0; w_in = 0; end
+  endmodule
+)";
+const char* kSideB = R"(
+  module sb(); reg mid_in, c; wire out; wire fb;
+    assign out = mid_in | c;
+    assign fb = out ^ 1'b0;
+    initial begin mid_in = 0; c = 0; end
+  endmodule
+)";
+
+// The same circuit in one kernel: the golden reference.
+const char* kMonolithic = R"(
+  module m(); reg a, b, c, d; wire mid, out, fb, w;
+    assign mid = a & b;
+    assign out = mid | c;
+    assign fb = out ^ 1'b0;
+    assign w = fb & a;
+    initial begin a = 1; b = 1; c = 0; d = 0; end
+  endmodule
+)";
+
+class Cosim : public ::testing::Test {
+ protected:
+  ElabDesign a = elab(kSideA, "sa");
+  ElabDesign b = elab(kSideB, "sb");
+  ElabDesign mono = elab(kMonolithic, "m");
+
+  void bind(CosimHarness& h) {
+    h.bind_a_to_b("sa.mid", "sb.mid_in");
+    h.bind_b_to_a("sb.fb", "sa.w_in");
+  }
+};
+
+TEST_F(Cosim, ConvergentExchangeMatchesMonolithic) {
+  CosimOptions opt;
+  opt.iterate_to_convergence = true;
+  CosimHarness h(a, b, opt);
+  bind(h);
+  h.run(2);
+
+  Simulation ref(mono, SchedulerPolicy::SourceOrder);
+  ref.run(2);
+  EXPECT_EQ(h.sim_b().value("sb.out"), ref.value("m.out"));
+  EXPECT_EQ(h.sim_a().value("sa.w"), ref.value("m.w"));
+  EXPECT_EQ(h.sim_a().value("sa.w"), Logic::L1);
+  // The boundary needed more than one exchange: the path crosses twice.
+  EXPECT_GT(h.peak_exchange_iterations(), 1);
+}
+
+// §3.1's "simulation cycle definition" mismatch: exchanging once per
+// timestep leaves the twice-crossing path one exchange stale.
+TEST_F(Cosim, OncePerStepExchangeLagsBehind) {
+  CosimOptions opt;
+  opt.iterate_to_convergence = false;
+  CosimHarness h(a, b, opt);
+  bind(h);
+  h.run(0);  // time 0 only: one exchange
+
+  // mid crossed (a&b = 1), but fb's effect on w has not arrived yet.
+  EXPECT_EQ(h.sim_b().value("sb.out"), Logic::L1);
+  EXPECT_EQ(h.sim_a().value("sa.w"), Logic::L0);  // STALE
+
+  Simulation ref(mono, SchedulerPolicy::SourceOrder);
+  ref.run(0);
+  EXPECT_EQ(ref.value("m.w"), Logic::L1);
+  EXPECT_NE(h.sim_a().value("sa.w"), ref.value("m.w"));
+
+  // Given more timesteps, the stale value eventually drains through —
+  // results depend on *when you look*, the classic co-simulation headache.
+  h.run(3);
+  EXPECT_EQ(h.sim_a().value("sa.w"), Logic::L1);
+}
+
+// §3.1's value-set inconsistency: the bridge flattens Z to X.
+TEST_F(Cosim, ZFlattensToXAcrossTheBridge) {
+  const char* src_a = R"(
+    module za(); reg en; wire tri_out;
+      assign tri_out = en ? 1'b1 : 1'bz;
+      initial en = 0;
+    endmodule
+  )";
+  const char* src_b = R"(
+    module zb(); reg zin; reg seen;
+      always @(zin) seen = zin;
+      initial begin zin = 0; seen = 0; end
+    endmodule
+  )";
+  ElabDesign za = elab(src_a, "za");
+  ElabDesign zb = elab(src_b, "zb");
+
+  for (bool lossy : {false, true}) {
+    CosimOptions opt;
+    opt.z_becomes_x = lossy;
+    CosimHarness h(za, zb, opt);
+    h.bind_a_to_b("za.tri_out", "zb.zin");
+    h.run(1);
+    EXPECT_EQ(h.sim_b().value("zb.seen"), lossy ? Logic::X : Logic::Z)
+        << (lossy ? "lossy" : "faithful");
+  }
+}
+
+TEST_F(Cosim, ExchangeIterationLimitGuards) {
+  // An unstable boundary (inverter loop across the bridge) stops at the
+  // iteration limit instead of hanging.
+  const char* osc_a = R"(
+    module oa(); reg in_a; wire out_a; assign out_a = !in_a;
+      initial in_a = 0;
+    endmodule
+  )";
+  const char* osc_b = R"(
+    module ob(); reg in_b; wire out_b; assign out_b = in_b;
+      initial in_b = 0;
+    endmodule
+  )";
+  ElabDesign oa = elab(osc_a, "oa");
+  ElabDesign ob = elab(osc_b, "ob");
+  CosimOptions opt;
+  opt.max_exchange_iterations = 5;
+  CosimHarness h(oa, ob, opt);
+  h.bind_a_to_b("oa.out_a", "ob.in_b");
+  h.bind_b_to_a("ob.out_b", "oa.in_a");
+  h.run(0);
+  EXPECT_EQ(h.last_exchange_iterations(), 5);
+}
+
+}  // namespace
+}  // namespace interop::hdl

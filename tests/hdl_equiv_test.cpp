@@ -1,0 +1,136 @@
+#include "hdl/equiv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hdl/parser.hpp"
+#include "hdl/synth.hpp"
+
+namespace interop::hdl {
+namespace {
+
+TEST(Equiv, IdenticalModulesAreEquivalent) {
+  Module a = parse_module(R"(
+    module t(a, b, y); input a, b; output y;
+      assign y = a & b;
+    endmodule)");
+  Module b = clone(a);
+  EquivResult r = check_equivalence(a, b);
+  ASSERT_TRUE(r.comparable) << r.error;
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_EQ(r.vectors_checked, 4);
+}
+
+TEST(Equiv, DeMorganEquivalence) {
+  Module a = parse_module(R"(
+    module t(a, b, y); input a, b; output y;
+      assign y = ~(a & b);
+    endmodule)");
+  Module b = parse_module(R"(
+    module t(a, b, y); input a, b; output y;
+      assign y = ~a | ~b;
+    endmodule)");
+  EquivResult r = check_equivalence(a, b);
+  ASSERT_TRUE(r.comparable) << r.error;
+  EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Equiv, FindsCounterexample) {
+  Module a = parse_module(R"(
+    module t(a, b, y); input a, b; output y;
+      assign y = a & b;
+    endmodule)");
+  Module b = parse_module(R"(
+    module t(a, b, y); input a, b; output y;
+      assign y = a | b;
+    endmodule)");
+  EquivResult r = check_equivalence(a, b);
+  ASSERT_TRUE(r.comparable) << r.error;
+  EXPECT_FALSE(r.equivalent);
+  ASSERT_TRUE(r.counterexample.has_value());
+  EXPECT_EQ(r.counterexample->output, "y");
+  // The distinguishing vector has exactly one input high.
+  int ones = 0;
+  for (const std::string& assign : r.counterexample->assignment)
+    if (assign.back() == '1') ++ones;
+  EXPECT_EQ(ones, 1);
+}
+
+// The §6 substitution use case: the synthesized netlist is formally
+// equivalent to the RTL, so gate-level simulation tasks can be replaced.
+TEST(Equiv, SynthesizedNetlistMatchesRtl) {
+  Module rtl = parse_module(R"(
+    module t(s, a, b, y); input s, a, b; output y; reg y;
+      always @(s or a or b) begin
+        if (s) y = a; else y = b;
+      end
+    endmodule)");
+  SynthResult syn = synthesize(rtl, vendor_a_subset());
+  ASSERT_TRUE(syn.ok);
+  EquivResult r = check_equivalence(rtl, syn.netlist);
+  ASSERT_TRUE(r.comparable) << r.error;
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_EQ(r.vectors_checked, 8);
+}
+
+TEST(Equiv, VectorPortsMatchAcrossFlattening) {
+  Module rtl = parse_module(R"(
+    module t(y); output y; wire [1:0] v; wire y;
+      assign v = 2'b10;
+      assign y = v[1] ^ v[0];
+    endmodule)");
+  SynthResult syn = synthesize(rtl, vendor_a_subset());
+  ASSERT_TRUE(syn.ok);
+  // RTL "y" vs netlist "y"; internal v flattened to v_1/v_0 — outputs match.
+  EquivResult r = check_equivalence(rtl, syn.netlist);
+  ASSERT_TRUE(r.comparable) << r.error;
+  EXPECT_TRUE(r.equivalent);
+}
+
+// The incomplete-sensitivity model: as a FUNCTION of (a,b,c) the completed
+// combinational interpretation IS the expression — equivalence holds
+// point-wise even though the event behaviour differs (T5b shows that side).
+TEST(Equiv, CombinationalViewOfSensitivityTrap) {
+  Module rtl = parse_module(R"(
+    module t(a, b, c, o); input a, b, c; output o; reg o;
+      always @(a or b) o = a & b & c;
+    endmodule)");
+  SynthResult syn = synthesize(rtl, vendor_a_subset());
+  ASSERT_TRUE(syn.ok);
+  EquivResult r = check_equivalence(rtl, syn.netlist);
+  ASSERT_TRUE(r.comparable) << r.error;
+  EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Equiv, RejectsSequentialModules) {
+  Module seq = parse_module(R"(
+    module t(clk, d, q); input clk, d; output q; reg q;
+      always @(posedge clk) q <= d;
+    endmodule)");
+  EquivResult r = check_equivalence(seq, seq);
+  EXPECT_FALSE(r.comparable);
+  EXPECT_NE(r.error.find("sequential"), std::string::npos);
+}
+
+TEST(Equiv, RejectsTooManyInputs) {
+  // A module with a 20-bit input port: exhaustive checking must refuse.
+  Module m = parse_module(R"(
+    module t(v, y); input v; output y; wire [19:0] v; wire y;
+      assign y = v[0];
+    endmodule)");
+  EquivResult r = check_equivalence(m, m, /*max_inputs=*/8);
+  EXPECT_FALSE(r.comparable);
+  EXPECT_NE(r.error.find("too many inputs"), std::string::npos);
+}
+
+TEST(Equiv, MismatchedInterfaceReported) {
+  Module a = parse_module(
+      "module t(a, y); input a; output y; assign y = a; endmodule");
+  Module b = parse_module(
+      "module t(b, y); input b; output y; assign y = b; endmodule");
+  EquivResult r = check_equivalence(a, b);
+  EXPECT_FALSE(r.comparable);
+  EXPECT_NE(r.error.find("missing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace interop::hdl

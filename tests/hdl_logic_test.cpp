@@ -1,0 +1,93 @@
+#include "hdl/logic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace interop::hdl {
+namespace {
+
+TEST(Logic, CharRoundTrip) {
+  for (Logic v : kAllLogic) EXPECT_EQ(logic_from_char(to_char(v)), v);
+  EXPECT_EQ(logic_from_char('?'), Logic::X);
+}
+
+TEST(Logic, AndTruthTable) {
+  EXPECT_EQ(logic_and(Logic::L1, Logic::L1), Logic::L1);
+  EXPECT_EQ(logic_and(Logic::L0, Logic::X), Logic::L0);  // 0 dominates
+  EXPECT_EQ(logic_and(Logic::X, Logic::L0), Logic::L0);
+  EXPECT_EQ(logic_and(Logic::L1, Logic::X), Logic::X);
+  EXPECT_EQ(logic_and(Logic::Z, Logic::L1), Logic::X);   // Z reads as X
+}
+
+TEST(Logic, OrTruthTable) {
+  EXPECT_EQ(logic_or(Logic::L1, Logic::X), Logic::L1);   // 1 dominates
+  EXPECT_EQ(logic_or(Logic::L0, Logic::L0), Logic::L0);
+  EXPECT_EQ(logic_or(Logic::L0, Logic::X), Logic::X);
+  EXPECT_EQ(logic_or(Logic::Z, Logic::L0), Logic::X);
+}
+
+TEST(Logic, XorNotEq) {
+  EXPECT_EQ(logic_xor(Logic::L1, Logic::L0), Logic::L1);
+  EXPECT_EQ(logic_xor(Logic::L1, Logic::L1), Logic::L0);
+  EXPECT_EQ(logic_xor(Logic::L1, Logic::X), Logic::X);
+  EXPECT_EQ(logic_not(Logic::L0), Logic::L1);
+  EXPECT_EQ(logic_not(Logic::Z), Logic::X);
+  EXPECT_EQ(logic_eq(Logic::L1, Logic::L1), Logic::L1);
+  EXPECT_EQ(logic_eq(Logic::X, Logic::L1), Logic::X);
+}
+
+TEST(Logic, Resolution) {
+  EXPECT_EQ(resolve(Logic::Z, Logic::L1), Logic::L1);
+  EXPECT_EQ(resolve(Logic::L0, Logic::Z), Logic::L0);
+  EXPECT_EQ(resolve(Logic::L0, Logic::L1), Logic::X);
+  EXPECT_EQ(resolve(Logic::L1, Logic::L1), Logic::L1);
+}
+
+TEST(Logic, Mux) {
+  EXPECT_EQ(logic_mux(Logic::L1, Logic::L0, Logic::L1), Logic::L0);
+  EXPECT_EQ(logic_mux(Logic::L0, Logic::L0, Logic::L1), Logic::L1);
+  EXPECT_EQ(logic_mux(Logic::X, Logic::L1, Logic::L1), Logic::L1);
+  EXPECT_EQ(logic_mux(Logic::X, Logic::L0, Logic::L1), Logic::X);
+}
+
+// Strength-aware resolution (vendor B's value set).
+TEST(ExtValue, StrongerDriverWins) {
+  ExtValue strong1{Logic::L1, Strength::Strong};
+  ExtValue weak0{Logic::L0, Strength::Weak};
+  EXPECT_EQ(resolve_ext(strong1, weak0), strong1);
+  EXPECT_EQ(resolve_ext(weak0, strong1), strong1);
+  ExtValue supply0{Logic::L0, Strength::Supply};
+  EXPECT_EQ(resolve_ext(supply0, strong1), supply0);
+}
+
+TEST(ExtValue, EqualStrengthConflictsGoX) {
+  ExtValue a{Logic::L1, Strength::Strong};
+  ExtValue b{Logic::L0, Strength::Strong};
+  EXPECT_EQ(resolve_ext(a, b).value, Logic::X);
+}
+
+TEST(ExtValue, ZYields) {
+  ExtValue z{Logic::Z, Strength::Weak};
+  ExtValue w1{Logic::L1, Strength::Weak};
+  EXPECT_EQ(resolve_ext(z, w1), w1);
+}
+
+TEST(ExtValue, StringForm) {
+  EXPECT_EQ(to_string(ExtValue{Logic::L1, Strength::Weak}), "We1");
+  EXPECT_EQ(to_string(ExtValue{Logic::X, Strength::Supply}), "Sux");
+}
+
+// The paper's co-simulation point: mapping through the common (4-value)
+// interface LOSES information — strength-resolved outcomes change.
+TEST(ExtValue, CosimRoundTripLosesInformation) {
+  CosimLoss loss = cosim_resolution_loss();
+  EXPECT_EQ(loss.total_pairs, 144);  // 12 x 12
+  EXPECT_GT(loss.divergent_pairs, 0);
+  // A concrete divergent case: weak0 vs strong1.
+  ExtValue w0{Logic::L0, Strength::Weak}, s1{Logic::L1, Strength::Strong};
+  EXPECT_EQ(to_logic(resolve_ext(w0, s1)), Logic::L1);
+  EXPECT_EQ(to_logic(resolve_ext(to_ext(to_logic(w0)), to_ext(to_logic(s1)))),
+            Logic::X);
+}
+
+}  // namespace
+}  // namespace interop::hdl

@@ -1,0 +1,151 @@
+#include "hdl/naming.hpp"
+
+#include <gtest/gtest.h>
+
+namespace interop::hdl::naming {
+namespace {
+
+// The paper's example: cntr_reset1 and cntr_reset2 alias onto cntr_res.
+TEST(LengthAlias, PaperExample) {
+  AliasReport r =
+      find_length_aliases({"cntr_reset1", "cntr_reset2", "clk"}, 8);
+  ASSERT_EQ(r.collisions.size(), 1u);
+  const auto& [trunc, originals] = *r.collisions.begin();
+  EXPECT_EQ(trunc, "cntr_res");
+  EXPECT_EQ(originals.size(), 2u);
+  EXPECT_EQ(r.names_aliased, 2u);
+  EXPECT_EQ(r.names_total, 3u);
+}
+
+TEST(LengthAlias, NoCollisionsForShortNames) {
+  AliasReport r = find_length_aliases({"a", "b", "abcdefgh"}, 8);
+  EXPECT_TRUE(r.collisions.empty());
+}
+
+TEST(LengthAlias, DuplicateNamesAreNotCollisions) {
+  AliasReport r = find_length_aliases({"signal_one", "signal_one"}, 8);
+  EXPECT_TRUE(r.collisions.empty());
+}
+
+class SignificanceSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SignificanceSweep, ShorterSignificanceNeverReducesAliasing) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 40; ++i)
+    names.push_back("net_block_" + std::to_string(i));
+  std::size_t sig = GetParam();
+  AliasReport shorter = find_length_aliases(names, sig);
+  AliasReport longer = find_length_aliases(names, sig + 4);
+  EXPECT_GE(shorter.names_aliased, longer.names_aliased);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sig, SignificanceSweep,
+                         ::testing::Values(4, 6, 8, 10, 12));
+
+// -------------------------------------------------------------- escaped
+
+TEST(Escaped, LiteralKeepsEverything) {
+  EscapedInterpretation r = interpret_escaped("data[3]", EscapePolicy::Literal);
+  EXPECT_EQ(r.base, "data[3]");
+  EXPECT_FALSE(r.bit.has_value());
+  EXPECT_FALSE(r.active_low);
+}
+
+// "Some analysis tools always assume that the use of [] implies a bit on a
+// bus" — the paper's exact case.
+TEST(Escaped, BracketPolicySplitsBit) {
+  EscapedInterpretation r =
+      interpret_escaped("data[3]", EscapePolicy::BracketIsBit);
+  EXPECT_EQ(r.base, "data");
+  ASSERT_TRUE(r.bit.has_value());
+  EXPECT_EQ(*r.bit, 3);
+}
+
+TEST(Escaped, BracketPolicyIgnoresNonNumeric) {
+  EscapedInterpretation r =
+      interpret_escaped("data[x]", EscapePolicy::BracketIsBit);
+  EXPECT_EQ(r.base, "data[x]");
+  EXPECT_FALSE(r.bit.has_value());
+}
+
+// "... or a * implies an active low signal."
+TEST(Escaped, StarPolicyMarksActiveLow) {
+  EscapedInterpretation r =
+      interpret_escaped("reset*", EscapePolicy::StarActiveLow);
+  EXPECT_EQ(r.base, "reset");
+  EXPECT_TRUE(r.active_low);
+}
+
+TEST(Escaped, DivergenceDetection) {
+  EXPECT_TRUE(escaped_divergence("data[3]", EscapePolicy::Literal,
+                                 EscapePolicy::BracketIsBit));
+  EXPECT_TRUE(escaped_divergence("rst*", EscapePolicy::Literal,
+                                 EscapePolicy::StarActiveLow));
+  EXPECT_FALSE(escaped_divergence("plain", EscapePolicy::Literal,
+                                  EscapePolicy::BracketIsBit));
+}
+
+// -------------------------------------------------------------- keywords
+
+// The paper: "in" and "out" are valid Verilog names but VHDL keywords.
+TEST(Keywords, InOutClash) {
+  EXPECT_TRUE(vhdl_keywords().count("in"));
+  EXPECT_TRUE(vhdl_keywords().count("out"));
+  EXPECT_FALSE(verilog_keywords().count("in"));
+  EXPECT_FALSE(verilog_keywords().count("out"));
+
+  KeywordRenames r =
+      rename_keyword_clashes({"in", "out", "clk"}, vhdl_keywords());
+  ASSERT_EQ(r.renames.size(), 2u);
+  EXPECT_EQ(r.renames.at("in"), "in_v");
+  EXPECT_EQ(r.renames.at("out"), "out_v");
+}
+
+TEST(Keywords, CaseInsensitiveVhdl) {
+  KeywordRenames r = rename_keyword_clashes({"Signal"}, vhdl_keywords());
+  EXPECT_EQ(r.renames.size(), 1u);
+}
+
+TEST(Keywords, RenamesAreUniquified) {
+  // "in_v" is already taken, so "in" must pick a different name.
+  KeywordRenames r = rename_keyword_clashes({"in", "in_v"}, vhdl_keywords());
+  EXPECT_EQ(r.renames.at("in"), "in_v2");
+}
+
+// -------------------------------------------------------------- flatten
+
+TEST(Flatten, NaiveIsAmbiguous) {
+  // The classic collision the paper's underscore-joining causes.
+  EXPECT_EQ(flatten_naive({"a_b", "c"}), flatten_naive({"a", "b_c"}));
+}
+
+TEST(Flatten, ReversibleRoundTrips) {
+  std::vector<std::vector<std::string>> cases = {
+      {"top", "u1", "q"},
+      {"a_b", "c"},
+      {"a", "b_c"},
+      {"x__y", "z_"},
+      {"single"},
+  };
+  for (const auto& path : cases) {
+    std::string flat = flatten_reversible(path);
+    EXPECT_EQ(unflatten_reversible(flat), path) << flat;
+  }
+}
+
+TEST(Flatten, ReversibleSeparatesAmbiguousPaths) {
+  EXPECT_NE(flatten_reversible({"a_b", "c"}), flatten_reversible({"a", "b_c"}));
+}
+
+TEST(Flatten, AnalyzeCountsCollisions) {
+  std::vector<std::vector<std::string>> paths = {
+      {"a_b", "c"}, {"a", "b_c"}, {"top", "u1", "q"}};
+  FlattenReport r = analyze_flattening(paths);
+  EXPECT_EQ(r.paths, 3u);
+  EXPECT_EQ(r.naive_collisions, 2u);
+  EXPECT_EQ(r.reversible_collisions, 0u);
+  EXPECT_EQ(r.reversible_roundtrip_failures, 0u);
+}
+
+}  // namespace
+}  // namespace interop::hdl::naming

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "hdl/lexer.hpp"
+#include "hdl/parser.hpp"
+
+namespace interop::hdl {
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto toks = lex("module foo_1 endmodule");
+  ASSERT_EQ(toks.size(), 4u);  // + eof
+  EXPECT_EQ(toks[0].kind, Tok::KwModule);
+  EXPECT_EQ(toks[1].kind, Tok::Identifier);
+  EXPECT_EQ(toks[1].text, "foo_1");
+  EXPECT_EQ(toks[2].kind, Tok::KwEndmodule);
+}
+
+TEST(Lexer, EscapedIdentifier) {
+  auto toks = lex("\\data[3] x");
+  EXPECT_EQ(toks[0].kind, Tok::Identifier);
+  EXPECT_EQ(toks[0].text, "data[3]");
+  EXPECT_TRUE(toks[0].escaped);
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_FALSE(toks[1].escaped);
+}
+
+TEST(Lexer, BasedLiterals) {
+  auto toks = lex("4'b10x1 8'hff 4'd9 42");
+  EXPECT_EQ(toks[0].width, 4);
+  EXPECT_TRUE(toks[0].has_x);
+  EXPECT_EQ(toks[0].xz_bits, "10x1");
+  EXPECT_EQ(toks[1].value, 255);
+  EXPECT_EQ(toks[1].width, 8);
+  EXPECT_EQ(toks[2].value, 9);
+  EXPECT_EQ(toks[3].value, 42);
+}
+
+TEST(Lexer, CommentsAndLines) {
+  auto toks = lex("a // comment\n/* multi\nline */ b");
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto toks = lex("a <= b == c != d");
+  EXPECT_EQ(toks[1].text, "<=");
+  EXPECT_EQ(toks[3].text, "==");
+  EXPECT_EQ(toks[5].text, "!=");
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(lex("/* open"), ParseError);
+  EXPECT_THROW(lex("4'q10"), ParseError);
+  EXPECT_THROW(lex("`bad"), ParseError);
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(Parser, ModulePortsAndNets) {
+  Module m = parse_module(R"(
+    module top(a, b, y);
+      input a, b;
+      output y;
+      wire [3:0] bus;
+      reg state;
+    endmodule
+  )");
+  EXPECT_EQ(m.name, "top");
+  ASSERT_EQ(m.ports.size(), 3u);
+  EXPECT_EQ(m.ports[0].dir, PortDir::Input);
+  EXPECT_EQ(m.ports[2].dir, PortDir::Output);
+  const NetDecl* bus = m.find_net("bus");
+  ASSERT_NE(bus, nullptr);
+  EXPECT_EQ(bus->width(), 4);
+  EXPECT_EQ(m.find_net("state")->kind, NetKind::Reg);
+}
+
+TEST(Parser, OutputRegUpgrade) {
+  Module m = parse_module(R"(
+    module t(q); output q; reg q; endmodule
+  )");
+  EXPECT_EQ(m.find_net("q")->kind, NetKind::Reg);
+}
+
+TEST(Parser, ContinuousAssignWithDelay) {
+  Module m = parse_module(R"(
+    module t(); wire a, b, c;
+      assign a = b & c;
+      assign #3 c = b | a;
+    endmodule
+  )");
+  ASSERT_EQ(m.assigns.size(), 2u);
+  EXPECT_EQ(m.assigns[0].delay, 0);
+  EXPECT_EQ(m.assigns[1].delay, 3);
+  EXPECT_EQ(m.assigns[0].rhs->bin_op, BinOp::And);
+}
+
+TEST(Parser, GatePrimitives) {
+  Module m = parse_module(R"(
+    module t(); wire a, b, y; wire [1:0] v;
+      nand g1 (y, a, b);
+      not (a, b);
+      xor #2 (v[0], v[1], y);
+    endmodule
+  )");
+  ASSERT_EQ(m.gates.size(), 3u);
+  EXPECT_EQ(m.gates[0].kind, GateKind::Nand);
+  EXPECT_EQ(m.gates[0].name, "g1");
+  EXPECT_EQ(m.gates[2].delay, 2);
+  EXPECT_EQ(m.gates[2].conns[0].index, 0);
+}
+
+TEST(Parser, AlwaysSensitivityForms) {
+  Module m = parse_module(R"(
+    module t(); reg q; wire a, b, clk;
+      always @(a or b) q = a & b;
+      always @(posedge clk) q <= a;
+      always @(*) q = b;
+    endmodule
+  )");
+  ASSERT_EQ(m.always_blocks.size(), 3u);
+  EXPECT_EQ(m.always_blocks[0].sensitivity.size(), 2u);
+  EXPECT_EQ(m.always_blocks[1].sensitivity[0].edge, EdgeKind::Pos);
+  EXPECT_TRUE(m.always_blocks[2].star);
+  EXPECT_TRUE(m.always_blocks[1].body->nonblocking);
+}
+
+TEST(Parser, IfElseAndBlocks) {
+  Module m = parse_module(R"(
+    module t(); reg q; wire a, d;
+      always @(a) begin
+        if (a != d) q = 1'b1;
+        else q = 1'b0;
+      end
+    endmodule
+  )");
+  const Stmt& body = *m.always_blocks[0].body;
+  ASSERT_EQ(body.kind, Stmt::Kind::Block);
+  ASSERT_EQ(body.body[0]->kind, Stmt::Kind::If);
+  EXPECT_EQ(body.body[0]->condition->bin_op, BinOp::Ne);
+  EXPECT_NE(body.body[0]->else_branch, nullptr);
+}
+
+TEST(Parser, InitialWithDelaysAndForever) {
+  Module m = parse_module(R"(
+    module t(); reg clk, d;
+      initial begin
+        clk = 0;
+        d = 0;
+        #5 d = 1;
+        forever #10 clk = !clk;
+      end
+    endmodule
+  )");
+  ASSERT_EQ(m.initial_blocks.size(), 1u);
+  const Stmt& body = *m.initial_blocks[0].body;
+  ASSERT_EQ(body.body.size(), 4u);
+  EXPECT_EQ(body.body[2]->kind, Stmt::Kind::Delay);
+  EXPECT_EQ(body.body[2]->delay, 5);
+  EXPECT_EQ(body.body[3]->kind, Stmt::Kind::Forever);
+}
+
+TEST(Parser, ModuleInstantiation) {
+  SourceUnit unit = parse(R"(
+    module child(i, o); input i; output o; assign o = i; endmodule
+    module top(); wire x, y;
+      child u1 (.i(x), .o(y));
+    endmodule
+  )");
+  ASSERT_EQ(unit.modules.size(), 2u);
+  const Module* top = unit.find_module("top");
+  ASSERT_NE(top, nullptr);
+  ASSERT_EQ(top->instances.size(), 1u);
+  EXPECT_EQ(top->instances[0].module, "child");
+  EXPECT_EQ(top->instances[0].conns[0].port, "i");
+  EXPECT_EQ(top->instances[0].conns[0].signal, "x");
+}
+
+TEST(Parser, CaseStatement) {
+  Module m = parse_module(R"(
+    module t(); reg [1:0] q; wire [1:0] s;
+      always @(*) begin
+        case (s)
+          0: q = 2'b00;
+          1: q = 2'b01;
+          default: q = 2'b11;
+        endcase
+      end
+    endmodule
+  )");
+  const Stmt& c = *m.always_blocks[0].body->body[0];
+  ASSERT_EQ(c.kind, Stmt::Kind::Case);
+  ASSERT_EQ(c.arms.size(), 3u);
+  EXPECT_TRUE(c.arms[2].match.empty());  // default
+}
+
+TEST(Parser, OperatorPrecedence) {
+  Module m = parse_module(R"(
+    module t(); wire a, b, c, y;
+      assign y = a & b | c;
+    endmodule
+  )");
+  // | binds looser than &: (a&b) | c.
+  const Expr& e = *m.assigns[0].rhs;
+  EXPECT_EQ(e.bin_op, BinOp::Or);
+  EXPECT_EQ(e.operands[0]->bin_op, BinOp::And);
+}
+
+TEST(Parser, TernaryAndUnary) {
+  Module m = parse_module(R"(
+    module t(); wire s, a, b, y;
+      assign y = s ? ~a : !b;
+    endmodule
+  )");
+  const Expr& e = *m.assigns[0].rhs;
+  EXPECT_EQ(e.kind, Expr::Kind::Cond);
+  EXPECT_EQ(e.operands[1]->un_op, UnOp::BitNot);
+  EXPECT_EQ(e.operands[2]->un_op, UnOp::Not);
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW(parse_module("module t( endmodule"), ParseError);
+  EXPECT_THROW(parse_module("module t(); wire a endmodule"), ParseError);
+  EXPECT_THROW(parse_module("module t(); assign = 1; endmodule"), ParseError);
+  EXPECT_THROW(parse("module a(); endmodule module b();"), ParseError);
+}
+
+}  // namespace
+}  // namespace interop::hdl

@@ -1,0 +1,315 @@
+#include "hdl/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hdl/parser.hpp"
+#include "hdl/sim.hpp"
+
+namespace interop::hdl {
+namespace {
+
+bool has_code(const std::vector<SubsetViolation>& v, const std::string& code) {
+  for (const SubsetViolation& x : v)
+    if (x.code == code) return true;
+  return false;
+}
+
+// ------------------------------------------------------------ subset rules
+
+TEST(Subset, VendorsDifferOnSensitivityCompletion) {
+  Module m = parse_module(R"(
+    module t(a, b, out); input a, b; output out; reg out; wire c;
+      always @(a or b) out = a & b & c;
+    endmodule
+  )");
+  auto va = check_subset(m, vendor_a_subset());
+  EXPECT_TRUE(has_code(va, "warn:sensitivity-completed"));
+  auto vb = check_subset(m, vendor_b_subset());
+  EXPECT_TRUE(has_code(vb, "incomplete-sensitivity"));
+}
+
+TEST(Subset, VendorsDifferOnArithmetic) {
+  Module m = parse_module(R"(
+    module t(a, b, s); input a, b; output s; reg [1:0] s;
+      always @(a or b) s = a + b;
+    endmodule
+  )");
+  EXPECT_TRUE(has_code(check_subset(m, vendor_a_subset()), "arithmetic"));
+  EXPECT_FALSE(has_code(check_subset(m, vendor_b_subset()), "arithmetic"));
+}
+
+TEST(Subset, VendorsDifferOnLatchInference) {
+  Module m = parse_module(R"(
+    module t(en, d, q); input en, d; output q; reg q;
+      always @(en or d) if (en) q = d;
+    endmodule
+  )");
+  EXPECT_TRUE(has_code(check_subset(m, vendor_a_subset()), "if-without-else"));
+  EXPECT_FALSE(
+      has_code(check_subset(m, vendor_b_subset()), "if-without-else"));
+}
+
+TEST(Subset, BothRejectInitialAndDelays) {
+  Module m = parse_module(R"(
+    module t(a, y); input a; output y;
+      assign #2 y = a;
+      initial y = 0;
+    endmodule
+  )");
+  for (const VendorSubset& v : {vendor_a_subset(), vendor_b_subset()}) {
+    auto viol = check_subset(m, v);
+    EXPECT_TRUE(has_code(viol, "initial-block")) << v.name;
+    EXPECT_TRUE(has_code(viol, "delay-control")) << v.name;
+  }
+}
+
+TEST(Subset, IdentifierLengthLimit) {
+  Module m = parse_module(R"(
+    module t(); wire averyveryverylongname; endmodule
+  )");
+  EXPECT_FALSE(
+      has_code(check_subset(m, vendor_a_subset()), "identifier-too-long"));
+  EXPECT_TRUE(
+      has_code(check_subset(m, vendor_b_subset()), "identifier-too-long"));
+}
+
+TEST(Subset, MultipleDriversRejected) {
+  Module m = parse_module(R"(
+    module t(a, b, y); input a, b; output y;
+      assign y = a;
+      assign y = b;
+    endmodule
+  )");
+  EXPECT_TRUE(
+      has_code(check_subset(m, vendor_a_subset()), "multiple-drivers"));
+}
+
+// The intersection is what a portable model may use (the paper's advice).
+TEST(Subset, IntersectionIsMostRestrictive) {
+  VendorSubset both = intersect(vendor_a_subset(), vendor_b_subset());
+  EXPECT_FALSE(both.allows_arithmetic);
+  EXPECT_FALSE(both.allows_while_loops);
+  EXPECT_FALSE(both.allows_latch_inference);
+  EXPECT_FALSE(both.completes_sensitivity);
+  EXPECT_FALSE(both.allows_nonblocking_in_always);
+  EXPECT_EQ(both.max_identifier_length, 12);
+
+  // A portable model: complete list, else branch, short names, no math.
+  Module portable = parse_module(R"(
+    module t(a, b, y); input a, b; output y; reg y;
+      always @(a or b) begin
+        if (a) y = b; else y = 0;
+      end
+    endmodule
+  )");
+  EXPECT_TRUE(check_subset(portable, both).empty());
+}
+
+// -------------------------------------------------------------- synthesis
+
+TEST(Synth, SimpleCombinationalMatchesSimulation) {
+  Module m = parse_module(R"(
+    module t(a, b, y); input a, b; output y; reg y;
+      always @(a or b) y = a & b;
+    endmodule
+  )");
+  SynthResult r = synthesize(m, vendor_a_subset());
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.gates_emitted, 0);
+  EXPECT_EQ(r.latches_inferred, 0);
+
+  // Simulate the netlist for all four input combinations.
+  SourceUnit unit;
+  unit.modules.push_back(std::move(r.netlist));
+  ElabDesign d = elaborate(unit, "t_syn");
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      Simulation sim(d, SchedulerPolicy::SourceOrder);
+      sim.force(d.signal("t_syn.a"), logic_of(a));
+      sim.force(d.signal("t_syn.b"), logic_of(b));
+      sim.run(0);
+      EXPECT_EQ(sim.value("t_syn.y"), logic_of(a && b)) << a << b;
+    }
+  }
+}
+
+TEST(Synth, IfElseBecomesMux) {
+  Module m = parse_module(R"(
+    module t(s, a, b, y); input s, a, b; output y; reg y;
+      always @(s or a or b) begin
+        if (s) y = a; else y = b;
+      end
+    endmodule
+  )");
+  SynthResult r = synthesize(m, vendor_a_subset());
+  ASSERT_TRUE(r.ok);
+  SourceUnit unit;
+  unit.modules.push_back(std::move(r.netlist));
+  ElabDesign d = elaborate(unit, "t_syn");
+  for (int s = 0; s <= 1; ++s) {
+    for (int a = 0; a <= 1; ++a) {
+      for (int b = 0; b <= 1; ++b) {
+        Simulation sim(d, SchedulerPolicy::SourceOrder);
+        sim.force(d.signal("t_syn.s"), logic_of(s));
+        sim.force(d.signal("t_syn.a"), logic_of(a));
+        sim.force(d.signal("t_syn.b"), logic_of(b));
+        sim.run(0);
+        EXPECT_EQ(sim.value("t_syn.y"), logic_of(s ? a : b));
+      }
+    }
+  }
+}
+
+TEST(Synth, VectorXorBitBlasts) {
+  Module m = parse_module(R"(
+    module t(y); output y; wire [1:0] a, b; wire [1:0] w; wire y;
+      assign a = 2'b10;
+      assign b = 2'b01;
+      assign w = a ^ b;
+      assign y = w[1] & w[0];
+    endmodule
+  )");
+  SynthResult r = synthesize(m, vendor_a_subset());
+  ASSERT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0].message);
+  SourceUnit unit;
+  unit.modules.push_back(std::move(r.netlist));
+  ElabDesign d = elaborate(unit, "t_syn");
+  Simulation sim(d, SchedulerPolicy::SourceOrder);
+  sim.run(0);
+  EXPECT_EQ(sim.value("t_syn.y"), Logic::L1);  // 10^01 = 11
+  EXPECT_NO_THROW(d.signal("t_syn.w_1"));      // flattened bit name
+}
+
+TEST(Synth, LatchInferenceCountedForVendorB) {
+  Module m = parse_module(R"(
+    module t(en, d, q); input en, d; output q; reg q;
+      always @(en or d) if (en) q = d;
+    endmodule
+  )");
+  SynthResult r = synthesize(m, vendor_b_subset());
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.latches_inferred, 1);
+
+  // The latch really latches: q holds when en=0.
+  SourceUnit unit;
+  unit.modules.push_back(std::move(r.netlist));
+  ElabDesign d = elaborate(unit, "t_syn");
+  Simulation sim(d, SchedulerPolicy::SourceOrder);
+  sim.force(d.signal("t_syn.en"), Logic::L1);
+  sim.force(d.signal("t_syn.d"), Logic::L1);
+  sim.run(0);
+  EXPECT_EQ(sim.value("t_syn.q"), Logic::L1);
+  sim.force(d.signal("t_syn.en"), Logic::L0);
+  sim.force(d.signal("t_syn.d"), Logic::L0);
+  sim.run(0);
+  EXPECT_EQ(sim.value("t_syn.q"), Logic::L1);  // held
+}
+
+TEST(Synth, VendorBRejectsLatchForVendorA) {
+  Module m = parse_module(R"(
+    module t(en, d, q); input en, d; output q; reg q;
+      always @(en or d) if (en) q = d;
+    endmodule
+  )");
+  SynthResult r = synthesize(m, vendor_a_subset());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Synth, RippleAdderForVendorB) {
+  Module m = parse_module(R"(
+    module t(s); output s; wire [2:0] a, b, s;
+      assign a = 3'd3;
+      assign b = 3'd5;
+      assign s = a + b;
+    endmodule
+  )");
+  SynthResult r = synthesize(m, vendor_b_subset());
+  ASSERT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0].message);
+  SourceUnit unit;
+  unit.modules.push_back(std::move(r.netlist));
+  ElabDesign d = elaborate(unit, "t_syn");
+  Simulation sim(d, SchedulerPolicy::SourceOrder);
+  sim.run(0);
+  // 3 + 5 = 8 mod 8 = 0.
+  EXPECT_EQ(sim.value("t_syn.s_2"), Logic::L0);
+  EXPECT_EQ(sim.value("t_syn.s_1"), Logic::L0);
+  EXPECT_EQ(sim.value("t_syn.s_0"), Logic::L0);
+}
+
+// The paper's modeling-style divergence, end to end: RTL simulation honors
+// the written (incomplete) sensitivity list; the synthesized netlist is
+// combinational. They disagree after a c-only change.
+TEST(Synth, SensitivityMismatchRtlVsGates) {
+  const char* rtl_src = R"(
+    module t(a, b, c, out); input a, b, c; output out; reg out;
+      always @(a or b) out = a & b & c;
+    endmodule
+  )";
+  Module m = parse_module(rtl_src);
+  SynthResult r = synthesize(m, vendor_a_subset());
+  ASSERT_TRUE(r.ok);
+
+  // RTL sim.
+  ElabDesign rtl = elaborate(parse(rtl_src), "t");
+  Simulation rtl_sim(rtl, SchedulerPolicy::SourceOrder);
+  for (const char* sig : {"t.a", "t.b", "t.c"})
+    rtl_sim.force(rtl.signal(sig), Logic::L1);
+  rtl_sim.run(0);
+  EXPECT_EQ(rtl_sim.value("t.out"), Logic::L1);
+  rtl_sim.force(rtl.signal("t.c"), Logic::L0);  // c-only change
+  rtl_sim.run(1);
+  EXPECT_EQ(rtl_sim.value("t.out"), Logic::L1);  // stale: not re-triggered
+
+  // Gate sim.
+  SourceUnit unit;
+  unit.modules.push_back(std::move(r.netlist));
+  ElabDesign gates = elaborate(unit, "t_syn");
+  Simulation gate_sim(gates, SchedulerPolicy::SourceOrder);
+  for (const char* sig : {"t_syn.a", "t_syn.b", "t_syn.c"})
+    gate_sim.force(gates.signal(sig), Logic::L1);
+  gate_sim.run(0);
+  gate_sim.force(gates.signal("t_syn.c"), Logic::L0);
+  gate_sim.run(1);
+  EXPECT_EQ(gate_sim.value("t_syn.out"), Logic::L0);  // combinational
+
+  // The divergence the paper warns about:
+  EXPECT_NE(rtl_sim.value("t.out"), gate_sim.value("t_syn.out"));
+}
+
+TEST(Synth, CaseLowersToMuxChain) {
+  Module m = parse_module(R"(
+    module t(q); output q; wire [1:0] s; reg q;
+      assign s = 2'b01;
+      always @(s) begin
+        case (s)
+          0: q = 0;
+          1: q = 1;
+          default: q = 0;
+        endcase
+      end
+    endmodule
+  )");
+  SynthResult r = synthesize(m, vendor_a_subset());
+  ASSERT_TRUE(r.ok) << (r.violations.empty() ? "" : r.violations[0].message);
+  SourceUnit unit;
+  unit.modules.push_back(std::move(r.netlist));
+  ElabDesign d = elaborate(unit, "t_syn");
+  Simulation sim(d, SchedulerPolicy::SourceOrder);
+  sim.run(0);
+  EXPECT_EQ(sim.value("t_syn.q"), Logic::L1);
+}
+
+TEST(Synth, NameMapRecordsFlattening) {
+  Module m = parse_module(R"(
+    module t(); wire [1:0] v; assign v = 2'b10; endmodule
+  )");
+  SynthResult r = synthesize(m, vendor_a_subset());
+  ASSERT_TRUE(r.ok);
+  bool found = false;
+  for (const auto& [rtl_name, flat] : r.name_map)
+    if (rtl_name == "v[1]" && flat == "v_1") found = true;
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace interop::hdl

@@ -1,0 +1,114 @@
+#include "hdl/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace interop::hdl {
+namespace {
+
+const TimingSpec kSpec{3, 2};  // setup 3, hold 2
+
+TEST(Timing, CleanDataPasses) {
+  TimingModel m(SimVersion::V1_5, false);
+  // Clock at 10; data settled at 2 (well before setup window).
+  TimingResult r = m.check({2}, {10}, kSpec);
+  EXPECT_EQ(r.total(), 0);
+}
+
+TEST(Timing, SetupViolationInsideWindow) {
+  TimingModel m(SimVersion::V1_5, false);
+  TimingResult r = m.check({8}, {10}, kSpec);  // 10-3 < 8 < 10
+  EXPECT_EQ(r.setup_violations, 1);
+  EXPECT_EQ(r.hold_violations, 0);
+}
+
+TEST(Timing, HoldViolationInsideWindow) {
+  TimingModel m(SimVersion::V1_5, false);
+  TimingResult r = m.check({11}, {10}, kSpec);  // 10 < 11 < 12
+  EXPECT_EQ(r.hold_violations, 1);
+}
+
+// The version change: boundary transitions flip from legal to violating.
+TEST(Timing, BoundarySemanticsChangedIn16a) {
+  // Data exactly at clk - setup (t=7, clk=10) and exactly at clk.
+  std::vector<std::int64_t> data{7, 10};
+  std::vector<std::int64_t> clocks{10};
+
+  TimingModel old_sim(SimVersion::V1_5, false);
+  TimingResult r_old = old_sim.check(data, clocks, kSpec);
+  EXPECT_EQ(r_old.setup_violations, 0);  // open windows
+  EXPECT_EQ(r_old.hold_violations, 0);
+
+  TimingModel new_sim(SimVersion::V1_6A, false);
+  TimingResult r_new = new_sim.check(data, clocks, kSpec);
+  EXPECT_EQ(r_new.setup_violations, 2);  // both boundary edges now count
+  EXPECT_EQ(r_new.hold_violations, 1);   // t=10 coincident edge
+}
+
+// "+pre_16a_path": newer versions reproduce the old behavior exactly.
+TEST(Timing, CompatFlagRestoresOldBehavior) {
+  std::vector<std::int64_t> data{7, 8, 10, 11, 15};
+  std::vector<std::int64_t> clocks{10, 20};
+
+  TimingModel v15(SimVersion::V1_5, false);
+  TimingModel v16_compat(SimVersion::V1_6A, true);
+  TimingModel v20_compat(SimVersion::V2_0, true);
+
+  TimingResult golden = v15.check(data, clocks, kSpec);
+  EXPECT_EQ(v16_compat.check(data, clocks, kSpec), golden);
+  EXPECT_EQ(v20_compat.check(data, clocks, kSpec), golden);
+
+  // And without the flag they drift.
+  TimingModel v16(SimVersion::V1_6A, false);
+  EXPECT_NE(v16.check(data, clocks, kSpec), golden);
+}
+
+TEST(Timing, V20GlitchRejectionDiffersFrom16a) {
+  // A glitch pair at 8/9 inside the setup window: 1.6a reports both,
+  // 2.0 filters the pulse and reports none.
+  std::vector<std::int64_t> data{8, 9};
+  std::vector<std::int64_t> clocks{10};
+  TimingModel v16(SimVersion::V1_6A, false);
+  TimingModel v20(SimVersion::V2_0, false);
+  EXPECT_EQ(v16.check(data, clocks, kSpec).setup_violations, 2);
+  EXPECT_EQ(v20.check(data, clocks, kSpec).setup_violations, 0);
+}
+
+TEST(Timing, VersionNames) {
+  EXPECT_EQ(to_string(SimVersion::V1_5), "1.5");
+  EXPECT_EQ(to_string(SimVersion::V1_6A), "1.6a");
+  EXPECT_EQ(to_string(SimVersion::V2_0), "2.0");
+}
+
+class TimingSweep : public ::testing::TestWithParam<int> {};
+
+// Property: with the compat flag, every version agrees with V1_5 on every
+// workload; without it, 1.6a never reports fewer violations than 1.5.
+TEST_P(TimingSweep, CompatInvariantAndMonotonicity) {
+  int seed = GetParam();
+  std::vector<std::int64_t> data, clocks;
+  std::uint64_t s = std::uint64_t(seed) * 2654435761u + 12345;
+  auto next = [&s]() {
+    s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+    return s;
+  };
+  std::int64_t t = 0;
+  for (int i = 0; i < 50; ++i) data.push_back(t += 1 + next() % 7);
+  t = 5;
+  for (int i = 0; i < 20; ++i) clocks.push_back(t += 8 + next() % 5);
+
+  TimingModel v15(SimVersion::V1_5, false);
+  TimingResult golden = v15.check(data, clocks, kSpec);
+  for (SimVersion v : {SimVersion::V1_6A, SimVersion::V2_0}) {
+    TimingModel compat(v, true);
+    EXPECT_EQ(compat.check(data, clocks, kSpec), golden) << to_string(v);
+  }
+  TimingModel v16(SimVersion::V1_6A, false);
+  TimingResult r16 = v16.check(data, clocks, kSpec);
+  EXPECT_GE(r16.setup_violations, golden.setup_violations);
+  EXPECT_GE(r16.hold_violations, golden.hold_violations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimingSweep, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace interop::hdl

@@ -1,0 +1,173 @@
+#include "pnr/abstract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnr/design.hpp"
+#include "pnr/floorplanner.hpp"
+#include "pnr/generator.hpp"
+#include "pnr/place.hpp"
+
+namespace interop::pnr {
+namespace {
+
+TEST(Abstract, AccessDirsBasics) {
+  AccessDirs all = AccessDirs::all();
+  EXPECT_EQ(all.count(), 4);
+  EXPECT_TRUE(all.any());
+  AccessDirs west{false, false, false, true};
+  EXPECT_EQ(to_string(west), "W");
+  EXPECT_EQ(to_string(AccessDirs{}), "-");
+}
+
+TEST(Abstract, DeriveAccessFromBlockages) {
+  AbstractPin pin;
+  pin.name = "A";
+  pin.shapes.push_back({Layer::M1, Rect::from_xywh(5, 5, 1, 1)});
+  // Blockage strip hugging the north side.
+  std::vector<Blockage> blk = {{Layer::M1, Rect::from_xywh(5, 6, 1, 1)}};
+  AccessDirs d = derive_access_from_blockages(pin, blk);
+  EXPECT_FALSE(d.north);
+  EXPECT_TRUE(d.south);
+  EXPECT_TRUE(d.east);
+  EXPECT_TRUE(d.west);
+  // Different layer does not block.
+  std::vector<Blockage> other = {{Layer::M2, Rect::from_xywh(5, 6, 1, 1)}};
+  EXPECT_TRUE(derive_access_from_blockages(pin, other).north);
+}
+
+// The emulation round-trip: synthesize strips from access dirs, then derive
+// them back — the geometric encoding is faithful.
+class AccessRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccessRoundTrip, SynthesizeDeriveRoundTrips) {
+  int mask = GetParam();
+  AccessDirs want{(mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0,
+                  (mask & 8) != 0};
+  AbstractPin pin;
+  pin.name = "P";
+  pin.shapes.push_back({Layer::M1, Rect::from_xywh(10, 10, 1, 1)});
+  std::vector<Blockage> strips = synthesize_access_blockages(pin, want);
+  EXPECT_EQ(derive_access_from_blockages(pin, strips), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, AccessRoundTrip, ::testing::Range(0, 16));
+
+TEST(Design, PinPositionWithPlacement) {
+  CellAbstract cell;
+  cell.name = "c";
+  cell.boundary = Rect::from_xywh(0, 0, 6, 4);
+  AbstractPin pin;
+  pin.name = "A";
+  pin.shapes.push_back({Layer::M1, Rect::from_xywh(0, 2, 1, 1)});
+  cell.pins.push_back(pin);
+
+  PhysInstance inst;
+  inst.cell = "c";
+  inst.origin = {10, 20};
+  inst.orient = Orient::R0;
+  EXPECT_EQ(inst.pin_position(cell, "A"), (Point{10, 22}));
+  EXPECT_EQ(inst.placed_boundary(cell), Rect::from_xywh(10, 20, 6, 4));
+
+  inst.orient = Orient::MY;  // mirror about Y: pin flips to the east side
+  Rect b = inst.placed_boundary(cell);
+  EXPECT_EQ(b, Rect::from_xywh(10, 20, 6, 4));
+  EXPECT_EQ(inst.pin_position(cell, "A").x, 16);
+}
+
+TEST(Library, HasFullPinVocabulary) {
+  auto lib = make_pnr_library();
+  const CellAbstract& dff = lib.at("dff");
+  const AbstractPin* ck = dff.find_pin("CK");
+  ASSERT_NE(ck, nullptr);
+  EXPECT_TRUE(ck->props.must_connect);
+  EXPECT_EQ(to_string(ck->props.access), "S");
+  EXPECT_EQ(dff.find_pin("Q")->props.equivalent_class, 1);
+  EXPECT_EQ(dff.find_pin("QA")->props.equivalent_class, 1);
+  EXPECT_TRUE(dff.find_pin("VP")->props.multiple_connect);
+  EXPECT_TRUE(dff.find_pin("VP")->props.connect_by_abutment);
+  EXPECT_EQ(lib.at("nd2").legal_orients.size(), 2u);
+}
+
+TEST(Place, RowsAreLegalAndImprove) {
+  PnrGenOptions opt;
+  opt.seed = 3;
+  opt.instances = 16;
+  PhysDesign design = make_pnr_workload(opt);
+  // Everything inside the die, nothing overlapping keepouts.
+  for (const PhysInstance& inst : design.instances) {
+    const CellAbstract* cell = design.find_cell(inst.cell);
+    Rect b = inst.placed_boundary(*cell);
+    EXPECT_TRUE(design.floorplan.die.contains(b)) << inst.name;
+    for (const Keepout& ko : design.floorplan.keepouts)
+      EXPECT_FALSE(ko.rect.overlaps(b)) << inst.name;
+  }
+  // Swap improvement never worsens HPWL.
+  PlaceOptions popt;
+  popt.seed = 7;
+  popt.swap_iterations = 500;
+  popt.row_height = 9;
+  PlaceResult pr = place(design, popt);
+  EXPECT_LE(pr.hpwl_final, pr.hpwl_initial);
+}
+
+TEST(Place, NoOverlapsBetweenInstances) {
+  PnrGenOptions opt;
+  opt.seed = 5;
+  opt.instances = 20;
+  PhysDesign design = make_pnr_workload(opt);
+  for (std::size_t i = 0; i < design.instances.size(); ++i) {
+    Rect bi = design.instances[i].placed_boundary(
+        *design.find_cell(design.instances[i].cell));
+    for (std::size_t j = i + 1; j < design.instances.size(); ++j) {
+      Rect bj = design.instances[j].placed_boundary(
+          *design.find_cell(design.instances[j].cell));
+      EXPECT_FALSE(bi.overlaps(bj))
+          << design.instances[i].name << " vs " << design.instances[j].name;
+    }
+  }
+}
+
+TEST(Floorplanner, PacksBlocksWithinAspectBounds) {
+  std::vector<BlockSpec> blocks = {
+      {"cpu", 400, 0.5, 2.0},
+      {"cache", 200, 0.5, 2.0},
+      {"io", 100, 0.25, 4.0},
+  };
+  FloorplanResult fp = floorplan_blocks(blocks, 60, 60);
+  ASSERT_TRUE(fp.ok) << fp.error;
+  ASSERT_EQ(fp.blocks.size(), 3u);
+  for (const BlockSpec& spec : blocks) {
+    const Rect& r = fp.blocks.at(spec.name);
+    EXPECT_GE(r.area(), spec.area);
+    double aspect = double(r.height()) / double(r.width());
+    EXPECT_GE(aspect, spec.min_aspect - 1e-9);
+    EXPECT_LE(aspect, spec.max_aspect + 1e-9);
+    EXPECT_TRUE(fp.die.contains(r));
+  }
+  // Blocks do not overlap.
+  std::vector<Rect> rects;
+  for (const auto& [name, r] : fp.blocks) rects.push_back(r);
+  for (std::size_t i = 0; i < rects.size(); ++i)
+    for (std::size_t j = i + 1; j < rects.size(); ++j)
+      EXPECT_FALSE(rects[i].overlaps(rects[j]));
+  EXPECT_GT(fp.utilization, 0.15);
+}
+
+TEST(Floorplanner, FailsWhenBlocksDoNotFit) {
+  std::vector<BlockSpec> blocks = {{"huge", 10000, 0.5, 2.0}};
+  FloorplanResult fp = floorplan_blocks(blocks, 20, 20);
+  EXPECT_FALSE(fp.ok);
+  EXPECT_FALSE(fp.error.empty());
+}
+
+TEST(Floorplanner, AvoidsKeepouts) {
+  std::vector<BlockSpec> blocks = {{"a", 100, 0.5, 2.0}, {"b", 100, 0.5, 2.0}};
+  std::vector<Keepout> keepouts = {{Layer::M1, Rect::from_xywh(0, 0, 15, 15)}};
+  FloorplanResult fp = floorplan_blocks(blocks, 60, 60, keepouts);
+  ASSERT_TRUE(fp.ok) << fp.error;
+  for (const auto& [name, r] : fp.blocks)
+    EXPECT_FALSE(r.overlaps(keepouts[0].rect)) << name;
+}
+
+}  // namespace
+}  // namespace interop::pnr

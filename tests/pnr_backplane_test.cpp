@@ -1,0 +1,132 @@
+#include "pnr/backplane.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnr/generator.hpp"
+
+namespace interop::pnr {
+namespace {
+
+class BackplaneFixture : public ::testing::Test {
+ protected:
+  BackplaneFixture() {
+    PnrGenOptions opt;
+    opt.seed = 11;
+    design = make_pnr_workload(opt);
+  }
+  PhysDesign design;
+  base::DiagnosticEngine diags;
+};
+
+TEST_F(BackplaneFixture, SemanticAtomsCounted) {
+  int atoms = semantic_atoms(design);
+  EXPECT_GT(atoms, 10);  // access specs, conn props, topologies, keepouts
+}
+
+TEST_F(BackplaneFixture, DirectExportToAlphaKeepsProperties) {
+  ToolInput input = export_direct(design, router_alpha_caps(), diags);
+  // Alpha takes access as a property and literal conn props.
+  bool saw_access = false, saw_conn = false;
+  for (const ToolInput::PinRecord& pin : input.pins) {
+    if (pin.access && !(pin.access == AccessDirs::all())) saw_access = true;
+    if (pin.conn && pin.conn->must_connect) saw_conn = true;
+  }
+  EXPECT_TRUE(saw_access);
+  EXPECT_TRUE(saw_conn);
+  EXPECT_FALSE(input.keepouts.empty());
+}
+
+TEST_F(BackplaneFixture, DirectExportToGammaDropsSilently) {
+  ToolInput input = export_direct(design, router_gamma_caps(), diags);
+  for (const ToolInput::PinRecord& pin : input.pins) {
+    EXPECT_FALSE(pin.access.has_value());
+    EXPECT_FALSE(pin.conn.has_value());
+  }
+  for (const ToolInput::NetRecord& net : input.nets) {
+    EXPECT_FALSE(net.width.has_value());
+    EXPECT_FALSE(net.spacing.has_value());
+  }
+  EXPECT_TRUE(input.keepouts.empty());
+  // Drops are only Notes — the silent-loss failure mode.
+  EXPECT_GT(diags.count_code("direct-drop"), 0u);
+  EXPECT_EQ(diags.count(base::Severity::Warning), 0u);
+}
+
+TEST_F(BackplaneFixture, BackplaneEmulatesAccessForBeta) {
+  LossReport loss;
+  ToolInput input = export_via_backplane(design, router_beta_caps(), loss,
+                                         diags);
+  // Beta has no access property, so records stay empty...
+  for (const ToolInput::PinRecord& pin : input.pins)
+    EXPECT_FALSE(pin.access.has_value());
+  // ...but the cells grew synthesized blockage strips that encode access.
+  const ToolInput::CellRecord* nd2 = nullptr;
+  for (const ToolInput::CellRecord& c : input.cells)
+    if (c.name == "nd2") nd2 = &c;
+  ASSERT_NE(nd2, nullptr);
+  EXPECT_GT(nd2->blockages.size(),
+            design.cells.at("nd2").blockages.size());
+  EXPECT_GT(diags.count_code("backplane-emulate"), 0u);
+  // And connection types went to the side file.
+  EXPECT_FALSE(input.conn_file.empty());
+}
+
+TEST_F(BackplaneFixture, BackplaneReportsExplicitLossForGamma) {
+  LossReport loss;
+  export_via_backplane(design, router_gamma_caps(), loss, diags);
+  // Gamma cannot express net width/spacing/shield or conn types.
+  EXPECT_FALSE(loss.lost.empty());
+  bool saw_width = false;
+  for (const LossReport::Item& item : loss.lost)
+    if (item.feature == "net-width") saw_width = true;
+  EXPECT_TRUE(saw_width);
+  EXPECT_LT(loss.fidelity(), 1.0);
+  EXPECT_GT(loss.fidelity(), 0.0);
+  // Losses are Warnings, not buried Notes.
+  EXPECT_GT(diags.count_code("backplane-loss"), 0u);
+}
+
+TEST_F(BackplaneFixture, BackplaneFidelityBeatsDirectForEveryTool) {
+  for (const ToolCaps& caps :
+       {router_alpha_caps(), router_beta_caps(), router_gamma_caps()}) {
+    base::DiagnosticEngine d1, d2;
+    ToolInput direct = export_direct(design, caps, d1);
+    LossReport direct_loss = measure_direct_loss(design, direct);
+    LossReport bp_loss;
+    export_via_backplane(design, caps, bp_loss, d2);
+    EXPECT_GE(bp_loss.fidelity(), direct_loss.fidelity()) << caps.name;
+  }
+  // And strictly better for the blockage-deriving tool.
+  base::DiagnosticEngine d1, d2;
+  ToolInput direct = export_direct(design, router_beta_caps(), d1);
+  LossReport direct_loss = measure_direct_loss(design, direct);
+  LossReport bp_loss;
+  export_via_backplane(design, router_beta_caps(), bp_loss, d2);
+  EXPECT_GT(bp_loss.fidelity(), direct_loss.fidelity());
+}
+
+TEST_F(BackplaneFixture, KeepoutsEmulatedAsObstructionCells) {
+  LossReport loss;
+  ToolInput input = export_via_backplane(design, router_gamma_caps(), loss,
+                                         diags);
+  EXPECT_TRUE(input.keepouts.empty());  // the tool has no keepout concept
+  int obstructions = 0;
+  for (const PhysInstance& inst : input.placement)
+    if (inst.cell.rfind("__keepout", 0) == 0) ++obstructions;
+  EXPECT_EQ(obstructions, int(design.floorplan.keepouts.size()));
+}
+
+TEST_F(BackplaneFixture, FullFidelityNeedsAllThreeTools) {
+  // No single tool carries everything; the per-tool fidelity is < 1 even
+  // via the backplane for gamma, but alpha+beta cover different subsets.
+  LossReport alpha, beta, gamma;
+  base::DiagnosticEngine d;
+  export_via_backplane(design, router_alpha_caps(), alpha, d);
+  export_via_backplane(design, router_beta_caps(), beta, d);
+  export_via_backplane(design, router_gamma_caps(), gamma, d);
+  EXPECT_GT(alpha.fidelity(), gamma.fidelity());
+  EXPECT_GT(beta.fidelity(), gamma.fidelity());
+}
+
+}  // namespace
+}  // namespace interop::pnr

@@ -1,0 +1,149 @@
+#include "schematic/busref.hpp"
+
+#include <gtest/gtest.h>
+
+namespace interop::sch {
+namespace {
+
+const Dialect kVl = viewlogic_dialect();
+const Dialect kCd = composer_dialect();
+
+TEST(BusRef, ParsesExplicitRange) {
+  NetRef r = parse_net_ref("A<0:15>", kVl);
+  EXPECT_EQ(r.base, "A");
+  ASSERT_TRUE(r.range.has_value());
+  EXPECT_EQ(r.range->first, 0);
+  EXPECT_EQ(r.range->second, 15);
+  EXPECT_EQ(r.width(), 16);
+  EXPECT_EQ(r.bits().front(), 0);
+  EXPECT_EQ(r.bits().back(), 15);
+}
+
+TEST(BusRef, ParsesDescendingRange) {
+  NetRef r = parse_net_ref("D<7:4>", kCd);
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.bits(), (std::vector<int>{7, 6, 5, 4}));
+}
+
+TEST(BusRef, ParsesSingleBit) {
+  NetRef r = parse_net_ref("A<3>", kCd);
+  EXPECT_EQ(r.base, "A");
+  ASSERT_TRUE(r.bit.has_value());
+  EXPECT_EQ(*r.bit, 3);
+  EXPECT_FALSE(r.condensed);
+}
+
+// The paper's example: in Viewlogic "A0" is bit 0 of bus A<0:15>.
+TEST(BusRef, CondensedNeedsKnownBus) {
+  NetRef with = parse_net_ref("A0", kVl, {"A"});
+  EXPECT_EQ(with.base, "A");
+  EXPECT_EQ(with.bit, 0);
+  EXPECT_TRUE(with.condensed);
+
+  // Without a known bus A, "A0" is a scalar net named A0.
+  NetRef without = parse_net_ref("A0", kVl);
+  EXPECT_EQ(without.base, "A0");
+  EXPECT_TRUE(without.is_scalar());
+}
+
+// In Composer, A0 is never equivalent to A<0>.
+TEST(BusRef, CondensedDisabledInComposer) {
+  NetRef r = parse_net_ref("A0", kCd, {"A"});
+  EXPECT_EQ(r.base, "A0");
+  EXPECT_TRUE(r.is_scalar());
+}
+
+TEST(BusRef, MultiDigitCondensed) {
+  NetRef r = parse_net_ref("data12", kVl, {"data"});
+  EXPECT_EQ(r.bit, 12);
+}
+
+// The paper's example: "myBus<0:15>-" carries a postfix indicator.
+TEST(BusRef, PostfixIndicator) {
+  NetRef r = parse_net_ref("myBus<0:15>-", kVl);
+  EXPECT_EQ(r.base, "myBus");
+  EXPECT_EQ(r.postfix, "-");
+  ASSERT_TRUE(r.range.has_value());
+
+  // Composer does not understand postfix syntax; it parses as part of the
+  // name, which fails the <...> suffix check, so the whole text is a scalar.
+  NetRef cd = parse_net_ref("myBus<0:15>-", kCd);
+  EXPECT_TRUE(cd.is_scalar());
+  EXPECT_EQ(cd.base, "myBus<0:15>-");
+}
+
+TEST(BusRef, FormatRoundTrip) {
+  for (const char* text : {"clk", "A<3>", "D<0:7>", "ack-"}) {
+    NetRef r = parse_net_ref(text, kVl);
+    EXPECT_EQ(format_net_ref(r, kVl), text);
+  }
+}
+
+TEST(BusRef, TranslateExpandsCondensed) {
+  base::DiagnosticEngine diags;
+  NetRef r = parse_net_ref("A0", kVl, {"A"});
+  NetRef t = translate_net_ref(r, kVl, kCd, diags);
+  EXPECT_EQ(format_net_ref(t, kCd), "A<0>");
+  EXPECT_EQ(diags.count_code("bus-condensed-expanded"), 1u);
+}
+
+TEST(BusRef, TranslateFoldsPostfix) {
+  base::DiagnosticEngine diags;
+  NetRef r = parse_net_ref("myBus<0:15>-", kVl);
+  NetRef t = translate_net_ref(r, kVl, kCd, diags);
+  // Folded into the base name to keep it unique, per the paper.
+  EXPECT_EQ(format_net_ref(t, kCd), "myBus_n<0:15>");
+  EXPECT_EQ(diags.count_code("bus-postfix-folded"), 1u);
+
+  // And the folded name cannot collide with the plain bus.
+  NetRef plain = translate_net_ref(parse_net_ref("myBus<0:15>", kVl), kVl,
+                                   kCd, diags);
+  EXPECT_NE(format_net_ref(t, kCd), format_net_ref(plain, kCd));
+}
+
+TEST(BusRef, TranslateReplacesIllegalChars) {
+  base::DiagnosticEngine diags;
+  NetRef r = parse_net_ref("a.b", kVl);
+  NetRef t = translate_net_ref(r, kVl, kCd, diags);
+  EXPECT_EQ(t.base, "a_b");
+  EXPECT_EQ(diags.count_code("name-char-replaced"), 1u);
+}
+
+TEST(BusRef, TranslateIsNoOpForCleanNames) {
+  base::DiagnosticEngine diags;
+  NetRef r = parse_net_ref("clk", kVl);
+  NetRef t = translate_net_ref(r, kVl, kCd, diags);
+  EXPECT_EQ(format_net_ref(t, kCd), "clk");
+  EXPECT_TRUE(diags.all().empty());
+}
+
+TEST(BusRef, CanonicalBits) {
+  EXPECT_EQ(canonical_bits(parse_net_ref("clk", kVl)),
+            (std::vector<std::string>{"clk"}));
+  EXPECT_EQ(canonical_bits(parse_net_ref("A<1:3>", kVl)),
+            (std::vector<std::string>{"A[1]", "A[2]", "A[3]"}));
+  // Postfix folds the same way translation does, so golden and migrated
+  // netlists agree on canonical names.
+  EXPECT_EQ(canonical_bits(parse_net_ref("ack-", kVl)),
+            (std::vector<std::string>{"ack_n"}));
+  // Condensed refs canonicalize to the same bit as explicit refs.
+  EXPECT_EQ(canonical_bits(parse_net_ref("A0", kVl, {"A"})),
+            canonical_bits(parse_net_ref("A<0>", kCd)));
+}
+
+class BusWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BusWidthSweep, RangeWidthAndBitsAgree) {
+  int w = GetParam();
+  std::string text = "B<0:" + std::to_string(w - 1) + ">";
+  NetRef r = parse_net_ref(text, kCd);
+  EXPECT_EQ(r.width(), w);
+  EXPECT_EQ(static_cast<int>(r.bits().size()), w);
+  EXPECT_EQ(static_cast<int>(canonical_bits(r).size()), w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BusWidthSweep,
+                         ::testing::Values(1, 2, 8, 16, 64));
+
+}  // namespace
+}  // namespace interop::sch

@@ -1,0 +1,225 @@
+#include "schematic/migrate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schematic/generator.hpp"
+
+namespace interop::sch {
+namespace {
+
+class MigrateScenario : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  GeneratorOptions options() {
+    GeneratorOptions opt;
+    opt.seed = GetParam();
+    return opt;
+  }
+};
+
+// The headline property: a full migration run verifies clean — the
+// independent netlist comparison finds zero differences.
+TEST_P(MigrateScenario, FullPipelineVerifiesClean) {
+  Scenario sc = make_exar_scenario(options());
+  base::DiagnosticEngine diags;
+  MigrationResult result = migrate_design(sc.source, sc.config, diags);
+
+  EXPECT_FALSE(diags.has_errors()) << [&] {
+    std::ostringstream os;
+    diags.print(os);
+    return os.str();
+  }();
+
+  base::DiagnosticEngine vdiags;
+  auto diffs = verify_migration(sc.source, result.design, sc.config, vdiags);
+  std::string detail;
+  for (const auto& d : diffs)
+    detail += to_string(d.kind) + " " + d.net + ": " + d.detail + "\n";
+  EXPECT_TRUE(diffs.empty()) << detail;
+
+  // The report reflects real work.
+  EXPECT_GT(result.report.ripup.instances_replaced, 0u);
+  EXPECT_GT(result.report.hier_connectors_added, 0u);
+  EXPECT_GT(result.report.offpage_connectors_added, 0u);
+  EXPECT_GT(result.report.globals_replaced, 0u);
+  EXPECT_GT(result.report.labels_translated, 0u);
+  EXPECT_GT(result.report.texts_adjusted, 0u);
+  EXPECT_GT(result.report.props.renamed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrateScenario,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+// Each ablation drops one migration step; verification must then FAIL with
+// the specific diff kind that step exists to prevent. This is the paper's
+// point: every one of these conventions silently breaks connectivity.
+TEST(MigrateAblation, WithoutOffPageConnectorsCrossPageNetsSplit) {
+  GeneratorOptions opt;
+  opt.seed = 11;
+  Scenario sc = make_exar_scenario(opt);
+  // Sabotage: pretend the target joins by name (so no connectors added)
+  // but verify against the real Composer rules.
+  MigrationConfig broken = sc.config;
+  broken.target.requires_offpage_connectors = false;
+  base::DiagnosticEngine diags;
+  MigrationResult result = migrate_design(sc.source, broken, diags);
+  auto diffs = verify_migration(sc.source, result.design, sc.config, diags);
+  bool saw_missing = false;
+  for (const auto& d : diffs)
+    if (d.kind == NetlistDiff::Kind::MissingNet) saw_missing = true;
+  EXPECT_TRUE(saw_missing);
+}
+
+TEST(MigrateAblation, WithoutHierConnectorsPortsVanish) {
+  GeneratorOptions opt;
+  opt.seed = 12;
+  Scenario sc = make_exar_scenario(opt);
+  MigrationConfig broken = sc.config;
+  broken.target.requires_hier_connectors = false;
+  base::DiagnosticEngine diags;
+  MigrationResult result = migrate_design(sc.source, broken, diags);
+  auto diffs = verify_migration(sc.source, result.design, sc.config, diags);
+  bool saw_port = false;
+  for (const auto& d : diffs)
+    if (d.kind == NetlistDiff::Kind::PortChange) saw_port = true;
+  EXPECT_TRUE(saw_port);
+}
+
+TEST(MigrateAblation, WithoutGlobalMapGlobalsAreLost) {
+  GeneratorOptions opt;
+  opt.seed = 13;
+  Scenario sc = make_exar_scenario(opt);
+  MigrationConfig broken = sc.config;
+  broken.global_map = GlobalMap{};  // nothing mapped
+  base::DiagnosticEngine diags;
+  MigrationResult result = migrate_design(sc.source, broken, diags);
+  EXPECT_GT(diags.count_code("global-unmapped"), 0u);
+}
+
+TEST(MigrateAblation, WithoutPinMapsConnectionsBreak) {
+  GeneratorOptions opt;
+  opt.seed = 14;
+  Scenario sc = make_exar_scenario(opt);
+  // Strip the pin maps: replacement keeps source pin names, which do not
+  // exist on the target symbols.
+  SymbolMap stripped;
+  stripped.add({{"vl_lib", "vl_nand2", "sym"},
+                {"cd_lib", "cd_nand2", "symbol"},
+                {0, 0},
+                base::Orient::R0,
+                {}});
+  stripped.add({{"vl_lib", "vl_inv", "sym"},
+                {"cd_lib", "cd_inv", "symbol"},
+                {0, 0},
+                base::Orient::R0,
+                {}});
+  MigrationConfig broken = sc.config;
+  broken.symbol_map = stripped;
+  base::DiagnosticEngine diags;
+  migrate_design(sc.source, broken, diags);
+  EXPECT_GT(diags.count_code("pin-map-missing"), 0u);
+}
+
+TEST(MigrateScale, PhysicalRescaleSnapsOffGridPoints) {
+  GeneratorOptions opt;
+  opt.seed = 15;
+  Scenario sc = make_exar_scenario(opt);
+  MigrationConfig cfg = sc.config;
+  cfg.scale_policy = ScalePolicy::PreservePhysicalSize;
+  base::DiagnosticEngine diags;
+  MigrationResult result = migrate_design(sc.source, cfg, diags);
+  // 1/10" -> 1/16" is a factor 8/5: most odd coordinates land off-grid.
+  EXPECT_GT(result.report.points_rescaled, 0u);
+  EXPECT_GT(result.report.points_snapped, 0u);
+
+  // Grid-unit preservation (Exar's choice) never snaps.
+  MigrationResult clean = migrate_design(sc.source, sc.config, diags);
+  EXPECT_EQ(clean.report.points_snapped, 0u);
+}
+
+TEST(MigrateProps, CallbackSplitsAnalogModel) {
+  GeneratorOptions opt;
+  opt.seed = 16;
+  opt.analog_fraction = 1.0;  // every res/cap gets a model property
+  Scenario sc = make_exar_scenario(opt);
+  base::DiagnosticEngine diags;
+  MigrationResult result = migrate_design(sc.source, sc.config, diags);
+  EXPECT_GT(result.report.props.callbacks_run, 0u);
+
+  // Find a migrated res/cap and check the model got split.
+  bool checked = false;
+  for (const auto& [cell, sch] : result.design.schematics()) {
+    for (const Sheet& sheet : sch.sheets) {
+      for (const Instance& inst : sheet.instances) {
+        if (!inst.props.has("res") && !inst.props.has("cap")) continue;
+        EXPECT_TRUE(inst.props.has("model"));
+        std::string model = inst.props.get_text("model");
+        EXPECT_TRUE(model == "rmod" || model == "cmod") << model;
+        checked = true;
+      }
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(MigrateProps, StandardRulesApply) {
+  GeneratorOptions opt;
+  opt.seed = 17;
+  Scenario sc = make_exar_scenario(opt);
+  base::DiagnosticEngine diags;
+  MigrationResult result = migrate_design(sc.source, sc.config, diags);
+  for (const auto& [cell, sch] : result.design.schematics()) {
+    for (const Sheet& sheet : sch.sheets) {
+      for (const Instance& inst : sheet.instances) {
+        EXPECT_FALSE(inst.props.has("REFDES"));
+        EXPECT_FALSE(inst.props.has("VL_INTERNAL"));
+        if (inst.props.has("instName")) {
+          EXPECT_TRUE(inst.props.has("lvsIgnore"));
+        }
+        if (inst.props.has("SPEED")) {
+          EXPECT_EQ(inst.props.get_text("SPEED"), "FAST");
+        }
+      }
+    }
+  }
+}
+
+TEST(MigrateCosmetics, BaselineOffsetsCorrected) {
+  GeneratorOptions opt;
+  opt.seed = 18;
+  Scenario sc = make_exar_scenario(opt);
+  base::DiagnosticEngine diags;
+  MigrationResult result = migrate_design(sc.source, sc.config, diags);
+  // Target dialect has zero baseline offset; all migrated text must too,
+  // with origins shifted to keep the visual baseline.
+  for (const auto& [cell, sch] : result.design.schematics()) {
+    for (const Sheet& sheet : sch.sheets) {
+      for (const NetLabel& label : sheet.labels)
+        EXPECT_EQ(label.visual.baseline_offset, 0);
+      for (const Instance& inst : sheet.instances)
+        for (const TextLabel& t : inst.attached_text)
+          EXPECT_EQ(t.baseline_offset, 0);
+    }
+  }
+}
+
+TEST(MigrateBus, LabelsUseTargetSyntax) {
+  GeneratorOptions opt;
+  opt.seed = 19;
+  Scenario sc = make_exar_scenario(opt);
+  base::DiagnosticEngine diags;
+  MigrationResult result = migrate_design(sc.source, sc.config, diags);
+  for (const auto& [cell, sch] : result.design.schematics()) {
+    for (const Sheet& sheet : sch.sheets) {
+      for (const NetLabel& label : sheet.labels) {
+        // No postfix indicators survive.
+        EXPECT_EQ(label.text.find_last_of("-+"), std::string::npos)
+            << label.text;
+      }
+    }
+  }
+  EXPECT_GT(diags.count_code("bus-postfix-folded"), 0u);
+  EXPECT_GT(diags.count_code("bus-condensed-expanded"), 0u);
+}
+
+}  // namespace
+}  // namespace interop::sch

@@ -1,0 +1,147 @@
+#include "schematic/ripup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schematic/generator.hpp"
+#include "schematic/netlist.hpp"
+
+namespace interop::sch {
+namespace {
+
+// Figure 1 fixture: a nand2 with wires on all three pins, replaced by a
+// target nand2 with different pin positions and names.
+class RipupFixture : public ::testing::Test {
+ protected:
+  RipupFixture() : design(viewlogic_dialect().grid) {
+    add_source_library(design, "top", {});
+    for (const SymbolDef& def : make_target_library()) design.add_symbol(def);
+    map = make_standard_symbol_map();
+
+    sheet.number = 1;
+    Instance u1;
+    u1.name = "U1";
+    u1.symbol = {"vl_lib", "vl_nand2", "sym"};
+    u1.placement = Transform(base::Orient::R0, {20, 20});
+    sheet.instances.push_back(u1);
+    // vl_nand2 pins: A(20,23) B(20,21) Y(26,22).
+    sheet.wires.push_back({{10, 23}, {20, 23}});  // into A
+    sheet.wires.push_back({{10, 21}, {20, 21}});  // into B
+    sheet.wires.push_back({{26, 22}, {36, 22}});  // out of Y
+    sheet.wires.push_back({{36, 22}, {36, 30}});  // Y net continues
+    NetLabel l{"out", {36, 30}, {}};
+    sheet.labels.push_back(l);
+  }
+
+  const SymbolMapEntry& entry() {
+    return *map.find({"vl_lib", "vl_nand2", "sym"});
+  }
+  const SymbolDef& source() {
+    return *design.find_symbol({"vl_lib", "vl_nand2", "sym"});
+  }
+  const SymbolDef& target() {
+    return *design.find_symbol({"cd_lib", "cd_nand2", "symbol"});
+  }
+
+  Design design;
+  SymbolMap map;
+  Sheet sheet;
+  RipupStats stats;
+  base::DiagnosticEngine diags;
+};
+
+TEST_F(RipupFixture, MinimalRipsOnlyPinSegments) {
+  Sheet before = sheet;
+  ASSERT_TRUE(replace_component(sheet, "U1", entry(), source(), target(),
+                                RipupPolicy::Minimal, stats, diags));
+  EXPECT_EQ(stats.instances_replaced, 1u);
+  // Three segments touch pins; the Y-net extension (36,22)-(36,30) survives.
+  EXPECT_EQ(stats.segments_ripped, 3u);
+  EXPECT_EQ(stats.fullnet_would_rip, 4u);
+  EXPECT_GT(stats.segments_rerouted, 0u);
+  // Graphical similarity: only wires near the replaced part changed.
+  EXPECT_GT(graphical_similarity(before, sheet), 0.2);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST_F(RipupFixture, FullNetRipsWholeNets) {
+  ASSERT_TRUE(replace_component(sheet, "U1", entry(), source(), target(),
+                                RipupPolicy::FullNet, stats, diags));
+  EXPECT_EQ(stats.segments_ripped, 4u);  // includes the Y-net extension
+}
+
+TEST_F(RipupFixture, ConnectivityPreservedAfterReplacement) {
+  // Attach a second instance so the Y net has two pins.
+  Instance u2;
+  u2.name = "U2";
+  u2.symbol = {"vl_lib", "vl_inv", "sym"};
+  u2.placement = Transform(base::Orient::R0, {36, 28});
+  // vl_inv pin A at local (0,2) -> (36,30): on the Y-net end.
+  sheet.instances.push_back(u2);
+
+  Schematic sch;
+  sch.cell = "top";
+  sch.sheets.push_back(sheet);
+  Netlist before =
+      extract_netlist(design, sch, viewlogic_dialect(), diags);
+  ASSERT_TRUE(before.nets.count("out"));
+  ASSERT_EQ(before.nets.at("out").connections.size(), 2u);
+
+  ASSERT_TRUE(replace_component(sch.sheets[0], "U1", entry(), source(),
+                                target(), RipupPolicy::Minimal, stats,
+                                diags));
+  Netlist after = extract_netlist(design, sch, viewlogic_dialect(), diags);
+  ASSERT_TRUE(after.nets.count("out"));
+  // Same net, with the replaced instance's pin renamed by the pin map.
+  std::set<NetConnection> want{{"U1", "OUT"}, {"U2", "A"}};
+  EXPECT_EQ(after.nets.at("out").connections, want);
+}
+
+TEST_F(RipupFixture, ReplacementWithRotationAndOffset) {
+  SymbolMapEntry e = entry();
+  e.origin_offset = {2, 1};
+  e.rotation = base::Orient::R90;
+  ASSERT_TRUE(replace_component(sheet, "U1", e, source(), target(),
+                                RipupPolicy::Minimal, stats, diags));
+  auto idx = sheet.find_instance("U1");
+  ASSERT_TRUE(idx.has_value());
+  const Instance& inst = sheet.instances[*idx];
+  EXPECT_EQ(inst.symbol, (SymbolKey{"cd_lib", "cd_nand2", "symbol"}));
+  EXPECT_EQ(inst.placement.orient(), base::Orient::R90);
+  // Wires were rerouted to the rotated pin positions.
+  const SymbolPin* out_pin = target().find_pin("OUT");
+  Point new_out = inst.placement.apply(out_pin->pos);
+  bool touches = false;
+  for (const Segment& w : sheet.wires)
+    if (w.a == new_out || w.b == new_out) touches = true;
+  EXPECT_TRUE(touches);
+}
+
+TEST_F(RipupFixture, MissingTargetPinReportsError) {
+  SymbolMapEntry e = entry();
+  e.pin_map["A"] = "NO_SUCH_PIN";
+  replace_component(sheet, "U1", e, source(), target(), RipupPolicy::Minimal,
+                    stats, diags);
+  EXPECT_EQ(diags.count_code("pin-map-missing"), 1u);
+}
+
+TEST_F(RipupFixture, UnknownInstanceReturnsFalse) {
+  EXPECT_FALSE(replace_component(sheet, "NOPE", entry(), source(), target(),
+                                 RipupPolicy::Minimal, stats, diags));
+}
+
+TEST(GraphicalSimilarity, IdenticalSheetsScoreOne) {
+  Sheet s;
+  s.wires.push_back({{0, 0}, {5, 0}});
+  Instance i;
+  i.name = "U1";
+  s.instances.push_back(i);
+  EXPECT_DOUBLE_EQ(graphical_similarity(s, s), 1.0);
+}
+
+TEST(GraphicalSimilarity, EmptySheetScoresOne) {
+  Sheet a, b;
+  EXPECT_DOUBLE_EQ(graphical_similarity(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace interop::sch

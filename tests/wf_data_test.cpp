@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "workflow/data.hpp"
+
+namespace interop::wf {
+namespace {
+
+TEST(SimpleData, WriteReadTimestamp) {
+  SimpleDataManager dm;
+  EXPECT_FALSE(dm.exists("rtl.v"));
+  dm.write("rtl.v", "module m; endmodule");
+  ASSERT_TRUE(dm.exists("rtl.v"));
+  EXPECT_EQ(*dm.read("rtl.v"), "module m; endmodule");
+  LogicalTime t1 = *dm.timestamp("rtl.v");
+  dm.write("rtl.v", "v2");
+  EXPECT_GT(*dm.timestamp("rtl.v"), t1);
+  EXPECT_EQ(*dm.read("rtl.v"), "v2");
+  EXPECT_EQ(dm.list().size(), 1u);
+}
+
+TEST(SimpleData, ListenerFiresOnWrite) {
+  SimpleDataManager dm;
+  std::vector<std::string> events;
+  dm.add_listener([&events](const std::string& path, LogicalTime t) {
+    events.push_back(path + "@" + std::to_string(t));
+  });
+  dm.write("a", "1");
+  dm.write("b", "2");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "a@1");
+  EXPECT_EQ(events[1], "b@2");
+}
+
+TEST(VersioningData, KeepsRevisionChain) {
+  VersioningDataManager dm;
+  dm.write("spec.txt", "v1");
+  dm.write("spec.txt", "v2");
+  dm.write("spec.txt", "v3");
+  EXPECT_EQ(dm.revision_count("spec.txt"), 3u);
+  EXPECT_EQ(*dm.read("spec.txt"), "v3");
+  EXPECT_EQ(*dm.read_revision("spec.txt", 1), "v1");
+  EXPECT_EQ(*dm.read_revision("spec.txt", 2), "v2");
+  EXPECT_FALSE(dm.read_revision("spec.txt", 4).has_value());
+  EXPECT_FALSE(dm.read_revision("other", 1).has_value());
+  EXPECT_EQ(dm.revision_count("other"), 0u);
+}
+
+TEST(VersioningData, BehavesLikeDataManagerPolymorphically) {
+  std::unique_ptr<DataManager> dm =
+      std::make_unique<VersioningDataManager>();
+  dm->write("x", "1");
+  EXPECT_TRUE(dm->exists("x"));
+  EXPECT_EQ(*dm->read("x"), "1");
+}
+
+TEST(Variables, SetGet) {
+  VariablePool pool;
+  EXPECT_FALSE(pool.has("sim_status"));
+  pool.set("sim_status", "clean");
+  EXPECT_EQ(*pool.get("sim_status"), "clean");
+  pool.set("sim_status", "dirty");
+  EXPECT_EQ(*pool.get("sim_status"), "dirty");
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_FALSE(pool.get("absent").has_value());
+}
+
+}  // namespace
+}  // namespace interop::wf
