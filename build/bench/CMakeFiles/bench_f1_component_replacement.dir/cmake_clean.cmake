@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_component_replacement.dir/bench_f1_component_replacement.cpp.o"
+  "CMakeFiles/bench_f1_component_replacement.dir/bench_f1_component_replacement.cpp.o.d"
+  "bench_f1_component_replacement"
+  "bench_f1_component_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_component_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_schematic_migration.dir/bench_t2_schematic_migration.cpp.o"
+  "CMakeFiles/bench_t2_schematic_migration.dir/bench_t2_schematic_migration.cpp.o.d"
+  "bench_t2_schematic_migration"
+  "bench_t2_schematic_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_schematic_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_sim_disagreement.dir/bench_t3_sim_disagreement.cpp.o"
+  "CMakeFiles/bench_t3_sim_disagreement.dir/bench_t3_sim_disagreement.cpp.o.d"
+  "bench_t3_sim_disagreement"
+  "bench_t3_sim_disagreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_sim_disagreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_timing_compat.dir/bench_t4_timing_compat.cpp.o"
+  "CMakeFiles/bench_t4_timing_compat.dir/bench_t4_timing_compat.cpp.o.d"
+  "bench_t4_timing_compat"
+  "bench_t4_timing_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_timing_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

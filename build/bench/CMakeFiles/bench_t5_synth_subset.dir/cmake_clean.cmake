@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_synth_subset.dir/bench_t5_synth_subset.cpp.o"
+  "CMakeFiles/bench_t5_synth_subset.dir/bench_t5_synth_subset.cpp.o.d"
+  "bench_t5_synth_subset"
+  "bench_t5_synth_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_synth_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_naming.dir/bench_t6_naming.cpp.o"
+  "CMakeFiles/bench_t6_naming.dir/bench_t6_naming.cpp.o.d"
+  "bench_t6_naming"
+  "bench_t6_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t7_pnr_backplane.dir/bench_t7_pnr_backplane.cpp.o"
+  "CMakeFiles/bench_t7_pnr_backplane.dir/bench_t7_pnr_backplane.cpp.o.d"
+  "bench_t7_pnr_backplane"
+  "bench_t7_pnr_backplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_pnr_backplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

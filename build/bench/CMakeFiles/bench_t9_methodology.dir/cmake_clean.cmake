@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t9_methodology.dir/bench_t9_methodology.cpp.o"
+  "CMakeFiles/bench_t9_methodology.dir/bench_t9_methodology.cpp.o.d"
+  "bench_t9_methodology"
+  "bench_t9_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t9_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/exar_migration.cpp" "examples/CMakeFiles/exar_migration.dir/exar_migration.cpp.o" "gcc" "examples/CMakeFiles/exar_migration.dir/exar_migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schematic/CMakeFiles/interop_schematic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/interop_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pnr/CMakeFiles/interop_pnr.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/interop_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/interop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/al/CMakeFiles/interop_al.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/interop_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exar_migration.dir/exar_migration.cpp.o"
+  "CMakeFiles/exar_migration.dir/exar_migration.cpp.o.d"
+  "exar_migration"
+  "exar_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exar_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

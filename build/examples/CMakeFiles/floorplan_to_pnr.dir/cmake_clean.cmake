@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_to_pnr.dir/floorplan_to_pnr.cpp.o"
+  "CMakeFiles/floorplan_to_pnr.dir/floorplan_to_pnr.cpp.o.d"
+  "floorplan_to_pnr"
+  "floorplan_to_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_to_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

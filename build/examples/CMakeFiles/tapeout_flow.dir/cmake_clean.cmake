@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapeout_flow.dir/tapeout_flow.cpp.o"
+  "CMakeFiles/tapeout_flow.dir/tapeout_flow.cpp.o.d"
+  "tapeout_flow"
+  "tapeout_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapeout_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

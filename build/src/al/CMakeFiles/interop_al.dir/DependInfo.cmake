@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/al/builtins.cpp" "src/al/CMakeFiles/interop_al.dir/builtins.cpp.o" "gcc" "src/al/CMakeFiles/interop_al.dir/builtins.cpp.o.d"
+  "/root/repo/src/al/interp.cpp" "src/al/CMakeFiles/interop_al.dir/interp.cpp.o" "gcc" "src/al/CMakeFiles/interop_al.dir/interp.cpp.o.d"
+  "/root/repo/src/al/reader.cpp" "src/al/CMakeFiles/interop_al.dir/reader.cpp.o" "gcc" "src/al/CMakeFiles/interop_al.dir/reader.cpp.o.d"
+  "/root/repo/src/al/value.cpp" "src/al/CMakeFiles/interop_al.dir/value.cpp.o" "gcc" "src/al/CMakeFiles/interop_al.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/interop_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_al.dir/builtins.cpp.o"
+  "CMakeFiles/interop_al.dir/builtins.cpp.o.d"
+  "CMakeFiles/interop_al.dir/interp.cpp.o"
+  "CMakeFiles/interop_al.dir/interp.cpp.o.d"
+  "CMakeFiles/interop_al.dir/reader.cpp.o"
+  "CMakeFiles/interop_al.dir/reader.cpp.o.d"
+  "CMakeFiles/interop_al.dir/value.cpp.o"
+  "CMakeFiles/interop_al.dir/value.cpp.o.d"
+  "libinterop_al.a"
+  "libinterop_al.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_al.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/diagnostics.cpp" "src/base/CMakeFiles/interop_base.dir/diagnostics.cpp.o" "gcc" "src/base/CMakeFiles/interop_base.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/base/geometry.cpp" "src/base/CMakeFiles/interop_base.dir/geometry.cpp.o" "gcc" "src/base/CMakeFiles/interop_base.dir/geometry.cpp.o.d"
+  "/root/repo/src/base/graph.cpp" "src/base/CMakeFiles/interop_base.dir/graph.cpp.o" "gcc" "src/base/CMakeFiles/interop_base.dir/graph.cpp.o.d"
+  "/root/repo/src/base/property.cpp" "src/base/CMakeFiles/interop_base.dir/property.cpp.o" "gcc" "src/base/CMakeFiles/interop_base.dir/property.cpp.o.d"
+  "/root/repo/src/base/report.cpp" "src/base/CMakeFiles/interop_base.dir/report.cpp.o" "gcc" "src/base/CMakeFiles/interop_base.dir/report.cpp.o.d"
+  "/root/repo/src/base/rng.cpp" "src/base/CMakeFiles/interop_base.dir/rng.cpp.o" "gcc" "src/base/CMakeFiles/interop_base.dir/rng.cpp.o.d"
+  "/root/repo/src/base/strings.cpp" "src/base/CMakeFiles/interop_base.dir/strings.cpp.o" "gcc" "src/base/CMakeFiles/interop_base.dir/strings.cpp.o.d"
+  "/root/repo/src/base/units.cpp" "src/base/CMakeFiles/interop_base.dir/units.cpp.o" "gcc" "src/base/CMakeFiles/interop_base.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_base.dir/diagnostics.cpp.o"
+  "CMakeFiles/interop_base.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/interop_base.dir/geometry.cpp.o"
+  "CMakeFiles/interop_base.dir/geometry.cpp.o.d"
+  "CMakeFiles/interop_base.dir/graph.cpp.o"
+  "CMakeFiles/interop_base.dir/graph.cpp.o.d"
+  "CMakeFiles/interop_base.dir/property.cpp.o"
+  "CMakeFiles/interop_base.dir/property.cpp.o.d"
+  "CMakeFiles/interop_base.dir/report.cpp.o"
+  "CMakeFiles/interop_base.dir/report.cpp.o.d"
+  "CMakeFiles/interop_base.dir/rng.cpp.o"
+  "CMakeFiles/interop_base.dir/rng.cpp.o.d"
+  "CMakeFiles/interop_base.dir/strings.cpp.o"
+  "CMakeFiles/interop_base.dir/strings.cpp.o.d"
+  "CMakeFiles/interop_base.dir/units.cpp.o"
+  "CMakeFiles/interop_base.dir/units.cpp.o.d"
+  "libinterop_base.a"
+  "libinterop_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/interop_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/interop_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/flow_export.cpp" "src/core/CMakeFiles/interop_core.dir/flow_export.cpp.o" "gcc" "src/core/CMakeFiles/interop_core.dir/flow_export.cpp.o.d"
+  "/root/repo/src/core/methodology.cpp" "src/core/CMakeFiles/interop_core.dir/methodology.cpp.o" "gcc" "src/core/CMakeFiles/interop_core.dir/methodology.cpp.o.d"
+  "/root/repo/src/core/optimize.cpp" "src/core/CMakeFiles/interop_core.dir/optimize.cpp.o" "gcc" "src/core/CMakeFiles/interop_core.dir/optimize.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/core/CMakeFiles/interop_core.dir/platform.cpp.o" "gcc" "src/core/CMakeFiles/interop_core.dir/platform.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/interop_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/interop_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/interop_core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/interop_core.dir/task.cpp.o.d"
+  "/root/repo/src/core/toolmodel.cpp" "src/core/CMakeFiles/interop_core.dir/toolmodel.cpp.o" "gcc" "src/core/CMakeFiles/interop_core.dir/toolmodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/interop_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/interop_workflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_core.dir/analysis.cpp.o"
+  "CMakeFiles/interop_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/interop_core.dir/flow_export.cpp.o"
+  "CMakeFiles/interop_core.dir/flow_export.cpp.o.d"
+  "CMakeFiles/interop_core.dir/methodology.cpp.o"
+  "CMakeFiles/interop_core.dir/methodology.cpp.o.d"
+  "CMakeFiles/interop_core.dir/optimize.cpp.o"
+  "CMakeFiles/interop_core.dir/optimize.cpp.o.d"
+  "CMakeFiles/interop_core.dir/platform.cpp.o"
+  "CMakeFiles/interop_core.dir/platform.cpp.o.d"
+  "CMakeFiles/interop_core.dir/scenario.cpp.o"
+  "CMakeFiles/interop_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/interop_core.dir/task.cpp.o"
+  "CMakeFiles/interop_core.dir/task.cpp.o.d"
+  "CMakeFiles/interop_core.dir/toolmodel.cpp.o"
+  "CMakeFiles/interop_core.dir/toolmodel.cpp.o.d"
+  "libinterop_core.a"
+  "libinterop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdl/ast.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/ast.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/ast.cpp.o.d"
+  "/root/repo/src/hdl/cosim.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/cosim.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/cosim.cpp.o.d"
+  "/root/repo/src/hdl/elaborate.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/elaborate.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/elaborate.cpp.o.d"
+  "/root/repo/src/hdl/equiv.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/equiv.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/equiv.cpp.o.d"
+  "/root/repo/src/hdl/lexer.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/lexer.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/lexer.cpp.o.d"
+  "/root/repo/src/hdl/logic.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/logic.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/logic.cpp.o.d"
+  "/root/repo/src/hdl/naming.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/naming.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/naming.cpp.o.d"
+  "/root/repo/src/hdl/parser.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/parser.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/parser.cpp.o.d"
+  "/root/repo/src/hdl/race.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/race.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/race.cpp.o.d"
+  "/root/repo/src/hdl/sim.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/sim.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/sim.cpp.o.d"
+  "/root/repo/src/hdl/synth.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/synth.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/synth.cpp.o.d"
+  "/root/repo/src/hdl/timing.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/timing.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/timing.cpp.o.d"
+  "/root/repo/src/hdl/vcd.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/vcd.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/vcd.cpp.o.d"
+  "/root/repo/src/hdl/writer.cpp" "src/hdl/CMakeFiles/interop_hdl.dir/writer.cpp.o" "gcc" "src/hdl/CMakeFiles/interop_hdl.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/interop_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

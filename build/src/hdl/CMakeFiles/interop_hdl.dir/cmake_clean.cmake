@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_hdl.dir/ast.cpp.o"
+  "CMakeFiles/interop_hdl.dir/ast.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/cosim.cpp.o"
+  "CMakeFiles/interop_hdl.dir/cosim.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/elaborate.cpp.o"
+  "CMakeFiles/interop_hdl.dir/elaborate.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/equiv.cpp.o"
+  "CMakeFiles/interop_hdl.dir/equiv.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/lexer.cpp.o"
+  "CMakeFiles/interop_hdl.dir/lexer.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/logic.cpp.o"
+  "CMakeFiles/interop_hdl.dir/logic.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/naming.cpp.o"
+  "CMakeFiles/interop_hdl.dir/naming.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/parser.cpp.o"
+  "CMakeFiles/interop_hdl.dir/parser.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/race.cpp.o"
+  "CMakeFiles/interop_hdl.dir/race.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/sim.cpp.o"
+  "CMakeFiles/interop_hdl.dir/sim.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/synth.cpp.o"
+  "CMakeFiles/interop_hdl.dir/synth.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/timing.cpp.o"
+  "CMakeFiles/interop_hdl.dir/timing.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/vcd.cpp.o"
+  "CMakeFiles/interop_hdl.dir/vcd.cpp.o.d"
+  "CMakeFiles/interop_hdl.dir/writer.cpp.o"
+  "CMakeFiles/interop_hdl.dir/writer.cpp.o.d"
+  "libinterop_hdl.a"
+  "libinterop_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pnr/abstract.cpp" "src/pnr/CMakeFiles/interop_pnr.dir/abstract.cpp.o" "gcc" "src/pnr/CMakeFiles/interop_pnr.dir/abstract.cpp.o.d"
+  "/root/repo/src/pnr/backplane.cpp" "src/pnr/CMakeFiles/interop_pnr.dir/backplane.cpp.o" "gcc" "src/pnr/CMakeFiles/interop_pnr.dir/backplane.cpp.o.d"
+  "/root/repo/src/pnr/check.cpp" "src/pnr/CMakeFiles/interop_pnr.dir/check.cpp.o" "gcc" "src/pnr/CMakeFiles/interop_pnr.dir/check.cpp.o.d"
+  "/root/repo/src/pnr/design.cpp" "src/pnr/CMakeFiles/interop_pnr.dir/design.cpp.o" "gcc" "src/pnr/CMakeFiles/interop_pnr.dir/design.cpp.o.d"
+  "/root/repo/src/pnr/floorplanner.cpp" "src/pnr/CMakeFiles/interop_pnr.dir/floorplanner.cpp.o" "gcc" "src/pnr/CMakeFiles/interop_pnr.dir/floorplanner.cpp.o.d"
+  "/root/repo/src/pnr/generator.cpp" "src/pnr/CMakeFiles/interop_pnr.dir/generator.cpp.o" "gcc" "src/pnr/CMakeFiles/interop_pnr.dir/generator.cpp.o.d"
+  "/root/repo/src/pnr/place.cpp" "src/pnr/CMakeFiles/interop_pnr.dir/place.cpp.o" "gcc" "src/pnr/CMakeFiles/interop_pnr.dir/place.cpp.o.d"
+  "/root/repo/src/pnr/route.cpp" "src/pnr/CMakeFiles/interop_pnr.dir/route.cpp.o" "gcc" "src/pnr/CMakeFiles/interop_pnr.dir/route.cpp.o.d"
+  "/root/repo/src/pnr/textio.cpp" "src/pnr/CMakeFiles/interop_pnr.dir/textio.cpp.o" "gcc" "src/pnr/CMakeFiles/interop_pnr.dir/textio.cpp.o.d"
+  "/root/repo/src/pnr/tools.cpp" "src/pnr/CMakeFiles/interop_pnr.dir/tools.cpp.o" "gcc" "src/pnr/CMakeFiles/interop_pnr.dir/tools.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/interop_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_pnr.dir/abstract.cpp.o"
+  "CMakeFiles/interop_pnr.dir/abstract.cpp.o.d"
+  "CMakeFiles/interop_pnr.dir/backplane.cpp.o"
+  "CMakeFiles/interop_pnr.dir/backplane.cpp.o.d"
+  "CMakeFiles/interop_pnr.dir/check.cpp.o"
+  "CMakeFiles/interop_pnr.dir/check.cpp.o.d"
+  "CMakeFiles/interop_pnr.dir/design.cpp.o"
+  "CMakeFiles/interop_pnr.dir/design.cpp.o.d"
+  "CMakeFiles/interop_pnr.dir/floorplanner.cpp.o"
+  "CMakeFiles/interop_pnr.dir/floorplanner.cpp.o.d"
+  "CMakeFiles/interop_pnr.dir/generator.cpp.o"
+  "CMakeFiles/interop_pnr.dir/generator.cpp.o.d"
+  "CMakeFiles/interop_pnr.dir/place.cpp.o"
+  "CMakeFiles/interop_pnr.dir/place.cpp.o.d"
+  "CMakeFiles/interop_pnr.dir/route.cpp.o"
+  "CMakeFiles/interop_pnr.dir/route.cpp.o.d"
+  "CMakeFiles/interop_pnr.dir/textio.cpp.o"
+  "CMakeFiles/interop_pnr.dir/textio.cpp.o.d"
+  "CMakeFiles/interop_pnr.dir/tools.cpp.o"
+  "CMakeFiles/interop_pnr.dir/tools.cpp.o.d"
+  "libinterop_pnr.a"
+  "libinterop_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for interop_pnr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schematic/busref.cpp" "src/schematic/CMakeFiles/interop_schematic.dir/busref.cpp.o" "gcc" "src/schematic/CMakeFiles/interop_schematic.dir/busref.cpp.o.d"
+  "/root/repo/src/schematic/dialect.cpp" "src/schematic/CMakeFiles/interop_schematic.dir/dialect.cpp.o" "gcc" "src/schematic/CMakeFiles/interop_schematic.dir/dialect.cpp.o.d"
+  "/root/repo/src/schematic/generator.cpp" "src/schematic/CMakeFiles/interop_schematic.dir/generator.cpp.o" "gcc" "src/schematic/CMakeFiles/interop_schematic.dir/generator.cpp.o.d"
+  "/root/repo/src/schematic/mapping.cpp" "src/schematic/CMakeFiles/interop_schematic.dir/mapping.cpp.o" "gcc" "src/schematic/CMakeFiles/interop_schematic.dir/mapping.cpp.o.d"
+  "/root/repo/src/schematic/migrate.cpp" "src/schematic/CMakeFiles/interop_schematic.dir/migrate.cpp.o" "gcc" "src/schematic/CMakeFiles/interop_schematic.dir/migrate.cpp.o.d"
+  "/root/repo/src/schematic/model.cpp" "src/schematic/CMakeFiles/interop_schematic.dir/model.cpp.o" "gcc" "src/schematic/CMakeFiles/interop_schematic.dir/model.cpp.o.d"
+  "/root/repo/src/schematic/netlist.cpp" "src/schematic/CMakeFiles/interop_schematic.dir/netlist.cpp.o" "gcc" "src/schematic/CMakeFiles/interop_schematic.dir/netlist.cpp.o.d"
+  "/root/repo/src/schematic/ripup.cpp" "src/schematic/CMakeFiles/interop_schematic.dir/ripup.cpp.o" "gcc" "src/schematic/CMakeFiles/interop_schematic.dir/ripup.cpp.o.d"
+  "/root/repo/src/schematic/textio.cpp" "src/schematic/CMakeFiles/interop_schematic.dir/textio.cpp.o" "gcc" "src/schematic/CMakeFiles/interop_schematic.dir/textio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/interop_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/al/CMakeFiles/interop_al.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

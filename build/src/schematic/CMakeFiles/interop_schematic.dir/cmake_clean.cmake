@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_schematic.dir/busref.cpp.o"
+  "CMakeFiles/interop_schematic.dir/busref.cpp.o.d"
+  "CMakeFiles/interop_schematic.dir/dialect.cpp.o"
+  "CMakeFiles/interop_schematic.dir/dialect.cpp.o.d"
+  "CMakeFiles/interop_schematic.dir/generator.cpp.o"
+  "CMakeFiles/interop_schematic.dir/generator.cpp.o.d"
+  "CMakeFiles/interop_schematic.dir/mapping.cpp.o"
+  "CMakeFiles/interop_schematic.dir/mapping.cpp.o.d"
+  "CMakeFiles/interop_schematic.dir/migrate.cpp.o"
+  "CMakeFiles/interop_schematic.dir/migrate.cpp.o.d"
+  "CMakeFiles/interop_schematic.dir/model.cpp.o"
+  "CMakeFiles/interop_schematic.dir/model.cpp.o.d"
+  "CMakeFiles/interop_schematic.dir/netlist.cpp.o"
+  "CMakeFiles/interop_schematic.dir/netlist.cpp.o.d"
+  "CMakeFiles/interop_schematic.dir/ripup.cpp.o"
+  "CMakeFiles/interop_schematic.dir/ripup.cpp.o.d"
+  "CMakeFiles/interop_schematic.dir/textio.cpp.o"
+  "CMakeFiles/interop_schematic.dir/textio.cpp.o.d"
+  "libinterop_schematic.a"
+  "libinterop_schematic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_schematic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/adhoc.cpp" "src/workflow/CMakeFiles/interop_workflow.dir/adhoc.cpp.o" "gcc" "src/workflow/CMakeFiles/interop_workflow.dir/adhoc.cpp.o.d"
+  "/root/repo/src/workflow/data.cpp" "src/workflow/CMakeFiles/interop_workflow.dir/data.cpp.o" "gcc" "src/workflow/CMakeFiles/interop_workflow.dir/data.cpp.o.d"
+  "/root/repo/src/workflow/engine.cpp" "src/workflow/CMakeFiles/interop_workflow.dir/engine.cpp.o" "gcc" "src/workflow/CMakeFiles/interop_workflow.dir/engine.cpp.o.d"
+  "/root/repo/src/workflow/flow.cpp" "src/workflow/CMakeFiles/interop_workflow.dir/flow.cpp.o" "gcc" "src/workflow/CMakeFiles/interop_workflow.dir/flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/interop_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_workflow.dir/adhoc.cpp.o"
+  "CMakeFiles/interop_workflow.dir/adhoc.cpp.o.d"
+  "CMakeFiles/interop_workflow.dir/data.cpp.o"
+  "CMakeFiles/interop_workflow.dir/data.cpp.o.d"
+  "CMakeFiles/interop_workflow.dir/engine.cpp.o"
+  "CMakeFiles/interop_workflow.dir/engine.cpp.o.d"
+  "CMakeFiles/interop_workflow.dir/flow.cpp.o"
+  "CMakeFiles/interop_workflow.dir/flow.cpp.o.d"
+  "libinterop_workflow.a"
+  "libinterop_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinterop_workflow.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/al_test.dir/al_test.cpp.o"
+  "CMakeFiles/al_test.dir/al_test.cpp.o.d"
+  "al_test"
+  "al_test.pdb"
+  "al_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/al_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

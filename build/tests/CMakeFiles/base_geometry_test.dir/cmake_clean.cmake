@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_geometry_test.dir/base_geometry_test.cpp.o"
+  "CMakeFiles/base_geometry_test.dir/base_geometry_test.cpp.o.d"
+  "base_geometry_test"
+  "base_geometry_test.pdb"
+  "base_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

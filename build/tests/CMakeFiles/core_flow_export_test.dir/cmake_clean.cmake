@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_flow_export_test.dir/core_flow_export_test.cpp.o"
+  "CMakeFiles/core_flow_export_test.dir/core_flow_export_test.cpp.o.d"
+  "core_flow_export_test"
+  "core_flow_export_test.pdb"
+  "core_flow_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_flow_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

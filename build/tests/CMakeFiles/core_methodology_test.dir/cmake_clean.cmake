@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_methodology_test.dir/core_methodology_test.cpp.o"
+  "CMakeFiles/core_methodology_test.dir/core_methodology_test.cpp.o.d"
+  "core_methodology_test"
+  "core_methodology_test.pdb"
+  "core_methodology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_methodology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_task_test.dir/core_task_test.cpp.o"
+  "CMakeFiles/core_task_test.dir/core_task_test.cpp.o.d"
+  "core_task_test"
+  "core_task_test.pdb"
+  "core_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

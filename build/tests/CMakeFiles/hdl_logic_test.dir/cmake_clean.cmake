@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdl_logic_test.dir/hdl_logic_test.cpp.o"
+  "CMakeFiles/hdl_logic_test.dir/hdl_logic_test.cpp.o.d"
+  "hdl_logic_test"
+  "hdl_logic_test.pdb"
+  "hdl_logic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdl_logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdl_naming_test.dir/hdl_naming_test.cpp.o"
+  "CMakeFiles/hdl_naming_test.dir/hdl_naming_test.cpp.o.d"
+  "hdl_naming_test"
+  "hdl_naming_test.pdb"
+  "hdl_naming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdl_naming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

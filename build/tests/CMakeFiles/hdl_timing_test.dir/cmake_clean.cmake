@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdl_timing_test.dir/hdl_timing_test.cpp.o"
+  "CMakeFiles/hdl_timing_test.dir/hdl_timing_test.cpp.o.d"
+  "hdl_timing_test"
+  "hdl_timing_test.pdb"
+  "hdl_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdl_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

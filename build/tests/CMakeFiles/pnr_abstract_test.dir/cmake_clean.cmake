@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_abstract_test.dir/pnr_abstract_test.cpp.o"
+  "CMakeFiles/pnr_abstract_test.dir/pnr_abstract_test.cpp.o.d"
+  "pnr_abstract_test"
+  "pnr_abstract_test.pdb"
+  "pnr_abstract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_abstract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

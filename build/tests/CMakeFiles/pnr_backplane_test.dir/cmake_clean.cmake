@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_backplane_test.dir/pnr_backplane_test.cpp.o"
+  "CMakeFiles/pnr_backplane_test.dir/pnr_backplane_test.cpp.o.d"
+  "pnr_backplane_test"
+  "pnr_backplane_test.pdb"
+  "pnr_backplane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_backplane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

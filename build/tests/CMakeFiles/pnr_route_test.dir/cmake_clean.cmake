@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_route_test.dir/pnr_route_test.cpp.o"
+  "CMakeFiles/pnr_route_test.dir/pnr_route_test.cpp.o.d"
+  "pnr_route_test"
+  "pnr_route_test.pdb"
+  "pnr_route_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

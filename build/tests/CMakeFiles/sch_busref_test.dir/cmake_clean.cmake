@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sch_busref_test.dir/sch_busref_test.cpp.o"
+  "CMakeFiles/sch_busref_test.dir/sch_busref_test.cpp.o.d"
+  "sch_busref_test"
+  "sch_busref_test.pdb"
+  "sch_busref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sch_busref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

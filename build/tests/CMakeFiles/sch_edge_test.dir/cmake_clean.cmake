@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sch_edge_test.dir/sch_edge_test.cpp.o"
+  "CMakeFiles/sch_edge_test.dir/sch_edge_test.cpp.o.d"
+  "sch_edge_test"
+  "sch_edge_test.pdb"
+  "sch_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sch_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

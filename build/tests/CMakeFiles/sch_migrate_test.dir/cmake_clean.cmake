@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sch_migrate_test.dir/sch_migrate_test.cpp.o"
+  "CMakeFiles/sch_migrate_test.dir/sch_migrate_test.cpp.o.d"
+  "sch_migrate_test"
+  "sch_migrate_test.pdb"
+  "sch_migrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sch_migrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

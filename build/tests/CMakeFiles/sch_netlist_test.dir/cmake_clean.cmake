@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sch_netlist_test.dir/sch_netlist_test.cpp.o"
+  "CMakeFiles/sch_netlist_test.dir/sch_netlist_test.cpp.o.d"
+  "sch_netlist_test"
+  "sch_netlist_test.pdb"
+  "sch_netlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sch_netlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

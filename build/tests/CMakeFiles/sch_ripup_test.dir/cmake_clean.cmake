@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sch_ripup_test.dir/sch_ripup_test.cpp.o"
+  "CMakeFiles/sch_ripup_test.dir/sch_ripup_test.cpp.o.d"
+  "sch_ripup_test"
+  "sch_ripup_test.pdb"
+  "sch_ripup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sch_ripup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

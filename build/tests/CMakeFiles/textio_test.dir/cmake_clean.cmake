@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textio_test.dir/textio_test.cpp.o"
+  "CMakeFiles/textio_test.dir/textio_test.cpp.o.d"
+  "textio_test"
+  "textio_test.pdb"
+  "textio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
