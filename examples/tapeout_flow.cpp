@@ -29,11 +29,11 @@ int main() {
   wf::FlowTemplate block_flow;
   block_flow.name = "block";
   block_flow.steps = {
-      {"rtl", step_action("rtl.v"), {}, {}, {"spec.txt"}, {"rtl.v"}, "", ""},
+      {"rtl", step_action("rtl.v"), {}, {}, {"spec.txt"}, {"rtl.v"}, "", "", ""},
       {"sim", step_action("sim.log"), {"rtl"}, {}, {"rtl.v"}, {"sim.log"},
-       "", ""},
+       "", "", ""},
       {"syn", step_action("netlist.v"), {"sim"}, {}, {"rtl.v"},
-       {"netlist.v"}, "", ""},
+       {"netlist.v"}, "", "", ""},
   };
   wf::FlowTemplate chip;
   chip.name = "chip";
@@ -43,9 +43,9 @@ int main() {
                   api.write_data("spec.txt", "v1");
                   return wf::ActionResult{0, ""};
                 }},
-       {}, {}, {}, {"spec.txt"}, "", ""},
-      {"blocks", {}, {"spec"}, {}, {}, {}, "", "block"},
-      {"signoff", step_action(""), {"blocks"}, {}, {}, {}, "manager", ""},
+       {}, {}, {}, {"spec.txt"}, "", "", ""},
+      {"blocks", {}, {"spec"}, {}, {}, {}, "", "block", ""},
+      {"signoff", step_action(""), {"blocks"}, {}, {}, {}, "manager", "", ""},
   };
 
   wf::Engine engine(chip, {{"block", block_flow}},

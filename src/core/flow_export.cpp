@@ -20,6 +20,9 @@ wf::FlowTemplate export_flow(const TaskGraph& tasks, const TaskToolMap& map,
     const std::vector<std::string>* tools = map.tools_for(task.id);
     std::string tool =
         tools && !tools->empty() ? tools->front() : std::string();
+    // Stable content key for the runtime's memoization: the same task run
+    // by the same tool is the same computation, across exports and runs.
+    step.content_tag = task.id + "@" + (tool.empty() ? "unmapped" : tool);
     if (tool.empty() && options.fail_on_unmapped) {
       step.action = {task.id, wf::ActionLanguage::Native,
                      [id = task.id](wf::ActionApi&) {

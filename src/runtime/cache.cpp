@@ -1,0 +1,81 @@
+#include "runtime/cache.hpp"
+
+#include <algorithm>
+
+#include "runtime/hash.hpp"
+
+namespace interop::runtime {
+
+std::shared_ptr<const CacheEntry> ResultCache::find(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void ResultCache::store(std::uint64_t key, CacheEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      entries_.emplace(key, std::make_shared<CacheEntry>(std::move(entry)));
+  if (!inserted) {
+    it->second = std::make_shared<CacheEntry>(std::move(entry));
+    return;  // overwrite keeps the original FIFO position
+  }
+  ++stats_.stores;
+  order_.push_back(key);
+  while (max_entries_ != 0 && entries_.size() > max_entries_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  order_.clear();
+}
+
+std::uint64_t step_content_key(const wf::StepDef& def,
+                               const wf::DataManager& data) {
+  Fnv1a h;
+  h.update(def.name);
+  if (!def.content_tag.empty()) {
+    h.update(def.content_tag);
+  } else {
+    h.update(def.action.name);
+    h.update(to_string(def.action.language));
+  }
+
+  std::vector<std::string> reads = def.reads;
+  std::sort(reads.begin(), reads.end());
+  reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+  for (const std::string& path : reads) {
+    h.update(path);
+    auto content = data.read(path);
+    h.update_u64(content.has_value() ? 1 : 0);
+    if (content) h.update(*content);
+  }
+
+  std::vector<std::string> writes = def.writes;
+  std::sort(writes.begin(), writes.end());
+  for (const std::string& path : writes) h.update(path);
+
+  return h.digest();
+}
+
+}  // namespace interop::runtime

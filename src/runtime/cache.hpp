@@ -1,0 +1,75 @@
+#pragma once
+// Content-addressed result cache: the memoization layer under the parallel
+// flow executor. A step's key is the hash of its action identity (the
+// exporter's stable content tag, or action name + language), its declared
+// reads with their current contents, and its declared writes. Same key =>
+// same effects, so an unchanged step is replayed from the cached effect
+// list (data writes + variable writes + log) instead of re-executed. This
+// is the make/ccache idea applied to §5 workflow steps, keyed on content
+// rather than timestamps, so it survives across flow instances and data
+// managers.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workflow/data.hpp"
+#include "workflow/flow.hpp"
+
+namespace interop::runtime {
+
+/// The memoized effects of one successful step execution.
+struct CacheEntry {
+  /// Data writes in call order (path, content).
+  std::vector<std::pair<std::string, std::string>> outputs;
+  /// Variable writes in call order (name, value).
+  std::vector<std::pair<std::string, std::string>> variables;
+  std::string log;
+};
+
+/// Thread-safe key -> entry store with FIFO eviction. Shared (via
+/// shared_ptr) between executors so a warm cache accelerates fresh flow
+/// instances, not just re-runs of one instance.
+class ResultCache {
+ public:
+  /// `max_entries` == 0 means unbounded.
+  explicit ResultCache(std::size_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
+  /// Lookup; counts a hit or miss. The returned entry is immutable and
+  /// safe to use after eviction.
+  std::shared_ptr<const CacheEntry> find(std::uint64_t key) const;
+
+  /// Insert or overwrite. Evicts oldest entries beyond max_entries.
+  void store(std::uint64_t key, CacheEntry entry);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<const CacheEntry>> entries_;
+  std::list<std::uint64_t> order_;  ///< insertion order for FIFO eviction
+  mutable Stats stats_;
+};
+
+/// The content key of `def` against the current store contents. Reads and
+/// writes are hashed sorted, so declaration order does not matter; absent
+/// inputs hash distinctly from empty ones.
+std::uint64_t step_content_key(const wf::StepDef& def,
+                               const wf::DataManager& data);
+
+}  // namespace interop::runtime

@@ -1,0 +1,146 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+
+namespace interop::runtime {
+
+ParallelExecutor::ParallelExecutor(
+    wf::FlowTemplate main, std::map<std::string, wf::FlowTemplate> subflows,
+    std::unique_ptr<wf::DataManager> data, ExecutorOptions options,
+    std::shared_ptr<ResultCache> cache)
+    : engine_(std::move(main), std::move(subflows), std::move(data),
+              options.role),
+      options_(options),
+      cache_(std::move(cache)) {}
+
+std::string ParallelExecutor::instantiate(
+    const std::vector<std::string>& blocks) {
+  return engine_.instantiate(blocks);
+}
+
+bool ParallelExecutor::claim_next_locked(Claim* out) {
+  for (const std::string& name : engine_.runnable_steps()) {
+    int& count = scheduled_[name];
+    if (count >= options_.livelock_limit) {
+      stats_.livelock = true;
+      stats_.error = "livelock detected: step '" + name + "' was scheduled " +
+                     std::to_string(count) +
+                     " times in one run(); a data write/read cycle keeps "
+                     "marking it NeedsRerun";
+      stop_ = true;
+      cv_.notify_all();
+      return false;
+    }
+    bool was_rerun = false;
+    if (!engine_.begin_step(name, &was_rerun)) continue;  // lost a race
+    ++count;
+    out->name = name;
+    out->was_rerun = was_rerun;
+    if (cache_) {
+      const wf::StepStatus* st = engine_.instance().find(name);
+      out->key = step_content_key(st->def, engine_.data());
+      out->has_key = true;
+      out->entry = cache_->find(out->key);
+    }
+    return true;
+  }
+  return false;
+}
+
+void ParallelExecutor::worker_loop(int worker_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    Claim claim;
+    if (claim_next_locked(&claim)) {
+      ++in_flight_;
+      lock.unlock();
+
+      JournalEntry record;
+      record.step = claim.name;
+      record.worker = worker_id;
+      record.rerun = claim.was_rerun;
+      record.cache_hit = claim.entry != nullptr;
+      record.start_us = journal_.now_us();
+
+      // The action body (or cache replay) runs unlocked; each ActionApi
+      // call serializes on mu_ through the engine's concurrency guard.
+      wf::ActionApi api(engine_, engine_.instance(), claim.name);
+      wf::ActionResult result;
+      if (claim.entry) {
+        // Replay the memoized effects. Skipping writes whose content is
+        // already current avoids timestamp churn (and the NeedsRerun
+        // cascade it would trigger) on warm re-runs over live data.
+        for (const auto& [path, content] : claim.entry->outputs)
+          if (api.read_data(path) != std::optional<std::string>(content))
+            api.write_data(path, content);
+        for (const auto& [name, value] : claim.entry->variables)
+          api.set_variable(name, value);
+        api.set_step_state_success();
+        result = wf::ActionResult{0, claim.entry->log};
+      } else {
+        // StepStatus nodes are stable after instantiate(); the def is
+        // immutable during a run, so reading it unlocked is safe.
+        const wf::StepStatus* st = engine_.instance().find(claim.name);
+        if (st->def.action.fn) result = st->def.action.fn(api);
+      }
+      record.end_us = journal_.now_us();
+
+      lock.lock();
+      engine_.apply_step_result(claim.name, result, api, claim.was_rerun);
+      const wf::StepStatus* st = engine_.instance().find(claim.name);
+      record.ok = st->state != wf::StepState::Failed;
+      if (claim.entry)
+        ++stats_.cache_hits;
+      else
+        ++stats_.executed;
+      if (st->state == wf::StepState::Failed) ++stats_.failures;
+      bool effects_complete = st->state == wf::StepState::Succeeded ||
+                              st->state == wf::StepState::AwaitingFinish;
+      if (cache_ && claim.has_key && !claim.entry && effects_complete) {
+        CacheEntry entry;
+        entry.outputs = api.data_writes();
+        entry.variables = api.var_writes();
+        entry.log = result.log;
+        cache_->store(claim.key, std::move(entry));
+      }
+      journal_.record(std::move(record));
+      --in_flight_;
+      cv_.notify_all();  // completions may unlock new ready steps
+      continue;
+    }
+    if (stop_) break;
+    if (in_flight_ == 0) {
+      // Nothing runnable and nothing running: the flow is drained (or
+      // blocked on failures/roles, exactly as serial run_all() leaves it).
+      stop_ = true;
+      cv_.notify_all();
+      break;
+    }
+    cv_.wait(lock);
+  }
+}
+
+RunStats ParallelExecutor::run() {
+  stats_ = RunStats{};
+  scheduled_.clear();
+  stop_ = false;
+  in_flight_ = 0;
+
+  journal_.begin_run(options_.workers);
+  engine_.set_concurrency_guard(&mu_);
+  int n = std::max(1, options_.workers);
+  std::vector<std::thread> pool;
+  pool.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i)
+    pool.emplace_back([this, i] { worker_loop(i); });
+  for (std::thread& t : pool) t.join();
+  engine_.set_concurrency_guard(nullptr);
+  journal_.end_run();
+
+  stats_.wall_us = journal_.wall_us();
+  if (stats_.error.empty() && stats_.failures > 0)
+    stats_.error = engine_.last_error();
+  return stats_;
+}
+
+}  // namespace interop::runtime

@@ -1,0 +1,99 @@
+#pragma once
+// The parallel flow runtime: runs ready steps of a validated flow
+// concurrently on a fixed worker pool, layered on the content-addressed
+// ResultCache (unchanged steps replay their memoized effects instead of
+// re-executing) and the RunJournal (per-step timing, cache hit/miss,
+// worker id, critical path — exported as JSON).
+//
+// Concurrency model: one mutex (mu_) guards all engine state — step
+// states, the data store, variables, tool sessions, metrics. Workers hold
+// it only to claim a step and to apply its result; the action body runs
+// unlocked, and every ActionApi call it makes locks mu_ internally via the
+// engine's concurrency guard. Step actions therefore overlap wherever they
+// spend time computing or waiting on tools, which is where real CAD flows
+// spend almost all of theirs. The serial wf::Engine API is untouched; the
+// executor drives the same instance through the engine's runtime hooks, so
+// triggers, finish dependencies, permissions, and rework semantics are
+// identical to a serial run.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/cache.hpp"
+#include "runtime/journal.hpp"
+#include "workflow/engine.hpp"
+
+namespace interop::runtime {
+
+struct ExecutorOptions {
+  int workers = 4;
+  std::string role = "engineer";
+  /// Per-step scheduling bound per run(): the parallel analogue of
+  /// Engine::run_all()'s livelock detector.
+  int livelock_limit = 20;
+};
+
+struct RunStats {
+  int executed = 0;    ///< actions actually run
+  int cache_hits = 0;  ///< steps replayed from the result cache
+  int failures = 0;
+  bool livelock = false;
+  std::uint64_t wall_us = 0;
+  std::string error;  ///< livelock/diagnostic message, empty when clean
+};
+
+class ParallelExecutor {
+ public:
+  /// Pass a null `cache` to disable memoization. Sharing one cache between
+  /// executors gives warm-start runs across fresh flow instances.
+  ParallelExecutor(wf::FlowTemplate main,
+                   std::map<std::string, wf::FlowTemplate> subflows,
+                   std::unique_ptr<wf::DataManager> data,
+                   ExecutorOptions options = {},
+                   std::shared_ptr<ResultCache> cache =
+                       std::make_shared<ResultCache>());
+
+  /// Derive the instance (delegates to Engine::instantiate).
+  std::string instantiate(const std::vector<std::string>& blocks);
+
+  /// Parallel analogue of Engine::run_all(): drain every runnable step.
+  RunStats run();
+
+  wf::Engine& engine() { return engine_; }
+  const wf::Engine& engine() const { return engine_; }
+  const RunJournal& journal() const { return journal_; }
+  std::shared_ptr<ResultCache> cache() const { return cache_; }
+  bool complete() const { return engine_.complete(); }
+
+ private:
+  struct Claim {
+    std::string name;
+    bool was_rerun = false;
+    bool has_key = false;
+    std::uint64_t key = 0;
+    std::shared_ptr<const CacheEntry> entry;  ///< non-null = replay
+  };
+
+  bool claim_next_locked(Claim* out);
+  void worker_loop(int worker_id);
+
+  wf::Engine engine_;
+  ExecutorOptions options_;
+  std::shared_ptr<ResultCache> cache_;
+  RunJournal journal_;
+
+  std::mutex mu_;  ///< the engine's concurrency guard during run()
+  std::condition_variable cv_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+  std::map<std::string, int> scheduled_;  ///< per-step claims, this run
+  RunStats stats_;
+};
+
+}  // namespace interop::runtime

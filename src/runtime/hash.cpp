@@ -1,0 +1,41 @@
+#include "runtime/hash.hpp"
+
+namespace interop::runtime {
+
+void Fnv1a::update_bytes(const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_ ^= p[i];
+    state_ *= kFnvPrime;
+  }
+}
+
+void Fnv1a::update(std::string_view s) {
+  update_u64(s.size());
+  update_bytes(s.data(), s.size());
+}
+
+void Fnv1a::update_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    state_ ^= (v >> (i * 8)) & 0xff;
+    state_ *= kFnvPrime;
+  }
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  Fnv1a h;
+  h.update_bytes(s.data(), s.size());
+  return h.digest();
+}
+
+std::string to_hex(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace interop::runtime

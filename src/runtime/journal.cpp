@@ -1,0 +1,162 @@
+#include "runtime/journal.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace interop::runtime {
+
+void RunJournal::begin_run(int workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  wall_us_ = 0;
+  workers_ = workers;
+  t0_ = std::chrono::steady_clock::now();
+}
+
+void RunJournal::end_run() {
+  std::lock_guard<std::mutex> lock(mu_);
+  wall_us_ = std::uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - t0_)
+                               .count());
+}
+
+std::uint64_t RunJournal::now_us() const {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0_)
+                           .count());
+}
+
+void RunJournal::record(JournalEntry e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(e));
+}
+
+std::vector<JournalEntry> RunJournal::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+RunJournal::Summary RunJournal::summary(
+    const wf::FlowInstance& instance) const {
+  std::vector<JournalEntry> entries = this->entries();
+  Summary s;
+  s.wall_us = wall_us_;
+  s.steps = int(entries.size());
+
+  // Latest record per step carries the step's observed duration.
+  std::map<std::string, std::uint64_t> duration;
+  for (const JournalEntry& e : entries) {
+    if (e.cache_hit)
+      ++s.cache_hits;
+    else
+      ++s.executed;
+    if (!e.ok) ++s.failures;
+    if (e.rerun) ++s.reruns;
+    std::uint64_t d = e.end_us >= e.start_us ? e.end_us - e.start_us : 0;
+    s.busy_us += d;
+    duration[e.step] = d;
+  }
+  if (s.wall_us > 0) s.parallelism = double(s.busy_us) / double(s.wall_us);
+
+  // Critical path: longest chain cost(step) = dur(step) + max(cost(deps)),
+  // over start-after edges. The instance validated as a DAG.
+  std::map<std::string, std::uint64_t> cost;
+  std::map<std::string, std::string> via;
+  std::function<std::uint64_t(const std::string&)> cost_of =
+      [&](const std::string& name) -> std::uint64_t {
+    auto memo = cost.find(name);
+    if (memo != cost.end()) return memo->second;
+    const wf::StepStatus* st = instance.find(name);
+    std::uint64_t best = 0;
+    std::string best_dep;
+    if (st) {
+      for (const std::string& dep : st->def.start_after) {
+        std::uint64_t c = cost_of(dep);
+        if (c > best || (c == best && best_dep.empty())) {
+          best = c;
+          best_dep = dep;
+        }
+      }
+    }
+    auto d = duration.find(name);
+    std::uint64_t total = best + (d == duration.end() ? 0 : d->second);
+    cost[name] = total;
+    if (!best_dep.empty()) via[name] = best_dep;
+    return total;
+  };
+
+  std::string tail;
+  for (const auto& [name, st] : instance.steps) {
+    std::uint64_t c = cost_of(name);
+    if (tail.empty() || c > s.critical_path_us) {
+      s.critical_path_us = c;
+      tail = name;
+    }
+  }
+  for (std::string cur = tail; !cur.empty();) {
+    s.critical_path.push_back(cur);
+    auto it = via.find(cur);
+    cur = it == via.end() ? std::string() : it->second;
+  }
+  std::reverse(s.critical_path.begin(), s.critical_path.end());
+  return s;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RunJournal::to_json(const wf::FlowInstance& instance) const {
+  Summary s = summary(instance);
+  std::ostringstream os;
+  os << "{\"workers\":" << workers_ << ",\"wall_us\":" << s.wall_us
+     << ",\"steps\":[";
+  bool first = true;
+  for (const JournalEntry& e : entries()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"step\":\"" << json_escape(e.step) << "\",\"worker\":" << e.worker
+       << ",\"start_us\":" << e.start_us << ",\"end_us\":" << e.end_us
+       << ",\"cache_hit\":" << (e.cache_hit ? "true" : "false")
+       << ",\"ok\":" << (e.ok ? "true" : "false")
+       << ",\"rerun\":" << (e.rerun ? "true" : "false") << "}";
+  }
+  os << "],\"summary\":{\"records\":" << s.steps
+     << ",\"executed\":" << s.executed << ",\"cache_hits\":" << s.cache_hits
+     << ",\"failures\":" << s.failures << ",\"reruns\":" << s.reruns
+     << ",\"busy_us\":" << s.busy_us << ",\"parallelism\":" << s.parallelism
+     << ",\"critical_path_us\":" << s.critical_path_us
+     << ",\"critical_path\":[";
+  first = true;
+  for (const std::string& name : s.critical_path) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\"";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+}  // namespace interop::runtime

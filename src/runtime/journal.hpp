@@ -1,0 +1,76 @@
+#pragma once
+// Structured run journal for the parallel executor: one record per step
+// execution or cache replay (worker id, start/stop offsets, cache hit,
+// outcome), plus derived summary metrics — achieved parallelism and the
+// critical path through the dependency graph weighted by observed step
+// durations. Exported as JSON for the bench harness and external tooling.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "workflow/flow.hpp"
+
+namespace interop::runtime {
+
+struct JournalEntry {
+  std::string step;
+  int worker = -1;
+  std::uint64_t start_us = 0;  ///< offset from run start
+  std::uint64_t end_us = 0;
+  bool cache_hit = false;
+  bool ok = true;
+  bool rerun = false;
+};
+
+class RunJournal {
+ public:
+  /// Reset and stamp the run start.
+  void begin_run(int workers);
+  /// Stamp the run end (wall time).
+  void end_run();
+
+  /// Microseconds since begin_run(); thread-safe.
+  std::uint64_t now_us() const;
+
+  /// Thread-safe append.
+  void record(JournalEntry e);
+
+  std::vector<JournalEntry> entries() const;
+  int workers() const { return workers_; }
+  std::uint64_t wall_us() const { return wall_us_; }
+
+  struct Summary {
+    int steps = 0;          ///< journal records (executions + replays)
+    int executed = 0;       ///< actions actually run
+    int cache_hits = 0;
+    int failures = 0;
+    int reruns = 0;
+    std::uint64_t wall_us = 0;
+    std::uint64_t busy_us = 0;           ///< sum of step durations
+    double parallelism = 0.0;            ///< busy / wall
+    std::uint64_t critical_path_us = 0;  ///< longest dependency chain
+    std::vector<std::string> critical_path;
+  };
+
+  /// Derive the summary; `instance` supplies the dependency edges for the
+  /// critical path (the latest record per step carries its duration).
+  Summary summary(const wf::FlowInstance& instance) const;
+
+  /// The whole journal as a JSON object (entries + summary).
+  std::string to_json(const wf::FlowInstance& instance) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<JournalEntry> entries_;
+  std::chrono::steady_clock::time_point t0_{};
+  std::uint64_t wall_us_ = 0;
+  int workers_ = 0;
+};
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string json_escape(const std::string& s);
+
+}  // namespace interop::runtime

@@ -15,22 +15,37 @@ std::string ToolSession::request(const std::string& cmd) {
 }
 
 // ------------------------------------------------------------- ActionApi
+//
+// Every method that touches engine state takes the engine's concurrency
+// guard (a no-op in serial mode), so actions running on parallel runtime
+// workers serialize their state access while their own compute overlaps.
 
 void ActionApi::write_data(const std::string& path, std::string content) {
+  auto lock = engine_.guard_lock();
+  data_writes_.emplace_back(path, content);
+  // The write must be attributed to this step so its own output does not
+  // re-trigger it; with several steps in flight current_step_ is per-write.
+  std::string prev = std::move(engine_.current_step_);
+  engine_.current_step_ = step_;
   engine_.data().write(path, std::move(content));
+  engine_.current_step_ = std::move(prev);
 }
 
 std::optional<std::string> ActionApi::read_data(
     const std::string& path) const {
+  auto lock = engine_.guard_lock();
   return engine_.data().read(path);
 }
 
 void ActionApi::set_variable(const std::string& name, std::string value) {
+  auto lock = engine_.guard_lock();
+  var_writes_.emplace_back(name, value);
   engine_.variables().set(name, std::move(value));
 }
 
 std::optional<std::string> ActionApi::get_variable(
     const std::string& name) const {
+  auto lock = engine_.guard_lock();
   return engine_.variables().get(name);
 }
 
@@ -43,6 +58,8 @@ void ActionApi::set_step_state_failure(const std::string& reason) {
 
 std::string ActionApi::tool_request(const std::string& tool,
                                     const std::string& cmd) {
+  auto lock = engine_.guard_lock();
+  ++tool_requests_;
   engine_.metrics_.tool_requests++;
   return engine_.tool(tool).request(cmd);
 }
@@ -167,7 +184,7 @@ void Engine::refresh_readiness() {
   }
 }
 
-bool Engine::run_step(const std::string& name) {
+bool Engine::begin_step(const std::string& name, bool* was_rerun) {
   StepStatus* status = instance_.find(name);
   if (!status) {
     last_error_ = "unknown step " + name;
@@ -186,18 +203,21 @@ bool Engine::run_step(const std::string& name) {
                   to_string(status->state) + ")";
     return false;
   }
-  bool is_rerun = status->state == StepState::NeedsRerun;
-
+  if (was_rerun) *was_rerun = status->state == StepState::NeedsRerun;
   status->state = StepState::Running;
-  current_step_ = name;
-  ActionApi api(*this, instance_, name);
-  ActionResult result;
-  if (status->def.action.fn) result = status->def.action.fn(api);
-  current_step_.clear();
+  status->last_started = data_->now();
+  return true;
+}
+
+void Engine::apply_step_result(const std::string& name,
+                               const ActionResult& result,
+                               const ActionApi& api, bool was_rerun) {
+  StepStatus* status = instance_.find(name);
+  if (!status || status->state != StepState::Running) return;
 
   ++status->runs;
   ++metrics_.steps_run;
-  if (is_rerun) {
+  if (was_rerun) {
     ++status->reruns;
     ++metrics_.reruns;
   }
@@ -215,7 +235,7 @@ bool Engine::run_step(const std::string& name) {
                       ? ("step " + name + " failed (exit " +
                          std::to_string(result.exit_code) + ")")
                       : api.failure_reason_;
-    return true;  // the step ran; failure is a result, not an engine error
+    return;
   }
 
   // Finish dependencies: park when they are not yet complete.
@@ -229,8 +249,44 @@ bool Engine::run_step(const std::string& name) {
   } else {
     status->state = StepState::AwaitingFinish;
   }
+
+  // Parallel hazard: an input rewritten by a concurrently-running step after
+  // this one started means it computed with stale data. The trigger in
+  // on_data_written() skips Running steps, so catch it here. The step's own
+  // writes do not count.
+  for (const std::string& path : status->def.reads) {
+    bool own = false;
+    for (const auto& [p, c] : api.data_writes())
+      if (p == path) {
+        own = true;
+        break;
+      }
+    if (own) continue;
+    auto t = data_->timestamp(path);
+    if (t && *t > status->last_started) {
+      status->state = StepState::NeedsRerun;
+      notifications_.push_back("step " + name + " needs rework: input '" +
+                               path + "' changed while it ran");
+      ++metrics_.notifications;
+      break;
+    }
+  }
   refresh_readiness();
-  return true;
+}
+
+bool Engine::run_step(const std::string& name) {
+  bool was_rerun = false;
+  if (!begin_step(name, &was_rerun)) return false;
+  StepStatus* status = instance_.find(name);
+
+  current_step_ = name;
+  ActionApi api(*this, instance_, name);
+  ActionResult result;
+  if (status->def.action.fn) result = status->def.action.fn(api);
+  current_step_.clear();
+
+  apply_step_result(name, result, api, was_rerun);
+  return true;  // the step ran; failure is a result, not an engine error
 }
 
 void Engine::try_finish(const std::string& name) {
@@ -242,10 +298,27 @@ void Engine::try_finish(const std::string& name) {
   }
 }
 
+std::vector<std::string> Engine::runnable_steps() const {
+  std::vector<std::pair<int, std::string>> ranked;
+  for (const auto& [name, status] : instance_.steps) {
+    if (status.state != StepState::Ready &&
+        status.state != StepState::NeedsRerun)
+      continue;
+    if (!status.def.required_role.empty() && status.def.required_role != role_)
+      continue;
+    ranked.emplace_back(status.rank, name);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (auto& [rank, name] : ranked) out.push_back(std::move(name));
+  return out;
+}
+
 int Engine::run_all() {
   int executed = 0;
-  int guard = int(instance_.steps.size()) * 10 + 10;
-  while (guard-- > 0) {
+  std::map<std::string, int> scheduled;  // per-step count, this call only
+  for (;;) {
     refresh_readiness();
     std::string next;
     int best_rank = 0;
@@ -262,7 +335,20 @@ int Engine::run_all() {
       }
     }
     if (next.empty()) break;
-    if (run_step(next)) ++executed;
+    if (++scheduled[next] > livelock_limit_) {
+      // A legitimate rework cascade re-runs a step a handful of times; a
+      // step scheduled this often inside one call is oscillating NeedsRerun
+      // (typically a write/read cycle between steps). Report, don't spin.
+      last_error_ = "livelock detected: step '" + next + "' was scheduled " +
+                    std::to_string(scheduled[next]) +
+                    " times in one run_all(); a data write/read cycle keeps "
+                    "marking it NeedsRerun";
+      notifications_.push_back(last_error_);
+      ++metrics_.notifications;
+      break;
+    }
+    if (!run_step(next)) break;
+    ++executed;
   }
   return executed;
 }

@@ -4,6 +4,7 @@
 // characteristics as one executable component.
 
 #include <memory>
+#include <mutex>
 #include <set>
 
 #include "workflow/flow.hpp"
@@ -58,7 +59,42 @@ class Engine {
   bool run_step(const std::string& name);
 
   /// Run until no step makes progress. Returns number of step executions.
+  /// Detects livelock (a step oscillating NeedsRerun forever because of a
+  /// data write/read cycle): after a step is scheduled more than
+  /// livelock_limit() times in one call, the run aborts with a diagnostic
+  /// in last_error() and a user notification.
   int run_all();
+
+  /// Per-step scheduling bound for run_all()'s livelock detector.
+  int livelock_limit() const { return livelock_limit_; }
+  void set_livelock_limit(int n) { livelock_limit_ = n; }
+
+  // --- Runtime hooks -----------------------------------------------------
+  // Used by runtime::ParallelExecutor to drive steps concurrently without
+  // going through the serial run_step()/run_all() path. The serial API is
+  // unchanged; these decompose run_step() into claim/execute/apply.
+
+  /// Install a mutex that serializes all engine-state access made from
+  /// inside actions (ActionApi calls) and from the hooks below. nullptr
+  /// restores serial (unlocked) mode. While a guard is installed, callers
+  /// of begin_step()/apply_step_result()/runnable_steps() must hold it.
+  void set_concurrency_guard(std::mutex* mu) { guard_ = mu; }
+  std::mutex* concurrency_guard() const { return guard_; }
+
+  /// Steps currently claimable: Ready or NeedsRerun, role-permitted,
+  /// ordered by topological rank (upstream first) then name.
+  std::vector<std::string> runnable_steps() const;
+
+  /// Claim a runnable step: transition it to Running. `was_rerun` (may be
+  /// null) reports whether this claim consumed a NeedsRerun. Returns false
+  /// with a diagnostic in last_error() when the step is not claimable.
+  bool begin_step(const std::string& name, bool* was_rerun = nullptr);
+
+  /// Apply an action's result to a Running step: success/failure policy,
+  /// metrics, finish dependencies, stale-input detection, and readiness
+  /// refresh — the bookkeeping tail of run_step().
+  void apply_step_result(const std::string& name, const ActionResult& result,
+                         const ActionApi& api, bool was_rerun);
 
   /// Reset a step (and everything downstream of it) for rerun, subject to
   /// the §5 permission question "Do I have the necessary permissions?".
@@ -102,6 +138,12 @@ class Engine {
  private:
   friend class ActionApi;
 
+  /// Lock the concurrency guard when one is installed (no-op otherwise).
+  std::unique_lock<std::mutex> guard_lock() const {
+    return guard_ ? std::unique_lock<std::mutex>(*guard_)
+                  : std::unique_lock<std::mutex>();
+  }
+
   bool deps_succeeded(const std::vector<std::string>& deps) const;
   void on_data_written(const std::string& path, LogicalTime t);
   void try_finish(const std::string& name);
@@ -120,6 +162,8 @@ class Engine {
   std::map<std::string, std::unique_ptr<ToolSession>> tools_;
   /// Step currently executing (its own writes do not re-trigger it).
   std::string current_step_;
+  std::mutex* guard_ = nullptr;
+  int livelock_limit_ = 20;
 };
 
 }  // namespace interop::wf

@@ -55,6 +55,17 @@ class ActionApi {
 
   const std::string& step() const { return step_; }
 
+  /// Effects recorded during the action run, in call order. The parallel
+  /// runtime memoizes these so an unchanged step can be replayed from cache
+  /// instead of re-executed.
+  const std::vector<std::pair<std::string, std::string>>& data_writes() const {
+    return data_writes_;
+  }
+  const std::vector<std::pair<std::string, std::string>>& var_writes() const {
+    return var_writes_;
+  }
+  int tool_requests_made() const { return tool_requests_; }
+
  private:
   friend class Engine;
   Engine& engine_;
@@ -62,6 +73,9 @@ class ActionApi {
   std::string step_;
   std::optional<bool> explicit_state_;
   std::string failure_reason_;
+  std::vector<std::pair<std::string, std::string>> data_writes_;
+  std::vector<std::pair<std::string, std::string>> var_writes_;
+  int tool_requests_ = 0;
 };
 
 using ActionFn = std::function<ActionResult(ActionApi&)>;
@@ -94,6 +108,12 @@ struct StepDef {
   std::string required_role;
   /// Name of a sub-flow template expanded per design block ("" = plain).
   std::string subflow;
+  /// Stable identity of the action for content-addressed memoization:
+  /// two steps with the same tag, the same declared reads/writes, and the
+  /// same input contents are assumed to produce the same outputs. Exporters
+  /// (core::export_flow) derive it from task/tool ids; when empty, the
+  /// runtime falls back to the action name + language.
+  std::string content_tag;
 };
 
 /// The process template.
@@ -130,6 +150,7 @@ struct StepStatus {
   int reruns = 0;        ///< runs caused by NeedsRerun
   int failures = 0;
   LogicalTime last_finished = 0;
+  LogicalTime last_started = 0;  ///< logical time when the last run began
   std::string block;     ///< owning design block ("" = top)
   std::string log;
 };

@@ -21,6 +21,9 @@ TEST(FlowExport, SmallGraphExportsAndRuns) {
   ASSERT_EQ(flow.steps.size(), 2u);
   EXPECT_EQ(flow.find_step("check")->start_after,
             std::vector<std::string>{"write"});
+  // Stable content keys for the runtime's memoization layer.
+  EXPECT_EQ(flow.find_step("write")->content_tag, "write@Editor");
+  EXPECT_EQ(flow.find_step("check")->content_tag, "check@Linter");
 
   wf::Engine engine(flow, {}, std::make_unique<wf::SimpleDataManager>());
   ASSERT_EQ(engine.instantiate({}), "");

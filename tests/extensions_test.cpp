@@ -141,16 +141,16 @@ TEST(Tuning, HotspotsIdentifyReworkAndFailures) {
                  api.write_data("a", "x");
                  return ActionResult{0, ""};
                }},
-       {}, {}, {}, {"a"}, "", ""},
+       {}, {}, {}, {"a"}, "", "", ""},
       {"churner", {"churner", ActionLanguage::Shell,
                    [](ActionApi&) { return ActionResult{0, ""}; }},
-       {"src"}, {}, {"a"}, {}, "", ""},
+       {"src"}, {}, {"a"}, {}, "", "", ""},
       {"flaky", {"flaky", ActionLanguage::Shell,
                  [](ActionApi&) {
                    static int attempts = 0;
                    return ActionResult{++attempts < 3 ? 1 : 0, ""};
                  }},
-       {}, {}, {}, {}, "", ""},
+       {}, {}, {}, {}, "", "", ""},
   };
   Engine engine(flow, {}, std::make_unique<SimpleDataManager>());
   ASSERT_EQ(engine.instantiate({}), "");

@@ -21,23 +21,23 @@ FlowTemplate make_flow() {
                           api.write_data("spec.txt", "the spec");
                           return ActionResult{0, ""};
                         }},
-               {}, {}, {}, {"spec.txt"}, "", ""};
+               {}, {}, {}, {"spec.txt"}, "", "", ""};
   StepDef rtl{"rtl", {"write_rtl", ActionLanguage::Native,
                       [](ActionApi& api) {
                         auto spec_data = api.read_data("spec.txt");
                         api.write_data("rtl.v", "rtl for " + *spec_data);
                         return ActionResult{0, ""};
                       }},
-              {"spec"}, {}, {"spec.txt"}, {"rtl.v"}, "", ""};
-  StepDef lint{"lint", ok_action("lint"), {"rtl"}, {}, {"rtl.v"}, {}, "", ""};
+              {"spec"}, {}, {"spec.txt"}, {"rtl.v"}, "", "", ""};
+  StepDef lint{"lint", ok_action("lint"), {"rtl"}, {}, {"rtl.v"}, {}, "", "", ""};
   StepDef sim{"sim", {"simulate", ActionLanguage::CLang,
                       [](ActionApi& api) {
                         api.set_variable("sim_status", "clean");
                         return ActionResult{0, ""};
                       }},
-              {"rtl"}, {}, {"rtl.v"}, {"sim.log"}, "", ""};
+              {"rtl"}, {}, {"rtl.v"}, {"sim.log"}, "", "", ""};
   StepDef signoff{"signoff", ok_action("signoff"), {"lint", "sim"},
-                  {}, {}, {}, "manager", ""};
+                  {}, {}, {}, "manager", "", ""};
   flow.steps = {spec, rtl, lint, sim, signoff};
   return flow;
 }
@@ -48,17 +48,17 @@ TEST(FlowTemplate, ValidatesDag) {
 
   FlowTemplate cyclic;
   cyclic.name = "c";
-  cyclic.steps = {{"a", {}, {"b"}, {}, {}, {}, "", ""},
-                  {"b", {}, {"a"}, {}, {}, {}, "", ""}};
+  cyclic.steps = {{"a", {}, {"b"}, {}, {}, {}, "", "", ""},
+                  {"b", {}, {"a"}, {}, {}, {}, "", "", ""}};
   EXPECT_NE(cyclic.validate().find("cycle"), std::string::npos);
 
   FlowTemplate unknown;
-  unknown.steps = {{"a", {}, {"ghost"}, {}, {}, {}, "", ""}};
+  unknown.steps = {{"a", {}, {"ghost"}, {}, {}, {}, "", "", ""}};
   EXPECT_NE(unknown.validate().find("unknown"), std::string::npos);
 
   FlowTemplate dup;
-  dup.steps = {{"a", {}, {}, {}, {}, {}, "", ""},
-               {"a", {}, {}, {}, {}, {}, "", ""}};
+  dup.steps = {{"a", {}, {}, {}, {}, {}, "", "", ""},
+               {"a", {}, {}, {}, {}, {}, "", "", ""}};
   EXPECT_NE(dup.validate().find("duplicate"), std::string::npos);
 }
 
@@ -100,8 +100,8 @@ TEST(Engine, DefaultStatusPolicyZeroNonzero) {
   flow.steps = {
       {"bad", {"fails", ActionLanguage::Shell,
                [](ActionApi&) { return ActionResult{3, "boom"}; }},
-       {}, {}, {}, {}, "", ""},
-      {"after", ok_action("after"), {"bad"}, {}, {}, {}, "", ""}};
+       {}, {}, {}, {}, "", "", ""},
+      {"after", ok_action("after"), {"bad"}, {}, {}, {}, "", "", ""}};
   Engine engine(flow, {}, std::make_unique<SimpleDataManager>());
   ASSERT_EQ(engine.instantiate({}), "");
   engine.run_all();
@@ -121,7 +121,7 @@ TEST(Engine, ExplicitCompletionOverridesExitCode) {
                       api.set_step_state_success();
                       return ActionResult{1, "tool exits 1 on success"};
                     }},
-       {}, {}, {}, {}, "", ""},
+       {}, {}, {}, {}, "", "", ""},
       // Exit code 0, but the action knows better (§5: "based on whatever
       // criteria is necessary").
       {"sneaky", {"sneaky", ActionLanguage::Shell,
@@ -129,7 +129,7 @@ TEST(Engine, ExplicitCompletionOverridesExitCode) {
                     api.set_step_state_failure("log contains ERROR");
                     return ActionResult{0, ""};
                   }},
-       {}, {}, {}, {}, "", ""}};
+       {}, {}, {}, {}, "", "", ""}};
   Engine engine(flow, {}, std::make_unique<SimpleDataManager>());
   ASSERT_EQ(engine.instantiate({}), "");
   engine.run_all();
@@ -141,9 +141,9 @@ TEST(Engine, FinishDependencyParksStep) {
   FlowTemplate flow;
   flow.name = "f";
   flow.steps = {
-      {"slow", ok_action("slow"), {}, {}, {}, {}, "", ""},
+      {"slow", ok_action("slow"), {}, {}, {}, {}, "", "", ""},
       // quick must not COMPLETE before slow completes.
-      {"quick", ok_action("quick"), {}, {"slow"}, {}, {}, "", ""}};
+      {"quick", ok_action("quick"), {}, {"slow"}, {}, {}, "", "", ""}};
   Engine engine(flow, {}, std::make_unique<SimpleDataManager>());
   ASSERT_EQ(engine.instantiate({}), "");
   ASSERT_TRUE(engine.run_step("quick"));
@@ -192,7 +192,7 @@ TEST(Engine, ResetRequiresPermission) {
   FlowTemplate flow;
   flow.name = "f";
   flow.steps = {{"locked", ok_action("locked"), {}, {}, {}, {}, "cad_admin",
-                 ""}};
+                 "", ""}};
   Engine engine(flow, {}, std::make_unique<SimpleDataManager>(), "engineer");
   ASSERT_EQ(engine.instantiate({}), "");
   EXPECT_FALSE(engine.reset_step("locked"));
@@ -203,14 +203,14 @@ TEST(Engine, HierarchicalSubflowsPerBlock) {
   sub.name = "block_flow";
   sub.steps = {
       {"syn", ok_action("syn"), {}, {}, {"netlist.spec"}, {"netlist.v"}, "",
-       ""},
-      {"sta", ok_action("sta"), {"syn"}, {}, {"netlist.v"}, {}, "", ""}};
+       "", ""},
+      {"sta", ok_action("sta"), {"syn"}, {}, {"netlist.v"}, {}, "", "", ""}};
   FlowTemplate main;
   main.name = "chip";
   main.steps = {
-      {"partition", ok_action("partition"), {}, {}, {}, {}, "", ""},
-      {"blocks", {}, {"partition"}, {}, {}, {}, "", "block_flow"},
-      {"assemble", ok_action("assemble"), {"blocks"}, {}, {}, {}, "", ""}};
+      {"partition", ok_action("partition"), {}, {}, {}, {}, "", "", ""},
+      {"blocks", {}, {"partition"}, {}, {}, {}, "", "block_flow", ""},
+      {"assemble", ok_action("assemble"), {"blocks"}, {}, {}, {}, "", "", ""}};
 
   Engine engine(main, {{"block_flow", sub}},
                 std::make_unique<SimpleDataManager>());
@@ -243,10 +243,10 @@ TEST(Engine, SubflowStatusIsPerBlock) {
                    }
                    return ActionResult{0, ""};
                  }},
-                {}, {}, {}, {}, "", ""}};
+                {}, {}, {}, {}, "", "", ""}};
   FlowTemplate main;
   main.name = "chip";
-  main.steps = {{"blocks", {}, {}, {}, {}, {}, "", "bf"}};
+  main.steps = {{"blocks", {}, {}, {}, {}, {}, "", "bf", ""}};
   Engine engine(main, {{"bf", sub}}, std::make_unique<SimpleDataManager>());
   ASSERT_EQ(engine.instantiate({"cpu", "cache"}), "");
   engine.run_all();
@@ -264,9 +264,9 @@ TEST(Engine, LongRunningToolSessionReused) {
     return ActionResult{0, ""};
   };
   flow.steps = {{"s1", {"s1", ActionLanguage::Native, talk}, {}, {}, {}, {},
-                 "", ""},
+                 "", "", ""},
                 {"s2", {"s2", ActionLanguage::Native, talk}, {"s1"}, {}, {},
-                 {}, "", ""}};
+                 {}, "", "", ""}};
   Engine engine(flow, {}, std::make_unique<SimpleDataManager>());
   ASSERT_EQ(engine.instantiate({}), "");
   engine.run_all();
@@ -274,6 +274,53 @@ TEST(Engine, LongRunningToolSessionReused) {
   EXPECT_EQ(engine.metrics().tool_spawns, 1);
   EXPECT_EQ(engine.metrics().tool_requests, 4);
   EXPECT_EQ(engine.tool("synthesizer").requests_served(), 4);
+}
+
+TEST(Engine, LivelockDetectedAndReported) {
+  // ping writes a.dat and reads b.dat; pong reads a.dat and writes b.dat.
+  // Every success marks the other NeedsRerun: without detection run_all()
+  // would spin to its guard silently. Now it stops with a diagnostic.
+  FlowTemplate flow;
+  flow.name = "osc";
+  flow.steps = {
+      {"ping", {"ping", ActionLanguage::Native,
+                [](ActionApi& api) {
+                  api.write_data("a.dat",
+                                 api.read_data("b.dat").value_or("") + "p");
+                  return ActionResult{0, ""};
+                }},
+       {}, {}, {"b.dat"}, {"a.dat"}, "", "", ""},
+      {"pong", {"pong", ActionLanguage::Native,
+                [](ActionApi& api) {
+                  api.write_data("b.dat",
+                                 api.read_data("a.dat").value_or("") + "q");
+                  return ActionResult{0, ""};
+                }},
+       {}, {}, {"a.dat"}, {"b.dat"}, "", "", ""}};
+  Engine engine(flow, {}, std::make_unique<SimpleDataManager>());
+  ASSERT_EQ(engine.instantiate({}), "");
+  engine.set_livelock_limit(5);
+  int executed = engine.run_all();
+  EXPECT_LE(executed, 2 * 5 + 2);  // bounded, not the silent old guard
+  EXPECT_NE(engine.last_error().find("livelock"), std::string::npos);
+  // The diagnostic reaches the user as a notification too.
+  bool notified = false;
+  for (const std::string& n : engine.notifications())
+    if (n.find("livelock") != std::string::npos) notified = true;
+  EXPECT_TRUE(notified);
+}
+
+TEST(Engine, HealthyRerunCascadeIsNotLivelock) {
+  Engine engine(make_flow(), {}, std::make_unique<SimpleDataManager>(),
+                "manager");
+  ASSERT_EQ(engine.instantiate({}), "");
+  engine.run_all();
+  ASSERT_TRUE(engine.complete());
+  // A legitimate upstream change causes a finite cascade, no diagnostic.
+  engine.data().write("spec.txt", "revised");
+  engine.run_all();
+  EXPECT_TRUE(engine.complete());
+  EXPECT_EQ(engine.last_error().find("livelock"), std::string::npos);
 }
 
 // ---------------------------------------------------------------- ad hoc
