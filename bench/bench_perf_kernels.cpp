@@ -35,15 +35,21 @@ void BM_SimKernelClockedCounter(benchmark::State& state) {
   )";
   SourceUnit unit = parse(src);
   ElabDesign design = elaborate(unit, "top");
+  // Resolve signal names to ids OUTSIDE the measured region — the
+  // name->id lookup is a std::map probe and would skew the kernel numbers.
+  const SignalId q0 = design.signal("top.q[0]");
+  const SignalId q3 = design.signal("top.q[3]");
   const std::int64_t horizon = state.range(0);
   for (auto _ : state) {
     Simulation sim(design, SchedulerPolicy::SourceOrder);
     sim.run(horizon);
     benchmark::DoNotOptimize(sim.delta_cycles());
+    benchmark::DoNotOptimize(sim.value(q0));
+    benchmark::DoNotOptimize(sim.value(q3));
   }
   state.SetItemsProcessed(state.iterations() * horizon / 5);
 }
-BENCHMARK(BM_SimKernelClockedCounter)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_SimKernelClockedCounter)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_MazeRoute(benchmark::State& state) {
   using namespace interop::pnr;
@@ -59,7 +65,7 @@ void BM_MazeRoute(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * std::int64_t(input.nets.size()));
 }
-BENCHMARK(BM_MazeRoute)->Arg(16)->Arg(32);
+BENCHMARK(BM_MazeRoute)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_SchematicMigration(benchmark::State& state) {
   using namespace interop::sch;

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs bench_perf_kernels under the release preset and writes the kernel
+# perf trajectory to BENCH_perf_kernels.json at the repo root.
+#
+# The checked-in JSON carries a "baseline_pre_pr" block (the tree-based
+# kernels, same -O2/NDEBUG config) so speedups stay computable; this script
+# preserves that block across re-runs.
+#
+# Usage: bench/run_perf.sh [build-dir] [extra benchmark args...]
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-release"}
+shift $(( $# > 0 ? 1 : 0 ))
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake --preset release -S "$repo_root"
+fi
+cmake --build "$build_dir" --target bench_perf_kernels -j "$(nproc)"
+
+out="$repo_root/BENCH_perf_kernels.json"
+tmp=$(mktemp)
+"$build_dir/bench/bench_perf_kernels" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  "$@" > "$tmp"
+
+# Merge: keep the baseline_pre_pr block from the existing file (if any).
+python3 - "$out" "$tmp" <<'EOF'
+import json, sys
+out_path, new_path = sys.argv[1], sys.argv[2]
+with open(new_path) as f:
+    fresh = json.load(f)
+try:
+    with open(out_path) as f:
+        old = json.load(f)
+    if "baseline_pre_pr" in old:
+        fresh["baseline_pre_pr"] = old["baseline_pre_pr"]
+except (OSError, ValueError):
+    pass
+with open(out_path, "w") as f:
+    json.dump(fresh, f, indent=1)
+    f.write("\n")
+EOF
+rm -f "$tmp"
+echo "wrote $out"

@@ -1,6 +1,7 @@
 #include "hdl/sim.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <functional>
 #include <stdexcept>
@@ -16,7 +17,71 @@ std::string to_string(SchedulerPolicy p) {
   return "?";
 }
 
+namespace detail {
+
+void DenseReadySet::reset(std::size_t universe) {
+  words_.assign((universe + 63) / 64, 0);
+  count_ = 0;
+}
+
+void DenseReadySet::insert(std::uint32_t id) {
+  std::uint64_t& w = words_[id >> 6];
+  const std::uint64_t bit = 1ULL << (id & 63);
+  if (!(w & bit)) {
+    w |= bit;
+    ++count_;
+  }
+}
+
+void DenseReadySet::erase(std::uint32_t id) {
+  std::uint64_t& w = words_[id >> 6];
+  const std::uint64_t bit = 1ULL << (id & 63);
+  if (w & bit) {
+    w &= ~bit;
+    --count_;
+  }
+}
+
+std::uint32_t DenseReadySet::first() const {
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i])
+      return std::uint32_t(i * 64 + std::size_t(std::countr_zero(words_[i])));
+  return 0;
+}
+
+std::uint32_t DenseReadySet::last() const {
+  for (std::size_t i = words_.size(); i-- > 0;)
+    if (words_[i])
+      return std::uint32_t(i * 64 + 63 -
+                           std::size_t(std::countl_zero(words_[i])));
+  return 0;
+}
+
+std::uint32_t DenseReadySet::nth(std::size_t n) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t w = words_[i];
+    const std::size_t pc = std::size_t(std::popcount(w));
+    if (n >= pc) {
+      n -= pc;
+      continue;
+    }
+    while (n--) w &= w - 1;  // drop the n lowest set bits
+    return std::uint32_t(i * 64 + std::size_t(std::countr_zero(w)));
+  }
+  return 0;
+}
+
+}  // namespace detail
+
 namespace {
+
+/// Heap comparator: smallest (time, seq) at the front.
+struct MinFirst {
+  template <class T>
+  bool operator()(const T& a, const T& b) const {
+    return b < a;
+  }
+};
 
 std::uint64_t splitmix(std::uint64_t& state) {
   state += 0x9e3779b97f4a7c15ULL;
@@ -46,20 +111,36 @@ std::int64_t to_number(const std::vector<Logic>& bits) {
   return v;
 }
 
-std::vector<Logic> from_number(std::int64_t v, std::size_t width) {
-  std::vector<Logic> out(width);
+void from_number_into(std::int64_t v, std::size_t width,
+                      std::vector<Logic>& out) {
+  out.resize(width);
   for (std::size_t i = 0; i < width; ++i)
     out[width - 1 - i] = logic_of((v >> i) & 1);
-  return out;
 }
 
-/// Zero-extend `bits` (msb-first) on the left to `width`.
-std::vector<Logic> extend(const std::vector<Logic>& bits, std::size_t width) {
-  if (bits.size() >= width)
-    return std::vector<Logic>(bits.end() - std::ptrdiff_t(width), bits.end());
-  std::vector<Logic> out(width - bits.size(), Logic::L0);
-  out.insert(out.end(), bits.begin(), bits.end());
-  return out;
+/// Zero-extend (msb-first) on the left to `width`, or truncate to the low
+/// `width` bits — in place, no allocation in steady state.
+void extend_in_place(std::vector<Logic>& v, std::size_t width) {
+  if (v.size() >= width) {
+    v.erase(v.begin(), v.begin() + std::ptrdiff_t(v.size() - width));
+  } else {
+    v.insert(v.begin(), width - v.size(), Logic::L0);
+  }
+}
+
+/// Equivalent of `extend(match, sel.size()) == sel` without materializing
+/// the extended vector.
+bool match_equal(const std::vector<Logic>& match,
+                 const std::vector<Logic>& sel) {
+  const std::size_t w = sel.size();
+  if (match.size() >= w)
+    return std::equal(match.end() - std::ptrdiff_t(w), match.end(),
+                      sel.begin());
+  const std::size_t pad = w - match.size();
+  for (std::size_t i = 0; i < pad; ++i)
+    if (sel[i] != Logic::L0) return false;
+  return std::equal(match.begin(), match.end(),
+                    sel.begin() + std::ptrdiff_t(pad));
 }
 
 }  // namespace
@@ -70,7 +151,12 @@ Simulation::Simulation(const ElabDesign& design, SchedulerPolicy policy,
       policy_(policy),
       rng_state_(seed ^ 0xa5a5a5a5a5a5a5a5ULL),
       values_(design.signal_count(), Logic::X),
-      fanout_(design.signal_count()) {
+      fanout_(design.signal_count()),
+      watched_(design.signal_count(), 0),
+      changed_stamp_(design.signal_count(), 0),
+      changed_old_(design.signal_count(), Logic::X) {
+  ready_.reset(design_.gates.size() + design_.assigns.size() +
+               design_.always_procs.size());
   // Process id space: [gates][assigns][always].
   ProcId pid = 0;
   for (const GateProcess& g : design_.gates) {
@@ -101,7 +187,7 @@ Simulation::Simulation(const ElabDesign& design, SchedulerPolicy policy,
     Thread t;
     t.stack.push_back({ip.body.get(), 0});
     threads_.push_back(std::move(t));
-    thread_wakeups_.emplace(0, threads_.size() - 1);
+    schedule_wakeup(0, threads_.size() - 1);
   }
 }
 
@@ -112,7 +198,13 @@ Logic Simulation::value(const std::string& bit_name) const {
 void Simulation::force(SignalId id, Logic v) { apply_update(id, v); }
 
 void Simulation::watch_all() {
-  for (SignalId id = 0; id < design_.signal_count(); ++id) watched_.insert(id);
+  std::fill(watched_.begin(), watched_.end(), std::uint8_t(1));
+}
+
+void Simulation::schedule_wakeup(std::int64_t time,
+                                 std::size_t thread_index) {
+  thread_wakeups_.push_back({time, wake_seq_++, thread_index});
+  std::push_heap(thread_wakeups_.begin(), thread_wakeups_.end(), MinFirst{});
 }
 
 void Simulation::wake_fanout(SignalId sig, Logic old_value, Logic new_value) {
@@ -137,7 +229,11 @@ void Simulation::apply_update(SignalId sig, Logic v) {
   Logic old = values_[sig];
   if (old == v) return;
   values_[sig] = v;
-  changed_this_step_.try_emplace(sig, old);  // remember step-start value
+  if (changed_stamp_[sig] != step_epoch_) {  // remember step-start value
+    changed_stamp_[sig] = step_epoch_;
+    changed_old_[sig] = old;
+    changed_list_.push_back(sig);
+  }
   wake_fanout(sig, old, v);
 }
 
@@ -146,24 +242,21 @@ void Simulation::post_update(SignalId sig, Logic v, std::int64_t delay) {
     apply_update(sig, v);
     return;
   }
-  future_.insert({now_ + delay, seq_++, sig, v});
+  future_.push_back({now_ + delay, seq_++, sig, v});
+  std::push_heap(future_.begin(), future_.end(), MinFirst{});
 }
 
 Simulation::ProcId Simulation::next_ready() {
   assert(!ready_.empty());
   switch (policy_) {
     case SchedulerPolicy::SourceOrder:
-      return *ready_.begin();
+      return ready_.first();
     case SchedulerPolicy::ReverseOrder:
-      return *ready_.rbegin();
-    case SchedulerPolicy::Seeded: {
-      std::size_t n = splitmix(rng_state_) % ready_.size();
-      auto it = ready_.begin();
-      std::advance(it, std::ptrdiff_t(n));
-      return *it;
-    }
+      return ready_.last();
+    case SchedulerPolicy::Seeded:
+      return ready_.nth(splitmix(rng_state_) % ready_.size());
   }
-  return *ready_.begin();
+  return ready_.first();
 }
 
 void Simulation::run_process(ProcId p) {
@@ -212,9 +305,12 @@ void Simulation::run_gate(const GateProcess& g) {
 }
 
 void Simulation::run_assign(const AssignProcess& a) {
-  std::vector<Logic> rhs = extend(eval(*a.rhs), a.lhs.size());
+  std::vector<Logic>& rhs = scratch_.acquire();
+  eval_into(*a.rhs, rhs);
+  extend_in_place(rhs, a.lhs.size());
   for (std::size_t i = 0; i < a.lhs.size(); ++i)
     post_update(a.lhs[i], rhs[i], a.delay);
+  scratch_.release();
 }
 
 void Simulation::run_always(const AlwaysProcess& a) {
@@ -228,7 +324,9 @@ void Simulation::exec_stmt_run_to_completion(const RStmt& s) {
         exec_stmt_run_to_completion(*child);
       break;
     case Stmt::Kind::Assign: {
-      std::vector<Logic> rhs = extend(eval(*s.rhs), s.lhs.size());
+      std::vector<Logic>& rhs = scratch_.acquire();
+      eval_into(*s.rhs, rhs);
+      extend_in_place(rhs, s.lhs.size());
       if (s.nonblocking) {
         for (std::size_t i = 0; i < s.lhs.size(); ++i)
           nba_queue_.emplace_back(s.lhs[i], rhs[i]);
@@ -236,6 +334,7 @@ void Simulation::exec_stmt_run_to_completion(const RStmt& s) {
         for (std::size_t i = 0; i < s.lhs.size(); ++i)
           apply_update(s.lhs[i], rhs[i]);
       }
+      scratch_.release();
       break;
     }
     case Stmt::Kind::If: {
@@ -248,7 +347,8 @@ void Simulation::exec_stmt_run_to_completion(const RStmt& s) {
       break;
     }
     case Stmt::Kind::Case: {
-      std::vector<Logic> sel = eval(*s.condition);
+      std::vector<Logic>& sel = scratch_.acquire();
+      eval_into(*s.condition, sel);
       const RStmt::CaseArm* chosen = nullptr;
       const RStmt::CaseArm* dflt = nullptr;
       for (const RStmt::CaseArm& arm : s.arms) {
@@ -256,9 +356,10 @@ void Simulation::exec_stmt_run_to_completion(const RStmt& s) {
           dflt = &arm;
           continue;
         }
-        if (extend(arm.match, sel.size()) == sel && !chosen) chosen = &arm;
+        if (match_equal(arm.match, sel) && !chosen) chosen = &arm;
       }
       if (!chosen) chosen = dflt;
+      scratch_.release();
       if (chosen) exec_stmt_run_to_completion(*chosen->stmt);
       break;
     }
@@ -306,8 +407,9 @@ bool Simulation::step_thread(Thread& t, std::size_t thread_index) {
         break;
       }
       case Stmt::Kind::Assign: {
-        std::vector<Logic> rhs = extend(eval(*f.stmt->rhs),
-                                        f.stmt->lhs.size());
+        std::vector<Logic>& rhs = scratch_.acquire();
+        eval_into(*f.stmt->rhs, rhs);
+        extend_in_place(rhs, f.stmt->lhs.size());
         if (f.stmt->nonblocking) {
           for (std::size_t i = 0; i < f.stmt->lhs.size(); ++i)
             nba_queue_.emplace_back(f.stmt->lhs[i], rhs[i]);
@@ -315,6 +417,7 @@ bool Simulation::step_thread(Thread& t, std::size_t thread_index) {
           for (std::size_t i = 0; i < f.stmt->lhs.size(); ++i)
             apply_update(f.stmt->lhs[i], rhs[i]);
         }
+        scratch_.release();
         t.stack.pop_back();
         break;
       }
@@ -329,7 +432,8 @@ bool Simulation::step_thread(Thread& t, std::size_t thread_index) {
         break;
       }
       case Stmt::Kind::Case: {
-        std::vector<Logic> sel = eval(*f.stmt->condition);
+        std::vector<Logic>& sel = scratch_.acquire();
+        eval_into(*f.stmt->condition, sel);
         const RStmt::CaseArm* chosen = nullptr;
         const RStmt::CaseArm* dflt = nullptr;
         for (const RStmt::CaseArm& arm : f.stmt->arms) {
@@ -337,9 +441,10 @@ bool Simulation::step_thread(Thread& t, std::size_t thread_index) {
             dflt = &arm;
             continue;
           }
-          if (extend(arm.match, sel.size()) == sel && !chosen) chosen = &arm;
+          if (match_equal(arm.match, sel) && !chosen) chosen = &arm;
         }
         if (!chosen) chosen = dflt;
+        scratch_.release();
         t.stack.pop_back();
         if (chosen) t.stack.push_back({chosen->stmt.get(), 0});
         break;
@@ -357,7 +462,7 @@ bool Simulation::step_thread(Thread& t, std::size_t thread_index) {
       case Stmt::Kind::Delay: {
         if (f.index == 0) {
           f.index = 1;
-          thread_wakeups_.emplace(now_ + f.stmt->delay, thread_index);
+          schedule_wakeup(now_ + f.stmt->delay, thread_index);
           return true;  // suspended
         }
         // resumed after the delay: run the guarded statement (if any)
@@ -394,9 +499,11 @@ void Simulation::settle_timestep() {
       continue;
     }
     if (!nba_queue_.empty()) {
-      std::vector<std::pair<SignalId, Logic>> q;
-      q.swap(nba_queue_);
-      for (const auto& [sig, v] : q) apply_update(sig, v);
+      // apply_update never appends NBAs, so draining via a reused scratch
+      // buffer is safe and allocation-free.
+      nba_scratch_.clear();
+      nba_scratch_.swap(nba_queue_);
+      for (const auto& [sig, v] : nba_scratch_) apply_update(sig, v);
       continue;
     }
     break;
@@ -407,41 +514,46 @@ std::int64_t Simulation::run(std::int64_t until) {
   while (true) {
     // Wake threads due now (policy decides the order among simultaneous
     // thread wake-ups, the same way it orders processes).
-    std::vector<std::size_t> due;
-    for (auto it = thread_wakeups_.begin();
-         it != thread_wakeups_.end() && it->first <= now_;) {
-      due.push_back(it->second);
-      it = thread_wakeups_.erase(it);
+    due_scratch_.clear();
+    while (!thread_wakeups_.empty() && thread_wakeups_.front().time <= now_) {
+      due_scratch_.push_back(thread_wakeups_.front().thread);
+      std::pop_heap(thread_wakeups_.begin(), thread_wakeups_.end(),
+                    MinFirst{});
+      thread_wakeups_.pop_back();
     }
     if (policy_ == SchedulerPolicy::ReverseOrder)
-      std::reverse(due.begin(), due.end());
-    for (std::size_t ti : due) {
+      std::reverse(due_scratch_.begin(), due_scratch_.end());
+    for (std::size_t ti : due_scratch_) {
       resume_thread(ti);
       settle_timestep();
     }
     settle_timestep();
 
-    // End-of-timestep trace snapshot.
-    for (const auto& [sig, old0] : changed_this_step_) {
-      if (values_[sig] != old0 && watched_.count(sig))
+    // End-of-timestep trace snapshot (ascending signal id, like the
+    // reference kernel's std::map iteration).
+    std::sort(changed_list_.begin(), changed_list_.end());
+    for (SignalId sig : changed_list_) {
+      if (values_[sig] != changed_old_[sig] && watched_[sig])
         trace_.push_back({now_, sig, values_[sig]});
     }
-    changed_this_step_.clear();
+    changed_list_.clear();
+    ++step_epoch_;
 
     // Advance time.
     std::int64_t next = -1;
-    if (!future_.empty()) next = future_.begin()->time;
+    if (!future_.empty()) next = future_.front().time;
     if (!thread_wakeups_.empty()) {
-      std::int64_t tw = thread_wakeups_.begin()->first;
+      std::int64_t tw = thread_wakeups_.front().time;
       next = next < 0 ? tw : std::min(next, tw);
     }
     if (next < 0 || next > until) break;
     now_ = next;
 
     // Apply matured scheduled updates.
-    while (!future_.empty() && future_.begin()->time == now_) {
-      PendingUpdate u = *future_.begin();
-      future_.erase(future_.begin());
+    while (!future_.empty() && future_.front().time == now_) {
+      PendingUpdate u = future_.front();
+      std::pop_heap(future_.begin(), future_.end(), MinFirst{});
+      future_.pop_back();
       apply_update(u.signal, u.value);
     }
   }
@@ -449,115 +561,147 @@ std::int64_t Simulation::run(std::int64_t until) {
 }
 
 Logic Simulation::eval_scalar(const RExpr& e) const {
-  return scalarize(eval(e));
+  std::vector<Logic>& tmp = scratch_.acquire();
+  eval_into(e, tmp);
+  Logic r = scalarize(tmp);
+  scratch_.release();
+  return r;
 }
 
-std::vector<Logic> Simulation::eval(const RExpr& e) const {
+void Simulation::eval_into(const RExpr& e, std::vector<Logic>& out) const {
   switch (e.kind) {
     case Expr::Kind::Literal:
-      return e.literal;
+      out.assign(e.literal.begin(), e.literal.end());
+      return;
     case Expr::Kind::Ref:
     case Expr::Kind::Select: {
-      std::vector<Logic> out;
+      out.clear();
       out.reserve(e.bits.size());
       for (SignalId sid : e.bits) out.push_back(values_[sid]);
-      return out;
+      return;
     }
     case Expr::Kind::Unary: {
-      std::vector<Logic> a = eval(*e.operands[0]);
+      std::vector<Logic>& a = scratch_.acquire();
+      eval_into(*e.operands[0], a);
       switch (e.un_op) {
-        case UnOp::Not: {
-          Logic s = scalarize(a);
-          return {logic_not(s)};
-        }
-        case UnOp::BitNot: {
-          for (Logic& b : a) b = logic_not(b);
-          return a;
-        }
+        case UnOp::Not:
+          out.assign(1, logic_not(scalarize(a)));
+          break;
+        case UnOp::BitNot:
+          out.assign(a.begin(), a.end());
+          for (Logic& b : out) b = logic_not(b);
+          break;
         case UnOp::RedAnd: {
           Logic acc = Logic::L1;
           for (Logic b : a) acc = logic_and(acc, b);
-          return {acc};
+          out.assign(1, acc);
+          break;
         }
         case UnOp::RedOr: {
           Logic acc = Logic::L0;
           for (Logic b : a) acc = logic_or(acc, b);
-          return {acc};
+          out.assign(1, acc);
+          break;
         }
         case UnOp::Neg: {
-          if (!all_known(a)) return std::vector<Logic>(a.size(), Logic::X);
-          return from_number(-to_number(a), a.size());
+          if (!all_known(a))
+            out.assign(a.size(), Logic::X);
+          else
+            from_number_into(-to_number(a), a.size(), out);
+          break;
         }
       }
-      return a;
+      scratch_.release();
+      return;
     }
     case Expr::Kind::Binary: {
-      std::vector<Logic> a = eval(*e.operands[0]);
-      std::vector<Logic> b = eval(*e.operands[1]);
-      std::size_t w = std::max(a.size(), b.size());
+      std::vector<Logic>& a = scratch_.acquire();
+      std::vector<Logic>& b = scratch_.acquire();
+      eval_into(*e.operands[0], a);
+      eval_into(*e.operands[1], b);
+      const std::size_t w = std::max(a.size(), b.size());
       switch (e.bin_op) {
         case BinOp::And:
         case BinOp::Or:
         case BinOp::Xor: {
-          a = extend(a, w);
-          b = extend(b, w);
-          std::vector<Logic> out(w);
+          extend_in_place(a, w);
+          extend_in_place(b, w);
+          out.resize(w);
           for (std::size_t i = 0; i < w; ++i) {
             out[i] = e.bin_op == BinOp::And   ? logic_and(a[i], b[i])
                      : e.bin_op == BinOp::Or  ? logic_or(a[i], b[i])
                                               : logic_xor(a[i], b[i]);
           }
-          return out;
+          break;
         }
         case BinOp::LAnd:
-          return {logic_and(scalarize(a), scalarize(b))};
+          out.assign(1, logic_and(scalarize(a), scalarize(b)));
+          break;
         case BinOp::LOr:
-          return {logic_or(scalarize(a), scalarize(b))};
+          out.assign(1, logic_or(scalarize(a), scalarize(b)));
+          break;
         case BinOp::Eq:
         case BinOp::Ne: {
-          a = extend(a, w);
-          b = extend(b, w);
-          if (!all_known(a) || !all_known(b)) return {Logic::X};
+          extend_in_place(a, w);
+          extend_in_place(b, w);
+          if (!all_known(a) || !all_known(b)) {
+            out.assign(1, Logic::X);
+            break;
+          }
           bool eq = a == b;
-          return {logic_of(e.bin_op == BinOp::Eq ? eq : !eq)};
+          out.assign(1, logic_of(e.bin_op == BinOp::Eq ? eq : !eq));
+          break;
         }
         case BinOp::Lt:
         case BinOp::Le:
         case BinOp::Gt:
         case BinOp::Ge: {
-          if (!all_known(a) || !all_known(b)) return {Logic::X};
+          if (!all_known(a) || !all_known(b)) {
+            out.assign(1, Logic::X);
+            break;
+          }
           std::int64_t x = to_number(a), y = to_number(b);
           bool r = e.bin_op == BinOp::Lt   ? x < y
                    : e.bin_op == BinOp::Le ? x <= y
                    : e.bin_op == BinOp::Gt ? x > y
                                            : x >= y;
-          return {logic_of(r)};
+          out.assign(1, logic_of(r));
+          break;
         }
         case BinOp::Add:
         case BinOp::Sub: {
-          if (!all_known(a) || !all_known(b))
-            return std::vector<Logic>(w, Logic::X);
+          if (!all_known(a) || !all_known(b)) {
+            out.assign(w, Logic::X);
+            break;
+          }
           std::int64_t x = to_number(a), y = to_number(b);
-          return from_number(e.bin_op == BinOp::Add ? x + y : x - y, w);
+          from_number_into(e.bin_op == BinOp::Add ? x + y : x - y, w, out);
+          break;
         }
       }
-      return {Logic::X};
+      scratch_.release();
+      scratch_.release();
+      return;
     }
     case Expr::Kind::Cond: {
       Logic sel = eval_scalar(*e.operands[0]);
-      std::vector<Logic> a = eval(*e.operands[1]);
-      std::vector<Logic> b = eval(*e.operands[2]);
-      std::size_t w = std::max(a.size(), b.size());
-      a = extend(a, w);
-      b = extend(b, w);
-      std::vector<Logic> out(w);
+      std::vector<Logic>& a = scratch_.acquire();
+      std::vector<Logic>& b = scratch_.acquire();
+      eval_into(*e.operands[1], a);
+      eval_into(*e.operands[2], b);
+      const std::size_t w = std::max(a.size(), b.size());
+      extend_in_place(a, w);
+      extend_in_place(b, w);
+      out.resize(w);
       for (std::size_t i = 0; i < w; ++i) out[i] = logic_mux(sel, a[i], b[i]);
-      return out;
+      scratch_.release();
+      scratch_.release();
+      return;
     }
     case Expr::Kind::Concat:
       break;
   }
-  return {Logic::X};
+  out.assign(1, Logic::X);
 }
 
 }  // namespace interop::hdl

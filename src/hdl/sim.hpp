@@ -11,11 +11,17 @@
 // which simultaneously-ready processes run. Every policy is a LEGAL
 // simulator. A model whose observable results differ across policies has a
 // race condition (see race.hpp).
+//
+// Hot-path data structures are dense and index-addressed (ready bitmap,
+// binary heaps, epoch-stamped change lists, a reusable eval scratch arena)
+// but every selection rule is bit-identical to the reference tree-based
+// kernel: each policy still observes the ready set in ascending ProcId
+// order, scheduled updates still mature in (time, seq) order, and thread
+// wake-ups stay FIFO within a timestep. tests/hdl_sim_golden_test.cpp holds
+// per-policy trace hashes captured from the reference kernel.
 
 #include <cstdint>
-#include <deque>
-#include <map>
-#include <set>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +51,49 @@ struct TraceEvent {
 /// A complete run's observations of the watched signals.
 using Trace = std::vector<TraceEvent>;
 
+namespace detail {
+
+/// A dense ordered set of small integer ids: a bitmap of 64-bit words plus
+/// a population count. Selection enumerates set bits in ascending id order,
+/// which makes min / max / n-th-smallest selection agree exactly with
+/// std::set iteration — the property every SchedulerPolicy depends on.
+class DenseReadySet {
+ public:
+  void reset(std::size_t universe);
+  void insert(std::uint32_t id);
+  void erase(std::uint32_t id);
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::uint32_t first() const;                 ///< smallest set id
+  std::uint32_t last() const;                  ///< largest set id
+  std::uint32_t nth(std::size_t n) const;      ///< n-th smallest (0-based)
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t count_ = 0;
+};
+
+/// A LIFO pool of reusable Logic vectors: the eval scratch arena. Buffers
+/// keep their capacity across acquire/release, so steady-state expression
+/// evaluation performs no heap allocation.
+class LogicScratch {
+ public:
+  std::vector<Logic>& acquire() {
+    if (top_ == bufs_.size())
+      bufs_.push_back(std::make_unique<std::vector<Logic>>());
+    std::vector<Logic>& v = *bufs_[top_++];
+    v.clear();
+    return v;
+  }
+  void release() { --top_; }
+
+ private:
+  std::vector<std::unique_ptr<std::vector<Logic>>> bufs_;
+  std::size_t top_ = 0;
+};
+
+}  // namespace detail
+
 class Simulation {
  public:
   /// The design must outlive the simulation.
@@ -60,7 +109,7 @@ class Simulation {
   void force(SignalId id, Logic v);
 
   /// Watch a signal: end-of-timestep changes are recorded in trace().
-  void watch(SignalId id) { watched_.insert(id); }
+  void watch(SignalId id) { watched_[id] = 1; }
   void watch_all();
 
   /// Advance simulation until `until` (inclusive of events at `until`), or
@@ -92,6 +141,16 @@ class Simulation {
     }
   };
 
+  struct ThreadWakeup {
+    std::int64_t time;
+    std::uint64_t seq;  ///< FIFO tiebreak among simultaneous wake-ups
+    std::size_t thread;
+    bool operator<(const ThreadWakeup& o) const {
+      if (time != o.time) return time < o.time;
+      return seq < o.seq;
+    }
+  };
+
   // Initial-block thread state: an explicit continuation stack.
   struct Frame {
     const RStmt* stmt;
@@ -103,6 +162,7 @@ class Simulation {
   };
 
   void schedule_process(ProcId p) { ready_.insert(p); }
+  void schedule_wakeup(std::int64_t time, std::size_t thread_index);
   void wake_fanout(SignalId sig, Logic old_value, Logic new_value);
   void run_process(ProcId p);
   void run_gate(const GateProcess& g);
@@ -113,7 +173,7 @@ class Simulation {
   bool step_thread(Thread& t, std::size_t thread_index);
 
   void exec_stmt_run_to_completion(const RStmt& s);
-  std::vector<Logic> eval(const RExpr& e) const;
+  void eval_into(const RExpr& e, std::vector<Logic>& out) const;
   Logic eval_scalar(const RExpr& e) const;
 
   void post_update(SignalId sig, Logic v, std::int64_t delay);
@@ -134,21 +194,36 @@ class Simulation {
   };
   std::vector<std::vector<Waiter>> fanout_;
 
-  std::set<ProcId> ready_;
+  detail::DenseReadySet ready_;
   std::vector<std::pair<SignalId, Logic>> nba_queue_;
-  std::multiset<PendingUpdate> future_;
+  std::vector<std::pair<SignalId, Logic>> nba_scratch_;
+  // Scheduled updates: binary min-heap on (time, seq). seq is unique, so
+  // pop order equals the reference std::multiset iteration order.
+  std::vector<PendingUpdate> future_;
   std::uint64_t seq_ = 0;
 
   std::vector<Thread> threads_;
-  // thread wake-ups: time -> thread indices
-  std::multimap<std::int64_t, std::size_t> thread_wakeups_;
+  // Thread wake-ups: binary min-heap on (time, seq); FIFO per timestep,
+  // matching the reference std::multimap's equal-key insertion order.
+  std::vector<ThreadWakeup> thread_wakeups_;
+  std::uint64_t wake_seq_ = 0;
+  std::vector<std::size_t> due_scratch_;
 
   std::int64_t now_ = 0;
   std::uint64_t deltas_ = 0;
   std::uint64_t delta_limit_ = 100000;
 
-  std::set<SignalId> watched_;
-  std::map<SignalId, Logic> changed_this_step_;
+  std::vector<std::uint8_t> watched_;
+  // Per-timestep change tracking: epoch stamp + step-start value per
+  // signal, plus a dense list of touched signals (sorted at snapshot time
+  // to match the reference std::map's ascending-id iteration).
+  std::vector<std::uint64_t> changed_stamp_;
+  std::vector<Logic> changed_old_;
+  std::vector<SignalId> changed_list_;
+  std::uint64_t step_epoch_ = 1;
+
+  mutable detail::LogicScratch scratch_;
+
   Trace trace_;
 };
 

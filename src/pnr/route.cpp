@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
-#include <deque>
 #include <stdexcept>
 
 namespace interop::pnr {
@@ -45,6 +44,11 @@ struct Grid {
   /// pass straight through a cell with exactly one direction bit — the
   /// two-layer HV routing abstraction.
   std::vector<std::uint8_t> dir;
+  /// Pin site per cell (net index, or -1 when the cell holds no pin) and
+  /// its access sides — the dense replacement for a Point-keyed pin map on
+  /// the expansion hot path.
+  std::vector<int> pin_net;
+  std::vector<AccessDirs> pin_access;
 
   explicit Grid(const Rect& d) : die(d) {
     w = die.width() + 1;
@@ -56,6 +60,8 @@ struct Grid {
     approach_axis.assign(std::size_t(w * h), 0);
     halo_axis.assign(std::size_t(w * h), 0);
     dir.assign(std::size_t(w * h), 0);
+    pin_net.assign(std::size_t(w * h), -1);
+    pin_access.assign(std::size_t(w * h), AccessDirs{});
   }
   bool inside(const Point& p) const { return die.contains(p); }
   std::size_t idx(const Point& p) const {
@@ -63,9 +69,49 @@ struct Grid {
   }
 };
 
-struct PinSite {
-  AccessDirs access;
-  int net = -1;  ///< net index or -1
+/// Flat, epoch-stamped BFS state over (cell, arrival-axis) nodes. A node is
+/// addressed as grid.idx(p) * 3 + axis (axis 2 = "any", used for tree
+/// seeds). Clearing between terminals is O(1): bump the epoch.
+struct SearchScratch {
+  struct Node {
+    Point p;
+    int axis;
+  };
+
+  std::vector<std::uint32_t> stamp;  ///< visit epoch per (cell, axis)
+  std::vector<Node> parent;          ///< BFS parent per (cell, axis)
+  std::uint32_t epoch = 0;
+
+  // Tree membership and terminal-record index per cell, epoch-stamped per
+  // net so both reset in O(1) when the next net starts.
+  std::vector<std::uint32_t> tree_stamp;
+  std::vector<std::uint32_t> term_stamp;
+  std::vector<std::size_t> term_index;
+  std::uint32_t net_epoch = 0;
+
+  // FIFO frontier: a monotonic vector with a read cursor (each node enters
+  // at most once, so no ring buffer is needed).
+  std::vector<Node> frontier;
+  std::size_t frontier_head = 0;
+
+  explicit SearchScratch(std::size_t cells)
+      : stamp(cells * 3, 0),
+        parent(cells * 3),
+        tree_stamp(cells, 0),
+        term_stamp(cells, 0),
+        term_index(cells, 0) {}
+
+  void begin_net() { ++net_epoch; }
+  void begin_search() {
+    ++epoch;
+    frontier.clear();
+    frontier_head = 0;
+  }
+  bool visited(std::size_t node_key) const { return stamp[node_key] == epoch; }
+  void set_parent(std::size_t node_key, const Node& par) {
+    stamp[node_key] = epoch;
+    parent[node_key] = par;
+  }
 };
 
 Side entry_side(const Point& from, const Point& to) {
@@ -91,13 +137,16 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
   RouteResult result;
   Grid grid(input.die);
 
-  // ---- index tool data ----
+  // ---- index tool data (string-keyed maps built ONCE, before any per-net
+  // or per-expansion work) ----
   std::map<std::string, const ToolInput::CellRecord*> cell_by_name;
   for (const ToolInput::CellRecord& c : input.cells) cell_by_name[c.name] = &c;
   std::map<std::pair<std::string, std::string>, const ToolInput::PinRecord*>
       pin_by_key;
   for (const ToolInput::PinRecord& p : input.pins)
     pin_by_key[{p.cell, p.pin}] = &p;
+  std::map<std::string, const PhysInstance*> inst_by_name;
+  for (const PhysInstance& pi : input.placement) inst_by_name[pi.name] = &pi;
 
   auto placed_transform = [&](const PhysInstance& inst,
                               const ToolInput::CellRecord& cell) {
@@ -130,15 +179,14 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
     }
   }
 
-  // ---- pin sites ----
-  std::map<Point, PinSite> pins;  // die position -> site
+  // ---- pin sites (positions resolved once per net list; the grid carries
+  // the per-cell pin site so the BFS never touches a map) ----
   std::map<std::pair<std::string, std::string>, Point> term_pos;
   auto pin_position = [&](const PhysNet::Term& term,
                           AccessDirs& access_out) -> std::optional<Point> {
-    const PhysInstance* inst = nullptr;
-    for (const PhysInstance& pi : input.placement)
-      if (pi.name == term.instance) inst = &pi;
-    if (!inst) return std::nullopt;
+    auto iit = inst_by_name.find(term.instance);
+    if (iit == inst_by_name.end()) return std::nullopt;
+    const PhysInstance* inst = iit->second;
     auto cit = cell_by_name.find(inst->cell);
     if (cit == cell_by_name.end()) return std::nullopt;
     auto pit = pin_by_key.find({inst->cell, term.pin});
@@ -167,10 +215,12 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
       AccessDirs access;
       auto pos = pin_position(term, access);
       if (!pos || !grid.inside(*pos)) continue;
-      pins[*pos] = {access, int(n)};
+      std::size_t pi = grid.idx(*pos);
+      grid.pin_net[pi] = int(n);
+      grid.pin_access[pi] = access;
       term_pos[{term.instance, term.pin}] = *pos;
-      grid.occ[grid.idx(*pos)] = kFree;  // pins override blockages
-      grid.pin_owner[grid.idx(*pos)] = int(n) + 1;
+      grid.occ[pi] = kFree;  // pins override blockages
+      grid.pin_owner[pi] = int(n) + 1;
       // Reserve the escape cells on the pin's legal sides.
       auto reserve = [&grid, n](Point q, std::uint8_t axis) {
         if (!grid.inside(q)) return;
@@ -190,6 +240,10 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
   // ---- route nets sequentially ----
   const std::array<Point, 4> kDirs = {Point{1, 0}, Point{-1, 0}, Point{0, 1},
                                       Point{0, -1}};
+  using Node = SearchScratch::Node;
+  SearchScratch search(std::size_t(grid.w * grid.h));
+  std::vector<Point> tree_cells;   // insertion order; sorted copy seeds BFS
+  std::vector<Point> seed_cells;
 
   for (std::size_t n = 0; n < input.nets.size(); ++n) {
     const ToolInput::NetRecord& net = input.nets[n];
@@ -274,33 +328,48 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
 
     // Tree cells grow as terminals connect. The seed terminal is only
     // "connected" once the first successful chain actually attaches to it.
-    std::set<Point> tree{terms[0].second};
+    search.begin_net();
+    tree_cells.clear();
+    auto in_tree = [&](const Point& p) {
+      return search.tree_stamp[grid.idx(p)] == search.net_epoch;
+    };
+    auto tree_insert = [&](const Point& p) {
+      search.tree_stamp[grid.idx(p)] = search.net_epoch;
+      tree_cells.push_back(p);
+    };
+    tree_insert(terms[0].second);
     routed.terms.push_back({terms[0].first, terms[0].second, Side::North,
                             false});
     // Terminal record lookup for fixing up attach sides at tree roots.
-    std::map<Point, std::size_t> term_index{{terms[0].second, 0}};
+    auto term_record = [&](const Point& p) -> std::size_t* {
+      std::size_t i = grid.idx(p);
+      return search.term_stamp[i] == search.net_epoch ? &search.term_index[i]
+                                                      : nullptr;
+    };
+    auto term_record_set = [&](const Point& p, std::size_t v) {
+      std::size_t i = grid.idx(p);
+      search.term_stamp[i] = search.net_epoch;
+      search.term_index[i] = v;
+    };
+    term_record_set(terms[0].second, 0);
     bool all_ok = true;
 
     for (std::size_t ti = 1; ti < terms.size(); ++ti) {
       const Point target = terms[ti].second;
-      const AccessDirs target_access = pins[target].access;
+      const AccessDirs target_access = grid.pin_access[grid.idx(target)];
 
-      // Axis-aware BFS node: (cell, axis of the move that reached it).
+      // Axis-aware BFS over (cell, axis) nodes addressed as idx * 3 + axis;
       // axis 0 = horizontal, 1 = vertical; tree seeds use axis 2 ("any").
-      struct Node {
-        Point p;
-        int axis;
-        bool operator<(const Node& o) const {
-          if (p != o.p) return p < o.p;
-          return axis < o.axis;
-        }
-      };
-      std::map<Node, Node> parent;
-      std::deque<Node> frontier;
-      for (const Point& p : tree) {
+      // Seeds enter in ascending (x, y) order — the iteration order of the
+      // reference kernel's std::set<Point> — so the flat queue explores in
+      // exactly the same order.
+      search.begin_search();
+      seed_cells.assign(tree_cells.begin(), tree_cells.end());
+      std::sort(seed_cells.begin(), seed_cells.end());
+      for (const Point& p : seed_cells) {
         Node seed{p, 2};
-        frontier.push_back(seed);
-        parent[seed] = seed;
+        search.set_parent(grid.idx(p) * 3 + 2, seed);
+        search.frontier.push_back(seed);
       }
       bool found = false;
       Node hit{{0, 0}, 0};
@@ -320,36 +389,42 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
         return grid.approach[i] != 0 && grid.approach[i] != me;
       };
 
-      while (!frontier.empty() && !found) {
-        Node cur = frontier.front();
-        frontier.pop_front();
+      while (search.frontier_head < search.frontier.size() && !found) {
+        Node cur = search.frontier[search.frontier_head++];
         if (++expansions > opt.max_expansions) break;
         bool straight_only = is_transit(cur.p);
+        const std::size_t cur_idx = grid.idx(cur.p);
+        const int cur_pin = grid.pin_net[cur_idx];
         for (const Point& d : kDirs) {
           int axis = d.y != 0 ? 1 : 0;
           // Inside a transit cell we may only continue straight through.
           if (straight_only && axis != cur.axis) continue;
           Point next{cur.p.x + d.x, cur.p.y + d.y};
-          Node node{next, axis};
-          if (parent.count(node)) continue;
+          // Off-die nodes are never visited nor usable (the reference
+          // kernel rejected them at cell_usable after a guaranteed-empty
+          // map probe), so they can be rejected up front.
+          if (!grid.inside(next)) continue;
+          const std::size_t node_key =
+              grid.idx(next) * 3 + std::size_t(axis);
+          if (search.visited(node_key)) continue;
           // Leaving one of this net's own pins: respect its access sides
           // (the attach face must be a legal side of the pin).
-          auto pin_it = pins.find(cur.p);
-          if (pin_it != pins.end() && pin_it->second.net == int(n) &&
-              !side_allowed(pin_it->second.access, entry_side(next, cur.p)))
+          if (cur_pin == int(n) &&
+              !side_allowed(grid.pin_access[cur_idx],
+                            entry_side(next, cur.p)))
             continue;
           if (next == target) {
             // Respect the pin's access sides (when the tool knows them).
             if (!side_allowed(target_access, entry_side(cur.p, next)))
               continue;
-            parent[node] = cur;
-            hit = node;
+            search.set_parent(node_key, cur);
+            hit = {next, axis};
             found = true;
             break;
           }
           if (!cell_usable(next, axis)) continue;
-          parent[node] = cur;
-          frontier.push_back(node);
+          search.set_parent(node_key, cur);
+          search.frontier.push_back({next, axis});
         }
       }
 
@@ -359,28 +434,30 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
         routed.terms.push_back(rterm);
         continue;
       }
+      auto parent_of = [&](const Node& nd) -> const Node& {
+        return search.parent[grid.idx(nd.p) * 3 + std::size_t(nd.axis)];
+      };
       rterm.connected = true;
-      rterm.entered_from = entry_side(parent[hit].p, hit.p);
-      term_index[target] = routed.terms.size();
+      rterm.entered_from = entry_side(parent_of(hit).p, hit.p);
+      term_record_set(target, routed.terms.size());
       routed.terms.push_back(rterm);
 
       // Walk back, committing the path. `child_axis` is the axis of the
       // step LEAVING each cell (toward the target side of the chain).
       Node cur = hit;
       int child_axis = hit.axis;
-      while (!(parent[cur].p == cur.p && parent[cur].axis == cur.axis)) {
-        Node par = parent[cur];
+      while (!(parent_of(cur).p == cur.p && parent_of(cur).axis == cur.axis)) {
+        Node par = parent_of(cur);
         bool par_is_root = [&] {
-          Node pp = parent[par];
+          const Node& pp = parent_of(par);
           return pp.p == par.p && pp.axis == par.axis;
         }();
         // Reaching the chain root: if it is one of this net's terminals,
         // record which face the wire attaches on (seed pins got a default).
         if (par_is_root) {
-          auto tix = term_index.find(par.p);
-          if (tix != term_index.end()) {
-            routed.terms[tix->second].entered_from = entry_side(cur.p, par.p);
-            routed.terms[tix->second].connected = true;
+          if (std::size_t* tix = term_record(par.p)) {
+            routed.terms[*tix].entered_from = entry_side(cur.p, par.p);
+            routed.terms[*tix].connected = true;
           }
         }
         const Point& c = cur.p;
@@ -389,8 +466,8 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
           // Crossing point: both nets now pass here; lock the cell.
           grid.dir[ci] = 3;
           routed.cells.push_back(c);
-        } else if (!tree.count(c)) {
-          tree.insert(c);
+        } else if (!in_tree(c)) {
+          tree_insert(c);
           routed.cells.push_back(c);
           grid.occ[ci] = me;
           std::uint8_t bits = 0;

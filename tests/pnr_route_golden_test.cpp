@@ -1,0 +1,105 @@
+// Differential golden tests for the array-backed maze router.
+//
+// The flat (epoch-stamped, grid-indexed) search kernel must route exactly
+// like the reference map/set-based router: same wirelength, same failure
+// set, same terminal attach sides, cell for cell. The goldens below were
+// captured from the reference router (seed commit 9be33dd) on the §4
+// workload generator, seeds 1-5, exported through router beta's caps —
+// the same path bench_t7/bench_perf_kernels exercise.
+
+#include "pnr/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pnr/backplane.hpp"
+#include "pnr/generator.hpp"
+
+namespace interop::pnr {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Order-sensitive digest of the full routed result: per-net cell counts,
+/// routed flags, and per-terminal attach side / connectivity / position.
+std::uint64_t route_hash(const RouteResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const RoutedNet& nn : r.nets) {
+    h = fnv1a(h, nn.cells.size());
+    h = fnv1a(h, nn.width_cells.size());
+    h = fnv1a(h, nn.shield_cells.size());
+    h = fnv1a(h, nn.routed ? 1 : 0);
+    for (const RoutedTerm& t : nn.terms) {
+      h = fnv1a(h, std::uint64_t(t.entered_from));
+      h = fnv1a(h, t.connected ? 1 : 0);
+      h = fnv1a(h, std::uint64_t(t.at.x));
+      h = fnv1a(h, std::uint64_t(t.at.y));
+    }
+  }
+  return h;
+}
+
+struct Golden {
+  std::uint64_t seed;
+  std::int64_t wirelength;
+  int failed_nets;
+  int connected_terms;
+  int total_terms;
+  std::uint64_t hash;
+};
+
+constexpr Golden kGoldens[] = {
+    {1ULL, 2007LL, 3, 55, 62, 0x8c9140296953f28eULL},
+    {2ULL, 1249LL, 2, 50, 56, 0x92ff5498066748f8ULL},
+    {3ULL, 1438LL, 4, 43, 51, 0x28cd8e2724008f07ULL},
+    {4ULL, 1766LL, 1, 56, 59, 0xb722773f384dbaceULL},
+    {5ULL, 1331LL, 5, 51, 65, 0xfbd60fcaacdd3448ULL},
+};
+
+TEST(RouteGolden, WorkloadSeedsMatchReferenceRouter) {
+  for (const Golden& g : kGoldens) {
+    PnrGenOptions opt;
+    opt.seed = g.seed;
+    PhysDesign design = make_pnr_workload(opt);
+    base::DiagnosticEngine diags;
+    ToolInput input = export_direct(design, router_beta_caps(), diags);
+    RouteResult r = route(input);
+
+    EXPECT_EQ(r.wirelength, g.wirelength) << "seed " << g.seed;
+    EXPECT_EQ(r.failed_nets, g.failed_nets) << "seed " << g.seed;
+    int connected = 0, terms = 0;
+    for (const RoutedNet& nn : r.nets) {
+      for (const RoutedTerm& t : nn.terms) {
+        ++terms;
+        if (t.connected) ++connected;
+      }
+    }
+    EXPECT_EQ(connected, g.connected_terms) << "seed " << g.seed;
+    EXPECT_EQ(terms, g.total_terms) << "seed " << g.seed;
+    EXPECT_EQ(route_hash(r), g.hash) << "seed " << g.seed;
+  }
+}
+
+TEST(RouteGolden, RepeatedRoutingIsDeterministic) {
+  // The epoch-stamped scratch must fully isolate nets and calls: routing
+  // the same input twice (same RouteResult object lifetimes, fresh call)
+  // yields identical results.
+  PnrGenOptions opt;
+  opt.seed = 2;
+  PhysDesign design = make_pnr_workload(opt);
+  base::DiagnosticEngine diags;
+  ToolInput input = export_direct(design, router_beta_caps(), diags);
+  RouteResult a = route(input);
+  RouteResult b = route(input);
+  EXPECT_EQ(a.wirelength, b.wirelength);
+  EXPECT_EQ(a.failed_nets, b.failed_nets);
+  EXPECT_EQ(route_hash(a), route_hash(b));
+}
+
+}  // namespace
+}  // namespace interop::pnr
