@@ -44,3 +44,10 @@ with open(out_path, "w") as f:
 EOF
 rm -f "$tmp"
 echo "wrote $out"
+
+# Chaos/fault-tolerance bench: survival rates, retry overhead, and warm
+# resume counts (self-checking; see EXPERIMENTS.md §R1).
+cmake --build "$build_dir" --target bench_runtime_chaos -j "$(nproc)"
+chaos_out="$repo_root/BENCH_runtime_chaos.json"
+"$build_dir/bench/bench_runtime_chaos" > "$chaos_out"
+echo "wrote $chaos_out"

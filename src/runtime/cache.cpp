@@ -19,10 +19,14 @@ std::shared_ptr<const CacheEntry> ResultCache::find(std::uint64_t key) const {
 
 void ResultCache::store(std::uint64_t key, CacheEntry entry) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] =
-      entries_.emplace(key, std::make_shared<CacheEntry>(std::move(entry)));
+  // Construct the shared entry exactly once: map::emplace may consume its
+  // mapped-value argument even when insertion fails, so moving `entry` into
+  // the emplace call and again on the overwrite path would cache a
+  // moved-from (empty) effect list.
+  auto value = std::make_shared<const CacheEntry>(std::move(entry));
+  auto [it, inserted] = entries_.emplace(key, value);
   if (!inserted) {
-    it->second = std::make_shared<CacheEntry>(std::move(entry));
+    it->second = std::move(value);
     return;  // overwrite keeps the original FIFO position
   }
   ++stats_.stores;
@@ -48,6 +52,7 @@ void ResultCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   order_.clear();
+  stats_ = Stats{};
 }
 
 std::uint64_t step_content_key(const wf::StepDef& def,

@@ -56,6 +56,7 @@ class ResultCache {
   };
   Stats stats() const;
   std::size_t size() const;
+  /// Drop every entry and reset stats.
   void clear();
 
  private:

@@ -1,6 +1,8 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 
 namespace interop::runtime {
 
@@ -11,11 +13,19 @@ ParallelExecutor::ParallelExecutor(
     : engine_(std::move(main), std::move(subflows), std::move(data),
               options.role),
       options_(options),
-      cache_(std::move(cache)) {}
+      cache_(std::move(cache)),
+      clock_(std::make_shared<SteadyClock>()) {
+  journal_.set_clock(clock_);
+}
 
 std::string ParallelExecutor::instantiate(
     const std::vector<std::string>& blocks) {
   return engine_.instantiate(blocks);
+}
+
+void ParallelExecutor::set_clock(std::shared_ptr<Clock> clock) {
+  clock_ = std::move(clock);
+  journal_.set_clock(clock_);
 }
 
 bool ParallelExecutor::claim_next_locked(Claim* out) {
@@ -47,63 +57,232 @@ bool ParallelExecutor::claim_next_locked(Claim* out) {
   return false;
 }
 
+std::uint64_t ParallelExecutor::arm_timeout(CancelToken* token) {
+  std::lock_guard<std::mutex> lock(wd_mu_);
+  std::uint64_t id = ++next_arm_id_;
+  std::uint64_t deadline =
+      options_.step_timeout_us > 0
+          ? journal_.now_us() + options_.step_timeout_us
+          : std::numeric_limits<std::uint64_t>::max();
+  armed_[id] = {deadline, token};
+  if (stop_requested_.load(std::memory_order_relaxed)) token->cancel();
+  wd_cv_.notify_all();
+  return id;
+}
+
+void ParallelExecutor::disarm_timeout(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(wd_mu_);
+  armed_.erase(id);
+}
+
+void ParallelExecutor::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(wd_mu_);
+  while (!wd_stop_) {
+    std::uint64_t now = journal_.now_us();
+    for (auto& [id, armed] : armed_) {
+      if (!armed.token->cancelled() && armed.deadline_us <= now)
+        armed.token->cancel();
+    }
+    // Deadlines are clock-based (deterministic under SimClock); the poll
+    // cadence is real time, so a wedged real action is cut loose within
+    // ~1 ms of its deadline without ever advancing a simulated clock.
+    if (armed_.empty())
+      wd_cv_.wait(lock);
+    else
+      wd_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void ParallelExecutor::request_stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(wd_mu_);
+    for (auto& [id, armed] : armed_) armed.token->cancel();
+  }
+  wd_cv_.notify_all();
+}
+
+void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
+                                     const Claim& claim, int worker_id) {
+  lock.unlock();
+
+  // Cache replay path: replays are not tool runs, so they take no faults
+  // and need no retries. Skipping writes whose content is already current
+  // avoids timestamp churn (and the NeedsRerun cascade it would trigger)
+  // on warm re-runs over live data.
+  if (claim.entry) {
+    JournalEntry rec;
+    rec.step = claim.name;
+    rec.worker = worker_id;
+    rec.rerun = claim.was_rerun;
+    rec.cache_hit = true;
+    rec.has_key = claim.has_key;
+    rec.key = claim.key;
+    rec.resumed = resume_complete_ && resume_complete_->count(claim.name) > 0;
+    rec.start_us = journal_.now_us();
+
+    wf::ActionApi api(engine_, engine_.instance(), claim.name);
+    for (const auto& [path, content] : claim.entry->outputs)
+      if (api.read_data(path) != std::optional<std::string>(content))
+        api.write_data(path, content);
+    for (const auto& [name, value] : claim.entry->variables)
+      api.set_variable(name, value);
+    api.set_step_state_success();
+    wf::ActionResult result{0, claim.entry->log};
+    rec.end_us = journal_.now_us();
+
+    lock.lock();
+    engine_.apply_step_result(claim.name, result, api, claim.was_rerun);
+    const wf::StepStatus* st = engine_.instance().find(claim.name);
+    rec.ok = st->state != wf::StepState::Failed;
+    ++stats_.cache_hits;
+    if (rec.resumed) ++stats_.resumed;
+    if (st->state == wf::StepState::Failed) ++stats_.failures;
+    journal_.record(std::move(rec));
+    return;
+  }
+
+  // StepStatus nodes are stable after instantiate(); the def is immutable
+  // during a run, so reading it unlocked is safe.
+  const wf::StepStatus* st = engine_.instance().find(claim.name);
+  const RetryPolicy& retry = options_.retry;
+  int faults_this_claim = 0;
+  int timeouts_this_claim = 0;
+
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    FaultKind fault = FaultKind::None;
+    if (faults_)
+      fault = faults_->decide(claim.name, attempt,
+                              options_.step_timeout_us > 0);
+
+    JournalEntry rec;
+    rec.step = claim.name;
+    rec.worker = worker_id;
+    rec.rerun = claim.was_rerun;
+    rec.attempt = attempt;
+    rec.has_key = claim.has_key;
+    rec.key = claim.key;
+    if (fault != FaultKind::None) {
+      rec.fault = to_string(fault);
+      ++faults_this_claim;
+    }
+    rec.start_us = journal_.now_us();
+
+    CancelToken token;
+    std::uint64_t arm_id = arm_timeout(&token);
+    wf::ActionApi api(engine_, engine_.instance(), claim.name);
+    api.set_cancel_flag(token.flag());
+
+    wf::ActionResult result;
+    switch (fault) {
+      case FaultKind::None:
+        if (st->def.action.fn) result = st->def.action.fn(api);
+        break;
+      case FaultKind::Fail:
+        // The tool died before producing anything (license drop, crash).
+        result = {137, "injected fault: tool crashed before writing output"};
+        break;
+      case FaultKind::Hang: {
+        // A wedged tool: the attempt blocks until the step timeout elapses
+        // on the shared clock (instant under SimClock; the watchdog's
+        // cancel fires in parallel under a real clock), then reports a
+        // cooperatively cancelled attempt.
+        clock_->sleep_us(options_.step_timeout_us);
+        token.cancel();
+        result = {124, "injected fault: tool hung until step timeout"};
+        break;
+      }
+      case FaultKind::TornWrite: {
+        // The tool died mid-write: the action runs, then one declared
+        // output is truncated to a half-written file. Downstream steps may
+        // observe the torn bytes; the trigger/rework machinery repairs
+        // them once a later attempt writes the real content.
+        if (st->def.action.fn) result = st->def.action.fn(api);
+        if (!st->def.writes.empty()) {
+          const std::string& path = st->def.writes[faults_->pick_output(
+              claim.name, attempt, st->def.writes.size())];
+          std::string full = api.read_data(path).value_or("");
+          api.write_data(path,
+                         full.substr(0, full.size() / 2) + "\x01torn");
+          result = {139, "injected fault: torn write on " + path};
+        } else {
+          result = {137, "injected fault: tool crashed (no output to tear)"};
+        }
+        break;
+      }
+    }
+    disarm_timeout(arm_id);
+    if (token.cancelled()) rec.timed_out = true;
+    rec.end_us = journal_.now_us();
+
+    bool ok;
+    if (fault != FaultKind::None) {
+      // An injected fault fails the attempt regardless of what the wrapped
+      // action reported (a torn write may sit on top of a "successful"
+      // run). Record the forced failure on the api so the engine's
+      // completion policy sees it too if this is the final attempt.
+      ok = false;
+      api.set_step_state_failure(result.log);
+    } else {
+      ok = api.outcome_ok(result);
+      // An action that finished successfully just as the watchdog fired
+      // still counts as finished; its writes landed.
+      if (ok) rec.timed_out = false;
+    }
+    if (rec.timed_out) ++timeouts_this_claim;
+    rec.ok = ok;
+
+    bool retryable = rec.timed_out ? retry.retry_timeouts
+                                   : retry.retry_failures;
+    if (!ok && attempt < retry.max_attempts && retryable &&
+        !stop_requested_.load(std::memory_order_relaxed)) {
+      // Retry in place: the step stays Running, the failed attempt is
+      // journaled and noted on the step, and the next attempt starts after
+      // a deterministic backoff.
+      journal_.record(std::move(rec));
+      engine_.note_failed_attempt(claim.name, result.log);
+      clock_->sleep_us(retry.delay_us(attempt));
+      continue;
+    }
+
+    lock.lock();
+    engine_.apply_step_result(claim.name, result, api, claim.was_rerun);
+    const wf::StepStatus* post = engine_.instance().find(claim.name);
+    rec.ok = ok && post->state != wf::StepState::Failed;
+    ++stats_.executed;
+    stats_.attempts += attempt;
+    stats_.retries += attempt - 1;
+    stats_.faults_injected += faults_this_claim;
+    stats_.timeouts += timeouts_this_claim;
+    if (post->state == wf::StepState::Failed) ++stats_.failures;
+    bool effects_complete = post->state == wf::StepState::Succeeded ||
+                            post->state == wf::StepState::AwaitingFinish;
+    if (cache_ && claim.has_key && effects_complete) {
+      CacheEntry entry;
+      entry.outputs = api.data_writes();
+      entry.variables = api.var_writes();
+      entry.log = result.log;
+      cache_->store(claim.key, std::move(entry));
+    }
+    journal_.record(std::move(rec));
+    return;
+  }
+}
+
 void ParallelExecutor::worker_loop(int worker_id) {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
     Claim claim;
     if (claim_next_locked(&claim)) {
       ++in_flight_;
-      lock.unlock();
-
-      JournalEntry record;
-      record.step = claim.name;
-      record.worker = worker_id;
-      record.rerun = claim.was_rerun;
-      record.cache_hit = claim.entry != nullptr;
-      record.start_us = journal_.now_us();
-
-      // The action body (or cache replay) runs unlocked; each ActionApi
-      // call serializes on mu_ through the engine's concurrency guard.
-      wf::ActionApi api(engine_, engine_.instance(), claim.name);
-      wf::ActionResult result;
-      if (claim.entry) {
-        // Replay the memoized effects. Skipping writes whose content is
-        // already current avoids timestamp churn (and the NeedsRerun
-        // cascade it would trigger) on warm re-runs over live data.
-        for (const auto& [path, content] : claim.entry->outputs)
-          if (api.read_data(path) != std::optional<std::string>(content))
-            api.write_data(path, content);
-        for (const auto& [name, value] : claim.entry->variables)
-          api.set_variable(name, value);
-        api.set_step_state_success();
-        result = wf::ActionResult{0, claim.entry->log};
-      } else {
-        // StepStatus nodes are stable after instantiate(); the def is
-        // immutable during a run, so reading it unlocked is safe.
-        const wf::StepStatus* st = engine_.instance().find(claim.name);
-        if (st->def.action.fn) result = st->def.action.fn(api);
-      }
-      record.end_us = journal_.now_us();
-
-      lock.lock();
-      engine_.apply_step_result(claim.name, result, api, claim.was_rerun);
-      const wf::StepStatus* st = engine_.instance().find(claim.name);
-      record.ok = st->state != wf::StepState::Failed;
-      if (claim.entry)
-        ++stats_.cache_hits;
-      else
-        ++stats_.executed;
-      if (st->state == wf::StepState::Failed) ++stats_.failures;
-      bool effects_complete = st->state == wf::StepState::Succeeded ||
-                              st->state == wf::StepState::AwaitingFinish;
-      if (cache_ && claim.has_key && !claim.entry && effects_complete) {
-        CacheEntry entry;
-        entry.outputs = api.data_writes();
-        entry.variables = api.var_writes();
-        entry.log = result.log;
-        cache_->store(claim.key, std::move(entry));
-      }
-      journal_.record(std::move(record));
+      execute_claim(lock, claim, worker_id);  // unlocks, works, relocks
       --in_flight_;
       cv_.notify_all();  // completions may unlock new ready steps
       continue;
@@ -120,26 +299,62 @@ void ParallelExecutor::worker_loop(int worker_id) {
   }
 }
 
-RunStats ParallelExecutor::run() {
+RunStats ParallelExecutor::run() { return run_impl(nullptr); }
+
+RunStats ParallelExecutor::resume_run(const RunJournal& prior) {
+  std::set<std::string> complete;
+  for (const std::string& step : prior.completed_steps())
+    complete.insert(step);
+  return run_impl(&complete);
+}
+
+RunStats ParallelExecutor::run_impl(
+    const std::set<std::string>* journaled_complete) {
   stats_ = RunStats{};
   scheduled_.clear();
   stop_ = false;
+  stop_requested_.store(false, std::memory_order_relaxed);
   in_flight_ = 0;
+  resume_complete_ = journaled_complete;
 
   journal_.begin_run(options_.workers);
   engine_.set_concurrency_guard(&mu_);
+
+  {
+    std::lock_guard<std::mutex> lock(wd_mu_);
+    wd_stop_ = false;
+    armed_.clear();
+  }
+  std::thread watchdog;
+  if (options_.step_timeout_us > 0)
+    watchdog = std::thread([this] { watchdog_loop(); });
+
   int n = std::max(1, options_.workers);
   std::vector<std::thread> pool;
   pool.reserve(std::size_t(n));
   for (int i = 0; i < n; ++i)
     pool.emplace_back([this, i] { worker_loop(i); });
   for (std::thread& t : pool) t.join();
+
+  {
+    std::lock_guard<std::mutex> lock(wd_mu_);
+    wd_stop_ = true;
+  }
+  wd_cv_.notify_all();
+  if (watchdog.joinable()) watchdog.join();
+
   engine_.set_concurrency_guard(nullptr);
   journal_.end_run();
+  resume_complete_ = nullptr;
 
   stats_.wall_us = journal_.wall_us();
-  if (stats_.error.empty() && stats_.failures > 0)
-    stats_.error = engine_.last_error();
+  stats_.stopped = stop_requested_.load(std::memory_order_relaxed);
+  if (stats_.error.empty()) {
+    if (stats_.stopped)
+      stats_.error = "run stopped by request_stop()";
+    else if (stats_.failures > 0)
+      stats_.error = engine_.last_error();
+  }
   return stats_;
 }
 

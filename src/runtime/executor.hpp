@@ -2,7 +2,7 @@
 // The parallel flow runtime: runs ready steps of a validated flow
 // concurrently on a fixed worker pool, layered on the content-addressed
 // ResultCache (unchanged steps replay their memoized effects instead of
-// re-executing) and the RunJournal (per-step timing, cache hit/miss,
+// re-executing) and the RunJournal (per-attempt timing, cache hit/miss,
 // worker id, critical path — exported as JSON).
 //
 // Concurrency model: one mutex (mu_) guards all engine state — step
@@ -15,18 +15,34 @@
 // executor drives the same instance through the engine's runtime hooks, so
 // triggers, finish dependencies, permissions, and rework semantics are
 // identical to a serial run.
+//
+// Fault tolerance (see fault.hpp/retry.hpp): each claim runs an attempt
+// loop — a failed or timed-out attempt is retried in place (the step stays
+// Running) with deterministic exponential backoff until the RetryPolicy
+// budget runs out; only the final attempt's result reaches the engine. A
+// watchdog thread cancels attempts past the step timeout through a
+// per-attempt CancelToken (cooperative: actions poll
+// ActionApi::cancel_requested(), injected hangs block on the token).
+// request_stop() cancels everything in flight ("kill"); resume_run()
+// restarts a killed run from a prior journal's completion markers,
+// replaying journaled-complete steps through the ResultCache and
+// re-executing only lost work.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/cache.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/journal.hpp"
+#include "runtime/retry.hpp"
 #include "workflow/engine.hpp"
 
 namespace interop::runtime {
@@ -37,13 +53,23 @@ struct ExecutorOptions {
   /// Per-step scheduling bound per run(): the parallel analogue of
   /// Engine::run_all()'s livelock detector.
   int livelock_limit = 20;
+  /// Per-step attempt budget + backoff (default: one attempt, no retries).
+  RetryPolicy retry;
+  /// Cooperative per-attempt timeout; 0 disables the watchdog.
+  std::uint64_t step_timeout_us = 0;
 };
 
 struct RunStats {
-  int executed = 0;    ///< actions actually run
-  int cache_hits = 0;  ///< steps replayed from the result cache
-  int failures = 0;
+  int executed = 0;      ///< claims whose action ran (final attempts)
+  int attempts = 0;      ///< action attempts, including retried failures
+  int retries = 0;       ///< attempts beyond the first, across all claims
+  int cache_hits = 0;    ///< steps replayed from the result cache
+  int resumed = 0;       ///< replays honoring a prior journal (resume_run)
+  int failures = 0;      ///< final, state-changing failures
+  int faults_injected = 0;
+  int timeouts = 0;      ///< attempts cancelled by the watchdog
   bool livelock = false;
+  bool stopped = false;  ///< request_stop() ended the run early
   std::uint64_t wall_us = 0;
   std::string error;  ///< livelock/diagnostic message, empty when clean
 };
@@ -65,6 +91,29 @@ class ParallelExecutor {
   /// Parallel analogue of Engine::run_all(): drain every runnable step.
   RunStats run();
 
+  /// Crash recovery: run, but treat `prior`'s completion markers as ground
+  /// truth — a step whose last journaled attempt succeeded is expected to
+  /// replay from the shared ResultCache (counted in RunStats::resumed and
+  /// flagged `resumed` in this run's journal) and is never re-executed
+  /// unless its inputs no longer match. Steps the prior run lost (failed,
+  /// timed out, or never reached) execute normally.
+  RunStats resume_run(const RunJournal& prior);
+
+  /// Cooperatively stop an in-progress run(): no new claims, every armed
+  /// attempt's CancelToken fires. In-flight attempts still apply their
+  /// (likely failed) results, so the journal stays consistent — this is the
+  /// "kill" half of crash-recovery testing and a graceful-shutdown API.
+  /// Safe to call from any thread, including from inside an action.
+  void request_stop();
+
+  /// Install a fault injector (test instrument; null = no injection).
+  void set_fault_injector(std::shared_ptr<FaultInjector> faults) {
+    faults_ = std::move(faults);
+  }
+  /// Time source for timeouts, backoff, and the journal. Install a SimClock
+  /// before run() for deterministic, instant retries under test.
+  void set_clock(std::shared_ptr<Clock> clock);
+
   wf::Engine& engine() { return engine_; }
   const wf::Engine& engine() const { return engine_; }
   const RunJournal& journal() const { return journal_; }
@@ -82,18 +131,45 @@ class ParallelExecutor {
 
   bool claim_next_locked(Claim* out);
   void worker_loop(int worker_id);
+  /// Replay or attempt-loop one claimed step; called unlocked, relocks to
+  /// apply the result.
+  void execute_claim(std::unique_lock<std::mutex>& lock, const Claim& claim,
+                     int worker_id);
+  RunStats run_impl(const std::set<std::string>* journaled_complete);
+
+  // Watchdog: workers arm a (deadline, token) per attempt; the watchdog
+  // cancels tokens past deadline, sleeping on the shared clock (so SimClock
+  // fires timeouts instantly and deterministically).
+  std::uint64_t arm_timeout(CancelToken* token);
+  void disarm_timeout(std::uint64_t id);
+  void watchdog_loop();
 
   wf::Engine engine_;
   ExecutorOptions options_;
   std::shared_ptr<ResultCache> cache_;
+  std::shared_ptr<FaultInjector> faults_;
+  std::shared_ptr<Clock> clock_;
   RunJournal journal_;
 
   std::mutex mu_;  ///< the engine's concurrency guard during run()
   std::condition_variable cv_;
   int in_flight_ = 0;
   bool stop_ = false;
+  /// Read unlocked by attempt loops deciding whether to keep retrying.
+  std::atomic<bool> stop_requested_{false};
   std::map<std::string, int> scheduled_;  ///< per-step claims, this run
+  const std::set<std::string>* resume_complete_ = nullptr;
   RunStats stats_;
+
+  struct ArmedTimeout {
+    std::uint64_t deadline_us;
+    CancelToken* token;
+  };
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  std::map<std::uint64_t, ArmedTimeout> armed_;
+  std::uint64_t next_arm_id_ = 0;
+  bool wd_stop_ = false;
 };
 
 }  // namespace interop::runtime

@@ -1,0 +1,78 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+
+#include "runtime/hash.hpp"
+
+namespace interop::runtime {
+
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::None: return "none";
+    case FaultKind::Fail: return "fail";
+    case FaultKind::Hang: return "hang";
+    case FaultKind::TornWrite: return "torn_write";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultPlan plan)
+    : seed_(seed), plan_(std::move(plan)) {}
+
+std::uint64_t FaultInjector::mix(const std::string& step, int attempt,
+                                 std::uint64_t salt) const {
+  Fnv1a h;
+  h.update_u64(seed_);
+  h.update(step);
+  h.update_u64(std::uint64_t(attempt));
+  h.update_u64(salt);
+  // splitmix64 finalizer: FNV alone is weak in the high bits we divide by.
+  std::uint64_t z = h.digest() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+FaultKind FaultInjector::decide(const std::string& step, int attempt,
+                                bool hangs_ok) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_.decisions;
+  }
+  FaultKind kind = FaultKind::None;
+  if (auto it = plan_.schedule.find({step, attempt});
+      it != plan_.schedule.end()) {
+    kind = it->second;
+  } else if (plan_.probability > 0 && !plan_.kinds.empty() &&
+             attempt <= plan_.max_faults_per_step &&
+             (plan_.steps.empty() ||
+              std::find(plan_.steps.begin(), plan_.steps.end(), step) !=
+                  plan_.steps.end())) {
+    double u = double(mix(step, attempt, 1) >> 11) * (1.0 / 9007199254740992.0);
+    if (u < plan_.probability)
+      kind = plan_.kinds[mix(step, attempt, 2) % plan_.kinds.size()];
+  }
+  if (kind == FaultKind::Hang && !hangs_ok) kind = FaultKind::Fail;
+  if (kind != FaultKind::None) {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (kind) {
+      case FaultKind::Fail: ++counts_.fails; break;
+      case FaultKind::Hang: ++counts_.hangs; break;
+      case FaultKind::TornWrite: ++counts_.torn_writes; break;
+      case FaultKind::None: break;
+    }
+  }
+  return kind;
+}
+
+std::size_t FaultInjector::pick_output(const std::string& step, int attempt,
+                                       std::size_t n) const {
+  return std::size_t(mix(step, attempt, 3) % n);
+}
+
+FaultInjector::Counts FaultInjector::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+}  // namespace interop::runtime

@@ -1,0 +1,89 @@
+#pragma once
+// Deterministic fault injection for the flow runtime — the §4-§5 failure
+// catalog as a test instrument. Sap & Szabo's point (PAPERS.md) is that
+// interoperability has to be *tested* by systematically perturbing the
+// exchanges; the injector perturbs step execution with the three failure
+// shapes real CAD flows see:
+//
+//   Fail      - the tool crashes before producing output (license drop,
+//               netlister segfault): the attempt fails, nothing is written.
+//   Hang      - the tool wedges: the attempt blocks until the executor's
+//               watchdog cancels it past the step timeout.
+//   TornWrite - the tool dies mid-write: the action runs, then one declared
+//               output is truncated to a half-written file and the attempt
+//               fails. Downstream steps may observe the torn bytes; the
+//               trigger/rework machinery must repair them.
+//
+// Decisions are a pure function of (seed, step, attempt) — independent of
+// worker count, thread interleaving, and call order — so a seed sweep is
+// reproducible and serial/parallel runs of the same seed inject the same
+// faults.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace interop::runtime {
+
+enum class FaultKind { None, Fail, Hang, TornWrite };
+
+std::string to_string(FaultKind k);
+
+struct FaultPlan {
+  /// Per-attempt injection probability (0 disables the probabilistic draw).
+  double probability = 0.0;
+  /// Kinds the probabilistic draw picks from, uniformly.
+  std::vector<FaultKind> kinds = {FaultKind::Fail, FaultKind::TornWrite};
+  /// Steps eligible for injection; empty = every step.
+  std::vector<std::string> steps;
+  /// Attempts beyond this number per claim always run clean, so any retry
+  /// budget with max_attempts > max_faults_per_step is guaranteed to
+  /// converge. Order-independent by construction (keyed on the attempt
+  /// number, not a global fault count).
+  int max_faults_per_step = 2;
+  /// Explicit schedule: (step, attempt) -> kind, consulted before the
+  /// probabilistic draw. Lets a test place one fault precisely.
+  std::map<std::pair<std::string, int>, FaultKind> schedule;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultPlan plan);
+
+  /// The fault (or None) for this attempt. `hangs_ok` is false when the
+  /// executor has no timeout armed; a drawn Hang then degrades to Fail
+  /// rather than wedging the run forever.
+  FaultKind decide(const std::string& step, int attempt, bool hangs_ok);
+
+  /// Deterministically pick which of `n` declared outputs a TornWrite
+  /// truncates. Requires n > 0.
+  std::size_t pick_output(const std::string& step, int attempt,
+                          std::size_t n) const;
+
+  std::uint64_t seed() const { return seed_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  struct Counts {
+    int decisions = 0;  ///< decide() calls
+    int fails = 0;
+    int hangs = 0;
+    int torn_writes = 0;
+    int total() const { return fails + hangs + torn_writes; }
+  };
+  Counts counts() const;
+
+ private:
+  /// splitmix64-finalized hash of (seed, step, attempt, salt).
+  std::uint64_t mix(const std::string& step, int attempt,
+                    std::uint64_t salt) const;
+
+  std::uint64_t seed_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  Counts counts_;
+};
+
+}  // namespace interop::runtime

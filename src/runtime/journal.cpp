@@ -2,30 +2,37 @@
 
 #include <algorithm>
 #include <functional>
+#include <istream>
 #include <map>
+#include <ostream>
 #include <sstream>
 
 namespace interop::runtime {
+
+void RunJournal::set_clock(std::shared_ptr<Clock> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
 
 void RunJournal::begin_run(int workers) {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   wall_us_ = 0;
   workers_ = workers;
-  t0_ = std::chrono::steady_clock::now();
+  if (!clock_) clock_ = std::make_shared<SteadyClock>();
+  t0_us_ = clock_->now_us();
 }
 
 void RunJournal::end_run() {
   std::lock_guard<std::mutex> lock(mu_);
-  wall_us_ = std::uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
-                               std::chrono::steady_clock::now() - t0_)
-                               .count());
+  wall_us_ = clock_ ? clock_->now_us() - t0_us_ : 0;
 }
 
 std::uint64_t RunJournal::now_us() const {
-  return std::uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now() - t0_)
-                           .count());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!clock_) return 0;
+  std::uint64_t now = clock_->now_us();
+  return now >= t0_us_ ? now - t0_us_ : 0;
 }
 
 void RunJournal::record(JournalEntry e) {
@@ -36,6 +43,130 @@ void RunJournal::record(JournalEntry e) {
 std::vector<JournalEntry> RunJournal::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_;
+}
+
+std::vector<std::string> RunJournal::completed_steps() const {
+  std::map<std::string, bool> last_ok;
+  for (const JournalEntry& e : entries())
+    last_ok[e.step] = e.ok && !e.timed_out;
+  std::vector<std::string> out;
+  for (const auto& [step, ok] : last_ok)
+    if (ok) out.push_back(step);
+  return out;
+}
+
+std::vector<JournalEntry> RunJournal::attempts_for(
+    const std::string& step) const {
+  std::vector<JournalEntry> out;
+  for (const JournalEntry& e : entries())
+    if (e.step == step) out.push_back(e);
+  return out;
+}
+
+// ------------------------------------------------------------- save/load
+//
+// One header line, then one tab-separated line per entry. Step names are
+// json-escaped, which also escapes tabs/newlines, so fields can never
+// collide with the separator.
+
+void RunJournal::save(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "interop-journal\tv1\t" << workers_ << "\t" << wall_us_ << "\n";
+  for (const JournalEntry& e : entries_) {
+    os << json_escape(e.step) << "\t" << e.worker << "\t" << e.attempt << "\t"
+       << e.start_us << "\t" << e.end_us << "\t" << int(e.cache_hit)
+       << int(e.ok) << int(e.rerun) << int(e.timed_out) << int(e.resumed)
+       << "\t" << json_escape(e.fault) << "\t" << int(e.has_key) << "\t"
+       << e.key << "\n";
+  }
+}
+
+namespace {
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  for (;;) {
+    std::size_t tab = line.find('\t', pos);
+    if (tab == std::string::npos) {
+      out.push_back(line.substr(pos));
+      return out;
+    }
+    out.push_back(line.substr(pos, tab - pos));
+    pos = tab + 1;
+  }
+}
+
+/// Inverse of json_escape for the subset it emits.
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    char c = s[++i];
+    switch (c) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 < s.size()) {
+          out += char(std::stoi(s.substr(i + 1, 4), nullptr, 16));
+          i += 4;
+        }
+        break;
+      }
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool RunJournal::load(std::istream& is) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  workers_ = 0;
+  wall_us_ = 0;
+  std::string line;
+  if (!std::getline(is, line)) return false;
+  std::vector<std::string> head = split_tabs(line);
+  if (head.size() != 4 || head[0] != "interop-journal" || head[1] != "v1")
+    return false;
+  try {
+    workers_ = std::stoi(head[2]);
+    wall_us_ = std::stoull(head[3]);
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      std::vector<std::string> f = split_tabs(line);
+      if (f.size() != 9 || f[5].size() != 5) {
+        entries_.clear();
+        return false;
+      }
+      JournalEntry e;
+      e.step = json_unescape(f[0]);
+      e.worker = std::stoi(f[1]);
+      e.attempt = std::stoi(f[2]);
+      e.start_us = std::stoull(f[3]);
+      e.end_us = std::stoull(f[4]);
+      e.cache_hit = f[5][0] == '1';
+      e.ok = f[5][1] == '1';
+      e.rerun = f[5][2] == '1';
+      e.timed_out = f[5][3] == '1';
+      e.resumed = f[5][4] == '1';
+      e.fault = json_unescape(f[6]);
+      e.has_key = f[7] == "1";
+      e.key = std::stoull(f[8]);
+      entries_.push_back(std::move(e));
+    }
+  } catch (const std::exception&) {
+    entries_.clear();
+    return false;
+  }
+  return true;
 }
 
 RunJournal::Summary RunJournal::summary(
@@ -53,6 +184,10 @@ RunJournal::Summary RunJournal::summary(
     else
       ++s.executed;
     if (!e.ok) ++s.failures;
+    if (e.attempt > 1) ++s.retries;
+    if (e.timed_out) ++s.timeouts;
+    if (!e.fault.empty()) ++s.faults;
+    if (e.resumed) ++s.resumed;
     if (e.rerun) ++s.reruns;
     std::uint64_t d = e.end_us >= e.start_us ? e.end_us - e.start_us : 0;
     s.busy_us += d;
@@ -138,14 +273,22 @@ std::string RunJournal::to_json(const wf::FlowInstance& instance) const {
     if (!first) os << ",";
     first = false;
     os << "{\"step\":\"" << json_escape(e.step) << "\",\"worker\":" << e.worker
-       << ",\"start_us\":" << e.start_us << ",\"end_us\":" << e.end_us
+       << ",\"attempt\":" << e.attempt << ",\"start_us\":" << e.start_us
+       << ",\"end_us\":" << e.end_us
        << ",\"cache_hit\":" << (e.cache_hit ? "true" : "false")
        << ",\"ok\":" << (e.ok ? "true" : "false")
-       << ",\"rerun\":" << (e.rerun ? "true" : "false") << "}";
+       << ",\"rerun\":" << (e.rerun ? "true" : "false");
+    if (e.timed_out) os << ",\"timed_out\":true";
+    if (e.resumed) os << ",\"resumed\":true";
+    if (!e.fault.empty()) os << ",\"fault\":\"" << json_escape(e.fault) << "\"";
+    if (e.has_key) os << ",\"key\":\"" << std::hex << e.key << std::dec << "\"";
+    os << "}";
   }
   os << "],\"summary\":{\"records\":" << s.steps
      << ",\"executed\":" << s.executed << ",\"cache_hits\":" << s.cache_hits
-     << ",\"failures\":" << s.failures << ",\"reruns\":" << s.reruns
+     << ",\"failures\":" << s.failures << ",\"retries\":" << s.retries
+     << ",\"timeouts\":" << s.timeouts << ",\"faults\":" << s.faults
+     << ",\"resumed\":" << s.resumed << ",\"reruns\":" << s.reruns
      << ",\"busy_us\":" << s.busy_us << ",\"parallelism\":" << s.parallelism
      << ",\"critical_path_us\":" << s.critical_path_us
      << ",\"critical_path\":[";

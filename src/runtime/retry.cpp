@@ -1,0 +1,42 @@
+#include "runtime/retry.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace interop::runtime {
+
+std::uint64_t RetryPolicy::delay_us(int failed_attempts) const {
+  if (failed_attempts < 1 || backoff_base_us == 0) return 0;
+  double d = double(backoff_base_us);
+  for (int i = 1; i < failed_attempts; ++i) {
+    d *= backoff_factor;
+    if (d >= double(backoff_max_us)) return backoff_max_us;
+  }
+  std::uint64_t out = std::uint64_t(d);
+  return out > backoff_max_us ? backoff_max_us : out;
+}
+
+std::uint64_t SteadyClock::now_us() const {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+void SteadyClock::sleep_us(std::uint64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void CancelToken::cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flag_.store(true, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+}
+
+void CancelToken::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return flag_.load(std::memory_order_relaxed); });
+}
+
+}  // namespace interop::runtime

@@ -274,6 +274,16 @@ void Engine::apply_step_result(const std::string& name,
   refresh_readiness();
 }
 
+void Engine::note_failed_attempt(const std::string& name,
+                                 const std::string& log) {
+  auto lock = guard_lock();
+  StepStatus* status = instance_.find(name);
+  if (!status || status->state != StepState::Running) return;
+  ++status->failed_attempts;
+  ++metrics_.failed_attempts;
+  status->log = log;
+}
+
 bool Engine::run_step(const std::string& name) {
   bool was_rerun = false;
   if (!begin_step(name, &was_rerun)) return false;

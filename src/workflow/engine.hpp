@@ -29,6 +29,7 @@ class ToolSession {
 struct EngineMetrics {
   int steps_run = 0;
   int failures = 0;
+  int failed_attempts = 0;  ///< retried-in-place attempt failures
   int reruns = 0;
   int notifications = 0;
   int tool_spawns = 0;     ///< long-running tool sessions started
@@ -95,6 +96,12 @@ class Engine {
   /// refresh — the bookkeeping tail of run_step().
   void apply_step_result(const std::string& name, const ActionResult& result,
                          const ActionApi& api, bool was_rerun);
+
+  /// Note a failed attempt of a Running step that the runtime will retry in
+  /// place: records per-step/global failed-attempt counts and the attempt
+  /// log WITHOUT the Failed-state transition (the step stays Running).
+  /// Takes the concurrency guard itself, like ActionApi calls.
+  void note_failed_attempt(const std::string& name, const std::string& log);
 
   /// Reset a step (and everything downstream of it) for rerun, subject to
   /// the §5 permission question "Do I have the necessary permissions?".

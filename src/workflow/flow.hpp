@@ -10,6 +10,7 @@
 // — the action body here is a std::function, the `language` tag records the
 // §5 "open language environment" claim that the engine does not care.
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <optional>
@@ -55,6 +56,22 @@ class ActionApi {
 
   const std::string& step() const { return step_; }
 
+  /// Cooperative cancellation: set when the runtime's watchdog expires this
+  /// attempt's timeout (or the run is being stopped). Long-running actions
+  /// should poll it and return early; the serial engine never sets it.
+  bool cancel_requested() const {
+    return cancel_ && cancel_->load(std::memory_order_relaxed);
+  }
+  /// Installed by the parallel runtime, one flag per attempt.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_ = flag; }
+
+  /// The completion policy applied to `result` for this action run: the
+  /// explicitly set state when there is one, else zero/non-zero exit. The
+  /// runtime uses this to classify attempts before deciding to retry.
+  bool outcome_ok(const ActionResult& result) const {
+    return explicit_state_ ? *explicit_state_ : result.exit_code == 0;
+  }
+
   /// Effects recorded during the action run, in call order. The parallel
   /// runtime memoizes these so an unchanged step can be replayed from cache
   /// instead of re-executed.
@@ -76,6 +93,7 @@ class ActionApi {
   std::vector<std::pair<std::string, std::string>> data_writes_;
   std::vector<std::pair<std::string, std::string>> var_writes_;
   int tool_requests_ = 0;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 using ActionFn = std::function<ActionResult(ActionApi&)>;
@@ -149,6 +167,10 @@ struct StepStatus {
   int runs = 0;
   int reruns = 0;        ///< runs caused by NeedsRerun
   int failures = 0;
+  /// Attempts that failed (or timed out) and were retried in place by the
+  /// runtime without a Failed-state transition; `failures` counts only
+  /// final, state-changing failures.
+  int failed_attempts = 0;
   LogicalTime last_finished = 0;
   LogicalTime last_started = 0;  ///< logical time when the last run began
   std::string block;     ///< owning design block ("" = top)

@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "pnr/backplane.hpp"
 #include "pnr/generator.hpp"
 
@@ -99,6 +102,58 @@ TEST(RouteGolden, RepeatedRoutingIsDeterministic) {
   EXPECT_EQ(a.wirelength, b.wirelength);
   EXPECT_EQ(a.failed_nets, b.failed_nets);
   EXPECT_EQ(route_hash(a), route_hash(b));
+}
+
+/// "lo:hi" from GOLDEN_SEED_RANGE; false (-> GTEST_SKIP) when unset, so
+/// the broad sweep only runs when ctest's `sweep`-labeled entries (or a
+/// nightly CI job) opt in. See tests/CMakeLists.txt.
+bool golden_seed_range(std::uint64_t* lo, std::uint64_t* hi) {
+  const char* v = std::getenv("GOLDEN_SEED_RANGE");
+  if (!v || !*v) return false;
+  std::string s(v);
+  std::size_t colon = s.find(':');
+  if (colon == std::string::npos) return false;
+  try {
+    *lo = std::stoull(s.substr(0, colon));
+    *hi = std::stoull(s.substr(colon + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return *lo <= *hi;
+}
+
+TEST(RouteGoldenSweep, DeterminismAndInvariantsOverSeedRange) {
+  std::uint64_t lo = 0, hi = 0;
+  if (!golden_seed_range(&lo, &hi))
+    GTEST_SKIP() << "set GOLDEN_SEED_RANGE=lo:hi to run the broad sweep";
+  for (std::uint64_t seed = lo; seed <= hi; ++seed) {
+    PnrGenOptions opt;
+    opt.seed = seed;
+    PhysDesign design = make_pnr_workload(opt);
+    base::DiagnosticEngine diags;
+    ToolInput input = export_direct(design, router_beta_caps(), diags);
+
+    RouteResult a = route(input);
+    RouteResult b = route(input);
+    // Flaky-proofing: the epoch-stamped scratch must make repeat calls
+    // bit-identical for every seed, not just the goldens' five.
+    ASSERT_EQ(route_hash(a), route_hash(b)) << "seed " << seed;
+    ASSERT_EQ(a.wirelength, b.wirelength) << "seed " << seed;
+
+    // Structural invariants that hold for any seed: non-negative
+    // wirelength, failed-net count consistent with per-net flags, and
+    // every connected terminal belonging to a net with route cells.
+    EXPECT_GE(a.wirelength, 0) << "seed " << seed;
+    int failed = 0;
+    for (const RoutedNet& nn : a.nets) {
+      if (!nn.routed) ++failed;
+      bool any_connected = false;
+      for (const RoutedTerm& t : nn.terms) any_connected |= t.connected;
+      if (any_connected && nn.terms.size() > 1)
+        EXPECT_FALSE(nn.cells.empty() && nn.routed) << "seed " << seed;
+    }
+    EXPECT_EQ(failed, a.failed_nets) << "seed " << seed;
+  }
 }
 
 }  // namespace

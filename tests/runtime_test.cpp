@@ -292,6 +292,49 @@ TEST(RuntimeCache, FifoEviction) {
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
+TEST(RuntimeCache, OverwriteReplacesEntryCompletely) {
+  // Regression: store() used to move `entry` into map::emplace (which may
+  // consume its argument even when insertion fails) and then move it again
+  // on the overwrite path, caching a moved-from, empty effect list.
+  ResultCache cache;
+  CacheEntry first;
+  first.outputs = {{"a.dat", "v1"}};
+  first.log = "first";
+  cache.store(7, std::move(first));
+
+  CacheEntry second;
+  second.outputs = {{"a.dat", "v2"}, {"b.dat", "x"}};
+  second.variables = {{"flag", "1"}};
+  second.log = "second";
+  cache.store(7, std::move(second));
+
+  std::shared_ptr<const CacheEntry> entry = cache.find(7);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->outputs.size(), 2u)
+      << "overwrite must replay the new effect list, not a moved-from one";
+  EXPECT_EQ(entry->outputs[0].second, "v2");
+  ASSERT_EQ(entry->variables.size(), 1u);
+  EXPECT_EQ(entry->log, "second");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RuntimeCache, ClearResetsStats) {
+  ResultCache cache;
+  cache.store(1, {});
+  cache.find(1);
+  cache.find(2);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.stores, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
 TEST(RuntimeJournal, RecordsAndCriticalPath) {
   ParallelExecutor par(make_diamond(), {},
                        std::make_unique<SimpleDataManager>(), {.workers = 2});

@@ -1,0 +1,174 @@
+// Property-based round-trip tests for the bus-reference algebra: random
+// net references generated from base::Rng seeds must survive
+// format -> parse within a dialect, and ViewlogicLike -> explicit-dialect
+// translation must preserve per-bit connectivity (canonical_bits) while
+// producing names the target dialect re-parses to the same reference.
+// Includes the paper's condensed-bus edge case directly: "A0" and "A<0>"
+// name the same bit of bus A.
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/diagnostics.hpp"
+#include "base/rng.hpp"
+#include "schematic/busref.hpp"
+#include "schematic/dialect.hpp"
+
+namespace interop::sch {
+namespace {
+
+using base::DiagnosticEngine;
+using base::Rng;
+
+// Bus base names never end in a digit: a condensed reference "<base><bit>"
+// is only reversible when the digits unambiguously belong to the bit. (A
+// sheet that names a bus "ab3" makes "ab32" genuinely ambiguous — the
+// exact trap §2 of the paper warns about, and one a generator must not
+// step into.)
+std::string bus_base(Rng& rng) {
+  std::string name = "b_" + rng.identifier(2 + rng.index(4));
+  if (std::isdigit(static_cast<unsigned char>(name.back()))) name += 'q';
+  return name;
+}
+
+// Scalar nets live in a disjoint namespace ("n_..." vs "b_...") so that a
+// scalar whose name happens to end in digits ("n_x3") can never collide
+// with <known-bus><digits> and flip into a condensed bus bit.
+std::string scalar_base(Rng& rng) {
+  return "n_" + rng.identifier(2 + rng.index(4));
+}
+
+std::string random_postfix(Rng& rng) {
+  std::string out;
+  std::size_t n = rng.index(3);  // 0..2 indicator characters
+  for (std::size_t i = 0; i < n; ++i) out += rng.chance(0.5) ? '-' : '+';
+  return out;
+}
+
+/// A random reference legal in the Viewlogic-like dialect. Roughly a third
+/// each: scalar, single-bit (condensed or explicit), range.
+NetRef random_vl_ref(Rng& rng, const std::vector<std::string>& buses) {
+  NetRef ref;
+  switch (rng.index(3)) {
+    case 0:
+      ref.base = scalar_base(rng);
+      break;
+    case 1:
+      ref.base = rng.pick(buses);
+      ref.bit = int(rng.index(64));
+      ref.condensed = rng.chance(0.5);
+      break;
+    default:
+      ref.base = rng.pick(buses);
+      ref.range = {int(rng.index(64)), int(rng.index(64))};
+      break;
+  }
+  ref.postfix = random_postfix(rng);
+  return ref;
+}
+
+TEST(SchDialectRoundTrip, ViewlogicFormatParseIsIdentity) {
+  const Dialect vl = viewlogic_dialect();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    std::vector<std::string> buses;
+    for (int i = 0; i < 8; ++i) buses.push_back(bus_base(rng));
+
+    for (int i = 0; i < 200; ++i) {
+      NetRef ref = random_vl_ref(rng, buses);
+      std::string text = format_net_ref(ref, vl);
+      NetRef back = parse_net_ref(text, vl, buses);
+      EXPECT_EQ(back, ref) << "seed " << seed << " text '" << text << "'";
+    }
+  }
+}
+
+TEST(SchDialectRoundTrip, ComposerFormatParseIsIdentity) {
+  const Dialect comp = composer_dialect();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    std::vector<std::string> buses;
+    for (int i = 0; i < 8; ++i) buses.push_back(bus_base(rng));
+
+    for (int i = 0; i < 200; ++i) {
+      NetRef ref = random_vl_ref(rng, buses);
+      ref.postfix.clear();     // not legal in Composer
+      ref.condensed = false;   // must be explicit
+      std::string text = format_net_ref(ref, comp);
+      NetRef back = parse_net_ref(text, comp, buses);
+      EXPECT_EQ(back, ref) << "seed " << seed << " text '" << text << "'";
+    }
+  }
+}
+
+TEST(SchDialectRoundTrip, TranslationPreservesConnectivity) {
+  const Dialect vl = viewlogic_dialect();
+  const Dialect comp = composer_dialect();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    std::vector<std::string> buses;
+    for (int i = 0; i < 8; ++i) buses.push_back(bus_base(rng));
+
+    for (int i = 0; i < 200; ++i) {
+      NetRef ref = random_vl_ref(rng, buses);
+      DiagnosticEngine diags;
+      NetRef out = translate_net_ref(ref, vl, comp, diags);
+
+      // The translated reference is legal in the target dialect...
+      EXPECT_TRUE(out.postfix.empty());
+      EXPECT_FALSE(out.condensed);
+      // ...and names exactly the same bits (postfix folds to _n/_p, which
+      // canonical_bits applies identically on the source side).
+      EXPECT_EQ(canonical_bits(out), canonical_bits(ref))
+          << "seed " << seed << ": translation changed connectivity of '"
+          << format_net_ref(ref, vl) << "'";
+
+      // Rendering it for Composer and re-parsing loses nothing.
+      std::string text = format_net_ref(out, comp);
+      EXPECT_EQ(parse_net_ref(text, comp, buses), out) << text;
+
+      // Translating onward to Viewlogic is the identity: everything
+      // Composer can say, Viewlogic can too.
+      DiagnosticEngine back_diags;
+      NetRef back = translate_net_ref(out, comp, vl, back_diags);
+      EXPECT_EQ(back, out);
+      EXPECT_EQ(back_diags.all().size(), 0u);
+    }
+  }
+}
+
+TEST(SchDialectRoundTrip, CondensedA0EqualsExplicitA0) {
+  const Dialect vl = viewlogic_dialect();
+  const Dialect comp = composer_dialect();
+  const std::vector<std::string> buses = {"A"};
+
+  NetRef condensed = parse_net_ref("A0", vl, buses);
+  NetRef explicit_ref = parse_net_ref("A<0>", vl, buses);
+  ASSERT_TRUE(condensed.condensed);
+  ASSERT_FALSE(explicit_ref.condensed);
+  EXPECT_EQ(condensed.base, "A");
+  EXPECT_EQ(condensed.bit, explicit_ref.bit);
+  EXPECT_EQ(canonical_bits(condensed), canonical_bits(explicit_ref));
+
+  // Both spell "A<0>" after translation to the explicit-only dialect, and
+  // only the condensed one needed an adjustment note.
+  DiagnosticEngine d1, d2;
+  EXPECT_EQ(format_net_ref(translate_net_ref(condensed, vl, comp, d1), comp),
+            "A<0>");
+  EXPECT_EQ(format_net_ref(translate_net_ref(explicit_ref, vl, comp, d2), comp),
+            "A<0>");
+  EXPECT_EQ(d1.count_code("bus-condensed-expanded"), 1u);
+  EXPECT_EQ(d2.count_code("bus-condensed-expanded"), 0u);
+
+  // Without the bus on the sheet's known-bus list, "A0" is a scalar net
+  // named "A0" — the ambiguity the paper warns about.
+  NetRef scalar = parse_net_ref("A0", vl, {});
+  EXPECT_TRUE(scalar.is_scalar());
+  EXPECT_EQ(scalar.base, "A0");
+}
+
+}  // namespace
+}  // namespace interop::sch
