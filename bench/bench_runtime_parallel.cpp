@@ -16,13 +16,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <thread>
 
 #include "base/rng.hpp"
 #include "core/flow_export.hpp"
 #include "core/methodology.hpp"
+#include "obs/trace.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/hash.hpp"
 #include "workflow/engine.hpp"
@@ -196,8 +200,21 @@ void emit(std::ostream& os, const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int kWorkers = 4;
+
+  // `--trace out.json` records every workload of the bench as one Chrome
+  // trace_event file (per-attempt runtime spans, engine transitions).
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
+  }
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!trace_path.empty()) {
+    trace = std::make_unique<obs::TraceSession>();
+    trace->arm();
+  }
 
   // Acceptance workload: >= 32-step fan-out, 4 workers.
   WorkloadResult fanout =
@@ -231,6 +248,17 @@ int main() {
   emit(os, "t9_methodology", methodology, false);
   os << ",\"pass\":" << (pass ? "true" : "false") << "}";
   std::cout << os.str() << "\n";
+
+  if (trace) {
+    trace->disarm();
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write trace file " << trace_path << "\n";
+      return 1;
+    }
+    trace->write_chrome_json(out);
+    std::cerr << "trace written to " << trace_path << "\n";
+  }
 
   std::cerr << "fanout: " << fanout.steps << " steps, serial "
             << fanout.serial_ms << " ms, " << kWorkers << " workers "

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Runs bench_perf_kernels under the release preset and writes the kernel
-# perf trajectory to BENCH_perf_kernels.json at the repo root.
+# Runs the release-preset benches and writes their JSON outputs at the repo
+# root: BENCH_perf_kernels.json, BENCH_runtime_chaos.json, BENCH_obs.json.
 #
-# The checked-in JSON carries a "baseline_pre_pr" block (the tree-based
-# kernels, same -O2/NDEBUG config) so speedups stay computable; this script
-# preserves that block across re-runs.
+# The checked-in kernel JSON carries a "baseline_pre_pr" block (the
+# tree-based kernels, same -O2/NDEBUG config) so speedups stay computable;
+# this script preserves that block across re-runs.
+#
+# Every bench output is validated as JSON before it replaces the checked-in
+# file, and a missing bench binary aborts the run — a broken bench must
+# fail the harness, not silently persist garbage.
 #
 # Usage: bench/run_perf.sh [build-dir] [extra benchmark args...]
 set -euo pipefail
@@ -13,17 +17,31 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-release"}
 shift $(( $# > 0 ? 1 : 0 ))
 
+die() { echo "run_perf.sh: $*" >&2; exit 1; }
+
+# Abort unless $1 exists and parses as JSON.
+check_json() {
+  [ -s "$1" ] || die "$2 produced no output"
+  python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "$1" \
+    || die "$2 emitted invalid JSON"
+}
+
 if [ ! -f "$build_dir/CMakeCache.txt" ]; then
   cmake --preset release -S "$repo_root"
 fi
 cmake --build "$build_dir" --target bench_perf_kernels -j "$(nproc)"
 
+kernels_bin="$build_dir/bench/bench_perf_kernels"
+[ -x "$kernels_bin" ] || die "bench binary missing: $kernels_bin"
+
 out="$repo_root/BENCH_perf_kernels.json"
 tmp=$(mktemp)
-"$build_dir/bench/bench_perf_kernels" \
+trap 'rm -f "$tmp"' EXIT
+"$kernels_bin" \
   --benchmark_format=json \
   --benchmark_min_time=0.2 \
   "$@" > "$tmp"
+check_json "$tmp" "$kernels_bin"
 
 # Merge: keep the baseline_pre_pr block from the existing file (if any).
 python3 - "$out" "$tmp" <<'EOF'
@@ -42,12 +60,26 @@ with open(out_path, "w") as f:
     json.dump(fresh, f, indent=1)
     f.write("\n")
 EOF
-rm -f "$tmp"
 echo "wrote $out"
 
 # Chaos/fault-tolerance bench: survival rates, retry overhead, and warm
 # resume counts (self-checking; see EXPERIMENTS.md §R1).
 cmake --build "$build_dir" --target bench_runtime_chaos -j "$(nproc)"
+chaos_bin="$build_dir/bench/bench_runtime_chaos"
+[ -x "$chaos_bin" ] || die "bench binary missing: $chaos_bin"
 chaos_out="$repo_root/BENCH_runtime_chaos.json"
-"$build_dir/bench/bench_runtime_chaos" > "$chaos_out"
+"$chaos_bin" > "$tmp"
+check_json "$tmp" "$chaos_bin"
+cp "$tmp" "$chaos_out"
 echo "wrote $chaos_out"
+
+# Observability overhead bench: disarmed hook cost and traced-vs-disarmed
+# flow overhead (self-checking; see src/obs/ and EXPERIMENTS.md).
+cmake --build "$build_dir" --target bench_obs -j "$(nproc)"
+obs_bin="$build_dir/bench/bench_obs"
+[ -x "$obs_bin" ] || die "bench binary missing: $obs_bin"
+obs_out="$repo_root/BENCH_obs.json"
+"$obs_bin" > "$tmp"
+check_json "$tmp" "$obs_bin"
+cp "$tmp" "$obs_out"
+echo "wrote $obs_out"

@@ -3,11 +3,15 @@
 // task graph, scenario pruning, the five classic problems, and the three
 // optimization moves.
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "base/report.hpp"
 #include "core/methodology.hpp"
 #include "core/optimize.hpp"
+#include "obs/trace.hpp"
 #include "workflow/engine.hpp"
 
 using namespace interop;
@@ -24,7 +28,20 @@ wf::Action step_action(const std::string& out_path) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // `--trace out.json` records the whole run (workflow state transitions
+  // and anything below them) as a Chrome trace_event file.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+      trace_path = argv[++i];
+  }
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!trace_path.empty()) {
+    trace = std::make_unique<obs::TraceSession>();
+    trace->arm();
+  }
+
   // ---- Part 1: the workflow engine runs a per-block flow ----
   wf::FlowTemplate block_flow;
   block_flow.name = "block";
@@ -102,5 +119,16 @@ int main() {
             << "  data conventions      : -" << r2.improvement() << " ("
             << r2.summary << ")\n"
             << "  final cost            : " << cost2 << "\n";
+
+  if (trace) {
+    trace->disarm();
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write trace file " << trace_path << "\n";
+      return 1;
+    }
+    trace->write_chrome_json(out);
+    std::cerr << "trace written to " << trace_path << "\n";
+  }
   return 0;
 }

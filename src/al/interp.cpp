@@ -1,8 +1,12 @@
 #include "al/interp.hpp"
 
+#include <functional>
+
 #include "al/reader.hpp"
 
 namespace interop::al {
+
+std::atomic<std::int64_t> Environment::live_{0};
 
 void Environment::define(const std::string& name, Value v) {
   vars_[name] = std::move(v);
@@ -37,9 +41,121 @@ bool Environment::bound(const std::string& name) const {
 void install_builtins(Interpreter& interp);
 void install_higher_order(Interpreter& interp);
 
-Interpreter::Interpreter() : global_(Environment::make()) {
+Interpreter::Interpreter() {
+  global_ = new_frame(nullptr);
   install_builtins(*this);
   install_higher_order(*this);
+}
+
+Interpreter::~Interpreter() {
+  // Teardown must free everything even mid-cycle: clearing every frame's
+  // bindings drops all closure values, after which the strong ownership
+  // graph (arena slot -> frame -> parent) unwinds by plain refcounting.
+  for (const std::shared_ptr<Environment>& env : arena_) env->vars_.clear();
+  arena_.clear();
+  global_.reset();
+}
+
+std::shared_ptr<Environment> Interpreter::new_frame(
+    std::shared_ptr<Environment> parent) {
+  auto env = Environment::make(std::move(parent));
+  env->arena_owned_ = true;
+  arena_.push_back(env);
+  ++frames_since_gc_;
+  return env;
+}
+
+Value Interpreter::make_closure(std::vector<std::string> params,
+                                std::vector<Value> body,
+                                const std::shared_ptr<Environment>& env) {
+  auto lam = std::make_shared<Lambda>();
+  lam->params = std::move(params);
+  lam->body = std::move(body);
+  if (env->arena_owned_)
+    lam->env = env;  // non-owning: the arena keeps the frame alive
+  else
+    lam->pinned = env;  // caller-owned frame: pin it (see Lambda)
+  lambdas_.push_back(lam);
+  return Value(std::move(lam));
+}
+
+void Interpreter::maybe_collect() {
+  if (depth_ == 0 && call_depth_ == 0 && frames_since_gc_ >= gc_threshold_)
+    collect_garbage();
+}
+
+std::size_t Interpreter::collect_garbage() {
+  // Mid-evaluation frames are rooted only by C++ locals the collector
+  // cannot see; collecting there would free live scopes. Callers land here
+  // between top-level forms, where the only roots are the global frame and
+  // closures the host still holds.
+  if (depth_ != 0 || call_depth_ != 0) return 0;
+  frames_since_gc_ = 0;
+  std::erase_if(lambdas_,
+                [](const std::weak_ptr<Lambda>& w) { return w.expired(); });
+
+  // Count the closure references stored inside arena frames (deep through
+  // lists). Any shared_ptr<Lambda> beyond these — a host-held Value, a
+  // builtin capture — is an external root.
+  std::unordered_map<const Lambda*, std::size_t> internal;
+  std::function<void(const Value&)> count = [&](const Value& v) {
+    if (v.is_lambda()) {
+      ++internal[v.as_lambda().get()];
+    } else if (v.is_list()) {
+      for (const Value& item : v.as_list()) count(item);
+    }
+  };
+  for (const std::shared_ptr<Environment>& env : arena_)
+    for (const auto& [name, v] : env->vars_) count(v);
+
+  // Mark frames reachable from the roots. Marking a frame marks its parent
+  // chain; the closures it stores then keep their own captured chains.
+  std::vector<Environment*> work;
+  auto mark_chain = [&](Environment* e) {
+    for (; e && !e->marked_; e = e->parent_.get()) {
+      e->marked_ = true;
+      work.push_back(e);
+    }
+  };
+  mark_chain(global_.get());
+  for (const std::weak_ptr<Lambda>& w : lambdas_) {
+    std::shared_ptr<Lambda> lam = w.lock();
+    if (!lam) continue;
+    auto it = internal.find(lam.get());
+    std::size_t stored = it == internal.end() ? 0 : it->second;
+    // +1 for our temporary lock; more owners than stored copies means the
+    // host (or a builtin capture) still holds this closure.
+    if (std::size_t(lam.use_count()) > stored + 1)
+      if (std::shared_ptr<Environment> env = lam->captured())
+        mark_chain(env.get());
+  }
+  std::function<void(const Value&)> mark_value = [&](const Value& v) {
+    if (v.is_lambda()) {
+      if (std::shared_ptr<Environment> env = v.as_lambda()->captured())
+        mark_chain(env.get());
+    } else if (v.is_list()) {
+      for (const Value& item : v.as_list()) mark_value(item);
+    }
+  };
+  for (std::size_t head = 0; head < work.size(); ++head)
+    for (const auto& [name, v] : work[head]->vars_) mark_value(v);
+
+  // Sweep: release unmarked slots (their bindings first, so closure cycles
+  // among them cannot keep anything transitively alive).
+  std::size_t freed = 0;
+  std::vector<std::shared_ptr<Environment>> live;
+  live.reserve(arena_.size());
+  for (std::shared_ptr<Environment>& env : arena_) {
+    if (env->marked_) {
+      env->marked_ = false;
+      live.push_back(std::move(env));
+    } else {
+      env->vars_.clear();
+      ++freed;
+    }
+  }
+  arena_ = std::move(live);
+  return freed;
 }
 
 void Interpreter::register_builtin(const std::string& name, Builtin fn) {
@@ -55,9 +171,11 @@ Value Interpreter::eval(const Value& form,
   try {
     Value out = eval_inner(form, env);
     --depth_;
+    maybe_collect();
     return out;
   } catch (...) {
     --depth_;
+    maybe_collect();
     throw;
   }
 }
@@ -71,24 +189,33 @@ Value Interpreter::eval_source(const std::string& source) {
 Value Interpreter::call(const Value& fn, std::vector<Value> args) {
   if (fn.is_builtin()) return fn.as_builtin()(args);
   if (fn.is_lambda()) {
-    if (++call_depth_ > max_call_depth_) {
-      --call_depth_;
-      throw AlError("maximum call depth exceeded (runaway recursion?)");
-    }
-    struct DepthGuard {
-      std::size_t& depth;
-      ~DepthGuard() { --depth; }
-    } guard{call_depth_};
-    const Lambda& lam = *fn.as_lambda();
-    if (args.size() != lam.params.size())
-      throw AlError("lambda arity mismatch: expected " +
-                    std::to_string(lam.params.size()) + ", got " +
-                    std::to_string(args.size()));
-    auto frame = Environment::make(lam.env);
-    for (std::size_t i = 0; i < args.size(); ++i)
-      frame->define(lam.params[i], std::move(args[i]));
     Value out;
-    for (const Value& form : lam.body) out = eval(form, frame);
+    {
+      if (++call_depth_ > max_call_depth_) {
+        --call_depth_;
+        throw AlError("maximum call depth exceeded (runaway recursion?)");
+      }
+      struct DepthGuard {
+        std::size_t& depth;
+        ~DepthGuard() { --depth; }
+      } guard{call_depth_};
+      const Lambda& lam = *fn.as_lambda();
+      if (args.size() != lam.params.size())
+        throw AlError("lambda arity mismatch: expected " +
+                      std::to_string(lam.params.size()) + ", got " +
+                      std::to_string(args.size()));
+      std::shared_ptr<Environment> captured = lam.captured();
+      if (!captured)
+        throw AlError("closure environment expired (defining interpreter "
+                      "destroyed?)");
+      auto frame = new_frame(std::move(captured));
+      for (std::size_t i = 0; i < args.size(); ++i)
+        frame->define(lam.params[i], std::move(args[i]));
+      for (const Value& form : lam.body) out = eval(form, frame);
+    }
+    // Host code may drive callbacks through call() without ever returning
+    // to eval()'s top level; collect here too once the call tree unwinds.
+    maybe_collect();
     return out;
   }
   throw AlError("not callable: " + fn.write());
@@ -149,12 +276,12 @@ Value Interpreter::eval_inner(const Value& form,
       if (list[1].is_list()) {
         const Value::List& sig = list[1].as_list();
         if (sig.empty()) throw AlError("define: empty signature");
-        auto lam = std::make_shared<Lambda>();
+        std::vector<std::string> params;
         for (std::size_t i = 1; i < sig.size(); ++i)
-          lam->params.push_back(symbol_name(sig[i], "define"));
-        lam->body.assign(list.begin() + 2, list.end());
-        lam->env = env;
-        env->define(symbol_name(sig[0], "define"), Value(lam));
+          params.push_back(symbol_name(sig[i], "define"));
+        env->define(symbol_name(sig[0], "define"),
+                    make_closure(std::move(params),
+                                 {list.begin() + 2, list.end()}, env));
         return Value::nil();
       }
       if (list.size() != 3) throw AlError("define takes 2 arguments");
@@ -171,17 +298,16 @@ Value Interpreter::eval_inner(const Value& form,
     if (head == "lambda") {
       if (list.size() < 3) throw AlError("lambda takes params and body");
       if (!list[1].is_list()) throw AlError("lambda: params must be a list");
-      auto lam = std::make_shared<Lambda>();
+      std::vector<std::string> params;
       for (const Value& p : list[1].as_list())
-        lam->params.push_back(symbol_name(p, "lambda"));
-      lam->body.assign(list.begin() + 2, list.end());
-      lam->env = env;
-      return Value(lam);
+        params.push_back(symbol_name(p, "lambda"));
+      return make_closure(std::move(params), {list.begin() + 2, list.end()},
+                          env);
     }
     if (head == "let") {
       if (list.size() < 3 || !list[1].is_list())
         throw AlError("let: malformed");
-      auto frame = Environment::make(env);
+      auto frame = new_frame(env);
       for (const Value& binding : list[1].as_list()) {
         if (!binding.is_list() || binding.as_list().size() != 2)
           throw AlError("let: malformed binding");

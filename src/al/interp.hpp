@@ -3,6 +3,8 @@
 // migration-callback DSL needs (quote, if, cond, define, set!, lambda, let,
 // begin, and, or, while).
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -12,13 +14,29 @@
 
 namespace interop::al {
 
-/// A lexical scope frame. Frames are shared_ptrs because lambdas capture
-/// their defining environment.
+/// A lexical scope frame. The Interpreter's environment arena owns every
+/// frame it creates; closures capture frames through non-owning handles
+/// (see Lambda), so the strong ownership graph is acyclic: arena slot ->
+/// frame -> parent frame. A mark/sweep pass over the arena reclaims frames
+/// that only dead closures still reference (the classic `(define (f) (f))`
+/// self-capture cycle).
 class Environment : public std::enable_shared_from_this<Environment> {
  public:
+  /// Standalone constructor for frames NOT owned by an interpreter arena.
+  /// Closures defined in such a frame pin it strongly (Lambda::pinned).
   static std::shared_ptr<Environment> make(
       std::shared_ptr<Environment> parent = nullptr) {
     return std::shared_ptr<Environment>(new Environment(std::move(parent)));
+  }
+
+  ~Environment() { live_.fetch_sub(1, std::memory_order_relaxed); }
+
+  /// Number of Environment instances currently alive in the process
+  /// (debug/regression instrument: lambda-heavy programs must keep this
+  /// bounded, and it must return to its prior value at Interpreter
+  /// teardown).
+  static std::int64_t live_count() {
+    return live_.load(std::memory_order_relaxed);
   }
 
   /// Define (or redefine) `name` in this frame.
@@ -30,11 +48,19 @@ class Environment : public std::enable_shared_from_this<Environment> {
   bool bound(const std::string& name) const;
 
  private:
+  friend class Interpreter;
+
   explicit Environment(std::shared_ptr<Environment> parent)
-      : parent_(std::move(parent)) {}
+      : parent_(std::move(parent)) {
+    live_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::unordered_map<std::string, Value> vars_;
   std::shared_ptr<Environment> parent_;
+  bool arena_owned_ = false;  ///< frame lives in an Interpreter's arena
+  bool marked_ = false;       ///< collector scratch
+
+  static std::atomic<std::int64_t> live_;
 };
 
 /// The interpreter. Construct, optionally register host builtins, then
@@ -44,6 +70,8 @@ class Interpreter {
   /// Creates the global environment pre-loaded with the standard builtins
   /// (arithmetic, comparison, string, list; see builtins.cpp).
   Interpreter();
+  /// Teardown frees every arena frame regardless of closure cycles.
+  ~Interpreter();
 
   // Builtins like map/filter capture `this`; pin the object.
   Interpreter(const Interpreter&) = delete;
@@ -72,10 +100,41 @@ class Interpreter {
   /// against runaway recursion). Default 512.
   void set_max_call_depth(std::size_t depth) { max_call_depth_ = depth; }
 
+  // --- Environment arena -------------------------------------------------
+
+  /// Reclaim arena frames kept alive only by unreachable closure cycles.
+  /// Runs automatically between top-level evaluations once gc_threshold
+  /// frames have been allocated; callable directly for tests. Returns the
+  /// number of frames freed (0 when called mid-evaluation, where a
+  /// collection would be unsafe).
+  std::size_t collect_garbage();
+
+  /// Frame allocations between automatic collections (default 64).
+  void set_gc_threshold(std::size_t frames) { gc_threshold_ = frames; }
+
+  /// Frames currently owned by the arena (includes the global frame).
+  std::size_t arena_frames() const { return arena_.size(); }
+
  private:
   Value eval_inner(const Value& form, std::shared_ptr<Environment> env);
 
+  /// Allocate an arena-owned frame.
+  std::shared_ptr<Environment> new_frame(std::shared_ptr<Environment> parent);
+  /// Build a closure over `env` and register it with the collector.
+  Value make_closure(std::vector<std::string> params, std::vector<Value> body,
+                     const std::shared_ptr<Environment>& env);
+  /// collect_garbage() if idle at top level and past the allocation budget.
+  void maybe_collect();
+
   std::shared_ptr<Environment> global_;
+  /// Owns every interpreter-created frame. Slots are released by
+  /// collect_garbage() (unreachable frames) and by the destructor.
+  std::vector<std::shared_ptr<Environment>> arena_;
+  /// Every closure ever created, weakly: the collector's root candidates.
+  std::vector<std::weak_ptr<Lambda>> lambdas_;
+  std::size_t frames_since_gc_ = 0;
+  std::size_t gc_threshold_ = 64;
+
   std::size_t step_limit_ = 0;
   std::size_t steps_used_ = 0;
   std::size_t max_call_depth_ = 512;

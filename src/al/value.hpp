@@ -29,10 +29,25 @@ class AlError : public std::runtime_error {
 using Builtin = std::function<Value(std::vector<Value>&)>;
 
 /// A user-defined lambda: parameter names, body forms, captured environment.
+///
+/// The captured frame is held as a NON-OWNING handle: the defining
+/// Interpreter's environment arena owns every frame, and its cycle
+/// collector keeps a frame alive exactly as long as some reachable closure
+/// still captures it. This breaks the Environment <-> closure shared_ptr
+/// cycle that used to leak lambda-heavy programs at interpreter teardown.
 struct Lambda {
   std::vector<std::string> params;
   std::vector<Value> body;  // evaluated in sequence; last form is the result
-  std::shared_ptr<Environment> env;
+  std::weak_ptr<Environment> env;  ///< arena-owned frame (the common case)
+  /// Strong pin, used only when the defining frame is NOT arena-owned
+  /// (a caller-constructed Environment passed to Interpreter::eval). Such
+  /// frames can still cycle if they store self-referential closures; the
+  /// interpreter never creates them.
+  std::shared_ptr<Environment> pinned;
+
+  std::shared_ptr<Environment> captured() const {
+    return pinned ? pinned : env.lock();
+  }
 };
 
 /// Interned symbol (distinct from string).

@@ -6,6 +6,9 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace interop::hdl {
 
 std::string to_string(SchedulerPolicy p) {
@@ -511,7 +514,14 @@ void Simulation::settle_timestep() {
 }
 
 std::int64_t Simulation::run(std::int64_t until) {
+  // Tracing aggregates locally and emits one counter sample per timestep,
+  // so a disarmed run pays one atomic load per timestep, not per event.
+  obs::Span span("hdl", "sim.run", "\"until\":" + std::to_string(until));
+  std::uint64_t timesteps = 0;
+  std::uint64_t wakeups_total = 0;
+  std::uint64_t deltas_at_entry = deltas_;
   while (true) {
+    std::uint64_t deltas_before = deltas_;
     // Wake threads due now (policy decides the order among simultaneous
     // thread wake-ups, the same way it orders processes).
     due_scratch_.clear();
@@ -538,6 +548,14 @@ std::int64_t Simulation::run(std::int64_t until) {
     }
     changed_list_.clear();
     ++step_epoch_;
+    ++timesteps;
+    wakeups_total += due_scratch_.size();
+    if (obs::armed()) {
+      obs::counter("hdl", "sim.deltas_per_step",
+                   std::int64_t(deltas_ - deltas_before));
+      obs::counter("hdl", "sim.wakeups_per_step",
+                   std::int64_t(due_scratch_.size()));
+    }
 
     // Advance time.
     std::int64_t next = -1;
@@ -557,6 +575,10 @@ std::int64_t Simulation::run(std::int64_t until) {
       apply_update(u.signal, u.value);
     }
   }
+  auto& m = obs::Metrics::global();
+  m.counter("hdl.sim.timesteps").add(std::int64_t(timesteps));
+  m.counter("hdl.sim.events").add(std::int64_t(deltas_ - deltas_at_entry));
+  m.counter("hdl.sim.wakeups").add(std::int64_t(wakeups_total));
   return now_;
 }
 

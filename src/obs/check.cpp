@@ -1,0 +1,342 @@
+#include "obs/check.hpp"
+
+#include <cctype>
+#include <cmath>
+
+namespace interop::obs {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing garbage");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (error_ && error_->empty())
+      *error_ = msg + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    if (depth_ > 64) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': {
+        out->type = JsonValue::Type::String;
+        return string(&out->str);
+      }
+      case 't':
+        out->type = JsonValue::Type::Bool;
+        out->boolean = true;
+        return literal("true") || fail("bad literal");
+      case 'f':
+        out->type = JsonValue::Type::Bool;
+        out->boolean = false;
+        return literal("false") || fail("bad literal");
+      case 'n':
+        out->type = JsonValue::Type::Null;
+        return literal("null") || fail("bad literal");
+      default:
+        return number(out);
+    }
+  }
+
+  bool object(JsonValue* out) {
+    out->type = JsonValue::Type::Object;
+    ++depth_;
+    consume('{');
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return fail("expected object key");
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->fields.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) {
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue* out) {
+    out->type = JsonValue::Type::Array;
+    ++depth_;
+    consume('[');
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->items.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) {
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // produced by our writer; pass them through as-is).
+            if (code < 0x80) {
+              out->push_back(char(code));
+            } else if (code < 0x800) {
+              out->push_back(char(0xc0 | (code >> 6)));
+              out->push_back(char(0x80 | (code & 0x3f)));
+            } else {
+              out->push_back(char(0xe0 | (code >> 12)));
+              out->push_back(char(0x80 | ((code >> 6) & 0x3f)));
+              out->push_back(char(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue* out) {
+    out->type = JsonValue::Type::Number;
+    std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return fail("expected value");
+    try {
+      out->number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return fail("bad number");
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue* out, std::string* error) {
+  if (error) error->clear();
+  return Parser(text, error).parse(out);
+}
+
+TraceCheckResult check_chrome_trace(std::string_view text) {
+  TraceCheckResult r;
+  auto err = [&r](std::string msg) {
+    if (r.errors.size() < 20) r.errors.push_back(std::move(msg));
+  };
+
+  JsonValue root;
+  std::string parse_error;
+  if (!parse_json(text, &root, &parse_error)) {
+    err("invalid JSON: " + parse_error);
+    return r;
+  }
+
+  const JsonValue* events = nullptr;
+  if (root.type == JsonValue::Type::Object) {
+    events = root.find("traceEvents");
+    if (!events) {
+      err("missing top-level \"traceEvents\" key");
+      return r;
+    }
+  } else if (root.type == JsonValue::Type::Array) {
+    events = &root;  // the bare-array variant is also valid Chrome format
+  } else {
+    err("top level must be an object or array");
+    return r;
+  }
+  if (events->type != JsonValue::Type::Array) {
+    err("\"traceEvents\" is not an array");
+    return r;
+  }
+
+  struct OpenSpan {
+    std::string name;
+    double ts;
+  };
+  std::map<std::uint32_t, std::vector<OpenSpan>> stacks;   // tid -> B stack
+  std::map<std::uint32_t, double> last_ts;                 // tid -> last ts
+
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    const JsonValue& e = events->items[i];
+    std::string at = "event " + std::to_string(i);
+    if (e.type != JsonValue::Type::Object) {
+      err(at + ": not an object");
+      continue;
+    }
+    const JsonValue* name = e.find("name");
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* ts = e.find("ts");
+    const JsonValue* pid = e.find("pid");
+    const JsonValue* tid = e.find("tid");
+    if (!name || name->type != JsonValue::Type::String) {
+      err(at + ": missing string \"name\"");
+      continue;
+    }
+    at += " (" + name->str + ")";
+    if (!ph || ph->type != JsonValue::Type::String || ph->str.size() != 1) {
+      err(at + ": missing one-char \"ph\"");
+      continue;
+    }
+    if (!ts || ts->type != JsonValue::Type::Number) {
+      err(at + ": missing numeric \"ts\"");
+      continue;
+    }
+    if (!pid || pid->type != JsonValue::Type::Number) {
+      err(at + ": missing numeric \"pid\"");
+      continue;
+    }
+    if (!tid || tid->type != JsonValue::Type::Number) {
+      err(at + ": missing numeric \"tid\"");
+      continue;
+    }
+
+    ++r.events;
+    auto t = std::uint32_t(tid->number);
+
+    auto it = last_ts.find(t);
+    if (it != last_ts.end() && ts->number < it->second) {
+      err(at + ": timestamp regressed on tid " + std::to_string(t) + " (" +
+          std::to_string(ts->number) + " < " + std::to_string(it->second) +
+          ")");
+    }
+    last_ts[t] = ts->number;
+
+    char phase = ph->str[0];
+    switch (phase) {
+      case 'B':
+        stacks[t].push_back({name->str, ts->number});
+        break;
+      case 'E': {
+        auto& stack = stacks[t];
+        if (stack.empty()) {
+          err(at + ": E with no open B on tid " + std::to_string(t));
+          break;
+        }
+        if (stack.back().name != name->str) {
+          err(at + ": E closes \"" + name->str + "\" but innermost B is \"" +
+              stack.back().name + "\" on tid " + std::to_string(t));
+          stack.pop_back();
+          break;
+        }
+        stack.pop_back();
+        ++r.spans;
+        break;
+      }
+      case 'C':
+        ++r.counters;
+        break;
+      case 'i':
+      case 'I':
+        ++r.instants;
+        break;
+      case 'X':
+      case 'M':
+        break;  // complete events / metadata: legal, nothing to track
+      default:
+        err(at + ": unknown phase '" + std::string(1, phase) + "'");
+    }
+  }
+
+  for (const auto& [t, stack] : stacks) {
+    if (!stack.empty())
+      err("tid " + std::to_string(t) + ": " + std::to_string(stack.size()) +
+          " span(s) never closed (innermost \"" + stack.back().name + "\")");
+  }
+
+  r.ok = r.errors.empty();
+  return r;
+}
+
+}  // namespace interop::obs

@@ -1,0 +1,55 @@
+#pragma once
+// Schema validation for Chrome trace_event JSON produced by TraceSession:
+// a dependency-free mini JSON parser plus checks that the CI artifact and
+// the golden test both rely on — required keys present, every Begin on a
+// thread closed by a matching End (well-nested), timestamps monotonic
+// per thread.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace interop::obs {
+
+/// Minimal JSON value. Numbers are kept as doubles (trace timestamps fit
+/// exactly: < 2^53 microseconds is ~285 years).
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                 ///< Array
+  std::vector<std::pair<std::string, JsonValue>> fields;  ///< Object
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : fields)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+/// Parse a complete JSON document. Returns false (with *error set) on
+/// malformed input or trailing garbage.
+bool parse_json(std::string_view text, JsonValue* out, std::string* error);
+
+/// Result of validating one trace file.
+struct TraceCheckResult {
+  bool ok = false;
+  std::vector<std::string> errors;  ///< empty iff ok
+  std::size_t events = 0;
+  std::size_t spans = 0;            ///< matched B/E pairs
+  std::size_t counters = 0;
+  std::size_t instants = 0;
+};
+
+/// Validate Chrome trace_event JSON text end to end: parses, checks the
+/// top-level {"traceEvents":[...]} shape, per-event required keys
+/// (name/ph/ts/pid/tid), known phase codes, per-tid B/E nesting with
+/// matching names, and per-tid monotonic (non-decreasing) timestamps.
+TraceCheckResult check_chrome_trace(std::string_view text);
+
+}  // namespace interop::obs

@@ -1,0 +1,80 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace interop::obs {
+
+MetricCounter& Metrics::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<MetricCounter>();
+  return *slot;
+}
+
+MetricGauge& Metrics::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<MetricGauge>();
+  return *slot;
+}
+
+MetricHistogram& Metrics::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<MetricHistogram>();
+  return *slot;
+}
+
+namespace {
+
+/// Smallest bucket upper bound at or above quantile q of the recorded
+/// samples — an approximation bounded by the log2 bucket width.
+std::uint64_t approx_quantile(const MetricHistogram& h, double q) {
+  std::int64_t total = h.count();
+  if (total <= 0) return 0;
+  std::int64_t target = std::int64_t(double(total) * q);
+  if (target >= total) target = total - 1;
+  std::int64_t seen = 0;
+  for (int b = 0; b < MetricHistogram::kBuckets; ++b) {
+    seen += h.bucket(b);
+    if (seen > target) return MetricHistogram::bucket_upper(b);
+  }
+  return MetricHistogram::bucket_upper(MetricHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+std::string Metrics::expose() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_)
+    os << "counter " << name << " " << c->value() << "\n";
+  for (const auto& [name, g] : gauges_)
+    os << "gauge " << name << " " << g->value() << "\n";
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram " << name << " count=" << h->count()
+       << " sum=" << h->sum() << " p50~" << approx_quantile(*h, 0.50)
+       << " p99~" << approx_quantile(*h, 0.99);
+    int top = 0;
+    for (int b = 0; b < MetricHistogram::kBuckets; ++b)
+      if (h->bucket(b) > 0) top = b;
+    os << " max<=" << MetricHistogram::bucket_upper(top) << "\n";
+  }
+  return os.str();
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Addresses must stay stable (callers cache references), so zero the
+  // metrics in place rather than clearing the maps.
+  for (auto& [name, c] : counters_) c->add(-c->value());
+  for (auto& [name, g] : gauges_) g->set(0);
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Metrics& Metrics::global() {
+  static Metrics* m = new Metrics();  // leaked intentionally: no shutdown race
+  return *m;
+}
+
+}  // namespace interop::obs

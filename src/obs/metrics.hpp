@@ -1,0 +1,116 @@
+#pragma once
+// Process-wide metrics: lock-free counters and gauges plus log2-bucketed
+// histograms, owned by a registry with stable addresses so hot paths can
+// look a handle up once and bump it with a single atomic op thereafter.
+//
+// Complements tracing (trace.hpp): traces answer "what happened when",
+// metrics answer "how much, in total". Always on — a counter bump is one
+// relaxed fetch_add, cheap enough to leave unconditional.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace interop::obs {
+
+/// Monotonic event count.
+class MetricCounter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, live objects, ...).
+class MetricGauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed log2 buckets: bucket i counts samples whose bit width is i, i.e.
+/// bucket 0 holds 0, bucket 1 holds 1, bucket 2 holds 2-3, bucket 3 holds
+/// 4-7, ... covering the full u64 range in 65 slots with no configuration.
+class MetricHistogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void observe(std::uint64_t sample) {
+    int b = bucket_of(sample);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(std::int64_t(sample), std::memory_order_relaxed);
+  }
+
+  static int bucket_of(std::uint64_t sample) {
+    int w = 0;
+    while (sample) {
+      ++w;
+      sample >>= 1;
+    }
+    return w;  // == std::bit_width(sample)
+  }
+
+  /// Inclusive upper bound of bucket b (the largest value it can hold).
+  static std::uint64_t bucket_upper(int b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t(0);
+    return (std::uint64_t(1) << b) - 1;
+  }
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> buckets_[kBuckets] = {};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Named metric registry. Lookup takes a lock; the returned reference is
+/// stable for the registry's lifetime, so callers cache it.
+class Metrics {
+ public:
+  MetricCounter& counter(const std::string& name);
+  MetricGauge& gauge(const std::string& name);
+  MetricHistogram& histogram(const std::string& name);
+
+  /// Plain-text exposition, one metric per line, sorted by name:
+  ///   counter <name> <value>
+  ///   gauge <name> <value>
+  ///   histogram <name> count=<n> sum=<s> p50~<v> p99~<v> max<=<v>
+  std::string expose() const;
+
+  /// Zero every registered metric (tests / bench reruns).
+  void reset();
+
+  /// The process-wide registry.
+  static Metrics& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+}  // namespace interop::obs

@@ -5,6 +5,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace interop::pnr {
 
 std::string to_string(Side s) {
@@ -247,6 +250,9 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
 
   for (std::size_t n = 0; n < input.nets.size(); ++n) {
     const ToolInput::NetRecord& net = input.nets[n];
+    obs::Span net_span("pnr", "route:" + net.name);
+    std::int64_t net_expansions = 0;
+    std::size_t frontier_peak = 0;  // tracked only while the span is live
     RoutedNet routed;
     routed.name = net.name;
     routed.width_used = net.width.value_or(1);
@@ -390,6 +396,9 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
       };
 
       while (search.frontier_head < search.frontier.size() && !found) {
+        if (net_span.id() != 0)
+          frontier_peak = std::max(
+              frontier_peak, search.frontier.size() - search.frontier_head);
         Node cur = search.frontier[search.frontier_head++];
         if (++expansions > opt.max_expansions) break;
         bool straight_only = is_transit(cur.p);
@@ -427,6 +436,8 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
           search.frontier.push_back({next, axis});
         }
       }
+
+      net_expansions += expansions;
 
       RoutedTerm rterm{terms[ti].first, target, Side::North, false};
       if (!found) {
@@ -531,6 +542,20 @@ RouteResult route(const ToolInput& input, const RouteOptions& opt) {
     routed.routed = all_ok;
     if (!all_ok) ++result.failed_nets;
     result.wirelength += std::int64_t(routed.cells.size());
+    auto& m = obs::Metrics::global();
+    m.counter("pnr.route.nets").add();
+    m.counter("pnr.route.expansions").add(net_expansions);
+    if (!all_ok) m.counter("pnr.route.failed_nets").add();
+    m.histogram("pnr.route.expansions_per_net")
+        .observe(std::uint64_t(net_expansions));
+    if (net_span.id() != 0) {
+      obs::counter("pnr", "route.expansions", net_expansions);
+      obs::counter("pnr", "route.frontier_peak",
+                   std::int64_t(frontier_peak));
+      net_span.end("\"expansions\":" + std::to_string(net_expansions) +
+                   ",\"frontier_peak\":" + std::to_string(frontier_peak) +
+                   ",\"routed\":" + (all_ok ? "true" : "false"));
+    }
     result.nets.push_back(std::move(routed));
   }
 

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace interop::runtime {
 
 ParallelExecutor::ParallelExecutor(
@@ -29,7 +32,12 @@ void ParallelExecutor::set_clock(std::shared_ptr<Clock> clock) {
 }
 
 bool ParallelExecutor::claim_next_locked(Claim* out) {
-  for (const std::string& name : engine_.runnable_steps()) {
+  std::vector<std::string> runnable = engine_.runnable_steps();
+  obs::Metrics::global().gauge("runtime.queue.runnable")
+      .set(std::int64_t(runnable.size()));
+  if (obs::armed())
+    obs::counter("runtime", "queue.runnable", std::int64_t(runnable.size()));
+  for (const std::string& name : runnable) {
     int& count = scheduled_[name];
     if (count >= options_.livelock_limit) {
       stats_.livelock = true;
@@ -124,6 +132,12 @@ void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
     rec.has_key = claim.has_key;
     rec.key = claim.key;
     rec.resumed = resume_complete_ && resume_complete_->count(claim.name) > 0;
+    obs::Metrics::global().counter("runtime.cache.hit").add();
+    if (obs::armed()) {
+      rec.span = obs::next_span_id();
+      obs::begin_span("runtime", "replay:" + claim.name, rec.span,
+                      "\"worker\":" + std::to_string(worker_id));
+    }
     rec.start_us = journal_.now_us();
 
     wf::ActionApi api(engine_, engine_.instance(), claim.name);
@@ -135,6 +149,9 @@ void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
     api.set_step_state_success();
     wf::ActionResult result{0, claim.entry->log};
     rec.end_us = journal_.now_us();
+    obs::Metrics::global().histogram("runtime.replay_us")
+        .observe(rec.end_us - rec.start_us);
+    if (rec.span != 0) obs::end_span("runtime", "replay:" + claim.name, rec.span);
 
     lock.lock();
     engine_.apply_step_result(claim.name, result, api, claim.was_rerun);
@@ -153,6 +170,7 @@ void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
   const RetryPolicy& retry = options_.retry;
   int faults_this_claim = 0;
   int timeouts_this_claim = 0;
+  if (claim.has_key) obs::Metrics::global().counter("runtime.cache.miss").add();
 
   int attempt = 0;
   for (;;) {
@@ -172,6 +190,19 @@ void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
     if (fault != FaultKind::None) {
       rec.fault = to_string(fault);
       ++faults_this_claim;
+      obs::Metrics::global().counter("runtime.faults").add();
+    }
+    obs::Metrics::global().counter("runtime.attempts").add();
+    if (attempt > 1) obs::Metrics::global().counter("runtime.retries").add();
+    if (obs::armed()) {
+      rec.span = obs::next_span_id();
+      std::string args = "\"worker\":" + std::to_string(worker_id) +
+                         ",\"attempt\":" + std::to_string(attempt);
+      if (claim.was_rerun) args += ",\"rerun\":true";
+      if (!rec.fault.empty())
+        args += ",\"fault\":\"" + obs::escape_json(rec.fault) + "\"";
+      obs::begin_span("runtime", "step:" + claim.name, rec.span,
+                      std::move(args));
     }
     rec.start_us = journal_.now_us();
 
@@ -236,8 +267,19 @@ void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
       // still counts as finished; its writes landed.
       if (ok) rec.timed_out = false;
     }
-    if (rec.timed_out) ++timeouts_this_claim;
+    if (rec.timed_out) {
+      ++timeouts_this_claim;
+      obs::Metrics::global().counter("runtime.timeouts").add();
+    }
     rec.ok = ok;
+    obs::Metrics::global().histogram("runtime.step_us")
+        .observe(rec.end_us - rec.start_us);
+    if (rec.span != 0) {
+      std::string args = std::string("\"ok\":") + (ok ? "true" : "false");
+      if (rec.timed_out) args += ",\"timed_out\":true";
+      obs::end_span("runtime", "step:" + claim.name, rec.span,
+                    std::move(args));
+    }
 
     bool retryable = rec.timed_out ? retry.retry_timeouts
                                    : retry.retry_failures;
@@ -248,6 +290,11 @@ void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
       // a deterministic backoff.
       journal_.record(std::move(rec));
       engine_.note_failed_attempt(claim.name, result.log);
+      if (obs::armed())
+        obs::instant("runtime", "backoff:" + claim.name,
+                     "\"attempt\":" + std::to_string(attempt) +
+                         ",\"delay_us\":" +
+                         std::to_string(retry.delay_us(attempt)));
       clock_->sleep_us(retry.delay_us(attempt));
       continue;
     }
@@ -282,8 +329,10 @@ void ParallelExecutor::worker_loop(int worker_id) {
     Claim claim;
     if (claim_next_locked(&claim)) {
       ++in_flight_;
+      if (obs::armed()) obs::counter("runtime", "workers.busy", in_flight_);
       execute_claim(lock, claim, worker_id);  // unlocks, works, relocks
       --in_flight_;
+      if (obs::armed()) obs::counter("runtime", "workers.busy", in_flight_);
       cv_.notify_all();  // completions may unlock new ready steps
       continue;
     }
@@ -316,6 +365,9 @@ RunStats ParallelExecutor::run_impl(
   stop_requested_.store(false, std::memory_order_relaxed);
   in_flight_ = 0;
   resume_complete_ = journaled_complete;
+
+  obs::Span run_span("runtime", journaled_complete ? "resume_run" : "run",
+                     "\"workers\":" + std::to_string(options_.workers));
 
   journal_.begin_run(options_.workers);
   engine_.set_concurrency_guard(&mu_);

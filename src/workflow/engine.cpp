@@ -4,7 +4,22 @@
 #include <deque>
 #include <functional>
 
+#include "obs/trace.hpp"
+
 namespace interop::wf {
+
+namespace {
+
+/// Trace one step's state transition as an instant event (category "wf").
+void trace_transition(const std::string& step, StepState to,
+                      const char* cause) {
+  if (!obs::armed()) return;
+  obs::instant("wf", "state:" + step,
+               "\"to\":\"" + std::string(to_string(to)) + "\",\"cause\":\"" +
+                   cause + "\"");
+}
+
+}  // namespace
 
 // ----------------------------------------------------------- ToolSession
 
@@ -206,6 +221,7 @@ bool Engine::begin_step(const std::string& name, bool* was_rerun) {
   if (was_rerun) *was_rerun = status->state == StepState::NeedsRerun;
   status->state = StepState::Running;
   status->last_started = data_->now();
+  trace_transition(name, StepState::Running, "begin_step");
   return true;
 }
 
@@ -229,6 +245,7 @@ void Engine::apply_step_result(const std::string& name,
                                 : (result.exit_code == 0);
   if (!ok) {
     status->state = StepState::Failed;
+    trace_transition(name, StepState::Failed, "result");
     ++status->failures;
     ++metrics_.failures;
     last_error_ = api.failure_reason_.empty()
@@ -242,12 +259,14 @@ void Engine::apply_step_result(const std::string& name,
   if (deps_succeeded(status->def.finish_with)) {
     status->state = StepState::Succeeded;
     status->last_finished = data_->now();
+    trace_transition(name, StepState::Succeeded, "result");
     // Unpark anyone awaiting us.
     for (auto& [other_name, other] : instance_.steps) {
       if (other.state == StepState::AwaitingFinish) try_finish(other_name);
     }
   } else {
     status->state = StepState::AwaitingFinish;
+    trace_transition(name, StepState::AwaitingFinish, "finish_with");
   }
 
   // Parallel hazard: an input rewritten by a concurrently-running step after
@@ -265,6 +284,7 @@ void Engine::apply_step_result(const std::string& name,
     auto t = data_->timestamp(path);
     if (t && *t > status->last_started) {
       status->state = StepState::NeedsRerun;
+      trace_transition(name, StepState::NeedsRerun, "stale_input");
       notifications_.push_back("step " + name + " needs rework: input '" +
                                path + "' changed while it ran");
       ++metrics_.notifications;
@@ -282,6 +302,10 @@ void Engine::note_failed_attempt(const std::string& name,
   ++status->failed_attempts;
   ++metrics_.failed_attempts;
   status->log = log;
+  if (obs::armed())
+    obs::instant("wf", "attempt_failed:" + name,
+                 "\"failed_attempts\":" +
+                     std::to_string(status->failed_attempts));
 }
 
 bool Engine::run_step(const std::string& name) {
@@ -305,6 +329,7 @@ void Engine::try_finish(const std::string& name) {
   if (deps_succeeded(status->def.finish_with)) {
     status->state = StepState::Succeeded;
     status->last_finished = data_->now();
+    trace_transition(name, StepState::Succeeded, "finish_with");
   }
 }
 
@@ -379,6 +404,7 @@ bool Engine::reset_step(const std::string& name) {
   for (const std::string& n : affected) {
     StepStatus* s = instance_.find(n);
     s->state = StepState::Waiting;
+    trace_transition(n, StepState::Waiting, "reset");
   }
   refresh_readiness();
   return true;

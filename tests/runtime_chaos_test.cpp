@@ -11,7 +11,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -20,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "base/rng.hpp"
+#include "obs/trace.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/hash.hpp"
@@ -28,6 +32,34 @@
 
 namespace interop::runtime {
 namespace {
+
+// INTEROP_CHAOS_TRACE=<path>: arm a trace session for the entire chaos
+// sweep and write the Chrome trace there at teardown. CI uses this to
+// validate (trace_check) and upload the trace artifact of the smoke run.
+class ChaosTraceEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    const char* path = std::getenv("INTEROP_CHAOS_TRACE");
+    if (!path || !*path) return;
+    path_ = path;
+    session_ = std::make_unique<obs::TraceSession>();
+    session_->arm();
+  }
+  void TearDown() override {
+    if (!session_) return;
+    session_->disarm();
+    std::ofstream out(path_);
+    session_->write_chrome_json(out);
+    std::cerr << "chaos trace written to " << path_ << "\n";
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::TraceSession> session_;
+};
+
+const ::testing::Environment* const kChaosTraceEnv =
+    ::testing::AddGlobalTestEnvironment(new ChaosTraceEnvironment);
 
 using wf::ActionApi;
 using wf::ActionLanguage;

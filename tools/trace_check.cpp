@@ -1,0 +1,43 @@
+// trace_check — validate a Chrome trace_event JSON file produced by the
+// obs layer (or any tool): required keys, per-thread B/E span nesting,
+// monotonic timestamps. CI runs it over the chaos smoke trace before
+// uploading the artifact.
+//
+// Usage: trace_check <trace.json> [more.json ...]
+// Exit 0 when every file validates; 1 otherwise.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/check.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: trace_check <trace.json> [more.json ...]\n";
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::cerr << argv[i] << ": cannot open\n";
+      all_ok = false;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    interop::obs::TraceCheckResult r =
+        interop::obs::check_chrome_trace(buf.str());
+    if (r.ok) {
+      std::cout << argv[i] << ": ok (" << r.events << " events, " << r.spans
+                << " spans, " << r.counters << " counter samples, "
+                << r.instants << " instants)\n";
+    } else {
+      all_ok = false;
+      std::cerr << argv[i] << ": INVALID\n";
+      for (const std::string& e : r.errors) std::cerr << "  " << e << "\n";
+    }
+  }
+  return all_ok ? 0 : 1;
+}
