@@ -1,0 +1,325 @@
+// Service bench — a seeded closed-loop load generator for the interop
+// service core, driven through LoopbackClient so every request round-trips
+// the real wire codec. Results print as one JSON object for the bench
+// harness (BENCH_service.json via bench/run_perf.sh). See EXPERIMENTS.md
+// §S1.
+//
+// Scenarios:
+//  - steady: N tenants as closed-loop arrival processes (each waits for
+//    its response, thinks a seeded random interval, submits again) over a
+//    mixed ping/netlist/flow-run workload. Reports throughput and
+//    p50/p95/p99 end-to-end latency.
+//  - warm_cache: tenant A runs a fanout flow cold, then tenant B submits
+//    the byte-identical flow — the resident content-addressed cache must
+//    replay every step (0 actions executed, all cache hits).
+//  - overload: 6x more closed-loop tenants than the daemon has workers,
+//    against a small admission queue. The daemon must shed load with
+//    Rejected + retry-after (clients honor the backoff hint) while the
+//    latency of *admitted* requests stays bounded by the queue depth —
+//    the paper's graceful-degradation answer, measured.
+//  - drain: a batch is submitted, then drain() — everything admitted must
+//    complete; nothing is abandoned.
+//
+// Self-checking: exits nonzero unless the warm run executes 0 actions,
+// overload sheds (>0 rejections, all carrying retry-after) while admitted
+// p99 stays under the queue-depth bound, and drain completes every
+// admitted request.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "schematic/generator.hpp"
+#include "schematic/textio.hpp"
+#include "service/service.hpp"
+#include "service/wire.hpp"
+
+using namespace interop;
+using service::InteropService;
+using service::LoopbackClient;
+using service::MsgType;
+using service::Request;
+using service::Response;
+using service::ServiceOptions;
+using service::Status;
+
+namespace {
+
+std::uint64_t now_us() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t> sorted, double p) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t idx = std::size_t(p * double(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// One closed-loop tenant: request, wait for the response, think, repeat.
+struct TenantStats {
+  std::vector<std::uint64_t> latencies_us;  ///< admitted requests only
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bad_retry_hint = 0;  ///< rejections missing retry-after
+};
+
+/// The steady-state workload mix: mostly cheap pings and netlist
+/// extractions, some flow runs. Seeded per tenant so the mix is
+/// reproducible.
+Request next_request(base::Rng& rng, const std::string& tenant,
+                     const std::string& design, std::uint64_t req_id) {
+  Request req;
+  req.id = req_id;
+  req.tenant = tenant;
+  switch (rng.index(4)) {
+    case 0:
+      req.type = MsgType::Ping;
+      break;
+    case 1:
+    case 2:
+      req.type = MsgType::Netlist;
+      req.design = design;
+      req.cell = "top";
+      req.dialect = rng.chance(0.5) ? "viewlogic" : "composer";
+      break;
+    default:
+      req.type = MsgType::FlowRun;
+      req.flow = "fanout";
+      req.width = 2 + std::uint32_t(rng.index(3));
+      req.latency_us = 100;
+      // A small seed pool: some runs repeat a lineage and hit the shared
+      // cache, as real incremental flows would.
+      req.seed = rng.index(8);
+      break;
+  }
+  return req;
+}
+
+TenantStats run_tenant(InteropService& svc, const std::string& tenant,
+                       std::uint64_t seed, int requests,
+                       std::uint64_t max_think_us, const std::string& design,
+                       bool honor_retry_after) {
+  LoopbackClient client(svc);
+  base::Rng rng(seed);
+  TenantStats stats;
+  for (int i = 0; i < requests; ++i) {
+    Request req = next_request(rng, tenant, design, std::uint64_t(i + 1));
+    std::uint64_t t0 = now_us();
+    Response resp = client.call(req);
+    std::uint64_t dt = now_us() - t0;
+    if (resp.status == Status::Rejected) {
+      ++stats.rejected;
+      if (resp.retry_after_us == 0) ++stats.bad_retry_hint;
+      if (honor_retry_after)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(resp.retry_after_us));
+      continue;
+    }
+    if (resp.status != Status::Ok) {
+      ++stats.errors;
+      continue;
+    }
+    stats.latencies_us.push_back(dt);
+    if (max_think_us > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          std::uint64_t(rng.index(std::size_t(max_think_us)))));
+  }
+  return stats;
+}
+
+struct ScenarioResult {
+  std::vector<std::uint64_t> latencies_us;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bad_retry_hint = 0;
+  double wall_ms = 0;
+};
+
+ScenarioResult run_fleet(InteropService& svc, int tenants, int requests,
+                         std::uint64_t max_think_us, std::uint64_t seed_base,
+                         const std::string& design, bool honor_retry_after) {
+  std::vector<TenantStats> per_tenant(static_cast<std::size_t>(tenants));
+  std::vector<std::thread> threads;
+  threads.reserve(std::size_t(tenants));
+  std::uint64_t t0 = now_us();
+  for (int t = 0; t < tenants; ++t) {
+    threads.emplace_back([&, t] {
+      per_tenant[std::size_t(t)] =
+          run_tenant(svc, "tenant-" + std::to_string(t), seed_base + t,
+                     requests, max_think_us, design, honor_retry_after);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ScenarioResult result;
+  result.wall_ms = double(now_us() - t0) / 1000.0;
+  for (const TenantStats& stats : per_tenant) {
+    result.latencies_us.insert(result.latencies_us.end(),
+                               stats.latencies_us.begin(),
+                               stats.latencies_us.end());
+    result.rejected += stats.rejected;
+    result.errors += stats.errors;
+    result.bad_retry_hint += stats.bad_retry_hint;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  sch::GeneratorOptions gopt;
+  gopt.seed = 11;
+  const std::string design =
+      sch::write_design(sch::make_exar_scenario(gopt).source);
+
+  // --- steady: closed-loop tenants, uncontended ------------------------
+  constexpr int kSteadyTenants = 4;
+  constexpr int kSteadyRequests = 60;
+  ScenarioResult steady;
+  {
+    ServiceOptions opt;
+    opt.workers = 4;
+    opt.flow_workers = 2;
+    opt.queue_limit = 64;
+    InteropService svc(opt);
+    steady = run_fleet(svc, kSteadyTenants, kSteadyRequests,
+                       /*max_think_us=*/500, /*seed_base=*/100, design,
+                       /*honor_retry_after=*/true);
+    svc.drain();
+  }
+  double steady_rps =
+      steady.wall_ms > 0
+          ? double(steady.latencies_us.size()) / (steady.wall_ms / 1000.0)
+          : 0;
+
+  // --- warm_cache: cross-tenant content-addressed replay ---------------
+  std::uint64_t cold_executed = 0, warm_executed = 999, warm_hits = 0;
+  {
+    InteropService svc({.workers = 2, .flow_workers = 2});
+    LoopbackClient client(svc);
+    Request req;
+    req.id = 1;
+    req.type = MsgType::FlowRun;
+    req.tenant = "tenant-a";
+    req.flow = "fanout";
+    req.width = 8;
+    req.latency_us = 300;
+    req.seed = 4242;
+    Response cold = client.call(req);
+    cold_executed = cold.counter("executed");
+    req.id = 2;
+    req.tenant = "tenant-b";  // different tenant, identical flow
+    Response warm = client.call(req);
+    warm_executed = warm.counter("executed", 999);
+    warm_hits = warm.counter("cache_hits");
+    svc.drain();
+  }
+
+  // --- overload: 6x tenants vs workers, tiny admission queue -----------
+  constexpr int kOverTenants = 12;
+  constexpr int kOverRequests = 25;
+  constexpr std::size_t kOverQueue = 4;
+  constexpr int kOverWorkers = 2;
+  ScenarioResult over;
+  {
+    ServiceOptions opt;
+    opt.workers = kOverWorkers;
+    opt.flow_workers = 2;
+    opt.queue_limit = kOverQueue;
+    opt.retry_after_us = 1000;
+    InteropService svc(opt);
+    over = run_fleet(svc, kOverTenants, kOverRequests,
+                     /*max_think_us=*/0, /*seed_base=*/900, design,
+                     /*honor_retry_after=*/true);
+    svc.drain();
+  }
+  // An admitted request waits behind at most queue_limit others, each
+  // worth at most one flow run (~(width/flow_workers + 2) * latency plus
+  // read/extract overhead). 100ms is an order of magnitude of slack on
+  // that — the point is it does NOT scale with offered load, which is what
+  // an unbounded queue would do.
+  constexpr std::uint64_t kAdmittedP99BoundUs = 100'000;
+  std::uint64_t over_p99 = percentile(over.latencies_us, 0.99);
+
+  // --- drain: everything admitted completes ----------------------------
+  std::uint64_t drain_submitted = 16, drain_completed = 0,
+                drain_rejected = 0;
+  double drain_ms = 0;
+  std::size_t drain_queued_after = 0;
+  int drain_in_flight_after = 0;
+  {
+    ServiceOptions opt;
+    opt.workers = 2;
+    opt.flow_workers = 2;
+    opt.queue_limit = 32;
+    InteropService svc(opt);
+    std::atomic<std::uint64_t> completed{0}, rejected{0};
+    for (std::uint64_t i = 0; i < drain_submitted; ++i) {
+      Request req;
+      req.id = i + 1;
+      req.type = MsgType::FlowRun;
+      req.tenant = "t" + std::to_string(i % 4);
+      req.flow = "fanout";
+      req.width = 4;
+      req.latency_us = 500;
+      req.seed = 7000 + i;  // distinct lineages: no cache shortcuts
+      svc.submit(req, [&](Response resp) {
+        (resp.status == Status::Ok ? completed : rejected)++;
+      });
+    }
+    std::uint64_t t0 = now_us();
+    svc.drain();
+    drain_ms = double(now_us() - t0) / 1000.0;
+    drain_completed = completed.load();
+    drain_rejected = rejected.load();
+    drain_queued_after = svc.queued();
+    drain_in_flight_after = svc.in_flight();
+  }
+
+  bool pass = steady.errors == 0 && !steady.latencies_us.empty() &&
+              cold_executed > 0 && warm_executed == 0 &&
+              warm_hits == cold_executed &&  // every cold step replayed
+              over.rejected > 0 && over.bad_retry_hint == 0 &&
+              over.errors == 0 && over_p99 < kAdmittedP99BoundUs &&
+              drain_completed + drain_rejected == drain_submitted &&
+              drain_queued_after == 0 && drain_in_flight_after == 0;
+
+  std::ostringstream os;
+  os << "{\"bench\":\"service\""
+     << ",\"steady\":{\"tenants\":" << kSteadyTenants
+     << ",\"requests_per_tenant\":" << kSteadyRequests
+     << ",\"completed\":" << steady.latencies_us.size()
+     << ",\"rejected\":" << steady.rejected
+     << ",\"wall_ms\":" << steady.wall_ms
+     << ",\"throughput_rps\":" << steady_rps
+     << ",\"p50_us\":" << percentile(steady.latencies_us, 0.50)
+     << ",\"p95_us\":" << percentile(steady.latencies_us, 0.95)
+     << ",\"p99_us\":" << percentile(steady.latencies_us, 0.99) << "}"
+     << ",\"warm_cache\":{\"cold_executed\":" << cold_executed
+     << ",\"warm_executed\":" << warm_executed
+     << ",\"warm_cache_hits\":" << warm_hits << "}"
+     << ",\"overload\":{\"tenants\":" << kOverTenants
+     << ",\"workers\":" << kOverWorkers
+     << ",\"queue_limit\":" << kOverQueue
+     << ",\"admitted\":" << over.latencies_us.size()
+     << ",\"rejected\":" << over.rejected
+     << ",\"wall_ms\":" << over.wall_ms
+     << ",\"admitted_p50_us\":" << percentile(over.latencies_us, 0.50)
+     << ",\"admitted_p99_us\":" << over_p99
+     << ",\"p99_bound_us\":" << kAdmittedP99BoundUs << "}"
+     << ",\"drain\":{\"submitted\":" << drain_submitted
+     << ",\"completed\":" << drain_completed
+     << ",\"rejected\":" << drain_rejected
+     << ",\"drain_ms\":" << drain_ms << "}"
+     << ",\"pass\":" << (pass ? "true" : "false") << "}";
+  std::cout << os.str() << "\n";
+  return pass ? 0 : 1;
+}

@@ -83,3 +83,16 @@ obs_out="$repo_root/BENCH_obs.json"
 check_json "$tmp" "$obs_bin"
 cp "$tmp" "$obs_out"
 echo "wrote $obs_out"
+
+# Service bench: closed-loop multi-tenant load against the interop service
+# core — throughput/latency percentiles, cross-tenant warm-cache replay,
+# overload shedding with retry-after, graceful drain (self-checking; see
+# EXPERIMENTS.md §S1).
+cmake --build "$build_dir" --target bench_service -j "$(nproc)"
+service_bin="$build_dir/bench/bench_service"
+[ -x "$service_bin" ] || die "bench binary missing: $service_bin"
+service_out="$repo_root/BENCH_service.json"
+"$service_bin" > "$tmp"
+check_json "$tmp" "$service_bin"
+cp "$tmp" "$service_out"
+echo "wrote $service_out"

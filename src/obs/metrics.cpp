@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace interop::obs {
@@ -44,23 +45,57 @@ std::uint64_t approx_quantile(const MetricHistogram& h, double q) {
 
 }  // namespace
 
+std::string Metrics::escape_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case ' ': out += "\\s"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string Metrics::expose() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::ostringstream os;
+  // One line per metric, globally sorted by escaped name (ties broken
+  // counter < gauge < histogram), so the dump is deterministic regardless
+  // of registration order or how the three kind maps interleave.
+  struct Line {
+    std::string name;  ///< escaped
+    int kind;          ///< 0 counter, 1 gauge, 2 histogram
+    std::string text;  ///< everything after "<kind> <name>"
+  };
+  std::vector<Line> lines;
+  lines.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_)
-    os << "counter " << name << " " << c->value() << "\n";
+    lines.push_back(
+        {escape_metric_name(name), 0, std::to_string(c->value())});
   for (const auto& [name, g] : gauges_)
-    os << "gauge " << name << " " << g->value() << "\n";
+    lines.push_back(
+        {escape_metric_name(name), 1, std::to_string(g->value())});
   for (const auto& [name, h] : histograms_) {
-    os << "histogram " << name << " count=" << h->count()
-       << " sum=" << h->sum() << " p50~" << approx_quantile(*h, 0.50)
-       << " p99~" << approx_quantile(*h, 0.99);
+    std::ostringstream os;
+    os << "count=" << h->count() << " sum=" << h->sum() << " p50~"
+       << approx_quantile(*h, 0.50) << " p99~" << approx_quantile(*h, 0.99);
     int top = 0;
     for (int b = 0; b < MetricHistogram::kBuckets; ++b)
       if (h->bucket(b) > 0) top = b;
-    os << " max<=" << MetricHistogram::bucket_upper(top) << "\n";
+    os << " max<=" << MetricHistogram::bucket_upper(top);
+    lines.push_back({escape_metric_name(name), 2, os.str()});
   }
-  return os.str();
+  std::sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    return a.name != b.name ? a.name < b.name : a.kind < b.kind;
+  });
+  static constexpr const char* kKinds[] = {"counter", "gauge", "histogram"};
+  std::ostringstream out;
+  for (const Line& line : lines)
+    out << kKinds[line.kind] << " " << line.name << " " << line.text << "\n";
+  return out.str();
 }
 
 void Metrics::reset() {

@@ -94,7 +94,11 @@ class Metrics {
   MetricGauge& gauge(const std::string& name);
   MetricHistogram& histogram(const std::string& name);
 
-  /// Plain-text exposition, one metric per line, sorted by name:
+  /// Plain-text exposition, one metric per line, in deterministic order:
+  /// every metric sorted by (escaped) name, ties broken counter < gauge <
+  /// histogram. Names are escaped (see escape_metric_name) so embedded
+  /// whitespace can never desync the line format — the service's metrics
+  /// dump endpoint is golden-tested against this.
   ///   counter <name> <value>
   ///   gauge <name> <value>
   ///   histogram <name> count=<n> sum=<s> p50~<v> p99~<v> max<=<v>
@@ -105,6 +109,10 @@ class Metrics {
 
   /// The process-wide registry.
   static Metrics& global();
+
+  /// Escape a metric name for the text exposition: backslash, space,
+  /// newline, tab become \\ \s \n \t. Identity for well-formed names.
+  static std::string escape_metric_name(const std::string& name);
 
  private:
   mutable std::mutex mu_;

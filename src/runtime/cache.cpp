@@ -6,53 +6,84 @@
 
 namespace interop::runtime {
 
+ResultCache::ResultCache(std::size_t max_entries, int shards) {
+  std::size_t n = std::size_t(std::max(1, shards));
+  // Split the budget so the total capacity across shards stays
+  // max_entries (rounded up); 0 stays unbounded everywhere.
+  per_shard_cap_ = max_entries == 0 ? 0 : (max_entries + n - 1) / n;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::Shard& ResultCache::shard_of(std::uint64_t key) const {
+  // Keys are FNV-1a digests, already well mixed; fold the high half in so
+  // shard choice is not hostage to low-bit structure.
+  return *shards_[(key ^ (key >> 32)) % shards_.size()];
+}
+
 std::shared_ptr<const CacheEntry> ResultCache::find(std::uint64_t key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.entries.find(key);
+  if (it == s.entries.end()) {
+    ++s.stats.misses;
     return nullptr;
   }
-  ++stats_.hits;
+  ++s.stats.hits;
   return it->second;
 }
 
 void ResultCache::store(std::uint64_t key, CacheEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
   // Construct the shared entry exactly once: map::emplace may consume its
   // mapped-value argument even when insertion fails, so moving `entry` into
   // the emplace call and again on the overwrite path would cache a
   // moved-from (empty) effect list.
   auto value = std::make_shared<const CacheEntry>(std::move(entry));
-  auto [it, inserted] = entries_.emplace(key, value);
+  auto [it, inserted] = s.entries.emplace(key, value);
   if (!inserted) {
     it->second = std::move(value);
     return;  // overwrite keeps the original FIFO position
   }
-  ++stats_.stores;
-  order_.push_back(key);
-  while (max_entries_ != 0 && entries_.size() > max_entries_) {
-    entries_.erase(order_.front());
-    order_.pop_front();
-    ++stats_.evictions;
+  ++s.stats.stores;
+  s.order.push_back(key);
+  while (per_shard_cap_ != 0 && s.entries.size() > per_shard_cap_) {
+    s.entries.erase(s.order.front());
+    s.order.pop_front();
+    ++s.stats.evictions;
   }
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats total;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total.hits += s->stats.hits;
+    total.misses += s->stats.misses;
+    total.stores += s->stats.stores;
+    total.evictions += s->stats.evictions;
+  }
+  return total;
 }
 
 std::size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->entries.size();
+  }
+  return total;
 }
 
 void ResultCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  order_.clear();
-  stats_ = Stats{};
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->entries.clear();
+    s->order.clear();
+    s->stats = Stats{};
+  }
 }
 
 std::uint64_t step_content_key(const wf::StepDef& def,

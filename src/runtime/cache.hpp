@@ -35,11 +35,17 @@ struct CacheEntry {
 /// Thread-safe key -> entry store with FIFO eviction. Shared (via
 /// shared_ptr) between executors so a warm cache accelerates fresh flow
 /// instances, not just re-runs of one instance.
+///
+/// Sharding: with `shards` > 1 the key space is split across
+/// independently locked shards, so concurrent executors (the interop
+/// service runs one per in-flight flow request) do not serialize on a
+/// single mutex. One shard (the default) preserves the original global
+/// FIFO eviction order exactly; sharded caches evict FIFO per shard with
+/// the capacity split evenly.
 class ResultCache {
  public:
   /// `max_entries` == 0 means unbounded.
-  explicit ResultCache(std::size_t max_entries = 0)
-      : max_entries_(max_entries) {}
+  explicit ResultCache(std::size_t max_entries = 0, int shards = 1);
 
   /// Lookup; counts a hit or miss. The returned entry is immutable and
   /// safe to use after eviction.
@@ -60,11 +66,16 @@ class ResultCache {
   void clear();
 
  private:
-  std::size_t max_entries_;
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, std::shared_ptr<const CacheEntry>> entries_;
-  std::list<std::uint64_t> order_;  ///< insertion order for FIFO eviction
-  mutable Stats stats_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::uint64_t, std::shared_ptr<const CacheEntry>> entries;
+    std::list<std::uint64_t> order;  ///< insertion order for FIFO eviction
+    mutable Stats stats;
+  };
+  Shard& shard_of(std::uint64_t key) const;
+
+  std::size_t per_shard_cap_;  ///< 0 = unbounded
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// The content key of `def` against the current store contents. Reads and

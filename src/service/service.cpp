@@ -1,0 +1,508 @@
+#include "service/service.hpp"
+
+#include <optional>
+#include <algorithm>
+#include <future>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "base/diagnostics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/hash.hpp"
+#include "schematic/generator.hpp"
+#include "schematic/netlist.hpp"
+#include "schematic/textio.hpp"
+
+namespace interop::service {
+
+namespace {
+
+/// One modeled tool run: a fixed invocation latency plus deterministic
+/// content derived from the inputs, so identical specs hash to identical
+/// cache keys no matter which tenant submits them.
+wf::Action flow_tool_action(std::string out, std::vector<std::string> reads,
+                            std::uint32_t latency_us) {
+  return {out, wf::ActionLanguage::Native,
+          [out, reads, latency_us](wf::ActionApi& api) {
+            std::string content;
+            for (const std::string& r : reads)
+              content += api.read_data(r).value_or("?");
+            if (latency_us > 0)
+              std::this_thread::sleep_for(
+                  std::chrono::microseconds(latency_us));
+            api.write_data(out, runtime::to_hex(runtime::fnv1a(content)) +
+                                    "+");
+            return wf::ActionResult{0, ""};
+          }};
+}
+
+/// The resident "fanout" flow spec: seed -> width parallel tool runs ->
+/// sink. The seed feeds the source content, so distinct seeds are
+/// distinct cache lineages while equal seeds share one.
+wf::FlowTemplate make_fanout_flow(std::uint32_t width,
+                                  std::uint32_t latency_us,
+                                  std::uint64_t seed) {
+  wf::FlowTemplate flow;
+  flow.name = "fanout";
+  wf::StepDef src;
+  src.name = "src";
+  src.writes = {"src.out"};
+  src.action = {"src", wf::ActionLanguage::Native,
+                [seed, latency_us](wf::ActionApi& api) {
+                  if (latency_us > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(latency_us));
+                  api.write_data("src.out",
+                                 runtime::to_hex(runtime::fnv1a(
+                                     "seed:" + std::to_string(seed))));
+                  return wf::ActionResult{0, ""};
+                }};
+  // The action body captures the seed, so the cache identity must too.
+  src.content_tag = "service.fanout.src:" + std::to_string(seed);
+  flow.steps.push_back(std::move(src));
+
+  wf::StepDef sink;
+  sink.name = "sink";
+  for (std::uint32_t i = 0; i < width; ++i) {
+    std::string name = "w" + std::to_string(i);
+    wf::StepDef step;
+    step.name = name;
+    step.start_after = {"src"};
+    step.reads = {"src.out"};
+    step.writes = {name + ".out"};
+    step.action = flow_tool_action(name + ".out", {"src.out"}, latency_us);
+    flow.steps.push_back(std::move(step));
+    sink.start_after.push_back(name);
+    sink.reads.push_back(name + ".out");
+  }
+  sink.writes = {"sink.out"};
+  sink.action = flow_tool_action("sink.out", sink.reads, latency_us);
+  flow.steps.push_back(std::move(sink));
+  return flow;
+}
+
+Response error_response(std::uint64_t id, std::string why) {
+  Response resp;
+  resp.id = id;
+  resp.status = Status::Error;
+  resp.error = std::move(why);
+  return resp;
+}
+
+}  // namespace
+
+InteropService::InteropService(ServiceOptions opt)
+    : opt_(opt),
+      cache_(std::make_shared<runtime::ResultCache>(
+          opt.cache_entries, std::max(1, opt.cache_shards))),
+      epoch_(std::chrono::steady_clock::now()) {
+  // Resident tool models: built once, shared read-only by every request.
+  dialects_["viewlogic"] = sch::viewlogic_dialect();
+  dialects_["composer"] = sch::composer_dialect();
+  migration_config_.source = dialects_["viewlogic"];
+  migration_config_.target = dialects_["composer"];
+  migration_config_.symbol_map = sch::make_standard_symbol_map();
+  migration_config_.global_map = sch::make_standard_global_map();
+  migration_config_.property_rules = sch::make_standard_property_rules();
+  migration_config_.target_symbols = sch::make_target_library();
+
+  int workers = std::max(1, opt_.workers);
+  workers_.reserve(std::size_t(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  if (opt_.request_timeout_us > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+InteropService::~InteropService() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_workers_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mu_);
+      wd_stop_ = true;
+    }
+    wd_cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+std::uint64_t InteropService::now_us() const {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - epoch_)
+                           .count());
+}
+
+bool InteropService::submit(Request req, Done done) {
+  // Drain is an admin verb, not work: it must land even when the queue is
+  // full, and it must not block the submitting session.
+  if (req.type == MsgType::Drain) {
+    begin_drain();
+    Response resp;
+    resp.id = req.id;
+    resp.body = "draining";
+    metrics_.counter("service.admitted").add();
+    metrics_.counter("service.completed").add();
+    done(std::move(resp));
+    return true;
+  }
+
+  Response reject;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!draining_ && queued_ < opt_.queue_limit) {
+      Pending p;
+      p.req = std::move(req);
+      p.done = std::move(done);
+      p.enqueue_us = now_us();
+      const std::string& tenant = p.req.tenant;
+      auto [it, fresh] = queues_.try_emplace(tenant);
+      if (it->second.empty()) rr_.push_back(tenant);
+      (void)fresh;
+      it->second.push_back(std::move(p));
+      ++queued_;
+      metrics_.counter("service.admitted").add();
+      metrics_.gauge("service.queue.depth").set(std::int64_t(queued_));
+      metrics_.gauge("service.tenants").set(std::int64_t(queues_.size()));
+      lock.unlock();
+      work_cv_.notify_one();
+      return true;
+    }
+    reject.id = req.id;
+    if (draining_) {
+      reject.status = Status::Error;
+      reject.error = "service draining";
+    } else {
+      reject.status = Status::Rejected;
+      reject.retry_after_us = opt_.retry_after_us;
+      reject.error = "queue full";
+    }
+  }
+  metrics_.counter("service.rejected").add();
+  if (obs::armed())
+    obs::instant("service", "reject",
+                 "\"tenant\":\"" + obs::escape_json(req.tenant) +
+                     "\",\"reason\":\"" + obs::escape_json(reject.error) +
+                     "\"");
+  done(std::move(reject));
+  return false;
+}
+
+Response InteropService::call(Request req) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  submit(std::move(req),
+         [&promise](Response resp) { promise.set_value(std::move(resp)); });
+  return future.get();
+}
+
+void InteropService::begin_drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+bool InteropService::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void InteropService::drain() {
+  begin_drain();
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queued_ == 0 && in_flight_ == 0; });
+}
+
+std::size_t InteropService::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+int InteropService::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+void InteropService::worker_loop(int worker_id) {
+  (void)worker_id;
+  for (;;) {
+    Pending p;
+    std::uint64_t flight_id = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_workers_ || !rr_.empty(); });
+      if (stop_workers_ && rr_.empty()) return;
+      // Fair claim: take one request from the tenant at the round-robin
+      // cursor, then rotate the tenant behind every other waiting tenant.
+      std::string tenant = std::move(rr_.front());
+      rr_.pop_front();
+      auto it = queues_.find(tenant);
+      p = std::move(it->second.front());
+      it->second.pop_front();
+      if (!it->second.empty()) rr_.push_back(tenant);
+      --queued_;
+      ++in_flight_;
+      metrics_.gauge("service.queue.depth").set(std::int64_t(queued_));
+      metrics_.gauge("service.in_flight").set(in_flight_);
+
+      Flight flight;
+      flight.token = std::make_shared<runtime::CancelToken>();
+      flight.deadline_us = opt_.request_timeout_us > 0
+                               ? now_us() + opt_.request_timeout_us
+                               : 0;
+      flight_id = next_flight_id_++;
+      flights_.emplace(flight_id, std::move(flight));
+    }
+
+    std::uint64_t start_us = now_us();
+    metrics_.histogram("service.queue_wait_us")
+        .observe(start_us - p.enqueue_us);
+    Response resp = handle(p.req, flight_id);
+    resp.id = p.req.id;
+    finish(std::move(p), std::move(resp), start_us);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      flights_.erase(flight_id);
+      --in_flight_;
+      metrics_.gauge("service.in_flight").set(in_flight_);
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void InteropService::finish(Pending p, Response resp, std::uint64_t start_us) {
+  std::uint64_t end_us = now_us();
+  metrics_
+      .histogram("service.latency_us." + to_string(p.req.type))
+      .observe(end_us - p.enqueue_us);
+  metrics_.histogram("service.handle_us").observe(end_us - start_us);
+  metrics_
+      .counter(resp.status == Status::Ok ? "service.completed"
+                                         : "service.errors")
+      .add();
+  p.done(std::move(resp));
+}
+
+void InteropService::watchdog_loop() {
+  // Coarse periodic scan: granularity is min(10ms, timeout/4), plenty for
+  // request-level (ms-scale) deadlines and contention-free when idle.
+  std::uint64_t tick_us =
+      std::min<std::uint64_t>(10'000, std::max<std::uint64_t>(
+                                          100, opt_.request_timeout_us / 4));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wd_mu_);
+      wd_cv_.wait_for(lock, std::chrono::microseconds(tick_us),
+                      [this] { return wd_stop_; });
+      if (wd_stop_) return;
+    }
+    std::uint64_t now = now_us();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, flight] : flights_) {
+      if (flight.deadline_us == 0 || now < flight.deadline_us) continue;
+      flight.deadline_us = 0;  // fire once
+      metrics_.counter("service.timeouts").add();
+      flight.token->cancel();
+      // Fired under mu_ so the handler cannot destroy the executor the
+      // callback stops while we hold a reference to it.
+      if (flight.on_cancel) flight.on_cancel();
+    }
+  }
+}
+
+Response InteropService::handle(const Request& req, std::uint64_t flight_id) {
+  obs::Span span("service", "request:" + to_string(req.type),
+                 obs::armed() ? "\"tenant\":\"" + obs::escape_json(
+                                    req.tenant) +
+                                    "\",\"id\":" + std::to_string(req.id)
+                              : std::string());
+  std::shared_ptr<runtime::CancelToken> token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(flight_id);
+    if (it != flights_.end()) token = it->second.token;
+  }
+  if (token && token->cancelled())
+    return error_response(req.id, "cancelled before start");
+
+  switch (req.type) {
+    case MsgType::Ping: {
+      Response resp;
+      resp.body = "pong";
+      return resp;
+    }
+    case MsgType::Migrate:
+      return handle_migrate(req);
+    case MsgType::Netlist:
+      return handle_netlist(req);
+    case MsgType::FlowRun:
+      return handle_flow_run(req, flight_id);
+    case MsgType::Metrics: {
+      Response resp;
+      resp.body = metrics_.expose();
+      return resp;
+    }
+    case MsgType::Drain:
+      // Unreachable: submit() short-circuits Drain before the queue.
+      return error_response(req.id, "drain must not reach the queue");
+  }
+  return error_response(req.id, "unknown request type");
+}
+
+Response InteropService::handle_migrate(const Request& req) {
+  Response resp;
+  base::DiagnosticEngine diags;
+  std::optional<sch::Design> src;
+  try {
+    src.emplace(sch::read_design(req.design, diags));
+  } catch (const std::exception& e) {
+    return error_response(req.id, std::string("bad design: ") + e.what());
+  }
+  sch::MigrationResult result =
+      sch::migrate_design(*src, migration_config_, diags);
+  base::DiagnosticEngine verify_diags;
+  std::vector<sch::NetlistDiff> diffs = sch::verify_migration(
+      *src, result.design, migration_config_, verify_diags);
+  resp.body = sch::write_design(result.design);
+  const sch::MigrationReport& r = result.report;
+  resp.counters = {
+      {"sheets", r.sheets},
+      {"diffs", diffs.size()},
+      {"points_rescaled", r.points_rescaled},
+      {"labels_translated", r.labels_translated},
+      {"hier_connectors", r.hier_connectors_added},
+      {"offpage_connectors", r.offpage_connectors_added},
+      {"globals_replaced", r.globals_replaced},
+      {"props_applied", r.props.added + r.props.deleted + r.props.renamed +
+                            r.props.changed + r.props.callbacks_run},
+  };
+  return resp;
+}
+
+Response InteropService::handle_netlist(const Request& req) {
+  std::string dialect = req.dialect.empty() ? "viewlogic" : req.dialect;
+  auto dit = dialects_.find(dialect);
+  if (dit == dialects_.end())
+    return error_response(req.id, "unknown dialect: " + dialect);
+  base::DiagnosticEngine diags;
+  std::optional<sch::Design> design;
+  try {
+    design.emplace(sch::read_design(req.design, diags));
+  } catch (const std::exception& e) {
+    return error_response(req.id, std::string("bad design: ") + e.what());
+  }
+  const sch::Schematic* schematic = design->find_schematic(req.cell);
+  if (!schematic)
+    return error_response(req.id, "unknown cell: " + req.cell);
+  sch::Netlist netlist =
+      sch::extract_netlist(*design, *schematic, dit->second, diags);
+  std::ostringstream body;
+  std::uint64_t connections = 0, ports = 0, globals = 0;
+  for (const auto& [name, net] : netlist.nets) {
+    body << "net " << name << " pins=" << net.connections.size()
+         << " port=" << (net.is_port ? 1 : 0)
+         << " global=" << (net.global ? 1 : 0) << "\n";
+    connections += net.connections.size();
+    if (net.is_port) ++ports;
+    if (net.global) ++globals;
+  }
+  Response resp;
+  resp.body = body.str();
+  resp.counters = {{"nets", netlist.nets.size()},
+                   {"connections", connections},
+                   {"ports", ports},
+                   {"globals", globals}};
+  return resp;
+}
+
+Response InteropService::handle_flow_run(const Request& req,
+                                         std::uint64_t flight_id) {
+  if (!req.flow.empty() && req.flow != "fanout")
+    return error_response(req.id, "unknown flow spec: " + req.flow);
+  std::uint32_t width = std::clamp<std::uint32_t>(req.width, 1, 256);
+  std::uint32_t latency_us =
+      std::min<std::uint32_t>(req.latency_us, 1'000'000);
+
+  runtime::ExecutorOptions exec_opt;
+  exec_opt.workers = std::max(1, opt_.flow_workers);
+  runtime::ParallelExecutor executor(
+      make_fanout_flow(width, latency_us, req.seed), {},
+      std::make_unique<wf::SimpleDataManager>(), exec_opt, cache_);
+  std::string err = executor.instantiate({});
+  if (!err.empty())
+    return error_response(req.id, "instantiate failed: " + err);
+
+  {
+    // Let the watchdog stop the inner run if this request times out.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(flight_id);
+    if (it != flights_.end()) {
+      if (it->second.token->cancelled())
+        return error_response(req.id, "cancelled before flow run");
+      it->second.on_cancel = [&executor] { executor.request_stop(); };
+    }
+  }
+  runtime::RunStats stats = executor.run();
+  {
+    // Detach before the executor goes out of scope; the watchdog fires
+    // on_cancel under this same mutex, so after this block no cancellation
+    // can touch the dead executor.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(flight_id);
+    if (it != flights_.end()) it->second.on_cancel = nullptr;
+  }
+
+  // Shared-cache telemetry: cumulative across every request and tenant,
+  // which is exactly what makes cross-request sharing visible.
+  runtime::ResultCache::Stats cache_stats = cache_->stats();
+  metrics_.gauge("service.cache.hits").set(std::int64_t(cache_stats.hits));
+  metrics_.gauge("service.cache.misses")
+      .set(std::int64_t(cache_stats.misses));
+  metrics_.gauge("service.cache.entries").set(std::int64_t(cache_->size()));
+
+  Response resp;
+  if (stats.stopped)
+    return error_response(req.id, "flow run cancelled (timeout or drain)");
+  if (!stats.error.empty())
+    return error_response(req.id, "flow run failed: " + stats.error);
+  resp.counters = {{"steps", std::uint64_t(width) + 2},
+                   {"executed", std::uint64_t(stats.executed)},
+                   {"attempts", std::uint64_t(stats.attempts)},
+                   {"cache_hits", std::uint64_t(stats.cache_hits)},
+                   {"failures", std::uint64_t(stats.failures)},
+                   {"wall_us", stats.wall_us}};
+  return resp;
+}
+
+Response LoopbackClient::call(const Request& req) {
+  // Client -> server leg, through the real frame scanner.
+  FrameReader server_reader;
+  server_reader.feed(encode_request(req));
+  std::string payload, error;
+  if (server_reader.next(&payload, &error) != FrameReader::Result::Frame)
+    return error_response(0, "loopback framing: " + error);
+  Request decoded;
+  if (!decode_request(payload, &decoded, &error))
+    return error_response(0, "loopback decode: " + error);
+
+  Response served = service_.call(std::move(decoded));
+
+  // Server -> client leg.
+  FrameReader client_reader;
+  client_reader.feed(encode_response(served));
+  if (client_reader.next(&payload, &error) != FrameReader::Result::Frame)
+    return error_response(0, "loopback framing: " + error);
+  Response resp;
+  if (!decode_response(payload, &resp, &error))
+    return error_response(0, "loopback decode: " + error);
+  return resp;
+}
+
+}  // namespace interop::service

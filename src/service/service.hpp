@@ -1,0 +1,178 @@
+#pragma once
+// The interop service core: the long-lived, multi-tenant request engine
+// behind tools/interopd. The paper's claim is that interoperability is a
+// *service* problem — tool models, dialect tables, and design-data caches
+// must outlive any single tool invocation — so this keeps them resident:
+// one MigrationConfig (symbol/property/global tables + target library),
+// the dialect registry, and one sharded content-addressed ResultCache are
+// built at startup and shared across every request from every tenant.
+//
+// Request pipeline: submit() runs admission control (bounded queue —
+// beyond the limit the request is *rejected with a retry-after hint*, the
+// §5 answer to graceful degradation, instead of letting latency collapse),
+// then parks the request on its tenant's FIFO queue. A fixed worker pool
+// drains tenants round-robin, so one tenant flooding the daemon cannot
+// starve another's single request. Each in-flight request is registered
+// with a deadline; a watchdog thread fires the request's CancelToken (and
+// the inner flow executor's request_stop) past the timeout — the same
+// cooperative-cancellation machinery the flow runtime already uses.
+//
+// Transport-free by design: the core consumes decoded wire::Request
+// structs and produces Responses through completion callbacks. The socket
+// front end lives in tools/interopd; tests and bench_service drive the
+// same core through LoopbackClient, which round-trips every call through
+// the real wire codec without any networking.
+//
+// Observability: every stage is counted in an owned obs::Metrics registry
+// (queue depth, busy workers, admitted/rejected/completed, queue-wait and
+// per-endpoint latency log2-histograms, shared-cache hits/misses) — the
+// Metrics endpoint exposes it — and each request runs under a TraceSession
+// span (cat "service") when tracing is armed.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/retry.hpp"
+#include "schematic/migrate.hpp"
+#include "service/wire.hpp"
+
+namespace interop::service {
+
+struct ServiceOptions {
+  /// Request worker pool (each worker serves one request at a time).
+  int workers = 4;
+  /// Inner ParallelExecutor pool for each FlowRun request.
+  int flow_workers = 2;
+  /// Admission bound: queued (not yet claimed) requests beyond this are
+  /// rejected. 0 means reject everything (useful in tests).
+  std::size_t queue_limit = 64;
+  /// Backoff hint attached to rejections.
+  std::uint64_t retry_after_us = 2000;
+  /// Cooperative per-request timeout; 0 disables the watchdog.
+  std::uint64_t request_timeout_us = 0;
+  /// Resident ResultCache bound (0 = unbounded) and shard count.
+  std::size_t cache_entries = 0;
+  int cache_shards = 16;
+};
+
+class InteropService {
+ public:
+  using Done = std::function<void(Response)>;
+
+  explicit InteropService(ServiceOptions opt = {});
+  ~InteropService();  ///< drains (completes queued + in-flight work)
+
+  InteropService(const InteropService&) = delete;
+  InteropService& operator=(const InteropService&) = delete;
+
+  /// Admit or reject `req`. On admission, `done` runs later on a worker
+  /// thread. On rejection (queue full or draining), `done` runs inline
+  /// with a Rejected/Error response and submit returns false.
+  bool submit(Request req, Done done);
+
+  /// Synchronous convenience: submit and wait for the response.
+  Response call(Request req);
+
+  /// Stop admitting new requests; queued and in-flight work still runs.
+  void begin_drain();
+  /// True once begin_drain()/drain() has been called (sticky). The daemon
+  /// polls this so a wire-level Drain request ends its accept loop.
+  bool draining() const;
+  /// begin_drain() + wait until every queued and in-flight request has
+  /// completed. Idempotent; the destructor calls it.
+  void drain();
+
+  obs::Metrics& metrics() { return metrics_; }
+  std::shared_ptr<runtime::ResultCache> cache() const { return cache_; }
+
+  /// Queued (admitted, unclaimed) requests right now.
+  std::size_t queued() const;
+  /// Requests being served right now.
+  int in_flight() const;
+
+ private:
+  struct Pending {
+    Request req;
+    Done done;
+    std::uint64_t enqueue_us = 0;
+  };
+  /// Watchdog registration for one in-flight request.
+  struct Flight {
+    std::uint64_t deadline_us = 0;
+    std::shared_ptr<runtime::CancelToken> token;
+    /// Set while a FlowRun's executor is live, so cancellation can also
+    /// stop the inner run. Guarded by mu_.
+    std::function<void()> on_cancel;
+  };
+
+  void worker_loop(int worker_id);
+  void watchdog_loop();
+  Response handle(const Request& req, std::uint64_t flight_id);
+  Response handle_migrate(const Request& req);
+  Response handle_netlist(const Request& req);
+  Response handle_flow_run(const Request& req, std::uint64_t flight_id);
+  void finish(Pending p, Response resp, std::uint64_t start_us);
+  std::uint64_t now_us() const;
+
+  ServiceOptions opt_;
+
+  // --- resident tool models (immutable after construction) ---
+  std::map<std::string, sch::Dialect> dialects_;
+  sch::MigrationConfig migration_config_;
+  std::shared_ptr<runtime::ResultCache> cache_;
+
+  obs::Metrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;    ///< workers wait for queued work
+  std::condition_variable drain_cv_;   ///< drain() waits for quiescence
+  /// Per-tenant FIFO queues; `rr_` holds each tenant with queued work
+  /// exactly once, in round-robin claim order.
+  std::map<std::string, std::deque<Pending>> queues_;
+  std::deque<std::string> rr_;
+  std::size_t queued_ = 0;
+  int in_flight_ = 0;
+  bool draining_ = false;
+  bool stop_workers_ = false;
+  std::map<std::uint64_t, Flight> flights_;
+  std::uint64_t next_flight_id_ = 1;
+
+  std::vector<std::thread> workers_;
+
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
+  std::thread watchdog_;
+
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// In-process transport: drives an InteropService through the real wire
+/// codec (encode -> FrameReader -> decode on both legs), so tests and
+/// bench_service exercise the exact byte path the daemon speaks, minus
+/// the socket. Not thread-safe; use one per client thread.
+class LoopbackClient {
+ public:
+  explicit LoopbackClient(InteropService& service) : service_(service) {}
+
+  /// Round-trip one request. Wire-level failures surface as Status::Error
+  /// responses (id 0), mirroring what the daemon would send before
+  /// closing the session.
+  Response call(const Request& req);
+
+ private:
+  InteropService& service_;
+};
+
+}  // namespace interop::service

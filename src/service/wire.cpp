@@ -1,0 +1,248 @@
+#include "service/wire.hpp"
+
+#include <cstring>
+
+namespace interop::service {
+
+std::string to_string(MsgType t) {
+  switch (t) {
+    case MsgType::Ping: return "ping";
+    case MsgType::Migrate: return "migrate";
+    case MsgType::Netlist: return "netlist";
+    case MsgType::FlowRun: return "flow_run";
+    case MsgType::Metrics: return "metrics";
+    case MsgType::Drain: return "drain";
+  }
+  return "unknown";
+}
+
+std::string to_string(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::Error: return "error";
+    case Status::Rejected: return "rejected";
+  }
+  return "unknown";
+}
+
+std::uint64_t Response::counter(std::string_view name,
+                                std::uint64_t fallback) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return fallback;
+}
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = char((v >> (8 * i)) & 0xff);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = char((v >> (8 * i)) & 0xff);
+  out.append(b, 8);
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u32(out, std::uint32_t(s.size()));
+  out.append(s.data(), s.size());
+}
+
+/// Bounds-checked payload cursor: every getter fails cleanly at the end of
+/// the buffer, so a lying length prefix inside the payload cannot read
+/// out of bounds.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool u32(std::uint32_t* v) {
+    if (data_.size() - pos_ < 4) return fail("truncated u32");
+    std::uint32_t r = 0;
+    for (int i = 0; i < 4; ++i)
+      r |= std::uint32_t(std::uint8_t(data_[pos_ + i])) << (8 * i);
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+
+  bool u64(std::uint64_t* v) {
+    if (data_.size() - pos_ < 8) return fail("truncated u64");
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i)
+      r |= std::uint64_t(std::uint8_t(data_[pos_ + i])) << (8 * i);
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+
+  bool str(std::string* s) {
+    std::uint32_t n = 0;
+    if (!u32(&n)) return fail("truncated string length");
+    if (data_.size() - pos_ < n) return fail("string length exceeds payload");
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const char* why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Wrap an encoded payload in a frame header.
+std::string frame(std::string payload) {
+  std::string out;
+  out.reserve(payload.size() + 12);
+  out.append(kWireMagic, 4);
+  put_u32(out, kWireVersion);
+  put_u32(out, std::uint32_t(payload.size()));
+  out += payload;
+  return out;
+}
+
+bool set_error(std::string* error, const std::string& why) {
+  if (error) *error = why;
+  return false;
+}
+
+}  // namespace
+
+std::string encode_request(const Request& req) {
+  std::string p;
+  put_u64(p, req.id);
+  put_u32(p, std::uint32_t(req.type));
+  put_str(p, req.tenant);
+  put_str(p, req.design);
+  put_str(p, req.cell);
+  put_str(p, req.dialect);
+  put_str(p, req.flow);
+  put_u32(p, req.width);
+  put_u32(p, req.latency_us);
+  put_u64(p, req.seed);
+  return frame(std::move(p));
+}
+
+std::string encode_response(const Response& resp) {
+  std::string p;
+  put_u64(p, resp.id);
+  put_u32(p, std::uint32_t(resp.status));
+  put_u64(p, resp.retry_after_us);
+  put_str(p, resp.error);
+  put_str(p, resp.body);
+  put_u32(p, std::uint32_t(resp.counters.size()));
+  for (const auto& [name, value] : resp.counters) {
+    put_str(p, name);
+    put_u64(p, value);
+  }
+  return frame(std::move(p));
+}
+
+bool decode_request(std::string_view payload, Request* out,
+                    std::string* error) {
+  Cursor c(payload);
+  Request r;
+  std::uint32_t type = 0;
+  if (!c.u64(&r.id) || !c.u32(&type) || !c.str(&r.tenant) ||
+      !c.str(&r.design) || !c.str(&r.cell) || !c.str(&r.dialect) ||
+      !c.str(&r.flow) || !c.u32(&r.width) || !c.u32(&r.latency_us) ||
+      !c.u64(&r.seed))
+    return set_error(error, "request: " + c.error());
+  if (type < std::uint32_t(MsgType::Ping) ||
+      type > std::uint32_t(MsgType::Drain))
+    return set_error(error, "request: unknown type " + std::to_string(type));
+  if (!c.done()) return set_error(error, "request: trailing bytes");
+  r.type = MsgType(type);
+  *out = std::move(r);
+  return true;
+}
+
+bool decode_response(std::string_view payload, Response* out,
+                     std::string* error) {
+  Cursor c(payload);
+  Response r;
+  std::uint32_t status = 0, n = 0;
+  if (!c.u64(&r.id) || !c.u32(&status) || !c.u64(&r.retry_after_us) ||
+      !c.str(&r.error) || !c.str(&r.body) || !c.u32(&n))
+    return set_error(error, "response: " + c.error());
+  if (status > std::uint32_t(Status::Rejected))
+    return set_error(error,
+                     "response: unknown status " + std::to_string(status));
+  // Each counter costs at least 12 bytes on the wire, so a lying count
+  // cannot force a large reserve.
+  if (n > payload.size() / 12 + 1)
+    return set_error(error, "response: counter count exceeds payload");
+  r.counters.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t value = 0;
+    if (!c.str(&name) || !c.u64(&value))
+      return set_error(error, "response: " + c.error());
+    r.counters.emplace_back(std::move(name), value);
+  }
+  if (!c.done()) return set_error(error, "response: trailing bytes");
+  r.status = Status(status);
+  *out = std::move(r);
+  return true;
+}
+
+void FrameReader::feed(std::string_view bytes) {
+  if (bad_) return;  // session is dead; drop everything
+  // Compact consumed bytes before growing the buffer.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+FrameReader::Result FrameReader::next(std::string* payload,
+                                      std::string* error) {
+  if (bad_) {
+    if (error) *error = bad_reason_;
+    return Result::Bad;
+  }
+  std::size_t avail = buf_.size() - pos_;
+  // Validate the magic as soon as it is complete so garbage fails fast,
+  // before the (attacker-controlled) length is even read.
+  if (avail >= 4 && std::memcmp(buf_.data() + pos_, kWireMagic, 4) != 0) {
+    bad_ = true;
+    bad_reason_ = "bad frame magic";
+    if (error) *error = bad_reason_;
+    return Result::Bad;
+  }
+  if (avail < 12) return Result::NeedMore;
+  const auto* h = reinterpret_cast<const std::uint8_t*>(buf_.data() + pos_);
+  std::uint32_t version = 0, len = 0;
+  for (int i = 0; i < 4; ++i) version |= std::uint32_t(h[4 + i]) << (8 * i);
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t(h[8 + i]) << (8 * i);
+  if (version != kWireVersion) {
+    bad_ = true;
+    bad_reason_ = "unsupported wire version " + std::to_string(version);
+    if (error) *error = bad_reason_;
+    return Result::Bad;
+  }
+  if (len > kMaxFrameBytes) {
+    bad_ = true;
+    bad_reason_ = "oversized frame: " + std::to_string(len) + " bytes";
+    if (error) *error = bad_reason_;
+    return Result::Bad;
+  }
+  if (avail - 12 < len) return Result::NeedMore;
+  payload->assign(buf_.data() + pos_ + 12, len);
+  pos_ += 12 + std::size_t(len);
+  return Result::Frame;
+}
+
+}  // namespace interop::service

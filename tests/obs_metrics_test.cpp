@@ -1,0 +1,84 @@
+// Regression tests for the Metrics text exposition: the service's
+// metrics dump endpoint is golden-tested against this format, so it must
+// be byte-deterministic (globally sorted by name, ties broken by kind)
+// and immune to hostile metric names (whitespace is escaped, never able
+// to desync the line structure).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+using interop::obs::Metrics;
+
+TEST(RuntimeObsExposition, GloballySortedAcrossKinds) {
+  Metrics m;
+  // Register deliberately out of order and interleaved across kinds.
+  m.histogram("svc.latency").observe(3);
+  m.counter("svc.rejected").add(2);
+  m.gauge("svc.depth").set(7);
+  m.counter("alpha").add(1);
+  m.gauge("zeta").set(-4);
+
+  EXPECT_EQ(m.expose(),
+            "counter alpha 1\n"
+            "gauge svc.depth 7\n"
+            "histogram svc.latency count=1 sum=3 p50~3 p99~3 max<=3\n"
+            "counter svc.rejected 2\n"
+            "gauge zeta -4\n");
+}
+
+TEST(RuntimeObsExposition, SameNameTiesBreakCounterGaugeHistogram) {
+  Metrics m;
+  m.histogram("x").observe(0);
+  m.gauge("x").set(5);
+  m.counter("x").add(9);
+
+  EXPECT_EQ(m.expose(),
+            "counter x 9\n"
+            "gauge x 5\n"
+            "histogram x count=1 sum=0 p50~0 p99~0 max<=0\n");
+}
+
+TEST(RuntimeObsExposition, EscapesWhitespaceInNames) {
+  Metrics m;
+  m.counter("bad name").add(1);
+  m.counter("worse\nname").add(2);
+  m.counter("tab\tname").add(3);
+  m.counter("back\\slash").add(4);
+
+  std::string text = m.expose();
+  EXPECT_EQ(text,
+            "counter back\\\\slash 4\n"
+            "counter bad\\sname 1\n"
+            "counter tab\\tname 3\n"
+            "counter worse\\nname 2\n");
+  // The defining property: one metric per line, two fields before the
+  // value, no matter what the name contained.
+  for (std::size_t pos = 0, line = 0; pos < text.size(); ++line) {
+    std::size_t end = text.find('\n', pos);
+    ASSERT_NE(end, std::string::npos);
+    std::string row = text.substr(pos, end - pos);
+    EXPECT_EQ(std::count(row.begin(), row.end(), ' '), 2) << row;
+    pos = end + 1;
+  }
+}
+
+TEST(RuntimeObsExposition, EscapeIsIdentityOnCleanNames) {
+  EXPECT_EQ(Metrics::escape_metric_name("runtime.cache.hit"),
+            "runtime.cache.hit");
+  EXPECT_EQ(Metrics::escape_metric_name("a b\\c\nd\te"),
+            "a\\sb\\\\c\\nd\\te");
+}
+
+TEST(RuntimeObsExposition, DeterministicAcrossRegistrationOrder) {
+  Metrics a, b;
+  a.counter("one").add(1);
+  a.gauge("two").set(2);
+  a.histogram("three").observe(3);
+  b.histogram("three").observe(3);
+  b.counter("one").add(1);
+  b.gauge("two").set(2);
+  EXPECT_EQ(a.expose(), b.expose());
+}
