@@ -132,9 +132,16 @@ struct WorkloadResult {
   double serial_ms = 0;
   double parallel_ms = 0;
   double speedup = 0;
+  double busy_ms = 0;       ///< sum of step spans (journal busy_us)
+  double utilization = 0;   ///< busy / (wall * workers)
+  int batches = 0;          ///< scheduler claims (cold run)
+  int steals = 0;           ///< batches taken from another worker's deque
+  int fastpath = 0;         ///< whole-frontier serial claims
   int warm_executed = -1;
   int warm_cache_hits = 0;
   double warm_ms = 0;
+  int warm_batches = 0;
+  int warm_fastpath = 0;
   std::string journal_json;
 };
 
@@ -165,8 +172,17 @@ WorkloadResult run_workload(const FlowTemplate& flow, int workers,
     if (!seed_path.empty()) par.engine().data().write(seed_path, seed_content);
     par.instantiate({});
     auto t0 = std::chrono::steady_clock::now();
-    par.run();
+    RunStats stats = par.run();
     r.parallel_ms = ms_since(t0);
+    r.batches = stats.batches;
+    r.steals = stats.steals;
+    r.fastpath = stats.fastpath;
+    RunJournal::Summary sum = par.journal().summary(par.engine().instance());
+    r.busy_ms = double(sum.busy_us) / 1000.0;
+    // Worker utilization: the share of the pool's wall-clock capacity spent
+    // inside step attempts/replays. The seed scheduler idled at ~7% here.
+    if (sum.wall_us > 0 && workers > 0)
+      r.utilization = double(sum.busy_us) / (double(sum.wall_us) * workers);
     r.journal_json = par.journal().to_json(par.engine().instance());
   }
   r.speedup = r.parallel_ms > 0 ? r.serial_ms / r.parallel_ms : 0;
@@ -182,6 +198,8 @@ WorkloadResult run_workload(const FlowTemplate& flow, int workers,
     r.warm_ms = ms_since(t0);
     r.warm_executed = stats.executed;
     r.warm_cache_hits = stats.cache_hits;
+    r.warm_batches = stats.batches;
+    r.warm_fastpath = stats.fastpath;
   }
   return r;
 }
@@ -191,9 +209,13 @@ void emit(std::ostream& os, const std::string& name,
   os << "\"" << name << "\":{\"steps\":" << r.steps
      << ",\"serial_ms\":" << r.serial_ms
      << ",\"parallel_ms\":" << r.parallel_ms << ",\"speedup\":" << r.speedup
+     << ",\"busy_ms\":" << r.busy_ms << ",\"utilization\":" << r.utilization
+     << ",\"sched\":{\"batches\":" << r.batches << ",\"steals\":" << r.steals
+     << ",\"fastpath\":" << r.fastpath << "}"
      << ",\"warm\":{\"executed\":" << r.warm_executed
      << ",\"cache_hits\":" << r.warm_cache_hits << ",\"ms\":" << r.warm_ms
-     << "}";
+     << ",\"batches\":" << r.warm_batches
+     << ",\"fastpath\":" << r.warm_fastpath << "}";
   if (with_journal) os << ",\"journal\":" << r.journal_json;
   os << "}";
 }
@@ -230,14 +252,19 @@ int main(int argc, char** argv) {
       core::apply_scenario(m.tasks, *m.scenario("full-asic"));
   core::FlowExportOptions options;
   options.fail_on_unmapped = false;
+  // Each task models a real tool run (§6 steps live inside external tools);
+  // without this the "flow" is 183 instant actions and serial-vs-parallel
+  // only measures scheduler bookkeeping.
+  options.tool_latency_us = 200;
   WorkloadResult methodology = run_workload(
       core::export_flow(pruned, m.map, options), kWorkers, "", "");
 
-  // The t9 flow is informational only: the §6 methodology has overlapping
-  // producers, so a handful of legitimate rework executions can survive a
-  // warm start there.
+  // The t9 warm numbers are informational only: the §6 methodology has
+  // overlapping producers, so a handful of legitimate rework executions can
+  // survive a warm start there. Its cold speedup IS gated: the old
+  // single-guard scheduler ran it at 0.73x vs serial.
   bool pass = fanout.speedup >= 2.0 && fanout.warm_executed == 0 &&
-              layered.warm_executed == 0;
+              layered.warm_executed == 0 && methodology.speedup >= 2.0;
 
   std::ostringstream os;
   os << "{\"bench\":\"runtime_parallel\",\"workers\":" << kWorkers << ",";
@@ -263,11 +290,15 @@ int main(int argc, char** argv) {
   std::cerr << "fanout: " << fanout.steps << " steps, serial "
             << fanout.serial_ms << " ms, " << kWorkers << " workers "
             << fanout.parallel_ms << " ms (" << fanout.speedup
-            << "x), warm re-run executed " << fanout.warm_executed
+            << "x, utilization " << int(fanout.utilization * 100)
+            << "%), warm re-run executed " << fanout.warm_executed
             << " actions in " << fanout.warm_ms << " ms\n"
             << "t9 methodology: " << methodology.steps << " tasks, serial "
             << methodology.serial_ms << " ms, parallel "
-            << methodology.parallel_ms << " ms, warm executed "
+            << methodology.parallel_ms << " ms (" << methodology.speedup
+            << "x, utilization " << int(methodology.utilization * 100)
+            << "%, " << methodology.batches << " batches, "
+            << methodology.steals << " steals), warm executed "
             << methodology.warm_executed << "\n";
   return pass ? 0 : 1;
 }

@@ -84,6 +84,29 @@ check_json "$tmp" "$obs_bin"
 cp "$tmp" "$obs_out"
 echo "wrote $obs_out"
 
+# Scheduler bench: batched/work-stealing executor vs the serial engine —
+# per-workload speedup, worker utilization (busy/wall), batch/steal/fastpath
+# counts, warm-cache replay (self-checking; see EXPERIMENTS.md §P2). The
+# fanout journal dump is for ad-hoc inspection and is stripped from the
+# checked-in file to keep it reviewable.
+cmake --build "$build_dir" --target bench_runtime_parallel -j "$(nproc)"
+sched_bin="$build_dir/bench/bench_runtime_parallel"
+[ -x "$sched_bin" ] || die "bench binary missing: $sched_bin"
+sched_out="$repo_root/BENCH_sched.json"
+"$sched_bin" > "$tmp"
+check_json "$tmp" "$sched_bin"
+python3 - "$sched_out" "$tmp" <<'EOF'
+import json, sys
+out_path, new_path = sys.argv[1], sys.argv[2]
+with open(new_path) as f:
+    fresh = json.load(f)
+fresh.get("fanout", {}).pop("journal", None)
+with open(out_path, "w") as f:
+    json.dump(fresh, f, indent=1)
+    f.write("\n")
+EOF
+echo "wrote $sched_out"
+
 # Service bench: closed-loop multi-tenant load against the interop service
 # core — throughput/latency percentiles, cross-tenant warm-cache replay,
 # overload shedding with retry-after, graceful drain (self-checking; see

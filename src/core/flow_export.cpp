@@ -1,5 +1,8 @@
 #include "core/flow_export.hpp"
 
+#include <chrono>
+#include <thread>
+
 namespace interop::core {
 
 wf::FlowTemplate export_flow(const TaskGraph& tasks, const TaskToolMap& map,
@@ -33,14 +36,20 @@ wf::FlowTemplate export_flow(const TaskGraph& tasks, const TaskToolMap& map,
       // outputs. Tool sessions keep per-tool state alive across steps.
       auto inputs = task.inputs;
       auto outputs = task.outputs;
+      std::uint64_t latency = options.tool_latency_us;
       step.action = {tool.empty() ? "noop" : tool,
                      wf::ActionLanguage::Native,
-                     [tool, inputs, outputs](wf::ActionApi& api) {
+                     [tool, inputs, outputs, latency](wf::ActionApi& api) {
                        std::string digest;
                        for (const std::string& in : inputs)
                          digest += api.read_data(in).value_or("?");
                        if (!tool.empty())
                          api.tool_request(tool, "run " + api.step());
+                       // The tool run itself: waited on outside the engine
+                       // guard, so concurrent steps overlap their waits.
+                       if (latency > 0)
+                         std::this_thread::sleep_for(
+                             std::chrono::microseconds(latency));
                        for (const std::string& out : outputs)
                          api.write_data(out, tool + "(" +
                                                  std::to_string(digest.size()) +

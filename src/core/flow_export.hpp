@@ -15,6 +15,12 @@ struct FlowExportOptions {
   /// Steps for tasks whose tool is missing from the map fail at run time
   /// (true) or are exported with a no-op action (false).
   bool fail_on_unmapped = true;
+  /// Simulated per-step tool run time. A real methodology step spends its
+  /// life inside an external tool, not inside the engine; modeling that
+  /// wait (a sleep taken outside the engine's concurrency guard) is what
+  /// makes serial-vs-parallel comparisons of an exported flow meaningful.
+  /// 0 keeps the historical instant-action behavior.
+  std::uint64_t tool_latency_us = 0;
 };
 
 /// Build a workflow template from `tasks`. Step names are task ids; data

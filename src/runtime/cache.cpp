@@ -77,6 +77,16 @@ std::size_t ResultCache::size() const {
   return total;
 }
 
+std::map<std::uint64_t, std::shared_ptr<const CacheEntry>>
+ResultCache::snapshot() const {
+  std::map<std::uint64_t, std::shared_ptr<const CacheEntry>> out;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (const auto& [key, entry] : s->entries) out.emplace(key, entry);
+  }
+  return out;
+}
+
 void ResultCache::clear() {
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lock(s->mu);

@@ -65,6 +65,11 @@ class ResultCache {
   /// Drop every entry and reset stats.
   void clear();
 
+  /// Full key -> entry dump, merged across shards. Does not count as
+  /// hits/misses — built for differential tests that assert two schedules
+  /// produced byte-identical cache contents.
+  std::map<std::uint64_t, std::shared_ptr<const CacheEntry>> snapshot() const;
+
  private:
   struct Shard {
     mutable std::mutex mu;

@@ -4,10 +4,19 @@
 #include <chrono>
 #include <limits>
 
-#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace interop::runtime {
+
+namespace {
+/// Auto-tuned batch thresholds never exceed this: a step this expensive is
+/// worth its own claim even when the median is large.
+constexpr std::uint64_t kAutoThresholdCapUs = 32;
+/// Histogram samples required before unseen steps inherit the p50 estimate
+/// (below this, an unseen step is "unknown" and never batches).
+constexpr std::int64_t kMinCostSamples = 8;
+constexpr std::uint64_t kUnknownCost = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
 
 ParallelExecutor::ParallelExecutor(
     wf::FlowTemplate main, std::map<std::string, wf::FlowTemplate> subflows,
@@ -17,7 +26,19 @@ ParallelExecutor::ParallelExecutor(
               options.role),
       options_(options),
       cache_(std::move(cache)),
-      clock_(std::make_shared<SteadyClock>()) {
+      clock_(std::make_shared<SteadyClock>()),
+      m_runnable_(obs::Metrics::global().gauge("runtime.queue.runnable")),
+      m_cache_hit_(obs::Metrics::global().counter("runtime.cache.hit")),
+      m_cache_miss_(obs::Metrics::global().counter("runtime.cache.miss")),
+      m_attempts_(obs::Metrics::global().counter("runtime.attempts")),
+      m_retries_(obs::Metrics::global().counter("runtime.retries")),
+      m_faults_(obs::Metrics::global().counter("runtime.faults")),
+      m_timeouts_(obs::Metrics::global().counter("runtime.timeouts")),
+      m_steals_(obs::Metrics::global().counter("sched.steal")),
+      m_fastpath_(obs::Metrics::global().counter("sched.fastpath")),
+      m_step_us_(obs::Metrics::global().histogram("runtime.step_us")),
+      m_replay_us_(obs::Metrics::global().histogram("runtime.replay_us")),
+      m_batch_size_(obs::Metrics::global().histogram("sched.batch_size")) {
   journal_.set_clock(clock_);
 }
 
@@ -31,39 +52,166 @@ void ParallelExecutor::set_clock(std::shared_ptr<Clock> clock) {
   journal_.set_clock(clock_);
 }
 
-bool ParallelExecutor::claim_next_locked(Claim* out) {
+// ------------------------------------------------------------ cost model
+
+std::uint64_t ParallelExecutor::hist_p50_locked() const {
+  std::int64_t count = cost_hist_.count();
+  if (count <= 0) return 0;
+  std::int64_t half = (count + 1) / 2;
+  std::int64_t seen = 0;
+  for (int b = 0; b < obs::MetricHistogram::kBuckets; ++b) {
+    seen += cost_hist_.bucket(b);
+    if (seen >= half) return obs::MetricHistogram::bucket_upper(b);
+  }
+  return obs::MetricHistogram::bucket_upper(obs::MetricHistogram::kBuckets - 1);
+}
+
+std::uint64_t ParallelExecutor::batch_threshold_locked() const {
+  if (options_.batch_threshold_us > 0) return options_.batch_threshold_us;
+  if (cost_hist_.count() == 0) return 0;  // no samples: nothing batches yet
+  std::uint64_t p50 = hist_p50_locked();
+  if (p50 >= kAutoThresholdCapUs / 4) return kAutoThresholdCapUs;
+  return std::min<std::uint64_t>(4 * p50, kAutoThresholdCapUs);
+}
+
+std::uint64_t ParallelExecutor::estimate_locked(const std::string& name) const {
+  auto it = cost_est_us_.find(name);
+  if (it != cost_est_us_.end()) return it->second;
+  // Never-seen steps inherit the p50 only once the histogram has enough
+  // samples to mean something. One instant bookkeeping step must not vouch
+  // for a whole frontier of unseen tool runs — fast-pathing those would
+  // serialize real overlap, the worst mispredict this model can make.
+  if (cost_hist_.count() >= kMinCostSamples) return hist_p50_locked();
+  return kUnknownCost;
+}
+
+// --------------------------------------------------------- batch forming
+
+void ParallelExecutor::form_batches_locked(std::vector<Batch>* out) {
+  if (stop_) return;
   std::vector<std::string> runnable = engine_.runnable_steps();
-  obs::Metrics::global().gauge("runtime.queue.runnable")
-      .set(std::int64_t(runnable.size()));
+  m_runnable_.set(std::int64_t(runnable.size()));
   if (obs::armed())
     obs::counter("runtime", "queue.runnable", std::int64_t(runnable.size()));
-  for (const std::string& name : runnable) {
-    int& count = scheduled_[name];
-    if (count >= options_.livelock_limit) {
+  if (runnable.empty()) return;
+
+  // Livelock check mirrors the serial engine: walking the frontier in rank
+  // order, the first step already scheduled livelock_limit times aborts the
+  // round — lower-rank claimable steps before it still go out (they were
+  // claimed first under per-step claiming too).
+  std::size_t claimable = runnable.size();
+  for (std::size_t i = 0; i < runnable.size(); ++i) {
+    auto it = scheduled_.find(runnable[i]);
+    if (it != scheduled_.end() && it->second >= options_.livelock_limit) {
       stats_.livelock = true;
-      stats_.error = "livelock detected: step '" + name + "' was scheduled " +
-                     std::to_string(count) +
+      stats_.error = "livelock detected: step '" + runnable[i] +
+                     "' was scheduled " + std::to_string(it->second) +
                      " times in one run(); a data write/read cycle keeps "
                      "marking it NeedsRerun";
       stop_ = true;
       cv_.notify_all();
-      return false;
+      claimable = i;
+      break;
     }
-    bool was_rerun = false;
-    if (!engine_.begin_step(name, &was_rerun)) continue;  // lost a race
-    ++count;
-    out->name = name;
-    out->was_rerun = was_rerun;
+  }
+  runnable.resize(claimable);
+  if (runnable.empty()) return;
+
+  std::uint64_t threshold = batch_threshold_locked();
+  bool all_cheap = true;
+  for (const std::string& name : runnable) {
+    if (estimate_locked(name) > threshold) {
+      all_cheap = false;
+      break;
+    }
+  }
+  // Serial fast path: the whole remaining frontier is sub-threshold and no
+  // other batch exists anywhere — claim it as ONE uncapped batch and keep
+  // it on the claiming worker. A scheduling-bound flow proceeds wave by
+  // wave with one lock acquisition per wave; the pool stays parked.
+  // max_batch == 1 promises strictly per-step claims, so it disables the
+  // fast path too (the differential tests rely on that).
+  bool fastpath = all_cheap && live_batches_ == 0 && options_.max_batch > 1;
+
+  std::vector<wf::Engine::StepClaim> claims = engine_.begin_steps(runnable);
+  if (claims.empty()) return;
+  for (const wf::Engine::StepClaim& c : claims) ++scheduled_[c.name];
+
+  int cap = std::max(1, options_.max_batch);
+  Batch cur;
+  auto flush = [&] {
+    if (cur.items.empty()) return;
+    cur.id = ++next_batch_id_;
+    out->push_back(std::move(cur));
+    cur = Batch{};
+  };
+  for (wf::Engine::StepClaim& c : claims) {
+    bool cheap = fastpath || estimate_locked(c.name) <= threshold;
+    BatchItem item;
+    item.was_rerun = c.was_rerun;
     if (cache_) {
-      const wf::StepStatus* st = engine_.instance().find(name);
-      out->key = step_content_key(st->def, engine_.data());
-      out->has_key = true;
-      out->entry = cache_->find(out->key);
+      const wf::StepStatus* st = engine_.instance().find(c.name);
+      item.key = step_content_key(st->def, engine_.data());
+      item.has_key = true;
+      item.entry = cache_->find(item.key);
     }
+    item.name = std::move(c.name);
+    if (fastpath) {
+      cur.items.push_back(std::move(item));
+    } else if (!cheap) {
+      flush();
+      cur.items.push_back(std::move(item));
+      flush();
+    } else {
+      cur.items.push_back(std::move(item));
+      if (int(cur.items.size()) >= cap) flush();
+    }
+  }
+  if (fastpath && !cur.items.empty()) {
+    cur.fastpath = true;
+    ++stats_.fastpath;
+    m_fastpath_.add();
+  }
+  flush();
+  stats_.batches += int(out->size());
+  live_batches_ += int(out->size());
+  for (const Batch& b : *out)
+    m_batch_size_.observe(std::uint64_t(b.items.size()));
+}
+
+// ------------------------------------------------------- deques/stealing
+
+bool ParallelExecutor::pop_own(int worker_id, Batch* out) {
+  WorkerDeque& q = *deques_[std::size_t(worker_id)];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.dq.empty()) return false;
+  *out = std::move(q.dq.back());
+  q.dq.pop_back();
+  return true;
+}
+
+bool ParallelExecutor::steal_from_victim(int worker_id, Batch* out) {
+  if (!options_.work_stealing) return false;
+  int n = int(deques_.size());
+  for (int k = 1; k < n; ++k) {
+    WorkerDeque& q = *deques_[std::size_t((worker_id + k) % n)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.dq.empty()) continue;
+    *out = std::move(q.dq.front());
+    q.dq.pop_front();
+    stolen_.fetch_add(1, std::memory_order_relaxed);
+    m_steals_.add();
+    if (obs::armed())
+      obs::instant("sched", "steal",
+                   "\"thief\":" + std::to_string(worker_id) + ",\"victim\":" +
+                       std::to_string((worker_id + k) % n) +
+                       ",\"batch\":" + std::to_string(out->id));
     return true;
   }
   return false;
 }
+
+// --------------------------------------------------------------- watchdog
 
 std::uint64_t ParallelExecutor::arm_timeout(CancelToken* token) {
   std::lock_guard<std::mutex> lock(wd_mu_);
@@ -81,24 +229,39 @@ std::uint64_t ParallelExecutor::arm_timeout(CancelToken* token) {
 void ParallelExecutor::disarm_timeout(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(wd_mu_);
   armed_.erase(id);
+  // No notify: the watchdog re-derives the earliest deadline on its next
+  // wakeup; an erased deadline only makes it wake early once, not late.
 }
 
 void ParallelExecutor::watchdog_loop() {
   std::unique_lock<std::mutex> lock(wd_mu_);
   while (!wd_stop_) {
+    ++wd_wakeups_;
     std::uint64_t now = journal_.now_us();
+    std::uint64_t earliest = std::numeric_limits<std::uint64_t>::max();
     for (auto& [id, armed] : armed_) {
-      if (!armed.token->cancelled() && armed.deadline_us <= now)
+      if (armed.token->cancelled()) continue;
+      if (armed.deadline_us <= now)
         armed.token->cancel();
+      else
+        earliest = std::min(earliest, armed.deadline_us);
     }
-    // Deadlines are clock-based (deterministic under SimClock); the poll
-    // cadence is real time, so a wedged real action is cut loose within
-    // ~1 ms of its deadline without ever advancing a simulated clock.
-    if (armed_.empty())
+    // Event-driven: sleep until the earliest pending deadline, or forever
+    // when nothing is armed — arm_timeout/request_stop/run-end notify.
+    // Deadlines are clock-based (deterministic under SimClock, where
+    // injected hangs self-cancel after advancing the sim time); the sleep
+    // below is real time, bounding how late a wedged real action is cut
+    // loose by nothing but scheduling noise.
+    if (earliest == std::numeric_limits<std::uint64_t>::max())
       wd_cv_.wait(lock);
     else
-      wd_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      wd_cv_.wait_for(lock, std::chrono::microseconds(earliest - now));
   }
+}
+
+std::uint64_t ParallelExecutor::watchdog_wakeups() const {
+  std::lock_guard<std::mutex> lock(wd_mu_);
+  return wd_wakeups_;
 }
 
 void ParallelExecutor::request_stop() {
@@ -115,100 +278,95 @@ void ParallelExecutor::request_stop() {
   wd_cv_.notify_all();
 }
 
-void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
-                                     const Claim& claim, int worker_id) {
-  lock.unlock();
+// -------------------------------------------------------- item execution
 
+ParallelExecutor::ItemOutcome ParallelExecutor::replay_item(
+    BatchItem item, int worker_id, std::uint64_t batch_id) {
   // Cache replay path: replays are not tool runs, so they take no faults
   // and need no retries. Skipping writes whose content is already current
   // avoids timestamp churn (and the NeedsRerun cascade it would trigger)
   // on warm re-runs over live data.
-  if (claim.entry) {
-    JournalEntry rec;
-    rec.step = claim.name;
-    rec.worker = worker_id;
-    rec.rerun = claim.was_rerun;
-    rec.cache_hit = true;
-    rec.has_key = claim.has_key;
-    rec.key = claim.key;
-    rec.resumed = resume_complete_ && resume_complete_->count(claim.name) > 0;
-    obs::Metrics::global().counter("runtime.cache.hit").add();
-    if (obs::armed()) {
-      rec.span = obs::next_span_id();
-      obs::begin_span("runtime", "replay:" + claim.name, rec.span,
-                      "\"worker\":" + std::to_string(worker_id));
-    }
-    rec.start_us = journal_.now_us();
-
-    wf::ActionApi api(engine_, engine_.instance(), claim.name);
-    for (const auto& [path, content] : claim.entry->outputs)
-      if (api.read_data(path) != std::optional<std::string>(content))
-        api.write_data(path, content);
-    for (const auto& [name, value] : claim.entry->variables)
-      api.set_variable(name, value);
-    api.set_step_state_success();
-    wf::ActionResult result{0, claim.entry->log};
-    rec.end_us = journal_.now_us();
-    obs::Metrics::global().histogram("runtime.replay_us")
-        .observe(rec.end_us - rec.start_us);
-    if (rec.span != 0) obs::end_span("runtime", "replay:" + claim.name, rec.span);
-
-    lock.lock();
-    engine_.apply_step_result(claim.name, result, api, claim.was_rerun);
-    const wf::StepStatus* st = engine_.instance().find(claim.name);
-    rec.ok = st->state != wf::StepState::Failed;
-    ++stats_.cache_hits;
-    if (rec.resumed) ++stats_.resumed;
-    if (st->state == wf::StepState::Failed) ++stats_.failures;
-    journal_.record(std::move(rec));
-    return;
+  JournalEntry rec;
+  rec.step = item.name;
+  rec.worker = worker_id;
+  rec.rerun = item.was_rerun;
+  rec.cache_hit = true;
+  rec.has_key = item.has_key;
+  rec.key = item.key;
+  rec.batch = batch_id;
+  rec.resumed = resume_complete_ && resume_complete_->count(item.name) > 0;
+  m_cache_hit_.add();
+  if (obs::armed()) {
+    rec.span = obs::next_span_id();
+    obs::begin_span("runtime", "replay:" + item.name, rec.span,
+                    "\"worker\":" + std::to_string(worker_id));
   }
+  rec.start_us = journal_.now_us();
 
+  wf::ActionApi api(engine_, engine_.instance(), item.name);
+  for (const auto& [path, content] : item.entry->outputs)
+    if (api.read_data(path) != std::optional<std::string>(content))
+      api.write_data(path, content);
+  for (const auto& [name, value] : item.entry->variables)
+    api.set_variable(name, value);
+  api.set_step_state_success();
+  wf::ActionResult result{0, item.entry->log};
+  rec.end_us = journal_.now_us();
+  m_replay_us_.observe(rec.end_us - rec.start_us);
+  if (rec.span != 0) obs::end_span("runtime", "replay:" + item.name, rec.span);
+
+  return ItemOutcome{std::move(item), std::move(rec), std::move(result),
+                     std::move(api), 1, 0, 0, true};
+}
+
+ParallelExecutor::ItemOutcome ParallelExecutor::execute_item(
+    BatchItem item, int worker_id, std::uint64_t batch_id) {
   // StepStatus nodes are stable after instantiate(); the def is immutable
   // during a run, so reading it unlocked is safe.
-  const wf::StepStatus* st = engine_.instance().find(claim.name);
+  const wf::StepStatus* st = engine_.instance().find(item.name);
   const RetryPolicy& retry = options_.retry;
   int faults_this_claim = 0;
   int timeouts_this_claim = 0;
-  if (claim.has_key) obs::Metrics::global().counter("runtime.cache.miss").add();
+  if (item.has_key) m_cache_miss_.add();
 
   int attempt = 0;
   for (;;) {
     ++attempt;
     FaultKind fault = FaultKind::None;
     if (faults_)
-      fault = faults_->decide(claim.name, attempt,
+      fault = faults_->decide(item.name, attempt,
                               options_.step_timeout_us > 0);
 
     JournalEntry rec;
-    rec.step = claim.name;
+    rec.step = item.name;
     rec.worker = worker_id;
-    rec.rerun = claim.was_rerun;
+    rec.rerun = item.was_rerun;
     rec.attempt = attempt;
-    rec.has_key = claim.has_key;
-    rec.key = claim.key;
+    rec.has_key = item.has_key;
+    rec.key = item.key;
+    rec.batch = batch_id;
     if (fault != FaultKind::None) {
       rec.fault = to_string(fault);
       ++faults_this_claim;
-      obs::Metrics::global().counter("runtime.faults").add();
+      m_faults_.add();
     }
-    obs::Metrics::global().counter("runtime.attempts").add();
-    if (attempt > 1) obs::Metrics::global().counter("runtime.retries").add();
+    m_attempts_.add();
+    if (attempt > 1) m_retries_.add();
     if (obs::armed()) {
       rec.span = obs::next_span_id();
       std::string args = "\"worker\":" + std::to_string(worker_id) +
                          ",\"attempt\":" + std::to_string(attempt);
-      if (claim.was_rerun) args += ",\"rerun\":true";
+      if (item.was_rerun) args += ",\"rerun\":true";
       if (!rec.fault.empty())
         args += ",\"fault\":\"" + obs::escape_json(rec.fault) + "\"";
-      obs::begin_span("runtime", "step:" + claim.name, rec.span,
+      obs::begin_span("runtime", "step:" + item.name, rec.span,
                       std::move(args));
     }
     rec.start_us = journal_.now_us();
 
     CancelToken token;
     std::uint64_t arm_id = arm_timeout(&token);
-    wf::ActionApi api(engine_, engine_.instance(), claim.name);
+    wf::ActionApi api(engine_, engine_.instance(), item.name);
     api.set_cancel_flag(token.flag());
 
     wf::ActionResult result;
@@ -238,7 +396,7 @@ void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
         if (st->def.action.fn) result = st->def.action.fn(api);
         if (!st->def.writes.empty()) {
           const std::string& path = st->def.writes[faults_->pick_output(
-              claim.name, attempt, st->def.writes.size())];
+              item.name, attempt, st->def.writes.size())];
           std::string full = api.read_data(path).value_or("");
           api.write_data(path,
                          full.substr(0, full.size() / 2) + "\x01torn");
@@ -269,15 +427,14 @@ void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
     }
     if (rec.timed_out) {
       ++timeouts_this_claim;
-      obs::Metrics::global().counter("runtime.timeouts").add();
+      m_timeouts_.add();
     }
     rec.ok = ok;
-    obs::Metrics::global().histogram("runtime.step_us")
-        .observe(rec.end_us - rec.start_us);
+    m_step_us_.observe(rec.end_us - rec.start_us);
     if (rec.span != 0) {
       std::string args = std::string("\"ok\":") + (ok ? "true" : "false");
       if (rec.timed_out) args += ",\"timed_out\":true";
-      obs::end_span("runtime", "step:" + claim.name, rec.span,
+      obs::end_span("runtime", "step:" + item.name, rec.span,
                     std::move(args));
     }
 
@@ -289,9 +446,9 @@ void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
       // journaled and noted on the step, and the next attempt starts after
       // a deterministic backoff.
       journal_.record(std::move(rec));
-      engine_.note_failed_attempt(claim.name, result.log);
+      engine_.note_failed_attempt(item.name, result.log);
       if (obs::armed())
-        obs::instant("runtime", "backoff:" + claim.name,
+        obs::instant("runtime", "backoff:" + item.name,
                      "\"attempt\":" + std::to_string(attempt) +
                          ",\"delay_us\":" +
                          std::to_string(retry.delay_us(attempt)));
@@ -299,50 +456,152 @@ void ParallelExecutor::execute_claim(std::unique_lock<std::mutex>& lock,
       continue;
     }
 
-    lock.lock();
-    engine_.apply_step_result(claim.name, result, api, claim.was_rerun);
-    const wf::StepStatus* post = engine_.instance().find(claim.name);
-    rec.ok = ok && post->state != wf::StepState::Failed;
+    return ItemOutcome{std::move(item),       std::move(rec),
+                       std::move(result),     std::move(api),
+                       attempt,               faults_this_claim,
+                       timeouts_this_claim,   false};
+  }
+}
+
+void ParallelExecutor::apply_outcome_locked(ItemOutcome& o) {
+  engine_.apply_step_result(o.item.name, o.result, o.api, o.item.was_rerun,
+                            /*refresh=*/false);
+  const wf::StepStatus* post = engine_.instance().find(o.item.name);
+  bool failed = post->state == wf::StepState::Failed;
+  if (o.replay) {
+    o.rec.ok = !failed;
+    ++stats_.cache_hits;
+    if (o.rec.resumed) ++stats_.resumed;
+    if (failed) ++stats_.failures;
+  } else {
+    o.rec.ok = o.rec.ok && !failed;
     ++stats_.executed;
-    stats_.attempts += attempt;
-    stats_.retries += attempt - 1;
-    stats_.faults_injected += faults_this_claim;
-    stats_.timeouts += timeouts_this_claim;
-    if (post->state == wf::StepState::Failed) ++stats_.failures;
+    stats_.attempts += o.attempts;
+    stats_.retries += o.attempts - 1;
+    stats_.faults_injected += o.faults;
+    stats_.timeouts += o.timeouts;
+    if (failed) ++stats_.failures;
     bool effects_complete = post->state == wf::StepState::Succeeded ||
                             post->state == wf::StepState::AwaitingFinish;
-    if (cache_ && claim.has_key && effects_complete) {
+    if (cache_ && o.item.has_key && effects_complete) {
       CacheEntry entry;
-      entry.outputs = api.data_writes();
-      entry.variables = api.var_writes();
-      entry.log = result.log;
-      cache_->store(claim.key, std::move(entry));
+      entry.outputs = o.api.data_writes();
+      entry.variables = o.api.var_writes();
+      entry.log = o.result.log;
+      cache_->store(o.item.key, std::move(entry));
     }
-    journal_.record(std::move(rec));
-    return;
+  }
+  // Feed the cost model: the next claim of this step is estimated at its
+  // last observed duration (replays count — that IS the warm-path cost).
+  std::uint64_t d =
+      o.rec.end_us >= o.rec.start_us ? o.rec.end_us - o.rec.start_us : 0;
+  cost_est_us_[o.item.name] = d;
+  cost_hist_.observe(d);
+  journal_.record(std::move(o.rec));
+}
+
+// ----------------------------------------------------------- worker loop
+
+void ParallelExecutor::execute_batch(Batch batch, int worker_id) {
+  for (;;) {
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::armed())
+      obs::counter("runtime", "workers.busy",
+                   busy_workers_.load(std::memory_order_relaxed));
+    std::uint64_t bspan = 0;
+    if (obs::armed()) {
+      bspan = obs::next_span_id();
+      std::string args = "\"worker\":" + std::to_string(worker_id) +
+                         ",\"size\":" + std::to_string(batch.items.size());
+      if (batch.fastpath) args += ",\"fastpath\":true";
+      obs::begin_span("sched", "batch", bspan, std::move(args));
+    }
+
+    std::vector<ItemOutcome> done;
+    done.reserve(batch.items.size());
+    for (BatchItem& item : batch.items)
+      done.push_back(item.entry
+                         ? replay_item(std::move(item), worker_id, batch.id)
+                         : execute_item(std::move(item), worker_id, batch.id));
+    if (bspan != 0) obs::end_span("sched", "batch", bspan);
+
+    // One lock section merges the whole batch: per-item apply (with the
+    // stale-input rework check each), a single readiness refresh, then
+    // claim whatever the applies made runnable. The first new batch chains
+    // on this worker (LIFO locality); the rest land on its deque for
+    // thieves.
+    Batch next;
+    bool have_next = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (ItemOutcome& o : done) apply_outcome_locked(o);
+      engine_.refresh_readiness();
+      --live_batches_;
+      std::vector<Batch> fresh;
+      form_batches_locked(&fresh);
+      if (!fresh.empty()) {
+        have_next = true;
+        next = std::move(fresh.front());
+        if (fresh.size() > 1) {
+          WorkerDeque& q = *deques_[std::size_t(worker_id)];
+          std::lock_guard<std::mutex> qlock(q.mu);
+          for (std::size_t i = 1; i < fresh.size(); ++i)
+            q.dq.push_back(std::move(fresh[i]));
+        }
+      }
+    }
+    cv_.notify_all();  // new batches to steal, or termination to observe
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    if (obs::armed())
+      obs::counter("runtime", "workers.busy",
+                   busy_workers_.load(std::memory_order_relaxed));
+    if (!have_next) return;
+    batch = std::move(next);
   }
 }
 
 void ParallelExecutor::worker_loop(int worker_id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (!stop_) {
-    Claim claim;
-    if (claim_next_locked(&claim)) {
-      ++in_flight_;
-      if (obs::armed()) obs::counter("runtime", "workers.busy", in_flight_);
-      execute_claim(lock, claim, worker_id);  // unlocks, works, relocks
-      --in_flight_;
-      if (obs::armed()) obs::counter("runtime", "workers.busy", in_flight_);
-      cv_.notify_all();  // completions may unlock new ready steps
+  for (;;) {
+    Batch batch;
+    if (pop_own(worker_id, &batch) ||
+        steal_from_victim(worker_id, &batch)) {
+      execute_batch(std::move(batch), worker_id);
       continue;
     }
-    if (stop_) break;
-    if (in_flight_ == 0) {
-      // Nothing runnable and nothing running: the flow is drained (or
-      // blocked on failures/roles, exactly as serial run_all() leaves it).
+    std::unique_lock<std::mutex> lock(mu_);
+    // Re-scan under mu_: deque pushes happen while holding mu_, so a batch
+    // cannot appear between this scan and the wait below.
+    if (pop_own(worker_id, &batch) ||
+        steal_from_victim(worker_id, &batch)) {
+      lock.unlock();
+      execute_batch(std::move(batch), worker_id);
+      continue;
+    }
+    if (live_batches_ == 0) {
+      if (!stop_) {
+        std::vector<Batch> fresh;
+        form_batches_locked(&fresh);
+        if (!fresh.empty()) {
+          batch = std::move(fresh.front());
+          if (fresh.size() > 1) {
+            WorkerDeque& q = *deques_[std::size_t(worker_id)];
+            std::lock_guard<std::mutex> qlock(q.mu);
+            for (std::size_t i = 1; i < fresh.size(); ++i)
+              q.dq.push_back(std::move(fresh[i]));
+          }
+          lock.unlock();
+          cv_.notify_all();
+          execute_batch(std::move(batch), worker_id);
+          continue;
+        }
+      }
+      // Nothing runnable, nothing queued, nothing in flight: the flow is
+      // drained (or blocked on failures/roles, exactly as serial run_all()
+      // leaves it) — or a stop finished draining.
       stop_ = true;
+      lock.unlock();
       cv_.notify_all();
-      break;
+      return;
     }
     cv_.wait(lock);
   }
@@ -363,8 +622,17 @@ RunStats ParallelExecutor::run_impl(
   scheduled_.clear();
   stop_ = false;
   stop_requested_.store(false, std::memory_order_relaxed);
-  in_flight_ = 0;
+  busy_workers_.store(0, std::memory_order_relaxed);
+  stolen_.store(0, std::memory_order_relaxed);
+  live_batches_ = 0;
+  next_batch_id_ = 0;
   resume_complete_ = journaled_complete;
+
+  int n = std::max(1, options_.workers);
+  deques_.clear();
+  deques_.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i)
+    deques_.push_back(std::make_unique<WorkerDeque>());
 
   obs::Span run_span("runtime", journaled_complete ? "resume_run" : "run",
                      "\"workers\":" + std::to_string(options_.workers));
@@ -375,13 +643,13 @@ RunStats ParallelExecutor::run_impl(
   {
     std::lock_guard<std::mutex> lock(wd_mu_);
     wd_stop_ = false;
+    wd_wakeups_ = 0;
     armed_.clear();
   }
   std::thread watchdog;
   if (options_.step_timeout_us > 0)
     watchdog = std::thread([this] { watchdog_loop(); });
 
-  int n = std::max(1, options_.workers);
   std::vector<std::thread> pool;
   pool.reserve(std::size_t(n));
   for (int i = 0; i < n; ++i)
@@ -399,6 +667,7 @@ RunStats ParallelExecutor::run_impl(
   journal_.end_run();
   resume_complete_ = nullptr;
 
+  stats_.steals = stolen_.load(std::memory_order_relaxed);
   stats_.wall_us = journal_.wall_us();
   stats_.stopped = stop_requested_.load(std::memory_order_relaxed);
   if (stats_.error.empty()) {

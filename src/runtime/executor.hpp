@@ -5,32 +5,46 @@
 // re-executing) and the RunJournal (per-attempt timing, cache hit/miss,
 // worker id, critical path — exported as JSON).
 //
-// Concurrency model: one mutex (mu_) guards all engine state — step
-// states, the data store, variables, tool sessions, metrics. Workers hold
-// it only to claim a step and to apply its result; the action body runs
-// unlocked, and every ActionApi call it makes locks mu_ internally via the
-// engine's concurrency guard. Step actions therefore overlap wherever they
-// spend time computing or waiting on tools, which is where real CAD flows
-// spend almost all of theirs. The serial wf::Engine API is untouched; the
-// executor drives the same instance through the engine's runtime hooks, so
-// triggers, finish dependencies, permissions, and rework semantics are
-// identical to a serial run.
+// Scheduling model: one mutex (mu_) still guards all engine state — step
+// states, the data store, variables, tool sessions, metrics — but workers
+// no longer take it once per step. Claims are made in *batches*: whenever
+// a worker holds mu_ (applying results, or finding the frontier on an idle
+// pass), it claims every runnable step at once and partitions the claims
+// into batches — sub-threshold steps coalesce up to max_batch per batch,
+// expensive steps get a batch of their own. The cost threshold is tuned
+// online from a per-run log2 histogram of observed step durations (see
+// src/obs/metrics.hpp), so a flow of 4 µs bookkeeping steps batches wide
+// while 3 ms tool steps keep per-step claims and full overlap. Batches
+// land on per-worker deques: a worker drains its own deque LIFO (locality)
+// and steals FIFO from victims (oldest, largest-frontier work first).
+// Results are applied per batch under one mu_ acquisition, preserving the
+// engine's stale-input rework check per step. When the whole remaining
+// frontier is sub-threshold and nothing else is in flight, the *serial
+// fast path* claims the entire frontier as one batch and runs it on the
+// claiming worker — a scheduling-bound flow degrades to serial execution
+// with one lock acquisition per frontier wave instead of 7%-utilization
+// lock ping-pong (EXPERIMENTS.md §O1/§P2).
 //
-// Fault tolerance (see fault.hpp/retry.hpp): each claim runs an attempt
-// loop — a failed or timed-out attempt is retried in place (the step stays
-// Running) with deterministic exponential backoff until the RetryPolicy
-// budget runs out; only the final attempt's result reaches the engine. A
-// watchdog thread cancels attempts past the step timeout through a
-// per-attempt CancelToken (cooperative: actions poll
-// ActionApi::cancel_requested(), injected hangs block on the token).
-// request_stop() cancels everything in flight ("kill"); resume_run()
-// restarts a killed run from a prior journal's completion markers,
-// replaying journaled-complete steps through the ResultCache and
-// re-executing only lost work.
+// Fault tolerance (see fault.hpp/retry.hpp): each claimed step runs an
+// attempt loop — a failed or timed-out attempt is retried in place (the
+// step stays Running) with deterministic exponential backoff until the
+// RetryPolicy budget runs out; only the final attempt's result reaches the
+// engine. A watchdog thread cancels attempts past the step timeout through
+// a per-attempt CancelToken (cooperative: actions poll
+// ActionApi::cancel_requested(), injected hangs block on the token). The
+// watchdog is event-driven: it sleeps until the earliest armed deadline
+// (or indefinitely when nothing is armed) and is re-woken by arm/disarm,
+// so an idle armed watchdog burns zero CPU. request_stop() cancels
+// everything in flight ("kill"); already-claimed batches still execute and
+// apply so the journal stays consistent. resume_run() restarts a killed
+// run from a prior journal's completion markers, replaying
+// journaled-complete steps through the ResultCache and re-executing only
+// lost work.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -39,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/cache.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/journal.hpp"
@@ -57,6 +72,20 @@ struct ExecutorOptions {
   RetryPolicy retry;
   /// Cooperative per-attempt timeout; 0 disables the watchdog.
   std::uint64_t step_timeout_us = 0;
+  /// Most sub-threshold steps coalesced into one claim. 1 restores the
+  /// legacy per-step claim/apply cadence (every batch is a single step).
+  int max_batch = 16;
+  /// Steps whose estimated cost is at or below this many microseconds are
+  /// batchable. 0 (default) tunes the threshold online from the observed
+  /// per-step-cost log2 histogram: min(4 × p50, 32 µs) — the cap keeps
+  /// batching strictly below real tool latencies, where coalescing would
+  /// serialize overlap to save mere lock traffic. Steps never seen before
+  /// inherit the p50 estimate; with no samples at all nothing batches, so
+  /// a cold run of expensive steps keeps full overlap.
+  std::uint64_t batch_threshold_us = 0;
+  /// Idle workers steal batches FIFO from victims' deques. Disabling keeps
+  /// batches on the worker that formed them (diagnostic knob).
+  bool work_stealing = true;
 };
 
 struct RunStats {
@@ -68,6 +97,9 @@ struct RunStats {
   int failures = 0;      ///< final, state-changing failures
   int faults_injected = 0;
   int timeouts = 0;      ///< attempts cancelled by the watchdog
+  int batches = 0;       ///< scheduler batches formed (claim lock sections)
+  int steals = 0;        ///< batches taken from another worker's deque
+  int fastpath = 0;      ///< whole-frontier serial fast-path batches
   bool livelock = false;
   bool stopped = false;  ///< request_stop() ended the run early
   std::uint64_t wall_us = 0;
@@ -100,10 +132,10 @@ class ParallelExecutor {
   RunStats resume_run(const RunJournal& prior);
 
   /// Cooperatively stop an in-progress run(): no new claims, every armed
-  /// attempt's CancelToken fires. In-flight attempts still apply their
-  /// (likely failed) results, so the journal stays consistent — this is the
-  /// "kill" half of crash-recovery testing and a graceful-shutdown API.
-  /// Safe to call from any thread, including from inside an action.
+  /// attempt's CancelToken fires. In-flight batches still execute and apply
+  /// their (likely failed) results, so the journal stays consistent — this
+  /// is the "kill" half of crash-recovery testing and a graceful-shutdown
+  /// API. Safe to call from any thread, including from inside an action.
   void request_stop();
 
   /// Install a fault injector (test instrument; null = no injection).
@@ -120,26 +152,78 @@ class ParallelExecutor {
   std::shared_ptr<ResultCache> cache() const { return cache_; }
   bool complete() const { return engine_.complete(); }
 
+  /// Times the watchdog thread woke (deadline sweeps) during the last
+  /// armed run. A watchdog idling on one far deadline wakes a handful of
+  /// times total; the old 1 ms polling loop woke ~1000×/s (regression
+  /// test hook).
+  std::uint64_t watchdog_wakeups() const;
+
  private:
-  struct Claim {
+  /// One claimed step riding in a batch.
+  struct BatchItem {
     std::string name;
     bool was_rerun = false;
     bool has_key = false;
     std::uint64_t key = 0;
     std::shared_ptr<const CacheEntry> entry;  ///< non-null = replay
   };
+  /// A unit of scheduling: one mu_ acquisition claimed these steps; one
+  /// worker executes them back-to-back and applies them under one more.
+  struct Batch {
+    std::uint64_t id = 0;
+    bool fastpath = false;
+    std::vector<BatchItem> items;
+  };
+  /// Per-worker ready deque. Own work pops LIFO (back), thieves take FIFO
+  /// (front). Guarded by its own mutex, always acquired *after* mu_ when
+  /// both are held (pushes happen under mu_ so sleepers re-scanning under
+  /// mu_ cannot miss work).
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<Batch> dq;
+  };
+  /// A finished batch item waiting for the batched apply.
+  struct ItemOutcome {
+    BatchItem item;
+    JournalEntry rec;
+    wf::ActionResult result;
+    wf::ActionApi api;
+    int attempts = 1;
+    int faults = 0;
+    int timeouts = 0;
+    bool replay = false;
+  };
 
-  bool claim_next_locked(Claim* out);
+  /// Estimated p50 step cost from the local log2 histogram (bucket upper
+  /// bound of the median sample). Call with mu_ held.
+  std::uint64_t hist_p50_locked() const;
+  /// Current batchable-cost bound in µs (options override or online tune).
+  std::uint64_t batch_threshold_locked() const;
+  /// Estimated cost of one step in µs (last observation, else p50, else
+  /// "unknown" = UINT64_MAX which never batches).
+  std::uint64_t estimate_locked(const std::string& name) const;
+  /// Claim the whole runnable frontier and partition it into batches.
+  /// Detects livelock (sets stats_/stop_) like the serial engine.
+  void form_batches_locked(std::vector<Batch>* out);
+  bool pop_own(int worker_id, Batch* out);
+  bool steal_from_victim(int worker_id, Batch* out);
   void worker_loop(int worker_id);
-  /// Replay or attempt-loop one claimed step; called unlocked, relocks to
-  /// apply the result.
-  void execute_claim(std::unique_lock<std::mutex>& lock, const Claim& claim,
-                     int worker_id);
+  /// Execute `batch` and chain into successor batches its applies uncover.
+  void execute_batch(Batch batch, int worker_id);
+  /// Replay one cached item (no faults, no retries); called unlocked.
+  ItemOutcome replay_item(BatchItem item, int worker_id,
+                          std::uint64_t batch_id);
+  /// Attempt loop for one item (faults, retries, timeout); called unlocked.
+  ItemOutcome execute_item(BatchItem item, int worker_id,
+                           std::uint64_t batch_id);
+  /// Engine apply + stats + cache store + journal record for one outcome.
+  void apply_outcome_locked(ItemOutcome& o);
   RunStats run_impl(const std::set<std::string>* journaled_complete);
 
   // Watchdog: workers arm a (deadline, token) per attempt; the watchdog
-  // cancels tokens past deadline, sleeping on the shared clock (so SimClock
-  // fires timeouts instantly and deterministically).
+  // cancels tokens past deadline. Deadlines are clock-based (deterministic
+  // under SimClock); the watchdog sleeps in real time until the earliest
+  // armed deadline and re-evaluates on arm/disarm/stop.
   std::uint64_t arm_timeout(CancelToken* token);
   void disarm_timeout(std::uint64_t id);
   void watchdog_loop();
@@ -153,23 +237,48 @@ class ParallelExecutor {
 
   std::mutex mu_;  ///< the engine's concurrency guard during run()
   std::condition_variable cv_;
-  int in_flight_ = 0;
-  bool stop_ = false;
+  bool stop_ = false;           ///< no new claims; drain and exit
+  int live_batches_ = 0;        ///< formed but not yet fully applied
+  std::uint64_t next_batch_id_ = 0;
   /// Read unlocked by attempt loops deciding whether to keep retrying.
   std::atomic<bool> stop_requested_{false};
+  std::atomic<int> busy_workers_{0};  ///< executing a batch (obs gauge)
+  std::atomic<int> stolen_{0};        ///< steals this run (merged to stats_)
   std::map<std::string, int> scheduled_;  ///< per-step claims, this run
+  /// Last observed duration per step name (µs), feeding batch estimates.
+  std::map<std::string, std::uint64_t> cost_est_us_;
+  /// Per-executor log2 histogram of observed step costs (threshold tuning
+  /// stays local: a busy process-wide histogram must not skew this run).
+  obs::MetricHistogram cost_hist_;
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
   const std::set<std::string>* resume_complete_ = nullptr;
   RunStats stats_;
+
+  // Registry handles resolved once (Metrics::global() lookups take a lock
+  // and a map walk — measurable at per-claim cadence, see §P2).
+  obs::MetricGauge& m_runnable_;
+  obs::MetricCounter& m_cache_hit_;
+  obs::MetricCounter& m_cache_miss_;
+  obs::MetricCounter& m_attempts_;
+  obs::MetricCounter& m_retries_;
+  obs::MetricCounter& m_faults_;
+  obs::MetricCounter& m_timeouts_;
+  obs::MetricCounter& m_steals_;
+  obs::MetricCounter& m_fastpath_;
+  obs::MetricHistogram& m_step_us_;
+  obs::MetricHistogram& m_replay_us_;
+  obs::MetricHistogram& m_batch_size_;
 
   struct ArmedTimeout {
     std::uint64_t deadline_us;
     CancelToken* token;
   };
-  std::mutex wd_mu_;
+  mutable std::mutex wd_mu_;
   std::condition_variable wd_cv_;
   std::map<std::uint64_t, ArmedTimeout> armed_;
   std::uint64_t next_arm_id_ = 0;
   bool wd_stop_ = false;
+  std::uint64_t wd_wakeups_ = 0;
 };
 
 }  // namespace interop::runtime

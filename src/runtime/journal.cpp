@@ -283,6 +283,7 @@ std::string RunJournal::to_json(const wf::FlowInstance& instance) const {
     if (!e.fault.empty()) os << ",\"fault\":\"" << json_escape(e.fault) << "\"";
     if (e.has_key) os << ",\"key\":\"" << std::hex << e.key << std::dec << "\"";
     if (e.span != 0) os << ",\"span\":" << e.span;
+    if (e.batch != 0) os << ",\"batch\":" << e.batch;
     os << "}";
   }
   os << "],\"summary\":{\"records\":" << s.steps

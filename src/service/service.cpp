@@ -432,6 +432,9 @@ Response InteropService::handle_flow_run(const Request& req,
 
   runtime::ExecutorOptions exec_opt;
   exec_opt.workers = std::max(1, opt_.flow_workers);
+  exec_opt.max_batch = std::max<std::size_t>(1, opt_.flow_max_batch);
+  exec_opt.batch_threshold_us = opt_.flow_batch_threshold_us;
+  exec_opt.work_stealing = opt_.flow_work_stealing;
   runtime::ParallelExecutor executor(
       make_fanout_flow(width, latency_us, req.seed), {},
       std::make_unique<wf::SimpleDataManager>(), exec_opt, cache_);

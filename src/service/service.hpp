@@ -54,6 +54,13 @@ struct ServiceOptions {
   int workers = 4;
   /// Inner ParallelExecutor pool for each FlowRun request.
   int flow_workers = 2;
+  /// Scheduler knobs forwarded to that inner executor (see
+  /// runtime::ExecutorOptions): batch size cap, cost threshold below
+  /// which steps batch (0 = auto-tune from the observed cost
+  /// histogram), and whether idle workers steal queued batches.
+  std::size_t flow_max_batch = 16;
+  std::uint64_t flow_batch_threshold_us = 0;
+  bool flow_work_stealing = true;
   /// Admission bound: queued (not yet claimed) requests beyond this are
   /// rejected. 0 means reject everything (useful in tests).
   std::size_t queue_limit = 64;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <limits>
 
 #include "obs/trace.hpp"
 
@@ -179,6 +180,28 @@ std::string Engine::instantiate(const std::vector<std::string>& blocks) {
   };
   for (auto& [name, status] : instance_.steps) rank_of(name);
 
+  readers_.clear();
+  ready_index_.clear();
+  ready_index_.reserve(instance_.steps.size());
+  finish_deps_.clear();
+  awaiting_.clear();
+  for (auto& [name, status] : instance_.steps) {
+    for (const std::string& path : status.def.reads)
+      readers_[path].push_back(&status);
+    std::vector<StepStatus*> deps;
+    deps.reserve(status.def.start_after.size());
+    for (const std::string& dep : status.def.start_after)
+      deps.push_back(instance_.find(dep));
+    ready_index_.emplace_back(&status, std::move(deps));
+    if (!status.def.finish_with.empty()) {
+      std::vector<StepStatus*> fdeps;
+      fdeps.reserve(status.def.finish_with.size());
+      for (const std::string& dep : status.def.finish_with)
+        fdeps.push_back(instance_.find(dep));
+      finish_deps_[name] = std::move(fdeps);
+    }
+  }
+
   refresh_readiness();
   return "";
 }
@@ -191,11 +214,21 @@ bool Engine::deps_succeeded(const std::vector<std::string>& deps) const {
   return true;
 }
 
+bool Engine::deps_ok(const std::vector<StepStatus*>& deps) {
+  for (const StepStatus* s : deps)
+    if (!s || s->state != StepState::Succeeded) return false;
+  return true;
+}
+
+bool Engine::finish_deps_ok(const std::string& name) const {
+  auto it = finish_deps_.find(name);
+  return it == finish_deps_.end() || deps_ok(it->second);
+}
+
 void Engine::refresh_readiness() {
-  for (auto& [name, status] : instance_.steps) {
-    if (status.state == StepState::Waiting &&
-        deps_succeeded(status.def.start_after))
-      status.state = StepState::Ready;
+  for (auto& [status, deps] : ready_index_) {
+    if (status->state == StepState::Waiting && deps_ok(deps))
+      status->state = StepState::Ready;
   }
 }
 
@@ -227,7 +260,8 @@ bool Engine::begin_step(const std::string& name, bool* was_rerun) {
 
 void Engine::apply_step_result(const std::string& name,
                                const ActionResult& result,
-                               const ActionApi& api, bool was_rerun) {
+                               const ActionApi& api, bool was_rerun,
+                               bool refresh) {
   StepStatus* status = instance_.find(name);
   if (!status || status->state != StepState::Running) return;
 
@@ -256,16 +290,20 @@ void Engine::apply_step_result(const std::string& name,
   }
 
   // Finish dependencies: park when they are not yet complete.
-  if (deps_succeeded(status->def.finish_with)) {
+  if (finish_deps_ok(name)) {
     status->state = StepState::Succeeded;
     status->last_finished = data_->now();
     trace_transition(name, StepState::Succeeded, "result");
-    // Unpark anyone awaiting us.
-    for (auto& [other_name, other] : instance_.steps) {
-      if (other.state == StepState::AwaitingFinish) try_finish(other_name);
+    // Unpark anyone awaiting us. try_finish() erases from awaiting_, so
+    // iterate a snapshot; the set's name order matches the full-map scan
+    // this replaced, preserving cascade order within one pass.
+    if (!awaiting_.empty()) {
+      std::vector<std::string> parked(awaiting_.begin(), awaiting_.end());
+      for (const std::string& other : parked) try_finish(other);
     }
   } else {
     status->state = StepState::AwaitingFinish;
+    awaiting_.insert(name);
     trace_transition(name, StepState::AwaitingFinish, "finish_with");
   }
 
@@ -284,6 +322,7 @@ void Engine::apply_step_result(const std::string& name,
     auto t = data_->timestamp(path);
     if (t && *t > status->last_started) {
       status->state = StepState::NeedsRerun;
+      awaiting_.erase(name);  // in case the park above just happened
       trace_transition(name, StepState::NeedsRerun, "stale_input");
       notifications_.push_back("step " + name + " needs rework: input '" +
                                path + "' changed while it ran");
@@ -291,7 +330,7 @@ void Engine::apply_step_result(const std::string& name,
       break;
     }
   }
-  refresh_readiness();
+  if (refresh) refresh_readiness();
 }
 
 void Engine::note_failed_attempt(const std::string& name,
@@ -326,27 +365,68 @@ bool Engine::run_step(const std::string& name) {
 void Engine::try_finish(const std::string& name) {
   StepStatus* status = instance_.find(name);
   if (!status || status->state != StepState::AwaitingFinish) return;
-  if (deps_succeeded(status->def.finish_with)) {
+  if (finish_deps_ok(name)) {
     status->state = StepState::Succeeded;
     status->last_finished = data_->now();
+    awaiting_.erase(name);
     trace_transition(name, StepState::Succeeded, "finish_with");
   }
 }
 
 std::vector<std::string> Engine::runnable_steps() const {
-  std::vector<std::pair<int, std::string>> ranked;
+  return runnable_steps(std::numeric_limits<std::size_t>::max());
+}
+
+std::vector<std::string> Engine::runnable_steps(std::size_t max_n) const {
+  std::vector<std::pair<int, const std::string*>> ranked;
   for (const auto& [name, status] : instance_.steps) {
     if (status.state != StepState::Ready &&
         status.state != StepState::NeedsRerun)
       continue;
     if (!status.def.required_role.empty() && status.def.required_role != role_)
       continue;
-    ranked.emplace_back(status.rank, name);
+    ranked.emplace_back(status.rank, &name);
   }
-  std::sort(ranked.begin(), ranked.end());
+  auto by_rank_name = [](const std::pair<int, const std::string*>& a,
+                         const std::pair<int, const std::string*>& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return *a.second < *b.second;
+  };
+  if (max_n < ranked.size()) {
+    std::partial_sort(ranked.begin(), ranked.begin() + std::ptrdiff_t(max_n),
+                      ranked.end(), by_rank_name);
+    ranked.resize(max_n);
+  } else {
+    std::sort(ranked.begin(), ranked.end(), by_rank_name);
+  }
   std::vector<std::string> out;
   out.reserve(ranked.size());
-  for (auto& [rank, name] : ranked) out.push_back(std::move(name));
+  for (auto& [rank, name] : ranked) out.push_back(*name);
+  return out;
+}
+
+std::vector<Engine::StepClaim> Engine::begin_steps(
+    const std::vector<std::string>& names) {
+  refresh_readiness();
+  std::vector<StepClaim> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    StepStatus* status = instance_.find(name);
+    if (!status) continue;
+    if (!status->def.required_role.empty() &&
+        status->def.required_role != role_)
+      continue;
+    if (status->state != StepState::Ready &&
+        status->state != StepState::NeedsRerun)
+      continue;
+    StepClaim claim;
+    claim.name = name;
+    claim.was_rerun = status->state == StepState::NeedsRerun;
+    status->state = StepState::Running;
+    status->last_started = data_->now();
+    trace_transition(name, StepState::Running, "begin_step");
+    out.push_back(std::move(claim));
+  }
   return out;
 }
 
@@ -404,6 +484,7 @@ bool Engine::reset_step(const std::string& name) {
   for (const std::string& n : affected) {
     StepStatus* s = instance_.find(n);
     s->state = StepState::Waiting;
+    awaiting_.erase(n);
     trace_transition(n, StepState::Waiting, "reset");
   }
   refresh_readiness();
@@ -431,16 +512,17 @@ std::set<std::string> Engine::downstream_of(const std::string& name) const {
 }
 
 void Engine::on_data_written(const std::string& path, LogicalTime t) {
-  for (auto& [name, status] : instance_.steps) {
+  auto it = readers_.find(path);
+  if (it == readers_.end()) return;
+  for (StepStatus* status : it->second) {
+    const std::string& name = status->def.name;
     if (name == current_step_) continue;  // own writes don't re-trigger
-    if (status.state != StepState::Succeeded &&
-        status.state != StepState::AwaitingFinish)
+    if (status->state != StepState::Succeeded &&
+        status->state != StepState::AwaitingFinish)
       continue;
-    bool reads_it = std::find(status.def.reads.begin(),
-                              status.def.reads.end(),
-                              path) != status.def.reads.end();
-    if (!reads_it || status.last_finished >= t) continue;
-    status.state = StepState::NeedsRerun;
+    if (status->last_finished >= t) continue;
+    status->state = StepState::NeedsRerun;
+    awaiting_.erase(name);
     notifications_.push_back("step " + name + " needs rework: input '" +
                              path + "' changed");
     ++metrics_.notifications;

@@ -85,17 +85,35 @@ class Engine {
   /// Steps currently claimable: Ready or NeedsRerun, role-permitted,
   /// ordered by topological rank (upstream first) then name.
   std::vector<std::string> runnable_steps() const;
+  /// Batch variant: at most `max_n` steps, lowest (rank, name) first.
+  std::vector<std::string> runnable_steps(std::size_t max_n) const;
 
   /// Claim a runnable step: transition it to Running. `was_rerun` (may be
   /// null) reports whether this claim consumed a NeedsRerun. Returns false
   /// with a diagnostic in last_error() when the step is not claimable.
   bool begin_step(const std::string& name, bool* was_rerun = nullptr);
 
+  /// One granted claim out of begin_steps().
+  struct StepClaim {
+    std::string name;
+    bool was_rerun = false;
+  };
+  /// Batch claim: recompute readiness once, then claim every step in
+  /// `names` that is claimable (Ready or NeedsRerun, role-permitted).
+  /// Returns the granted claims in input order; non-claimable names are
+  /// skipped silently (the batch analogue of begin_step losing a race).
+  std::vector<StepClaim> begin_steps(const std::vector<std::string>& names);
+
   /// Apply an action's result to a Running step: success/failure policy,
   /// metrics, finish dependencies, stale-input detection, and readiness
-  /// refresh — the bookkeeping tail of run_step().
+  /// refresh — the bookkeeping tail of run_step(). A batch applier can pass
+  /// `refresh = false` per result and call refresh_readiness() once after
+  /// the whole batch: readiness is only read at claim time, so deferring
+  /// the recomputation across consecutive applies is observationally
+  /// identical while dropping its O(steps·deps) cost from every apply.
   void apply_step_result(const std::string& name, const ActionResult& result,
-                         const ActionApi& api, bool was_rerun);
+                         const ActionApi& api, bool was_rerun,
+                         bool refresh = true);
 
   /// Note a failed attempt of a Running step that the runtime will retry in
   /// place: records per-step/global failed-attempt counts and the attempt
@@ -152,6 +170,10 @@ class Engine {
   }
 
   bool deps_succeeded(const std::vector<std::string>& deps) const;
+  /// Resolved-pointer variant (see ready_index_): no name lookups.
+  static bool deps_ok(const std::vector<StepStatus*>& deps);
+  /// True when `name`'s finish_with deps (if any) are all Succeeded.
+  bool finish_deps_ok(const std::string& name) const;
   void on_data_written(const std::string& path, LogicalTime t);
   void try_finish(const std::string& name);
   /// Steps whose start_after chain reaches `name` (transitively).
@@ -167,6 +189,27 @@ class Engine {
   EngineMetrics metrics_;
   std::string last_error_;
   std::map<std::string, std::unique_ptr<ToolSession>> tools_;
+  // Resolved-pointer indexes, rebuilt by instantiate(). instance_.steps is
+  // a std::map, so StepStatus nodes are address-stable for the lifetime of
+  // the instance; resolving dependency names to pointers once drops the
+  // per-refresh / per-write string lookups that dominated scheduling cost
+  // on flows with hundreds of steps.
+
+  /// Trigger index: data path -> steps that declare it in `reads`.
+  /// on_data_written() consults only a path's readers instead of scanning
+  /// every step per write.
+  std::map<std::string, std::vector<StepStatus*>> readers_;
+  /// Every step paired with its resolved start_after deps (a missing dep
+  /// resolves to nullptr and keeps the step Waiting forever, matching the
+  /// name-lookup behavior). refresh_readiness() walks this flat array.
+  std::vector<std::pair<StepStatus*, std::vector<StepStatus*>>> ready_index_;
+  /// Resolved finish_with deps, only for steps that declare any.
+  std::map<std::string, std::vector<StepStatus*>> finish_deps_;
+  /// Steps currently parked in AwaitingFinish, maintained at every
+  /// transition in/out of that state. The unpark pass after a success
+  /// visits only these (in name order, matching the old full-map scan)
+  /// instead of every step.
+  std::set<std::string> awaiting_;
   /// Step currently executing (its own writes do not re-trigger it).
   std::string current_step_;
   std::mutex* guard_ = nullptr;
