@@ -1,0 +1,83 @@
+// Fuzz-throughput bench — a fixed-seed smoke run of the coverage-guided
+// differential fuzzer (BENCH_fuzz.json via bench/run_perf.sh). Reports
+// designs/sec and round-trips/sec for serial and parallel runs, the
+// coverage growth curve, and the divergence tally.
+//
+// Self-checking: exits nonzero unless the parallel run reproduces the
+// serial run's coverage bitmap bit-for-bit (the worker-count-invariance
+// guarantee) and the run finds no unexplained divergences.
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "fuzz/fuzzer.hpp"
+
+using interop::fuzz::FuzzOptions;
+using interop::fuzz::FuzzStats;
+
+namespace {
+
+double per_sec(int n, std::int64_t ms) {
+  return ms > 0 ? 1000.0 * n / double(ms) : 0.0;
+}
+
+std::string stats_json(const FuzzStats& s, int jobs) {
+  std::ostringstream os;
+  os << "{\"jobs\": " << jobs << ", \"evaluated\": " << s.evaluated
+     << ", \"designs\": " << s.designs << ", \"round_trips\": "
+     << s.round_trips << ", \"elapsed_ms\": " << s.elapsed_ms
+     << ", \"designs_per_sec\": " << per_sec(s.designs, s.elapsed_ms)
+     << ", \"round_trips_per_sec\": " << per_sec(s.round_trips, s.elapsed_ms)
+     << ", \"coverage\": " << s.coverage << ", \"seeds_kept\": "
+     << s.seeds_kept << ", \"bitmap_hash\": \"" << std::hex << s.bitmap_hash
+     << std::dec << "\", \"divergences_explained\": "
+     << s.divergences_explained << ", \"divergences_unexplained\": "
+     << s.divergences_unexplained << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  FuzzOptions opt;
+  opt.seed = 1;
+  opt.iterations = 256;
+  opt.generation_size = 16;
+
+  opt.jobs = 1;
+  FuzzStats serial = interop::fuzz::fuzz(opt);
+  opt.jobs = int(std::max(2u, std::thread::hardware_concurrency()));
+  FuzzStats parallel = interop::fuzz::fuzz(opt);
+
+  std::ostringstream curve;
+  for (std::size_t i = 0; i < serial.coverage_curve.size(); ++i) {
+    if (i) curve << ", ";
+    curve << "[" << serial.coverage_curve[i].first << ", "
+          << serial.coverage_curve[i].second << "]";
+  }
+
+  std::cout << "{\n \"bench\": \"fuzz_smoke\",\n \"seed\": " << opt.seed
+            << ",\n \"serial\": " << stats_json(serial, 1)
+            << ",\n \"parallel\": " << stats_json(parallel, opt.jobs)
+            << ",\n \"parallel_speedup\": "
+            << (parallel.elapsed_ms > 0
+                    ? double(serial.elapsed_ms) / double(parallel.elapsed_ms)
+                    : 0.0)
+            << ",\n \"coverage_curve\": [" << curve.str() << "],\n"
+            << " \"deterministic_across_jobs\": "
+            << (serial.bitmap_hash == parallel.bitmap_hash ? "true" : "false")
+            << "\n}\n";
+
+  if (serial.bitmap_hash != parallel.bitmap_hash) {
+    std::cerr << "bench_fuzz: parallel run diverged from serial run\n";
+    return 1;
+  }
+  if (serial.divergences_unexplained != 0 ||
+      parallel.divergences_unexplained != 0) {
+    std::cerr << "bench_fuzz: unexplained divergence in the smoke range\n";
+    return 1;
+  }
+  return 0;
+}

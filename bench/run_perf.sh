@@ -119,3 +119,15 @@ service_out="$repo_root/BENCH_service.json"
 check_json "$tmp" "$service_bin"
 cp "$tmp" "$service_out"
 echo "wrote $service_out"
+
+# Fuzz-throughput smoke: a fixed-seed run of the differential fuzzer —
+# designs/sec, coverage growth, and the jobs-invariance determinism check
+# (self-checking; see EXPERIMENTS.md §F1 and README "Fuzzing").
+cmake --build "$build_dir" --target bench_fuzz -j "$(nproc)"
+fuzz_bin="$build_dir/bench/bench_fuzz"
+[ -x "$fuzz_bin" ] || die "bench binary missing: $fuzz_bin"
+fuzz_out="$repo_root/BENCH_fuzz.json"
+"$fuzz_bin" > "$tmp"
+check_json "$tmp" "$fuzz_bin"
+cp "$tmp" "$fuzz_out"
+echo "wrote $fuzz_out"

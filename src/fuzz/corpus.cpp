@@ -1,0 +1,143 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace interop::fuzz {
+
+namespace fs = std::filesystem;
+
+std::string format_reproducer(const Reproducer& repro) {
+  std::ostringstream os;
+  std::istringstream note(repro.note);
+  std::string line;
+  while (std::getline(note, line)) os << "# " << line << "\n";
+  os << "expect=" << repro.expect << "\n";
+  os << to_text(repro.spec);
+  return os.str();
+}
+
+Reproducer parse_reproducer(const std::string& name, const std::string& text) {
+  Reproducer repro;
+  repro.name = name;
+  std::ostringstream note;
+  std::ostringstream spec_text;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::size_t start = line.find_first_not_of("# ");
+      if (start != std::string::npos) note << line.substr(start) << "\n";
+      continue;
+    }
+    if (line.rfind("expect=", 0) == 0) {
+      repro.expect = line.substr(7);
+      continue;
+    }
+    spec_text << line << "\n";
+  }
+  if (repro.expect.empty())
+    throw std::runtime_error("reproducer '" + name + "': missing expect= line");
+  repro.note = note.str();
+  repro.spec = spec_from_text(spec_text.str());
+  return repro;
+}
+
+Reproducer load_reproducer(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open reproducer: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_reproducer(fs::path(path).stem().string(), text.str());
+}
+
+std::vector<std::string> list_reproducers(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".repro")
+      paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::string save_reproducer(const std::string& dir, const Reproducer& repro) {
+  fs::create_directories(dir);
+  std::string path = (fs::path(dir) / (repro.name + ".repro")).string();
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write reproducer: " + path);
+  out << format_reproducer(repro);
+  return path;
+}
+
+namespace {
+
+std::string joined_kinds(const std::vector<Divergence>& divs, bool explained) {
+  std::set<std::string> kinds;
+  for (const Divergence& d : divs)
+    if (d.explained == explained) kinds.insert(d.kind);
+  std::string out;
+  for (const std::string& k : kinds) {
+    if (!out.empty()) out += ',';
+    out += k;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string expectation_for(const PipelineResult& result) {
+  std::string unexplained = joined_kinds(result.divergences, false);
+  if (!unexplained.empty()) return "unexplained:" + unexplained;
+  std::string explained = joined_kinds(result.divergences, true);
+  if (!explained.empty()) return "explained:" + explained;
+  return "clean";
+}
+
+std::string replay_reproducer(const Reproducer& repro) {
+  PipelineResult result = run_pipeline(repro.spec);
+  const std::string unexplained = joined_kinds(result.divergences, false);
+  const std::string explained = joined_kinds(result.divergences, true);
+
+  auto fail = [&](const std::string& why) {
+    std::ostringstream os;
+    os << repro.name << ": " << why;
+    if (!unexplained.empty()) os << " [unexplained: " << unexplained << "]";
+    if (!explained.empty()) os << " [explained: " << explained << "]";
+    for (const Divergence& d : result.divergences)
+      os << "\n  " << (d.explained ? "explained " : "UNEXPLAINED ") << d.kind
+         << ": " << d.detail;
+    return os.str();
+  };
+
+  if (repro.expect == "clean") {
+    if (!result.divergences.empty())
+      return fail("expected a clean run but the pipeline diverged");
+    return {};
+  }
+  if (repro.expect.rfind("explained:", 0) == 0) {
+    std::string want = repro.expect.substr(10);
+    if (!unexplained.empty())
+      return fail("expected only explained divergences");
+    if (explained != want)
+      return fail("expected explained kinds '" + want + "', got '" +
+                  explained + "'");
+    return {};
+  }
+  if (repro.expect.rfind("unexplained:", 0) == 0) {
+    std::string want = repro.expect.substr(12);
+    if (unexplained != want)
+      return fail("expected unexplained signature '" + want + "', got '" +
+                  unexplained + "'");
+    return {};
+  }
+  return fail("unknown expectation '" + repro.expect + "'");
+}
+
+}  // namespace interop::fuzz

@@ -1,0 +1,54 @@
+#pragma once
+// The reproducer corpus: self-contained divergence reproducers on disk.
+//
+// A reproducer is one text file: comment lines, an `expect=` header stating
+// what the pipeline must report for this spec, then the spec itself as
+// key=value lines. The corpus doubles as a regression suite — replaying a
+// file re-runs the full differential pipeline and checks the expectation,
+// so a fixed bug that resurfaces flips its corpus entry red. Expectations:
+//
+//   expect=clean                    no divergences at all
+//   expect=explained:<k1>[,<k2>..]  exactly these explained kinds; nothing
+//                                   unexplained (paper-catalogued behaviour)
+//   expect=unexplained:<k1>[,..]    unexplained signature equals this list
+//                                   (an open bug, kept red on purpose)
+
+#include <string>
+#include <vector>
+
+#include "fuzz/pipeline.hpp"
+#include "fuzz/spec.hpp"
+
+namespace interop::fuzz {
+
+struct Reproducer {
+  std::string name;    ///< file stem, e.g. "condensed-busref"
+  std::string expect;  ///< expectation line (without the "expect=" key)
+  std::string note;    ///< leading comment lines, '#' stripped
+  FuzzSpec spec;
+};
+
+/// Serialize / parse the reproducer file format described above.
+std::string format_reproducer(const Reproducer& repro);
+Reproducer parse_reproducer(const std::string& name, const std::string& text);
+
+/// Load one reproducer file; throws std::runtime_error on malformed input.
+Reproducer load_reproducer(const std::string& path);
+
+/// All *.repro files under `dir`, sorted by path for determinism.
+/// Missing directory -> empty list.
+std::vector<std::string> list_reproducers(const std::string& dir);
+
+/// Write `repro` as <dir>/<name>.repro (creating `dir` if needed).
+/// Returns the path written.
+std::string save_reproducer(const std::string& dir, const Reproducer& repro);
+
+/// Re-run the pipeline for `repro` and check the expectation. Returns an
+/// empty string on success, else a human-readable failure description.
+std::string replay_reproducer(const Reproducer& repro);
+
+/// Compose the expectation string a fresh PipelineResult satisfies — used
+/// when filing a new reproducer.
+std::string expectation_for(const PipelineResult& result);
+
+}  // namespace interop::fuzz

@@ -1,0 +1,71 @@
+#include "fuzz/feature.hpp"
+
+namespace interop::fuzz {
+
+std::uint64_t feature_key(std::string_view feature) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : feature) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+int log2_bucket(std::uint64_t v) {
+  int b = 0;
+  while (v) {
+    ++b;
+    v >>= 1;
+  }
+  return b;
+}
+
+std::string bucket_feature(std::string_view prefix, std::uint64_t v) {
+  return std::string(prefix) + ":b" + std::to_string(log2_bucket(v));
+}
+
+bool FeatureBitmap::set_key(std::uint64_t key) {
+  std::size_t bit = key % kBits;
+  std::uint64_t mask = 1ULL << (bit % 64);
+  std::uint64_t& word = words_[bit / 64];
+  if (word & mask) return false;
+  word |= mask;
+  ++count_;
+  return true;
+}
+
+bool FeatureBitmap::test(std::string_view feature) const {
+  std::size_t bit = feature_key(feature) % kBits;
+  return words_[bit / 64] & (1ULL << (bit % 64));
+}
+
+std::size_t FeatureBitmap::merge(const FeatureBitmap& other) {
+  std::size_t grown = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t fresh = other.words_[i] & ~words_[i];
+    if (!fresh) continue;
+    grown += std::size_t(__builtin_popcountll(fresh));
+    words_[i] |= fresh;
+  }
+  count_ += grown;
+  return grown;
+}
+
+bool FeatureBitmap::would_grow(const FeatureBitmap& other) const {
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (other.words_[i] & ~words_[i]) return true;
+  return false;
+}
+
+std::uint64_t FeatureBitmap::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t w : words_) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (w >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace interop::fuzz

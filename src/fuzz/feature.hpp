@@ -1,0 +1,61 @@
+#pragma once
+// Structural-feature coverage for the differential interop fuzzer.
+//
+// Coverage feedback without compiler instrumentation: every pipeline stage
+// reports the *structural* features a design exercised — dialect features
+// hit (condensed bus refs, postfix indicators, globals), bus-ref shapes,
+// sim event classes, synthesis violation codes, P&R capability/loss
+// classes — as stable strings like "sch:diag:bus-condensed-expanded" or
+// "hdl:deltas:b5" (log2-bucketed counters). Features fold into a fixed
+// bitmap; a mutation that sets a previously-unset bit found new behaviour
+// and is kept as a seed.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace interop::fuzz {
+
+/// Stable 64-bit FNV-1a over a feature string. The bitmap index is this
+/// key folded mod kBits; the full key is kept for run-to-run hashing.
+std::uint64_t feature_key(std::string_view feature);
+
+/// log2 bucket of a counter (0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...).
+/// Bucketing keeps counter-derived features finite and stable under small
+/// perturbations, so coverage measures *classes* of behaviour, not values.
+int log2_bucket(std::uint64_t v);
+
+/// Render "prefix:b<bucket>" for a counter feature.
+std::string bucket_feature(std::string_view prefix, std::uint64_t v);
+
+/// Fixed-size feature bitmap with deterministic content hash.
+class FeatureBitmap {
+ public:
+  static constexpr std::size_t kBits = 1 << 13;
+
+  FeatureBitmap() : words_(kBits / 64, 0) {}
+
+  /// Set the bit for `feature`. Returns true when the bit was newly set.
+  bool set(std::string_view feature) { return set_key(feature_key(feature)); }
+  bool set_key(std::uint64_t key);
+  bool test(std::string_view feature) const;
+
+  std::size_t count() const { return count_; }
+
+  /// OR another bitmap in; returns how many bits were newly set here.
+  std::size_t merge(const FeatureBitmap& other);
+
+  /// Would merging `other` set any new bit? (No mutation.)
+  bool would_grow(const FeatureBitmap& other) const;
+
+  /// FNV-1a over the words: the determinism fingerprint (same seeds =>
+  /// same hash, across runs and worker counts).
+  std::uint64_t hash() const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace interop::fuzz

@@ -1,0 +1,74 @@
+#include "fuzz/minimize.hpp"
+
+#include <cassert>
+
+#include "fuzz/pipeline.hpp"
+
+namespace interop::fuzz {
+
+MinimizeResult minimize(const FuzzSpec& start,
+                        const MinimizePredicate& still_interesting,
+                        int max_evaluations) {
+  MinimizeResult out;
+  out.spec = start;
+
+  auto check = [&](const FuzzSpec& candidate) {
+    ++out.evaluations;
+    return still_interesting(candidate);
+  };
+  bool start_interesting = check(start);
+  assert(start_interesting && "minimize: start must satisfy the predicate");
+  if (!start_interesting) return out;
+
+  const std::vector<SpecAxis>& axes = spec_axes();
+  bool changed = true;
+  while (changed && out.evaluations < max_evaluations) {
+    changed = false;
+    for (const SpecAxis& ax : axes) {
+      if (out.evaluations >= max_evaluations) break;
+      int current = out.spec.*(ax.field);
+      if (current <= ax.min) continue;
+
+      // Cheapest first: the axis may be irrelevant entirely.
+      FuzzSpec floored = out.spec;
+      floored.*(ax.field) = ax.min;
+      if (check(floored)) {
+        out.spec = floored;
+        changed = true;
+        continue;
+      }
+
+      // Binary-search the smallest value in (min, current] that still
+      // diverges. Divergence need not be monotone in the axis, but the
+      // outer fixed-point loop re-visits every axis until nothing moves,
+      // so non-monotonicity only costs extra passes, never correctness:
+      // the result always satisfies the predicate.
+      int lo = ax.min + 1, hi = current;
+      while (lo < hi && out.evaluations < max_evaluations) {
+        int mid = lo + (hi - lo) / 2;
+        FuzzSpec candidate = out.spec;
+        candidate.*(ax.field) = mid;
+        if (check(candidate))
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+      if (hi < current) {
+        out.spec.*(ax.field) = hi;
+        changed = true;
+      }
+    }
+  }
+
+  for (const SpecAxis& ax : axes)
+    if (out.spec.*(ax.field) == ax.min) ++out.axes_floored;
+  return out;
+}
+
+MinimizePredicate signature_predicate(std::string signature) {
+  return [signature = std::move(signature)](const FuzzSpec& spec) {
+    return run_pipeline(spec).signature() == signature;
+  };
+}
+
+}  // namespace interop::fuzz

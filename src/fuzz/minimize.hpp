@@ -1,0 +1,41 @@
+#pragma once
+// Delta-debugging minimizer: shrink a diverging FuzzSpec to the smallest
+// spec (per-axis, toward each axis minimum) that still shows the SAME
+// divergence signature.
+//
+// The genome is a fixed vector of bounded integers, so "shrink" is simple
+// and complete: repeatedly walk the axes, and for each axis first try its
+// floor, then binary-search the smallest value that keeps the predicate
+// true, until a full pass changes nothing. Domain toggles are axes too, so
+// uninvolved pipelines are pruned to 0 automatically. The walk order and
+// probe sequence are fixed, so minimization is deterministic for a given
+// input spec and predicate.
+
+#include <functional>
+#include <string>
+
+#include "fuzz/spec.hpp"
+
+namespace interop::fuzz {
+
+/// Returns true while the candidate still shows the divergence of interest.
+using MinimizePredicate = std::function<bool(const FuzzSpec&)>;
+
+struct MinimizeResult {
+  FuzzSpec spec;        ///< smallest spec found (== input when irreducible)
+  int evaluations = 0;  ///< predicate calls spent
+  int axes_floored = 0; ///< axes driven all the way to their minimum
+};
+
+/// Shrink `start` while `still_interesting` holds. `start` itself must
+/// satisfy the predicate (asserted). `max_evaluations` bounds the work;
+/// the best spec so far is returned when the budget runs out.
+MinimizeResult minimize(const FuzzSpec& start,
+                        const MinimizePredicate& still_interesting,
+                        int max_evaluations = 400);
+
+/// The standard fuzzer predicate: the pipeline's unexplained-divergence
+/// signature equals `signature`.
+MinimizePredicate signature_predicate(std::string signature);
+
+}  // namespace interop::fuzz

@@ -1,0 +1,726 @@
+#include "fuzz/pipeline.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "base/diagnostics.hpp"
+#include "base/rng.hpp"
+#include "hdl/elaborate.hpp"
+#include "hdl/equiv.hpp"
+#include "hdl/parser.hpp"
+#include "hdl/race.hpp"
+#include "hdl/sim.hpp"
+#include "hdl/synth.hpp"
+#include "hdl/writer.hpp"
+#include "pnr/backplane.hpp"
+#include "pnr/check.hpp"
+#include "pnr/generator.hpp"
+#include "pnr/route.hpp"
+#include "pnr/textio.hpp"
+#include "schematic/busref.hpp"
+#include "schematic/generator.hpp"
+#include "schematic/migrate.hpp"
+#include "schematic/netlist.hpp"
+#include "schematic/textio.hpp"
+
+namespace interop::fuzz {
+
+namespace {
+
+using base::DiagnosticEngine;
+
+/// Accumulates features (deduplicated, first-hit order) and divergences.
+class Collector {
+ public:
+  explicit Collector(PipelineResult& result) : result_(result) {}
+
+  void feature(const std::string& f) {
+    if (!seen_.insert(f).second) return;
+    result_.features.push_back(f);
+    result_.bitmap.set(f);
+  }
+
+  void counter(const std::string& prefix, std::uint64_t v) {
+    feature(bucket_feature(prefix, v));
+  }
+
+  /// One feature per distinct diagnostic code, prefixed by domain.
+  void diags(const std::string& prefix, const DiagnosticEngine& engine) {
+    for (const base::Diagnostic& d : engine.all())
+      feature(prefix + ":" + d.code);
+  }
+
+  void diverge(const std::string& domain, const std::string& kind,
+               std::string detail, bool explained = false,
+               std::string explanation = {}) {
+    feature(domain + ":diverged:" + kind +
+            (explained ? ":explained" : ":unexplained"));
+    result_.divergences.push_back({domain, kind, std::move(detail), explained,
+                                   std::move(explanation)});
+  }
+
+ private:
+  PipelineResult& result_;
+  std::set<std::string> seen_;
+};
+
+std::string ref_shape(const sch::NetRef& ref) {
+  if (ref.range) return "range";
+  if (!ref.bit) return "scalar";
+  return ref.condensed ? "condensed-bit" : "explicit-bit";
+}
+
+// ------------------------------------------------------------------ sch
+
+void run_sch(const FuzzSpec& spec, Collector& col, PipelineResult& result) {
+  sch::GeneratorOptions opt;
+  opt.seed = spec.seed;
+  opt.sheets = spec.sheets;
+  opt.components_per_sheet = spec.components_per_sheet;
+  opt.nets_per_sheet = spec.nets_per_sheet;
+  opt.buses = spec.buses;
+  opt.bus_width = spec.bus_width;
+  opt.condensed_refs = spec.condensed_refs;
+  opt.postfix_nets = spec.postfix_nets;
+  opt.cross_page_nets = spec.cross_page_nets;
+  opt.global_taps = spec.global_taps;
+  opt.ports = spec.ports;
+  opt.analog_fraction = spec.analog_pct / 100.0;
+
+  sch::Scenario scenario = sch::make_exar_scenario(opt);
+  ++result.designs;
+
+  const sch::Dialect vl = sch::viewlogic_dialect();
+  const sch::Dialect comp = sch::composer_dialect();
+
+  // --- bus-reference algebra over every label, through all four dialect
+  // pair directions. Pass 1 discovers the sheet's buses (range labels);
+  // pass 2 parses with that knowledge, so condensed refs resolve.
+  for (const auto& [cell, schematic] : scenario.source.schematics()) {
+    for (const sch::Sheet& sheet : schematic.sheets) {
+      std::vector<std::string> known_buses;
+      for (const sch::NetLabel& label : sheet.labels) {
+        sch::NetRef probe = sch::parse_net_ref(label.text, vl);
+        if (probe.range) known_buses.push_back(probe.base);
+      }
+      for (const sch::NetLabel& label : sheet.labels) {
+        sch::NetRef ref = sch::parse_net_ref(label.text, vl, known_buses);
+        col.feature("sch:ref:" + ref_shape(ref));
+        if (!ref.postfix.empty()) col.feature("sch:ref:postfix");
+        if (ref.range) col.counter("sch:ref:width", std::uint64_t(ref.width()));
+
+        // vl -> vl must be the identity (same dialect, nothing to adjust).
+        DiagnosticEngine d_same;
+        sch::NetRef same = sch::translate_net_ref(ref, vl, vl, d_same);
+        col.feature("sch:pair:viewlogic->viewlogic");
+        if (same != ref) {
+          col.diverge("sch", "sch-busref-selfpair",
+                      "vl->vl translation changed '" + label.text + "'");
+        }
+
+        // vl -> composer preserves per-bit connectivity, renders legally,
+        // and the rendered text re-parses to the same reference.
+        DiagnosticEngine d_fwd;
+        sch::NetRef fwd = sch::translate_net_ref(ref, vl, comp, d_fwd);
+        col.feature("sch:pair:viewlogic->composer");
+        col.diags("sch:diag", d_fwd);
+        if (sch::canonical_bits(fwd) != sch::canonical_bits(ref)) {
+          col.diverge("sch", "sch-busref-translate",
+                      "connectivity changed translating '" + label.text +
+                          "' viewlogic->composer");
+        } else {
+          std::string rendered = sch::format_net_ref(fwd, comp);
+          sch::NetRef back = sch::parse_net_ref(rendered, comp, known_buses);
+          ++result.round_trips;
+          if (back != fwd) {
+            col.diverge("sch", "sch-busref-reparse",
+                        "'" + rendered + "' did not re-parse in composer");
+          }
+          // composer -> viewlogic is lossless (viewlogic accepts
+          // everything composer can say).
+          DiagnosticEngine d_back;
+          sch::NetRef home = sch::translate_net_ref(fwd, comp, vl, d_back);
+          col.feature("sch:pair:composer->viewlogic");
+          if (sch::canonical_bits(home) != sch::canonical_bits(fwd)) {
+            col.diverge("sch", "sch-busref-translate",
+                        "connectivity changed translating '" + rendered +
+                            "' composer->viewlogic");
+          }
+        }
+      }
+    }
+  }
+
+  // --- persistence round-trip: the s-expression form must be a lossless
+  // fixed point, and the re-read design must extract identically.
+  std::string text = sch::write_design(scenario.source);
+  DiagnosticEngine read_diags;
+  try {
+    sch::Design back = sch::read_design(text, read_diags);
+    ++result.round_trips;
+    if (sch::write_design(back) != text) {
+      col.diverge("sch", "sch-textio-fixedpoint",
+                  "write(read(write(design))) != write(design)");
+    }
+    for (const auto& [cell, schematic] : scenario.source.schematics()) {
+      DiagnosticEngine d1, d2;
+      sch::Netlist golden =
+          sch::extract_netlist(scenario.source, schematic, vl, d1);
+      sch::Netlist subject =
+          sch::extract_netlist(back, *back.find_schematic(cell), vl, d2);
+      col.counter("sch:netlist:nets", golden.nets.size());
+      auto diffs = sch::compare_netlists(golden, subject);
+      if (!diffs.empty()) {
+        col.diverge("sch", "sch-textio-netlist",
+                    cell + ": " + sch::to_string(diffs[0].kind) + " " +
+                        diffs[0].net + " (+" +
+                        std::to_string(diffs.size() - 1) + " more)");
+      }
+    }
+  } catch (const std::exception& e) {
+    col.diverge("sch", "sch-textio-parse",
+                std::string("reader rejected its own writer: ") + e.what());
+  }
+
+  // --- the full migration pipeline, independently verified.
+  DiagnosticEngine mig_diags;
+  sch::MigrationResult migrated =
+      sch::migrate_design(scenario.source, scenario.config, mig_diags);
+  ++result.round_trips;
+  col.diags("sch:diag", mig_diags);
+  col.counter("sch:report:labels", migrated.report.labels_translated);
+  col.counter("sch:report:hier", migrated.report.hier_connectors_added);
+  col.counter("sch:report:offpage", migrated.report.offpage_connectors_added);
+  col.counter("sch:report:globals", migrated.report.globals_replaced);
+  col.counter("sch:report:texts", migrated.report.texts_adjusted);
+
+  DiagnosticEngine verify_diags;
+  auto diffs = sch::verify_migration(scenario.source, migrated.design,
+                                     scenario.config, verify_diags);
+  if (diffs.empty()) {
+    col.feature("sch:migrate:verified-equal");
+  } else {
+    std::ostringstream detail;
+    detail << diffs.size() << " netlist diffs after migration; first: "
+           << sch::to_string(diffs[0].kind) << " " << diffs[0].net << " "
+           << diffs[0].detail;
+    col.diverge("sch", "sch-migrate-diff", detail.str());
+  }
+}
+
+// ------------------------------------------------------------------ hdl
+
+/// The sequential sim-model family (same shape as experiment T3): clocked
+/// nonblocking registers are race-free by construction; `races` adds
+/// blocking write/read pairs across same-edge processes; `delay_gates`
+/// hangs a delayed gate/assign chain off the registers so scheduled
+/// updates mature at distinct and equal times.
+std::string make_sim_model(const FuzzSpec& spec) {
+  base::Rng rng(spec.seed);
+  std::ostringstream os;
+  os << "module top();\n  reg clk;\n";
+  for (int i = 0; i < spec.regs; ++i) os << "  reg r" << i << ";\n";
+  for (int i = 0; i < spec.regs; ++i) {
+    int a = int(rng.index(std::size_t(spec.regs)));
+    int b = int(rng.index(std::size_t(spec.regs)));
+    const char* op = rng.chance(0.5) ? "&" : "^";
+    os << "  always @(posedge clk) r" << i << " <= r" << a << ' ' << op
+       << " r" << b << ";\n";
+  }
+  for (int k = 0; k < spec.races; ++k) {
+    os << "  reg w" << k << "; reg v" << k << ";\n";
+    os << "  always @(posedge clk) w" << k << " = !w" << k << ";\n";
+    os << "  always @(posedge clk) v" << k << " = w" << k << ";\n";
+  }
+  for (int g = 0; g < spec.delay_gates; ++g) {
+    os << "  wire d" << g << ";\n";
+    std::string in1 = g == 0 ? "clk" : "d" + std::to_string(g - 1);
+    std::string in2 = "r" + std::to_string(int(rng.index(std::size_t(spec.regs))));
+    const char* kinds[] = {"and", "or", "xor", "nand"};
+    os << "  " << kinds[rng.index(4)] << " #" << (1 + rng.index(4)) << " gd"
+       << g << "(d" << g << ", " << in1 << ", " << in2 << ");\n";
+  }
+  os << "  initial begin\n    clk = 0;\n";
+  for (int i = 0; i < spec.regs; ++i)
+    os << "    r" << i << " = " << (rng.chance(0.5) ? 1 : 0) << ";\n";
+  for (int k = 0; k < spec.races; ++k)
+    os << "    w" << k << " = 0; v" << k << " = 0;\n";
+  os << "    forever #5 clk = !clk;\n  end\nendmodule\n";
+  return os.str();
+}
+
+/// The combinational synth-model family: `comb_inputs` scalar inputs, one
+/// continuous assign and one procedural always block, full if/else (no
+/// latch shape). `incomplete_sens` drops one signal from the sensitivity
+/// list — the §3.2 simulation/synthesis semantics split. `use_arith` adds
+/// a '+' term, which vendor subsets disagree on.
+std::string make_comb_model(const FuzzSpec& spec) {
+  base::Rng rng(spec.seed ^ 0x5bd1e995);
+  int n = spec.comb_inputs;
+  auto input = [&](int i) { return "a" + std::to_string(i % n); };
+  auto expr = [&](int terms) {
+    std::string e = input(int(rng.index(std::size_t(n))));
+    for (int t = 1; t < terms; ++t) {
+      const char* ops[] = {" & ", " | ", " ^ "};
+      std::string op = ops[rng.index(3)];
+      std::string rhs = input(int(rng.index(std::size_t(n))));
+      if (rng.chance(0.3)) rhs = "!" + rhs;
+      e = "(" + e + op + rhs + ")";
+    }
+    return e;
+  };
+
+  std::ostringstream os;
+  os << "module comb(";
+  for (int i = 0; i < n; ++i) os << "a" << i << ", ";
+  os << "y0, y1);\n";
+  for (int i = 0; i < n; ++i) os << "  input a" << i << ";\n";
+  os << "  output y0; output y1;\n  reg y1;\n";
+  std::string assign_expr = expr(spec.comb_terms);
+  if (spec.use_arith)
+    assign_expr = "(" + assign_expr + " + " + input(0) + ")";
+  os << "  assign y0 = " << assign_expr << ";\n";
+
+  // Sensitivity list: all inputs, minus the last one when incomplete. The
+  // dropped input is still READ below, so the omission is observable — the
+  // paper's modeling-style trap, not dead code.
+  os << "  always @(";
+  bool drop_last = spec.incomplete_sens && n > 1;
+  int listed = drop_last ? n - 1 : n;
+  for (int i = 0; i < listed; ++i) os << (i ? " or " : "") << "a" << i;
+  os << ") begin\n";
+  std::string then_expr = expr(spec.comb_terms);
+  if (drop_last) then_expr = "(" + then_expr + " ^ a" + std::to_string(n - 1) + ")";
+  os << "    if (" << input(0) << ") y1 = " << then_expr
+     << ";\n    else y1 = " << expr(std::max(1, spec.comb_terms - 1))
+     << ";\n  end\nendmodule\n";
+  return os.str();
+}
+
+std::string policy_name(hdl::SchedulerPolicy p) { return hdl::to_string(p); }
+
+void run_hdl(const FuzzSpec& spec, Collector& col, PipelineResult& result) {
+  using hdl::SchedulerPolicy;
+
+  // --- scheduling-policy differential on the sequential model.
+  std::string model = make_sim_model(spec);
+  ++result.designs;
+  hdl::SourceUnit unit;
+  try {
+    unit = hdl::parse(model);
+  } catch (const std::exception& e) {
+    col.diverge("hdl", "hdl-generator-invalid",
+                std::string("sim model does not parse: ") + e.what());
+    return;
+  }
+
+  const std::int64_t until = spec.sim_until;
+  hdl::Trace traces[3];
+  const SchedulerPolicy policies[3] = {SchedulerPolicy::SourceOrder,
+                                       SchedulerPolicy::ReverseOrder,
+                                       SchedulerPolicy::Seeded};
+  try {
+    hdl::ElabDesign design = hdl::elaborate(unit, "top");
+    for (int p = 0; p < 3; ++p) {
+      traces[p] = hdl::run_policy(design, policies[p], until, 0x1234);
+      ++result.round_trips;
+    }
+  } catch (const std::exception& e) {
+    col.diverge("hdl", "hdl-generator-invalid",
+                std::string("sim model does not elaborate: ") + e.what());
+    return;
+  }
+  col.counter("hdl:trace:events", traces[0].size());
+
+  bool policies_agree =
+      traces[0] == traces[1] && traces[0] == traces[2];
+  if (policies_agree) {
+    col.feature(spec.races > 0 ? "hdl:policies:agree-latent-race"
+                               : "hdl:policies:agree");
+  } else {
+    col.feature("hdl:policies:disagree");
+    std::string pair = traces[0] != traces[1]
+                           ? policy_name(policies[0]) + "/" +
+                                 policy_name(policies[1])
+                           : policy_name(policies[0]) + "/" +
+                                 policy_name(policies[2]);
+    if (spec.races > 0) {
+      // Same kernel, two legal orderings, a model with blocking
+      // cross-process writes: a model race by construction (§3.1).
+      col.diverge("hdl", "hdl-policy-diff",
+                  "traces diverge under " + pair, /*explained=*/true,
+                  "model-race: spec plants " + std::to_string(spec.races) +
+                      " blocking write/read pairs");
+    } else {
+      col.diverge("hdl", "hdl-policy-diff",
+                  "race-free-by-construction model diverges under " + pair);
+    }
+  }
+
+  // --- writer round-trip: write the module, re-parse, re-simulate; the
+  // text form must preserve observable behaviour exactly.
+  try {
+    std::string text = hdl::write_module(unit.modules[0]);
+    hdl::SourceUnit back_unit;
+    back_unit.modules.push_back(hdl::parse_module(text));
+    ++result.round_trips;
+    if (hdl::write_module(back_unit.modules[0]) != text) {
+      col.diverge("hdl", "hdl-writer-roundtrip",
+                  "write(parse(write(module))) != write(module)");
+    }
+    hdl::ElabDesign back = hdl::elaborate(back_unit, "top");
+    hdl::Trace replay =
+        hdl::run_policy(back, SchedulerPolicy::SourceOrder, until, 0x1234);
+    if (replay != traces[0]) {
+      col.diverge("hdl", "hdl-writer-roundtrip",
+                  "re-parsed module's trace differs from the original");
+    } else {
+      col.feature("hdl:writer:fixedpoint");
+    }
+  } catch (const std::exception& e) {
+    col.diverge("hdl", "hdl-writer-roundtrip",
+                std::string("writer output does not round-trip: ") + e.what());
+  }
+
+  // --- synthesis-subset differential on the combinational model.
+  std::string comb_text = make_comb_model(spec);
+  ++result.designs;
+  hdl::SourceUnit comb_unit;
+  try {
+    comb_unit = hdl::parse(comb_text);
+  } catch (const std::exception& e) {
+    col.diverge("hdl", "hdl-generator-invalid",
+                std::string("comb model does not parse: ") + e.what());
+    return;
+  }
+  hdl::Module& comb = comb_unit.modules[0];
+
+  const hdl::VendorSubset vendors[2] = {hdl::vendor_a_subset(),
+                                        hdl::vendor_b_subset()};
+  hdl::SynthResult results[2];
+  for (int v = 0; v < 2; ++v) {
+    for (const hdl::SubsetViolation& viol :
+         hdl::check_subset(comb, vendors[v]))
+      col.feature("hdl:subset:" + vendors[v].name + ":" + viol.code);
+    results[v] = hdl::synthesize(comb, vendors[v]);
+    col.feature("hdl:synth:" + vendors[v].name +
+                (results[v].ok ? ":ok" : ":rejected"));
+    if (!results[v].ok) continue;
+    ++result.round_trips;
+    col.counter("hdl:gates:" + vendors[v].name,
+                std::uint64_t(results[v].gates_emitted));
+    if (results[v].latches_inferred > 0)
+      col.feature("hdl:latch:" + vendors[v].name);
+
+    // Netlist hand-off through text (the "other tool" reads it back).
+    hdl::Module netlist;
+    try {
+      netlist = hdl::parse_module(hdl::write_module(results[v].netlist));
+    } catch (const std::exception& e) {
+      col.diverge("hdl", "hdl-writer-roundtrip",
+                  vendors[v].name +
+                      " netlist text does not re-parse: " + e.what());
+      continue;
+    }
+
+    hdl::EquivResult equiv = hdl::check_equivalence(comb, netlist);
+    if (!equiv.comparable) {
+      col.feature("hdl:equiv:" + vendors[v].name + ":incomparable");
+      continue;
+    }
+    if (equiv.equivalent) {
+      col.feature("hdl:equiv:" + vendors[v].name + ":equal");
+    } else {
+      std::string where =
+          equiv.counterexample ? equiv.counterexample->output : "?";
+      if (spec.incomplete_sens) {
+        // The paper's modeling-style example: simulation honors the
+        // written sensitivity list, synthesis completes it.
+        col.diverge("hdl", "hdl-synth-equiv",
+                    vendors[v].name + " netlist differs from RTL at " + where,
+                    /*explained=*/true,
+                    "incomplete sensitivity list: simulation semantics "
+                    "differ from synthesis completion");
+      } else if (results[v].latches_inferred > 0) {
+        col.diverge("hdl", "hdl-synth-equiv",
+                    vendors[v].name + " netlist differs from RTL at " + where,
+                    /*explained=*/true, "latch inference changed semantics");
+      } else {
+        col.diverge("hdl", "hdl-synth-equiv",
+                    vendors[v].name + " netlist differs from RTL at " + where);
+      }
+    }
+
+    // --- stepped cosim, the §3.2 disagreement the per-vector equivalence
+    // check CANNOT see: force-all-inputs wakes even an incompletely
+    // sensitive block (every listed input transitions X->value), so equiv
+    // compares completed semantics on both sides. Here inputs change ONE
+    // AT A TIME over simulated time; a change to an unlisted input leaves
+    // the RTL output stale while the gate netlist recomputes.
+    try {
+      hdl::ElabDesign rtl = hdl::elaborate(comb_unit, "comb");
+      hdl::SourceUnit net_unit;
+      net_unit.modules.push_back(std::move(netlist));
+      const std::string net_top = net_unit.modules[0].name;
+      hdl::ElabDesign net = hdl::elaborate(net_unit, net_top);
+      hdl::Simulation sim_rtl(rtl, hdl::SchedulerPolicy::SourceOrder);
+      hdl::Simulation sim_net(net, hdl::SchedulerPolicy::SourceOrder);
+      ++result.round_trips;
+
+      const int n = spec.comb_inputs;
+      std::vector<int> values(std::size_t(n), 0);
+      auto drive = [&](int i, int v) {
+        std::string bit = "a" + std::to_string(i);
+        hdl::Logic logic = v ? hdl::Logic::L1 : hdl::Logic::L0;
+        sim_rtl.force(rtl.signal("comb." + bit), logic);
+        sim_net.force(net.signal(net_top + "." + bit), logic);
+      };
+      for (int i = 0; i < n; ++i) drive(i, 0);
+      sim_rtl.run(0);
+      sim_net.run(0);
+
+      std::string stale;
+      std::int64_t t = 0;
+      // Walk every input twice (0->1 then 1->0), last input included, so
+      // the dropped-signal path is always exercised.
+      for (int step = 0; step < 2 * n && stale.empty(); ++step) {
+        int i = step % n;
+        values[std::size_t(i)] ^= 1;
+        drive(i, values[std::size_t(i)]);
+        t += 10;
+        sim_rtl.run(t);
+        sim_net.run(t);
+        if (sim_rtl.value("comb.y1") != sim_net.value(net_top + ".y1"))
+          stale = "after toggling a" + std::to_string(i) + " at t=" +
+                  std::to_string(t);
+      }
+      if (stale.empty()) {
+        col.feature("hdl:cosim:" + vendors[v].name + ":agree");
+      } else if (spec.incomplete_sens) {
+        col.feature("hdl:cosim:" + vendors[v].name + ":stale");
+        col.diverge("hdl", "hdl-sens-cosim",
+                    vendors[v].name + ": RTL output stale " + stale,
+                    /*explained=*/true,
+                    "incomplete sensitivity list: the always block does "
+                    "not wake on the unlisted input; synthesis completed "
+                    "the list (" + vendors[v].name + " warns)");
+      } else if (results[v].latches_inferred > 0) {
+        col.diverge("hdl", "hdl-sens-cosim",
+                    vendors[v].name + ": RTL output stale " + stale,
+                    /*explained=*/true, "latch inference changed semantics");
+      } else {
+        col.diverge("hdl", "hdl-sens-cosim",
+                    vendors[v].name + ": outputs diverge " + stale +
+                        " though the sensitivity list is complete");
+      }
+    } catch (const std::exception& e) {
+      col.diverge("hdl", "hdl-sens-cosim",
+                  vendors[v].name +
+                      std::string(": cosim failed to elaborate: ") + e.what());
+    }
+  }
+
+  // Both vendors accepted => vendor B saw a complete sensitivity list (it
+  // rejects incomplete ones), so the two gate netlists must agree.
+  if (results[0].ok && results[1].ok) {
+    hdl::EquivResult cross =
+        hdl::check_equivalence(results[0].netlist, results[1].netlist);
+    ++result.round_trips;
+    if (cross.comparable && !cross.equivalent) {
+      col.diverge("hdl", "hdl-vendor-diff",
+                  "vendor netlists disagree at " +
+                      (cross.counterexample ? cross.counterexample->output
+                                            : std::string("?")));
+    } else if (cross.comparable) {
+      col.feature("hdl:vendors:agree");
+    }
+  }
+}
+
+// ------------------------------------------------------------------ pnr
+
+void run_pnr(const FuzzSpec& spec, Collector& col, PipelineResult& result) {
+  pnr::PnrGenOptions opt;
+  opt.seed = spec.seed;
+  opt.instances = spec.instances;
+  opt.nets = spec.pnr_nets;
+  opt.keepouts = spec.keepouts;
+  opt.wide_fraction = spec.wide_pct / 100.0;
+  opt.spaced_fraction = spec.spaced_pct / 100.0;
+  opt.shielded_fraction = spec.shield_pct / 100.0;
+  opt.die_w = spec.die;
+  opt.die_h = spec.die;
+
+  pnr::PhysDesign design = pnr::make_pnr_workload(opt);
+  ++result.designs;
+  col.counter("pnr:atoms", std::uint64_t(pnr::semantic_atoms(design)));
+
+  const pnr::ToolCaps all_caps[3] = {pnr::router_alpha_caps(),
+                                     pnr::router_beta_caps(),
+                                     pnr::router_gamma_caps()};
+  for (const pnr::ToolCaps& caps : all_caps) {
+    col.feature("pnr:tool:" + caps.name);
+
+    DiagnosticEngine direct_diags;
+    pnr::ToolInput direct =
+        pnr::export_direct(design, caps, direct_diags);
+    pnr::LossReport direct_loss = pnr::measure_direct_loss(design, direct);
+
+    DiagnosticEngine bp_diags;
+    pnr::LossReport bp_loss;
+    pnr::ToolInput via_bp =
+        pnr::export_via_backplane(design, caps, bp_loss, bp_diags);
+    col.diags("pnr:diag:" + caps.name, bp_diags);
+    col.counter("pnr:fidelity10:" + caps.name,
+                std::uint64_t(bp_loss.fidelity() * 10));
+
+    std::set<std::string> lost_features;
+    for (const pnr::LossReport::Item& item : bp_loss.lost) {
+      lost_features.insert(item.feature);
+      col.feature("pnr:loss:" + caps.name + ":" + item.feature);
+    }
+
+    // The backplane exists to convey strictly more than a naive direct
+    // translation ever does; conveying less would defeat its purpose.
+    if (bp_loss.conveyed < direct_loss.conveyed) {
+      col.diverge("pnr", "pnr-backplane-worse",
+                  caps.name + ": backplane conveyed " +
+                      std::to_string(bp_loss.conveyed) + " < direct " +
+                      std::to_string(direct_loss.conveyed));
+    }
+
+    // Deck persistence: each tool's own reader must round-trip its own
+    // deck losslessly, for both export paths.
+    const pnr::ToolInput* inputs[2] = {&direct, &via_bp};
+    const char* paths[2] = {"direct", "backplane"};
+    for (int i = 0; i < 2; ++i) {
+      std::string deck = pnr::write_tool_input(*inputs[i]);
+      DiagnosticEngine read_diags;
+      try {
+        pnr::ToolInput back = pnr::read_tool_input(deck, caps, read_diags);
+        ++result.round_trips;
+        if (pnr::write_tool_input(back) != deck) {
+          col.diverge("pnr", "pnr-deck-fixedpoint",
+                      caps.name + "/" + paths[i] +
+                          ": write(read(deck)) != deck");
+        }
+        if (back.conveyed_atoms() != inputs[i]->conveyed_atoms()) {
+          col.diverge("pnr", "pnr-deck-atoms",
+                      caps.name + "/" + paths[i] + ": deck carried " +
+                          std::to_string(back.conveyed_atoms()) +
+                          " atoms, input had " +
+                          std::to_string(inputs[i]->conveyed_atoms()));
+        }
+      } catch (const std::exception& e) {
+        col.diverge("pnr", "pnr-deck-parse",
+                    caps.name + "/" + paths[i] +
+                        ": reader rejected own deck: " + e.what());
+      }
+    }
+
+    // Route what the backplane conveyed, then verify against the ORIGINAL
+    // semantic model. Violations of constraints the loss report declared
+    // lost are the §4 story working as designed; violations of constraints
+    // that were conveyed natively are unexplained.
+    pnr::RouteResult routes = pnr::route(via_bp);
+    pnr::CheckResult check = pnr::check_routes(design, routes);
+    col.counter("pnr:route:" + caps.name + ":failed",
+                std::uint64_t(routes.failed_nets));
+    col.counter("pnr:route:" + caps.name + ":wire",
+                std::uint64_t(routes.wirelength));
+
+    struct Category {
+      const char* name;
+      int count;
+      bool native;               ///< caps carry the constraint natively
+      const char* loss_feature;  ///< loss-report feature when dropped
+      bool routability;          ///< violation implies a failed net
+    };
+    // must-connect is special: a successfully routed net has every term
+    // connected (route() reports all_ok only when each terminal was
+    // reached), so an unconnected must_connect term always sits on a net
+    // counted in failed_nets — congestion, not conveyance.
+    const Category categories[] = {
+        {"width", check.width_violations, caps.net_width, "net-width",
+         false},
+        {"spacing", check.spacing_violations, caps.net_spacing,
+         "net-spacing", false},
+        {"shield", check.shield_violations, caps.shielding, "net-shield",
+         false},
+        {"must-connect", check.unconnected_must,
+         caps.conn_types != pnr::ConnTypeSupport::None, "connection-types",
+         true},
+        {"access", check.access_violations, caps.access_as_property,
+         "pin-access", false},
+        {"keepout", check.keepout_violations, caps.keepouts, "keepout",
+         false},
+    };
+    for (const Category& cat : categories) {
+      if (cat.count == 0) continue;
+      col.counter("pnr:check:" + caps.name + ":" + cat.name,
+                  std::uint64_t(cat.count));
+      if (cat.routability && routes.failed_nets > 0) {
+        col.diverge("pnr", std::string("pnr-check-") + cat.name,
+                    caps.name + ": " + std::to_string(cat.count) + " " +
+                        cat.name + " violations",
+                    /*explained=*/true,
+                    "terms sit on nets that failed to route "
+                    "(routability, not constraint conveyance)");
+      } else if (lost_features.count(cat.loss_feature)) {
+        col.diverge("pnr", std::string("pnr-check-") + cat.name,
+                    caps.name + ": " + std::to_string(cat.count) + " " +
+                        cat.name + " violations",
+                    /*explained=*/true,
+                    std::string("loss report: ") + cat.loss_feature +
+                        " not conveyable to " + caps.name);
+      } else if (!cat.native) {
+        // Conveyed only through a geometric/side-channel emulation; the
+        // emulation is best-effort by design (§4).
+        col.diverge("pnr", std::string("pnr-check-") + cat.name,
+                    caps.name + ": " + std::to_string(cat.count) + " " +
+                        cat.name + " violations",
+                    /*explained=*/true,
+                    "constraint reached the tool only via backplane "
+                    "emulation");
+      } else {
+        col.diverge("pnr", std::string("pnr-check-") + cat.name,
+                    caps.name + ": " + std::to_string(cat.count) + " " +
+                        cat.name +
+                        " violations though the constraint was conveyed "
+                        "natively");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool PipelineResult::has_unexplained() const {
+  for (const Divergence& d : divergences)
+    if (!d.explained) return true;
+  return false;
+}
+
+std::string PipelineResult::signature() const {
+  std::set<std::string> kinds;
+  for (const Divergence& d : divergences)
+    if (!d.explained) kinds.insert(d.kind);
+  std::string out;
+  for (const std::string& k : kinds) {
+    if (!out.empty()) out += ',';
+    out += k;
+  }
+  return out;
+}
+
+PipelineResult run_pipeline(const FuzzSpec& spec) {
+  PipelineResult result;
+  Collector col(result);
+  if (spec.sch) run_sch(spec, col, result);
+  if (spec.hdl) run_hdl(spec, col, result);
+  if (spec.pnr) run_pnr(spec, col, result);
+  return result;
+}
+
+}  // namespace interop::fuzz

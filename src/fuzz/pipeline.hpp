@@ -1,0 +1,57 @@
+#pragma once
+// The differential pipeline: run one FuzzSpec through every dialect pair,
+// scheduling policy, sensitivity-list semantics, and P&R tool dialect the
+// repository implements, checking results with the existing verifiers.
+//
+// An *unexplained divergence* is the fuzzer's jackpot: two legal tool
+// behaviours that disagree in a way none of the verifiers can attribute to
+// a known, reported cause (a diagnostic, a loss report, a model race). The
+// taxonomy of explained divergences encodes the paper's §2-§4 catalogue:
+//   - traces differing across scheduler policies when the model contains
+//     blocking cross-process writes => model race (§3.1, legal);
+//   - RTL vs synthesized-netlist mismatch when the sensitivity list was
+//     incomplete => simulation/synthesis semantics split (§3.2, legal);
+//   - post-route constraint violations covered by the backplane's
+//     LossReport => the tool's format cannot carry the constraint (§4).
+// Everything else — round-trips that are not identities, verifiers that
+// contradict each other, honored constraints that still get violated — is
+// filed unexplained and becomes a minimized reproducer.
+
+#include <string>
+#include <vector>
+
+#include "fuzz/feature.hpp"
+#include "fuzz/spec.hpp"
+
+namespace interop::fuzz {
+
+struct Divergence {
+  std::string domain;   ///< "sch" | "hdl" | "pnr"
+  std::string kind;     ///< stable code, e.g. "sch-migrate-diff"
+  std::string detail;   ///< human-readable specifics
+  bool explained = false;
+  std::string explanation;  ///< why it is legal, when explained
+};
+
+struct PipelineResult {
+  /// Every structural feature this run exercised, deduplicated, in first-
+  /// hit order. The bitmap is derived from exactly these strings.
+  std::vector<std::string> features;
+  FeatureBitmap bitmap;
+
+  std::vector<Divergence> divergences;
+
+  int designs = 0;      ///< designs generated (one per enabled domain)
+  int round_trips = 0;  ///< dialect/deck/policy/writer round-trips executed
+
+  bool has_unexplained() const;
+  /// Stable signature of the unexplained divergences (sorted kinds joined
+  /// by ','; empty when clean). The minimizer shrinks against this.
+  std::string signature() const;
+};
+
+/// Run the full differential pipeline for `spec`. Pure and deterministic:
+/// equal specs give equal results, on any thread.
+PipelineResult run_pipeline(const FuzzSpec& spec);
+
+}  // namespace interop::fuzz

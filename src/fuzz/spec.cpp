@@ -1,0 +1,127 @@
+#include "fuzz/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/rng.hpp"
+
+namespace interop::fuzz {
+
+const std::vector<SpecAxis>& spec_axes() {
+  // Ranges are chosen so every combination yields a *valid* workload for
+  // the underlying generators (e.g. sheets >= 1 because the schematic
+  // generator indexes per-sheet pools; die >= 60 so keepouts fit).
+  static const std::vector<SpecAxis> axes = {
+      {"sch", &FuzzSpec::sch, 0, 1},
+      {"hdl", &FuzzSpec::hdl, 0, 1},
+      {"pnr", &FuzzSpec::pnr, 0, 1},
+      {"sheets", &FuzzSpec::sheets, 1, 4},
+      {"components_per_sheet", &FuzzSpec::components_per_sheet, 2, 12},
+      {"nets_per_sheet", &FuzzSpec::nets_per_sheet, 1, 8},
+      {"buses", &FuzzSpec::buses, 0, 5},
+      {"bus_width", &FuzzSpec::bus_width, 1, 12},
+      {"condensed_refs", &FuzzSpec::condensed_refs, 0, 5},
+      {"postfix_nets", &FuzzSpec::postfix_nets, 0, 4},
+      {"cross_page_nets", &FuzzSpec::cross_page_nets, 0, 4},
+      {"global_taps", &FuzzSpec::global_taps, 0, 6},
+      {"ports", &FuzzSpec::ports, 0, 6},
+      {"analog_pct", &FuzzSpec::analog_pct, 0, 100},
+      {"regs", &FuzzSpec::regs, 1, 8},
+      {"races", &FuzzSpec::races, 0, 4},
+      {"delay_gates", &FuzzSpec::delay_gates, 0, 6},
+      {"comb_inputs", &FuzzSpec::comb_inputs, 1, 5},
+      {"comb_terms", &FuzzSpec::comb_terms, 1, 6},
+      {"incomplete_sens", &FuzzSpec::incomplete_sens, 0, 1},
+      {"use_arith", &FuzzSpec::use_arith, 0, 1},
+      {"sim_until", &FuzzSpec::sim_until, 20, 120},
+      {"instances", &FuzzSpec::instances, 4, 20},
+      {"pnr_nets", &FuzzSpec::pnr_nets, 1, 14},
+      {"keepouts", &FuzzSpec::keepouts, 0, 4},
+      {"wide_pct", &FuzzSpec::wide_pct, 0, 100},
+      {"spaced_pct", &FuzzSpec::spaced_pct, 0, 100},
+      {"shield_pct", &FuzzSpec::shield_pct, 0, 100},
+      {"die", &FuzzSpec::die, 60, 150},
+  };
+  return axes;
+}
+
+void clamp(FuzzSpec& spec) {
+  for (const SpecAxis& ax : spec_axes())
+    spec.*(ax.field) = std::clamp(spec.*(ax.field), ax.min, ax.max);
+}
+
+std::string to_text(const FuzzSpec& spec) {
+  std::ostringstream os;
+  os << "seed=" << spec.seed << "\n";
+  for (const SpecAxis& ax : spec_axes())
+    os << ax.name << "=" << spec.*(ax.field) << "\n";
+  return os.str();
+}
+
+FuzzSpec spec_from_text(const std::string& text) {
+  FuzzSpec spec;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::runtime_error("fuzz spec: malformed line '" + line + "'");
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    if (key == "seed") {
+      spec.seed = std::stoull(value);
+      continue;
+    }
+    bool known = false;
+    for (const SpecAxis& ax : spec_axes()) {
+      if (key == ax.name) {
+        spec.*(ax.field) = std::stoi(value);
+        known = true;
+        break;
+      }
+    }
+    if (!known) throw std::runtime_error("fuzz spec: unknown key '" + key + "'");
+  }
+  clamp(spec);
+  return spec;
+}
+
+void mutate(FuzzSpec& spec, base::Rng& rng) {
+  const std::vector<SpecAxis>& axes = spec_axes();
+  // Reseeding alone is the most common productive mutation: a new seed
+  // explores a new random design under the same structural shape.
+  if (rng.chance(0.35)) spec.seed = rng.next();
+
+  std::size_t edits = 1 + rng.index(3);
+  for (std::size_t e = 0; e < edits; ++e) {
+    const SpecAxis& ax = axes[rng.index(axes.size())];
+    int& v = spec.*(ax.field);
+    switch (rng.index(4)) {
+      case 0:  // small nudge
+        v += int(rng.uniform(-2, 2));
+        break;
+      case 1:  // jump anywhere in range
+        v = ax.min + int(rng.index(std::size_t(ax.max - ax.min + 1)));
+        break;
+      case 2:  // floor — the shrink direction
+        v = ax.min;
+        break;
+      default:  // ceiling — the stress direction
+        v = ax.max;
+        break;
+    }
+  }
+  clamp(spec);
+  // A spec with every domain off explores nothing; keep at least one on.
+  if (spec.sch == 0 && spec.hdl == 0 && spec.pnr == 0) {
+    switch (rng.index(3)) {
+      case 0: spec.sch = 1; break;
+      case 1: spec.hdl = 1; break;
+      default: spec.pnr = 1; break;
+    }
+  }
+}
+
+}  // namespace interop::fuzz

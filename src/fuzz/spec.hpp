@@ -1,0 +1,94 @@
+#pragma once
+// The fuzzer's genome: one FuzzSpec fully determines one differential run.
+//
+// The mutation engine does not mutate designs directly — it mutates the
+// *parameters* of the existing deterministic workload generators
+// (schematic/generator, pnr/generator, plus the in-library HDL model
+// family) and the generator seed. Every field is an integer with a bounded
+// legal range (spec_axes()), which makes mutation, serialization, and
+// delta-debugging minimization uniform: a reproducer is just this spec
+// serialized as key=value lines, and "shrink" means "walk axes toward
+// their minimum while the divergence persists".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace interop::base {
+class Rng;
+}
+
+namespace interop::fuzz {
+
+struct FuzzSpec {
+  /// Seed handed to every generator this spec drives.
+  std::uint64_t seed = 1;
+
+  // --- domain toggles (0/1): which differential pipelines run ---
+  int sch = 1;
+  int hdl = 1;
+  int pnr = 1;
+
+  // --- schematic workload (sch::GeneratorOptions) ---
+  int sheets = 2;
+  int components_per_sheet = 4;
+  int nets_per_sheet = 3;
+  int buses = 2;
+  int bus_width = 4;
+  int condensed_refs = 1;
+  int postfix_nets = 1;
+  int cross_page_nets = 1;
+  int global_taps = 2;
+  int ports = 2;
+  int analog_pct = 30;  ///< analog_fraction * 100
+
+  // --- HDL workload (sequential sim model + combinational synth model) ---
+  int regs = 3;            ///< clocked nonblocking registers
+  int races = 0;           ///< blocking write/read pairs across processes
+  int delay_gates = 2;     ///< delayed gate/assign chain length
+  int comb_inputs = 3;     ///< inputs of the combinational synth model
+  int comb_terms = 2;      ///< expression terms in the synth model
+  int incomplete_sens = 0; ///< 1 = drop one signal from a sensitivity list
+  int use_arith = 0;       ///< 1 = use '+' (vendor subset difference)
+  int sim_until = 60;      ///< simulated time horizon
+
+  // --- P&R workload (pnr::PnrGenOptions) ---
+  int instances = 8;
+  int pnr_nets = 6;
+  int keepouts = 1;
+  int wide_pct = 15;
+  int spaced_pct = 15;
+  int shield_pct = 10;
+  int die = 90;  ///< square die side
+
+  friend bool operator==(const FuzzSpec&, const FuzzSpec&) = default;
+};
+
+/// One mutable integer dimension of the spec.
+struct SpecAxis {
+  const char* name;
+  int FuzzSpec::*field;
+  int min;  ///< smallest legal value — the minimizer's floor
+  int max;  ///< largest value mutation may produce
+};
+
+/// All axes, in the fixed order used by serialization, mutation, and
+/// minimization. `seed` is not an axis (it is mutated separately and never
+/// minimized).
+const std::vector<SpecAxis>& spec_axes();
+
+/// Clamp every axis into its [min, max] range.
+void clamp(FuzzSpec& spec);
+
+/// Serialize as the reproducer key=value block (axes order, seed first).
+std::string to_text(const FuzzSpec& spec);
+
+/// Parse what to_text wrote. Unknown keys throw std::runtime_error (a
+/// reproducer that silently ignored fields would not reproduce anything).
+FuzzSpec spec_from_text(const std::string& text);
+
+/// Deterministically mutate `spec` in place using `rng`: nudge, rescale or
+/// floor 1-3 axes, occasionally flip a domain toggle or reseed.
+void mutate(FuzzSpec& spec, base::Rng& rng);
+
+}  // namespace interop::fuzz

@@ -57,8 +57,14 @@ CheckResult check_routes(const PhysDesign& truth, const RouteResult& routes) {
         ++out.access_violations;
     }
 
-    if (net->topology.width > rn.width_used) ++out.width_violations;
-    if (net->topology.shield && !rn.shielded) ++out.shield_violations;
+    // Width/shield are properties of produced metal. A net with no cells
+    // (its terminals never placed, so the router took the short-circuit
+    // exit) is a routability failure — already counted in failed_nets —
+    // not evidence that the constraint was dropped in translation.
+    if (!rn.cells.empty()) {
+      if (net->topology.width > rn.width_used) ++out.width_violations;
+      if (net->topology.shield && !rn.shielded) ++out.shield_violations;
+    }
 
     if (net->topology.spacing > 0) {
       // Coupling comes from PARALLEL adjacency: a single perpendicular

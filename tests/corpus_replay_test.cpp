@@ -1,0 +1,58 @@
+// Replays every reproducer in tests/corpus/ through the full differential
+// pipeline (ctest label: corpus). Each entry pins either a clean regression
+// (a bug class that must stay fixed) or a paper-catalogued explained
+// divergence (which must stay explained, with exactly the recorded kinds).
+// A behaviour change in any dialect, scheduler, synthesizer or exporter
+// that re-opens an old disagreement flips its corpus entry.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fuzz/corpus.hpp"
+
+namespace fuzz = interop::fuzz;
+
+namespace {
+
+std::string corpus_dir() { return INTEROP_CORPUS_DIR; }
+
+class CorpusReplay : public testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusReplay, Replays) {
+  fuzz::Reproducer repro = fuzz::load_reproducer(GetParam());
+  std::string error = fuzz::replay_reproducer(repro);
+  EXPECT_TRUE(error.empty()) << error;
+}
+
+std::string param_name(const testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusReplay,
+                         testing::ValuesIn(fuzz::list_reproducers(corpus_dir())),
+                         param_name);
+
+// The corpus must never silently evaporate (e.g. a bad path after a
+// refactor would otherwise make the suite vacuously green).
+TEST(CorpusReplayTest, CorpusHasSeedEntries) {
+  EXPECT_GE(fuzz::list_reproducers(corpus_dir()).size(), 3u)
+      << "expected the seeded corpus in " << corpus_dir();
+}
+
+// Reproducer files round-trip through the parser/formatter, so entries
+// written by the fuzzer and entries written by hand stay interchangeable.
+TEST(CorpusReplayTest, ReproducerFormatRoundTrips) {
+  for (const std::string& path : fuzz::list_reproducers(corpus_dir())) {
+    fuzz::Reproducer repro = fuzz::load_reproducer(path);
+    fuzz::Reproducer back =
+        fuzz::parse_reproducer(repro.name, fuzz::format_reproducer(repro));
+    EXPECT_EQ(back.spec, repro.spec) << path;
+    EXPECT_EQ(back.expect, repro.expect) << path;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Golden tests for the delta-debugging minimizer: shrinking is exact on
+// synthetic predicates (known minimal spec), deterministic run-to-run, and
+// drives a real planted divergence down to its essential axes.
+
+#include <gtest/gtest.h>
+
+#include "fuzz/minimize.hpp"
+#include "fuzz/pipeline.hpp"
+#include "fuzz/spec.hpp"
+
+namespace fuzz = interop::fuzz;
+
+namespace {
+
+/// The all-floors spec: every axis at its minimum.
+fuzz::FuzzSpec floored_spec() {
+  fuzz::FuzzSpec spec;
+  for (const fuzz::SpecAxis& ax : fuzz::spec_axes()) spec.*(ax.field) = ax.min;
+  return spec;
+}
+
+TEST(FuzzMinimizerTest, ShrinksToExactSyntheticMinimum) {
+  // Predicate depends on two axes only; everything else must be floored
+  // and those two must land exactly on their smallest satisfying values.
+  auto predicate = [](const fuzz::FuzzSpec& s) {
+    return s.regs >= 3 && s.buses >= 2;
+  };
+  fuzz::FuzzSpec start;  // defaults: regs=3, buses=2 — predicate holds
+  start.regs = 8;
+  start.buses = 5;
+  fuzz::MinimizeResult shrunk = fuzz::minimize(start, predicate);
+
+  fuzz::FuzzSpec expected = floored_spec();
+  expected.seed = start.seed;  // seed is never minimized
+  expected.regs = 3;
+  expected.buses = 2;
+  EXPECT_EQ(shrunk.spec, expected);
+  EXPECT_TRUE(predicate(shrunk.spec));
+}
+
+TEST(FuzzMinimizerTest, BinarySearchFindsInteriorMinimum) {
+  // Non-floor minimum in the middle of an axis range: the per-axis binary
+  // search must land on it exactly, not merely below the start.
+  auto predicate = [](const fuzz::FuzzSpec& s) { return s.die >= 97; };
+  fuzz::FuzzSpec start;
+  start.die = 150;
+  fuzz::MinimizeResult shrunk = fuzz::minimize(start, predicate);
+  EXPECT_EQ(shrunk.spec.die, 97);
+}
+
+TEST(FuzzMinimizerTest, DeterministicForFixedInput) {
+  auto predicate = [](const fuzz::FuzzSpec& s) {
+    return s.instances + s.pnr_nets >= 12;
+  };
+  fuzz::FuzzSpec start;
+  start.instances = 20;
+  start.pnr_nets = 14;
+  fuzz::MinimizeResult a = fuzz::minimize(start, predicate);
+  fuzz::MinimizeResult b = fuzz::minimize(start, predicate);
+  EXPECT_EQ(a.spec, b.spec);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.axes_floored, b.axes_floored);
+}
+
+TEST(FuzzMinimizerTest, RespectsEvaluationBudget) {
+  int calls = 0;
+  auto predicate = [&calls](const fuzz::FuzzSpec& s) {
+    ++calls;
+    return s.regs >= 2;
+  };
+  fuzz::FuzzSpec start;
+  start.regs = 8;
+  fuzz::MinimizeResult shrunk = fuzz::minimize(start, predicate, 10);
+  EXPECT_LE(shrunk.evaluations, 10);
+  EXPECT_EQ(shrunk.evaluations, calls);
+  // Whatever the budget, the returned spec still satisfies the predicate.
+  EXPECT_GE(shrunk.spec.regs, 2);
+}
+
+// A real divergence planted via the pipeline: a model with blocking
+// write/read races diverges across scheduler policies (explained, §3.1).
+// Minimization against "still shows hdl-policy-diff" must strip the
+// uninvolved domains entirely and keep at least one race pair, and must be
+// bit-identical across runs — the property that makes fuzzer-filed
+// reproducers stable artifacts.
+TEST(FuzzMinimizerTest, ShrinksPlantedPolicyDivergenceDeterministically) {
+  fuzz::FuzzSpec start;
+  start.seed = 5;
+  start.races = 3;
+  auto has_policy_diff = [](const fuzz::FuzzSpec& s) {
+    for (const fuzz::Divergence& d : fuzz::run_pipeline(s).divergences)
+      if (d.kind == "hdl-policy-diff") return true;
+    return false;
+  };
+  ASSERT_TRUE(has_policy_diff(start));
+
+  fuzz::MinimizeResult shrunk = fuzz::minimize(start, has_policy_diff);
+  EXPECT_TRUE(has_policy_diff(shrunk.spec));
+  EXPECT_EQ(shrunk.spec.sch, 0) << "schematic domain is uninvolved";
+  EXPECT_EQ(shrunk.spec.pnr, 0) << "pnr domain is uninvolved";
+  EXPECT_EQ(shrunk.spec.hdl, 1);
+  EXPECT_GE(shrunk.spec.races, 1) << "the race is the divergence";
+
+  fuzz::MinimizeResult again = fuzz::minimize(start, has_policy_diff);
+  EXPECT_EQ(again.spec, shrunk.spec);
+  EXPECT_EQ(again.evaluations, shrunk.evaluations);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// The fuzzer's own guarantees: the differential pipeline is pure, the
+// feature bitmap is stable, specs round-trip, and — the load-bearing
+// property — a fuzz run is bit-identical for any worker count.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "fuzz/feature.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/pipeline.hpp"
+#include "fuzz/spec.hpp"
+
+namespace fuzz = interop::fuzz;
+
+namespace {
+
+TEST(FeatureBitmapTest, SetTestMergeAndHash) {
+  fuzz::FeatureBitmap a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_TRUE(a.set("sch:ref:scalar"));
+  EXPECT_FALSE(a.set("sch:ref:scalar")) << "second set of same feature";
+  EXPECT_TRUE(a.test("sch:ref:scalar"));
+  EXPECT_FALSE(a.test("sch:ref:range"));
+  EXPECT_EQ(a.count(), 1u);
+
+  fuzz::FeatureBitmap b;
+  b.set("sch:ref:range");
+  b.set("sch:ref:scalar");
+  EXPECT_TRUE(a.would_grow(b));
+  EXPECT_EQ(a.merge(b), 1u) << "only the range feature is new";
+  EXPECT_FALSE(a.would_grow(b));
+  EXPECT_EQ(a.count(), 2u);
+
+  fuzz::FeatureBitmap c;
+  c.set("sch:ref:scalar");
+  c.set("sch:ref:range");
+  EXPECT_EQ(a.hash(), c.hash()) << "hash depends on content, not order";
+}
+
+TEST(FuzzSpecTest, TextRoundTripIsIdentity) {
+  fuzz::FuzzSpec spec;
+  spec.seed = 0xdeadbeef;
+  spec.buses = 5;
+  spec.races = 2;
+  spec.die = 149;
+  EXPECT_EQ(fuzz::spec_from_text(fuzz::to_text(spec)), spec);
+}
+
+TEST(FuzzSpecTest, UnknownKeyThrows) {
+  EXPECT_THROW(fuzz::spec_from_text("seed=1\nnot_an_axis=3\n"),
+               std::runtime_error);
+}
+
+TEST(FuzzSpecTest, MutationIsDeterministicAndStaysLegal) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    fuzz::FuzzSpec a, b;
+    interop::base::Rng ra(seed), rb(seed);
+    for (int step = 0; step < 10; ++step) {
+      fuzz::mutate(a, ra);
+      fuzz::mutate(b, rb);
+    }
+    EXPECT_EQ(a, b) << "same rng stream must give the same mutant";
+    for (const fuzz::SpecAxis& ax : fuzz::spec_axes()) {
+      EXPECT_GE(a.*(ax.field), ax.min) << ax.name;
+      EXPECT_LE(a.*(ax.field), ax.max) << ax.name;
+    }
+    EXPECT_TRUE(a.sch || a.hdl || a.pnr);
+  }
+}
+
+TEST(FuzzPipelineTest, PureAndDeterministic) {
+  fuzz::FuzzSpec spec;
+  spec.seed = 42;
+  spec.races = 1;
+  spec.incomplete_sens = 1;
+  fuzz::PipelineResult a = fuzz::run_pipeline(spec);
+  fuzz::PipelineResult b = fuzz::run_pipeline(spec);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.bitmap.hash(), b.bitmap.hash());
+  ASSERT_EQ(a.divergences.size(), b.divergences.size());
+  for (std::size_t i = 0; i < a.divergences.size(); ++i) {
+    EXPECT_EQ(a.divergences[i].kind, b.divergences[i].kind);
+    EXPECT_EQ(a.divergences[i].detail, b.divergences[i].detail);
+    EXPECT_EQ(a.divergences[i].explained, b.divergences[i].explained);
+  }
+  EXPECT_EQ(a.signature(), b.signature());
+}
+
+TEST(FuzzPipelineTest, FeatureListMatchesBitmap) {
+  fuzz::PipelineResult r = fuzz::run_pipeline(fuzz::FuzzSpec{});
+  EXPECT_FALSE(r.features.empty());
+  for (const std::string& f : r.features)
+    EXPECT_TRUE(r.bitmap.test(f)) << f;
+  // Bitmap may be slightly smaller than the list if 8192-bit hashing
+  // collides, but can never exceed it.
+  EXPECT_LE(r.bitmap.count(), r.features.size());
+  EXPECT_GE(r.bitmap.count(), r.features.size() - 2)
+      << "implausibly many feature-key collisions";
+}
+
+// The acceptance property: `interop_fuzz --seed S --iters N` produces the
+// same coverage bitmap, the same kept-seed count and the same reproducers
+// for ANY --jobs value. Generation-based evaluation with a serial in-order
+// merge is what makes parallel fuzzing debuggable.
+TEST(FuzzRunTest, WorkerCountInvariance) {
+  fuzz::FuzzOptions opt;
+  opt.seed = 9;
+  opt.iterations = 48;
+  opt.generation_size = 8;
+
+  opt.jobs = 1;
+  fuzz::FuzzStats serial = fuzz::fuzz(opt);
+  opt.jobs = 4;
+  fuzz::FuzzStats parallel = fuzz::fuzz(opt);
+  opt.jobs = 3;
+  fuzz::FuzzStats odd = fuzz::fuzz(opt);
+
+  EXPECT_EQ(serial.bitmap_hash, parallel.bitmap_hash);
+  EXPECT_EQ(serial.bitmap_hash, odd.bitmap_hash);
+  EXPECT_EQ(serial.coverage, parallel.coverage);
+  EXPECT_EQ(serial.seeds_kept, parallel.seeds_kept);
+  EXPECT_EQ(serial.evaluated, parallel.evaluated);
+  EXPECT_EQ(serial.coverage_curve, parallel.coverage_curve);
+  ASSERT_EQ(serial.reproducers.size(), parallel.reproducers.size());
+  for (std::size_t i = 0; i < serial.reproducers.size(); ++i) {
+    EXPECT_EQ(fuzz::format_reproducer(serial.reproducers[i]),
+              fuzz::format_reproducer(parallel.reproducers[i]));
+  }
+}
+
+TEST(FuzzRunTest, CoverageGrowsMonotonically) {
+  fuzz::FuzzOptions opt;
+  opt.seed = 3;
+  opt.iterations = 64;
+  opt.generation_size = 8;
+  fuzz::FuzzStats stats = fuzz::fuzz(opt);
+
+  ASSERT_FALSE(stats.coverage_curve.empty());
+  for (std::size_t i = 1; i < stats.coverage_curve.size(); ++i)
+    EXPECT_GE(stats.coverage_curve[i].second,
+              stats.coverage_curve[i - 1].second);
+  // Mutation must actually discover structure beyond the initial seeds.
+  EXPECT_GT(stats.coverage_curve.back().second,
+            stats.coverage_curve.front().second)
+      << "no coverage growth across 8 generations";
+  EXPECT_GT(stats.seeds_kept, 0);
+}
+
+// The repository's verifiers agree with its tools on every generated
+// workload: short fuzz runs find no unexplained divergences. (The nightly
+// CI job runs this same property at much larger scale.)
+TEST(FuzzRunTest, ShortRunsAreClean) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    fuzz::FuzzOptions opt;
+    opt.seed = seed;
+    opt.iterations = 32;
+    opt.generation_size = 8;
+    opt.jobs = 2;
+    fuzz::FuzzStats stats = fuzz::fuzz(opt);
+    EXPECT_EQ(stats.divergences_unexplained, 0) << "seed " << seed;
+    EXPECT_TRUE(stats.reproducers.empty()) << "seed " << seed;
+    EXPECT_GT(stats.designs, 0);
+    EXPECT_GT(stats.round_trips, 0);
+  }
+}
+
+}  // namespace

@@ -145,6 +145,32 @@ TEST_F(RouteFixture, UnroutableNetReported) {
   EXPECT_FALSE(r.nets[0].routed);
 }
 
+TEST_F(RouteFixture, UnplacedShieldNetIsRoutabilityNotShieldViolation) {
+  // A shield net whose far-end instance does not exist on the die: the
+  // router never produces metal for it, so the checker must report a
+  // failed net — not a shield (or width) violation. Found by the
+  // differential fuzzer (tests/corpus/shield-unplaced-net.repro): on a
+  // crowded die the placer drops an instance, the net short-circuits out
+  // of the router with zero cells, and the old checker blamed shield
+  // conveyance for what is a placement failure.
+  design.nets[0].topology.shield = true;
+  design.nets[0].topology.width = 3;
+  design.nets[0].terms.push_back({"u_missing", "A"});
+  design.instances.pop_back();  // u1 gone: only one placeable terminal left
+
+  ToolInput beta = export_direct(design, router_beta_caps(), diags);
+  RouteResult r = route(beta);
+  ASSERT_EQ(r.nets.size(), 1u);
+  EXPECT_FALSE(r.nets[0].routed);
+  EXPECT_TRUE(r.nets[0].cells.empty());
+  EXPECT_EQ(r.failed_nets, 1);
+
+  CheckResult c = check_routes(design, r);
+  EXPECT_EQ(c.failed_nets, 1);
+  EXPECT_EQ(c.shield_violations, 0);
+  EXPECT_EQ(c.width_violations, 0);
+}
+
 // ---- generated workload, end to end ----
 
 class PnrEndToEnd : public ::testing::TestWithParam<std::uint64_t> {};

@@ -140,6 +140,107 @@ TEST(SchDialectRoundTrip, TranslationPreservesConnectivity) {
   }
 }
 
+// The dialect pairs the original suite never exercised: self-translation
+// within each dialect, and the full there-and-back-again composition.
+
+TEST(SchDialectRoundTrip, ViewlogicSelfTranslationIsIdentity) {
+  const Dialect vl = viewlogic_dialect();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    std::vector<std::string> buses;
+    for (int i = 0; i < 8; ++i) buses.push_back(bus_base(rng));
+    for (int i = 0; i < 200; ++i) {
+      NetRef ref = random_vl_ref(rng, buses);
+      DiagnosticEngine diags;
+      // Same dialect on both sides: every feature of the reference is
+      // legal in the target, so nothing may be adjusted or reported.
+      EXPECT_EQ(translate_net_ref(ref, vl, vl, diags), ref)
+          << format_net_ref(ref, vl);
+      EXPECT_EQ(diags.all().size(), 0u);
+    }
+  }
+}
+
+TEST(SchDialectRoundTrip, ComposerSelfTranslationIsIdentity) {
+  const Dialect comp = composer_dialect();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    std::vector<std::string> buses;
+    for (int i = 0; i < 8; ++i) buses.push_back(bus_base(rng));
+    for (int i = 0; i < 200; ++i) {
+      NetRef ref = random_vl_ref(rng, buses);
+      ref.postfix.clear();
+      ref.condensed = false;
+      DiagnosticEngine diags;
+      EXPECT_EQ(translate_net_ref(ref, comp, comp, diags), ref)
+          << format_net_ref(ref, comp);
+      EXPECT_EQ(diags.all().size(), 0u);
+    }
+  }
+}
+
+TEST(SchDialectRoundTrip, TranslationIsIdempotent) {
+  // Viewlogic -> Composer -> Viewlogic -> Composer: the second pass through
+  // the lossy direction must be a no-op — postfix folding happens once.
+  const Dialect vl = viewlogic_dialect();
+  const Dialect comp = composer_dialect();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    std::vector<std::string> buses;
+    for (int i = 0; i < 8; ++i) buses.push_back(bus_base(rng));
+    for (int i = 0; i < 200; ++i) {
+      NetRef ref = random_vl_ref(rng, buses);
+      DiagnosticEngine d1, d2, d3;
+      NetRef once = translate_net_ref(ref, vl, comp, d1);
+      NetRef home = translate_net_ref(once, comp, vl, d2);
+      NetRef twice = translate_net_ref(home, vl, comp, d3);
+      EXPECT_EQ(twice, once) << format_net_ref(ref, vl);
+      EXPECT_EQ(d3.all().size(), 0u)
+          << "second translation reported an adjustment";
+    }
+  }
+}
+
+TEST(SchDialectRoundTrip, PostfixFoldingKeepsNamesDistinct) {
+  // "ack", "ack-" and "ack+" are three different nets in Viewlogic; the
+  // fold into the explicit dialect must keep all three distinct or the
+  // migration silently merges nets (the §2 failure mode).
+  const Dialect vl = viewlogic_dialect();
+  const Dialect comp = composer_dialect();
+  NetRef plain = parse_net_ref("ack", vl);
+  NetRef minus = parse_net_ref("ack-", vl);
+  NetRef plus = parse_net_ref("ack+", vl);
+  ASSERT_EQ(minus.postfix, "-");
+  ASSERT_EQ(plus.postfix, "+");
+
+  DiagnosticEngine d1, d2, d3;
+  std::string t_plain = format_net_ref(translate_net_ref(plain, vl, comp, d1), comp);
+  std::string t_minus = format_net_ref(translate_net_ref(minus, vl, comp, d2), comp);
+  std::string t_plus = format_net_ref(translate_net_ref(plus, vl, comp, d3), comp);
+  EXPECT_NE(t_plain, t_minus);
+  EXPECT_NE(t_plain, t_plus);
+  EXPECT_NE(t_minus, t_plus);
+}
+
+TEST(SchDialectRoundTrip, TranslationPreservesRangeOrderAndWidth) {
+  // Descending and ascending ranges denote different bit ORDERS; a
+  // translator that normalizes direction would scramble bus taps.
+  const Dialect vl = viewlogic_dialect();
+  const Dialect comp = composer_dialect();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    for (int i = 0; i < 100; ++i) {
+      NetRef ref;
+      ref.base = bus_base(rng);
+      ref.range = {int(rng.index(64)), int(rng.index(64))};
+      DiagnosticEngine diags;
+      NetRef out = translate_net_ref(ref, vl, comp, diags);
+      EXPECT_EQ(out.width(), ref.width());
+      EXPECT_EQ(out.bits(), ref.bits()) << format_net_ref(ref, vl);
+    }
+  }
+}
+
 TEST(SchDialectRoundTrip, CondensedA0EqualsExplicitA0) {
   const Dialect vl = viewlogic_dialect();
   const Dialect comp = composer_dialect();

@@ -1,0 +1,237 @@
+// interop_fuzz — coverage-guided differential interop fuzzer (driver).
+//
+// Subcommands:
+//   run       fuzz for N iterations or a wall-time budget (the default)
+//   replay    re-run every reproducer in a corpus directory
+//   one       run the pipeline for a single spec file and print the result
+//   minimize  shrink a diverging spec file to its minimal form
+//
+// `run` exits 0 when every divergence encountered is explained by the
+// paper's catalogue (model races, sensitivity-list completion, reported
+// backplane loss) and 1 when an unexplained divergence was found — in
+// which case a minimized reproducer has been written to --corpus-dir.
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/pipeline.hpp"
+#include "fuzz/spec.hpp"
+
+namespace {
+
+using namespace interop::fuzz;
+
+int usage() {
+  std::cerr <<
+      "usage: interop_fuzz [run] [--seed S] [--iters N] [--jobs J]\n"
+      "                    [--generation-size G] [--time-budget-ms MS]\n"
+      "                    [--corpus-dir DIR] [--stats-json FILE] [-v]\n"
+      "       interop_fuzz replay --corpus-dir DIR\n"
+      "       interop_fuzz one --spec FILE\n"
+      "       interop_fuzz minimize --spec FILE [--out FILE]\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void print_result(const FuzzSpec& spec, const PipelineResult& result) {
+  std::cout << "designs=" << result.designs
+            << " round_trips=" << result.round_trips
+            << " features=" << result.features.size()
+            << " bitmap=" << result.bitmap.count() << "\n";
+  for (const std::string& f : result.features) std::cout << "  " << f << "\n";
+  for (const Divergence& d : result.divergences) {
+    std::cout << (d.explained ? "explained " : "UNEXPLAINED ") << d.kind
+              << ": " << d.detail << "\n";
+    if (d.explained) std::cout << "  because: " << d.explanation << "\n";
+  }
+  std::cout << "expectation: " << expectation_for(result) << "\n";
+  std::cout << "spec:\n" << to_text(spec);
+}
+
+void write_stats_json(const std::string& path, const FuzzOptions& opt,
+                      const FuzzStats& stats) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"seed\": " << opt.seed << ",\n"
+      << "  \"jobs\": " << opt.jobs << ",\n"
+      << "  \"generations\": " << stats.generations << ",\n"
+      << "  \"evaluated\": " << stats.evaluated << ",\n"
+      << "  \"minimize_evaluations\": " << stats.minimize_evaluations << ",\n"
+      << "  \"designs\": " << stats.designs << ",\n"
+      << "  \"round_trips\": " << stats.round_trips << ",\n"
+      << "  \"seeds_kept\": " << stats.seeds_kept << ",\n"
+      << "  \"coverage\": " << stats.coverage << ",\n"
+      << "  \"bitmap_hash\": \"" << std::hex << stats.bitmap_hash << std::dec
+      << "\",\n"
+      << "  \"divergences_explained\": " << stats.divergences_explained
+      << ",\n"
+      << "  \"divergences_unexplained\": " << stats.divergences_unexplained
+      << ",\n"
+      << "  \"reproducers\": " << stats.reproducers.size() << ",\n"
+      << "  \"elapsed_ms\": " << stats.elapsed_ms << ",\n"
+      << "  \"designs_per_sec\": "
+      << (stats.elapsed_ms > 0
+              ? 1000.0 * stats.designs / double(stats.elapsed_ms)
+              : 0.0)
+      << ",\n  \"coverage_curve\": [";
+  for (std::size_t i = 0; i < stats.coverage_curve.size(); ++i) {
+    if (i) out << ", ";
+    out << "[" << stats.coverage_curve[i].first << ", "
+        << stats.coverage_curve[i].second << "]";
+  }
+  out << "]\n}\n";
+}
+
+int cmd_run(const FuzzOptions& opt, const std::string& stats_json) {
+  FuzzStats stats = fuzz(opt);
+  std::cout << "interop_fuzz: " << stats.evaluated << " specs, "
+            << stats.designs << " designs, " << stats.round_trips
+            << " round-trips in " << stats.elapsed_ms << " ms";
+  if (stats.elapsed_ms > 0)
+    std::cout << " (" << 1000.0 * stats.designs / double(stats.elapsed_ms)
+              << " designs/s)";
+  std::cout << "\ncoverage: " << stats.coverage << " features (bitmap hash "
+            << std::hex << stats.bitmap_hash << std::dec << "), "
+            << stats.seeds_kept << " seeds kept\n"
+            << "divergences: " << stats.divergences_explained
+            << " explained, " << stats.divergences_unexplained
+            << " unexplained\n";
+  if (!stats_json.empty()) write_stats_json(stats_json, opt, stats);
+  if (!stats.reproducers.empty()) {
+    std::cout << "UNEXPLAINED divergences — minimized reproducers:\n";
+    for (std::size_t i = 0; i < stats.reproducers.size(); ++i) {
+      const Reproducer& r = stats.reproducers[i];
+      std::cout << "  " << r.name << " (" << r.expect << ")";
+      if (i < stats.reproducer_paths.size())
+        std::cout << " -> " << stats.reproducer_paths[i];
+      std::cout << "\n";
+    }
+    return 1;
+  }
+  std::cout << "no unexplained divergences\n";
+  return 0;
+}
+
+int cmd_replay(const std::string& corpus_dir) {
+  if (corpus_dir.empty()) return usage();
+  int failures = 0, total = 0;
+  for (const std::string& path : list_reproducers(corpus_dir)) {
+    ++total;
+    try {
+      Reproducer repro = load_reproducer(path);
+      std::string error = replay_reproducer(repro);
+      if (error.empty()) {
+        std::cout << "PASS " << repro.name << " (" << repro.expect << ")\n";
+      } else {
+        std::cout << "FAIL " << error << "\n";
+        ++failures;
+      }
+    } catch (const std::exception& e) {
+      std::cout << "FAIL " << path << ": " << e.what() << "\n";
+      ++failures;
+    }
+  }
+  std::cout << total - failures << "/" << total << " reproducers pass\n";
+  return failures == 0 ? 0 : 1;
+}
+
+// --spec accepts either a bare key=value spec or a corpus .repro file
+// (leading '#' comments + an expect= line). Comments and the expectation
+// are dropped here — `replay` is the command that checks verdicts.
+FuzzSpec load_spec(const std::string& path) {
+  std::istringstream in(read_file(path));
+  std::string kept, line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line.rfind("expect=", 0) == 0)
+      continue;
+    kept += line;
+    kept += '\n';
+  }
+  return spec_from_text(kept);
+}
+
+int cmd_one(const std::string& spec_path) {
+  if (spec_path.empty()) return usage();
+  FuzzSpec spec = load_spec(spec_path);
+  PipelineResult result = run_pipeline(spec);
+  print_result(spec, result);
+  return result.has_unexplained() ? 1 : 0;
+}
+
+int cmd_minimize(const std::string& spec_path, const std::string& out_path) {
+  if (spec_path.empty()) return usage();
+  FuzzSpec spec = load_spec(spec_path);
+  std::string signature = run_pipeline(spec).signature();
+  if (signature.empty()) {
+    std::cerr << "interop_fuzz: spec has no unexplained divergence to "
+                 "minimize against\n";
+    return 1;
+  }
+  MinimizeResult shrunk = minimize(spec, signature_predicate(signature));
+  std::cout << "signature: " << signature << "\n"
+            << "evaluations: " << shrunk.evaluations << "\n"
+            << "axes at minimum: " << shrunk.axes_floored << "\n"
+            << to_text(shrunk.spec);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << to_text(shrunk.spec);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command = "run";
+  int arg = 1;
+  if (arg < argc && argv[arg][0] != '-') command = argv[arg++];
+
+  FuzzOptions opt;
+  std::string stats_json, spec_path, out_path;
+  try {
+    for (; arg < argc; ++arg) {
+      std::string flag = argv[arg];
+      auto value = [&]() -> std::string {
+        if (arg + 1 >= argc)
+          throw std::runtime_error("missing value for " + flag);
+        return argv[++arg];
+      };
+      if (flag == "--seed") opt.seed = std::stoull(value());
+      else if (flag == "--iters") opt.iterations = std::stoi(value());
+      else if (flag == "--jobs") opt.jobs = std::stoi(value());
+      else if (flag == "--generation-size")
+        opt.generation_size = std::stoi(value());
+      else if (flag == "--time-budget-ms")
+        opt.time_budget_ms = std::stoll(value());
+      else if (flag == "--corpus-dir") opt.corpus_dir = value();
+      else if (flag == "--stats-json") stats_json = value();
+      else if (flag == "--spec") spec_path = value();
+      else if (flag == "--out") out_path = value();
+      else if (flag == "-v" || flag == "--verbose") opt.verbose = true;
+      else return usage();
+    }
+
+    if (command == "run") return cmd_run(opt, stats_json);
+    if (command == "replay") return cmd_replay(opt.corpus_dir);
+    if (command == "one") return cmd_one(spec_path);
+    if (command == "minimize") return cmd_minimize(spec_path, out_path);
+  } catch (const std::exception& e) {
+    std::cerr << "interop_fuzz: " << e.what() << "\n";
+    return 2;
+  }
+  return usage();
+}
