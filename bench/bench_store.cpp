@@ -1,0 +1,230 @@
+// Persistent-store bench — measures the durability layer end to end and
+// prints one JSON object for the bench harness (BENCH_store.json via
+// bench/run_perf.sh). See EXPERIMENTS.md §D1.
+//
+// Scenarios:
+//  - append: put throughput with fsync-per-append (the WAL commit point,
+//    the durability configuration every production path uses) and with
+//    fsync off (isolates the write-path CPU cost; the gap is what
+//    durability costs).
+//  - lookup: random get() over the warm store — every read re-verifies
+//    the record checksum, so this prices verified reads, not memcpy.
+//  - recovery: cold-open of a multi-segment store — the single forward
+//    scan that rebuilds the index. Reports entries/s and MB/s scanned.
+//  - service_restart: an InteropService with a store-backed cache serves
+//    a set of flow requests cold, is torn down (the daemon dying), and a
+//    fresh incarnation on the same directory serves the identical
+//    requests warm. Reports cold vs warm p50/p99 and the speedup.
+//
+// Self-checking: exits nonzero unless recovery finds every appended
+// entry, every sampled lookup returns the written bytes, and the warm
+// restart executes zero actions.
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "service/service.hpp"
+#include "service/wire.hpp"
+#include "store/store.hpp"
+
+using namespace interop;
+using store::ObjectStore;
+using store::StoreOptions;
+
+namespace {
+
+std::uint64_t now_us() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  std::size_t idx = std::size_t(p * double(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / (tag + ".XXXXXX")).string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* p = ::mkdtemp(buf.data());
+    if (p) path = p;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    if (!path.empty()) std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::string payload_for(std::uint64_t key, std::size_t bytes) {
+  std::string out;
+  out.reserve(bytes);
+  base::Rng rng(key * 0x9e3779b97f4a7c15ull + 1);
+  for (std::size_t i = 0; i < bytes; ++i) out.push_back(char(rng.index(256)));
+  return out;
+}
+
+bool g_ok = true;
+
+void require(bool cond, const std::string& what) {
+  if (!cond) {
+    std::cerr << "bench_store: SELF-CHECK FAILED: " << what << "\n";
+    g_ok = false;
+  }
+}
+
+/// Appends `n` entries of `bytes` payload; returns wall micros.
+std::uint64_t run_appends(ObjectStore& store, int n, std::size_t bytes) {
+  std::uint64_t t0 = now_us();
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t key = std::uint64_t(i) + 1;
+    require(store.put(key, payload_for(key, bytes)), "append acked");
+  }
+  return now_us() - t0;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t payload_bytes = 256;
+  std::ostringstream js;
+  js << "{\n";
+
+  // ---------------------------------------------------------- append
+  const int fsync_n = 512;       // fsync each: device-bound
+  const int nofsync_n = 20'000;  // buffered: CPU-bound write path
+  double fsync_per_s = 0, nofsync_per_s = 0;
+  {
+    TempDir dir("bench_store_fsync");
+    ObjectStore store;
+    StoreOptions opt;
+    opt.fsync_each = true;
+    require(store.open(dir.path, opt), "open (fsync)");
+    std::uint64_t us = run_appends(store, fsync_n, payload_bytes);
+    fsync_per_s = us ? 1e6 * fsync_n / double(us) : 0;
+  }
+  TempDir big_dir("bench_store_big");
+  {
+    ObjectStore store;
+    StoreOptions opt;
+    opt.fsync_each = false;
+    opt.segment_bytes = 1u << 20;  // force multi-segment recovery below
+    require(store.open(big_dir.path, opt), "open (no fsync)");
+    std::uint64_t us = run_appends(store, nofsync_n, payload_bytes);
+    require(store.flush(), "flush");
+    nofsync_per_s = us ? 1e6 * nofsync_n / double(us) : 0;
+
+    // ---------------------------------------------------------- lookup
+    const int lookups = 50'000;
+    base::Rng rng(7);
+    std::uint64_t t0 = now_us();
+    for (int i = 0; i < lookups; ++i) {
+      std::uint64_t key = 1 + rng.index(std::size_t(nofsync_n));
+      auto got = store.get(key);
+      require(got.has_value(), "lookup hit");
+    }
+    std::uint64_t us_l = now_us() - t0;
+    // Spot-verify bytes, not just presence.
+    for (std::uint64_t key : {std::uint64_t(1), std::uint64_t(nofsync_n)})
+      require(store.get(key) == payload_for(key, payload_bytes),
+              "lookup bytes");
+    js << " \"append\": {\"payload_bytes\": " << payload_bytes
+       << ", \"fsync_each_per_s\": " << std::uint64_t(fsync_per_s)
+       << ", \"no_fsync_per_s\": " << std::uint64_t(nofsync_per_s)
+       << ", \"durability_cost_x\": "
+       << (fsync_per_s > 0 ? nofsync_per_s / fsync_per_s : 0) << "},\n";
+    js << " \"lookup\": {\"gets_per_s\": "
+       << std::uint64_t(us_l ? 1e6 * lookups / double(us_l) : 0)
+       << ", \"checksum_verified\": true},\n";
+  }
+
+  // -------------------------------------------------------- recovery
+  {
+    std::uint64_t t0 = now_us();
+    ObjectStore store;
+    StoreOptions opt;
+    opt.fsync_each = false;
+    opt.segment_bytes = 1u << 20;
+    require(store.open(big_dir.path, opt), "recovery open");
+    std::uint64_t us = now_us() - t0;
+    auto stats = store.stats();
+    require(store.size() == std::size_t(nofsync_n),
+            "recovery found every entry");
+    std::size_t segments = 0;
+    for (const auto& e : std::filesystem::directory_iterator(big_dir.path))
+      segments += e.path().extension() == ".iosg";
+    js << " \"recovery\": {\"entries\": " << store.size()
+       << ", \"segments\": " << segments
+       << ", \"scan_us\": " << us << ", \"entries_per_s\": "
+       << std::uint64_t(us ? 1e6 * double(store.size()) / double(us) : 0)
+       << ", \"mb_per_s\": "
+       << (us ? double(stats.recovered_bytes) / double(us) : 0) << "},\n";
+  }
+
+  // -------------------------------------------------- service restart
+  {
+    TempDir dir("bench_store_svc");
+    service::ServiceOptions opt;
+    opt.workers = 2;
+    opt.flow_workers = 2;
+    opt.store_dir = dir.path;
+    const int flows = 24;
+    auto run_incarnation = [&](bool warm_expected,
+                               std::vector<std::uint64_t>* lat) {
+      service::InteropService svc(opt);
+      require(svc.persistent_cache() != nullptr, "service store open");
+      service::LoopbackClient client(svc);
+      std::uint64_t executed = 0;
+      for (int i = 0; i < flows; ++i) {
+        service::Request req;
+        req.id = std::uint64_t(i) + 1;
+        req.type = service::MsgType::FlowRun;
+        req.tenant = "bench";
+        req.flow = "fanout";
+        req.width = 8;
+        req.latency_us = 200;
+        req.seed = std::uint64_t(i) * 7 + 1;
+        std::uint64_t t0 = now_us();
+        service::Response resp = client.call(req);
+        lat->push_back(now_us() - t0);
+        require(resp.status == service::Status::Ok, "flow ok");
+        executed += resp.counter("executed", 0);
+      }
+      if (warm_expected)
+        require(executed == 0, "warm restart executed zero actions");
+      else
+        require(executed == std::uint64_t(flows) * 10, "cold run executed");
+      return executed;
+    };
+    std::vector<std::uint64_t> cold, warm;
+    run_incarnation(false, &cold);  // incarnation 1, then "the daemon dies"
+    run_incarnation(true, &warm);   // incarnation 2 on the same directory
+    js << " \"service_restart\": {\"flows\": " << flows
+       << ", \"cold_p50_us\": " << percentile(cold, 0.5)
+       << ", \"cold_p99_us\": " << percentile(cold, 0.99)
+       << ", \"warm_p50_us\": " << percentile(warm, 0.5)
+       << ", \"warm_p99_us\": " << percentile(warm, 0.99)
+       << ", \"p99_speedup_x\": "
+       << (percentile(warm, 0.99)
+               ? double(percentile(cold, 0.99)) /
+                     double(percentile(warm, 0.99))
+               : 0)
+       << ", \"warm_executed\": 0},\n";
+  }
+
+  js << " \"self_check\": \"" << (g_ok ? "pass" : "FAIL") << "\"\n}\n";
+  std::cout << js.str();
+  return g_ok ? 0 : 1;
+}

@@ -120,6 +120,19 @@ check_json "$tmp" "$service_bin"
 cp "$tmp" "$service_out"
 echo "wrote $service_out"
 
+# Persistent-store bench: WAL append throughput (fsync on/off), verified
+# lookup rate, cold-open recovery scan speed, and service warm-restart
+# latency vs cold (self-checking: warm restart must execute zero actions;
+# see EXPERIMENTS.md §D1 and README "Persistence").
+cmake --build "$build_dir" --target bench_store -j "$(nproc)"
+store_bin="$build_dir/bench/bench_store"
+[ -x "$store_bin" ] || die "bench binary missing: $store_bin"
+store_out="$repo_root/BENCH_store.json"
+"$store_bin" > "$tmp"
+check_json "$tmp" "$store_bin"
+cp "$tmp" "$store_out"
+echo "wrote $store_out"
+
 # Fuzz-throughput smoke: a fixed-seed run of the differential fuzzer —
 # designs/sec, coverage growth, and the jobs-invariance determinism check
 # (self-checking; see EXPERIMENTS.md §F1 and README "Fuzzing").

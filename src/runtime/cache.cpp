@@ -96,6 +96,13 @@ void ResultCache::clear() {
   }
 }
 
+void ResultCache::reset_stats() {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->stats = Stats{};
+  }
+}
+
 std::uint64_t step_content_key(const wf::StepDef& def,
                                const wf::DataManager& data) {
   Fnv1a h;

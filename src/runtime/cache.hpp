@@ -46,13 +46,15 @@ class ResultCache {
  public:
   /// `max_entries` == 0 means unbounded.
   explicit ResultCache(std::size_t max_entries = 0, int shards = 1);
+  virtual ~ResultCache() = default;
 
   /// Lookup; counts a hit or miss. The returned entry is immutable and
-  /// safe to use after eviction.
-  std::shared_ptr<const CacheEntry> find(std::uint64_t key) const;
+  /// safe to use after eviction. Virtual so store::PersistentResultCache
+  /// can layer durability under the same executor-facing interface.
+  virtual std::shared_ptr<const CacheEntry> find(std::uint64_t key) const;
 
   /// Insert or overwrite. Evicts oldest entries beyond max_entries.
-  void store(std::uint64_t key, CacheEntry entry);
+  virtual void store(std::uint64_t key, CacheEntry entry);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -64,6 +66,10 @@ class ResultCache {
   std::size_t size() const;
   /// Drop every entry and reset stats.
   void clear();
+  /// Zero the hit/miss/store/eviction counters, keeping the entries. A
+  /// cold-open rebuild (PersistentResultCache) repopulates through store()
+  /// and then resets, so stats reflect run activity, not recovery.
+  void reset_stats();
 
   /// Full key -> entry dump, merged across shards. Does not count as
   /// hits/misses — built for differential tests that assert two schedules

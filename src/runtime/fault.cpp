@@ -16,6 +16,16 @@ std::string to_string(FaultKind k) {
   return "?";
 }
 
+std::string to_string(StoreFaultKind k) {
+  switch (k) {
+    case StoreFaultKind::None: return "none";
+    case StoreFaultKind::TornAppend: return "torn_append";
+    case StoreFaultKind::ShortFsync: return "short_fsync";
+    case StoreFaultKind::CrashBeforeIndex: return "crash_before_index";
+  }
+  return "?";
+}
+
 FaultInjector::FaultInjector(std::uint64_t seed, FaultPlan plan)
     : seed_(seed), plan_(std::move(plan)) {}
 
@@ -68,6 +78,30 @@ FaultKind FaultInjector::decide(const std::string& step, int attempt,
 std::size_t FaultInjector::pick_output(const std::string& step, int attempt,
                                        std::size_t n) const {
   return std::size_t(mix(step, attempt, 3) % n);
+}
+
+StoreFaultKind FaultInjector::decide_store(int append_seq) {
+  StoreFaultKind kind = StoreFaultKind::None;
+  if (auto it = plan_.store_schedule.find(append_seq);
+      it != plan_.store_schedule.end()) {
+    kind = it->second;
+  } else if (plan_.store_probability > 0 && !plan_.store_kinds.empty()) {
+    double u = double(mix("store", append_seq, 4) >> 11) *
+               (1.0 / 9007199254740992.0);
+    if (u < plan_.store_probability)
+      kind = plan_.store_kinds[mix("store", append_seq, 5) %
+                               plan_.store_kinds.size()];
+  }
+  if (kind != StoreFaultKind::None) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_.store_faults;
+  }
+  return kind;
+}
+
+std::size_t FaultInjector::pick_torn_bytes(int append_seq,
+                                           std::size_t record_bytes) const {
+  return 1 + std::size_t(mix("store", append_seq, 6) % (record_bytes - 1));
 }
 
 FaultInjector::Counts FaultInjector::counts() const {

@@ -32,6 +32,20 @@ enum class FaultKind { None, Fail, Hang, TornWrite };
 
 std::string to_string(FaultKind k);
 
+/// Store-level fault points (see src/store/store.hpp): the ways a process
+/// dies relative to the WAL commit protocol (record -> fsync -> index).
+///
+///   TornAppend       - the process dies mid-write: a prefix of the record
+///                      reaches the segment file, never the whole record.
+///   ShortFsync       - fsync fails (or lies) and the record's bytes never
+///                      reach stable storage; the append is not committed.
+///   CrashBeforeIndex - the record is fully durable but the process dies
+///                      before updating the index / acking the caller: a
+///                      committed-but-unacknowledged entry.
+enum class StoreFaultKind { None, TornAppend, ShortFsync, CrashBeforeIndex };
+
+std::string to_string(StoreFaultKind k);
+
 struct FaultPlan {
   /// Per-attempt injection probability (0 disables the probabilistic draw).
   double probability = 0.0;
@@ -47,6 +61,18 @@ struct FaultPlan {
   /// Explicit schedule: (step, attempt) -> kind, consulted before the
   /// probabilistic draw. Lets a test place one fault precisely.
   std::map<std::pair<std::string, int>, FaultKind> schedule;
+
+  /// Store-level fault points, keyed on the 1-based append sequence number
+  /// of the object store consulting the injector. Consulted before the
+  /// probabilistic store draw; a store "dies" at its first injected fault,
+  /// so at most one fires per store instance.
+  std::map<int, StoreFaultKind> store_schedule;
+  /// Per-append probability of a store fault (0 disables the draw).
+  double store_probability = 0.0;
+  /// Kinds the probabilistic store draw picks from, uniformly.
+  std::vector<StoreFaultKind> store_kinds = {StoreFaultKind::TornAppend,
+                                             StoreFaultKind::ShortFsync,
+                                             StoreFaultKind::CrashBeforeIndex};
 };
 
 class FaultInjector {
@@ -63,6 +89,15 @@ class FaultInjector {
   std::size_t pick_output(const std::string& step, int attempt,
                           std::size_t n) const;
 
+  /// The store fault (or None) for the `append_seq`-th append (1-based).
+  /// Pure in (seed, append_seq), like decide() is in (seed, step, attempt).
+  StoreFaultKind decide_store(int append_seq);
+
+  /// Deterministically pick how many bytes of a `record_bytes`-byte record
+  /// a TornAppend leaves on disk: in [1, record_bytes - 1], so the record
+  /// is always present but never whole. Requires record_bytes >= 2.
+  std::size_t pick_torn_bytes(int append_seq, std::size_t record_bytes) const;
+
   std::uint64_t seed() const { return seed_; }
   const FaultPlan& plan() const { return plan_; }
 
@@ -71,6 +106,7 @@ class FaultInjector {
     int fails = 0;
     int hangs = 0;
     int torn_writes = 0;
+    int store_faults = 0;  ///< decide_store() calls that injected
     int total() const { return fails + hangs + torn_writes; }
   };
   Counts counts() const;

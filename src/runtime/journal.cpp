@@ -131,6 +131,7 @@ bool RunJournal::load(std::istream& is) {
   entries_.clear();
   workers_ = 0;
   wall_us_ = 0;
+  load_dropped_ = 0;
   std::string line;
   if (!std::getline(is, line)) return false;
   std::vector<std::string> head = split_tabs(line);
@@ -139,34 +140,79 @@ bool RunJournal::load(std::istream& is) {
   try {
     workers_ = std::stoi(head[2]);
     wall_us_ = std::stoull(head[3]);
-    while (std::getline(is, line)) {
-      if (line.empty()) continue;
-      std::vector<std::string> f = split_tabs(line);
-      if (f.size() != 9 || f[5].size() != 5) {
-        entries_.clear();
-        return false;
-      }
-      JournalEntry e;
-      e.step = json_unescape(f[0]);
-      e.worker = std::stoi(f[1]);
-      e.attempt = std::stoi(f[2]);
-      e.start_us = std::stoull(f[3]);
-      e.end_us = std::stoull(f[4]);
-      e.cache_hit = f[5][0] == '1';
-      e.ok = f[5][1] == '1';
-      e.rerun = f[5][2] == '1';
-      e.timed_out = f[5][3] == '1';
-      e.resumed = f[5][4] == '1';
-      e.fault = json_unescape(f[6]);
-      e.has_key = f[7] == "1";
-      e.key = std::stoull(f[8]);
-      entries_.push_back(std::move(e));
-    }
   } catch (const std::exception&) {
-    entries_.clear();
+    workers_ = 0;
+    wall_us_ = 0;
     return false;
   }
+
+  // Body: fail soft. A crashed process tears the last line mid-write and a
+  // flaky filesystem can double or garble one; drop everything from the
+  // first bad line on (the valid prefix is exactly what resume_run may
+  // trust — a suffix after corruption has no integrity guarantee), and skip
+  // byte-identical consecutive duplicates (a doubled write, not new data).
+  std::string prev_line;
+  std::map<std::string, int> last_attempt;
+  bool truncated = false;
+  while (std::getline(is, line)) {
+    if (truncated) {
+      if (!line.empty()) ++load_dropped_;
+      continue;
+    }
+    if (line.empty()) continue;
+    if (line == prev_line) {
+      ++load_dropped_;
+      continue;
+    }
+    std::vector<std::string> f = split_tabs(line);
+    JournalEntry e;
+    bool ok = f.size() == 9 && f[5].size() == 5;
+    if (ok) {
+      try {
+        e.step = json_unescape(f[0]);
+        e.worker = std::stoi(f[1]);
+        e.attempt = std::stoi(f[2]);
+        e.start_us = std::stoull(f[3]);
+        e.end_us = std::stoull(f[4]);
+        e.cache_hit = f[5][0] == '1';
+        e.ok = f[5][1] == '1';
+        e.rerun = f[5][2] == '1';
+        e.timed_out = f[5][3] == '1';
+        e.resumed = f[5][4] == '1';
+        e.fault = json_unescape(f[6]);
+        e.has_key = f[7] == "1";
+        e.key = std::stoull(f[8]);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      // Attempts for one step are journaled 1..n per claim (a re-claimed
+      // step restarts at 1). Once a step has been seen, an attempt number
+      // that is neither a fresh claim nor the successor of the last seen
+      // one is a duplicated or spliced line — corruption, not history. A
+      // step's first line accepts any attempt: a journal can be saved from
+      // mid-claim state.
+      auto it = last_attempt.find(e.step);
+      ok = e.worker >= -1 && e.attempt >= 1 &&
+           (it == last_attempt.end() || e.attempt == 1 ||
+            e.attempt == it->second + 1);
+    }
+    if (!ok) {
+      truncated = true;
+      ++load_dropped_;
+      continue;
+    }
+    last_attempt[e.step] = e.attempt;
+    prev_line = line;
+    entries_.push_back(std::move(e));
+  }
   return true;
+}
+
+std::size_t RunJournal::load_dropped_lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return load_dropped_;
 }
 
 RunJournal::Summary RunJournal::summary(

@@ -73,9 +73,17 @@ class RunJournal {
 
   /// Serialize for crash recovery (versioned tab-separated text). load()
   /// replaces this journal's entries/workers/wall time; returns false and
-  /// leaves the journal empty on malformed input.
+  /// leaves the journal empty when the header is malformed. Body lines are
+  /// loaded fail-soft: the scan stops at the first truncated, garbage, or
+  /// inconsistent-attempt line and keeps the valid prefix (a crashed
+  /// process routinely tears the final line mid-write — losing the whole
+  /// journal to it would poison resume into re-executing everything).
+  /// Byte-identical consecutive duplicate lines (a doubled write) are
+  /// skipped rather than treated as corruption.
   void save(std::ostream& os) const;
   bool load(std::istream& is);
+  /// Body lines the last load() dropped (0 = the journal was whole).
+  std::size_t load_dropped_lines() const;
 
   struct Summary {
     int steps = 0;          ///< journal records (attempts + replays)
@@ -108,6 +116,7 @@ class RunJournal {
   std::uint64_t t0_us_ = 0;
   std::uint64_t wall_us_ = 0;
   int workers_ = 0;
+  std::size_t load_dropped_ = 0;
 };
 
 /// Minimal JSON string escaping (quotes, backslash, control chars).

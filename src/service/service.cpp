@@ -94,10 +94,31 @@ Response error_response(std::uint64_t id, std::string why) {
 }  // namespace
 
 InteropService::InteropService(ServiceOptions opt)
-    : opt_(opt),
-      cache_(std::make_shared<runtime::ResultCache>(
-          opt.cache_entries, std::max(1, opt.cache_shards))),
-      epoch_(std::chrono::steady_clock::now()) {
+    : opt_(opt), epoch_(std::chrono::steady_clock::now()) {
+  // Resident cache, durable when a store directory was configured. A
+  // store that cannot open must not take the service down with it — the
+  // daemon still serves, just cold after every restart — so the failure
+  // degrades to the plain in-memory cache and is surfaced via metrics
+  // and store_error().
+  if (!opt_.store_dir.empty()) {
+    auto persistent = std::make_shared<store::PersistentResultCache>(
+        opt_.cache_entries, std::max(1, opt_.cache_shards));
+    store::StoreOptions store_opt;
+    store_opt.segment_bytes = opt_.store_segment_bytes;
+    if (persistent->open(opt_.store_dir, store_opt)) {
+      persistent_cache_ = persistent;
+      cache_ = persistent;
+      metrics_.gauge("service.store.recovered")
+          .set(std::int64_t(persistent->recovered()));
+    } else {
+      store_error_ = persistent->object_store().error();
+      metrics_.counter("service.store.open_failures").add();
+    }
+  }
+  if (!cache_)
+    cache_ = std::make_shared<runtime::ResultCache>(
+        opt_.cache_entries, std::max(1, opt_.cache_shards));
+
   // Resident tool models: built once, shared read-only by every request.
   dialects_["viewlogic"] = sch::viewlogic_dialect();
   dialects_["composer"] = sch::composer_dialect();
@@ -215,8 +236,13 @@ bool InteropService::draining() const {
 
 void InteropService::drain() {
   begin_drain();
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [this] { return queued_ == 0 && in_flight_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [this] { return queued_ == 0 && in_flight_ == 0; });
+  }
+  // Quiesced: land any batched store writes so the shutdown path (SIGTERM
+  // and SIGINT both end here) leaves the cache fully durable.
+  if (persistent_cache_) persistent_cache_->object_store().flush();
 }
 
 std::size_t InteropService::queued() const {

@@ -46,6 +46,7 @@
 #include "runtime/retry.hpp"
 #include "schematic/migrate.hpp"
 #include "service/wire.hpp"
+#include "store/persistent_cache.hpp"
 
 namespace interop::service {
 
@@ -71,6 +72,15 @@ struct ServiceOptions {
   /// Resident ResultCache bound (0 = unbounded) and shard count.
   std::size_t cache_entries = 0;
   int cache_shards = 16;
+  /// When non-empty, back the resident cache with a crash-consistent
+  /// ObjectStore at this directory (store::PersistentResultCache): every
+  /// cached step effect is WAL-durable before it is visible, and a
+  /// restarted daemon cold-opens into the warm cache a kill -9 would
+  /// otherwise have destroyed. An unusable directory degrades to the
+  /// plain in-memory cache (counted in service.store.open_failures).
+  std::string store_dir;
+  /// Segment rotation size for that store.
+  std::uint64_t store_segment_bytes = 64ull << 20;
 };
 
 class InteropService {
@@ -102,6 +112,14 @@ class InteropService {
 
   obs::Metrics& metrics() { return metrics_; }
   std::shared_ptr<runtime::ResultCache> cache() const { return cache_; }
+  /// The persistent cache when ServiceOptions::store_dir was set and the
+  /// store opened; nullptr in memory-only mode (including fallback after
+  /// an open failure — see store_error()).
+  store::PersistentResultCache* persistent_cache() const {
+    return persistent_cache_.get();
+  }
+  /// Why the store failed to open ("" when it opened or was not asked for).
+  const std::string& store_error() const { return store_error_; }
 
   /// Queued (admitted, unclaimed) requests right now.
   std::size_t queued() const;
@@ -138,6 +156,9 @@ class InteropService {
   std::map<std::string, sch::Dialect> dialects_;
   sch::MigrationConfig migration_config_;
   std::shared_ptr<runtime::ResultCache> cache_;
+  /// Set (aliasing cache_) when the store opened; drain() flushes it.
+  std::shared_ptr<store::PersistentResultCache> persistent_cache_;
+  std::string store_error_;
 
   obs::Metrics metrics_;
 

@@ -1,0 +1,154 @@
+#include "store/persistent_cache.hpp"
+
+#include <sstream>
+
+#include "runtime/hash.hpp"
+
+namespace interop::store {
+
+namespace {
+
+/// 'IOCE' — interop cache entry. Journal objects are TSV text starting
+/// "interop-journal", which cannot collide with this word.
+constexpr std::uint32_t kEntryMagic = 0x45434f49;
+constexpr std::uint32_t kEntryVersion = 1;
+/// Decode-side cap per string field; cache entries are step effects, not
+/// bulk design data, and a corrupt length must not drive an allocation.
+constexpr std::uint32_t kMaxField = 256u << 20;
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(char((v >> (8 * i)) & 0xff));
+}
+
+void put_str(std::string* out, const std::string& s) {
+  put_u32(out, std::uint32_t(s.size()));
+  *out += s;
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view blob) : blob_(blob) {}
+
+  bool u32(std::uint32_t* v) {
+    if (pos_ + 4 > blob_.size()) return false;
+    std::uint32_t out = 0;
+    for (int i = 0; i < 4; ++i)
+      out |= std::uint32_t(static_cast<unsigned char>(blob_[pos_ + i]))
+             << (8 * i);
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+
+  bool str(std::string* s) {
+    std::uint32_t len = 0;
+    if (!u32(&len) || len > kMaxField || pos_ + len > blob_.size())
+      return false;
+    s->assign(blob_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool done() const { return pos_ == blob_.size(); }
+
+ private:
+  std::string_view blob_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode_cache_entry(const runtime::CacheEntry& entry) {
+  std::string out;
+  put_u32(&out, kEntryMagic);
+  put_u32(&out, kEntryVersion);
+  put_u32(&out, std::uint32_t(entry.outputs.size()));
+  for (const auto& [path, content] : entry.outputs) {
+    put_str(&out, path);
+    put_str(&out, content);
+  }
+  put_u32(&out, std::uint32_t(entry.variables.size()));
+  for (const auto& [name, value] : entry.variables) {
+    put_str(&out, name);
+    put_str(&out, value);
+  }
+  put_str(&out, entry.log);
+  return out;
+}
+
+bool decode_cache_entry(std::string_view blob, runtime::CacheEntry* out) {
+  Reader r(blob);
+  std::uint32_t magic = 0, version = 0, n = 0;
+  if (!r.u32(&magic) || magic != kEntryMagic) return false;
+  if (!r.u32(&version) || version != kEntryVersion) return false;
+  runtime::CacheEntry e;
+  if (!r.u32(&n)) return false;
+  e.outputs.reserve(std::min(n, 1u << 16));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string path, content;
+    if (!r.str(&path) || !r.str(&content)) return false;
+    e.outputs.emplace_back(std::move(path), std::move(content));
+  }
+  if (!r.u32(&n)) return false;
+  e.variables.reserve(std::min(n, 1u << 16));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name, value;
+    if (!r.str(&name) || !r.str(&value)) return false;
+    e.variables.emplace_back(std::move(name), std::move(value));
+  }
+  if (!r.str(&e.log) || !r.done()) return false;
+  *out = std::move(e);
+  return true;
+}
+
+bool PersistentResultCache::open(const std::string& dir, StoreOptions opt) {
+  recovered_ = 0;
+  skipped_ = 0;
+  if (!store_.open(dir, opt)) return false;
+  // Replay in first-append order so FIFO eviction in a bounded cache
+  // keeps/drops the same entries a never-crashed process would have.
+  for (std::uint64_t key : store_.keys_in_order()) {
+    auto blob = store_.get(key);
+    runtime::CacheEntry entry;
+    if (!blob || !decode_cache_entry(*blob, &entry)) {
+      ++skipped_;
+      continue;
+    }
+    runtime::ResultCache::store(key, std::move(entry));
+    ++recovered_;
+  }
+  reset_stats();
+  return true;
+}
+
+void PersistentResultCache::store(std::uint64_t key,
+                                  runtime::CacheEntry entry) {
+  // Durable first, visible second: once another worker can find() the
+  // entry it must already be on disk, or a crash could recover a cache
+  // missing results the run observed.
+  if (store_.is_open() && !store_.died())
+    store_.put(key, encode_cache_entry(entry));
+  runtime::ResultCache::store(key, std::move(entry));
+}
+
+bool save_journal(ObjectStore& store, const runtime::RunJournal& journal,
+                  const std::string& name) {
+  std::ostringstream os;
+  journal.save(os);
+  std::string text = os.str();
+  std::uint64_t key = runtime::fnv1a(text);
+  if (!store.put(key, text)) return false;
+  return store.set_ref("journal/" + name, key);
+}
+
+bool load_journal(const ObjectStore& store, const std::string& name,
+                  runtime::RunJournal* journal) {
+  auto key = store.ref("journal/" + name);
+  if (!key) return false;
+  auto text = store.get(*key);
+  if (!text) return false;
+  std::istringstream is(*text);
+  return journal->load(is);
+}
+
+}  // namespace interop::store

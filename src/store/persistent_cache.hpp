@@ -1,0 +1,79 @@
+#pragma once
+// Durability adapter between the runtime's ResultCache and the ObjectStore:
+// a PersistentResultCache is a drop-in ResultCache (the executor and the
+// interop service hold it through the base shared_ptr) whose store() also
+// appends the entry to a WAL-backed ObjectStore, and whose open() rebuilds
+// the warm in-memory cache from the store in first-append order — so FIFO
+// eviction after a cold open behaves exactly as if the process had never
+// died. Also home to the journal-on-store glue: a RunJournal rides the
+// store as a content-addressed object behind a named ref
+// ("journal/<name>"), replacing the ad-hoc TSV files resume flows used to
+// depend on.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "runtime/cache.hpp"
+#include "runtime/journal.hpp"
+#include "store/store.hpp"
+
+namespace interop::store {
+
+/// Binary codec for CacheEntry store payloads. The blob opens with a magic
+/// word so cache rebuild can skip unrelated objects (journals, user blobs)
+/// sharing the store. Returns false on any malformed input without
+/// touching `out` — decode runs against disk bytes, which are
+/// checksum-verified but may simply be a different object kind.
+std::string encode_cache_entry(const runtime::CacheEntry& entry);
+bool decode_cache_entry(std::string_view blob, runtime::CacheEntry* out);
+
+/// ResultCache whose entries survive the process. Every store() appends
+/// the entry to the ObjectStore before publishing it in memory (WAL order:
+/// durable, then visible); open() replays the store's live cache objects
+/// through the base cache in first-append order and then resets the stats,
+/// so hit/miss counters reflect run activity, not recovery. A store append
+/// failure degrades that entry to memory-only rather than failing the
+/// step — durability is an accelerator here, not a correctness gate.
+class PersistentResultCache : public runtime::ResultCache {
+ public:
+  /// Same construction contract as ResultCache (0 = unbounded).
+  explicit PersistentResultCache(std::size_t max_entries = 0, int shards = 1)
+      : runtime::ResultCache(max_entries, shards) {}
+
+  /// Open/create the backing store and rebuild the warm cache. Returns
+  /// false (error in object_store().error()) when the directory is
+  /// unusable; the cache still works memory-only in that case.
+  bool open(const std::string& dir, StoreOptions opt = {});
+
+  void store(std::uint64_t key, runtime::CacheEntry entry) override;
+
+  /// Entries replayed into memory by the last open().
+  std::size_t recovered() const { return recovered_; }
+  /// Cache objects present on disk but skipped during rebuild because the
+  /// payload did not decode (foreign object kinds share the store).
+  std::size_t skipped() const { return skipped_; }
+
+  ObjectStore& object_store() { return store_; }
+  const ObjectStore& object_store() const { return store_; }
+
+ private:
+  ObjectStore store_;
+  std::size_t recovered_ = 0;
+  std::size_t skipped_ = 0;
+};
+
+/// Persist `journal` into the store as a content-addressed object and bind
+/// the named ref "journal/<name>" to it. True once both the object and the
+/// ref record are durable.
+bool save_journal(ObjectStore& store, const runtime::RunJournal& journal,
+                  const std::string& name);
+
+/// Load the journal bound to "journal/<name>". False when the ref is
+/// absent, the object is missing/corrupt, or the journal header is
+/// malformed (body corruption is fail-soft inside RunJournal::load).
+bool load_journal(const ObjectStore& store, const std::string& name,
+                  runtime::RunJournal* journal);
+
+}  // namespace interop::store

@@ -1,0 +1,172 @@
+#pragma once
+// Crash-consistent, content-addressed persistent object store — the
+// durability layer under the runtime's memoization and journaling
+// (ROADMAP item 4's "versioned design store" foundation). The paper's §4
+// conveyance problem is ultimately about design data surviving a round
+// trip through an unreliable toolchain; this store is built so a kill -9
+// at any byte boundary loses nothing that was acknowledged.
+//
+// Layout: a directory of append-only segment files (seg-NNNNNN.iosg),
+// each an 8-byte header ('IOSG' magic + u32 version) followed by
+// checksummed records:
+//
+//   u64 checksum | u32 kind | u32 payload_len | u64 key | payload
+//
+// The checksum is FNV-1a (runtime/hash) over everything after it, so a
+// torn, truncated, or bit-flipped record can never be mistaken for data.
+// Record kinds: Put (key -> payload bytes), Ref (named ref -> key, name in
+// the payload), Tombstone (key deleted).
+//
+// Write-ahead commit protocol: a mutation appends its record, fsyncs the
+// segment (the commit point), and only then updates the in-memory index
+// and acknowledges the caller. Recovery is one forward scan per segment:
+// every record that checksums clean is applied in order (last-wins for
+// refs, tombstones erase); the first record that does not ends the
+// segment — the file is truncated at the last good offset, so a torn tail
+// is physically removed and can never be half-applied later. Committed
+// records are always whole (they were fsynced before the ack), so the
+// scan recovers exactly the acknowledged state plus, at most, one final
+// record that was durable but unacknowledged (crash between fsync and
+// index update) — benign for a content-addressed store, where re-putting
+// a key is a no-op.
+//
+// Puts are content-addressed and deduplicated: put() of a key already in
+// the index appends nothing. Compaction rewrites live records into a
+// fresh segment and deletes the old files; a crash mid-compaction leaves
+// the old segments in place (they are only unlinked after the new segment
+// is durable), so compaction is also crash-safe.
+//
+// Fault injection (tests only): an installed runtime::FaultInjector is
+// consulted at every append with the 1-based append sequence number; an
+// injected StoreFaultKind simulates the process dying at that point
+// (TornAppend: a prefix of the record lands; ShortFsync: the bytes never
+// reach disk; CrashBeforeIndex: the record is durable but unacked). After
+// a fault the store is "dead" — every later mutation fails, exactly like
+// a killed process — and the test re-opens the directory to recover.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/fault.hpp"
+
+namespace interop::store {
+
+struct StoreOptions {
+  /// Rotate to a fresh segment once the current one exceeds this.
+  std::uint64_t segment_bytes = 64ull << 20;
+  /// fsync after every append (the WAL commit point). Disabling trades
+  /// durability of the tail for throughput — bench/diagnostic only.
+  bool fsync_each = true;
+};
+
+class ObjectStore {
+ public:
+  struct Stats {
+    std::uint64_t appends = 0;        ///< records durably appended (acked)
+    std::uint64_t appended_bytes = 0;
+    std::uint64_t dedup_hits = 0;     ///< put() of a key already present
+    std::uint64_t recovered_records = 0;  ///< valid records applied by open()
+    std::uint64_t recovered_bytes = 0;
+    std::uint64_t truncated_bytes = 0;    ///< torn/corrupt bytes dropped
+    std::uint64_t truncated_segments = 0; ///< segments cut back by open()
+    std::uint64_t read_checksum_failures = 0;  ///< get() hit latent bit rot
+    std::uint64_t compactions = 0;
+  };
+
+  ObjectStore() = default;
+  ~ObjectStore();
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Open (creating the directory if needed) and run the recovery scan.
+  /// Returns false and sets error() when the directory is unusable; a
+  /// corrupt segment is never an error — it is truncated to its valid
+  /// prefix and counted in stats().
+  bool open(const std::string& dir, StoreOptions opt = {});
+  bool is_open() const;
+  void close();
+  const std::string& error() const { return error_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Append-or-dedup. True once the record is durable (or already
+  /// present); false when closed, dead, or the write/fsync failed.
+  bool put(std::uint64_t key, std::string_view value);
+  /// Read back a committed object; re-verifies the record checksum, so
+  /// latent on-disk corruption yields nullopt, never garbled bytes.
+  std::optional<std::string> get(std::uint64_t key) const;
+  bool contains(std::uint64_t key) const;
+  /// Tombstone the key (the record is appended; space is reclaimed by
+  /// compact()).
+  bool remove(std::uint64_t key);
+
+  /// Named refs: a mutable name -> key binding with last-wins semantics.
+  bool set_ref(const std::string& name, std::uint64_t key);
+  std::optional<std::uint64_t> ref(const std::string& name) const;
+  std::map<std::string, std::uint64_t> refs() const;
+
+  /// Live keys in first-append order (recovery preserves it) — the order
+  /// PersistentResultCache replays to keep FIFO semantics faithful.
+  std::vector<std::uint64_t> keys_in_order() const;
+  std::size_t size() const;
+  /// Full key -> value dump (test/diff helper; bypasses no checksums).
+  std::map<std::uint64_t, std::string> contents() const;
+
+  /// fsync the active segment (a no-op per record when fsync_each is on;
+  /// drain paths call it so a batched-write configuration still lands).
+  bool flush();
+  /// Rewrite live records into a fresh segment and unlink the old ones.
+  bool compact();
+
+  Stats stats() const;
+
+  /// Test instrument: consult this injector at every append (see header
+  /// comment). A fired fault marks the store dead.
+  void set_fault_injector(std::shared_ptr<runtime::FaultInjector> faults);
+  /// True once an injected fault "killed" the store.
+  bool died() const;
+  /// The fault that killed it (None while alive).
+  runtime::StoreFaultKind death_fault() const;
+
+ private:
+  struct Location {
+    std::uint64_t segment = 0;
+    std::uint64_t offset = 0;  ///< record start (checksum word)
+    std::uint32_t payload_len = 0;
+  };
+
+  bool append_locked(std::uint32_t kind, std::uint64_t key,
+                     std::string_view payload, Location* loc);
+  bool rotate_locked();
+  bool scan_segment_locked(std::uint64_t seg_no);
+  std::string segment_path(std::uint64_t seg_no) const;
+  bool read_record_locked(const Location& loc, std::uint64_t expect_key,
+                          std::string* payload) const;
+  void close_locked();
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::string error_;
+  StoreOptions opt_;
+  bool open_ = false;
+  bool died_ = false;
+  runtime::StoreFaultKind death_fault_ = runtime::StoreFaultKind::None;
+  int append_seq_ = 0;  ///< appends attempted (fault-point coordinate)
+
+  std::map<std::uint64_t, int> segment_fds_;  ///< seg_no -> fd (reads)
+  std::uint64_t cur_segment_ = 0;             ///< active segment number
+  std::uint64_t cur_size_ = 0;                ///< its current byte size
+
+  std::map<std::uint64_t, Location> index_;
+  std::vector<std::uint64_t> order_;  ///< live keys, first-append order
+  std::map<std::string, std::uint64_t> refs_;
+  mutable Stats stats_;  ///< mutable: const reads count checksum failures
+  std::shared_ptr<runtime::FaultInjector> faults_;
+};
+
+}  // namespace interop::store

@@ -471,6 +471,114 @@ TEST(RuntimeChaos, JournalSaveLoadRoundTripsAwkwardNames) {
   EXPECT_FALSE(bad.load(garbage));
 }
 
+// ------------------------- journal load hardening (fail-soft semantics)
+
+namespace {
+
+/// A valid 3-entry journal for one step, attempts 1..3, as saved text.
+std::string well_formed_journal() {
+  RunJournal journal;
+  journal.set_clock(std::make_shared<SimClock>());
+  journal.begin_run(2);
+  for (int a = 1; a <= 3; ++a) {
+    JournalEntry e;
+    e.step = "step";
+    e.worker = 0;
+    e.attempt = a;
+    e.start_us = std::uint64_t(a) * 10;
+    e.end_us = std::uint64_t(a) * 10 + 5;
+    e.ok = a == 3;
+    journal.record(e);
+  }
+  journal.end_run();
+  std::stringstream disk;
+  journal.save(disk);
+  return disk.str();
+}
+
+}  // namespace
+
+TEST(RuntimeChaos, JournalLoadKeepsValidPrefixWhenFinalLineIsTorn) {
+  std::string text = well_formed_journal();
+  // Tear the last line mid-write, as a kill -9 during save would.
+  std::size_t cut = text.rfind('\t');
+  std::stringstream torn(text.substr(0, cut));
+  RunJournal loaded;
+  ASSERT_TRUE(loaded.load(torn)) << "a torn tail must not void the journal";
+  EXPECT_EQ(loaded.entries().size(), 2u) << "the valid prefix survives";
+  EXPECT_EQ(loaded.load_dropped_lines(), 1u);
+  EXPECT_EQ(loaded.entries().back().attempt, 2);
+  EXPECT_TRUE(loaded.completed_steps().empty())
+      << "the torn success marker must not count as completed";
+}
+
+TEST(RuntimeChaos, JournalLoadStopsAtGarbageLineAndDropsTheSuffix) {
+  std::string text = well_formed_journal();
+  // Splice a garbage line between entry 1 and entry 2: everything from
+  // the corruption on is untrusted, even though later lines parse.
+  std::size_t first_nl = text.find('\n');
+  std::size_t second_nl = text.find('\n', first_nl + 1);
+  std::string spliced = text.substr(0, second_nl + 1) +
+                        "n\xc3\xb8t\ta\tjournal\tline\n" +
+                        text.substr(second_nl + 1);
+  std::stringstream disk(spliced);
+  RunJournal loaded;
+  ASSERT_TRUE(loaded.load(disk));
+  EXPECT_EQ(loaded.entries().size(), 1u);
+  EXPECT_EQ(loaded.load_dropped_lines(), 3u)
+      << "the garbage line and both orphaned entries drop";
+}
+
+TEST(RuntimeChaos, JournalLoadSkipsDoubledLinesAndKeepsTheRest) {
+  std::string text = well_formed_journal();
+  // Double the middle entry line (a flaky-filesystem double write).
+  std::size_t first_nl = text.find('\n');
+  std::size_t second_nl = text.find('\n', first_nl + 1);
+  std::size_t third_nl = text.find('\n', second_nl + 1);
+  std::string line2 =
+      text.substr(second_nl + 1, third_nl - second_nl);
+  std::string doubled = text.substr(0, third_nl + 1) + line2 +
+                        text.substr(third_nl + 1);
+  std::stringstream disk(doubled);
+  RunJournal loaded;
+  ASSERT_TRUE(loaded.load(disk));
+  EXPECT_EQ(loaded.entries().size(), 3u)
+      << "a byte-identical doubled line is noise, not corruption";
+  EXPECT_EQ(loaded.load_dropped_lines(), 1u);
+  EXPECT_EQ(loaded.entries()[2].attempt, 3);
+  EXPECT_EQ(loaded.completed_steps(), std::vector<std::string>{"step"});
+}
+
+TEST(RuntimeChaos, JournalLoadRejectsSplicedAttemptNumbers) {
+  std::string text = well_formed_journal();
+  // Duplicate the attempt-2 line AFTER attempt 3 (a non-adjacent splice):
+  // attempt 2 after attempt 3 is neither a fresh claim nor a successor.
+  std::size_t first_nl = text.find('\n');
+  std::size_t second_nl = text.find('\n', first_nl + 1);
+  std::size_t third_nl = text.find('\n', second_nl + 1);
+  std::string line2 =
+      text.substr(second_nl + 1, third_nl - second_nl);
+  std::stringstream disk(text + line2);
+  RunJournal loaded;
+  ASSERT_TRUE(loaded.load(disk));
+  EXPECT_EQ(loaded.entries().size(), 3u);
+  EXPECT_EQ(loaded.load_dropped_lines(), 1u)
+      << "the spliced duplicate-step line must drop";
+  // The intact prefix still resolves completion correctly.
+  EXPECT_EQ(loaded.completed_steps(), std::vector<std::string>{"step"});
+}
+
+TEST(RuntimeChaos, JournalLoadFailsCleanlyOnBadHeader) {
+  for (const char* header :
+       {"", "interop-journal\tv2\t2\t0\n", "interop-journal\tv1\tx\ty\n",
+        "interop-journal\tv1\t2\n"}) {
+    std::stringstream disk(header);
+    RunJournal loaded;
+    EXPECT_FALSE(loaded.load(disk)) << "header: " << header;
+    EXPECT_TRUE(loaded.entries().empty());
+  }
+}
+
 TEST(RuntimeChaos, InjectorDecisionsArePureInSeedStepAttempt) {
   FaultPlan plan;
   plan.probability = 0.5;

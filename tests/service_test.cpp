@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -701,4 +703,123 @@ TEST(ServiceCacheConcurrency, PerShardFifoEvictionIsBounded) {
   // ceil(64/8) = 8 per shard, 8 shards: total stays at the budget.
   EXPECT_LE(cache.size(), 64u);
   EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+// --------------------------------------- persistent store warm restart
+
+namespace {
+
+/// mkdtemp-backed scratch directory, removed on scope exit.
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / (tag + ".XXXXXX")).string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* p = ::mkdtemp(buf.data());
+    EXPECT_NE(p, nullptr);
+    if (p) path = p;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    if (!path.empty()) std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+}  // namespace
+
+TEST(ServiceStore, WarmRestartServesSameFlowWithZeroExecutions) {
+  TempDir dir("service_store");
+  ServiceOptions opt = quiet_options();
+  opt.store_dir = dir.path;
+
+  Request req;
+  req.id = 1;
+  req.type = MsgType::FlowRun;
+  req.tenant = "acme";
+  req.flow = "fanout";
+  req.width = 6;
+  req.latency_us = 0;
+  req.seed = 1234;
+
+  // Incarnation 1: cold run executes everything; every cached effect is
+  // WAL-durable before the response (fsync-per-append), so even a kill -9
+  // right after the response loses nothing.
+  {
+    InteropService svc(opt);
+    ASSERT_NE(svc.persistent_cache(), nullptr) << svc.store_error();
+    EXPECT_EQ(svc.persistent_cache()->recovered(), 0u);
+    LoopbackClient client(svc);
+    Response cold = client.call(req);
+    ASSERT_EQ(cold.status, Status::Ok) << cold.error;
+    EXPECT_EQ(cold.counter("executed"), 8u);  // src + 6 + sink
+  }
+
+  // Incarnation 2: a fresh service on the same directory — the restarted
+  // daemon after the old one died. The identical request replays from the
+  // rebuilt cache with zero actions executed.
+  {
+    InteropService svc(opt);
+    ASSERT_NE(svc.persistent_cache(), nullptr) << svc.store_error();
+    EXPECT_EQ(svc.persistent_cache()->recovered(), 8u);
+    LoopbackClient client(svc);
+    req.id = 2;
+    Response warm = client.call(req);
+    ASSERT_EQ(warm.status, Status::Ok) << warm.error;
+    EXPECT_EQ(warm.counter("executed", 999), 0u)
+        << "a warm restart re-executes nothing";
+    EXPECT_EQ(warm.counter("cache_hits"), 8u);
+  }
+}
+
+TEST(ServiceStore, UnusableStoreDirDegradesToMemoryOnly) {
+  TempDir dir("service_store_bad");
+  // Point store_dir at a plain file: open must fail, the service must
+  // still serve (memory-only), and the failure must be observable.
+  std::string file = dir.path + "/occupied";
+  { std::ofstream(file) << "not a directory"; }
+  ServiceOptions opt = quiet_options();
+  opt.store_dir = file;
+  InteropService svc(opt);
+  EXPECT_EQ(svc.persistent_cache(), nullptr);
+  EXPECT_FALSE(svc.store_error().empty());
+  LoopbackClient client(svc);
+  Request req;
+  req.id = 1;
+  req.type = MsgType::FlowRun;
+  req.tenant = "acme";
+  req.flow = "fanout";
+  req.width = 4;
+  req.latency_us = 0;
+  req.seed = 9;
+  Response resp = client.call(req);
+  ASSERT_EQ(resp.status, Status::Ok) << resp.error;
+  EXPECT_EQ(resp.counter("executed"), 6u);
+  EXPECT_EQ(svc.metrics().expose().find("service.store.recovered"),
+            std::string::npos);
+}
+
+TEST(ServiceStore, DrainFlushesTheStore) {
+  TempDir dir("service_store_drain");
+  ServiceOptions opt = quiet_options();
+  opt.store_dir = dir.path;
+  InteropService svc(opt);
+  ASSERT_NE(svc.persistent_cache(), nullptr) << svc.store_error();
+  LoopbackClient client(svc);
+  Request req;
+  req.id = 1;
+  req.type = MsgType::FlowRun;
+  req.tenant = "acme";
+  req.flow = "fanout";
+  req.width = 4;
+  req.latency_us = 0;
+  req.seed = 5;
+  ASSERT_EQ(client.call(req).status, Status::Ok);
+  svc.drain();
+  // Post-drain the store is quiesced and fully flushed; the segment on
+  // disk holds every entry (6 = src + 4 + sink).
+  auto& store = svc.persistent_cache()->object_store();
+  EXPECT_EQ(store.size(), 6u);
+  EXPECT_EQ(store.stats().appends, 6u);
 }

@@ -1,0 +1,499 @@
+// Unit coverage for the crash-consistent object store (src/store): WAL
+// round-trips, dedup, refs/tombstones, recovery-scan truncation of torn
+// and bit-flipped tails, segment rotation, crash-safe compaction, the
+// injected store-fault points, the PersistentResultCache rebuild (FIFO
+// faithful across a cold open), and the journal-on-store glue feeding
+// ParallelExecutor::resume_run. The multi-seed kill sweep lives in
+// store_chaos_test.cpp; byte-mutation robustness in store_fuzz_test.cpp.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "runtime/executor.hpp"
+#include "runtime/hash.hpp"
+#include "store/persistent_cache.hpp"
+#include "store/store.hpp"
+#include "workflow/engine.hpp"
+
+namespace interop::store {
+namespace {
+
+using runtime::CacheEntry;
+using runtime::FaultInjector;
+using runtime::FaultPlan;
+using runtime::ResultCache;
+using runtime::StoreFaultKind;
+
+/// mkdtemp-backed scratch directory, removed on scope exit.
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / (tag + ".XXXXXX")).string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* p = ::mkdtemp(buf.data());
+    EXPECT_NE(p, nullptr);
+    if (p) path = p;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    if (!path.empty()) std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+std::string seg1(const std::string& dir) { return dir + "/seg-000001.iosg"; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+TEST(Store, PutGetRoundTripAndDedup) {
+  TempDir dir("store_roundtrip");
+  ObjectStore store;
+  ASSERT_TRUE(store.open(dir.path)) << store.error();
+  EXPECT_TRUE(store.put(1, "alpha"));
+  EXPECT_TRUE(store.put(2, std::string("binary\0bytes", 12)));
+  EXPECT_TRUE(store.put(3, ""));
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.get(1).value_or("?"), "alpha");
+  EXPECT_EQ(store.get(2).value_or("?"), std::string("binary\0bytes", 12));
+  EXPECT_EQ(store.get(3).value_or("?"), "");
+  EXPECT_FALSE(store.get(99).has_value());
+
+  // Content-addressed: a re-put of a present key appends nothing.
+  auto before = store.stats();
+  EXPECT_TRUE(store.put(1, "alpha"));
+  auto after = store.stats();
+  EXPECT_EQ(after.appends, before.appends);
+  EXPECT_EQ(after.dedup_hits, before.dedup_hits + 1);
+}
+
+TEST(Store, ReopenRecoversEverythingInOrder) {
+  TempDir dir("store_reopen");
+  {
+    ObjectStore store;
+    ASSERT_TRUE(store.open(dir.path)) << store.error();
+    for (std::uint64_t k = 10; k < 20; ++k)
+      ASSERT_TRUE(store.put(k, "v" + std::to_string(k)));
+    ASSERT_TRUE(store.remove(13));
+    ASSERT_TRUE(store.set_ref("head", 11));
+    ASSERT_TRUE(store.set_ref("head", 12));  // last-wins
+    ASSERT_TRUE(store.set_ref("tag", 19));
+  }
+  ObjectStore store;
+  ASSERT_TRUE(store.open(dir.path)) << store.error();
+  EXPECT_EQ(store.size(), 9u);
+  EXPECT_FALSE(store.contains(13)) << "tombstone must survive recovery";
+  EXPECT_EQ(store.get(11).value_or("?"), "v11");
+  EXPECT_EQ(store.ref("head").value_or(0), 12u);
+  EXPECT_EQ(store.ref("tag").value_or(0), 19u);
+  EXPECT_FALSE(store.ref("missing").has_value());
+  std::vector<std::uint64_t> expect = {10, 11, 12, 14, 15, 16, 17, 18, 19};
+  EXPECT_EQ(store.keys_in_order(), expect)
+      << "recovery must preserve first-append order";
+  EXPECT_EQ(store.stats().recovered_records, 14u);  // 10 puts + tomb + 3 refs
+  EXPECT_EQ(store.stats().truncated_segments, 0u);
+}
+
+TEST(Store, TornTailIsTruncatedOnOpenAndStaysTruncated) {
+  TempDir dir("store_torn");
+  std::map<std::uint64_t, std::string> reference;
+  {
+    ObjectStore store;
+    ASSERT_TRUE(store.open(dir.path)) << store.error();
+    for (std::uint64_t k = 1; k <= 5; ++k)
+      ASSERT_TRUE(store.put(k, std::string(40, char('a' + int(k)))));
+    reference = store.contents();
+  }
+  // Simulate a record torn mid-write: append half a plausible record.
+  std::string bytes = read_file(seg1(dir.path));
+  const std::size_t whole = bytes.size();
+  write_file(seg1(dir.path), bytes + std::string(17, '\x5a'));
+
+  ObjectStore store;
+  ASSERT_TRUE(store.open(dir.path)) << store.error();
+  EXPECT_EQ(store.contents(), reference);
+  EXPECT_EQ(store.stats().truncated_bytes, 17u);
+  EXPECT_EQ(store.stats().truncated_segments, 1u);
+  EXPECT_EQ(std::filesystem::file_size(seg1(dir.path)), whole)
+      << "the torn tail must be physically removed";
+  // New appends land after the truncation point and survive a re-open.
+  ASSERT_TRUE(store.put(6, "fresh"));
+  store.close();
+  ASSERT_TRUE(store.open(dir.path)) << store.error();
+  EXPECT_EQ(store.stats().truncated_segments, 0u)
+      << "recovery must be a fixed point";
+  EXPECT_EQ(store.get(6).value_or("?"), "fresh");
+  EXPECT_EQ(store.size(), 6u);
+}
+
+TEST(Store, BitFlipCutsTheSegmentAtTheCorruptRecord) {
+  TempDir dir("store_bitflip");
+  std::vector<std::uint64_t> offsets;  // record offsets, in append order
+  {
+    ObjectStore store;
+    ASSERT_TRUE(store.open(dir.path)) << store.error();
+    for (std::uint64_t k = 1; k <= 5; ++k) {
+      auto before = store.stats().appended_bytes;
+      ASSERT_TRUE(store.put(k, std::string(32, char('A' + int(k)))));
+      offsets.push_back(8 + before);
+      (void)before;
+    }
+  }
+  // Flip one payload byte inside record #3.
+  std::string bytes = read_file(seg1(dir.path));
+  bytes[offsets[2] + 30] ^= 0x01;
+  write_file(seg1(dir.path), bytes);
+
+  ObjectStore store;
+  ASSERT_TRUE(store.open(dir.path)) << store.error();
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_TRUE(store.contains(2));
+  EXPECT_FALSE(store.contains(3)) << "flipped record must not be believed";
+  EXPECT_FALSE(store.contains(4)) << "nothing after corruption is trusted";
+  EXPECT_FALSE(store.contains(5));
+  EXPECT_EQ(store.stats().truncated_segments, 1u);
+  EXPECT_EQ(std::filesystem::file_size(seg1(dir.path)), offsets[2]);
+}
+
+TEST(Store, RotationSpreadsRecordsAcrossSegmentsAndRecovers) {
+  TempDir dir("store_rotate");
+  StoreOptions opt;
+  opt.segment_bytes = 256;  // force frequent rotation
+  std::map<std::uint64_t, std::string> reference;
+  {
+    ObjectStore store;
+    ASSERT_TRUE(store.open(dir.path, opt)) << store.error();
+    for (std::uint64_t k = 1; k <= 40; ++k)
+      ASSERT_TRUE(store.put(k, "payload-" + std::to_string(k * 17)));
+    ASSERT_TRUE(store.set_ref("last", 40));
+    reference = store.contents();
+  }
+  std::size_t segments = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir.path))
+    segments += e.path().extension() == ".iosg";
+  EXPECT_GT(segments, 3u);
+
+  ObjectStore store;
+  ASSERT_TRUE(store.open(dir.path, opt)) << store.error();
+  EXPECT_EQ(store.contents(), reference);
+  EXPECT_EQ(store.ref("last").value_or(0), 40u);
+}
+
+TEST(Store, CompactionDropsDeadBytesKeepsStateAndSurvivesReopen) {
+  TempDir dir("store_compact");
+  StoreOptions opt;
+  opt.segment_bytes = 512;
+  ObjectStore store;
+  ASSERT_TRUE(store.open(dir.path, opt)) << store.error();
+  for (std::uint64_t k = 1; k <= 30; ++k)
+    ASSERT_TRUE(store.put(k, std::string(24, char('a' + k % 26))));
+  for (std::uint64_t k = 1; k <= 20; ++k) ASSERT_TRUE(store.remove(k));
+  ASSERT_TRUE(store.set_ref("head", 25));
+  auto reference = store.contents();
+  auto live_order = store.keys_in_order();
+
+  std::uintmax_t bytes_before = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir.path))
+    bytes_before += std::filesystem::file_size(e.path());
+  ASSERT_TRUE(store.compact());
+  std::uintmax_t bytes_after = 0;
+  std::size_t segments = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir.path)) {
+    bytes_after += std::filesystem::file_size(e.path());
+    ++segments;
+  }
+  EXPECT_LT(bytes_after, bytes_before / 2)
+      << "compaction must reclaim the tombstoned majority";
+  EXPECT_EQ(segments, 1u);
+  EXPECT_EQ(store.contents(), reference);
+  EXPECT_EQ(store.keys_in_order(), live_order);
+  EXPECT_EQ(store.ref("head").value_or(0), 25u);
+  // And the compacted store is what a fresh open sees.
+  store.close();
+  ASSERT_TRUE(store.open(dir.path, opt)) << store.error();
+  EXPECT_EQ(store.contents(), reference);
+  EXPECT_EQ(store.keys_in_order(), live_order);
+  EXPECT_EQ(store.ref("head").value_or(0), 25u);
+}
+
+// ------------------------------------------------------ injected faults
+
+FaultPlan store_fault_at(int append_seq, StoreFaultKind kind) {
+  FaultPlan plan;
+  plan.store_schedule[append_seq] = kind;
+  return plan;
+}
+
+TEST(Store, TornAppendFaultKillsStoreAndRecoveryDropsTheTorn) {
+  TempDir dir("store_fault_torn");
+  ObjectStore store;
+  ASSERT_TRUE(store.open(dir.path)) << store.error();
+  store.set_fault_injector(std::make_shared<FaultInjector>(
+      7, store_fault_at(3, StoreFaultKind::TornAppend)));
+  EXPECT_TRUE(store.put(1, "one"));
+  EXPECT_TRUE(store.put(2, "two"));
+  EXPECT_FALSE(store.put(3, "three")) << "the torn append must not ack";
+  EXPECT_TRUE(store.died());
+  EXPECT_EQ(store.death_fault(), StoreFaultKind::TornAppend);
+  EXPECT_FALSE(store.put(4, "four")) << "a dead store accepts nothing";
+  store.close();
+
+  ObjectStore recovered;
+  ASSERT_TRUE(recovered.open(dir.path)) << recovered.error();
+  EXPECT_EQ(recovered.get(1).value_or("?"), "one");
+  EXPECT_EQ(recovered.get(2).value_or("?"), "two");
+  EXPECT_FALSE(recovered.contains(3)) << "unacked torn record resurrected";
+  EXPECT_EQ(recovered.stats().truncated_segments, 1u)
+      << "the torn prefix must be on disk, and must be cut";
+}
+
+TEST(Store, ShortFsyncFaultLosesOnlyTheUnackedRecord) {
+  TempDir dir("store_fault_fsync");
+  ObjectStore store;
+  ASSERT_TRUE(store.open(dir.path)) << store.error();
+  store.set_fault_injector(std::make_shared<FaultInjector>(
+      7, store_fault_at(2, StoreFaultKind::ShortFsync)));
+  EXPECT_TRUE(store.put(1, "one"));
+  EXPECT_FALSE(store.put(2, "two"));
+  EXPECT_EQ(store.death_fault(), StoreFaultKind::ShortFsync);
+  store.close();
+
+  ObjectStore recovered;
+  ASSERT_TRUE(recovered.open(dir.path)) << recovered.error();
+  EXPECT_EQ(recovered.get(1).value_or("?"), "one");
+  EXPECT_FALSE(recovered.contains(2));
+  EXPECT_EQ(recovered.stats().truncated_segments, 0u)
+      << "short fsync leaves no bytes behind to truncate";
+}
+
+TEST(Store, CrashBeforeIndexLeavesBenignDurableRecord) {
+  TempDir dir("store_fault_index");
+  ObjectStore store;
+  ASSERT_TRUE(store.open(dir.path)) << store.error();
+  store.set_fault_injector(std::make_shared<FaultInjector>(
+      7, store_fault_at(2, StoreFaultKind::CrashBeforeIndex)));
+  EXPECT_TRUE(store.put(1, "one"));
+  EXPECT_FALSE(store.put(2, "two")) << "died before the ack";
+  store.close();
+
+  // The record is durable but was never acknowledged; for a content-
+  // addressed store that is indistinguishable from a successful put of
+  // the same bytes — the retry simply dedups.
+  ObjectStore recovered;
+  ASSERT_TRUE(recovered.open(dir.path)) << recovered.error();
+  EXPECT_EQ(recovered.get(1).value_or("?"), "one");
+  EXPECT_EQ(recovered.get(2).value_or("?"), "two");
+  auto before = recovered.stats();
+  EXPECT_TRUE(recovered.put(2, "two"));
+  EXPECT_EQ(recovered.stats().appends, before.appends);
+  EXPECT_EQ(recovered.stats().dedup_hits, before.dedup_hits + 1);
+}
+
+// --------------------------------------------------- cache entry codec
+
+CacheEntry sample_entry() {
+  CacheEntry e;
+  e.outputs = {{"a.out", "alpha\nbytes"}, {"b.out", std::string(3, '\0')}};
+  e.variables = {{"var", "value"}, {"empty", ""}};
+  e.log = "ran fine";
+  return e;
+}
+
+TEST(Store, CacheEntryCodecRoundTripsAndRejectsForeignBlobs) {
+  CacheEntry e = sample_entry();
+  std::string blob = encode_cache_entry(e);
+  CacheEntry d;
+  ASSERT_TRUE(decode_cache_entry(blob, &d));
+  EXPECT_EQ(d.outputs, e.outputs);
+  EXPECT_EQ(d.variables, e.variables);
+  EXPECT_EQ(d.log, e.log);
+
+  CacheEntry sink;
+  EXPECT_FALSE(decode_cache_entry("", &sink));
+  EXPECT_FALSE(decode_cache_entry("interop-journal\tv1\t2\t0\n", &sink))
+      << "journal objects must not decode as cache entries";
+  EXPECT_FALSE(decode_cache_entry(blob.substr(0, blob.size() - 1), &sink))
+      << "a truncated blob must not decode";
+  EXPECT_FALSE(decode_cache_entry(blob + "x", &sink))
+      << "trailing bytes must not decode";
+}
+
+TEST(PersistentCacheStore, ColdOpenRebuildsWarmCacheWithFifoFidelity) {
+  TempDir dir("store_pcache");
+  const std::size_t cap = 4;
+  // A never-crashed bounded cache is the FIFO reference.
+  ResultCache reference(cap, /*shards=*/1);
+  {
+    PersistentResultCache cache(cap, /*shards=*/1);
+    ASSERT_TRUE(cache.open(dir.path)) << cache.object_store().error();
+    for (std::uint64_t k = 1; k <= 7; ++k) {
+      CacheEntry e;
+      e.outputs = {{"p" + std::to_string(k), "c" + std::to_string(k)}};
+      cache.store(k, e);
+      reference.store(k, std::move(e));
+    }
+    EXPECT_EQ(cache.size(), cap);
+  }
+  PersistentResultCache reopened(cap, /*shards=*/1);
+  ASSERT_TRUE(reopened.open(dir.path)) << reopened.object_store().error();
+  EXPECT_EQ(reopened.recovered(), 7u)
+      << "every persisted entry replays; FIFO decides what stays warm";
+  EXPECT_EQ(reopened.skipped(), 0u);
+  auto got = reopened.snapshot();
+  auto want = reference.snapshot();
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [key, entry] : want) {
+    ASSERT_TRUE(got.count(key)) << "FIFO divergence at key " << key;
+    EXPECT_EQ(got[key]->outputs, entry->outputs);
+  }
+  // Rebuild traffic must not pollute run-facing stats.
+  auto stats = reopened.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.stores, 0u);
+}
+
+TEST(PersistentCacheStore, JournalRidesTheStoreBehindNamedRef) {
+  TempDir dir("store_journal");
+  runtime::RunJournal journal;
+  journal.set_clock(std::make_shared<runtime::SimClock>());
+  journal.begin_run(2);
+  runtime::JournalEntry e;
+  e.step = "s0";
+  e.ok = true;
+  e.has_key = true;
+  e.key = 0xabcdef;
+  journal.record(e);
+  journal.end_run();
+
+  ObjectStore store;
+  ASSERT_TRUE(store.open(dir.path)) << store.error();
+  ASSERT_TRUE(save_journal(store, journal, "run1"));
+  store.close();
+
+  ObjectStore reopened;
+  ASSERT_TRUE(reopened.open(dir.path)) << reopened.error();
+  runtime::RunJournal loaded;
+  ASSERT_TRUE(load_journal(reopened, "run1", &loaded));
+  ASSERT_EQ(loaded.entries().size(), 1u);
+  EXPECT_EQ(loaded.entries()[0].step, "s0");
+  EXPECT_EQ(loaded.entries()[0].key, 0xabcdefu);
+  EXPECT_EQ(loaded.workers(), 2);
+  runtime::RunJournal missing;
+  EXPECT_FALSE(load_journal(reopened, "other", &missing));
+
+  // Saving again (same content) dedups the object; the ref re-binds.
+  auto before = reopened.stats();
+  ASSERT_TRUE(save_journal(reopened, journal, "run1"));
+  EXPECT_EQ(reopened.stats().dedup_hits, before.dedup_hits + 1);
+}
+
+// ------------------------------------------- executor across "processes"
+
+using wf::ActionApi;
+using wf::ActionLanguage;
+using wf::ActionResult;
+using wf::FlowTemplate;
+using wf::SimpleDataManager;
+using wf::StepDef;
+
+/// Small linear+fanout flow whose outputs derive purely from inputs.
+FlowTemplate make_flow() {
+  FlowTemplate flow;
+  flow.name = "persist";
+  for (int i = 0; i < 6; ++i) {
+    StepDef step;
+    step.name = "s" + std::to_string(i);
+    step.writes = {step.name + ".out"};
+    if (i == 0) {
+      step.reads = {"inputs.dat"};
+    } else {
+      step.start_after = {"s" + std::to_string(i - 1)};
+      step.reads = {"s" + std::to_string(i - 1) + ".out"};
+    }
+    std::string artifact = step.name + ".out";
+    std::vector<std::string> reads = step.reads;
+    step.action = {step.name, ActionLanguage::Native,
+                   [artifact, reads](ActionApi& api) {
+                     std::string content;
+                     for (const std::string& r : reads)
+                       content += api.read_data(r).value_or("?");
+                     api.write_data(artifact,
+                                    runtime::to_hex(runtime::fnv1a(content)));
+                     return ActionResult{0, ""};
+                   }};
+    flow.steps.push_back(std::move(step));
+  }
+  return flow;
+}
+
+TEST(PersistentCacheStore, ExecutorRestartsWarmAcrossProcessBoundary) {
+  TempDir dir("store_exec");
+  const FlowTemplate flow = make_flow();
+  runtime::ExecutorOptions options;
+  options.workers = 2;
+
+  // Process 1: run the flow against the persistent cache, park the
+  // journal in the same store, then "kill -9" (drop all memory).
+  {
+    auto cache = std::make_shared<PersistentResultCache>();
+    ASSERT_TRUE(cache->open(dir.path)) << cache->object_store().error();
+    runtime::ParallelExecutor exec(flow, {},
+                                   std::make_unique<SimpleDataManager>(),
+                                   options, cache);
+    exec.set_clock(std::make_shared<runtime::SimClock>());
+    exec.engine().data().write("inputs.dat", "v1");
+    ASSERT_EQ(exec.instantiate({}), "");
+    runtime::RunStats stats = exec.run();
+    ASSERT_TRUE(exec.complete()) << stats.error;
+    EXPECT_EQ(stats.executed, 6);
+    ASSERT_TRUE(save_journal(cache->object_store(), exec.journal(), "run"));
+  }
+
+  // Process 2: cold-open the store, reload the journal, resume. Every
+  // step replays from the rebuilt cache — zero actions re-execute.
+  auto cache = std::make_shared<PersistentResultCache>();
+  ASSERT_TRUE(cache->open(dir.path)) << cache->object_store().error();
+  EXPECT_EQ(cache->recovered(), 6u);
+  runtime::RunJournal prior;
+  ASSERT_TRUE(load_journal(cache->object_store(), "run", &prior));
+  ASSERT_EQ(prior.completed_steps().size(), 6u);
+
+  runtime::ParallelExecutor exec(flow, {},
+                                 std::make_unique<SimpleDataManager>(),
+                                 options, cache);
+  exec.set_clock(std::make_shared<runtime::SimClock>());
+  exec.engine().data().write("inputs.dat", "v1");
+  ASSERT_EQ(exec.instantiate({}), "");
+  runtime::RunStats stats = exec.resume_run(prior);
+  ASSERT_TRUE(exec.complete()) << stats.error;
+  EXPECT_EQ(stats.executed, 0) << "a warm restart re-executes nothing";
+  EXPECT_EQ(stats.resumed, 6);
+  EXPECT_EQ(stats.cache_hits, 6);
+}
+
+TEST(Store, OpenFailureReportsErrorWithoutCrashing) {
+  TempDir dir("store_openfail");
+  std::string file = dir.path + "/not-a-dir";
+  write_file(file, "plain file");
+  ObjectStore store;
+  EXPECT_FALSE(store.open(file));
+  EXPECT_FALSE(store.error().empty());
+  EXPECT_FALSE(store.is_open());
+  EXPECT_FALSE(store.put(1, "x"));
+}
+
+}  // namespace
+}  // namespace interop::store

@@ -7,7 +7,14 @@
 // connection; concurrency comes from concurrent connections feeding the
 // service's bounded queue). SIGTERM/SIGINT — or a wire-level Drain
 // request — triggers a graceful drain: stop admitting, finish every
-// queued and in-flight request, then exit 0 printing "drained".
+// queued and in-flight request, flush the store, then exit 0 printing
+// "drained".
+//
+// `--store DIR` backs the resident ResultCache with the crash-consistent
+// ObjectStore (src/store): every cached step effect is durable before it
+// is served, so a daemon killed with SIGKILL mid-request restarts into a
+// warm cache — the same flow request replays from disk with zero actions
+// re-executed.
 //
 // `interopd client` drives one request against a running daemon and
 // prints the response; it exists so CI can smoke the real socket path
@@ -17,7 +24,7 @@
 //   interopd serve  --socket PATH [--workers N] [--flow-workers N]
 //                   [--queue N] [--timeout-us N]
 //                   [--flow-max-batch N] [--flow-batch-threshold-us N]
-//                   [--no-flow-stealing]
+//                   [--no-flow-stealing] [--store DIR]
 //   interopd client --socket PATH ping|metrics|drain
 //   interopd client --socket PATH migrate [--seed N] [--tenant T]
 //   interopd client --socket PATH netlist [--seed N] [--dialect D] [--tenant T]
@@ -186,6 +193,16 @@ int cmd_serve(const std::string& socket_path, ServiceOptions opt) {
 #endif
 
   InteropService svc(opt);
+  if (!opt.store_dir.empty()) {
+    if (svc.persistent_cache()) {
+      std::cout << "interopd: store " << opt.store_dir << " open ("
+                << svc.persistent_cache()->recovered()
+                << " entries recovered)" << std::endl;
+    } else {
+      std::cerr << "interopd: store open failed, running memory-only: "
+                << svc.store_error() << "\n";
+    }
+  }
   std::atomic<bool> closing{false};
   std::vector<std::thread> connections;
   std::cout << "interopd: serving on " << socket_path << " (workers="
@@ -294,7 +311,7 @@ void usage() {
       << "  interopd serve  --socket PATH [--workers N] [--flow-workers N]"
          " [--queue N] [--timeout-us N]\n"
       << "                  [--flow-max-batch N] [--flow-batch-threshold-us N]"
-         " [--no-flow-stealing]\n"
+         " [--no-flow-stealing] [--store DIR]\n"
       << "  interopd client --socket PATH ping|metrics|drain\n"
       << "  interopd client --socket PATH migrate [--seed N] [--tenant T]\n"
       << "  interopd client --socket PATH netlist [--seed N] [--dialect D]"
@@ -331,6 +348,7 @@ int main(int argc, char** argv) {
     else if (args[i] == "--flow-max-batch") opt.flow_max_batch = std::size_t(parse_int(next("--flow-max-batch"), int(opt.flow_max_batch)));
     else if (args[i] == "--flow-batch-threshold-us") opt.flow_batch_threshold_us = parse_u64(next("--flow-batch-threshold-us"), 0);
     else if (args[i] == "--no-flow-stealing") opt.flow_work_stealing = false;
+    else if (args[i] == "--store") opt.store_dir = next("--store");
     else if (args[i] == "--queue") opt.queue_limit = std::size_t(parse_int(next("--queue"), int(opt.queue_limit)));
     else if (args[i] == "--timeout-us") opt.request_timeout_us = parse_u64(next("--timeout-us"), 0);
     else if (args[i] == "--seed") seed = parse_u64(next("--seed"), 1);

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Kill -9 sweep against a store-backed interopd: for each seed, complete
+# one flow request, then kill -9 the daemon while a second request is
+# racing through the service, restart it on the same --store directory,
+# and assert the completed request is served entirely from the recovered
+# cache (executed=0) and the recovered daemon still drains cleanly.
+#
+# The per-seed kill delay varies so the SIGKILL lands at different points
+# of the in-flight request's write path; the store's WAL protocol must
+# make the outcome invariant: everything acked before the kill is warm
+# after restart, and recovery never blocks the daemon from coming up.
+#
+# Usage: tools/kill_sweep.sh <interopd-binary> [seeds]
+#   (CI runs 3 seeds on PRs and 20 nightly.)
+set -uo pipefail
+
+bin=${1:?usage: kill_sweep.sh <interopd-binary> [seeds]}
+seeds=${2:-3}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+fail=0
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do [ -S "$1" ] && return 0; sleep 0.05; done
+  return 1
+}
+
+for seed in $(seq 1 "$seeds"); do
+  dir="$work/store-$seed"
+  sock="$work/s-$seed.sock"
+
+  "$bin" serve --socket "$sock" --store "$dir" --workers 2 \
+    > "$work/log1-$seed" 2>&1 &
+  dpid=$!
+  if ! wait_for_socket "$sock"; then
+    echo "seed $seed: FAIL (daemon did not come up)"; fail=1
+    kill -9 "$dpid" 2>/dev/null; wait "$dpid" 2>/dev/null
+    continue
+  fi
+
+  # Request A completes (every cache entry acked-durable before the ack),
+  # then request B is mid-flight when the SIGKILL lands.
+  "$bin" client --socket "$sock" flow \
+    --width 6 --latency-us 200 --seed $((seed * 101)) > /dev/null || {
+    echo "seed $seed: FAIL (cold request failed)"; fail=1; }
+  "$bin" client --socket "$sock" flow \
+    --width 6 --latency-us 5000 --seed $((seed * 101 + 1)) \
+    > /dev/null 2>&1 &
+  cpid=$!
+  sleep "0.0$((1 + seed % 5))"
+  kill -9 "$dpid"
+  wait "$cpid" 2>/dev/null
+  wait "$dpid" 2>/dev/null
+
+  # Restart on the same directory: recovery must come up and request A
+  # must be warm — zero actions executed. The killed daemon leaves a
+  # stale socket file behind; remove it so wait_for_socket sees the new
+  # incarnation's bind, not the corpse's.
+  rm -f "$sock"
+  "$bin" serve --socket "$sock" --store "$dir" --workers 2 \
+    > "$work/log2-$seed" 2>&1 &
+  dpid=$!
+  if ! wait_for_socket "$sock"; then
+    echo "seed $seed: FAIL (daemon did not recover)"; fail=1
+    kill -9 "$dpid" 2>/dev/null; wait "$dpid" 2>/dev/null
+    continue
+  fi
+  out=$("$bin" client --socket "$sock" flow \
+    --width 6 --latency-us 200 --seed $((seed * 101)))
+  kill -TERM "$dpid"
+  if ! wait "$dpid"; then
+    echo "seed $seed: FAIL (drain after recovery exited nonzero)"; fail=1
+  fi
+  if ! grep -q 'entries recovered' "$work/log2-$seed"; then
+    echo "seed $seed: FAIL (no recovery line in restart log)"; fail=1
+  fi
+  case "$out" in
+    *" executed=0 "*) echo "seed $seed: ok (warm after kill -9)" ;;
+    *) echo "seed $seed: FAIL (not warm: $out)"; fail=1 ;;
+  esac
+done
+
+exit "$fail"
