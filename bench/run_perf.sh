@@ -133,6 +133,19 @@ check_json "$tmp" "$store_bin"
 cp "$tmp" "$store_out"
 echo "wrote $store_out"
 
+# a/L engine bench: migration-callback throughput on the bytecode VM vs
+# the tree-walking interpreter, end-to-end migration split, and raw
+# dispatch (self-checking: engines must transform objects byte-identically
+# and the VM must clear the 10x callback bar; see EXPERIMENTS.md §V1).
+cmake --build "$build_dir" --target bench_al_vm -j "$(nproc)"
+al_bin="$build_dir/bench/bench_al_vm"
+[ -x "$al_bin" ] || die "bench binary missing: $al_bin"
+al_out="$repo_root/BENCH_al_vm.json"
+"$al_bin" > "$tmp"
+check_json "$tmp" "$al_bin"
+cp "$tmp" "$al_out"
+echo "wrote $al_out"
+
 # Fuzz-throughput smoke: a fixed-seed run of the differential fuzzer —
 # designs/sec, coverage growth, and the jobs-invariance determinism check
 # (self-checking; see EXPERIMENTS.md §F1 and README "Fuzzing").

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "al/interp.hpp"
+#include "al/number.hpp"
 #include "base/strings.hpp"
 
 namespace interop::al {
@@ -245,17 +246,10 @@ void install_builtins(Interpreter& interp) {
   interp.register_builtin("string->number", [](std::vector<Value>& a) {
     expect_arity(a, 1, "string->number");
     const std::string& s = str_arg(a, 0, "string->number");
-    try {
-      std::size_t used = 0;
-      if (s.find_first_of(".eE") == std::string::npos) {
-        std::int64_t v = std::stoll(s, &used);
-        if (used == s.size()) return Value(v);
-      } else {
-        double v = std::stod(s, &used);
-        if (used == s.size()) return Value(v);
-      }
-    } catch (...) {
-    }
+    // Same locale-independent, range-checked parse as the reader, so
+    // (string->number (number->string x)) round-trips for every number.
+    if (std::optional<std::int64_t> i = parse_int64(s)) return Value(*i);
+    if (std::optional<double> d = parse_double(s)) return Value(*d);
     return Value(false);
   });
   interp.register_builtin("number->string", [](std::vector<Value>& a) {

@@ -1,0 +1,520 @@
+#include "al/compile.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "al/interp.hpp"
+
+namespace interop::al {
+
+namespace {
+
+const std::string& symbol_name(const Value& v, const char* what) {
+  if (!v.is_symbol()) throw AlError(std::string(what) + ": expected a symbol");
+  return v.as_symbol().name;
+}
+
+/// Strict structural equality for constant-pool deduplication. Unlike
+/// Value::equals, ints and doubles never compare equal across types, and
+/// doubles compare by bit pattern (so 0.0 and -0.0 stay distinct constants
+/// and print differently, exactly as the tree-walker prints them).
+bool strict_const_equal(const Value& a, const Value& b) {
+  if (a.is_nil()) return b.is_nil();
+  if (a.is_bool()) return b.is_bool() && a.as_bool() == b.as_bool();
+  if (a.is_int()) return b.is_int() && a.as_int() == b.as_int();
+  if (a.is_double()) {
+    if (!b.is_double()) return false;
+    double x = a.as_double(), y = b.as_double();
+    return std::memcmp(&x, &y, sizeof x) == 0;
+  }
+  if (a.is_string()) return b.is_string() && a.as_string() == b.as_string();
+  if (a.is_symbol()) return b.is_symbol() && a.as_symbol() == b.as_symbol();
+  if (a.is_list()) {
+    if (!b.is_list()) return false;
+    const Value::List& la = a.as_list();
+    const Value::List& lb = b.as_list();
+    if (la.size() != lb.size()) return false;
+    for (std::size_t i = 0; i < la.size(); ++i)
+      if (!strict_const_equal(la[i], lb[i])) return false;
+    return true;
+  }
+  return false;  // functions never appear in source constants
+}
+
+/// Pure builtins safe to evaluate at compile time when every argument is a
+/// literal. Anything stateful (prop-*), closure-taking, or host-registered
+/// is excluded by construction: fold only when the *global* binding is a
+/// Builtin and the name is on this list.
+const std::unordered_set<std::string>& foldable_builtins() {
+  static const std::unordered_set<std::string> kSet = {
+      "+",        "-",        "*",           "quotient",    "remainder",
+      "min",      "max",      "abs",         "=",           "<",
+      ">",        "<=",       ">=",          "not",         "string-append",
+      "string-length", "string-upcase", "string-downcase", "substring",
+      "string->number", "number->string",
+  };
+  return kSet;
+}
+
+bool is_literal_atom(const Value& v) {
+  return v.is_nil() || v.is_bool() || v.is_number() || v.is_string();
+}
+
+/// Does `form` contain a (lambda ...) or (define ...) anywhere outside
+/// quote? Such a body needs real Environment frames: nested lambdas
+/// capture the scope, and define adds names at runtime. Everything else
+/// can keep its locals in stack slots (see Proto::slots). Over-broad on
+/// purpose — a shadowed `lambda` head still disables slots, which only
+/// costs the optimization, never correctness.
+bool needs_env(const Value& form) {
+  if (!form.is_list()) return false;
+  const Value::List& list = form.as_list();
+  if (list.empty()) return false;
+  if (list[0].is_symbol()) {
+    const std::string& head = list[0].as_symbol().name;
+    if (head == "quote") return false;
+    if (head == "lambda" || head == "define") return true;
+  }
+  for (const Value& sub : list)
+    if (needs_env(sub)) return true;
+  return false;
+}
+
+class Compiler {
+ public:
+  Compiler(Interpreter& interp, const std::vector<Value>& forms)
+      : interp_(interp) {
+    for (const Value& f : forms) scan_bound_names(f);
+  }
+
+  std::shared_ptr<const Proto> compile_unit_body(
+      const std::vector<Value>& forms, std::string unit_name) {
+    protos_.push_back(std::make_shared<Proto>());
+    ctxs_.emplace_back();  // the unit body always uses environment mode
+    protos_.back()->name = std::move(unit_name);
+    if (forms.empty()) {
+      emit(Op::Nil);
+    } else {
+      for (std::size_t i = 0; i < forms.size(); ++i) {
+        if (i) emit(Op::Pop);
+        compile_form(forms[i]);
+      }
+    }
+    emit(Op::Return);
+    auto out = protos_.back();
+    protos_.pop_back();
+    ctxs_.pop_back();
+    return out;
+  }
+
+ private:
+  /// Per-proto compilation state for slot-mode locals. `locals` is a
+  /// lexical scope stack of name -> slot bindings; `next_slot` is the
+  /// first free slot, unwound at let exit so sibling lets reuse slots;
+  /// `max_slot` is the high-water mark that sizes the frame.
+  struct ProtoCtx {
+    bool slot_mode = false;
+    std::vector<std::pair<std::string, std::uint32_t>> locals;
+    std::uint32_t next_slot = 0;
+    std::uint32_t max_slot = 0;
+  };
+
+  Proto& cur() { return *protos_.back(); }
+  ProtoCtx& ctx() { return ctxs_.back(); }
+
+  /// Slot of `name` in the innermost proto, if it is a slot-compiled
+  /// local there. Slot protos never nest (a nested lambda forces the
+  /// enclosing proto into environment mode), so one level is all there is.
+  std::optional<std::uint32_t> resolve_local(const std::string& name) {
+    if (!ctx().slot_mode) return std::nullopt;
+    for (std::size_t i = ctx().locals.size(); i-- > 0;)
+      if (ctx().locals[i].first == name) return ctx().locals[i].second;
+    return std::nullopt;
+  }
+
+  std::size_t emit(Op op, std::uint32_t arg = 0) {
+    cur().code.push_back({op, arg});
+    return cur().code.size() - 1;
+  }
+
+  void patch(std::size_t at) {
+    cur().code[at].arg = std::uint32_t(cur().code.size());
+  }
+
+  std::uint32_t add_const(Value v) {
+    Proto& p = cur();
+    for (std::size_t i = 0; i < p.consts.size(); ++i)
+      if (strict_const_equal(p.consts[i], v)) return std::uint32_t(i);
+    p.consts.push_back(std::move(v));
+    return std::uint32_t(p.consts.size() - 1);
+  }
+
+  std::uint32_t intern_name(const std::string& name) {
+    Proto& p = cur();
+    for (std::size_t i = 0; i < p.names.size(); ++i)
+      if (p.names[i] == name) return std::uint32_t(i);
+    p.names.push_back(name);
+    return std::uint32_t(p.names.size() - 1);
+  }
+
+  void emit_const(const Value& v) {
+    if (v.is_nil()) {
+      emit(Op::Nil);
+    } else if (v.is_bool()) {
+      emit(v.as_bool() ? Op::True : Op::False);
+    } else {
+      emit(Op::Const, add_const(v));
+    }
+  }
+
+  /// Record every name the unit binds or mutates anywhere (define targets,
+  /// set! targets, let bindings, lambda params). Constant folding skips
+  /// these: a unit that rebinds `+` must resolve it at runtime. The scan is
+  /// deliberately over-broad (it ignores scoping); it only ever disables an
+  /// optimization, never changes semantics.
+  void scan_bound_names(const Value& form) {
+    if (!form.is_list()) return;
+    const Value::List& list = form.as_list();
+    if (list.empty()) return;
+    std::size_t skip_from = list.size();  // recurse into [1, skip_from)
+    if (list[0].is_symbol()) {
+      const std::string& head = list[0].as_symbol().name;
+      if (head == "quote") return;
+      if ((head == "define" || head == "set!") && list.size() >= 2) {
+        if (list[1].is_symbol()) {
+          bound_names_.insert(list[1].as_symbol().name);
+        } else if (list[1].is_list()) {  // (define (f a b) ...) sugar
+          for (const Value& s : list[1].as_list())
+            if (s.is_symbol()) bound_names_.insert(s.as_symbol().name);
+        }
+      } else if (head == "lambda" && list.size() >= 2 && list[1].is_list()) {
+        for (const Value& p : list[1].as_list())
+          if (p.is_symbol()) bound_names_.insert(p.as_symbol().name);
+      } else if (head == "let" && list.size() >= 2 && list[1].is_list()) {
+        for (const Value& b : list[1].as_list())
+          if (b.is_list() && !b.as_list().empty() &&
+              b.as_list()[0].is_symbol())
+            bound_names_.insert(b.as_list()[0].as_symbol().name);
+      }
+    }
+    for (std::size_t i = 0; i < skip_from; ++i) scan_bound_names(list[i]);
+  }
+
+  /// Try to evaluate `(name lit...)` at compile time. Returns true and
+  /// emits a constant on success. Any error during folding simply defers
+  /// to runtime, preserving the walker's error timing.
+  bool try_fold(const std::string& head, const Value::List& list) {
+    if (!foldable_builtins().count(head)) return false;
+    if (bound_names_.count(head)) return false;
+    for (std::size_t i = 1; i < list.size(); ++i)
+      if (!is_literal_atom(list[i])) return false;
+    std::shared_ptr<Environment> global = interp_.global();
+    if (!global->bound(head)) return false;
+    const Value& fn = global->lookup(head);
+    if (!fn.is_builtin()) return false;
+    try {
+      std::vector<Value> args(list.begin() + 1, list.end());
+      Value result = fn.as_builtin()(args);
+      if (!is_literal_atom(result)) return false;
+      emit_const(result);
+      return true;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  void compile_lambda(std::string name, std::vector<std::string> params,
+                      const Value::List& list, std::size_t body_from) {
+    bool slots = true;
+    for (std::size_t i = body_from; i < list.size(); ++i)
+      if (needs_env(list[i])) slots = false;
+    protos_.push_back(std::make_shared<Proto>());
+    ctxs_.emplace_back();
+    ctx().slot_mode = slots;
+    cur().name = std::move(name);
+    cur().params = std::move(params);
+    if (slots) {
+      // Params occupy slots 0..n-1 — the argument positions do_call leaves
+      // on the stack. A duplicate param maps to its later slot, matching
+      // the walker's sequential defines (last one wins).
+      for (const std::string& p : cur().params)
+        ctx().locals.emplace_back(p, ctx().next_slot++);
+      ctx().max_slot = ctx().next_slot;
+    }
+    for (std::size_t i = body_from; i < list.size(); ++i) {
+      if (i != body_from) emit(Op::Pop);
+      compile_form(list[i]);
+    }
+    emit(Op::Return);
+    cur().slots = slots;
+    cur().nslots = ctx().max_slot;
+    auto proto = protos_.back();
+    protos_.pop_back();
+    ctxs_.pop_back();
+    cur().protos.push_back(std::move(proto));
+    emit(Op::Closure, std::uint32_t(cur().protos.size() - 1));
+  }
+
+  void compile_form(const Value& form) {
+    if (form.is_symbol()) {
+      if (std::optional<std::uint32_t> slot =
+              resolve_local(form.as_symbol().name))
+        emit(Op::LoadSlot, *slot);
+      else
+        emit(Op::LoadName, intern_name(form.as_symbol().name));
+      return;
+    }
+    if (!form.is_list()) {
+      emit_const(form);  // self-evaluating atom
+      return;
+    }
+    const Value::List& list = form.as_list();
+    if (list.empty()) throw AlError("cannot evaluate empty list");
+
+    if (list[0].is_symbol()) {
+      const std::string& head = list[0].as_symbol().name;
+
+      if (head == "quote") {
+        if (list.size() != 2) throw AlError("quote takes one argument");
+        emit_const(list[1]);
+        return;
+      }
+      if (head == "if") {
+        if (list.size() != 3 && list.size() != 4)
+          throw AlError("if takes 2 or 3 arguments");
+        compile_form(list[1]);
+        std::size_t jf = emit(Op::JumpIfFalse);
+        compile_form(list[2]);
+        std::size_t jend = emit(Op::Jump);
+        patch(jf);
+        if (list.size() == 4)
+          compile_form(list[3]);
+        else
+          emit(Op::Nil);
+        patch(jend);
+        return;
+      }
+      if (head == "cond") {
+        std::vector<std::size_t> ends;
+        for (std::size_t i = 1; i < list.size(); ++i) {
+          if (!list[i].is_list() || list[i].as_list().size() < 2)
+            throw AlError("cond: malformed clause");
+          const Value::List& clause = list[i].as_list();
+          bool is_else =
+              clause[0].is_symbol() && clause[0].as_symbol().name == "else";
+          std::size_t skip = 0;
+          if (!is_else) {
+            compile_form(clause[0]);
+            skip = emit(Op::JumpIfFalse);
+          }
+          for (std::size_t j = 1; j < clause.size(); ++j) {
+            if (j != 1) emit(Op::Pop);
+            compile_form(clause[j]);
+          }
+          ends.push_back(emit(Op::Jump));
+          if (!is_else) patch(skip);
+          if (is_else) break;  // walker never looks past a taken else
+        }
+        emit(Op::Nil);  // no clause matched
+        for (std::size_t at : ends) patch(at);
+        return;
+      }
+      if (head == "define") {
+        if (list.size() < 3) throw AlError("define takes at least 2 arguments");
+        if (list[1].is_list()) {  // (define (f a b) body...) sugar
+          const Value::List& sig = list[1].as_list();
+          if (sig.empty()) throw AlError("define: empty signature");
+          std::vector<std::string> params;
+          for (std::size_t i = 1; i < sig.size(); ++i)
+            params.push_back(symbol_name(sig[i], "define"));
+          const std::string& fname = symbol_name(sig[0], "define");
+          compile_lambda(fname, std::move(params), list, 2);
+          emit(Op::DefineName, intern_name(fname));
+          emit(Op::Nil);
+          return;
+        }
+        if (list.size() != 3) throw AlError("define takes 2 arguments");
+        const std::string& name = symbol_name(list[1], "define");
+        compile_form(list[2]);
+        emit(Op::DefineName, intern_name(name));
+        emit(Op::Nil);
+        return;
+      }
+      if (head == "set!") {
+        if (list.size() != 3) throw AlError("set! takes 2 arguments");
+        const std::string& name = symbol_name(list[1], "set!");
+        compile_form(list[2]);
+        // The value stays pushed as the result either way.
+        if (std::optional<std::uint32_t> slot = resolve_local(name))
+          emit(Op::StoreSlot, *slot);
+        else
+          emit(Op::StoreName, intern_name(name));
+        return;
+      }
+      if (head == "lambda") {
+        if (list.size() < 3) throw AlError("lambda takes params and body");
+        if (!list[1].is_list()) throw AlError("lambda: params must be a list");
+        std::vector<std::string> params;
+        for (const Value& p : list[1].as_list())
+          params.push_back(symbol_name(p, "lambda"));
+        compile_lambda("<lambda>", std::move(params), list, 2);
+        return;
+      }
+      if (head == "let") {
+        if (list.size() < 3 || !list[1].is_list())
+          throw AlError("let: malformed");
+        // Binding values evaluate in the OUTER scope (let, not let*), so
+        // compile them all before PushScope, then bind back-to-front off
+        // the stack. Duplicate names: the walker's sequential defines make
+        // the last occurrence win, so earlier duplicates just pop.
+        const Value::List& bindings = list[1].as_list();
+        std::vector<std::string> names;
+        for (const Value& binding : bindings) {
+          if (!binding.is_list() || binding.as_list().size() != 2)
+            throw AlError("let: malformed binding");
+          const Value::List& b = binding.as_list();
+          names.push_back(symbol_name(b[0], "let"));
+          compile_form(b[1]);
+        }
+        if (ctx().slot_mode) {
+          // Slot mode: bindings become frame slots instead of a scope
+          // frame. Values were evaluated above (outer scope — the old
+          // mappings were still live) and sit as temporaries on top;
+          // store them down into freshly allocated slots back-to-front,
+          // duplicates collapsing onto one slot with the last occurrence
+          // winning, exactly like the sequential defines below.
+          std::size_t saved_locals = ctx().locals.size();
+          std::uint32_t saved_next = ctx().next_slot;
+          std::vector<std::uint32_t> slot_of(names.size());
+          for (std::size_t i = 0; i < names.size(); ++i) {
+            bool dup = false;
+            for (std::size_t j = 0; j < i && !dup; ++j)
+              if (names[j] == names[i]) {
+                slot_of[i] = slot_of[j];
+                dup = true;
+              }
+            if (!dup) {
+              slot_of[i] = ctx().next_slot++;
+              ctx().locals.emplace_back(names[i], slot_of[i]);
+            }
+          }
+          ctx().max_slot = std::max(ctx().max_slot, ctx().next_slot);
+          for (std::size_t i = names.size(); i-- > 0;) {
+            bool last_occurrence = true;
+            for (std::size_t j = i + 1; j < names.size(); ++j)
+              if (names[j] == names[i]) last_occurrence = false;
+            if (last_occurrence) emit(Op::StoreSlot, slot_of[i]);
+            emit(Op::Pop);
+          }
+          for (std::size_t i = 2; i < list.size(); ++i) {
+            if (i != 2) emit(Op::Pop);
+            compile_form(list[i]);
+          }
+          ctx().locals.resize(saved_locals);
+          ctx().next_slot = saved_next;  // sibling lets reuse the slots
+          return;
+        }
+        emit(Op::PushScope);
+        for (std::size_t i = names.size(); i-- > 0;) {
+          bool last_occurrence = true;
+          for (std::size_t j = i + 1; j < names.size(); ++j)
+            if (names[j] == names[i]) last_occurrence = false;
+          if (last_occurrence)
+            emit(Op::DefineName, intern_name(names[i]));
+          else
+            emit(Op::Pop);
+        }
+        for (std::size_t i = 2; i < list.size(); ++i) {
+          if (i != 2) emit(Op::Pop);
+          compile_form(list[i]);
+        }
+        emit(Op::PopScope);
+        return;
+      }
+      if (head == "begin") {
+        if (list.size() == 1) {
+          emit(Op::Nil);
+          return;
+        }
+        for (std::size_t i = 1; i < list.size(); ++i) {
+          if (i != 1) emit(Op::Pop);
+          compile_form(list[i]);
+        }
+        return;
+      }
+      if (head == "and") {
+        if (list.size() == 1) {
+          emit(Op::True);
+          return;
+        }
+        std::vector<std::size_t> outs;
+        for (std::size_t i = 1; i < list.size(); ++i) {
+          compile_form(list[i]);
+          if (i + 1 < list.size()) {
+            outs.push_back(emit(Op::JumpIfFalsePeek));
+            emit(Op::Pop);
+          }
+        }
+        for (std::size_t at : outs) patch(at);
+        return;
+      }
+      if (head == "or") {
+        // (or) is #f, and so is an all-falsy (or ...): the walker discards
+        // the last falsy value and returns #f, unlike and.
+        std::vector<std::size_t> outs;
+        for (std::size_t i = 1; i < list.size(); ++i) {
+          compile_form(list[i]);
+          outs.push_back(emit(Op::JumpIfTruePeek));
+          emit(Op::Pop);
+        }
+        emit(Op::False);
+        for (std::size_t at : outs) patch(at);
+        return;
+      }
+      if (head == "while") {
+        if (list.size() < 2) throw AlError("while takes a condition");
+        emit(Op::Nil);  // result: last body value of the last iteration
+        std::size_t loop = cur().code.size();
+        compile_form(list[1]);
+        std::size_t done = emit(Op::JumpIfFalse);
+        if (list.size() > 2) {
+          emit(Op::Pop);  // previous iteration's result
+          for (std::size_t i = 2; i < list.size(); ++i) {
+            if (i != 2) emit(Op::Pop);
+            compile_form(list[i]);
+          }
+        }
+        emit(Op::Jump, std::uint32_t(loop));
+        patch(done);
+        return;
+      }
+
+      // Plain call with a symbol head: constant-fold if possible.
+      if (try_fold(head, list)) return;
+    }
+
+    // Function application.
+    compile_form(list[0]);
+    for (std::size_t i = 1; i < list.size(); ++i) compile_form(list[i]);
+    emit(Op::Call, std::uint32_t(list.size() - 1));
+  }
+
+  Interpreter& interp_;
+  std::vector<std::shared_ptr<Proto>> protos_;  // compilation stack
+  std::vector<ProtoCtx> ctxs_;                  // parallel to protos_
+  std::unordered_set<std::string> bound_names_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Proto> compile_unit(Interpreter& interp,
+                                          const std::vector<Value>& forms,
+                                          std::string unit_name) {
+  Compiler c(interp, forms);
+  return c.compile_unit_body(forms, std::move(unit_name));
+}
+
+}  // namespace interop::al

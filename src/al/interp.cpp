@@ -2,7 +2,9 @@
 
 #include <functional>
 
+#include "al/compile.hpp"
 #include "al/reader.hpp"
+#include "al/vm.hpp"
 
 namespace interop::al {
 
@@ -93,14 +95,19 @@ std::size_t Interpreter::collect_garbage() {
   frames_since_gc_ = 0;
   std::erase_if(lambdas_,
                 [](const std::weak_ptr<Lambda>& w) { return w.expired(); });
+  std::erase_if(vm_closures_,
+                [](const std::weak_ptr<VmClosure>& w) { return w.expired(); });
 
   // Count the closure references stored inside arena frames (deep through
-  // lists). Any shared_ptr<Lambda> beyond these — a host-held Value, a
-  // builtin capture — is an external root.
-  std::unordered_map<const Lambda*, std::size_t> internal;
+  // lists). Any shared_ptr beyond these — a host-held Value, a builtin
+  // capture — is an external root. Both closure kinds (tree-walker Lambda
+  // and bytecode VmClosure) follow the same protocol.
+  std::unordered_map<const void*, std::size_t> internal;
   std::function<void(const Value&)> count = [&](const Value& v) {
     if (v.is_lambda()) {
       ++internal[v.as_lambda().get()];
+    } else if (v.is_vm_closure()) {
+      ++internal[v.as_vm_closure().get()];
     } else if (v.is_list()) {
       for (const Value& item : v.as_list()) count(item);
     }
@@ -118,20 +125,33 @@ std::size_t Interpreter::collect_garbage() {
     }
   };
   mark_chain(global_.get());
+  // +1 for our temporary lock; more owners than stored copies means the
+  // host (or a builtin capture) still holds this closure.
+  auto externally_rooted = [&](const void* key, long use_count) {
+    auto it = internal.find(key);
+    std::size_t stored = it == internal.end() ? 0 : it->second;
+    return std::size_t(use_count) > stored + 1;
+  };
   for (const std::weak_ptr<Lambda>& w : lambdas_) {
     std::shared_ptr<Lambda> lam = w.lock();
     if (!lam) continue;
-    auto it = internal.find(lam.get());
-    std::size_t stored = it == internal.end() ? 0 : it->second;
-    // +1 for our temporary lock; more owners than stored copies means the
-    // host (or a builtin capture) still holds this closure.
-    if (std::size_t(lam.use_count()) > stored + 1)
+    if (externally_rooted(lam.get(), lam.use_count()))
       if (std::shared_ptr<Environment> env = lam->captured())
+        mark_chain(env.get());
+  }
+  for (const std::weak_ptr<VmClosure>& w : vm_closures_) {
+    std::shared_ptr<VmClosure> clo = w.lock();
+    if (!clo) continue;
+    if (externally_rooted(clo.get(), clo.use_count()))
+      if (std::shared_ptr<Environment> env = clo->captured())
         mark_chain(env.get());
   }
   std::function<void(const Value&)> mark_value = [&](const Value& v) {
     if (v.is_lambda()) {
       if (std::shared_ptr<Environment> env = v.as_lambda()->captured())
+        mark_chain(env.get());
+    } else if (v.is_vm_closure()) {
+      if (std::shared_ptr<Environment> env = v.as_vm_closure()->captured())
         mark_chain(env.get());
     } else if (v.is_list()) {
       for (const Value& item : v.as_list()) mark_value(item);
@@ -166,6 +186,8 @@ Value Interpreter::eval(const Value& form) { return eval(form, global_); }
 
 Value Interpreter::eval(const Value& form,
                         const std::shared_ptr<Environment>& env) {
+  if (engine_ == Engine::Bytecode)
+    return run_compiled(compile_unit(*this, {form}, "<eval>"), env);
   if (depth_ == 0) steps_used_ = 0;
   ++depth_;
   try {
@@ -180,14 +202,52 @@ Value Interpreter::eval(const Value& form,
   }
 }
 
+Value Interpreter::run_compiled(const std::shared_ptr<const Proto>& proto,
+                                const std::shared_ptr<Environment>& env) {
+  if (depth_ == 0) steps_used_ = 0;
+  ++depth_;
+  try {
+    Value out = Vm::run(*this, proto, env);
+    --depth_;
+    maybe_collect();
+    return out;
+  } catch (...) {
+    --depth_;
+    maybe_collect();
+    throw;
+  }
+}
+
 Value Interpreter::eval_source(const std::string& source) {
-  Value last;
-  for (const Value& form : read_all(source)) last = eval(form);
-  return last;
+  if (engine_ == Engine::TreeWalker) {
+    Value last;
+    for (const Value& form : read_all(source)) last = eval(form);
+    return last;
+  }
+  // Bytecode: compile the whole unit once and cache it by source text.
+  std::shared_ptr<const Proto> proto;
+  auto it = compile_cache_.find(source);
+  if (it != compile_cache_.end()) {
+    proto = it->second;
+  } else {
+    proto = compile_unit(*this, read_all(source), "<unit>");
+    if (compile_cache_.size() >= kCompileCacheMax) compile_cache_.clear();
+    compile_cache_.emplace(source, proto);
+  }
+  return run_compiled(proto, global_);
 }
 
 Value Interpreter::call(const Value& fn, std::vector<Value> args) {
   if (fn.is_builtin()) return fn.as_builtin()(args);
+  if (fn.is_vm_closure()) {
+    // Host-driven calls start a fresh step budget at top level, like
+    // eval() does for the walker path (CallbackHost runs one call per
+    // migrated object and each gets the full budget).
+    if (depth_ == 0 && call_depth_ == 0) steps_used_ = 0;
+    Value out = Vm::call_closure(*this, fn.as_vm_closure(), std::move(args));
+    maybe_collect();
+    return out;
+  }
   if (fn.is_lambda()) {
     Value out;
     {

@@ -10,9 +10,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "al/bytecode.hpp"
 #include "al/value.hpp"
 
 namespace interop::al {
+
+class Vm;
 
 /// A lexical scope frame. The Interpreter's environment arena owns every
 /// frame it creates; closures capture frames through non-owning handles
@@ -49,6 +52,7 @@ class Environment : public std::enable_shared_from_this<Environment> {
 
  private:
   friend class Interpreter;
+  friend class Vm;
 
   explicit Environment(std::shared_ptr<Environment> parent)
       : parent_(std::move(parent)) {
@@ -78,6 +82,17 @@ class Interpreter {
   Interpreter& operator=(const Interpreter&) = delete;
 
   std::shared_ptr<Environment> global() { return global_; }
+
+  /// Select the evaluation engine. Bytecode (the default) compiles forms
+  /// to the VM (vm.hpp) and caches compiled units per source string, so a
+  /// migration callback re-run per object skips re-reading and re-walking
+  /// entirely. TreeWalker is the original recursive evaluator, kept as
+  /// the reference oracle — both engines are semantically identical
+  /// (pinned by the AlDiff differential suite). Closures remember their
+  /// engine: values created under one engine stay callable after a
+  /// switch.
+  void set_engine(Engine e) { engine_ = e; }
+  Engine engine() const { return engine_; }
 
   /// Register a host function callable from a/L code.
   void register_builtin(const std::string& name, Builtin fn);
@@ -116,7 +131,12 @@ class Interpreter {
   std::size_t arena_frames() const { return arena_.size(); }
 
  private:
+  friend class Vm;
+
   Value eval_inner(const Value& form, std::shared_ptr<Environment> env);
+  /// Run a compiled unit with eval()'s depth/step bookkeeping.
+  Value run_compiled(const std::shared_ptr<const Proto>& proto,
+                     const std::shared_ptr<Environment>& env);
 
   /// Allocate an arena-owned frame.
   std::shared_ptr<Environment> new_frame(std::shared_ptr<Environment> parent);
@@ -132,8 +152,21 @@ class Interpreter {
   std::vector<std::shared_ptr<Environment>> arena_;
   /// Every closure ever created, weakly: the collector's root candidates.
   std::vector<std::weak_ptr<Lambda>> lambdas_;
+  /// Bytecode closures, same weak-root protocol as lambdas_.
+  std::vector<std::weak_ptr<VmClosure>> vm_closures_;
   std::size_t frames_since_gc_ = 0;
   std::size_t gc_threshold_ = 64;
+
+  Engine engine_ = Engine::Bytecode;
+  /// Compiled units keyed by source text (Bytecode engine only). A
+  /// migration callback evaluated once per migrated object compiles once
+  /// and replays thousands of times; this cache is where the VM's
+  /// end-to-end callback speedup comes from. Bounded: cleared wholesale
+  /// past kCompileCacheMax entries (callback workloads have a handful of
+  /// distinct sources; anything larger is a misuse, not a working set).
+  static constexpr std::size_t kCompileCacheMax = 256;
+  std::unordered_map<std::string, std::shared_ptr<const Proto>>
+      compile_cache_;
 
   std::size_t step_limit_ = 0;
   std::size_t steps_used_ = 0;

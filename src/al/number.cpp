@@ -1,0 +1,59 @@
+#include "al/number.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace interop::al {
+
+namespace {
+
+/// from_chars accepts no leading '+'; the old strtoll/strtod paths did.
+/// Strip one '+' when it actually prefixes a number-looking tail, so "+5"
+/// stays numeric while "+", "+-5", and "+x" stay symbols.
+std::string_view strip_plus(std::string_view s, bool allow_dot) {
+  if (s.size() >= 2 && s[0] == '+') {
+    char next = s[1];
+    if ((next >= '0' && next <= '9') || (allow_dot && next == '.'))
+      return s.substr(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_int64(std::string_view s) {
+  s = strip_plus(s, /*allow_dot=*/false);
+  if (s.empty()) return std::nullopt;
+  std::int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 10);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  s = strip_plus(s, /*allow_dot=*/true);
+  if (s.empty()) return std::nullopt;
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  // result_out_of_range covers both overflow (1e99999) and underflow
+  // (1e-99999): neither silently becomes inf/0. The finite check rejects
+  // explicit "inf"/"nan" spellings, which from_chars otherwise accepts.
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+std::string format_double(double d) {
+  if (!std::isfinite(d)) {
+    if (std::isnan(d)) return "nan";
+    return d < 0 ? "-inf" : "inf";
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  std::string s(buf, ptr);
+  // Make sure it reads back as a double, not an int.
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  return s;
+}
+
+}  // namespace interop::al

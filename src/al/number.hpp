@@ -1,0 +1,43 @@
+#pragma once
+// Locale-independent, range-checked numeric parsing and printing for a/L.
+//
+// The reader, (string->number), and (number->string) all route through
+// these helpers so the three agree and round-trip regardless of
+// LC_NUMERIC. The previous strtoll/strtod/stod paths had two silent bugs:
+//   - errno was ignored after strtoll/strtod, so an out-of-range literal
+//     like 99999999999999999999 clamped to INT64_MAX and 1e99999 became
+//     inf without any indication;
+//   - strtod/stod honor the process locale, so "1.5" failed to parse (or
+//     parsed as 1) under comma-decimal locales like de_DE.
+// std::from_chars/std::to_chars are locale-independent by specification
+// and report range errors explicitly.
+//
+// Policy: a/L numeric literals are *finite*. An integer literal outside
+// int64 range falls through to double; a double literal outside double
+// range (or "inf"/"nan" spellings) is not a number at all — the reader
+// falls through to symbol and (string->number) returns #f.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace interop::al {
+
+/// Parse `s` as a complete int64 literal (optional leading '+' or '-').
+/// Returns nullopt when malformed or out of int64 range.
+std::optional<std::int64_t> parse_int64(std::string_view s);
+
+/// Parse `s` as a complete finite double literal (optional leading '+').
+/// Returns nullopt when malformed, out of range (overflow AND underflow:
+/// 1e99999 and 1e-99999 are both rejected, never silently inf/0), or a
+/// non-finite spelling ("inf", "nan").
+std::optional<double> parse_double(std::string_view s);
+
+/// Shortest decimal form of `d` that reads back as exactly `d` (via
+/// std::to_chars shortest round-trip), with ".0" appended when the result
+/// would otherwise read back as an integer. Non-finite values print as
+/// "inf"/"-inf"/"nan" (which read back as symbols; a/L data is finite).
+std::string format_double(double d);
+
+}  // namespace interop::al

@@ -1,7 +1,8 @@
 #include "al/reader.hpp"
 
 #include <cctype>
-#include <cstdlib>
+
+#include "al/number.hpp"
 
 namespace interop::al {
 
@@ -103,20 +104,11 @@ class Reader {
     if (tok == "nil") return Value::nil();
     if (tok == "#t") return Value(true);
     if (tok == "#f") return Value(false);
-    // integer?
-    {
-      char* end = nullptr;
-      long long v = std::strtoll(tok.c_str(), &end, 10);
-      if (end && *end == '\0' && end != tok.c_str()) {
-        return Value(std::int64_t(v));
-      }
-    }
-    // double?
-    {
-      char* end = nullptr;
-      double v = std::strtod(tok.c_str(), &end);
-      if (end && *end == '\0' && end != tok.c_str()) return Value(v);
-    }
+    // Locale-independent, range-checked (see al/number.hpp): an integer
+    // literal outside int64 range falls through to double; a double
+    // literal outside double range falls through to symbol.
+    if (std::optional<std::int64_t> i = parse_int64(tok)) return Value(*i);
+    if (std::optional<double> d = parse_double(tok)) return Value(*d);
     return Value::sym(std::move(tok));
   }
 

@@ -1,6 +1,6 @@
 #include "al/value.hpp"
 
-#include <sstream>
+#include "al/number.hpp"
 
 namespace interop::al {
 
@@ -26,15 +26,6 @@ std::string quote_string(const std::string& s) {
   return out;
 }
 
-std::string format_double(double d) {
-  std::ostringstream os;
-  os << d;
-  std::string s = os.str();
-  // make sure it reads back as a double, not an int
-  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
-  return s;
-}
-
 }  // namespace
 
 std::string Value::write() const {
@@ -45,7 +36,9 @@ std::string Value::write() const {
   if (is_string()) return quote_string(as_string());
   if (is_symbol()) return as_symbol().name;
   if (is_builtin()) return "#<builtin>";
-  if (is_lambda()) return "#<lambda>";
+  // Both closure kinds print identically: which engine compiled a lambda
+  // is invisible to a/L programs (the differential suite depends on this).
+  if (is_lambda() || is_vm_closure()) return "#<lambda>";
   std::string out = "(";
   const List& l = as_list();
   for (std::size_t i = 0; i < l.size(); ++i) {

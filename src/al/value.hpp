@@ -50,6 +50,10 @@ struct Lambda {
   }
 };
 
+/// A closure over compiled bytecode (see bytecode.hpp). Environment
+/// capture follows the same weak/pinned protocol as Lambda.
+struct VmClosure;
+
 /// Interned symbol (distinct from string).
 struct Symbol {
   std::string name;
@@ -72,6 +76,7 @@ class Value {
   Value(List l) : v_(std::move(l)) {}                       // NOLINT
   Value(Builtin f) : v_(std::move(f)) {}                    // NOLINT
   Value(std::shared_ptr<Lambda> l) : v_(std::move(l)) {}    // NOLINT
+  Value(std::shared_ptr<VmClosure> c) : v_(std::move(c)) {} // NOLINT
 
   static Value nil() { return Value(); }
   static Value sym(std::string name) { return Value(Symbol{std::move(name)}); }
@@ -88,7 +93,12 @@ class Value {
   bool is_lambda() const {
     return std::holds_alternative<std::shared_ptr<Lambda>>(v_);
   }
-  bool is_callable() const { return is_builtin() || is_lambda(); }
+  bool is_vm_closure() const {
+    return std::holds_alternative<std::shared_ptr<VmClosure>>(v_);
+  }
+  bool is_callable() const {
+    return is_builtin() || is_lambda() || is_vm_closure();
+  }
 
   bool as_bool() const { return std::get<bool>(v_); }
   std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
@@ -102,6 +112,9 @@ class Value {
   const Builtin& as_builtin() const { return std::get<Builtin>(v_); }
   const std::shared_ptr<Lambda>& as_lambda() const {
     return std::get<std::shared_ptr<Lambda>>(v_);
+  }
+  const std::shared_ptr<VmClosure>& as_vm_closure() const {
+    return std::get<std::shared_ptr<VmClosure>>(v_);
   }
 
   /// a/L truthiness: everything except nil and #f is true.
@@ -117,7 +130,8 @@ class Value {
 
  private:
   std::variant<std::monostate, bool, std::int64_t, double, std::string, Symbol,
-               List, Builtin, std::shared_ptr<Lambda>>
+               List, Builtin, std::shared_ptr<Lambda>,
+               std::shared_ptr<VmClosure>>
       v_;
 };
 

@@ -81,7 +81,7 @@ MigrationResult migrate_design(const Design& src,
     out.add_symbol(std::move(copy));
   }
 
-  CallbackHost callbacks;
+  CallbackHost callbacks(config.al_engine);
 
   for (const auto& [cell, sch_src] : src.schematics()) {
     Schematic sch;

@@ -128,6 +128,7 @@ InteropService::InteropService(ServiceOptions opt)
   migration_config_.global_map = sch::make_standard_global_map();
   migration_config_.property_rules = sch::make_standard_property_rules();
   migration_config_.target_symbols = sch::make_target_library();
+  migration_config_.al_engine = opt_.al_engine;
 
   int workers = std::max(1, opt_.workers);
   workers_.reserve(std::size_t(workers));

@@ -81,6 +81,10 @@ struct ServiceOptions {
   std::string store_dir;
   /// Segment rotation size for that store.
   std::uint64_t store_segment_bytes = 64ull << 20;
+  /// a/L engine for migration callbacks (interopd --al-engine). Bytecode
+  /// compiles each callback once per source and replays it across every
+  /// migrated object; TreeWalker is the reference interpreter.
+  al::Engine al_engine = al::Engine::Bytecode;
 };
 
 class InteropService {

@@ -61,8 +61,12 @@ TEST(AlEnvLifecycle, ExplicitCollectReclaimsCycleFrames) {
   Interpreter interp;
   interp.set_gc_threshold(1000000);  // keep automatic GC out of the way
   std::size_t base_frames = interp.arena_frames();
+  // The body closes over n, so every call must materialize a real
+  // environment frame (the bytecode engine keeps closure-free bodies in
+  // stack slots and would otherwise allocate nothing to collect).
   for (int i = 0; i < 50; ++i)
-    interp.eval_source("(define (g n) (if (< n 1) 0 (g (- n 1)))) (g 2)");
+    interp.eval_source(
+        "(define (g n) (lambda () n) (if (< n 1) 0 (g (- n 1)))) (g 2)");
   ASSERT_GT(interp.arena_frames(), base_frames);
   interp.collect_garbage();
   // Only the frames still reachable from the global scope (g's defining

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cstring>
+
 #include "al/interp.hpp"
+#include "al/number.hpp"
 #include "al/reader.hpp"
 
 namespace interop::al {
@@ -48,15 +52,94 @@ TEST(Reader, WriteRoundTrip) {
   }
 }
 
+// Regression: strtoll used to clamp out-of-range integers to INT64_MAX
+// with errno silently ignored. An over-wide integer literal now falls
+// through to double (still the same number, just inexact), never a
+// truncated int64.
+TEST(Reader, OutOfRangeIntegerFallsThroughToDouble) {
+  Value v = read_one("99999999999999999999");
+  ASSERT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_double(), 1e20);
+  Value neg = read_one("-99999999999999999999");
+  ASSERT_TRUE(neg.is_double());
+  EXPECT_DOUBLE_EQ(neg.as_double(), -1e20);
+  // The int64 boundary itself still reads exactly.
+  EXPECT_EQ(read_one("9223372036854775807").as_int(),
+            std::int64_t(9223372036854775807LL));
+  ASSERT_TRUE(read_one("9223372036854775808").is_double());
+}
+
+// Regression: strtod used to turn 1e99999 into inf (ERANGE ignored).
+// a/L numeric literals are finite by policy: anything out of double range
+// — in either direction — is a symbol, as are inf/nan spellings.
+TEST(Reader, OutOfRangeDoubleFallsThroughToSymbol) {
+  EXPECT_TRUE(read_one("1e99999").is_symbol());
+  EXPECT_TRUE(read_one("-1e99999").is_symbol());
+  EXPECT_TRUE(read_one("1e-99999").is_symbol());
+  EXPECT_TRUE(read_one("inf").is_symbol());
+  EXPECT_TRUE(read_one("nan").is_symbol());
+  EXPECT_TRUE(read_one("-inf").is_symbol());
+}
+
+TEST(Reader, PlusPrefixedNumbers) {
+  EXPECT_EQ(read_one("+5").as_int(), 5);
+  EXPECT_DOUBLE_EQ(read_one("+2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(read_one("+.5").as_double(), 0.5);
+  EXPECT_TRUE(read_one("+").is_symbol());
+  EXPECT_TRUE(read_one("+-5").is_symbol());
+  EXPECT_TRUE(read_one("+x").is_symbol());
+}
+
+// The reader must not care about LC_NUMERIC: under a comma-decimal locale
+// strtod would parse "1.5" as 1 (stopping at the period) or print 1.5 as
+// "1,5". std::from_chars/std::to_chars are locale-independent by spec.
+TEST(Reader, CommaDecimalLocaleDoesNotChangeParsing) {
+  std::string saved = std::setlocale(LC_NUMERIC, nullptr);
+  const char* comma_locale = nullptr;
+  for (const char* cand : {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8",
+                           "fr_FR.utf8", "fr_FR"}) {
+    if (std::setlocale(LC_NUMERIC, cand)) {
+      comma_locale = cand;
+      break;
+    }
+  }
+  if (!comma_locale) {
+    std::setlocale(LC_NUMERIC, saved.c_str());
+    GTEST_SKIP() << "no comma-decimal locale installed in this image";
+  }
+  Value v = read_one("1.5");
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("2.75").value_or(0), 2.75);
+  EXPECT_EQ(format_double(2.5), "2.5");  // not "2,5"
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(interp.eval_source("(string->number \"2.5\")").as_double(),
+                   2.5);
+  EXPECT_EQ(interp.eval_source("(number->string 2.5)").as_string(), "2.5");
+  std::setlocale(LC_NUMERIC, saved.c_str());
+}
+
 // ------------------------------------------------------------------- eval
 
-class AlEval : public ::testing::Test {
+/// The whole evaluator suite runs on BOTH engines: the tree-walker oracle
+/// and the bytecode VM must be observationally identical.
+class AlEval : public ::testing::TestWithParam<Engine> {
  protected:
+  AlEval() { interp.set_engine(GetParam()); }
   Value run(const std::string& src) { return interp.eval_source(src); }
   Interpreter interp;
 };
 
-TEST_F(AlEval, Arithmetic) {
+INSTANTIATE_TEST_SUITE_P(Engines, AlEval,
+                         ::testing::Values(Engine::TreeWalker,
+                                           Engine::Bytecode),
+                         [](const ::testing::TestParamInfo<Engine>& info) {
+                           return info.param == Engine::TreeWalker
+                                      ? "TreeWalker"
+                                      : "Bytecode";
+                         });
+
+TEST_P(AlEval, Arithmetic) {
   EXPECT_EQ(run("(+ 1 2 3)").as_int(), 6);
   EXPECT_EQ(run("(- 10 4 1)").as_int(), 5);
   EXPECT_EQ(run("(* 2 3 4)").as_int(), 24);
@@ -68,7 +151,7 @@ TEST_F(AlEval, Arithmetic) {
   EXPECT_DOUBLE_EQ(run("(+ 1 0.5)").as_double(), 1.5);
 }
 
-TEST_F(AlEval, ComparisonAndLogic) {
+TEST_P(AlEval, ComparisonAndLogic) {
   EXPECT_TRUE(run("(< 1 2 3)").as_bool());
   EXPECT_FALSE(run("(< 1 3 2)").as_bool());
   EXPECT_TRUE(run("(= 2 2)").as_bool());
@@ -79,7 +162,7 @@ TEST_F(AlEval, ComparisonAndLogic) {
   EXPECT_EQ(run("(or #f 7)").as_int(), 7);
 }
 
-TEST_F(AlEval, SpecialForms) {
+TEST_P(AlEval, SpecialForms) {
   EXPECT_EQ(run("(if (> 2 1) 10 20)").as_int(), 10);
   EXPECT_EQ(run("(if #f 10)").is_nil(), true);
   EXPECT_EQ(run("(cond ((= 1 2) 5) ((= 1 1) 6) (else 7))").as_int(), 6);
@@ -93,7 +176,7 @@ TEST_F(AlEval, SpecialForms) {
   EXPECT_THROW(run("(set! unbound 1)"), AlError);
 }
 
-TEST_F(AlEval, LambdasAndClosures) {
+TEST_P(AlEval, LambdasAndClosures) {
   run("(define (adder n) (lambda (x) (+ x n)))");
   run("(define add5 (adder 5))");
   EXPECT_EQ(run("(add5 10)").as_int(), 15);
@@ -104,18 +187,18 @@ TEST_F(AlEval, LambdasAndClosures) {
   EXPECT_THROW(run("(add5 1 2)"), AlError);  // arity
 }
 
-TEST_F(AlEval, Recursion) {
+TEST_P(AlEval, Recursion) {
   run("(define (fact n) (if (<= n 1) 1 (* n (fact (- n 1)))))");
   EXPECT_EQ(run("(fact 10)").as_int(), 3628800);
 }
 
-TEST_F(AlEval, WhileLoop) {
+TEST_P(AlEval, WhileLoop) {
   run("(define i 0) (define acc 0)");
   run("(while (< i 5) (set! acc (+ acc i)) (set! i (+ i 1)))");
   EXPECT_EQ(run("acc").as_int(), 10);
 }
 
-TEST_F(AlEval, StringBuiltins) {
+TEST_P(AlEval, StringBuiltins) {
   EXPECT_EQ(run("(string-append \"a\" \"b\" 3)").as_string(), "ab3");
   EXPECT_EQ(run("(string-length \"abcd\")").as_int(), 4);
   EXPECT_EQ(run("(substring \"hello\" 1 3)").as_string(), "el");
@@ -137,7 +220,7 @@ TEST_F(AlEval, StringBuiltins) {
   EXPECT_EQ(run("(number->string 7)").as_string(), "7");
 }
 
-TEST_F(AlEval, ListBuiltins) {
+TEST_P(AlEval, ListBuiltins) {
   EXPECT_EQ(run("(length (list 1 2 3))").as_int(), 3);
   EXPECT_EQ(run("(first (list 4 5))").as_int(), 4);
   EXPECT_EQ(run("(rest (list 4 5 6))").as_list().size(), 2u);
@@ -148,7 +231,7 @@ TEST_F(AlEval, ListBuiltins) {
   EXPECT_THROW(run("(nth (list 1) 5)"), AlError);
 }
 
-TEST_F(AlEval, HigherOrder) {
+TEST_P(AlEval, HigherOrder) {
   EXPECT_EQ(run("(map (lambda (x) (* x x)) (list 1 2 3))").write(),
             "(1 4 9)");
   EXPECT_EQ(run("(filter (lambda (x) (> x 1)) (list 0 1 2 3))").write(),
@@ -156,12 +239,12 @@ TEST_F(AlEval, HigherOrder) {
   EXPECT_EQ(run("(foldl + 0 (list 1 2 3 4))").as_int(), 10);
 }
 
-TEST_F(AlEval, StepLimitGuardsRunaway) {
+TEST_P(AlEval, StepLimitGuardsRunaway) {
   interp.set_step_limit(1000);
   EXPECT_THROW(run("(while #t 1)"), AlError);
 }
 
-TEST_F(AlEval, CallDepthGuardsRunawayRecursion) {
+TEST_P(AlEval, CallDepthGuardsRunawayRecursion) {
   run("(define (f) (f))");
   EXPECT_THROW(run("(f)"), AlError);
   // Legitimate deep-but-bounded recursion still works under the limit.
@@ -171,7 +254,7 @@ TEST_F(AlEval, CallDepthGuardsRunawayRecursion) {
   EXPECT_THROW(run("(count 100)"), AlError);
 }
 
-TEST_F(AlEval, HostBuiltinRegistration) {
+TEST_P(AlEval, HostBuiltinRegistration) {
   int called = 0;
   interp.register_builtin("host-fn", [&called](std::vector<Value>& args) {
     called = int(args[0].as_int());
@@ -181,7 +264,7 @@ TEST_F(AlEval, HostBuiltinRegistration) {
   EXPECT_EQ(called, 21);
 }
 
-TEST_F(AlEval, Truthiness) {
+TEST_P(AlEval, Truthiness) {
   EXPECT_FALSE(Value().truthy());
   EXPECT_FALSE(Value(false).truthy());
   EXPECT_TRUE(Value(0).truthy());  // 0 is true, Lisp-style
